@@ -1,0 +1,160 @@
+// Command mabench regenerates the paper's evaluation artifacts — every
+// table and figure plus the ablations indexed in DESIGN.md — on the switch
+// models of this repository.
+//
+// Usage:
+//
+//	mabench -experiment all            # everything (default)
+//	mabench -experiment static         # Table 1
+//	mabench -experiment reactive       # Fig. 4
+//	mabench -experiment footprint      # E1 (§2 redundancy)
+//	mabench -experiment control        # E2 (§2 controllability)
+//	mabench -experiment monitor        # E3 (§2 monitorability)
+//	mabench -experiment l3             # E6 (Fig. 2 at scale)
+//	mabench -experiment caveat         # E7 (Fig. 3)
+//	mabench -experiment sdx            # E8 (appendix Fig. 5)
+//	mabench -experiment joins          # A1
+//	mabench -experiment depth          # A2
+//	mabench -experiment nf4            # beyond-3NF extension (MVD split)
+//	mabench -experiment churnwire      # E2b: update burst cost over TCP
+//	mabench -experiment cache          # OVS cache layers under Zipf traffic
+//
+// -quick trades measurement accuracy for speed (used by the smoke tests).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"manorm/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run")
+		quick      = flag.Bool("quick", false, "short measurement loops")
+		services   = flag.Int("services", 20, "number of services (N)")
+		backends   = flag.Int("backends", 8, "backends per service (M)")
+		seed       = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	if *quick {
+		cfg = bench.QuickConfig()
+	}
+	cfg.Services = *services
+	cfg.Backends = *backends
+	cfg.Seed = *seed
+
+	if err := run(*experiment, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "mabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, cfg bench.Config) error {
+	w := os.Stdout
+	sep := func() { fmt.Fprintln(w) }
+
+	runOne := func(name string) error {
+		switch name {
+		case "footprint":
+			rows, err := bench.Footprint([]int{cfg.Services}, []int{2, 4, 8, 16, 32, 64}, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			bench.RenderFootprint(w, rows)
+		case "control":
+			rows, err := bench.Control(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderControl(w, rows)
+		case "monitor":
+			rows, err := bench.Monitor(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderMonitor(w, rows)
+		case "reactive":
+			rows, err := bench.Fig4(bench.DefaultUpdateRates(), cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderFig4(w, rows)
+		case "static":
+			rows, err := bench.Table1(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderTable1(w, rows)
+		case "l3":
+			rows, err := bench.L3Experiment([][3]int{{16, 4, 2}, {64, 8, 3}, {256, 16, 4}, {1024, 32, 8}}, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			bench.RenderL3(w, rows)
+		case "caveat":
+			r, err := bench.Caveat()
+			if err != nil {
+				return err
+			}
+			bench.RenderCaveat(w, r)
+		case "sdx":
+			r, err := bench.SDX()
+			if err != nil {
+				return err
+			}
+			bench.RenderSDX(w, r)
+		case "joins":
+			rows, err := bench.Joins(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderJoins(w, rows)
+		case "depth":
+			rows, err := bench.Depth(256, 16, 4, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			bench.RenderDepth(w, rows)
+		case "cache":
+			rows, err := bench.CacheLayers(cfg, []int{100, 1000, 10000, 100000})
+			if err != nil {
+				return err
+			}
+			bench.RenderCache(w, rows)
+		case "churnwire":
+			rows, err := bench.WireChurn(cfg, 40)
+			if err != nil {
+				return err
+			}
+			bench.RenderWireChurn(w, rows)
+		case "nf4":
+			rows, err := bench.NF4([][3]int{{4, 4, 4}, {8, 8, 4}, {16, 8, 8}})
+			if err != nil {
+				return err
+			}
+			bench.RenderNF4(w, rows)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	if experiment != "all" {
+		return runOne(experiment)
+	}
+	for _, name := range []string{
+		"footprint", "control", "monitor", "reactive", "static",
+		"l3", "caveat", "sdx", "joins", "depth", "nf4", "churnwire", "cache",
+	} {
+		if err := runOne(name); err != nil {
+			return err
+		}
+		sep()
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+
+	"manorm/internal/bench"
+)
+
+// TestAllExperimentsRun smoke-tests every experiment the tool exposes with
+// the quick config; output goes to the test log via stdout.
+func TestAllExperimentsRun(t *testing.T) {
+	cfg := bench.QuickConfig()
+	for _, exp := range []string{
+		"footprint", "control", "monitor", "reactive",
+		"l3", "caveat", "sdx", "depth", "nf4", "churnwire", "cache",
+	} {
+		if err := run(exp, cfg); err != nil {
+			t.Errorf("%s: %v", exp, err)
+		}
+	}
+}
+
+// The measurement-heavy experiments get their own test so a slow machine
+// can still see the cheap ones pass quickly.
+func TestMeasurementExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement experiments skipped in -short mode")
+	}
+	cfg := bench.QuickConfig()
+	cfg.Packets = 5000
+	cfg.LatencySamples = 500
+	for _, exp := range []string{"static", "joins"} {
+		if err := run(exp, cfg); err != nil {
+			t.Errorf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run("warp-drive", bench.QuickConfig()); err == nil {
+		t.Errorf("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,232 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"manorm/internal/mat"
+)
+
+const fixture = "testdata/gwlb.json"
+
+// captureStdout redirects os.Stdout around fn and returns what was
+// written.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := fn()
+	w.Close()
+	out, err := readAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, runErr
+}
+
+func readAll(f *os.File) (string, error) {
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := f.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			if err.Error() == "EOF" {
+				return sb.String(), nil
+			}
+			return sb.String(), nil
+		}
+	}
+}
+
+func TestAnalyzeFixture(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run(true, false, "", false, fixture, "3nf", "metadata", false, "text",
+			[]string{"ip_dst -> tcp_dst", "ip_src, ip_dst -> out"}, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"normal form: 1NF", "partial dependency", "{ip_src, ip_dst}", "declared"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analyze output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeMined(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run(true, false, "", false, fixture, "3nf", "metadata", false, "text", nil, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "mined from the instance") {
+		t.Errorf("mined analysis not labeled:\n%s", out)
+	}
+}
+
+func TestNormalizeFixtureJSON(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run(false, true, "", false, fixture, "3nf", "metadata", true, "json",
+			[]string{"ip_dst -> tcp_dst", "ip_src, ip_dst -> out"}, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p mat.Pipeline
+	if err := json.Unmarshal([]byte(out), &p); err != nil {
+		t.Fatalf("output is not a pipeline JSON: %v\n%s", err, out)
+	}
+	if p.Depth() != 2 {
+		t.Errorf("normalized depth = %d, want 2", p.Depth())
+	}
+}
+
+func TestNormalizeGotoFixture(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run(false, true, "", false, fixture, "3nf", "goto", true, "json",
+			[]string{"ip_dst -> tcp_dst", "ip_src, ip_dst -> out"}, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p mat.Pipeline
+	if err := json.Unmarshal([]byte(out), &p); err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 1b: 4 stages, 21 fields.
+	if p.Depth() != 4 || p.FieldCount() != 21 {
+		t.Errorf("goto pipeline: depth=%d fields=%d, want 4/21", p.Depth(), p.FieldCount())
+	}
+}
+
+func TestDecomposeFixture(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run(false, false, "ip_dst -> tcp_dst", false, fixture, "3nf", "goto", true, "text",
+			[]string{"ip_dst -> tcp_dst"}, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "stage 3") {
+		t.Errorf("goto decomposition should have 4 stages:\n%s", out)
+	}
+}
+
+func TestDenormalizeRoundTrip(t *testing.T) {
+	// normalize -> write pipeline -> denormalize -> must be a 6-entry
+	// table again.
+	pipeJSON, err := captureStdout(t, func() error {
+		return run(false, true, "", false, fixture, "3nf", "metadata", false, "json",
+			[]string{"ip_dst -> tcp_dst", "ip_src, ip_dst -> out"}, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(t.TempDir(), "pipe.json")
+	if err := os.WriteFile(tmp, []byte(pipeJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := captureStdout(t, func() error {
+		return run(false, false, "", true, tmp, "3nf", "metadata", false, "json", nil, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tab mat.Table
+	if err := json.Unmarshal([]byte(out), &tab); err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Entries) != 6 {
+		t.Errorf("denormalized entries = %d, want 6", len(tab.Entries))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"no mode", func() error {
+			return run(false, false, "", false, fixture, "3nf", "metadata", false, "text", nil, "")
+		}},
+		{"missing file", func() error {
+			return run(true, false, "", false, "testdata/nope.json", "3nf", "metadata", false, "text", nil, "")
+		}},
+		{"bad target", func() error {
+			return run(false, true, "", false, fixture, "7nf", "metadata", false, "text", nil, "")
+		}},
+		{"bad join", func() error {
+			return run(false, false, "ip_dst -> tcp_dst", false, fixture, "3nf", "zipper", false, "text", nil, "")
+		}},
+		{"bad fd", func() error {
+			return run(true, false, "", false, fixture, "3nf", "metadata", false, "text", []string{"nope"}, "")
+		}},
+		{"unknown attr fd", func() error {
+			return run(true, false, "", false, fixture, "3nf", "metadata", false, "text", []string{"bogus -> out"}, "")
+		}},
+		{"false fd", func() error {
+			return run(true, false, "", false, fixture, "3nf", "metadata", false, "text", []string{"ip_dst -> out"}, "")
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := captureStdout(t, tc.fn); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestProveFixture(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run(false, false, "", false, "testdata/exact.json", "3nf", "metadata", false, "text", nil,
+			"ip_dst -> tcp_dst")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Theorem 1", "BA-Seq-Idem", "KA-Seq-Dist-R", "all steps verified"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prove output missing %q", want)
+		}
+	}
+	// Prefix tables are outside the proof's setting.
+	if _, err := captureStdout(t, func() error {
+		return run(false, false, "", false, fixture, "3nf", "metadata", false, "text", nil,
+			"ip_dst -> tcp_dst")
+	}); err == nil {
+		t.Errorf("prefix table accepted by -prove")
+	}
+}
+
+func TestAnalyzeReports4NFBlockers(t *testing.T) {
+	// A cross-product table is 3NF+ under mined FDs but blocked from
+	// 4NF; -analyze must say so.
+	src := `{"name":"acl","attrs":[
+	  {"name":"a","kind":"field","width":8},
+	  {"name":"b","kind":"field","width":8},
+	  {"name":"c","kind":"field","width":8}],
+	 "entries":[["1","1","1"],["1","1","2"],["1","2","1"],["1","2","2"],
+	            ["2","3","5"],["2","3","6"]]}`
+	tmp := filepath.Join(t.TempDir(), "acl.json")
+	if err := os.WriteFile(tmp, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := captureStdout(t, func() error {
+		return run(true, false, "", false, tmp, "3nf", "metadata", false, "text", nil, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "blocking 4NF") {
+		t.Errorf("4NF blockers not reported:\n%s", out)
+	}
+}

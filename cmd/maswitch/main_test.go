@@ -1,0 +1,26 @@
+package main
+
+import (
+	"testing"
+
+	"manorm/internal/usecases"
+)
+
+func TestRunAllSwitchesAndReps(t *testing.T) {
+	for _, sw := range []string{"ovs", "eswitch", "lagopus", "noviflow"} {
+		for _, rep := range []usecases.Representation{usecases.RepUniversal, usecases.RepGoto} {
+			if err := run(sw, rep, 4, 4, 2000, 1, ""); err != nil {
+				t.Errorf("%s/%s: %v", sw, rep, err)
+			}
+		}
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if err := run("cisco", usecases.RepGoto, 4, 4, 100, 1, ""); err == nil {
+		t.Errorf("unknown switch accepted")
+	}
+	if err := run("ovs", usecases.Representation("x"), 4, 4, 100, 1, ""); err == nil {
+		t.Errorf("unknown representation accepted")
+	}
+}

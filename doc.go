@@ -1,0 +1,10 @@
+// Package manorm reproduces "Normal Forms for Match-Action Programs"
+// (Németh, Chiesa, Rétvári — CoNEXT 2019): a relational-theory framework
+// for analyzing and transforming packet-processing programs between
+// single-table (universal) and multi-table (normalized) representations.
+//
+// The implementation lives under internal/ (see DESIGN.md for the module
+// map); cmd/ holds the CLI tools, examples/ runnable walk-throughs, and
+// the *_test.go files in this directory the benchmarks that regenerate the
+// paper's tables and figures (see EXPERIMENTS.md for recorded results).
+package manorm

@@ -1,0 +1,3 @@
+module manorm
+
+go 1.22

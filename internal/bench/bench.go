@@ -1,0 +1,169 @@
+// Package bench is the measurement harness behind cmd/mabench and the
+// top-level Go benchmarks: it regenerates every table and figure of the
+// paper's evaluation (§2 claims, Table 1, Fig. 4) plus the ablations
+// called out in DESIGN.md, on the switch models of internal/switches.
+//
+// Absolute Mpps numbers depend on the host; what the harness is built to
+// reproduce are the paper's shapes: who wins, by what factor, and where
+// the behavior flips (see EXPERIMENTS.md).
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"manorm/internal/stats"
+	"manorm/internal/switches"
+	"manorm/internal/trafficgen"
+	"manorm/internal/usecases"
+)
+
+// Config controls measurement effort.
+type Config struct {
+	// Services (N) and Backends (M): the paper uses 20 and 8.
+	Services, Backends int
+	// Packets per measurement loop.
+	Packets int
+	// LatencySamples bounds the per-packet timing samples.
+	LatencySamples int
+	// Seed drives workload generation.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's setup: 20 random services, 8 backends,
+// 64-byte packets.
+func DefaultConfig() Config {
+	return Config{Services: 20, Backends: 8, Packets: 400_000, LatencySamples: 40_000, Seed: 42}
+}
+
+// QuickConfig is a fast variant for tests.
+func QuickConfig() Config {
+	return Config{Services: 20, Backends: 8, Packets: 30_000, LatencySamples: 4_000, Seed: 42}
+}
+
+// StaticResult is one (switch, representation) cell pair of Table 1.
+type StaticResult struct {
+	Switch string
+	Rep    usecases.Representation
+	// RateMpps is the forwarding rate.
+	RateMpps float64
+	// DelayUs is the modeled 3rd-quartile latency in microseconds.
+	DelayUs float64
+	// ServiceNsP75 is the measured 3rd-quartile per-packet service time.
+	ServiceNsP75 float64
+	// Templates lists the per-stage classifier templates (ESwitch's
+	// explanatory variable).
+	Templates []string
+}
+
+// NewSwitch constructs a switch model by name.
+func NewSwitch(name string) (switches.Switch, error) {
+	switch name {
+	case "ovs":
+		return switches.NewOVS(), nil
+	case "eswitch":
+		return switches.NewESwitch(), nil
+	case "lagopus":
+		return switches.NewLagopus(), nil
+	case "noviflow":
+		return switches.NewNoviFlow(), nil
+	default:
+		return nil, fmt.Errorf("bench: unknown switch %q", name)
+	}
+}
+
+// SwitchNames lists the evaluated switches in the paper's column order.
+func SwitchNames() []string { return []string{"ovs", "eswitch", "lagopus", "noviflow"} }
+
+// MeasureStatic runs the static-performance measurement of Table 1 for one
+// switch and representation.
+func MeasureStatic(swName string, rep usecases.Representation, cfg Config) (*StaticResult, error) {
+	sw, err := NewSwitch(swName)
+	if err != nil {
+		return nil, err
+	}
+	g := usecases.Generate(cfg.Services, cfg.Backends, cfg.Seed)
+	p, err := g.Build(rep)
+	if err != nil {
+		return nil, err
+	}
+	if err := sw.Install(p); err != nil {
+		return nil, err
+	}
+	stream := trafficgen.GwLB(g, 4096, 1.0, cfg.Seed+1)
+	// Measurements run on 64-byte wire frames: each processed packet pays
+	// for header parsing (with checksum verification) plus
+	// classification, as a real software datapath does.
+	frames, _ := trafficgen.Wire(stream)
+
+	// Warm-up cycle (fills the OVS cache, faults in everything).
+	for _, f := range frames {
+		if _, err := sw.ProcessFrame(f); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &StaticResult{Switch: swName, Rep: rep}
+	if es, ok := sw.(*switches.ESwitch); ok {
+		res.Templates = es.Templates()
+	}
+	pm := sw.Perf()
+
+	// Throughput: tight loop, no per-packet timers.
+	var tablesSum int64
+	start := time.Now()
+	for i := 0; i < cfg.Packets; i++ {
+		v, err := sw.ProcessFrame(frames[i%len(frames)])
+		if err != nil {
+			return nil, err
+		}
+		tablesSum += int64(v.Tables)
+	}
+	elapsed := time.Since(start)
+	serviceNs := float64(elapsed.Nanoseconds()) / float64(cfg.Packets)
+	avgTables := float64(tablesSum) / float64(cfg.Packets)
+
+	// Latency: sampled per-packet service times through the switch's
+	// latency calibration.
+	res75 := stats.NewReservoir(8192, cfg.Seed)
+	for i := 0; i < cfg.LatencySamples; i++ {
+		f := frames[i%len(frames)]
+		t0 := time.Now()
+		if _, err := sw.ProcessFrame(f); err != nil {
+			return nil, err
+		}
+		res75.Add(float64(time.Since(t0).Nanoseconds()))
+	}
+	p75 := res75.Quantile(0.75)
+	res.ServiceNsP75 = p75
+
+	if pm.HWLineRateMpps > 0 {
+		// Hardware: line rate; latency from the pipeline-depth model.
+		res.RateMpps = pm.HWLineRateMpps
+		lat := pm.BaseLatencyNs
+		if avgTables > 1 {
+			lat += pm.PerTableLatencyNs * (avgTables - 1)
+		}
+		res.DelayUs = lat / 1000
+		return res, nil
+	}
+	res.RateMpps = 1000 / serviceNs // packets per microsecond = Mpps
+	res.DelayUs = (pm.BaseLatencyNs + pm.QueueFactor*p75) / 1000
+	return res, nil
+}
+
+// Table1 regenerates the paper's Table 1: static performance of the
+// universal and goto representations on all four switches.
+func Table1(cfg Config) ([]*StaticResult, error) {
+	var out []*StaticResult
+	for _, sw := range SwitchNames() {
+		for _, rep := range []usecases.Representation{usecases.RepUniversal, usecases.RepGoto} {
+			r, err := MeasureStatic(sw, rep, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

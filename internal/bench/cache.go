@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"manorm/internal/switches"
+	"manorm/internal/trafficgen"
+	"manorm/internal/usecases"
+)
+
+// CacheRow reports the OVS cache hierarchy's behavior under Zipf traffic:
+// per-layer hit fractions and the resulting state sizes, for one flow
+// population and representation.
+type CacheRow struct {
+	Rep        usecases.Representation
+	Flows      int
+	EMCHitPct  float64
+	MegaHitPct float64
+	SlowPct    float64
+	EMCSize    int
+	Megaflows  int
+}
+
+// CacheLayers measures the OVS model's EMC/megaflow/slow-path split under
+// Zipf-distributed flows. The takeaway mirrors the paper's OVS story from
+// another angle: whatever the installed representation, steady-state
+// packets are served from the caches, and the megaflow count tracks the
+// number of distinct pipeline *paths*, not the representation's table
+// count.
+func CacheLayers(cfg Config, populations []int) ([]*CacheRow, error) {
+	var out []*CacheRow
+	for _, rep := range []usecases.Representation{usecases.RepUniversal, usecases.RepGoto} {
+		for _, pop := range populations {
+			g := usecases.Generate(cfg.Services, cfg.Backends, cfg.Seed)
+			sw := switches.NewOVS()
+			p, err := g.Build(rep)
+			if err != nil {
+				return nil, err
+			}
+			if err := sw.Install(p); err != nil {
+				return nil, err
+			}
+			stream := trafficgen.GwLBZipf(g, cfg.Packets, pop, 1.2, cfg.Seed+7)
+			for i := 0; i < stream.Len(); i++ {
+				if _, err := sw.Process(stream.Next()); err != nil {
+					return nil, err
+				}
+			}
+			total := float64(sw.Hits + sw.MegaHits + sw.Misses)
+			out = append(out, &CacheRow{
+				Rep:        rep,
+				Flows:      pop,
+				EMCHitPct:  100 * float64(sw.Hits) / total,
+				MegaHitPct: 100 * float64(sw.MegaHits) / total,
+				SlowPct:    100 * float64(sw.Misses) / total,
+				EMCSize:    sw.CacheSize(),
+				Megaflows:  sw.MegaflowCount(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderCache prints the cache-hierarchy experiment.
+func RenderCache(w io.Writer, rows []*CacheRow) {
+	fmt.Fprintln(w, "OVS cache hierarchy under Zipf traffic (extension): per-layer hit rates")
+	fmt.Fprintf(w, "%-11s %-8s %-9s %-10s %-9s %-9s %-10s\n",
+		"rep", "flows", "emc[%]", "mega[%]", "slow[%]", "emc sz", "megaflows")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-11s %-8d %-9.2f %-10.2f %-9.3f %-9d %-10d\n",
+			r.Rep, r.Flows, r.EMCHitPct, r.MegaHitPct, r.SlowPct, r.EMCSize, r.Megaflows)
+	}
+}

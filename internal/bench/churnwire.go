@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"manorm/internal/controlplane"
+	"manorm/internal/openflow"
+	"manorm/internal/switches"
+	"manorm/internal/usecases"
+)
+
+// WireChurnRow quantifies the control-channel cost of a service-update
+// burst on one representation: flow-mods, bytes on the wire, and wall
+// time, end to end over a real TCP connection. This extends E2 from
+// counting planned entries to measuring the actual control-plane work the
+// paper's reactiveness argument is about.
+type WireChurnRow struct {
+	Rep      usecases.Representation
+	Updates  int
+	FlowMods int64
+	// TxBytes counts controller→switch bytes (flow-mods + barriers).
+	TxBytes int64
+	WallMs  float64
+}
+
+// countingConn wraps a net.Conn and counts written bytes.
+type countingConn struct {
+	net.Conn
+	tx *atomic.Int64
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.tx.Add(int64(n))
+	return n, err
+}
+
+// WireChurn runs `updates` service port changes over TCP against an
+// ESwitch model for each representation and reports the churn cost.
+func WireChurn(cfg Config, updates int) ([]*WireChurnRow, error) {
+	var out []*WireChurnRow
+	for _, rep := range []usecases.Representation{
+		usecases.RepUniversal, usecases.RepGoto, usecases.RepMetadata,
+	} {
+		row, err := wireChurnOne(cfg, rep, updates)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", rep, err)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func wireChurnOne(cfg Config, rep usecases.Representation, updates int) (*WireChurnRow, error) {
+	g := usecases.Generate(cfg.Services, cfg.Backends, cfg.Seed)
+	p, err := g.Build(rep)
+	if err != nil {
+		return nil, err
+	}
+	agent, err := openflow.NewAgent(switches.NewESwitch(), p)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+	serveErr := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			serveErr <- err
+			return
+		}
+		err = agent.Serve(openflow.NewConn(c))
+		if err == io.EOF {
+			err = nil
+		}
+		serveErr <- err
+	}()
+
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	var tx atomic.Int64
+	client, err := openflow.NewClient(openflow.NewConn(&countingConn{Conn: raw, tx: &tx}))
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+
+	ctl := &controlplane.Controller{Client: client, Rep: rep, Config: g}
+	start := time.Now()
+	for i := 0; i < updates; i++ {
+		svc := i % len(g.Services)
+		if _, err := ctl.ChangeServicePort(svc, uint16(20000+i)); err != nil {
+			return nil, err
+		}
+	}
+	wall := time.Since(start)
+
+	return &WireChurnRow{
+		Rep:      rep,
+		Updates:  updates,
+		FlowMods: client.ModsSent,
+		TxBytes:  tx.Load(),
+		WallMs:   float64(wall.Microseconds()) / 1000,
+	}, nil
+}
+
+// RenderWireChurn prints the wire-churn comparison.
+func RenderWireChurn(w io.Writer, rows []*WireChurnRow) {
+	fmt.Fprintln(w, "E2b (extension): control-channel cost of a service-update burst over TCP (ESwitch agent)")
+	fmt.Fprintf(w, "%-11s %-8s %-10s %-10s %-9s\n", "rep", "updates", "flow-mods", "tx bytes", "wall[ms]")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-11s %-8d %-10d %-10d %-9.1f\n", r.Rep, r.Updates, r.FlowMods, r.TxBytes, r.WallMs)
+	}
+}

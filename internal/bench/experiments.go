@@ -1,0 +1,282 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+
+	"manorm/internal/controlplane"
+	"manorm/internal/core"
+	"manorm/internal/fd"
+	"manorm/internal/mat"
+	"manorm/internal/netkat"
+	"manorm/internal/usecases"
+)
+
+// FootprintRow is one point of the E1 redundancy experiment: data-plane
+// footprint (match-action fields) of each representation for N services ×
+// M backends. The paper's closed forms: universal = 4MN, goto = N(3+2M).
+type FootprintRow struct {
+	N, M      int
+	Universal int
+	Goto      int
+	Metadata  int
+	Rematch   int
+	// Ratio is universal/goto — approaches 2 for large M (§2).
+	Ratio float64
+}
+
+// Footprint sweeps representation footprints over N×M grids.
+func Footprint(ns, ms []int, seed int64) ([]*FootprintRow, error) {
+	var out []*FootprintRow
+	for _, n := range ns {
+		for _, m := range ms {
+			g := usecases.Generate(n, m, seed)
+			row := &FootprintRow{N: n, M: m}
+			for rep, dst := range map[usecases.Representation]*int{
+				usecases.RepUniversal: &row.Universal,
+				usecases.RepGoto:      &row.Goto,
+				usecases.RepMetadata:  &row.Metadata,
+				usecases.RepRematch:   &row.Rematch,
+			} {
+				p, err := g.Build(rep)
+				if err != nil {
+					return nil, err
+				}
+				*dst = p.FieldCount()
+			}
+			row.Ratio = float64(row.Universal) / float64(row.Goto)
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// ControlRow is one E2 controllability data point: entries touched per
+// update intent.
+type ControlRow struct {
+	Rep        usecases.Representation
+	PortChange int
+	VIPChange  int
+}
+
+// Control regenerates the §2 controllability comparison.
+func Control(cfg Config) ([]*ControlRow, error) {
+	g := usecases.Generate(cfg.Services, cfg.Backends, cfg.Seed)
+	var out []*ControlRow
+	for _, rep := range []usecases.Representation{
+		usecases.RepUniversal, usecases.RepGoto, usecases.RepMetadata, usecases.RepRematch,
+	} {
+		pp, err := controlplane.PlanPortChange(g, rep, 0, 9999)
+		if err != nil {
+			return nil, err
+		}
+		pv, err := controlplane.PlanVIPChange(g, rep, 0, 0xC00002FE)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &ControlRow{Rep: rep, PortChange: pp.EntriesTouched, VIPChange: pv.EntriesTouched})
+	}
+	return out, nil
+}
+
+// MonitorRow is one E3 monitorability data point: counters needed for a
+// tenant aggregate.
+type MonitorRow struct {
+	Rep      usecases.Representation
+	Counters int
+}
+
+// Monitor regenerates the §2 monitorability comparison.
+func Monitor(cfg Config) ([]*MonitorRow, error) {
+	g := usecases.Generate(cfg.Services, cfg.Backends, cfg.Seed)
+	var out []*MonitorRow
+	for _, rep := range []usecases.Representation{
+		usecases.RepUniversal, usecases.RepGoto, usecases.RepMetadata, usecases.RepRematch,
+	} {
+		_, entries, err := controlplane.CounterPlacement(g, rep, 0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &MonitorRow{Rep: rep, Counters: len(entries)})
+	}
+	return out, nil
+}
+
+// L3Row is one E6 data point: the Fig. 2 normalization chain at scale.
+type L3Row struct {
+	Prefixes, NextHops, Ports int
+	UniversalFields           int
+	NormalizedFields          int
+	Stages                    int
+	StageSizes                []int
+	Verified                  bool
+}
+
+// L3Experiment normalizes generated L3 tables and reports the shrinkage
+// and the emerging pipeline shape (prefix table ≫ group table ≫ port
+// table, with the constant factor split off — Fig. 2c).
+func L3Experiment(sizes [][3]int, seed int64) ([]*L3Row, error) {
+	var out []*L3Row
+	for _, s := range sizes {
+		l3 := usecases.GenerateL3(s[0], s[1], s[2], seed)
+		res, err := core.Normalize(l3.Table, core.Options{
+			Target:   core.NF3,
+			Declared: l3.Declared(),
+			Verify:   true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := &L3Row{
+			Prefixes: s[0], NextHops: s[1], Ports: s[2],
+			UniversalFields:  l3.Table.FieldCount(),
+			NormalizedFields: res.Pipeline.FieldCount(),
+			Stages:           res.Pipeline.Depth(),
+			Verified:         res.Verified,
+		}
+		for _, st := range res.Pipeline.Stages {
+			row.StageSizes = append(row.StageSizes, len(st.Table.Entries))
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// CaveatResult records the E7 (Fig. 3) demonstration.
+type CaveatResult struct {
+	FD       string
+	Rejected bool
+	Err      string
+}
+
+// Caveat demonstrates the action-to-match rejection rule on Fig. 3a.
+func Caveat() (*CaveatResult, error) {
+	tab := usecases.Fig3()
+	a := core.Analyze(tab)
+	f := fd.FD{From: mat.SetOf(tab.Schema, "out"), To: mat.SetOf(tab.Schema, "vlan")}
+	if !f.HoldsIn(tab) {
+		return nil, fmt.Errorf("bench: out → vlan does not hold in Fig. 3a")
+	}
+	_, err := core.Decompose(a, f, core.JoinMetadata)
+	res := &CaveatResult{FD: f.Format(tab.Schema), Rejected: err != nil}
+	if err != nil {
+		res.Err = err.Error()
+	}
+	if !errors.Is(err, core.ErrActionToMatch) {
+		return nil, fmt.Errorf("bench: expected ErrActionToMatch, got %v", err)
+	}
+	return res, nil
+}
+
+// SDXResult records the E8 (appendix) demonstration.
+type SDXResult struct {
+	UniversalEntries int
+	PipelineStages   int
+	NaiveInbound1NF  bool
+	Equivalent       bool
+	Exhaustive       bool
+}
+
+// SDX verifies the appendix use case: the `all`-tag pipeline is
+// semantically equal to the collapsed table, while the naive FD-free
+// decomposition's inbound table is order-dependent.
+func SDX() (*SDXResult, error) {
+	s := usecases.NewSDX()
+	cex, exhaustive, err := netkat.EquivalentPipelines(mat.SingleTable(s.Universal), s.Pipeline, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &SDXResult{
+		UniversalEntries: len(s.Universal.Entries),
+		PipelineStages:   s.Pipeline.Depth(),
+		NaiveInbound1NF:  usecases.NaiveInboundTable().IsOrderIndependent(),
+		Equivalent:       cex == nil,
+		Exhaustive:       exhaustive,
+	}, nil
+}
+
+// JoinRow is one A1 data point: the three join abstractions compared on
+// footprint and ESwitch throughput.
+type JoinRow struct {
+	Rep       usecases.Representation
+	Fields    int
+	Entries   int
+	RateMpps  float64
+	DelayUs   float64
+	Templates []string
+}
+
+// Joins runs the join-abstraction ablation on the ESwitch model.
+func Joins(cfg Config) ([]*JoinRow, error) {
+	g := usecases.Generate(cfg.Services, cfg.Backends, cfg.Seed)
+	var out []*JoinRow
+	for _, rep := range []usecases.Representation{
+		usecases.RepUniversal, usecases.RepGoto, usecases.RepMetadata, usecases.RepRematch,
+	} {
+		p, err := g.Build(rep)
+		if err != nil {
+			return nil, err
+		}
+		r, err := MeasureStatic("eswitch", rep, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &JoinRow{
+			Rep:       rep,
+			Fields:    p.FieldCount(),
+			Entries:   p.EntryCount(),
+			RateMpps:  r.RateMpps,
+			DelayUs:   r.DelayUs,
+			Templates: r.Templates,
+		})
+	}
+	return out, nil
+}
+
+// DepthRow is one A2 data point: normalization depth versus footprint on
+// the L3 use case.
+type DepthRow struct {
+	Target     string
+	Stages     int
+	Fields     int
+	Violations int
+}
+
+// Depth runs the normalization-depth ablation: the same L3 table left in
+// 1NF, normalized to 2NF, and to 3NF.
+func Depth(prefixes, nexthops, ports int, seed int64) ([]*DepthRow, error) {
+	l3 := usecases.GenerateL3(prefixes, nexthops, ports, seed)
+	decl := l3.Declared()
+
+	var out []*DepthRow
+	a, err := core.AnalyzeDeclared(l3.Table, decl)
+	if err != nil {
+		return nil, err
+	}
+	_, violations := core.Check(a)
+	out = append(out, &DepthRow{
+		Target: "1NF (universal)", Stages: 1,
+		Fields: l3.Table.FieldCount(), Violations: len(violations),
+	})
+	for _, target := range []core.Form{core.NF2, core.NF3} {
+		res, err := core.Normalize(l3.Table, core.Options{Target: target, Declared: decl, Verify: true})
+		if err != nil {
+			return nil, err
+		}
+		remaining := 0
+		for _, st := range res.Pipeline.Stages {
+			sa := core.Analyze(st.Table)
+			_, v := core.Check(sa)
+			for _, viol := range v {
+				if viol.Level <= core.NF3 {
+					remaining++
+				}
+			}
+		}
+		out = append(out, &DepthRow{
+			Target: target.String(), Stages: res.Pipeline.Depth(),
+			Fields: res.Pipeline.FieldCount(), Violations: remaining,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"manorm/internal/controlplane"
+	"manorm/internal/switches"
+	"manorm/internal/usecases"
+)
+
+// ReactiveResult is one point of Fig. 4: throughput and latency at a given
+// control-plane update rate, for one representation on the NoviFlow model.
+type ReactiveResult struct {
+	Rep           usecases.Representation
+	UpdatesPerSec float64
+	// ModsPerUpdate is the flow-mod churn one service update causes —
+	// the paper's "8× greater control plane churn" driver.
+	ModsPerUpdate int
+	// StageEntries is the size of the table those mods rewrite.
+	StageEntries int
+	// RateMpps / DelayUs come from the closed-form model.
+	RateMpps float64
+	DelayUs  float64
+	// SimRateMpps / SimDelayUs are the emergent values from the
+	// discrete-time simulation (switches.SimulateReactive).
+	SimRateMpps float64
+	SimDelayUs  float64
+}
+
+// Fig4 regenerates the reactiveness experiment: a random service's port is
+// changed updRate times per second; the universal representation rewrites
+// M entries in the big table per update, the normalized (goto) one rewrites
+// a single service-table entry.
+func Fig4(updRates []float64, cfg Config) ([]*ReactiveResult, error) {
+	g := usecases.Generate(cfg.Services, cfg.Backends, cfg.Seed)
+	var out []*ReactiveResult
+	for _, rep := range []usecases.Representation{usecases.RepUniversal, usecases.RepGoto} {
+		sw := switches.NewNoviFlow()
+		p, err := g.Build(rep)
+		if err != nil {
+			return nil, err
+		}
+		if err := sw.Install(p); err != nil {
+			return nil, err
+		}
+		// Churn per update from the real update planner.
+		plan, err := controlplane.PlanPortChange(g, rep, 0, 9999)
+		if err != nil {
+			return nil, err
+		}
+		mods := plan.EntriesTouched
+		// The table those mods rewrite: stage 0 in both representations.
+		stageEntries := len(p.Stages[0].Table.Entries)
+
+		tables := 1.0
+		if rep == usecases.RepGoto {
+			tables = 2.0
+		}
+		for _, u := range updRates {
+			sim := sw.SimulateReactive(switches.DefaultReactiveSim(u, mods, stageEntries, tables))
+			out = append(out, &ReactiveResult{
+				Rep:           rep,
+				UpdatesPerSec: u,
+				ModsPerUpdate: mods,
+				StageEntries:  stageEntries,
+				RateMpps:      sw.ReactiveThroughput(u, mods, stageEntries),
+				DelayUs:       sw.ReactiveLatency(tables) / 1000,
+				SimRateMpps:   sim.RateMpps,
+				SimDelayUs:    sim.DelayP75Us,
+			})
+		}
+	}
+	return out, nil
+}
+
+// DefaultUpdateRates is the sweep of Fig. 4 (updates per second).
+func DefaultUpdateRates() []float64 { return []float64{0, 10, 25, 50, 100, 200} }

@@ -1,0 +1,112 @@
+// Package classifier implements the packet-classifier templates a
+// match-action table can be compiled to: exact-match hashing, single-field
+// longest-prefix matching, priority-ordered ternary linear search, and
+// OVS-style tuple-space search.
+//
+// The template a table can use is decided by the *shape* of its match
+// columns — and that shape is exactly what normalization changes. A
+// universal table mixing prefixes with exact columns is stuck with the
+// slow ternary template, while its normalized stages compile to the fast
+// exact and LPM templates; this mechanism is the paper's explanation for
+// ESwitch's 1.5× throughput gain (§5), and the models in internal/switches
+// inherit it from here.
+package classifier
+
+import (
+	"fmt"
+	"sort"
+
+	"manorm/internal/mat"
+)
+
+// Classifier finds the highest-priority entry matching a key. Keys carry
+// one concrete value per match column, in the table's column order.
+// Implementations are immutable after construction and safe for concurrent
+// lookups.
+type Classifier interface {
+	// Lookup returns the matching entry index, or -1 on miss.
+	Lookup(key []uint64) int
+	// Template names the implementation ("exact", "lpm", ...).
+	Template() string
+}
+
+// column describes one match column of a compiled table.
+type column struct {
+	width uint8
+}
+
+// pattern is one entry's match row: a cell per column plus its priority
+// (total significant bits — most-specific-first, the convention of
+// mat.Pipeline.Eval).
+type pattern struct {
+	cells []mat.Cell
+	prio  int
+	idx   int
+}
+
+// extractPatterns pulls the match columns out of a table. The returned
+// widths describe the key layout expected by all classifiers built from
+// this table.
+func extractPatterns(t *mat.Table) (cols []column, pats []pattern) {
+	fields := t.Schema.Fields()
+	cols = make([]column, len(fields))
+	for i, f := range fields {
+		cols[i] = column{width: t.Schema[f].Width}
+	}
+	pats = make([]pattern, len(t.Entries))
+	for ei, e := range t.Entries {
+		cells := make([]mat.Cell, len(fields))
+		prio := 0
+		for i, f := range fields {
+			cells[i] = e[f]
+			prio += int(e[f].PLen)
+		}
+		pats[ei] = pattern{cells: cells, prio: prio, idx: ei}
+	}
+	return cols, pats
+}
+
+// Ternary is the fallback template: a priority-ordered linear scan with
+// per-column masked compare — the "slowest wildcard matching template" of
+// the paper's ESwitch discussion. It accepts any table shape.
+type Ternary struct {
+	cols []column
+	pats []pattern // sorted by descending priority
+}
+
+// NewTernary builds a ternary classifier for the table's match columns.
+func NewTernary(t *mat.Table) *Ternary {
+	cols, pats := extractPatterns(t)
+	sort.SliceStable(pats, func(i, j int) bool { return pats[i].prio > pats[j].prio })
+	return &Ternary{cols: cols, pats: pats}
+}
+
+// Lookup scans patterns in priority order.
+func (c *Ternary) Lookup(key []uint64) int {
+	for pi := range c.pats {
+		p := &c.pats[pi]
+		hit := true
+		for i := range p.cells {
+			if !p.cells[i].Matches(key[i], c.cols[i].width) {
+				hit = false
+				break
+			}
+		}
+		if hit {
+			return p.idx
+		}
+	}
+	return -1
+}
+
+// Template returns "ternary".
+func (c *Ternary) Template() string { return "ternary" }
+
+// Validate checks that a key has the arity the classifier was built for.
+// Helper shared by tests.
+func keyArity(cols []column, key []uint64) error {
+	if len(key) != len(cols) {
+		return fmt.Errorf("classifier: key arity %d, want %d", len(key), len(cols))
+	}
+	return nil
+}

@@ -1,0 +1,350 @@
+package classifier
+
+import (
+	"math/rand"
+	"testing"
+
+	"manorm/internal/mat"
+)
+
+// gwlbUniversal builds a parametric universal gateway & load-balancer
+// match table: N services × M backends (matches only; the classifier layer
+// never sees actions).
+func gwlbUniversal(n, m int) *mat.Table {
+	t := mat.New("uni", mat.Schema{
+		mat.F("ip_src", 32), mat.F("ip_dst", 32), mat.F("tcp_dst", 16), mat.A("out", 16),
+	})
+	bits := uint8(0)
+	for 1<<bits < m {
+		bits++
+	}
+	for s := 0; s < n; s++ {
+		for b := 0; b < m; b++ {
+			src := mat.Prefix(uint64(b)<<(32-bits), bits, 32)
+			if bits == 0 {
+				src = mat.Any()
+			}
+			t.Add(src, mat.Exact(uint64(0xC0000200+s), 32), mat.Exact(uint64(1000+s), 16), mat.Exact(uint64(s*m+b+1), 16))
+		}
+	}
+	return t
+}
+
+func exactTable(n int) *mat.Table {
+	t := mat.New("exact", mat.Schema{mat.F("ip_dst", 32), mat.F("tcp_dst", 16), mat.A("out", 16)})
+	for i := 0; i < n; i++ {
+		t.Add(mat.Exact(uint64(0xC0000200+i), 32), mat.Exact(uint64(1000+i), 16), mat.Exact(uint64(i), 16))
+	}
+	return t
+}
+
+func lpmTable() *mat.Table {
+	t := mat.New("lpm", mat.Schema{mat.F("ip_dst", 32), mat.A("out", 16)})
+	t.Add(mat.IPv4Prefix("10.0.0.0", 8), mat.Exact(1, 16))
+	t.Add(mat.IPv4Prefix("10.1.0.0", 16), mat.Exact(2, 16))
+	t.Add(mat.IPv4Prefix("10.1.2.0", 24), mat.Exact(3, 16))
+	t.Add(mat.IPv4Prefix("192.168.0.0", 16), mat.Exact(4, 16))
+	t.Add(mat.Any(), mat.Exact(5, 16))
+	return t
+}
+
+func TestShape(t *testing.T) {
+	cases := []struct {
+		tab  *mat.Table
+		want string
+	}{
+		{exactTable(4), "exact"},
+		{lpmTable(), "lpm"},
+		{gwlbUniversal(4, 4), "ternary"},
+		{gwlbUniversal(4, 1), "exact"}, // M=1: ip_src all-wildcard
+	}
+	for i, tc := range cases {
+		if got := Shape(tc.tab); got != tc.want {
+			t.Errorf("case %d: Shape = %q, want %q", i, got, tc.want)
+		}
+	}
+}
+
+func TestAutoSelectsTemplate(t *testing.T) {
+	cases := []struct {
+		tab  *mat.Table
+		want string
+	}{
+		{exactTable(4), "exact"},
+		{lpmTable(), "lpm"},
+		{gwlbUniversal(4, 4), "ternary"},
+	}
+	for i, tc := range cases {
+		c, err := Compile(tc.tab, Auto)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if c.Template() != tc.want {
+			t.Errorf("case %d: Auto chose %q, want %q", i, c.Template(), tc.want)
+		}
+	}
+}
+
+func TestExactLookup(t *testing.T) {
+	tab := exactTable(16)
+	c, err := NewExact(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		key := []uint64{uint64(0xC0000200 + i), uint64(1000 + i)}
+		if got := c.Lookup(key); got != i {
+			t.Errorf("Lookup(%v) = %d, want %d", key, got, i)
+		}
+	}
+	if got := c.Lookup([]uint64{0xC0000200, 9999}); got != -1 {
+		t.Errorf("miss returned %d", got)
+	}
+}
+
+func TestExactMaskedColumn(t *testing.T) {
+	// A column that is wildcard in every row is masked out of the key.
+	tab := mat.New("e", mat.Schema{mat.F("in_port", 8), mat.F("dst", 16), mat.A("o", 8)})
+	tab.Add(mat.Any(), mat.Exact(1, 16), mat.Exact(1, 8))
+	tab.Add(mat.Any(), mat.Exact(2, 16), mat.Exact(2, 8))
+	c, err := NewExact(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Lookup([]uint64{77, 2}); got != 1 {
+		t.Errorf("masked-column lookup = %d, want 1", got)
+	}
+}
+
+func TestExactRejectsPrefixAndMixed(t *testing.T) {
+	if _, err := NewExact(lpmTable()); err == nil {
+		t.Errorf("prefix table compiled to exact")
+	}
+	mixed := mat.New("m", mat.Schema{mat.F("a", 8), mat.A("o", 8)})
+	mixed.Add(mat.Exact(1, 8), mat.Exact(1, 8))
+	mixed.Add(mat.Any(), mat.Exact(2, 8))
+	if _, err := NewExact(mixed); err == nil {
+		t.Errorf("mixed exact/wildcard column compiled to exact")
+	}
+}
+
+func TestLPMLookup(t *testing.T) {
+	c, err := NewLPM(lpmTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		ip   uint64
+		want int
+	}{
+		{0x0A000001, 0}, // 10.0.0.1 -> /8
+		{0x0A010001, 1}, // 10.1.0.1 -> /16
+		{0x0A010201, 2}, // 10.1.2.1 -> /24
+		{0xC0A80101, 3}, // 192.168.1.1 -> /16
+		{0x08080808, 4}, // default
+	}
+	for _, tc := range cases {
+		if got := c.Lookup([]uint64{tc.ip}); got != tc.want {
+			t.Errorf("Lookup(%#x) = %d, want %d", tc.ip, got, tc.want)
+		}
+	}
+}
+
+func TestLPMRejectsMultiColumn(t *testing.T) {
+	if _, err := NewLPM(gwlbUniversal(2, 2)); err == nil {
+		t.Errorf("multi-column table compiled to LPM")
+	}
+}
+
+func TestLPMDuplicatePrefixRejected(t *testing.T) {
+	tab := mat.New("d", mat.Schema{mat.F("ip", 32), mat.A("o", 8)})
+	tab.Add(mat.IPv4Prefix("10.0.0.0", 8), mat.Exact(1, 8))
+	tab.Add(mat.IPv4Prefix("10.0.0.0", 8), mat.Exact(2, 8))
+	if _, err := NewLPM(tab); err == nil {
+		t.Errorf("duplicate prefix accepted")
+	}
+	tab2 := mat.New("d2", mat.Schema{mat.F("ip", 32), mat.A("o", 8)})
+	tab2.Add(mat.Any(), mat.Exact(1, 8))
+	tab2.Add(mat.Any(), mat.Exact(2, 8))
+	if _, err := NewLPM(tab2); err == nil {
+		t.Errorf("duplicate default accepted")
+	}
+}
+
+func TestTernaryPriority(t *testing.T) {
+	// More-specific entries win regardless of insertion order.
+	tab := mat.New("t", mat.Schema{mat.F("ip", 32), mat.F("port", 16), mat.A("o", 8)})
+	tab.Add(mat.IPv4Prefix("10.0.0.0", 8), mat.Any(), mat.Exact(1, 8))
+	tab.Add(mat.IPv4Prefix("10.1.0.0", 16), mat.Exact(80, 16), mat.Exact(2, 8))
+	c := NewTernary(tab)
+	if got := c.Lookup([]uint64{0x0A010001, 80}); got != 1 {
+		t.Errorf("specific entry lost: %d", got)
+	}
+	if got := c.Lookup([]uint64{0x0A010001, 443}); got != 0 {
+		t.Errorf("fallback entry lost: %d", got)
+	}
+	if got := c.Lookup([]uint64{0x0B000000, 80}); got != -1 {
+		t.Errorf("miss returned %d", got)
+	}
+}
+
+// referenceAgreement verifies a classifier against the ternary reference on
+// a key set.
+func referenceAgreement(t *testing.T, tab *mat.Table, c Classifier, keys [][]uint64) {
+	t.Helper()
+	ref := NewTernary(tab)
+	for _, k := range keys {
+		want := ref.Lookup(k)
+		got := c.Lookup(k)
+		if got != want {
+			t.Fatalf("%s disagrees with ternary on %v: got %d, want %d", c.Template(), k, got, want)
+		}
+	}
+}
+
+// keysFor generates probe keys around a table's patterns plus random ones.
+func keysFor(tab *mat.Table, rng *rand.Rand, n int) [][]uint64 {
+	fields := tab.Schema.Fields()
+	var keys [][]uint64
+	for _, e := range tab.Entries {
+		k := make([]uint64, len(fields))
+		k2 := make([]uint64, len(fields))
+		for i, f := range fields {
+			c := e[f]
+			k[i] = c.Bits
+			w := tab.Schema[f].Width
+			k2[i] = c.Bits | (uint64(1)<<(w-c.PLen))/2 // poke host bits when plen < width
+			if c.PLen == w {
+				k2[i] = c.Bits
+			}
+		}
+		keys = append(keys, k, k2)
+	}
+	for i := 0; i < n; i++ {
+		k := make([]uint64, len(fields))
+		for j, f := range fields {
+			w := tab.Schema[f].Width
+			k[j] = rng.Uint64() & ((uint64(1) << w) - 1)
+		}
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func TestConformanceAllTemplates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tables := []*mat.Table{exactTable(32), lpmTable(), gwlbUniversal(8, 8), gwlbUniversal(20, 8)}
+	for _, tab := range tables {
+		keys := keysFor(tab, rng, 500)
+		// Tuple space handles every shape.
+		referenceAgreement(t, tab, NewTupleSpace(tab), keys)
+		// Auto handles every shape.
+		c, err := Compile(tab, Auto)
+		if err != nil {
+			t.Fatalf("%s: %v", tab.Name, err)
+		}
+		referenceAgreement(t, tab, c, keys)
+	}
+	// Shape-specific templates on their shapes.
+	referenceAgreement(t, exactTable(32), mustCompile(t, exactTable(32), ForceExact), keysFor(exactTable(32), rng, 200))
+	referenceAgreement(t, lpmTable(), mustCompile(t, lpmTable(), ForceLPM), keysFor(lpmTable(), rng, 200))
+}
+
+func mustCompile(t *testing.T, tab *mat.Table, tmpl Template) Classifier {
+	t.Helper()
+	c, err := Compile(tab, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConformanceRandomLPMTables(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		tab := mat.New("r", mat.Schema{mat.F("ip", 32), mat.A("o", 16)})
+		seen := map[mat.Cell]bool{}
+		n := 1 + rng.Intn(30)
+		for i := 0; i < n; i++ {
+			plen := uint8(rng.Intn(33))
+			c := mat.Prefix(rng.Uint64(), plen, 32)
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			tab.Add(c, mat.Exact(uint64(i), 16))
+		}
+		lpm, err := NewLPM(tab)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		keys := keysFor(tab, rng, 300)
+		referenceAgreement(t, tab, lpm, keys)
+		referenceAgreement(t, tab, NewTupleSpace(tab), keys)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile(exactTable(2), Template(99)); err == nil {
+		t.Errorf("unknown template accepted")
+	}
+	if _, err := Compile(gwlbUniversal(2, 2), ForceExact); err == nil {
+		t.Errorf("ternary-shaped table force-compiled to exact")
+	}
+	if _, err := Compile(gwlbUniversal(2, 2), ForceLPM); err == nil {
+		t.Errorf("ternary-shaped table force-compiled to lpm")
+	}
+}
+
+func TestTemplateString(t *testing.T) {
+	for tmpl, want := range map[Template]string{
+		Auto: "auto", ForceExact: "exact", ForceLPM: "lpm", ForceTernary: "ternary", ForceTupleSpace: "tss",
+	} {
+		if tmpl.String() != want {
+			t.Errorf("Template(%d) = %q, want %q", int(tmpl), tmpl.String(), want)
+		}
+	}
+}
+
+// Benchmarks: the A3 ablation — the raw cost of each template on the
+// shapes normalization produces. The ternary scan on the universal table
+// versus exact+LPM on the normalized stages is the ESwitch mechanism.
+
+func benchKeys(tab *mat.Table, n int) [][]uint64 {
+	rng := rand.New(rand.NewSource(1))
+	fields := tab.Schema.Fields()
+	keys := make([][]uint64, n)
+	for i := range keys {
+		e := tab.Entries[rng.Intn(len(tab.Entries))]
+		k := make([]uint64, len(fields))
+		for j, f := range fields {
+			k[j] = e[f].Bits
+		}
+		keys[i] = k
+	}
+	return keys
+}
+
+func benchClassifier(b *testing.B, tab *mat.Table, tmpl Template) {
+	c, err := Compile(tab, tmpl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := benchKeys(tab, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.Lookup(keys[i&1023]) < 0 {
+			b.Fatal("unexpected miss")
+		}
+	}
+}
+
+func BenchmarkClassifierExact160(b *testing.B) { benchClassifier(b, exactTable(160), ForceExact) }
+func BenchmarkClassifierLPM(b *testing.B)      { benchClassifier(b, lpmTable(), ForceLPM) }
+func BenchmarkClassifierTernary160(b *testing.B) {
+	benchClassifier(b, gwlbUniversal(20, 8), ForceTernary)
+}
+func BenchmarkClassifierTSS160(b *testing.B) {
+	benchClassifier(b, gwlbUniversal(20, 8), ForceTupleSpace)
+}

@@ -1,0 +1,106 @@
+package classifier
+
+import (
+	"fmt"
+
+	"manorm/internal/mat"
+)
+
+// Template selects a classifier implementation.
+type Template int
+
+const (
+	// Auto picks the most efficient template the table's shape admits:
+	// exact if all cells are exact, LPM if a single column carries
+	// prefixes, ternary otherwise. This is the datapath-specialization
+	// strategy the paper describes for ESwitch (§5).
+	Auto Template = iota
+	// ForceExact compiles the exact-hash template (errors on wildcards).
+	ForceExact
+	// ForceLPM compiles the single-column trie (errors on other shapes).
+	ForceLPM
+	// ForceTernary compiles the linear-scan template (any shape).
+	ForceTernary
+	// ForceTupleSpace compiles tuple space search (any shape).
+	ForceTupleSpace
+)
+
+// String names the template.
+func (t Template) String() string {
+	switch t {
+	case Auto:
+		return "auto"
+	case ForceExact:
+		return "exact"
+	case ForceLPM:
+		return "lpm"
+	case ForceTernary:
+		return "ternary"
+	case ForceTupleSpace:
+		return "tss"
+	default:
+		return fmt.Sprintf("Template(%d)", int(t))
+	}
+}
+
+// Shape reports the structural class of a table's match columns: "exact"
+// (every column uniformly exact or uniformly wildcard), "lpm" (a single
+// constrained column, prefixes allowed), or "ternary" (anything else).
+// Normalization exists to push tables from "ternary" toward the first two.
+func Shape(t *mat.Table) string {
+	cols, pats := extractPatterns(t)
+	exactish := true // every column all-exact or all-any
+	constrained := 0 // columns with at least one non-wildcard cell
+	for i := range cols {
+		sawExact, sawAny, sawPrefix := false, false, false
+		for _, p := range pats {
+			switch {
+			case p.cells[i].IsAny():
+				sawAny = true
+			case p.cells[i].IsExact(cols[i].width):
+				sawExact = true
+			default:
+				sawPrefix = true
+			}
+		}
+		if sawPrefix || (sawExact && sawAny) {
+			exactish = false
+		}
+		if sawExact || sawPrefix {
+			constrained++
+		}
+	}
+	switch {
+	case exactish:
+		return "exact"
+	case constrained <= 1:
+		return "lpm"
+	default:
+		return "ternary"
+	}
+}
+
+// Compile builds a classifier for the table with the requested template.
+func Compile(t *mat.Table, tmpl Template) (Classifier, error) {
+	switch tmpl {
+	case Auto:
+		switch Shape(t) {
+		case "exact":
+			return NewExact(t)
+		case "lpm":
+			return NewLPM(t)
+		default:
+			return NewTernary(t), nil
+		}
+	case ForceExact:
+		return NewExact(t)
+	case ForceLPM:
+		return NewLPM(t)
+	case ForceTernary:
+		return NewTernary(t), nil
+	case ForceTupleSpace:
+		return NewTupleSpace(t), nil
+	default:
+		return nil, fmt.Errorf("classifier: unknown template %d", int(tmpl))
+	}
+}

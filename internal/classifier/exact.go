@@ -1,0 +1,106 @@
+package classifier
+
+import (
+	"fmt"
+
+	"manorm/internal/mat"
+)
+
+// Exact is the hash template: applicable when every match column is either
+// exact in every entry or fully wildcarded in every entry (a real datapath
+// compiler masks the dead columns out of the key). One hash probe per
+// lookup, allocation-free.
+type Exact struct {
+	cols []column
+	// active marks the columns participating in the hash.
+	active  []bool
+	buckets map[uint64][]exactEntry
+}
+
+type exactEntry struct {
+	key []uint64 // masked: inactive columns zeroed
+	idx int
+}
+
+// NewExact compiles the table to the exact-match template. It fails if any
+// column mixes exact cells with prefixes or wildcards.
+func NewExact(t *mat.Table) (*Exact, error) {
+	cols, pats := extractPatterns(t)
+	active := make([]bool, len(cols))
+	for i := range cols {
+		sawExact, sawAny := false, false
+		for _, p := range pats {
+			switch {
+			case p.cells[i].IsAny():
+				sawAny = true
+			case p.cells[i].IsExact(cols[i].width):
+				sawExact = true
+			default:
+				return nil, fmt.Errorf("classifier: exact template cannot hold prefix %s in column %d",
+					p.cells[i].Format(cols[i].width), i)
+			}
+		}
+		if sawExact && sawAny {
+			return nil, fmt.Errorf("classifier: column %d mixes exact and wildcard cells", i)
+		}
+		active[i] = sawExact
+	}
+	c := &Exact{cols: cols, active: active, buckets: make(map[uint64][]exactEntry, len(pats))}
+	for _, p := range pats {
+		key := make([]uint64, len(p.cells))
+		for i, cell := range p.cells {
+			if active[i] {
+				key[i] = cell.Bits
+			}
+		}
+		h := hashKey(key)
+		c.buckets[h] = append(c.buckets[h], exactEntry{key: key, idx: p.idx})
+	}
+	return c, nil
+}
+
+// hashKey mixes the key words with an FNV-1a-style loop.
+func hashKey(key []uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range key {
+		for s := 0; s < 64; s += 16 {
+			h ^= (v >> s) & 0xFFFF
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// Lookup probes the hash table and verifies the masked key.
+func (c *Exact) Lookup(key []uint64) int {
+	var scratch [16]uint64
+	var masked []uint64
+	if len(key) <= len(scratch) {
+		masked = scratch[:len(key)]
+	} else {
+		masked = make([]uint64, len(key))
+	}
+	for i := range key {
+		if c.active[i] {
+			masked[i] = key[i]
+		}
+	}
+	bucket := c.buckets[hashKey(masked)]
+	for i := range bucket {
+		e := &bucket[i]
+		ok := true
+		for j := range e.key {
+			if e.key[j] != masked[j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return e.idx
+		}
+	}
+	return -1
+}
+
+// Template returns "exact".
+func (c *Exact) Template() string { return "exact" }

@@ -1,0 +1,106 @@
+package classifier
+
+import (
+	"fmt"
+
+	"manorm/internal/mat"
+)
+
+// LPM is the longest-prefix-match template: a path-compressed binary trie
+// over a single match column. Applicable when the table has exactly one
+// column carrying prefixes (all other columns, if any, fully wildcarded) —
+// the shape of a routing table or a normalized per-tenant load-balancer
+// stage.
+type LPM struct {
+	cols  []column
+	col   int // the prefix column
+	width uint8
+	root  *lpmNode
+	// dflt is the entry with a zero-length prefix (matches everything),
+	// -1 if absent.
+	dflt int
+}
+
+// lpmNode is a binary trie node. Children index by the next bit below the
+// node's depth.
+type lpmNode struct {
+	child [2]*lpmNode
+	// entry is the entry index terminating at this node, -1 if none.
+	entry int
+}
+
+// NewLPM compiles the table to the LPM template. It fails if more than one
+// column is non-wildcard, or if the prefix column's patterns repeat.
+func NewLPM(t *mat.Table) (*LPM, error) {
+	cols, pats := extractPatterns(t)
+	col := -1
+	for i := range cols {
+		for _, p := range pats {
+			if !p.cells[i].IsAny() {
+				if col >= 0 && col != i {
+					return nil, fmt.Errorf("classifier: lpm template needs a single active column; %d and %d are both constrained", col, i)
+				}
+				col = i
+			}
+		}
+	}
+	if col < 0 {
+		col = 0 // all-wildcard table: any column works
+	}
+	c := &LPM{cols: cols, col: col, width: cols[col].width, root: &lpmNode{entry: -1}, dflt: -1}
+	for _, p := range pats {
+		cell := p.cells[col]
+		if cell.IsAny() {
+			if c.dflt >= 0 {
+				return nil, fmt.Errorf("classifier: duplicate default entry")
+			}
+			c.dflt = p.idx
+			continue
+		}
+		if err := c.insert(cell, p.idx); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// insert walks the trie bit by bit (top-down from the MSB).
+func (c *LPM) insert(cell mat.Cell, idx int) error {
+	n := c.root
+	for d := uint8(0); d < cell.PLen; d++ {
+		bit := (cell.Bits >> (c.width - 1 - d)) & 1
+		if n.child[bit] == nil {
+			n.child[bit] = &lpmNode{entry: -1}
+		}
+		n = n.child[bit]
+	}
+	if n.entry >= 0 {
+		return fmt.Errorf("classifier: duplicate prefix %s", cell.Format(c.width))
+	}
+	n.entry = idx
+	return nil
+}
+
+// Lookup walks the trie, remembering the deepest terminating node.
+func (c *LPM) Lookup(key []uint64) int {
+	v := key[c.col]
+	best := c.dflt
+	n := c.root
+	if n.entry >= 0 {
+		best = n.entry
+	}
+	for d := uint8(0); d < c.width; d++ {
+		bit := (v >> (c.width - 1 - d)) & 1
+		n = n.child[bit]
+		if n == nil {
+			break
+		}
+		if n.entry >= 0 {
+			best = n.entry
+		}
+	}
+	return best
+}
+
+// Template returns "lpm".
+func (c *LPM) Template() string { return "lpm" }

@@ -1,0 +1,104 @@
+package classifier
+
+import (
+	"manorm/internal/mat"
+)
+
+// TupleSpace is the Open vSwitch-style tuple space search template: entries
+// are grouped by their mask tuple (the per-column prefix-length vector) and
+// each group is an exact hash over the masked key. A lookup probes every
+// tuple and keeps the highest-priority hit. Insertion-friendly and
+// shape-agnostic; lookup cost grows with the number of distinct tuples.
+type TupleSpace struct {
+	cols   []column
+	tuples []tuple
+}
+
+type tuple struct {
+	plens   []uint8
+	prio    int // total prefix bits — all members share it
+	buckets map[uint64][]exactEntry
+}
+
+// NewTupleSpace compiles the table to tuple space search. Any table shape
+// is accepted.
+func NewTupleSpace(t *mat.Table) *TupleSpace {
+	cols, pats := extractPatterns(t)
+	c := &TupleSpace{cols: cols}
+	index := make(map[string]int)
+	for _, p := range pats {
+		sig := make([]byte, len(p.cells))
+		plens := make([]uint8, len(p.cells))
+		for i, cell := range p.cells {
+			sig[i] = byte(cell.PLen)
+			plens[i] = cell.PLen
+		}
+		ti, ok := index[string(sig)]
+		if !ok {
+			ti = len(c.tuples)
+			index[string(sig)] = ti
+			c.tuples = append(c.tuples, tuple{plens: plens, prio: p.prio, buckets: make(map[uint64][]exactEntry)})
+		}
+		masked := make([]uint64, len(p.cells))
+		for i, cell := range p.cells {
+			masked[i] = cell.Bits // already canonical (host bits cleared)
+		}
+		h := hashKey(masked)
+		tu := &c.tuples[ti]
+		tu.buckets[h] = append(tu.buckets[h], exactEntry{key: masked, idx: p.idx})
+	}
+	return c
+}
+
+// maskTo keeps the top plen bits of a width-bit value.
+func maskTo(v uint64, plen, width uint8) uint64 {
+	if plen == 0 {
+		return 0
+	}
+	if plen >= width {
+		return v
+	}
+	return v &^ ((uint64(1) << (width - plen)) - 1)
+}
+
+// Lookup probes each tuple's hash with the appropriately masked key.
+func (c *TupleSpace) Lookup(key []uint64) int {
+	best, bestPrio := -1, -1
+	// Stack scratch keeps Lookup allocation-free and concurrency-safe for
+	// the match widths real tables use.
+	var scratch [16]uint64
+	var masked []uint64
+	if len(c.cols) <= len(scratch) {
+		masked = scratch[:len(c.cols)]
+	} else {
+		masked = make([]uint64, len(c.cols))
+	}
+	for ti := range c.tuples {
+		tu := &c.tuples[ti]
+		if tu.prio <= bestPrio {
+			continue
+		}
+		for i := range c.cols {
+			masked[i] = maskTo(key[i], tu.plens[i], c.cols[i].width)
+		}
+		bucket := tu.buckets[hashKey(masked)]
+		for bi := range bucket {
+			e := &bucket[bi]
+			ok := true
+			for j := range e.key {
+				if e.key[j] != masked[j] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				best, bestPrio = e.idx, tu.prio
+				break
+			}
+		}
+	}
+	return best
+}
+
+// Template returns "tss".
+func (c *TupleSpace) Template() string { return "tss" }

@@ -1,0 +1,284 @@
+// Package controlplane implements the controller side of the paper's
+// operational story (§2): a high-level service configuration (the cloud
+// gateway & load balancer), compiled to any of the four representations,
+// plus *update planners* that translate intents ("move tenant 1 to HTTPS",
+// "renumber the VIP", "reweight the backends") into the flow-mods each
+// representation requires.
+//
+// The size of those plans is the paper's controllability metric: a service
+// update touches M entries in the universal table but a single entry in
+// the normalized pipeline, and monitoring a tenant's aggregate needs M
+// counters versus one.
+package controlplane
+
+import (
+	"fmt"
+
+	"manorm/internal/mat"
+	"manorm/internal/openflow"
+	"manorm/internal/packet"
+	"manorm/internal/usecases"
+)
+
+// Plan is the list of flow-mods realizing one intent on one
+// representation, plus accounting.
+type Plan struct {
+	Mods []openflow.FlowMod
+	// EntriesTouched counts logical table entries the intent rewrites —
+	// the paper's update-effort metric (a rewritten entry is a
+	// delete+add pair on the wire).
+	EntriesTouched int
+}
+
+// matchIPDstPort builds the (ip_dst, tcp_dst) match of a service.
+func matchIPDstPort(vip uint32, port uint16) []openflow.MatchField {
+	return []openflow.MatchField{
+		{Name: packet.FieldIPDst, Width: 32, Cell: mat.Exact(uint64(vip), 32)},
+		{Name: packet.FieldTCPDst, Width: 16, Cell: mat.Exact(uint64(port), 16)},
+	}
+}
+
+// serviceCells recomputes a service's load-balancing split. It re-runs the
+// same splitter the compilers use, so planner output matches installed
+// state.
+func serviceCells(svc usecases.Service) ([]mat.Cell, []int, error) {
+	g := usecases.GwLB{Services: []usecases.Service{svc}}
+	t, err := g.Universal()
+	if err != nil {
+		return nil, nil, err
+	}
+	cells := make([]mat.Cell, len(t.Entries))
+	outs := make([]int, len(t.Entries))
+	for i, e := range t.Entries {
+		cells[i] = e[0]
+		outs[i] = int(e[3].Bits)
+	}
+	return cells, outs, nil
+}
+
+// PlanPortChange plans moving service svcIdx to a new TCP port.
+func PlanPortChange(g *usecases.GwLB, rep usecases.Representation, svcIdx int, newPort uint16) (*Plan, error) {
+	if svcIdx < 0 || svcIdx >= len(g.Services) {
+		return nil, fmt.Errorf("controlplane: service %d out of range", svcIdx)
+	}
+	svc := g.Services[svcIdx]
+	p := &Plan{}
+	switch rep {
+	case usecases.RepUniversal:
+		// Every backend entry of the service carries the (VIP, port)
+		// pair: all M must be rewritten.
+		cells, outs, err := serviceCells(svc)
+		if err != nil {
+			return nil, err
+		}
+		for i, c := range cells {
+			oldMatch := append([]openflow.MatchField{
+				{Name: packet.FieldIPSrc, Width: 32, Cell: c},
+			}, matchIPDstPort(svc.VIP, svc.Port)...)
+			newMatch := append([]openflow.MatchField{
+				{Name: packet.FieldIPSrc, Width: 32, Cell: c},
+			}, matchIPDstPort(svc.VIP, newPort)...)
+			p.Mods = append(p.Mods,
+				openflow.FlowMod{Command: openflow.FlowDelete, TableID: 0, Match: oldMatch},
+				openflow.FlowMod{Command: openflow.FlowAdd, TableID: 0, Match: newMatch,
+					Actions: []openflow.ActionField{{Name: "out", Width: 16, Value: uint64(outs[i])}}},
+			)
+			p.EntriesTouched++
+		}
+	case usecases.RepGoto:
+		p.Mods = append(p.Mods,
+			openflow.FlowMod{Command: openflow.FlowDelete, TableID: 0, Match: matchIPDstPort(svc.VIP, svc.Port)},
+			openflow.FlowMod{Command: openflow.FlowAdd, TableID: 0, Match: matchIPDstPort(svc.VIP, newPort),
+				Actions: []openflow.ActionField{{Name: mat.GotoAttr, Width: 16, Value: uint64(svcIdx + 1)}}},
+		)
+		p.EntriesTouched = 1
+	case usecases.RepMetadata:
+		mn := mat.MetaPrefix + "_svc"
+		p.Mods = append(p.Mods,
+			openflow.FlowMod{Command: openflow.FlowDelete, TableID: 0, Match: matchIPDstPort(svc.VIP, svc.Port)},
+			openflow.FlowMod{Command: openflow.FlowAdd, TableID: 0, Match: matchIPDstPort(svc.VIP, newPort),
+				Actions: []openflow.ActionField{{Name: mn, Width: 16, Value: uint64(svcIdx)}}},
+		)
+		p.EntriesTouched = 1
+	case usecases.RepRematch:
+		// First stage matches (ip_dst, tcp_dst) with no actions.
+		p.Mods = append(p.Mods,
+			openflow.FlowMod{Command: openflow.FlowDelete, TableID: 0, Match: matchIPDstPort(svc.VIP, svc.Port)},
+			openflow.FlowMod{Command: openflow.FlowAdd, TableID: 0, Match: matchIPDstPort(svc.VIP, newPort)},
+		)
+		p.EntriesTouched = 1
+	default:
+		return nil, fmt.Errorf("controlplane: unknown representation %q", rep)
+	}
+	return p, nil
+}
+
+// PlanVIPChange plans renumbering service svcIdx to a new public VIP.
+func PlanVIPChange(g *usecases.GwLB, rep usecases.Representation, svcIdx int, newVIP uint32) (*Plan, error) {
+	if svcIdx < 0 || svcIdx >= len(g.Services) {
+		return nil, fmt.Errorf("controlplane: service %d out of range", svcIdx)
+	}
+	svc := g.Services[svcIdx]
+	p := &Plan{}
+	touchFirst := func(actions []openflow.ActionField) {
+		p.Mods = append(p.Mods,
+			openflow.FlowMod{Command: openflow.FlowDelete, TableID: 0, Match: matchIPDstPort(svc.VIP, svc.Port)},
+			openflow.FlowMod{Command: openflow.FlowAdd, TableID: 0, Match: matchIPDstPort(newVIP, svc.Port), Actions: actions},
+		)
+		p.EntriesTouched++
+	}
+	switch rep {
+	case usecases.RepUniversal:
+		cells, outs, err := serviceCells(svc)
+		if err != nil {
+			return nil, err
+		}
+		for i, c := range cells {
+			oldMatch := append([]openflow.MatchField{
+				{Name: packet.FieldIPSrc, Width: 32, Cell: c},
+			}, matchIPDstPort(svc.VIP, svc.Port)...)
+			newMatch := append([]openflow.MatchField{
+				{Name: packet.FieldIPSrc, Width: 32, Cell: c},
+			}, matchIPDstPort(newVIP, svc.Port)...)
+			p.Mods = append(p.Mods,
+				openflow.FlowMod{Command: openflow.FlowDelete, TableID: 0, Match: oldMatch},
+				openflow.FlowMod{Command: openflow.FlowAdd, TableID: 0, Match: newMatch,
+					Actions: []openflow.ActionField{{Name: "out", Width: 16, Value: uint64(outs[i])}}},
+			)
+			p.EntriesTouched++
+		}
+	case usecases.RepGoto:
+		touchFirst([]openflow.ActionField{{Name: mat.GotoAttr, Width: 16, Value: uint64(svcIdx + 1)}})
+	case usecases.RepMetadata:
+		touchFirst([]openflow.ActionField{{Name: mat.MetaPrefix + "_svc", Width: 16, Value: uint64(svcIdx)}})
+	case usecases.RepRematch:
+		// The first stage entry changes AND every second-stage entry
+		// re-matching ip_dst must be rewritten: rematch forfeits the
+		// controllability benefit for VIP renumbering.
+		touchFirst(nil)
+		cells, outs, err := serviceCells(svc)
+		if err != nil {
+			return nil, err
+		}
+		for i, c := range cells {
+			oldMatch := []openflow.MatchField{
+				{Name: packet.FieldIPDst, Width: 32, Cell: mat.Exact(uint64(svc.VIP), 32)},
+				{Name: packet.FieldIPSrc, Width: 32, Cell: c},
+			}
+			newMatch := []openflow.MatchField{
+				{Name: packet.FieldIPDst, Width: 32, Cell: mat.Exact(uint64(newVIP), 32)},
+				{Name: packet.FieldIPSrc, Width: 32, Cell: c},
+			}
+			p.Mods = append(p.Mods,
+				openflow.FlowMod{Command: openflow.FlowDelete, TableID: 1, Match: oldMatch},
+				openflow.FlowMod{Command: openflow.FlowAdd, TableID: 1, Match: newMatch,
+					Actions: []openflow.ActionField{{Name: "out", Width: 16, Value: uint64(outs[i])}}},
+			)
+			p.EntriesTouched++
+		}
+	default:
+		return nil, fmt.Errorf("controlplane: unknown representation %q", rep)
+	}
+	return p, nil
+}
+
+// CounterPlacement returns the (stage, entry indices) whose counters must
+// be summed to monitor service svcIdx's aggregate traffic — the
+// monitorability metric of §2.
+func CounterPlacement(g *usecases.GwLB, rep usecases.Representation, svcIdx int) (stage int, entries []int, err error) {
+	if svcIdx < 0 || svcIdx >= len(g.Services) {
+		return 0, nil, fmt.Errorf("controlplane: service %d out of range", svcIdx)
+	}
+	switch rep {
+	case usecases.RepUniversal:
+		// All M backend entries of the service, located by position: the
+		// universal compiler emits services in order.
+		pos := 0
+		for i := 0; i < svcIdx; i++ {
+			cells, _, err := serviceCells(g.Services[i])
+			if err != nil {
+				return 0, nil, err
+			}
+			pos += len(cells)
+		}
+		cells, _, err := serviceCells(g.Services[svcIdx])
+		if err != nil {
+			return 0, nil, err
+		}
+		for i := range cells {
+			entries = append(entries, pos+i)
+		}
+		return 0, entries, nil
+	case usecases.RepGoto, usecases.RepMetadata, usecases.RepRematch:
+		// All traffic of the service funnels through its single
+		// first-stage entry.
+		return 0, []int{svcIdx}, nil
+	default:
+		return 0, nil, fmt.Errorf("controlplane: unknown representation %q", rep)
+	}
+}
+
+// Controller drives a switch over the OpenFlow channel, keeping the
+// desired service state and applying intents through the planners.
+type Controller struct {
+	Client *openflow.Client
+	Rep    usecases.Representation
+	Config *usecases.GwLB
+}
+
+// Apply pushes a plan and commits it with a barrier.
+func (c *Controller) Apply(p *Plan) error {
+	for i := range p.Mods {
+		if err := c.Client.SendFlowMod(&p.Mods[i]); err != nil {
+			return err
+		}
+	}
+	return c.Client.Barrier()
+}
+
+// ChangeServicePort executes the port-change intent end to end and
+// records the new desired state. It returns the entries touched.
+func (c *Controller) ChangeServicePort(svcIdx int, newPort uint16) (int, error) {
+	p, err := PlanPortChange(c.Config, c.Rep, svcIdx, newPort)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.Apply(p); err != nil {
+		return 0, err
+	}
+	c.Config.Services[svcIdx].Port = newPort
+	return p.EntriesTouched, nil
+}
+
+// ChangeServiceVIP executes the VIP renumbering intent end to end.
+func (c *Controller) ChangeServiceVIP(svcIdx int, newVIP uint32) (int, error) {
+	p, err := PlanVIPChange(c.Config, c.Rep, svcIdx, newVIP)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.Apply(p); err != nil {
+		return 0, err
+	}
+	c.Config.Services[svcIdx].VIP = newVIP
+	return p.EntriesTouched, nil
+}
+
+// ReadServiceTraffic sums the counters monitoring one service, returning
+// the aggregate count and how many counters had to be read.
+func (c *Controller) ReadServiceTraffic(svcIdx int) (total uint64, countersRead int, err error) {
+	stage, entries, err := CounterPlacement(c.Config, c.Rep, svcIdx)
+	if err != nil {
+		return 0, 0, err
+	}
+	counts, err := c.Client.ReadStats(stage)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, ei := range entries {
+		if ei >= len(counts) {
+			return 0, 0, fmt.Errorf("controlplane: counter index %d out of range", ei)
+		}
+		total += counts[ei]
+	}
+	return total, len(entries), nil
+}

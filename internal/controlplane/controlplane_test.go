@@ -1,0 +1,200 @@
+package controlplane
+
+import (
+	"net"
+	"testing"
+
+	"manorm/internal/openflow"
+	"manorm/internal/packet"
+	"manorm/internal/switches"
+	"manorm/internal/usecases"
+)
+
+func TestPlanSizesMatchPaperChurnClaims(t *testing.T) {
+	// §2 controllability / §5 reactiveness: a service update touches M
+	// entries in the universal representation and 1 in the normalized
+	// ones ("8× greater control plane churn" for M=8).
+	g := usecases.Generate(20, 8, 7)
+	for _, tc := range []struct {
+		rep  usecases.Representation
+		port int // entries touched by a port change
+		vip  int // entries touched by a VIP change
+	}{
+		{usecases.RepUniversal, 8, 8},
+		{usecases.RepGoto, 1, 1},
+		{usecases.RepMetadata, 1, 1},
+		{usecases.RepRematch, 1, 9}, // rematch forfeits the VIP benefit
+	} {
+		pp, err := PlanPortChange(g, tc.rep, 3, 9999)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.rep, err)
+		}
+		if pp.EntriesTouched != tc.port {
+			t.Errorf("%s: port change touches %d entries, want %d", tc.rep, pp.EntriesTouched, tc.port)
+		}
+		if len(pp.Mods) != 2*tc.port {
+			t.Errorf("%s: port change issues %d mods, want %d", tc.rep, len(pp.Mods), 2*tc.port)
+		}
+		pv, err := PlanVIPChange(g, tc.rep, 3, 0xC00002FF)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.rep, err)
+		}
+		if pv.EntriesTouched != tc.vip {
+			t.Errorf("%s: VIP change touches %d entries, want %d", tc.rep, pv.EntriesTouched, tc.vip)
+		}
+	}
+}
+
+func TestCounterPlacement(t *testing.T) {
+	g := usecases.Generate(5, 8, 3)
+	// Universal: 8 counters in stage 0 at the service's block.
+	stage, entries, err := CounterPlacement(g, usecases.RepUniversal, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stage != 0 || len(entries) != 8 || entries[0] != 16 {
+		t.Errorf("universal placement = stage %d, entries %v", stage, entries)
+	}
+	// Normalized: one counter at the service entry.
+	for _, rep := range []usecases.Representation{usecases.RepGoto, usecases.RepMetadata, usecases.RepRematch} {
+		stage, entries, err = CounterPlacement(g, rep, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stage != 0 || len(entries) != 1 || entries[0] != 2 {
+			t.Errorf("%s placement = stage %d, entries %v", rep, stage, entries)
+		}
+	}
+	if _, _, err := CounterPlacement(g, usecases.RepUniversal, 99); err == nil {
+		t.Errorf("bad service index accepted")
+	}
+}
+
+// endToEnd wires controller -> openflow channel -> agent -> switch model.
+func endToEnd(t *testing.T, g *usecases.GwLB, rep usecases.Representation, sw switches.Switch) (*Controller, switches.Switch) {
+	t.Helper()
+	p, err := g.Build(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := openflow.NewAgent(sw, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := net.Pipe()
+	go agent.Serve(openflow.NewConn(a)) //nolint:errcheck — ends with the pipe
+	client, err := openflow.NewClient(openflow.NewConn(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return &Controller{Client: client, Rep: rep, Config: g}, sw
+}
+
+func TestPortChangeEndToEndAllReps(t *testing.T) {
+	for _, rep := range []usecases.Representation{
+		usecases.RepUniversal, usecases.RepGoto, usecases.RepMetadata, usecases.RepRematch,
+	} {
+		g := usecases.Generate(6, 4, 9)
+		ctl, sw := endToEnd(t, g, rep, switches.NewESwitch())
+		svc := g.Services[2]
+		oldPort := svc.Port
+		newPort := uint16(9999)
+
+		touched, err := ctl.ChangeServicePort(2, newPort)
+		if err != nil {
+			t.Fatalf("%s: %v", rep, err)
+		}
+		wantTouched := 1
+		if rep == usecases.RepUniversal {
+			wantTouched = 4
+		}
+		if touched != wantTouched {
+			t.Errorf("%s: touched = %d, want %d", rep, touched, wantTouched)
+		}
+		// New port forwards; old port drops (unless another service
+		// shares the VIP — VIPs are unique here).
+		v, err := sw.Process(packet.TCP4(1, 2, 0x01000000, svc.VIP, 1234, newPort))
+		if err != nil || v.Drop {
+			t.Fatalf("%s: new port dropped: %+v, %v", rep, v, err)
+		}
+		if oldPort != newPort {
+			v, err = sw.Process(packet.TCP4(1, 2, 0x01000000, svc.VIP, 1234, oldPort))
+			if err != nil || !v.Drop {
+				t.Fatalf("%s: old port still forwards: %+v, %v", rep, v, err)
+			}
+		}
+	}
+}
+
+func TestVIPChangeEndToEnd(t *testing.T) {
+	for _, rep := range []usecases.Representation{usecases.RepUniversal, usecases.RepGoto, usecases.RepRematch} {
+		g := usecases.Generate(4, 4, 11)
+		ctl, sw := endToEnd(t, g, rep, switches.NewESwitch())
+		svc := g.Services[1]
+		oldVIP := svc.VIP
+		newVIP := uint32(0xC00002F0)
+		if _, err := ctl.ChangeServiceVIP(1, newVIP); err != nil {
+			t.Fatalf("%s: %v", rep, err)
+		}
+		v, err := sw.Process(packet.TCP4(1, 2, 0x01000000, newVIP, 1234, svc.Port))
+		if err != nil || v.Drop {
+			t.Fatalf("%s: new VIP dropped: %+v, %v", rep, v, err)
+		}
+		v, err = sw.Process(packet.TCP4(1, 2, 0x01000000, oldVIP, 1234, svc.Port))
+		if err != nil || !v.Drop {
+			t.Fatalf("%s: old VIP still forwards: %+v, %v", rep, v, err)
+		}
+	}
+}
+
+func TestMonitorabilityEndToEnd(t *testing.T) {
+	// §2: tenant aggregate needs M counter reads on the universal table,
+	// one on the normalized pipeline — and both must agree on the total.
+	const pktCount = 40
+	for _, tc := range []struct {
+		rep      usecases.Representation
+		counters int
+	}{
+		{usecases.RepUniversal, 4},
+		{usecases.RepGoto, 1},
+		{usecases.RepMetadata, 1},
+	} {
+		g := usecases.Generate(5, 4, 13)
+		ctl, sw := endToEnd(t, g, tc.rep, switches.NewESwitch())
+		svc := g.Services[3]
+		// Spray traffic across the service's backends.
+		for i := 0; i < pktCount; i++ {
+			src := uint32(i) * 0x10000019
+			if _, err := sw.Process(packet.TCP4(1, 2, src, svc.VIP, 1234, svc.Port)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		total, reads, err := ctl.ReadServiceTraffic(3)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.rep, err)
+		}
+		if reads != tc.counters {
+			t.Errorf("%s: counters read = %d, want %d", tc.rep, reads, tc.counters)
+		}
+		if total != pktCount {
+			t.Errorf("%s: aggregate = %d, want %d", tc.rep, total, pktCount)
+		}
+	}
+}
+
+func TestPlannerErrors(t *testing.T) {
+	g := usecases.Generate(3, 2, 1)
+	if _, err := PlanPortChange(g, usecases.RepUniversal, 99, 1); err == nil {
+		t.Errorf("bad index accepted")
+	}
+	if _, err := PlanPortChange(g, usecases.Representation("x"), 0, 1); err == nil {
+		t.Errorf("bad representation accepted")
+	}
+	if _, err := PlanVIPChange(g, usecases.Representation("x"), 0, 1); err == nil {
+		t.Errorf("bad representation accepted")
+	}
+	if _, err := PlanVIPChange(g, usecases.RepGoto, -1, 1); err == nil {
+		t.Errorf("negative index accepted")
+	}
+}

@@ -1,0 +1,92 @@
+// Package core implements the paper's contribution: normal forms for
+// match-action programs and the equivalent transformations between the
+// universal (single-table) representation and multi-table pipelines.
+//
+// The workflow mirrors §3–§4 of the paper:
+//
+//  1. Analyze a table — obtain its functional dependencies (mined from the
+//     instance, or declared by the programmer for semantic dependencies),
+//     candidate keys and prime attributes.
+//  2. Check which normal form it satisfies (1NF / 2NF / 3NF / BCNF) and
+//     enumerate the violations.
+//  3. Decompose along a violating dependency with one of the three join
+//     abstractions (goto_table, metadata tags, re-matching), or run the
+//     full normalization to 2NF/3NF.
+//  4. Verify semantic equivalence of the result against the original with
+//     the finite-domain checker from internal/netkat.
+//
+// The inverse transformation (Denormalize) re-joins a pipeline into its
+// universal table.
+package core
+
+import (
+	"fmt"
+
+	"manorm/internal/fd"
+	"manorm/internal/mat"
+)
+
+// Analysis bundles a table with its dependency structure.
+type Analysis struct {
+	Table *mat.Table
+	// FDs are minimal, singleton-RHS dependencies — either mined from the
+	// instance or the minimal cover of declared semantic dependencies.
+	FDs []fd.FD
+	// Declared records whether FDs came from the programmer (semantic
+	// dependencies, stable across updates) or from instance mining
+	// (transient data-level dependencies) — the paper's distinction at
+	// the end of §3.
+	Declared bool
+	// Keys are the candidate keys (minimal superkeys).
+	Keys []mat.AttrSet
+	// Prime is the union of the candidate keys.
+	Prime mat.AttrSet
+}
+
+// Analyze mines the table's functional dependencies and derives keys. The
+// resulting dependencies are instance-level ("transient data-level
+// dependencies" in the paper's terms).
+func Analyze(t *mat.Table) *Analysis {
+	fds := fd.Mine(t)
+	keys := fd.CandidateKeys(len(t.Schema), fds)
+	return &Analysis{Table: t, FDs: fds, Keys: keys, Prime: fd.PrimeAttrs(keys)}
+}
+
+// AnalyzeDeclared analyzes the table under programmer-declared semantic
+// dependencies ("inherently encoded into the high-level data plane model").
+// Every declared dependency must actually hold in the instance; a declared
+// dependency the data violates is an error.
+func AnalyzeDeclared(t *mat.Table, declared []fd.FD) (*Analysis, error) {
+	for _, f := range declared {
+		if f.Trivial() {
+			continue
+		}
+		if !f.HoldsIn(t) {
+			return nil, fmt.Errorf("core: declared dependency %s does not hold in table %s", f.Format(t.Schema), t.Name)
+		}
+	}
+	cover := fd.MinimalCover(declared)
+	keys := fd.CandidateKeys(len(t.Schema), cover)
+	return &Analysis{Table: t, FDs: cover, Declared: true, Keys: keys, Prime: fd.PrimeAttrs(keys)}, nil
+}
+
+// NonPrime returns the set of non-prime attributes.
+func (a *Analysis) NonPrime() mat.AttrSet {
+	return mat.FullSet(len(a.Table.Schema)).Minus(a.Prime)
+}
+
+// IsSuperkey reports whether x is a superkey of the analyzed table.
+func (a *Analysis) IsSuperkey(x mat.AttrSet) bool {
+	return fd.IsSuperkey(x, len(a.Table.Schema), a.FDs)
+}
+
+// subAnalysis carries the dependency structure into a projected sub-table:
+// declared FDs are projected and renamed; mined FDs are re-mined on the
+// instance.
+func (a *Analysis) subAnalysis(sub *mat.Table, kept mat.AttrSet) (*Analysis, error) {
+	if !a.Declared {
+		return Analyze(sub), nil
+	}
+	projected := fd.Rename(fd.Project(a.FDs, kept), kept)
+	return AnalyzeDeclared(sub, projected)
+}

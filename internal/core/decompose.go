@@ -1,0 +1,424 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"manorm/internal/fd"
+	"manorm/internal/mat"
+)
+
+// JoinKind selects the "join" abstraction realizing the abstract pipeline
+// composition T ≫ S on the data plane (§4 of the paper).
+type JoinKind int
+
+const (
+	// JoinMetadata communicates the first stage's match result through an
+	// opaque metadata tag: a write-metadata action in the first table and
+	// a metadata match field in the second (Fig. 1c).
+	JoinMetadata JoinKind = iota
+	// JoinGoto chains tables with goto_table instructions, one
+	// second-stage table per dependency group (Fig. 1b). This join yields
+	// the smallest aggregate footprint.
+	JoinGoto
+	// JoinRematch re-matches the dependency's left-hand-side fields in
+	// the second table (Fig. 1d). Larger footprint; only applicable when
+	// the LHS consists of header fields.
+	JoinRematch
+)
+
+// String names the join abstraction.
+func (j JoinKind) String() string {
+	switch j {
+	case JoinMetadata:
+		return "metadata"
+	case JoinGoto:
+		return "goto"
+	case JoinRematch:
+		return "rematch"
+	default:
+		return fmt.Sprintf("JoinKind(%d)", int(j))
+	}
+}
+
+// ErrActionToMatch is returned when decomposing along a dependency X→Y
+// where X contains action attributes and Y contains match fields: the
+// paper's Fig. 3 caveat. The first-stage table of such a decomposition
+// cannot be order-independent, so no join abstraction can express it.
+var ErrActionToMatch = errors.New("core: decomposition along an action-to-match dependency would violate 1NF (paper Fig. 3)")
+
+// ErrNotOrderIndependent is returned when a constructed sub-table fails the
+// 1NF order-independence check (defense in depth behind ErrActionToMatch).
+var ErrNotOrderIndependent = errors.New("core: decomposition produced an order-dependent sub-table")
+
+// ErrRematchNeedsFields is returned for JoinRematch on a dependency whose
+// LHS includes action attributes: actions cannot be re-matched.
+var ErrRematchNeedsFields = errors.New("core: rematch join requires a field-only dependency LHS")
+
+// Decompose splits the analyzed table along the functional dependency f
+// into a two-level pipeline T_dep ≫ T_rest (Heath's theorem carried to
+// match-action programs, the paper's Theorem 1), realized with the chosen
+// join abstraction.
+//
+// When f's LHS X consists of header fields, the dependency table goes
+// first: it matches X (and Y's fields), applies Y's actions and transfers
+// control. When X contains action attributes (and Y is action-only — the
+// Fig. 3 rule forbids field RHS), the rest table goes first and the
+// dependency table becomes a second-stage "group table", reproducing the
+// OpenFlow group-table pattern the paper points out for the L3 use case.
+func Decompose(a *Analysis, f fd.FD, join JoinKind) (*mat.Pipeline, error) {
+	t := a.Table
+	sch := t.Schema
+	n := len(sch)
+	x := f.From
+	y := f.To.Minus(x)
+	if !x.Union(y).SubsetOf(mat.FullSet(n)) {
+		return nil, fmt.Errorf("core: dependency %v -> %v references attributes outside the %d-attribute schema",
+			x.Members(), f.To.Members(), n)
+	}
+	if y.Empty() {
+		return nil, fmt.Errorf("core: dependency %s is trivial", f.Format(sch))
+	}
+	if !t.IsOrderIndependent() {
+		return nil, fmt.Errorf("core: table %s is not in 1NF", t.Name)
+	}
+	if !t.DetermineFn(x, y) {
+		return nil, fmt.Errorf("core: dependency %s does not hold in table %s", f.Format(sch), t.Name)
+	}
+	z := mat.FullSet(n).Minus(x).Minus(y)
+
+	actions := t.ActionSet()
+	fields := t.MatchSet()
+	xHasActions := !x.Intersect(actions).Empty()
+	yHasFields := !y.Intersect(fields).Empty()
+	if xHasActions && yHasFields {
+		return nil, fmt.Errorf("%w: %s", ErrActionToMatch, f.Format(sch))
+	}
+
+	groups := t.GroupBy(x)
+	var p *mat.Pipeline
+	var err error
+	if !xHasActions {
+		// Dep-first grouping moves the X match into its own stage: the
+		// group patterns must be non-overlapping for entry selection to
+		// be preserved.
+		if !x.Empty() && !groupsDisjoint(t, x, groups) {
+			return nil, fmt.Errorf("%w: %s", ErrOverlappingGroups, f.Format(sch))
+		}
+		p, err = decomposeDepFirst(t, x, y, z, groups, join)
+	} else {
+		if join == JoinRematch {
+			return nil, fmt.Errorf("%w: %s", ErrRematchNeedsFields, f.Format(sch))
+		}
+		p, err = decomposeRestFirst(t, x, y, z, groups, join)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range p.Stages {
+		if !st.Table.IsOrderIndependent() {
+			return nil, fmt.Errorf("%w: table %s (dependency %s)", ErrNotOrderIndependent, st.Table.Name, f.Format(sch))
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// metaName derives the metadata attribute name for a dependency LHS.
+func metaName(sch mat.Schema, x mat.AttrSet) string {
+	if x.Empty() {
+		return mat.MetaPrefix + "_const"
+	}
+	return mat.MetaPrefix + "_" + strings.Join(x.Names(sch), "_")
+}
+
+// bitsFor returns the width needed to store values 0..n-1 (at least 1).
+func bitsFor(n int) uint8 {
+	if n <= 1 {
+		return 1
+	}
+	return uint8(bits.Len(uint(n - 1)))
+}
+
+// decomposeDepFirst handles a field-only LHS: the dependency table matches
+// X (and Y's fields), applies Y's actions and links to the rest table that
+// resolves Z.
+func decomposeDepFirst(t *mat.Table, x, y, z mat.AttrSet, groups [][]int, join JoinKind) (*mat.Pipeline, error) {
+	sch := t.Schema
+
+	// The constant factor X = ∅ has a single group: the dependency table
+	// degenerates into the paper's Cartesian-product table (Fig. 2c, T0)
+	// and no link is needed — plain sequential chaining.
+	if x.Empty() {
+		dep := buildTable(t.Name+"_const", sch, x.Union(y), nil, groups, t)
+		rest := buildTable(t.Name+"_rest", sch, z, nil, nil, t)
+		return &mat.Pipeline{
+			Name:  t.Name + "-const",
+			Start: 0,
+			Stages: []mat.Stage{
+				{Table: dep, Next: 1, MissDrop: true},
+				{Table: rest, Next: -1, MissDrop: true},
+			},
+		}, nil
+	}
+
+	switch join {
+	case JoinMetadata:
+		mn := metaName(sch, x)
+		mw := bitsFor(len(groups))
+		dep := buildTable(t.Name+"_dep", sch, x.Union(y), &linkSpec{name: mn, width: mw, kind: mat.Action}, groups, t)
+		rest := buildRest(t.Name+"_rest", sch, x, z, groups, t, &linkSpec{name: mn, width: mw, kind: mat.Field}, false)
+		return &mat.Pipeline{
+			Name:  t.Name + "-meta",
+			Start: 0,
+			Stages: []mat.Stage{
+				{Table: dep, Next: 1, MissDrop: true},
+				{Table: rest, Next: -1, MissDrop: true},
+			},
+		}, nil
+
+	case JoinGoto:
+		dep := buildTable(t.Name+"_dep", sch, x.Union(y), &linkSpec{name: mat.GotoAttr, width: 16, kind: mat.Action, gotoBase: 1}, groups, t)
+		stages := []mat.Stage{{Table: dep, Next: -1, MissDrop: true}}
+		for gi, rows := range groups {
+			sub := buildSubTable(fmt.Sprintf("%s_g%d", t.Name, gi), sch, z, rows, t)
+			stages = append(stages, mat.Stage{Table: sub, Next: -1, MissDrop: true})
+		}
+		return &mat.Pipeline{Name: t.Name + "-goto", Start: 0, Stages: stages}, nil
+
+	case JoinRematch:
+		dep := buildTable(t.Name+"_dep", sch, x.Union(y), nil, groups, t)
+		rest := buildRest(t.Name+"_rest", sch, x, z, groups, t, nil, true)
+		return &mat.Pipeline{
+			Name:  t.Name + "-rematch",
+			Start: 0,
+			Stages: []mat.Stage{
+				{Table: dep, Next: 1, MissDrop: true},
+				{Table: rest, Next: -1, MissDrop: true},
+			},
+		}, nil
+	}
+	return nil, fmt.Errorf("core: unknown join kind %d", int(join))
+}
+
+// decomposeRestFirst handles an action-bearing LHS with action-only RHS:
+// the rest table matches all original fields, applies Z's actions and links
+// into a per-group dependency table carrying X's and Y's actions — the
+// group-table pattern.
+func decomposeRestFirst(t *mat.Table, x, y, z mat.AttrSet, groups [][]int, join JoinKind) (*mat.Pipeline, error) {
+	sch := t.Schema
+	xActions := x.Intersect(t.ActionSet())
+	xFields := x.Minus(xActions)
+	depAttrs := xActions.Union(y)
+
+	// Row → group index.
+	gidOf := make([]int, len(t.Entries))
+	for gi, rows := range groups {
+		for _, r := range rows {
+			gidOf[r] = gi
+		}
+	}
+
+	switch join {
+	case JoinMetadata:
+		mn := metaName(sch, x)
+		mw := bitsFor(len(groups))
+		rest := buildRestFirst(t.Name+"_rest", sch, xFields, z, gidOf, t, &linkSpec{name: mn, width: mw, kind: mat.Action})
+		dep := buildTable(t.Name+"_grp", sch, depAttrs, &linkSpec{name: mn, width: mw, kind: mat.Field}, groups, t)
+		return &mat.Pipeline{
+			Name:  t.Name + "-meta",
+			Start: 0,
+			Stages: []mat.Stage{
+				{Table: rest, Next: 1, MissDrop: true},
+				{Table: dep, Next: -1, MissDrop: true},
+			},
+		}, nil
+
+	case JoinGoto:
+		rest := buildRestFirst(t.Name+"_rest", sch, xFields, z, gidOf, t, &linkSpec{name: mat.GotoAttr, width: 16, kind: mat.Action, gotoBase: 1})
+		stages := []mat.Stage{{Table: rest, Next: -1, MissDrop: true}}
+		for gi, rows := range groups {
+			sub := buildSubTable(fmt.Sprintf("%s_g%d", t.Name, gi), sch, depAttrs, rows[:1], t)
+			stages = append(stages, mat.Stage{Table: sub, Next: -1, MissDrop: true})
+		}
+		return &mat.Pipeline{Name: t.Name + "-goto", Start: 0, Stages: stages}, nil
+	}
+	return nil, fmt.Errorf("core: unknown join kind %d", int(join))
+}
+
+// linkSpec describes the link column a decomposition adds to a table.
+type linkSpec struct {
+	name  string
+	width uint8
+	kind  mat.Kind
+	// gotoBase offsets group indices into pipeline stage indices for goto
+	// links.
+	gotoBase int
+}
+
+// buildTable projects t onto keep (one row per group when groups are
+// given), appending a link column valued by group index.
+func buildTable(name string, sch mat.Schema, keep mat.AttrSet, link *linkSpec, groups [][]int, t *mat.Table) *mat.Table {
+	idx := keep.Members()
+	outSch := sch.Project(idx)
+	if link != nil {
+		outSch = append(outSch, mat.Attr{Name: link.name, Kind: link.kind, Width: link.width})
+	}
+	out := mat.New(name, outSch)
+	if groups == nil {
+		// One row per distinct projection.
+		proj := t.Project(name, keep)
+		for _, e := range proj.Entries {
+			row := append(mat.Entry(nil), e...)
+			out.Entries = append(out.Entries, row)
+		}
+		return out
+	}
+	for gi, rows := range groups {
+		rep := t.Entries[rows[0]]
+		row := make(mat.Entry, 0, len(idx)+1)
+		for _, i := range idx {
+			row = append(row, rep[i])
+		}
+		if link != nil {
+			row = append(row, mat.Exact(uint64(gi+link.gotoBase), link.width))
+		}
+		out.Entries = append(out.Entries, row)
+	}
+	return out
+}
+
+// buildRest builds the dep-first second stage: rows keyed by (link|X, Z),
+// deduplicated. Conflicting duplicate match keys survive deduplication and
+// are caught by the caller's order-independence post-check.
+func buildRest(name string, sch mat.Schema, x, z mat.AttrSet, groups [][]int, t *mat.Table, link *linkSpec, rematch bool) *mat.Table {
+	gidOf := make([]int, len(t.Entries))
+	for gi, rows := range groups {
+		for _, r := range rows {
+			gidOf[r] = gi
+		}
+	}
+	var outSch mat.Schema
+	var zIdx []int
+	if rematch {
+		outSch = append(outSch, sch.Project(x.Members())...)
+	} else if link != nil {
+		outSch = append(outSch, mat.Attr{Name: link.name, Kind: link.kind, Width: link.width})
+	}
+	zIdx = z.Members()
+	outSch = append(outSch, sch.Project(zIdx)...)
+	out := mat.New(name, outSch)
+	seen := make(map[string]bool)
+	for ri, e := range t.Entries {
+		row := make(mat.Entry, 0, len(outSch))
+		if rematch {
+			for _, i := range x.Members() {
+				row = append(row, e[i])
+			}
+		} else if link != nil {
+			row = append(row, mat.Exact(uint64(gidOf[ri]), link.width))
+		}
+		for _, i := range zIdx {
+			row = append(row, e[i])
+		}
+		k := rowKey(row)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.Entries = append(out.Entries, row)
+	}
+	return out
+}
+
+// buildRestFirst builds the rest-first first stage: one row per original
+// entry over (fields(X) ∪ Z) plus the group link.
+func buildRestFirst(name string, sch mat.Schema, xFields, z mat.AttrSet, gidOf []int, t *mat.Table, link *linkSpec) *mat.Table {
+	keep := xFields.Union(z)
+	idx := keep.Members()
+	outSch := sch.Project(idx)
+	outSch = append(outSch, mat.Attr{Name: link.name, Kind: link.kind, Width: link.width})
+	out := mat.New(name, outSch)
+	seen := make(map[string]bool)
+	for ri, e := range t.Entries {
+		row := make(mat.Entry, 0, len(idx)+1)
+		for _, i := range idx {
+			row = append(row, e[i])
+		}
+		row = append(row, mat.Exact(uint64(gidOf[ri]+link.gotoBase), link.width))
+		k := rowKey(row)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.Entries = append(out.Entries, row)
+	}
+	return out
+}
+
+// buildSubTable extracts the Z-projection of the given rows into a
+// standalone goto target table.
+func buildSubTable(name string, sch mat.Schema, keep mat.AttrSet, rows []int, t *mat.Table) *mat.Table {
+	idx := keep.Members()
+	out := mat.New(name, sch.Project(idx))
+	seen := make(map[string]bool)
+	for _, ri := range rows {
+		e := t.Entries[ri]
+		row := make(mat.Entry, 0, len(idx))
+		for _, i := range idx {
+			row = append(row, e[i])
+		}
+		k := rowKey(row)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.Entries = append(out.Entries, row)
+	}
+	return out
+}
+
+// rowKey renders an entry for deduplication.
+func rowKey(e mat.Entry) string {
+	var b strings.Builder
+	for _, c := range e {
+		fmt.Fprintf(&b, "%d/%d;", c.Bits, c.PLen)
+	}
+	return b.String()
+}
+
+// ErrOverlappingGroups is returned when the decomposition LHS's match
+// patterns overlap across groups: the relational view treats a wildcard
+// pattern as one opaque value, but on the wire a packet can match several
+// overlapping patterns, and moving the group selection into its own stage
+// would then change which entry wins. (The paper's formal development
+// assumes exact matches for exactly this reason.)
+var ErrOverlappingGroups = errors.New(
+	"core: dependency LHS patterns overlap across groups; decomposition would change match semantics")
+
+// groupsDisjoint reports whether distinct X-group pattern tuples are
+// pairwise non-overlapping, i.e. no packet can match two groups.
+func groupsDisjoint(t *mat.Table, x mat.AttrSet, groups [][]int) bool {
+	xs := x.Members()
+	for i := 0; i < len(groups); i++ {
+		for j := i + 1; j < len(groups); j++ {
+			a := t.Entries[groups[i][0]]
+			b := t.Entries[groups[j][0]]
+			overlapAll := true
+			for _, col := range xs {
+				if !a[col].Overlaps(b[col], t.Schema[col].Width) {
+					overlapAll = false
+					break
+				}
+			}
+			if overlapAll {
+				return false
+			}
+		}
+	}
+	return true
+}

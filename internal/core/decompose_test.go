@@ -1,0 +1,315 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"manorm/internal/fd"
+	"manorm/internal/mat"
+	"manorm/internal/netkat"
+)
+
+// mustEquiv fails the test unless the pipeline is semantically equivalent
+// to the universal table.
+func mustEquiv(t *testing.T, tab *mat.Table, p *mat.Pipeline) {
+	t.Helper()
+	cex, _, err := netkat.EquivalentPipelines(mat.SingleTable(tab), p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cex != nil {
+		t.Fatalf("decomposition changed semantics: %v\n%s", cex, p)
+	}
+}
+
+func gwlbAnalysis(t *testing.T) *Analysis {
+	t.Helper()
+	tab := fig1a()
+	a, err := AnalyzeDeclared(tab, gwlbDeclared(tab.Schema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func ipDstToTCPDst(s mat.Schema) fd.FD {
+	return fd.FD{From: mat.SetOf(s, "ip_dst"), To: mat.SetOf(s, "tcp_dst")}
+}
+
+func TestDecomposeGotoMatchesFig1b(t *testing.T) {
+	a := gwlbAnalysis(t)
+	p, err := Decompose(a, ipDstToTCPDst(a.Table.Schema), JoinGoto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shape of Fig. 1b: a 3-entry first stage plus one per-tenant
+	// load-balancer table (2 + 3 + 1 entries).
+	if p.Depth() != 4 {
+		t.Fatalf("depth = %d, want 4\n%s", p.Depth(), p)
+	}
+	if got := len(p.Stages[0].Table.Entries); got != 3 {
+		t.Errorf("first stage entries = %d, want 3", got)
+	}
+	sizes := []int{len(p.Stages[1].Table.Entries), len(p.Stages[2].Table.Entries), len(p.Stages[3].Table.Entries)}
+	if sizes[0] != 2 || sizes[1] != 3 || sizes[2] != 1 {
+		t.Errorf("subtable sizes = %v, want [2 3 1]", sizes)
+	}
+	// The paper's footprint count: 21 match-action fields (vs 24).
+	if got := p.FieldCount(); got != 21 {
+		t.Errorf("field count = %d, want 21", got)
+	}
+	mustEquiv(t, a.Table, p)
+}
+
+func TestDecomposeMetadataMatchesFig1c(t *testing.T) {
+	a := gwlbAnalysis(t)
+	p, err := Decompose(a, ipDstToTCPDst(a.Table.Schema), JoinMetadata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2\n%s", p.Depth(), p)
+	}
+	// Stage 1: one entry per service; stage 2: one per backend with a
+	// metadata match.
+	if got := len(p.Stages[0].Table.Entries); got != 3 {
+		t.Errorf("dep entries = %d, want 3", got)
+	}
+	if got := len(p.Stages[1].Table.Entries); got != 6 {
+		t.Errorf("rest entries = %d, want 6", got)
+	}
+	if idx := p.Stages[1].Table.Schema.Index(mat.MetaPrefix + "_ip_dst"); idx < 0 {
+		t.Errorf("rest stage lacks metadata match field: %s", p.Stages[1].Table.Schema)
+	}
+	mustEquiv(t, a.Table, p)
+}
+
+func TestDecomposeRematchMatchesFig1d(t *testing.T) {
+	a := gwlbAnalysis(t)
+	p, err := Decompose(a, ipDstToTCPDst(a.Table.Schema), JoinRematch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2", p.Depth())
+	}
+	// The second stage re-matches ip_dst: largest footprint of the three
+	// joins.
+	if idx := p.Stages[1].Table.Schema.Index("ip_dst"); idx < 0 {
+		t.Errorf("rest stage does not re-match ip_dst: %s", p.Stages[1].Table.Schema)
+	}
+	mustEquiv(t, a.Table, p)
+}
+
+func TestJoinFootprintOrdering(t *testing.T) {
+	// §4: goto "results the smallest aggregate space in general"; rematch
+	// may be larger than metadata "since X may involve matching on
+	// multiple header fields". With a single-field LHS rematch can tie or
+	// beat metadata, so only goto-minimality is asserted here.
+	a := gwlbAnalysis(t)
+	f := ipDstToTCPDst(a.Table.Schema)
+	sizes := map[JoinKind]int{}
+	for _, j := range []JoinKind{JoinGoto, JoinMetadata, JoinRematch} {
+		p, err := Decompose(a, f, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[j] = p.FieldCount()
+	}
+	if sizes[JoinGoto] > sizes[JoinMetadata] || sizes[JoinGoto] > sizes[JoinRematch] {
+		t.Errorf("goto not smallest: goto=%d meta=%d rematch=%d",
+			sizes[JoinGoto], sizes[JoinMetadata], sizes[JoinRematch])
+	}
+}
+
+func TestRematchLargerThanMetadataForWideLHS(t *testing.T) {
+	// With a two-field LHS, re-matching states both fields per rest row
+	// while metadata states one tag: rematch must be strictly larger.
+	tab := mat.New("W", mat.Schema{
+		mat.F("a", 16), mat.F("b", 16), mat.F("c", 16), mat.A("y", 16), mat.A("o", 16),
+	})
+	// (a, b) -> y; c splits each (a, b) group into several entries.
+	for i := uint64(0); i < 4; i++ {
+		for j := uint64(0); j < 3; j++ {
+			tab.Add(mat.Exact(i, 16), mat.Exact(i+1, 16), mat.Exact(j, 16),
+				mat.Exact(i*10, 16), mat.Exact(i*100+j, 16))
+		}
+	}
+	a, err := AnalyzeDeclared(tab, []fd.FD{
+		{From: mat.SetOf(tab.Schema, "a", "b"), To: mat.SetOf(tab.Schema, "y")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fd.FD{From: mat.SetOf(tab.Schema, "a", "b"), To: mat.SetOf(tab.Schema, "y")}
+	pm, err := Decompose(a, f, JoinMetadata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := Decompose(a, f, JoinRematch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.FieldCount() <= pm.FieldCount() {
+		t.Errorf("rematch (%d fields) not larger than metadata (%d fields) for 2-field LHS",
+			pr.FieldCount(), pm.FieldCount())
+	}
+	mustEquiv(t, tab, pm)
+	mustEquiv(t, tab, pr)
+}
+
+func TestDecomposeGroupTable(t *testing.T) {
+	// L3 use case, dependency mod_dmac -> (out, mod_smac): action LHS,
+	// action RHS. The rest table goes first and the dependency table
+	// becomes the OpenFlow-style group table (Fig. 2b).
+	tab := fig2a()
+	a, err := AnalyzeDeclared(tab, l3Declared(tab.Schema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fd.FD{From: mat.SetOf(tab.Schema, "mod_dmac"), To: mat.SetOf(tab.Schema, "out", "mod_smac")}
+	p, err := Decompose(a, f, JoinMetadata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2\n%s", p.Depth(), p)
+	}
+	// Stage 0 matches the prefixes; stage 1 is the group table with one
+	// row per distinct next-hop MAC (3 groups: D1, D2, D3).
+	if got := len(p.Stages[1].Table.Entries); got != 3 {
+		t.Errorf("group table entries = %d, want 3\n%s", got, p.Stages[1].Table)
+	}
+	// The group table carries mod_dmac itself plus the dependent actions.
+	for _, name := range []string{"mod_dmac", "out", "mod_smac"} {
+		if p.Stages[1].Table.Schema.Index(name) < 0 {
+			t.Errorf("group table missing %s", name)
+		}
+	}
+	mustEquiv(t, tab, p)
+
+	// Goto flavor: per-group action-only tables.
+	pg, err := Decompose(a, f, JoinGoto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.Depth() != 4 {
+		t.Fatalf("goto depth = %d, want 1+3", pg.Depth())
+	}
+	for i := 1; i < 4; i++ {
+		if got := len(pg.Stages[i].Table.Entries); got != 1 {
+			t.Errorf("action table %d entries = %d, want 1", i, got)
+		}
+	}
+	mustEquiv(t, tab, pg)
+}
+
+func TestDecomposeActionToMatchRejected(t *testing.T) {
+	// The paper's Fig. 3: decomposing along out -> vlan (action LHS,
+	// field RHS) must be rejected — the first stage cannot be 1NF.
+	tab := fig3a()
+	a := Analyze(tab)
+	f := fd.FD{From: mat.SetOf(tab.Schema, "out"), To: mat.SetOf(tab.Schema, "vlan")}
+	if !f.HoldsIn(tab) {
+		t.Fatalf("out -> vlan does not hold in Fig. 3a")
+	}
+	for _, j := range []JoinKind{JoinMetadata, JoinGoto, JoinRematch} {
+		_, err := Decompose(a, f, j)
+		if err == nil {
+			t.Fatalf("join %s: action-to-match decomposition accepted", j)
+		}
+		if j != JoinRematch && !errors.Is(err, ErrActionToMatch) {
+			t.Errorf("join %s: error = %v, want ErrActionToMatch", j, err)
+		}
+	}
+}
+
+func TestDecomposeRematchRequiresFieldLHS(t *testing.T) {
+	tab := fig2a()
+	a, err := AnalyzeDeclared(tab, l3Declared(tab.Schema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fd.FD{From: mat.SetOf(tab.Schema, "mod_dmac"), To: mat.SetOf(tab.Schema, "out")}
+	_, err = Decompose(a, f, JoinRematch)
+	if !errors.Is(err, ErrRematchNeedsFields) {
+		t.Fatalf("err = %v, want ErrRematchNeedsFields", err)
+	}
+}
+
+func TestDecomposeConstantFactor(t *testing.T) {
+	// X = ∅ (constant attributes) degenerates into the Cartesian-product
+	// table of Fig. 2c.
+	tab := fig2a()
+	a, err := AnalyzeDeclared(tab, l3Declared(tab.Schema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fd.FD{From: 0, To: mat.SetOf(tab.Schema, "eth_type", "mod_ttl")}
+	p, err := Decompose(a, f, JoinMetadata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2", p.Depth())
+	}
+	if got := len(p.Stages[0].Table.Entries); got != 1 {
+		t.Errorf("product table entries = %d, want 1", got)
+	}
+	// No link column needed: the product table is position-independent.
+	for _, at := range p.Stages[0].Table.Schema {
+		if mat.IsLinkAttr(at.Name) {
+			t.Errorf("product table has link attr %s", at.Name)
+		}
+	}
+	mustEquiv(t, tab, p)
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	a := gwlbAnalysis(t)
+	s := a.Table.Schema
+	// Trivial dependency.
+	if _, err := Decompose(a, fd.FD{From: mat.SetOf(s, "ip_dst"), To: mat.SetOf(s, "ip_dst")}, JoinGoto); err == nil {
+		t.Errorf("trivial dependency accepted")
+	}
+	// Dependency that does not hold.
+	if _, err := Decompose(a, fd.FD{From: mat.SetOf(s, "ip_dst"), To: mat.SetOf(s, "out")}, JoinGoto); err == nil {
+		t.Errorf("non-holding dependency accepted")
+	}
+	// Out-of-schema attribute.
+	if _, err := Decompose(a, fd.FD{From: mat.NewAttrSet(60), To: mat.SetOf(s, "out")}, JoinGoto); err == nil {
+		t.Errorf("out-of-schema dependency accepted")
+	}
+	// Non-1NF input.
+	bad := fig3a()
+	e := bad.Entries[0].Clone()
+	e[2] = mat.Exact(9, 8)
+	bad.Entries = append(bad.Entries, e)
+	if _, err := Decompose(Analyze(bad), fd.FD{From: mat.SetOf(bad.Schema, "in_port"), To: mat.SetOf(bad.Schema, "vlan")}, JoinGoto); err == nil {
+		t.Errorf("order-dependent input accepted")
+	}
+}
+
+func TestDecomposeAllJoinsEquivalentOnL3FieldFD(t *testing.T) {
+	// Field-only dependency on the L3 table: ip_dst -> mod_dmac
+	// (dep-first with an action RHS).
+	tab := fig2a()
+	a, err := AnalyzeDeclared(tab, l3Declared(tab.Schema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fd.FD{From: mat.SetOf(tab.Schema, "ip_dst"), To: mat.SetOf(tab.Schema, "mod_dmac")}
+	for _, j := range []JoinKind{JoinMetadata, JoinGoto, JoinRematch} {
+		p, err := Decompose(a, f, j)
+		if err != nil {
+			t.Fatalf("join %s: %v", j, err)
+		}
+		mustEquiv(t, tab, p)
+	}
+}
+
+func TestJoinKindString(t *testing.T) {
+	if JoinMetadata.String() != "metadata" || JoinGoto.String() != "goto" || JoinRematch.String() != "rematch" {
+		t.Errorf("JoinKind names wrong")
+	}
+}

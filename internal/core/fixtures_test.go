@@ -1,0 +1,78 @@
+package core
+
+import (
+	"manorm/internal/fd"
+	"manorm/internal/mat"
+)
+
+// fig1a is the paper's Fig. 1a universal cloud gateway & load-balancer
+// table over (ip_src, ip_dst, tcp_dst | out).
+func fig1a() *mat.Table {
+	t := mat.New("T0", mat.Schema{
+		mat.F("ip_src", 32), mat.F("ip_dst", 32), mat.F("tcp_dst", 16), mat.A("out", 16),
+	})
+	t.Add(mat.Prefix(0, 1, 32), mat.IPv4("192.0.2.1"), mat.Exact(80, 16), mat.Exact(1, 16))
+	t.Add(mat.Prefix(0x80000000, 1, 32), mat.IPv4("192.0.2.1"), mat.Exact(80, 16), mat.Exact(2, 16))
+	t.Add(mat.Prefix(0, 2, 32), mat.IPv4("192.0.2.2"), mat.Exact(443, 16), mat.Exact(3, 16))
+	t.Add(mat.Prefix(0x40000000, 2, 32), mat.IPv4("192.0.2.2"), mat.Exact(443, 16), mat.Exact(4, 16))
+	t.Add(mat.Prefix(0x80000000, 1, 32), mat.IPv4("192.0.2.2"), mat.Exact(443, 16), mat.Exact(5, 16))
+	t.Add(mat.Any(), mat.IPv4("192.0.2.3"), mat.Exact(22, 16), mat.Exact(6, 16))
+	return t
+}
+
+// gwlbDeclared is the semantic dependency set of the gateway use case: a
+// service (VIP) exposes exactly one port, and a (client-half, VIP) pair
+// picks one backend. Unlike the mined instance dependencies, the converse
+// tcp_dst → ip_dst is NOT declared: two services may share a port.
+func gwlbDeclared(s mat.Schema) []fd.FD {
+	return []fd.FD{
+		{From: mat.SetOf(s, "ip_dst"), To: mat.SetOf(s, "tcp_dst")},
+		{From: mat.SetOf(s, "ip_src", "ip_dst"), To: mat.SetOf(s, "out")},
+	}
+}
+
+// fig2a is the paper's Fig. 2a universal L3 forwarding table over
+// (eth_type, ip_dst | mod_ttl, mod_smac, mod_dmac, out). Prefixes P1..P4
+// are disjoint /16s; P1 and P4 share next-hop D1; groups D1 and D2 share
+// the outgoing port (and hence the source MAC).
+func fig2a() *mat.Table {
+	t := mat.New("L3", mat.Schema{
+		mat.F("eth_type", 16), mat.F("ip_dst", 32),
+		mat.A("mod_ttl", 8), mat.A("mod_smac", 48), mat.A("mod_dmac", 48), mat.A("out", 16),
+	})
+	const (
+		S1, S2 = 0xAA0000000001, 0xAA0000000002
+		D1, D2 = 0xBB0000000001, 0xBB0000000002
+		D3     = 0xBB0000000003
+	)
+	ip4 := func(s string, p uint8) mat.Cell { return mat.IPv4Prefix(s, p) }
+	t.Add(mat.Exact(0x800, 16), ip4("10.0.0.0", 16), mat.Exact(1, 8), mat.Exact(S1, 48), mat.Exact(D1, 48), mat.Exact(1, 16))
+	t.Add(mat.Exact(0x800, 16), ip4("10.1.0.0", 16), mat.Exact(1, 8), mat.Exact(S1, 48), mat.Exact(D2, 48), mat.Exact(1, 16))
+	t.Add(mat.Exact(0x800, 16), ip4("10.2.0.0", 16), mat.Exact(1, 8), mat.Exact(S2, 48), mat.Exact(D3, 48), mat.Exact(2, 16))
+	t.Add(mat.Exact(0x800, 16), ip4("10.3.0.0", 16), mat.Exact(1, 8), mat.Exact(S1, 48), mat.Exact(D1, 48), mat.Exact(1, 16))
+	return t
+}
+
+// l3Declared is the semantic dependency set of the L3 use case (§3):
+// the route determines the next hop, the next hop determines the port and
+// TTL handling, the port determines the source MAC, and eth_type/mod_ttl
+// are constants of the pipeline.
+func l3Declared(s mat.Schema) []fd.FD {
+	return []fd.FD{
+		{From: mat.SetOf(s, "ip_dst"), To: mat.SetOf(s, "mod_dmac")},
+		{From: mat.SetOf(s, "mod_dmac"), To: mat.SetOf(s, "out")},
+		{From: mat.SetOf(s, "out"), To: mat.SetOf(s, "mod_smac")},
+		{From: 0, To: mat.SetOf(s, "eth_type", "mod_ttl")},
+	}
+}
+
+// fig3a is the paper's Fig. 3a table over (in_port, vlan | out), whose
+// only interesting dependency is the action-to-match out → vlan.
+func fig3a() *mat.Table {
+	t := mat.New("T0", mat.Schema{mat.F("in_port", 8), mat.F("vlan", 12), mat.A("out", 8)})
+	t.Add(mat.Exact(1, 8), mat.Exact(1, 12), mat.Exact(1, 8))
+	t.Add(mat.Exact(1, 8), mat.Exact(2, 12), mat.Exact(2, 8))
+	t.Add(mat.Exact(2, 8), mat.Exact(1, 12), mat.Exact(1, 8))
+	t.Add(mat.Exact(3, 8), mat.Exact(1, 12), mat.Exact(3, 8))
+	return t
+}

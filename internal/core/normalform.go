@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+
+	"manorm/internal/fd"
+	"manorm/internal/mat"
+)
+
+// Form is a normal-form level of a match-action table.
+type Form int
+
+// Normal-form levels, ordered: a table satisfying a level satisfies all
+// lower levels.
+const (
+	// NF0 marks a table that is not even in 1NF: its match fields do not
+	// uniquely identify entries (order-dependence).
+	NF0 Form = iota
+	// NF1 is the paper's first normal form: a set of order-independent
+	// (match; action) entries — the universal table representation.
+	NF1
+	// NF2 additionally forbids dependencies from proper subsets of
+	// candidate keys to non-prime attributes.
+	NF2
+	// NF3 additionally forbids transitive dependencies: every nontrivial
+	// X→A has X a superkey or A prime.
+	NF3
+	// BCNF requires every nontrivial X→A to have X a superkey.
+	BCNF
+)
+
+// String names the form.
+func (f Form) String() string {
+	switch f {
+	case NF0:
+		return "not-1NF"
+	case NF1:
+		return "1NF"
+	case NF2:
+		return "2NF"
+	case NF3:
+		return "3NF"
+	case BCNF:
+		return "BCNF"
+	default:
+		return fmt.Sprintf("Form(%d)", int(f))
+	}
+}
+
+// Violation explains why a table misses a normal-form level.
+type Violation struct {
+	// Level is the normal form the violation blocks.
+	Level Form
+	// FD is the offending dependency (zero-valued for 1NF violations).
+	FD fd.FD
+	// Key is the candidate key involved in a 2NF violation (the set whose
+	// proper subset determines a non-prime attribute).
+	Key mat.AttrSet
+	// Reason is a human-readable explanation.
+	Reason string
+}
+
+// Format renders the violation against a schema.
+func (v Violation) Format(sch mat.Schema) string {
+	return fmt.Sprintf("blocks %s: %s", v.Level, v.Reason)
+}
+
+// Check determines the highest normal form the analyzed table satisfies and
+// returns all violations of the next levels. Violations are reported for
+// every level above the achieved one, so the caller can see what
+// normalization would have to eliminate.
+func Check(a *Analysis) (Form, []Violation) {
+	var violations []Violation
+	sch := a.Table.Schema
+
+	// 1NF: order independence.
+	if !a.Table.IsOrderIndependent() {
+		violations = append(violations, Violation{
+			Level:  NF1,
+			Reason: "match fields do not uniquely identify entries (order-dependent table)",
+		})
+		return NF0, violations
+	}
+
+	// 2NF: no proper subset of a candidate key determines a non-prime
+	// attribute. Checked from the definition via closures, so implied
+	// dependencies are covered, not only the mined/declared cover.
+	nonPrime := a.NonPrime()
+	for _, key := range a.Keys {
+		for _, sub := range properSubsets(key) {
+			det := fd.Closure(sub, a.FDs).Minus(sub).Intersect(nonPrime)
+			if det.Empty() {
+				continue
+			}
+			violations = append(violations, Violation{
+				Level: NF2,
+				FD:    fd.FD{From: sub, To: det},
+				Key:   key,
+				Reason: fmt.Sprintf("partial dependency %s -> %s: LHS is a proper subset of key %s, RHS is non-prime",
+					sub.Format(sch), det.Format(sch), key.Format(sch)),
+			})
+		}
+	}
+	if len(violations) > 0 {
+		return NF1, violations
+	}
+
+	// 3NF: every nontrivial X→A in the cover has X superkey or A prime.
+	// Checking the minimal cover is sufficient: any implied violating
+	// dependency yields a violating cover dependency.
+	seenLHS := make(map[mat.AttrSet]bool)
+	for _, f := range a.FDs {
+		if f.Trivial() || a.IsSuperkey(f.From) || seenLHS[f.From] {
+			continue
+		}
+		// Expand the RHS to everything the LHS transitively determines:
+		// decomposing along the full closure pulls the entire dependent
+		// attribute group into one stage (the paper's group-table shape,
+		// Fig. 2b) instead of one attribute at a time.
+		bad := fd.Closure(f.From, a.FDs).Minus(a.Prime).Minus(f.From)
+		if bad.Empty() {
+			continue
+		}
+		seenLHS[f.From] = true
+		violations = append(violations, Violation{
+			Level: NF3,
+			FD:    fd.FD{From: f.From, To: bad},
+			Reason: fmt.Sprintf("transitive dependency %s -> %s: LHS is not a superkey and RHS is non-prime",
+				f.From.Format(sch), bad.Format(sch)),
+		})
+	}
+	if len(violations) > 0 {
+		return NF2, violations
+	}
+
+	// BCNF: every nontrivial LHS is a superkey.
+	for _, f := range a.FDs {
+		if f.Trivial() || a.IsSuperkey(f.From) {
+			continue
+		}
+		violations = append(violations, Violation{
+			Level: BCNF,
+			FD:    f,
+			Reason: fmt.Sprintf("dependency %s -> %s has a non-superkey LHS",
+				f.From.Format(sch), f.To.Format(sch)),
+		})
+	}
+	if len(violations) > 0 {
+		return NF3, violations
+	}
+	return BCNF, nil
+}
+
+// properSubsets enumerates the nonempty proper subsets of s, plus the empty
+// set (∅ ⊊ K matters: a constant non-prime attribute violates 2NF via
+// ∅ → A). Sets are ordered by size for deterministic reports.
+func properSubsets(s mat.AttrSet) []mat.AttrSet {
+	members := s.Members()
+	out := make([]mat.AttrSet, 0, 1<<len(members))
+	for bits := 0; bits < 1<<len(members)-1; bits++ {
+		var sub mat.AttrSet
+		for i, m := range members {
+			if bits&(1<<i) != 0 {
+				sub = sub.Add(m)
+			}
+		}
+		out = append(out, sub)
+	}
+	mat.SortAttrSets(out)
+	return out
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"manorm/internal/fd"
+	"manorm/internal/mat"
+)
+
+func TestCheckFig1aMined(t *testing.T) {
+	// Under the mined instance dependencies every attribute of Fig. 1a is
+	// prime (tcp_dst ↔ ip_dst are mutually determining in the six-row
+	// instance), so the table already satisfies 3NF — but not BCNF
+	// (ip_dst → tcp_dst has a non-superkey LHS).
+	a := Analyze(fig1a())
+	form, violations := Check(a)
+	if form != NF3 {
+		t.Fatalf("form = %s, want 3NF; violations: %v", form, violations)
+	}
+	for _, v := range violations {
+		if v.Level != BCNF {
+			t.Errorf("unexpected violation level %s: %s", v.Level, v.Reason)
+		}
+	}
+	if len(violations) == 0 {
+		t.Errorf("expected BCNF violations for ip_dst <-> tcp_dst")
+	}
+}
+
+func TestCheckFig1aDeclared(t *testing.T) {
+	// Under the declared semantic dependencies, Fig. 1a shows the paper's
+	// §3 2NF violation: ip_dst (a proper subset of the key
+	// (ip_src, ip_dst)) determines the non-prime tcp_dst.
+	tab := fig1a()
+	a, err := AnalyzeDeclared(tab, gwlbDeclared(tab.Schema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Keys) != 1 || a.Keys[0] != mat.SetOf(tab.Schema, "ip_src", "ip_dst") {
+		t.Fatalf("keys = %v, want [(ip_src, ip_dst)]", a.Keys)
+	}
+	if np := a.NonPrime(); np != mat.SetOf(tab.Schema, "tcp_dst", "out") {
+		t.Fatalf("non-prime = %s", np.Format(tab.Schema))
+	}
+	form, violations := Check(a)
+	if form != NF1 {
+		t.Fatalf("form = %s, want 1NF", form)
+	}
+	found := false
+	for _, v := range violations {
+		if v.Level == NF2 &&
+			v.FD.From == mat.SetOf(tab.Schema, "ip_dst") &&
+			v.FD.To == mat.SetOf(tab.Schema, "tcp_dst") {
+			found = true
+			if !strings.Contains(v.Reason, "partial dependency") {
+				t.Errorf("reason = %q", v.Reason)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("the paper's ip_dst -> tcp_dst 2NF violation not reported; got %+v", violations)
+	}
+}
+
+func TestCheckFig2aDeclared(t *testing.T) {
+	tab := fig2a()
+	a, err := AnalyzeDeclared(tab, l3Declared(tab.Schema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.Schema
+	// (ip_dst) is the single minimal key; everything else is non-prime
+	// (§3, third-normal-form discussion).
+	if len(a.Keys) != 1 || a.Keys[0] != mat.SetOf(s, "ip_dst") {
+		t.Fatalf("keys = %v, want [(ip_dst)]", a.Keys)
+	}
+	form, violations := Check(a)
+	// The constant attributes eth_type and mod_ttl depend on ∅ ⊊ key, a
+	// partial dependency, so the table is in 1NF only.
+	if form != NF1 {
+		t.Fatalf("form = %s, want 1NF", form)
+	}
+	var sawConst, sawGroup bool
+	for _, v := range violations {
+		if v.Level == NF2 && v.FD.From.Empty() {
+			sawConst = true
+			if v.FD.To != mat.SetOf(s, "eth_type", "mod_ttl") {
+				t.Errorf("constant violation RHS = %s", v.FD.To.Format(s))
+			}
+		}
+		if v.FD.From == mat.SetOf(s, "mod_dmac") {
+			sawGroup = true
+		}
+	}
+	if !sawConst {
+		t.Errorf("∅ -> {eth_type, mod_ttl} violation not reported")
+	}
+	_ = sawGroup // group violation appears only after 2NF is repaired
+}
+
+func TestCheckOrderDependent(t *testing.T) {
+	tab := mat.New("T", mat.Schema{mat.F("a", 8), mat.A("o", 8)})
+	tab.Add(mat.Exact(1, 8), mat.Exact(1, 8))
+	tab.Add(mat.Exact(1, 8), mat.Exact(2, 8))
+	form, violations := Check(Analyze(tab))
+	if form != NF0 {
+		t.Fatalf("form = %s, want not-1NF", form)
+	}
+	if len(violations) != 1 || violations[0].Level != NF1 {
+		t.Fatalf("violations = %+v", violations)
+	}
+}
+
+func TestCheckBCNFTable(t *testing.T) {
+	// A plain L2 table: dst MAC -> port, nothing else. Key = {mac};
+	// key = {out}? out repeats, so no. The only dependency is the key
+	// dependency: BCNF.
+	tab := mat.New("L2", mat.Schema{mat.F("mac", 48), mat.A("out", 8)})
+	tab.Add(mat.Exact(1, 48), mat.Exact(1, 8))
+	tab.Add(mat.Exact(2, 48), mat.Exact(2, 8))
+	tab.Add(mat.Exact(3, 48), mat.Exact(1, 8))
+	form, violations := Check(Analyze(tab))
+	if form != BCNF || len(violations) != 0 {
+		t.Fatalf("form = %s, violations = %+v; want BCNF, none", form, violations)
+	}
+}
+
+func TestCheckSingleEntryTableIsBCNF(t *testing.T) {
+	tab := mat.New("one", mat.Schema{mat.F("a", 8), mat.A("b", 8)})
+	tab.Add(mat.Exact(1, 8), mat.Exact(2, 8))
+	form, violations := Check(Analyze(tab))
+	if form != BCNF || len(violations) != 0 {
+		t.Fatalf("single-entry table: form = %s, violations = %+v", form, violations)
+	}
+}
+
+func TestFormString(t *testing.T) {
+	names := map[Form]string{NF0: "not-1NF", NF1: "1NF", NF2: "2NF", NF3: "3NF", BCNF: "BCNF"}
+	for f, want := range names {
+		if f.String() != want {
+			t.Errorf("Form(%d).String() = %q, want %q", int(f), f.String(), want)
+		}
+	}
+}
+
+func TestAnalyzeDeclaredRejectsFalseFD(t *testing.T) {
+	tab := fig1a()
+	bad := []fd.FD{{From: mat.SetOf(tab.Schema, "ip_dst"), To: mat.SetOf(tab.Schema, "out")}}
+	if _, err := AnalyzeDeclared(tab, bad); err == nil {
+		t.Fatalf("false declared dependency accepted")
+	}
+}
+
+func TestViolationFormat(t *testing.T) {
+	tab := fig1a()
+	a, _ := AnalyzeDeclared(tab, gwlbDeclared(tab.Schema))
+	_, violations := Check(a)
+	if len(violations) == 0 {
+		t.Fatal("no violations")
+	}
+	s := violations[0].Format(tab.Schema)
+	if !strings.Contains(s, "blocks") {
+		t.Errorf("Format = %q", s)
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"manorm/internal/fd"
+	"manorm/internal/mat"
+	"manorm/internal/netkat"
+)
+
+// TestDecomposeEveryMinedFDAllJoins: for random exact-match tables, take
+// every mined minimal dependency and decompose along it with every join
+// abstraction. Every accepted decomposition must be semantically
+// equivalent; rejections must carry one of the typed reasons.
+func TestDecomposeEveryMinedFDAllJoins(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	joins := []JoinKind{JoinMetadata, JoinGoto, JoinRematch}
+	checked, rejected := 0, 0
+	for trial := 0; trial < 25; trial++ {
+		tab := randomPlantedTable(rng)
+		if len(tab.Entries) < 2 || !tab.IsOrderIndependent() {
+			continue
+		}
+		a := Analyze(tab)
+		for _, f := range a.FDs {
+			y := f.To.Minus(f.From)
+			if y.Empty() || mat.FullSet(len(tab.Schema)).Minus(f.From).Minus(y).Empty() {
+				continue
+			}
+			for _, j := range joins {
+				p, err := Decompose(a, f, j)
+				if err != nil {
+					rejected++
+					if !errors.Is(err, ErrActionToMatch) &&
+						!errors.Is(err, ErrRematchNeedsFields) &&
+						!errors.Is(err, ErrOverlappingGroups) &&
+						!errors.Is(err, ErrNotOrderIndependent) {
+						t.Fatalf("trial %d: untyped rejection for %s/%s: %v",
+							trial, f.Format(tab.Schema), j, err)
+					}
+					continue
+				}
+				checked++
+				cex, _, err := netkat.EquivalentPipelines(mat.SingleTable(tab), p, 0)
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				if cex != nil {
+					t.Fatalf("trial %d: %s with %s join changed semantics: %v\n%s\n%s",
+						trial, f.Format(tab.Schema), j, cex, tab, p)
+				}
+			}
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("property exercised only %d decompositions (rejected %d); fixture too weak", checked, rejected)
+	}
+}
+
+// TestToGotoRandomPipelines: ToGoto on the normalization of random tables
+// must preserve semantics and eliminate all adjacent metadata links.
+func TestToGotoRandomPipelines(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	converted := 0
+	for trial := 0; trial < 30; trial++ {
+		tab := randomPlantedTable(rng)
+		if len(tab.Entries) < 2 {
+			continue
+		}
+		res, err := Normalize(tab, Options{Target: NF3})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Pipeline.Depth() < 2 {
+			continue
+		}
+		g, err := ToGoto(res.Pipeline)
+		if err != nil {
+			t.Fatalf("trial %d: ToGoto: %v", trial, err)
+		}
+		converted++
+		cex, _, err := netkat.EquivalentPipelines(mat.SingleTable(tab), g, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if cex != nil {
+			t.Fatalf("trial %d: ToGoto changed semantics: %v\nmeta:\n%s\ngoto:\n%s",
+				trial, cex, res.Pipeline, g)
+		}
+		// Footprint must not grow: goto drops the metadata match column.
+		if g.FieldCount() > res.Pipeline.FieldCount() {
+			t.Errorf("trial %d: goto footprint %d > metadata %d",
+				trial, g.FieldCount(), res.Pipeline.FieldCount())
+		}
+	}
+	if converted < 10 {
+		t.Fatalf("only %d pipelines converted; fixture too weak", converted)
+	}
+}
+
+// TestNormalizeThenDenormalizeEntryCount: the round trip must restore
+// exactly the deduplicated original entries (no join blowup, no loss).
+func TestNormalizeThenDenormalizeEntryCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 25; trial++ {
+		tab := randomPlantedTable(rng)
+		if len(tab.Entries) < 2 {
+			continue
+		}
+		res, err := Normalize(tab, Options{Target: NF3})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		back, err := Denormalize(res.Pipeline)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(back.Entries) != len(tab.Entries) {
+			t.Fatalf("trial %d: round trip %d entries, want %d\n%s\n%s",
+				trial, len(back.Entries), len(tab.Entries), tab, back)
+		}
+	}
+}
+
+// TestInheritedDeclaredFDsSurviveDeepNormalization: declared-mode
+// normalization on the L3 shape at scale must keep every stage's inherited
+// dependencies true of the stage instances (the projection/renaming
+// machinery is the subtle part).
+func TestInheritedDeclaredFDsSurviveDeepNormalization(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		tab := l3At(seed)
+		decl := []fd.FD{
+			{From: mat.SetOf(tab.Schema, "ip_dst"), To: mat.SetOf(tab.Schema, "mod_dmac")},
+			{From: mat.SetOf(tab.Schema, "mod_dmac"), To: mat.SetOf(tab.Schema, "out")},
+			{From: mat.SetOf(tab.Schema, "out"), To: mat.SetOf(tab.Schema, "mod_smac")},
+			{From: 0, To: mat.SetOf(tab.Schema, "eth_type", "mod_ttl")},
+		}
+		res, err := Normalize(tab, Options{Target: NF3, Declared: decl, Verify: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Pipeline.Depth() != 4 {
+			t.Errorf("seed %d: depth %d, want 4", seed, res.Pipeline.Depth())
+		}
+	}
+}
+
+// l3At builds a randomized L3 table without importing usecases (avoiding
+// an import cycle: usecases imports core).
+func l3At(seed int64) *mat.Table {
+	rng := rand.New(rand.NewSource(seed))
+	t := mat.New("l3", mat.Schema{
+		mat.F("eth_type", 16), mat.F("ip_dst", 32),
+		mat.A("mod_ttl", 8), mat.A("mod_smac", 48), mat.A("mod_dmac", 48), mat.A("out", 16),
+	})
+	nh := 4 + rng.Intn(8)
+	ports := 2 + rng.Intn(3)
+	portOf := make([]uint64, nh)
+	for i := range portOf {
+		portOf[i] = uint64(1 + i%ports)
+	}
+	for i := 0; i < 16+rng.Intn(48); i++ {
+		h := rng.Intn(nh)
+		p := portOf[h]
+		t.Add(mat.Exact(0x800, 16), mat.Prefix(uint64(i)<<16, 16, 32), mat.Exact(1, 8),
+			mat.Exact(0xAA0000000000|p, 48), mat.Exact(0xBB0000000000|uint64(h+1), 48), mat.Exact(p, 16))
+	}
+	return t
+}

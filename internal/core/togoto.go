@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"manorm/internal/mat"
+)
+
+// ToGoto converts a metadata-joined pipeline (as produced by Normalize)
+// into goto_table chaining: wherever a stage writes a single metadata tag
+// that the immediately following stage matches, the consumer is split into
+// one sub-table per tag value and the writer's tag action becomes a goto.
+// This is the Fig. 1c → Fig. 1b transformation; it removes the metadata
+// match column from the data plane and generally yields the smallest
+// footprint of the join abstractions (§4).
+//
+// Pairs that do not fit the pattern (no metadata link, multiple tags, or a
+// non-adjacent consumer) are left as metadata joins; the result may mix
+// both abstractions and remains semantically equivalent.
+func ToGoto(p *mat.Pipeline) (*mat.Pipeline, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	out := &mat.Pipeline{Name: strings.TrimSuffix(p.Name, "-normalized") + "-goto", Start: p.Start}
+	for _, st := range p.Stages {
+		out.Stages = append(out.Stages, mat.Stage{Table: st.Table.Clone(), Next: st.Next, MissDrop: st.MissDrop})
+	}
+
+	// Process writer positions from the end so earlier conversions see a
+	// stable suffix.
+	for i := len(out.Stages) - 2; i >= 0; i-- {
+		w := out.Stages[i]
+		metaIdx := singleMetaAction(w.Table)
+		if metaIdx < 0 || w.Next != i+1 {
+			continue
+		}
+		metaName := w.Table.Schema[metaIdx].Name
+		c := out.Stages[i+1]
+		cMetaIdx := c.Table.Schema.Index(metaName)
+		if cMetaIdx < 0 || c.Table.Schema[cMetaIdx].Kind != mat.Field {
+			continue
+		}
+		// The tag must not be referenced anywhere else.
+		if metaReferencedElsewhere(out, metaName, i, i+1) {
+			continue
+		}
+		// Split the consumer by tag value, in tag order. Tags the writer
+		// emits but the consumer never matches become empty sub-tables
+		// (the packet drops there, as it would on the consumer miss).
+		groups := make(map[uint64][]int)
+		var order []uint64
+		splitOK := true
+		for ri, e := range c.Table.Entries {
+			cell := e[cMetaIdx]
+			if !cell.IsExact(c.Table.Schema[cMetaIdx].Width) {
+				splitOK = false // wildcard tag match: cannot split
+				break
+			}
+			if _, ok := groups[cell.Bits]; !ok {
+				order = append(order, cell.Bits)
+			}
+			groups[cell.Bits] = append(groups[cell.Bits], ri)
+		}
+		if !splitOK {
+			continue
+		}
+		for _, e := range w.Table.Entries {
+			tag := e[metaIdx].Bits
+			if _, ok := groups[tag]; !ok {
+				groups[tag] = nil
+				order = append(order, tag)
+			}
+		}
+
+		// Sub-tables will occupy positions i+1 .. i+len(groups);
+		// everything pointing past the old consumer shifts. Shift before
+		// copying rows out of the consumer so its goto cells are final.
+		delta := len(order) - 1
+		shiftRefs(out, i+2, delta)
+
+		// Build sub-tables (consumer schema minus the tag column).
+		var subSchema mat.Schema
+		for ai, at := range c.Table.Schema {
+			if ai != cMetaIdx {
+				subSchema = append(subSchema, at)
+			}
+		}
+		subs := make([]*mat.Table, 0, len(order))
+		subIdxByTag := make(map[uint64]int, len(order))
+		for si, tag := range order {
+			sub := mat.New(fmt.Sprintf("%s_g%d", c.Table.Name, si), subSchema)
+			for _, ri := range groups[tag] {
+				e := c.Table.Entries[ri]
+				row := make(mat.Entry, 0, len(subSchema))
+				for ai := range c.Table.Schema {
+					if ai != cMetaIdx {
+						row = append(row, e[ai])
+					}
+				}
+				sub.Entries = append(sub.Entries, row)
+			}
+			subIdxByTag[tag] = si
+			subs = append(subs, sub)
+		}
+
+		// Rewrite the writer: tag action column becomes a goto column.
+		wt := w.Table
+		wt.Schema[metaIdx] = mat.Attr{Name: mat.GotoAttr, Kind: mat.Action, Width: 16}
+		for _, e := range wt.Entries {
+			e[metaIdx] = mat.Exact(uint64(i+1+subIdxByTag[e[metaIdx].Bits]), 16)
+		}
+		out.Stages[i].Next = -1
+
+		// Splice: replace the consumer with the sub-tables.
+		next := c.Next
+		if next >= i+2 {
+			next += delta
+		}
+		tail := append([]mat.Stage{}, out.Stages[i+2:]...)
+		out.Stages = out.Stages[:i+1]
+		for _, sub := range subs {
+			out.Stages = append(out.Stages, mat.Stage{Table: sub, Next: next, MissDrop: c.MissDrop})
+		}
+		out.Stages = append(out.Stages, tail...)
+	}
+
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("core: ToGoto produced an invalid pipeline: %w", err)
+	}
+	return out, nil
+}
+
+// singleMetaAction returns the index of the table's only metadata action
+// column, or -1 if there are zero or several.
+func singleMetaAction(t *mat.Table) int {
+	found := -1
+	for i, at := range t.Schema {
+		if at.Kind == mat.Action && strings.HasPrefix(at.Name, mat.MetaPrefix) {
+			if found >= 0 {
+				return -1
+			}
+			found = i
+		}
+	}
+	return found
+}
+
+// metaReferencedElsewhere reports whether any stage other than writer/
+// consumer uses the attribute name.
+func metaReferencedElsewhere(p *mat.Pipeline, name string, writer, consumer int) bool {
+	for si, st := range p.Stages {
+		if si == writer || si == consumer {
+			continue
+		}
+		if st.Table.Schema.Index(name) >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// shiftRefs adds delta to every Next pointer and goto cell that references
+// a stage index >= from.
+func shiftRefs(p *mat.Pipeline, from, delta int) {
+	for si := range p.Stages {
+		st := &p.Stages[si]
+		if st.Next >= from {
+			st.Next += delta
+		}
+		if g := st.Table.Schema.Index(mat.GotoAttr); g >= 0 {
+			for _, e := range st.Table.Entries {
+				if int(e[g].Bits) >= from {
+					e[g] = mat.Exact(e[g].Bits+uint64(delta), 16)
+				}
+			}
+		}
+	}
+	if p.Start >= from {
+		p.Start += delta
+	}
+}

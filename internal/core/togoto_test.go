@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"manorm/internal/mat"
+	"manorm/internal/netkat"
+)
+
+func TestToGotoGwlbMatchesFig1b(t *testing.T) {
+	// Normalize Fig. 1a with metadata joins (Fig. 1c), then convert to
+	// goto chaining: the result must have the Fig. 1b shape and its
+	// 21-field footprint.
+	tab := fig1a()
+	res, err := Normalize(tab, Options{Target: NF3, Declared: gwlbDeclared(tab.Schema)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ToGoto(res.Pipeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Depth() != 4 {
+		t.Fatalf("depth = %d, want 4\n%s", g.Depth(), g)
+	}
+	if got := g.FieldCount(); got != 21 {
+		t.Errorf("field count = %d, want 21\n%s", got, g)
+	}
+	cex, _, err := netkat.EquivalentPipelines(mat.SingleTable(tab), g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cex != nil {
+		t.Fatalf("ToGoto changed semantics: %v", cex)
+	}
+	// No metadata attributes may remain.
+	for _, st := range g.Stages {
+		for _, at := range st.Table.Schema {
+			if at.Name != mat.GotoAttr && mat.IsLinkAttr(at.Name) {
+				t.Errorf("metadata attr %s survives in stage %s", at.Name, st.Table.Name)
+			}
+		}
+	}
+}
+
+func TestToGotoL3Chain(t *testing.T) {
+	// The four-stage L3 metadata chain converts tag by tag from the tail:
+	// both metadata joins become gotos and semantics are preserved.
+	tab := fig2a()
+	res, err := Normalize(tab, Options{Target: NF3, Declared: l3Declared(tab.Schema)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ToGoto(res.Pipeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cex, _, err := netkat.EquivalentPipelines(mat.SingleTable(tab), g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cex != nil {
+		t.Fatalf("ToGoto changed semantics: %v\n%s", cex, g)
+	}
+	for _, st := range g.Stages {
+		for _, at := range st.Table.Schema {
+			if at.Name != mat.GotoAttr && mat.IsLinkAttr(at.Name) {
+				t.Errorf("metadata attr %s survives in stage %s\n%s", at.Name, st.Table.Name, g)
+			}
+		}
+	}
+	// Deeper than the metadata chain: consumers were split per group.
+	if g.Depth() <= res.Pipeline.Depth() {
+		t.Errorf("goto pipeline depth %d not deeper than metadata chain %d", g.Depth(), res.Pipeline.Depth())
+	}
+}
+
+func TestToGotoNoMetadataIsIdentity(t *testing.T) {
+	p := mat.SingleTable(fig1a())
+	g, err := ToGoto(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Depth() != 1 || !g.Stages[0].Table.Equal(p.Stages[0].Table) {
+		t.Errorf("no-metadata pipeline changed by ToGoto")
+	}
+}
+
+func TestToGotoUnmatchedTagDrops(t *testing.T) {
+	// Writer emits tag 9 that the consumer never matches: the packet must
+	// drop, matching the metadata pipeline's consumer miss.
+	w := mat.New("W", mat.Schema{mat.F("a", 8), mat.A(mat.MetaPrefix+"_t", 8)})
+	w.Add(mat.Exact(1, 8), mat.Exact(0, 8))
+	w.Add(mat.Exact(2, 8), mat.Exact(9, 8))
+	c := mat.New("C", mat.Schema{mat.F(mat.MetaPrefix+"_t", 8), mat.A("o", 8)})
+	c.Add(mat.Exact(0, 8), mat.Exact(7, 8))
+	p := &mat.Pipeline{Stages: []mat.Stage{
+		{Table: w, Next: 1, MissDrop: true},
+		{Table: c, Next: -1, MissDrop: true},
+	}}
+	g, err := ToGoto(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cex, _, err := netkat.EquivalentPipelines(p, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cex != nil {
+		t.Fatalf("unmatched-tag conversion changed semantics: %v\n%s", cex, g)
+	}
+	r, err := g.Eval(mat.Record{"a": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r[mat.DropAttr] != 1 {
+		t.Errorf("tag-9 packet not dropped: %v", r)
+	}
+}

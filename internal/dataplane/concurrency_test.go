@@ -1,0 +1,67 @@
+package dataplane
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentProcess runs many goroutines through one compiled pipeline,
+// each with its own Ctx: classifiers are immutable and counters atomic, so
+// results must be correct and the race detector quiet.
+func TestConcurrentProcess(t *testing.T) {
+	dp, err := Compile(fig1b(), AutoTemplates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint32) {
+			defer wg.Done()
+			ctx := dp.NewCtx()
+			for i := 0; i < perWorker; i++ {
+				src := seed*2654435761 + uint32(i)*2246822519
+				v, err := dp.Process(tcpTo(src, 0xC0000201, 80), ctx)
+				if err != nil {
+					errs <- err
+					return
+				}
+				wantPort := uint16(1)
+				if src >= 1<<31 {
+					wantPort = 2
+				}
+				if v.Drop || v.Port != wantPort {
+					errs <- newErrVerdict(src, v.Port, wantPort)
+					return
+				}
+			}
+		}(uint32(w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Counters must account for every packet exactly once.
+	total := uint64(0)
+	for _, c := range dp.Counters(0) {
+		total += c
+	}
+	if total != workers*perWorker {
+		t.Errorf("stage-0 counters sum to %d, want %d", total, workers*perWorker)
+	}
+}
+
+type errVerdict struct {
+	src       uint32
+	got, want uint16
+}
+
+func (e errVerdict) Error() string {
+	return "wrong verdict"
+}
+
+func newErrVerdict(src uint32, got, want uint16) error { return errVerdict{src, got, want} }

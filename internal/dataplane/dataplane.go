@@ -1,0 +1,372 @@
+// Package dataplane compiles match-action pipelines (internal/mat) into an
+// executable form and runs packets through them: per-table classifiers,
+// compiled action lists, metadata registers, goto control flow and
+// per-entry counters.
+//
+// This is the substrate every switch model in internal/switches builds on;
+// the models differ only in how they choose classifier templates and what
+// per-stage costs they add.
+package dataplane
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"manorm/internal/classifier"
+	"manorm/internal/mat"
+	"manorm/internal/packet"
+)
+
+// ActionKind enumerates compiled packet actions.
+type ActionKind uint8
+
+const (
+	// ActSetField writes a header field.
+	ActSetField ActionKind = iota
+	// ActOutput selects the output port (the "out" attribute).
+	ActOutput
+	// ActSetMeta writes a metadata register.
+	ActSetMeta
+	// ActDecTTL decrements the IPv4 TTL (the "mod_ttl" attribute).
+	ActDecTTL
+)
+
+// Action is one compiled action.
+type Action struct {
+	Kind  ActionKind
+	Field string // for ActSetField
+	Meta  int    // register index for ActSetMeta
+	Value uint64
+}
+
+// matchCol describes where one match column's key word comes from.
+type matchCol struct {
+	field string // packet field name ("" when meta >= 0)
+	meta  int    // metadata register index, -1 for packet fields
+	width uint8
+}
+
+// Table is a compiled match-action table.
+type Table struct {
+	Name  string
+	cols  []matchCol
+	cls   classifier.Classifier
+	acts  [][]Action
+	gotos []int // per entry: target stage or -1
+	// plens holds each entry's per-column prefix lengths, for megaflow
+	// wildcard tracing.
+	plens    [][]uint8
+	next     int
+	missDrop bool
+	counters []atomic.Uint64
+	// Template records which classifier template the table compiled to.
+	Template string
+}
+
+// Verdict is the result of processing one packet.
+type Verdict struct {
+	// Drop reports a table miss on a drop-on-miss stage.
+	Drop bool
+	// Port is the selected output port (valid when !Drop and an output
+	// action ran).
+	Port uint16
+	// Tables is the number of tables traversed (pipeline depth cost).
+	Tables int
+}
+
+// Pipeline is an executable pipeline.
+type Pipeline struct {
+	Name   string
+	tables []*Table
+	start  int
+	nMeta  int
+}
+
+// Ctx is per-worker scratch state: metadata registers and the key buffer.
+// One Ctx per goroutine; Process must not be called concurrently on the
+// same Ctx.
+type Ctx struct {
+	meta []uint64
+	key  []uint64
+}
+
+// NewCtx allocates scratch state for the pipeline.
+func (p *Pipeline) NewCtx() *Ctx {
+	return &Ctx{meta: make([]uint64, p.nMeta), key: make([]uint64, 16)}
+}
+
+// TemplateSelector decides the classifier template for each stage table —
+// the knob that distinguishes the switch models.
+type TemplateSelector func(t *mat.Table) classifier.Template
+
+// AutoTemplates picks the best template per shape (the ESwitch strategy).
+func AutoTemplates(*mat.Table) classifier.Template { return classifier.Auto }
+
+// FixedTemplate always uses one template (e.g. ternary for Lagopus-like
+// representation-agnostic datapaths).
+func FixedTemplate(tmpl classifier.Template) TemplateSelector {
+	return func(*mat.Table) classifier.Template { return tmpl }
+}
+
+// Compile lowers a mat.Pipeline into executable form. The selector chooses
+// each stage's classifier template; metadata attributes become registers
+// indexed per distinct name.
+func Compile(p *mat.Pipeline, sel TemplateSelector) (*Pipeline, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if sel == nil {
+		sel = AutoTemplates
+	}
+	metaIdx := make(map[string]int)
+	metaOf := func(name string) int {
+		if i, ok := metaIdx[name]; ok {
+			return i
+		}
+		i := len(metaIdx)
+		metaIdx[name] = i
+		return i
+	}
+
+	out := &Pipeline{Name: p.Name, start: p.Start}
+	for _, st := range p.Stages {
+		t := st.Table
+		if got := len(t.Schema.Fields()); got > 16 {
+			return nil, fmt.Errorf("dataplane: table %s has %d match columns; the key buffer supports 16", t.Name, got)
+		}
+		cls, err := classifier.Compile(t, sel(t))
+		if err != nil {
+			return nil, fmt.Errorf("dataplane: table %s: %w", t.Name, err)
+		}
+		ct := &Table{
+			Name:     t.Name,
+			cls:      cls,
+			next:     st.Next,
+			missDrop: st.MissDrop,
+			counters: make([]atomic.Uint64, len(t.Entries)),
+			Template: cls.Template(),
+		}
+		for _, fi := range t.Schema.Fields() {
+			at := t.Schema[fi]
+			col := matchCol{width: at.Width, meta: -1}
+			if mat.IsLinkAttr(at.Name) {
+				col.meta = metaOf(at.Name)
+			} else {
+				col.field = at.Name
+			}
+			ct.cols = append(ct.cols, col)
+		}
+		gotoIdx := t.Schema.Index(mat.GotoAttr)
+		for _, e := range t.Entries {
+			var acts []Action
+			var plens []uint8
+			for _, fi := range t.Schema.Fields() {
+				plens = append(plens, e[fi].PLen)
+			}
+			ct.plens = append(ct.plens, plens)
+			g := -1
+			for i, at := range t.Schema {
+				if at.Kind != mat.Action {
+					continue
+				}
+				switch {
+				case i == gotoIdx:
+					g = int(e[i].Bits)
+				case at.Name == "out":
+					acts = append(acts, Action{Kind: ActOutput, Value: e[i].Bits})
+				case at.Name == "mod_ttl":
+					acts = append(acts, Action{Kind: ActDecTTL})
+				case mat.IsLinkAttr(at.Name):
+					acts = append(acts, Action{Kind: ActSetMeta, Meta: metaOf(at.Name), Value: e[i].Bits})
+				default:
+					acts = append(acts, Action{Kind: ActSetField, Field: actionField(at.Name), Value: e[i].Bits})
+				}
+			}
+			ct.acts = append(ct.acts, acts)
+			ct.gotos = append(ct.gotos, g)
+		}
+		out.tables = append(out.tables, ct)
+	}
+	out.nMeta = len(metaIdx)
+	return out, nil
+}
+
+// actionField maps action attribute names to the packet field they write
+// (mod_smac -> eth_src etc.); unknown names pass through and are treated
+// as opaque packet fields.
+func actionField(name string) string {
+	switch name {
+	case "mod_smac":
+		return packet.FieldEthSrc
+	case "mod_dmac":
+		return packet.FieldEthDst
+	case "mod_vlan":
+		return packet.FieldVLAN
+	default:
+		return name
+	}
+}
+
+// Trace records which packet bits a pipeline traversal consulted: for
+// every header field, the maximum prefix length any visited table matched
+// against. This is the wildcard ("megaflow") mask Open vSwitch computes on
+// its slow path: any packet agreeing on the traced bits takes the same
+// path through the pipeline.
+//
+// Soundness note: the per-entry mask is exact for tables whose patterns
+// are pairwise disjoint per column (all tables this repository generates);
+// tables with overlapping longest-prefix entries would need miss-path
+// un-wildcarding as in the real OVS.
+type Trace struct {
+	// PLens maps canonical field names to consulted prefix lengths.
+	PLens map[string]uint8
+}
+
+// NewTrace allocates an empty trace.
+func NewTrace() *Trace { return &Trace{PLens: make(map[string]uint8, 8)} }
+
+// Reset clears the trace for reuse.
+func (tr *Trace) Reset() {
+	for k := range tr.PLens {
+		delete(tr.PLens, k)
+	}
+}
+
+func (tr *Trace) add(field string, plen uint8) {
+	if cur, ok := tr.PLens[field]; !ok || plen > cur {
+		tr.PLens[field] = plen
+	}
+}
+
+// Process runs one packet through the pipeline, mutating it according to
+// the matched actions, updating per-entry counters, and returning the
+// verdict. ctx must come from NewCtx on this pipeline.
+func (p *Pipeline) Process(pkt *packet.Packet, ctx *Ctx) (Verdict, error) {
+	return p.process(pkt, ctx, nil)
+}
+
+// ProcessTraced is Process plus megaflow wildcard tracing into tr (which
+// is reset first).
+func (p *Pipeline) ProcessTraced(pkt *packet.Packet, ctx *Ctx, tr *Trace) (Verdict, error) {
+	tr.Reset()
+	return p.process(pkt, ctx, tr)
+}
+
+func (p *Pipeline) process(pkt *packet.Packet, ctx *Ctx, tr *Trace) (Verdict, error) {
+	for i := range ctx.meta {
+		ctx.meta[i] = 0
+	}
+	var v Verdict
+	cur := p.start
+	for steps := 0; cur >= 0; steps++ {
+		if steps > len(p.tables) {
+			return v, fmt.Errorf("dataplane: pipeline %s: goto cycle", p.Name)
+		}
+		t := p.tables[cur]
+		v.Tables++
+
+		key := ctx.key[:len(t.cols)]
+		miss := false
+		for i := range t.cols {
+			c := &t.cols[i]
+			if c.meta >= 0 {
+				key[i] = ctx.meta[c.meta]
+				continue
+			}
+			fv, ok := pkt.Field(c.field)
+			if !ok {
+				miss = true
+				break
+			}
+			key[i] = fv
+		}
+		ei := -1
+		if !miss {
+			ei = t.cls.Lookup(key)
+		}
+		if ei < 0 {
+			// A miss depends on every bit the table could have matched:
+			// trace full column widths.
+			if tr != nil {
+				for i := range t.cols {
+					if t.cols[i].meta < 0 {
+						tr.add(t.cols[i].field, t.cols[i].width)
+					}
+				}
+			}
+			if t.missDrop {
+				v.Drop = true
+				return v, nil
+			}
+			cur = t.next
+			continue
+		}
+		if tr != nil {
+			for i := range t.cols {
+				if t.cols[i].meta < 0 {
+					tr.add(t.cols[i].field, t.plens[ei][i])
+				}
+			}
+		}
+		t.counters[ei].Add(1)
+		for _, a := range t.acts[ei] {
+			switch a.Kind {
+			case ActOutput:
+				v.Port = uint16(a.Value)
+			case ActSetMeta:
+				ctx.meta[a.Meta] = a.Value
+			case ActDecTTL:
+				if pkt.HasIPv4 && pkt.TTL > 0 {
+					pkt.TTL--
+				}
+			case ActSetField:
+				pkt.SetField(a.Field, a.Value)
+			}
+		}
+		if g := t.gotos[ei]; g >= 0 {
+			cur = g
+		} else {
+			cur = t.next
+		}
+	}
+	return v, nil
+}
+
+// Depth returns the number of compiled tables.
+func (p *Pipeline) Depth() int { return len(p.tables) }
+
+// Templates lists each stage's chosen classifier template, in order.
+func (p *Pipeline) Templates() []string {
+	out := make([]string, len(p.tables))
+	for i, t := range p.tables {
+		out[i] = t.Template
+	}
+	return out
+}
+
+// Counter returns the packet count of one entry of one stage.
+func (p *Pipeline) Counter(stage, entry int) uint64 {
+	return p.tables[stage].counters[entry].Load()
+}
+
+// ResetCounters zeroes all per-entry counters.
+func (p *Pipeline) ResetCounters() {
+	for _, t := range p.tables {
+		for i := range t.counters {
+			t.counters[i].Store(0)
+		}
+	}
+}
+
+// StageEntryCount returns the entry count of a stage (for stats readers).
+func (p *Pipeline) StageEntryCount(stage int) int { return len(p.tables[stage].counters) }
+
+// Counters returns a snapshot of all per-entry packet counters of a stage.
+func (p *Pipeline) Counters(stage int) []uint64 {
+	t := p.tables[stage]
+	out := make([]uint64, len(t.counters))
+	for i := range t.counters {
+		out[i] = t.counters[i].Load()
+	}
+	return out
+}

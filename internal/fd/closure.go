@@ -1,0 +1,161 @@
+package fd
+
+import (
+	"manorm/internal/mat"
+)
+
+// Closure computes the attribute-set closure X⁺ under the given FDs: the
+// largest set of attributes functionally determined by X.
+func Closure(x mat.AttrSet, fds []FD) mat.AttrSet {
+	closure := x
+	for changed := true; changed; {
+		changed = false
+		for _, f := range fds {
+			if f.From.SubsetOf(closure) && !f.To.SubsetOf(closure) {
+				closure = closure.Union(f.To)
+				changed = true
+			}
+		}
+	}
+	return closure
+}
+
+// Implies reports whether the FD set logically implies f (by the closure
+// test: f.To ⊆ Closure(f.From)).
+func Implies(fds []FD, f FD) bool {
+	return f.To.SubsetOf(Closure(f.From, fds))
+}
+
+// Equivalent reports whether two FD sets imply each other.
+func Equivalent(a, b []FD) bool {
+	for _, f := range a {
+		if !Implies(b, f) {
+			return false
+		}
+	}
+	for _, f := range b {
+		if !Implies(a, f) {
+			return false
+		}
+	}
+	return true
+}
+
+// MinimalCover computes a canonical (minimal) cover of the FD set:
+// singleton right-hand sides, no extraneous LHS attributes, no redundant
+// dependencies. The result is deterministic.
+func MinimalCover(fds []FD) []FD {
+	// 1. Singleton RHS.
+	work := SplitRHS(fds)
+	Sort(work)
+
+	// 2. Remove extraneous LHS attributes: B ∈ X is extraneous in X→A if
+	//    (X\{B})⁺ under the full set still contains A.
+	for i := range work {
+		f := work[i]
+		for _, b := range f.From.Members() {
+			reduced := f.From.Remove(b)
+			if f.To.SubsetOf(Closure(reduced, work)) {
+				f = FD{From: reduced, To: f.To}
+				work[i] = f
+			}
+		}
+	}
+
+	// 3. Remove redundant FDs: f is redundant if the rest implies it.
+	var out []FD
+	for i := range work {
+		rest := make([]FD, 0, len(work)-1)
+		rest = append(rest, out...)
+		rest = append(rest, work[i+1:]...)
+		if !Implies(rest, work[i]) {
+			out = append(out, work[i])
+		}
+	}
+
+	// Deduplicate (step 2 may create duplicates that step 3 removes, but
+	// keep the output canonical regardless).
+	Sort(out)
+	dedup := out[:0]
+	for i, f := range out {
+		if i > 0 && out[i-1] == f {
+			continue
+		}
+		dedup = append(dedup, f)
+	}
+	return dedup
+}
+
+// CandidateKeys enumerates all candidate keys (minimal superkeys) of a
+// relation over n attributes with the given FDs: the minimal sets X with
+// X⁺ = all attributes. Brute force over the subset lattice by increasing
+// size; match-action schemas are small, so this is exact and fast enough.
+func CandidateKeys(n int, fds []FD) []mat.AttrSet {
+	full := mat.FullSet(n)
+
+	// Every key must contain the attributes that appear in no RHS.
+	var inRHS mat.AttrSet
+	for _, f := range fds {
+		inRHS = inRHS.Union(f.To)
+	}
+	core := full.Minus(inRHS)
+
+	// If the core alone is a key, it is the only one.
+	if Closure(core, fds) == full {
+		return []mat.AttrSet{core}
+	}
+
+	// Candidates extend the core with subsets of the remaining attributes.
+	extra := full.Minus(core).Members()
+	subsets := make([]mat.AttrSet, 0, 1<<len(extra))
+	for bits := 1; bits < 1<<len(extra); bits++ {
+		var s mat.AttrSet
+		for i, m := range extra {
+			if bits&(1<<i) != 0 {
+				s = s.Add(m)
+			}
+		}
+		subsets = append(subsets, s)
+	}
+	mat.SortAttrSets(subsets)
+
+	var keys []mat.AttrSet
+	for _, s := range subsets {
+		cand := core.Union(s)
+		dominated := false
+		for _, k := range keys {
+			if k.SubsetOf(cand) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		if Closure(cand, fds) == full {
+			keys = append(keys, cand)
+		}
+	}
+	mat.SortAttrSets(keys)
+	return keys
+}
+
+// KeysOf mines the table's FDs and returns its candidate keys.
+func KeysOf(t *mat.Table) []mat.AttrSet {
+	return CandidateKeys(len(t.Schema), Mine(t))
+}
+
+// PrimeAttrs returns the set of prime attributes: members of at least one
+// candidate key.
+func PrimeAttrs(keys []mat.AttrSet) mat.AttrSet {
+	var p mat.AttrSet
+	for _, k := range keys {
+		p = p.Union(k)
+	}
+	return p
+}
+
+// IsSuperkey reports whether x determines every attribute.
+func IsSuperkey(x mat.AttrSet, n int, fds []FD) bool {
+	return Closure(x, fds) == mat.FullSet(n)
+}

@@ -1,0 +1,82 @@
+// Package fd implements the functional-dependency machinery the
+// normalization framework is built on: FD discovery in match-action tables
+// (a TANE-style levelwise miner over stripped partitions, plus a naive
+// reference implementation), attribute-set closure, minimal covers, and
+// candidate-key enumeration.
+//
+// The paper's central observation is that a nontrivial functional dependency
+// in a match-action table is a telltale sign of redundancy (§3); everything
+// in internal/core starts from the dependencies this package finds.
+package fd
+
+import (
+	"fmt"
+	"sort"
+
+	"manorm/internal/mat"
+)
+
+// FD is a functional dependency From → To over a table schema. Both sides
+// are attribute sets; the miner emits dependencies with singleton To, and
+// helpers below can merge them.
+type FD struct {
+	From mat.AttrSet
+	To   mat.AttrSet
+}
+
+// String renders the FD against a schema, e.g. "{ip_dst} -> {tcp_dst}".
+func (f FD) Format(sch mat.Schema) string {
+	return fmt.Sprintf("%s -> %s", f.From.Format(sch), f.To.Format(sch))
+}
+
+// Trivial reports whether the FD is trivial (To ⊆ From).
+func (f FD) Trivial() bool { return f.To.SubsetOf(f.From) }
+
+// HoldsIn verifies the dependency against a table by direct scanning. This
+// is the definition, used in tests and as a safety net after mining.
+func (f FD) HoldsIn(t *mat.Table) bool { return t.DetermineFn(f.From, f.To) }
+
+// Sort orders FDs deterministically: by LHS size, then LHS value, then RHS
+// value.
+func Sort(fds []FD) {
+	sort.Slice(fds, func(i, j int) bool {
+		a, b := fds[i], fds[j]
+		if la, lb := a.From.Len(), b.From.Len(); la != lb {
+			return la < lb
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+}
+
+// SplitRHS rewrites every FD into singleton-RHS form X→A, dropping trivial
+// results.
+func SplitRHS(fds []FD) []FD {
+	var out []FD
+	for _, f := range fds {
+		for _, a := range f.To.Members() {
+			if f.From.Has(a) {
+				continue
+			}
+			out = append(out, FD{From: f.From, To: mat.NewAttrSet(a)})
+		}
+	}
+	return out
+}
+
+// MergeRHS groups FDs with identical LHS into one FD with the union RHS.
+// Output is deterministic.
+func MergeRHS(fds []FD) []FD {
+	byLHS := make(map[mat.AttrSet]mat.AttrSet)
+	for _, f := range fds {
+		byLHS[f.From] = byLHS[f.From].Union(f.To)
+	}
+	out := make([]FD, 0, len(byLHS))
+	for from, to := range byLHS {
+		out = append(out, FD{From: from, To: to})
+	}
+	Sort(out)
+	return out
+}

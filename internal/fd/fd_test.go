@@ -1,0 +1,415 @@
+package fd
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"manorm/internal/mat"
+)
+
+// fig1a rebuilds the paper's Fig. 1a universal gateway & load-balancer
+// table (ip_src, ip_dst, tcp_dst | out).
+func fig1a() *mat.Table {
+	t := mat.New("T0", mat.Schema{
+		mat.F("ip_src", 32), mat.F("ip_dst", 32), mat.F("tcp_dst", 16), mat.A("out", 16),
+	})
+	t.Add(mat.Prefix(0, 1, 32), mat.IPv4("192.0.2.1"), mat.Exact(80, 16), mat.Exact(1, 16))
+	t.Add(mat.Prefix(0x80000000, 1, 32), mat.IPv4("192.0.2.1"), mat.Exact(80, 16), mat.Exact(2, 16))
+	t.Add(mat.Prefix(0, 2, 32), mat.IPv4("192.0.2.2"), mat.Exact(443, 16), mat.Exact(3, 16))
+	t.Add(mat.Prefix(0x40000000, 2, 32), mat.IPv4("192.0.2.2"), mat.Exact(443, 16), mat.Exact(4, 16))
+	t.Add(mat.Prefix(0x80000000, 1, 32), mat.IPv4("192.0.2.2"), mat.Exact(443, 16), mat.Exact(5, 16))
+	t.Add(mat.Any(), mat.IPv4("192.0.2.3"), mat.Exact(22, 16), mat.Exact(6, 16))
+	return t
+}
+
+func TestMineFig1a(t *testing.T) {
+	tab := fig1a()
+	s := tab.Schema
+	got := Mine(tab)
+
+	set := func(names ...string) mat.AttrSet { return mat.SetOf(s, names...) }
+	want := []FD{
+		// The paper's headline dependency (§3): ip_dst → tcp_dst. In this
+		// six-row instance the converse also holds (each port maps to one
+		// VIP), and out is unique per row so it determines everything.
+		{From: set("ip_dst"), To: set("tcp_dst")},
+		{From: set("tcp_dst"), To: set("ip_dst")},
+		{From: set("out"), To: set("ip_src")},
+		{From: set("out"), To: set("ip_dst")},
+		{From: set("out"), To: set("tcp_dst")},
+		{From: set("ip_src", "ip_dst"), To: set("out")},
+		{From: set("ip_src", "tcp_dst"), To: set("out")},
+	}
+	Sort(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Mine(fig1a):\ngot:")
+		for _, f := range got {
+			t.Errorf("  %s", f.Format(s))
+		}
+		t.Errorf("want:")
+		for _, f := range want {
+			t.Errorf("  %s", f.Format(s))
+		}
+	}
+}
+
+func TestKeysOfFig1a(t *testing.T) {
+	tab := fig1a()
+	s := tab.Schema
+	keys := KeysOf(tab)
+	// The paper names (ip_src, ip_dst) and (out) as minimal keys. Because
+	// tcp_dst ↔ ip_dst are mutually determining in this instance,
+	// (ip_src, tcp_dst) is a key of the instance as well.
+	want := []mat.AttrSet{
+		mat.SetOf(s, "out"),
+		mat.SetOf(s, "ip_src", "ip_dst"),
+		mat.SetOf(s, "ip_src", "tcp_dst"),
+	}
+	mat.SortAttrSets(want)
+	if !reflect.DeepEqual(keys, want) {
+		t.Errorf("keys = %v, want %v", formatSets(keys, s), formatSets(want, s))
+	}
+	// Every attribute ends up prime in the instance; with the *declared*
+	// semantic FDs of the use case (no tcp_dst → ip_dst), tcp_dst is
+	// non-prime — covered in internal/core tests.
+	if p := PrimeAttrs(keys); p != mat.FullSet(len(s)) {
+		t.Errorf("prime attrs = %s", p.Format(s))
+	}
+}
+
+func formatSets(sets []mat.AttrSet, s mat.Schema) []string {
+	out := make([]string, len(sets))
+	for i, x := range sets {
+		out[i] = x.Format(s)
+	}
+	return out
+}
+
+func TestMineConstantAttribute(t *testing.T) {
+	tab := mat.New("T", mat.Schema{mat.F("eth_type", 16), mat.F("ip", 32), mat.A("out", 8)})
+	tab.Add(mat.Exact(0x800, 16), mat.Exact(1, 32), mat.Exact(1, 8))
+	tab.Add(mat.Exact(0x800, 16), mat.Exact(2, 32), mat.Exact(2, 8))
+	got := Mine(tab)
+	// ∅ → eth_type must be found (constant attribute).
+	want := FD{From: 0, To: mat.SetOf(tab.Schema, "eth_type")}
+	found := false
+	for _, f := range got {
+		if f == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("∅ → eth_type not mined; got %d FDs", len(got))
+	}
+}
+
+func TestMineEmptyAndSingleRow(t *testing.T) {
+	sch := mat.Schema{mat.F("a", 8), mat.A("b", 8)}
+	empty := mat.New("e", sch)
+	// In an empty table every FD holds vacuously; the miner reports the
+	// minimal ones: ∅ → A for every attribute.
+	fds := Mine(empty)
+	if len(fds) != 2 {
+		t.Errorf("empty table: %d FDs, want 2 (∅→a, ∅→b)", len(fds))
+	}
+	one := mat.New("o", sch)
+	one.Add(mat.Exact(1, 8), mat.Exact(2, 8))
+	fds = Mine(one)
+	if len(fds) != 2 {
+		t.Errorf("single-row table: %d FDs, want 2", len(fds))
+	}
+	for _, f := range fds {
+		if !f.From.Empty() {
+			t.Errorf("single-row table: non-minimal FD %v", f)
+		}
+	}
+}
+
+// randomTable builds a table with planted structure: attribute count in
+// 3..6, some attributes derived from others so FDs exist to find.
+func randomTable(rng *rand.Rand) *mat.Table {
+	nAttr := 3 + rng.Intn(4)
+	sch := make(mat.Schema, nAttr)
+	for i := range sch {
+		if rng.Intn(2) == 0 {
+			sch[i] = mat.F(string(rune('a'+i)), 8)
+		} else {
+			sch[i] = mat.A(string(rune('a'+i)), 8)
+		}
+	}
+	t := mat.New("rnd", sch)
+	nRows := 1 + rng.Intn(12)
+	// Derivation plan: each attribute is either random (domain 0..2) or a
+	// function of an earlier attribute.
+	derivedFrom := make([]int, nAttr)
+	for i := range derivedFrom {
+		if i > 0 && rng.Intn(2) == 0 {
+			derivedFrom[i] = rng.Intn(i)
+		} else {
+			derivedFrom[i] = -1
+		}
+	}
+	for r := 0; r < nRows; r++ {
+		row := make([]mat.Cell, nAttr)
+		for i := 0; i < nAttr; i++ {
+			if src := derivedFrom[i]; src >= 0 {
+				row[i] = mat.Exact(row[src].Bits*7%5, 8)
+			} else {
+				row[i] = mat.Exact(uint64(rng.Intn(3)), 8)
+			}
+		}
+		t.Entries = append(t.Entries, row)
+	}
+	return t
+}
+
+func TestMineMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		tab := randomTable(rng)
+		fast := Mine(tab)
+		slow := MineNaive(tab)
+		if !reflect.DeepEqual(fast, slow) {
+			t.Fatalf("trial %d: TANE and naive disagree on\n%s\nTANE:  %v\nnaive: %v",
+				trial, tab, formatFDs(fast, tab.Schema), formatFDs(slow, tab.Schema))
+		}
+	}
+}
+
+func formatFDs(fds []FD, s mat.Schema) []string {
+	out := make([]string, len(fds))
+	for i, f := range fds {
+		out[i] = f.Format(s)
+	}
+	return out
+}
+
+func TestMinedFDsHoldAndAreMinimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		tab := randomTable(rng)
+		for _, f := range Mine(tab) {
+			if !f.HoldsIn(tab) {
+				t.Fatalf("trial %d: mined FD %s does not hold in\n%s", trial, f.Format(tab.Schema), tab)
+			}
+			for _, b := range f.From.Members() {
+				if (FD{From: f.From.Remove(b), To: f.To}).HoldsIn(tab) {
+					t.Fatalf("trial %d: mined FD %s is not minimal (drop %s)",
+						trial, f.Format(tab.Schema), tab.Schema[b].Name)
+				}
+			}
+		}
+	}
+}
+
+func TestClosureProperties(t *testing.T) {
+	tab := fig1a()
+	fds := Mine(tab)
+	n := len(tab.Schema)
+	// Extensive, monotone, idempotent.
+	for bits := mat.AttrSet(0); bits < mat.FullSet(n)+1 && bits <= mat.FullSet(n); bits++ {
+		c := Closure(bits, fds)
+		if !bits.SubsetOf(c) {
+			t.Fatalf("closure not extensive for %v", bits)
+		}
+		if Closure(c, fds) != c {
+			t.Fatalf("closure not idempotent for %v", bits)
+		}
+		for _, b := range c.Members() {
+			sup := bits.Add(b)
+			if !c.SubsetOf(Closure(sup, fds)) {
+				t.Fatalf("closure not monotone for %v", bits)
+			}
+		}
+	}
+}
+
+func TestClosureFig1a(t *testing.T) {
+	tab := fig1a()
+	s := tab.Schema
+	fds := Mine(tab)
+	// out determines everything: {out}⁺ = R.
+	if got := Closure(mat.SetOf(s, "out"), fds); got != mat.FullSet(len(s)) {
+		t.Errorf("{out}+ = %s, want all", got.Format(s))
+	}
+	// {ip_dst}⁺ = {ip_dst, tcp_dst} (mutually determining pair).
+	if got := Closure(mat.SetOf(s, "ip_dst"), fds); got != mat.SetOf(s, "ip_dst", "tcp_dst") {
+		t.Errorf("{ip_dst}+ = %s", got.Format(s))
+	}
+	// {ip_src}⁺ = {ip_src}.
+	if got := Closure(mat.SetOf(s, "ip_src"), fds); got != mat.SetOf(s, "ip_src") {
+		t.Errorf("{ip_src}+ = %s", got.Format(s))
+	}
+}
+
+func TestMinimalCover(t *testing.T) {
+	tab := fig1a()
+	fds := Mine(tab)
+	cover := MinimalCover(fds)
+	if !Equivalent(fds, cover) {
+		t.Fatalf("cover not equivalent to original")
+	}
+	// Canonical form: singleton RHS, no extraneous LHS attrs, no
+	// redundant FDs.
+	for i, f := range cover {
+		if f.To.Len() != 1 {
+			t.Errorf("cover FD %d has non-singleton RHS", i)
+		}
+		for _, b := range f.From.Members() {
+			reduced := FD{From: f.From.Remove(b), To: f.To}
+			if Implies(cover, reduced) {
+				t.Errorf("cover FD %s has extraneous attr %s", f.Format(tab.Schema), tab.Schema[b].Name)
+			}
+		}
+		rest := append(append([]FD{}, cover[:i]...), cover[i+1:]...)
+		if Implies(rest, f) {
+			t.Errorf("cover FD %s is redundant", f.Format(tab.Schema))
+		}
+	}
+}
+
+func TestMinimalCoverRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		tab := randomTable(rng)
+		fds := Mine(tab)
+		cover := MinimalCover(fds)
+		if !Equivalent(fds, cover) {
+			t.Fatalf("trial %d: cover not equivalent", trial)
+		}
+		if len(cover) > len(SplitRHS(fds)) {
+			t.Fatalf("trial %d: cover larger than split input", trial)
+		}
+	}
+}
+
+func TestCandidateKeysProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		tab := randomTable(rng)
+		if len(tab.Entries) == 0 {
+			continue
+		}
+		fds := Mine(tab)
+		n := len(tab.Schema)
+		keys := CandidateKeys(n, fds)
+		if len(keys) == 0 {
+			t.Fatalf("trial %d: no candidate keys", trial)
+		}
+		for _, k := range keys {
+			if Closure(k, fds) != mat.FullSet(n) {
+				t.Fatalf("trial %d: key %v does not determine all", trial, k.Members())
+			}
+			// Minimality.
+			for _, b := range k.Members() {
+				if Closure(k.Remove(b), fds) == mat.FullSet(n) {
+					t.Fatalf("trial %d: key %v not minimal", trial, k.Members())
+				}
+			}
+			// A key's projection must be unique per row (it determines
+			// the whole row including itself).
+			if tab.Distinct(k) != len(tab.Entries) {
+				// Duplicate full rows make this legitimately fail; the
+				// relational model treats entries as a set.
+				dedup := tab.Project("d", mat.FullSet(n))
+				if dedup.Distinct(k) != len(dedup.Entries) {
+					t.Fatalf("trial %d: key %v not unique per row", trial, k.Members())
+				}
+			}
+		}
+	}
+}
+
+func TestNoFDsMeansFullKey(t *testing.T) {
+	keys := CandidateKeys(3, nil)
+	if len(keys) != 1 || keys[0] != mat.FullSet(3) {
+		t.Errorf("keys with no FDs = %v, want the full set", keys)
+	}
+}
+
+func TestIsSuperkey(t *testing.T) {
+	fds := []FD{{From: mat.NewAttrSet(0), To: mat.NewAttrSet(1, 2)}}
+	if !IsSuperkey(mat.NewAttrSet(0), 3, fds) {
+		t.Errorf("a should be a superkey")
+	}
+	if IsSuperkey(mat.NewAttrSet(1), 3, fds) {
+		t.Errorf("b should not be a superkey")
+	}
+	if !IsSuperkey(mat.NewAttrSet(0, 1), 3, fds) {
+		t.Errorf("supersets of keys are superkeys")
+	}
+}
+
+func TestSplitAndMergeRHS(t *testing.T) {
+	f := FD{From: mat.NewAttrSet(0), To: mat.NewAttrSet(1, 2)}
+	split := SplitRHS([]FD{f})
+	if len(split) != 2 {
+		t.Fatalf("SplitRHS produced %d FDs", len(split))
+	}
+	merged := MergeRHS(split)
+	if len(merged) != 1 || merged[0] != f {
+		t.Errorf("MergeRHS(SplitRHS(f)) = %v, want %v", merged, f)
+	}
+	// Trivial parts are dropped.
+	triv := SplitRHS([]FD{{From: mat.NewAttrSet(0), To: mat.NewAttrSet(0, 1)}})
+	if len(triv) != 1 || triv[0].To != mat.NewAttrSet(1) {
+		t.Errorf("SplitRHS kept trivial component: %v", triv)
+	}
+}
+
+func TestTrivial(t *testing.T) {
+	if !(FD{From: mat.NewAttrSet(0, 1), To: mat.NewAttrSet(1)}).Trivial() {
+		t.Errorf("contained RHS should be trivial")
+	}
+	if (FD{From: mat.NewAttrSet(0), To: mat.NewAttrSet(1)}).Trivial() {
+		t.Errorf("disjoint RHS should not be trivial")
+	}
+}
+
+func TestPartitionProduct(t *testing.T) {
+	tab := fig1a()
+	n := len(tab.Schema)
+	mult := newMultiplier(len(tab.Entries))
+	// π_X · π_Y must equal π_{X∪Y} computed directly, for all pairs.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pi := singletonPartition(tab, i)
+			pj := singletonPartition(tab, j)
+			prod := mult.product(pi, pj)
+			direct := partitionOf(tab, mat.NewAttrSet(i, j))
+			if prod.errMeasure() != direct.errMeasure() || prod.size != direct.size {
+				t.Errorf("product(%d,%d): e=%d size=%d, direct e=%d size=%d",
+					i, j, prod.errMeasure(), prod.size, direct.errMeasure(), direct.size)
+			}
+		}
+	}
+}
+
+func TestPartitionProductRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 100; trial++ {
+		tab := randomTable(rng)
+		if len(tab.Schema) < 3 {
+			continue
+		}
+		mult := newMultiplier(len(tab.Entries))
+		x := mat.NewAttrSet(0)
+		y := mat.NewAttrSet(1, 2)
+		px := partitionOf(tab, x)
+		py := partitionOf(tab, y)
+		prod := mult.product(px, py)
+		direct := partitionOf(tab, x.Union(y))
+		if prod.errMeasure() != direct.errMeasure() {
+			t.Fatalf("trial %d: product err %d != direct %d", trial, prod.errMeasure(), direct.errMeasure())
+		}
+	}
+}
+
+func TestFDFormat(t *testing.T) {
+	s := mat.Schema{mat.F("a", 8), mat.F("b", 8)}
+	got := FD{From: mat.NewAttrSet(0), To: mat.NewAttrSet(1)}.Format(s)
+	if got != "{a} -> {b}" {
+		t.Errorf("Format = %q", got)
+	}
+}

@@ -1,0 +1,152 @@
+package fd
+
+import (
+	"manorm/internal/mat"
+)
+
+// MVD is a multivalued dependency X ↠ Y: for every X value, the set of Y
+// values co-occurring with it is independent of the remaining attributes.
+// Equivalently (Fagin), the table decomposes losslessly into its
+// projections onto X∪Y and X∪Z even when no functional dependency X→Y
+// holds. These are the dependencies behind the normal forms beyond 3NF the
+// paper's conclusion points at.
+type MVD struct {
+	From mat.AttrSet
+	To   mat.AttrSet
+}
+
+// Format renders the MVD against a schema.
+func (m MVD) Format(sch mat.Schema) string {
+	return m.From.Format(sch) + " ->> " + m.To.Format(sch)
+}
+
+// Trivial reports whether the MVD is trivial: Y ⊆ X, or X∪Y covers the
+// whole schema (Z = ∅).
+func (m MVD) Trivial(n int) bool {
+	y := m.To.Minus(m.From)
+	return y.Empty() || m.From.Union(m.To) == mat.FullSet(n)
+}
+
+// HoldsIn checks the MVD against a table instance by the definition:
+// T = π_{X∪Y}(T) ⋈ π_{X∪Z}(T). Because both projections come from T, the
+// join can only add rows; the MVD holds iff it adds none.
+func (m MVD) HoldsIn(t *mat.Table) bool {
+	n := len(t.Schema)
+	x := m.From
+	y := m.To.Minus(x)
+	z := mat.FullSet(n).Minus(x).Minus(y)
+
+	// Group rows by X; within each group the MVD requires the Y- and
+	// Z-projections to be independent: |group| == |Y-proj| × |Z-proj|
+	// AND every (y, z) combination present. Since the group's rows are a
+	// subset of the product, the count equality is exact.
+	type groupSets struct {
+		ys, zs map[string]struct{}
+		rows   int
+	}
+	groups := make(map[string]*groupSets)
+	for _, e := range t.Entries {
+		kx := projKey(e, x)
+		g := groups[kx]
+		if g == nil {
+			g = &groupSets{ys: map[string]struct{}{}, zs: map[string]struct{}{}}
+			groups[kx] = g
+		}
+		g.ys[projKey(e, y)] = struct{}{}
+		g.zs[projKey(e, z)] = struct{}{}
+		g.rows++
+	}
+	// Duplicate rows must not inflate counts: count distinct (y, z)
+	// pairs per group instead of raw rows.
+	pairs := make(map[string]map[string]struct{})
+	for _, e := range t.Entries {
+		kx := projKey(e, x)
+		if pairs[kx] == nil {
+			pairs[kx] = map[string]struct{}{}
+		}
+		pairs[kx][projKey(e, y)+"|"+projKey(e, z)] = struct{}{}
+	}
+	for kx, g := range groups {
+		if len(pairs[kx]) != len(g.ys)*len(g.zs) {
+			return false
+		}
+	}
+	return true
+}
+
+// MineMVDs finds all minimal nontrivial multivalued dependencies X ↠ Y
+// that hold in the table and are not already implied by a functional
+// dependency X → Y (every FD is an MVD; the interesting ones are the
+// proper MVDs). Brute force over the subset lattice — match-action
+// schemas are small. Results are deterministic.
+//
+// Minimality here means: no X' ⊊ X with X' ↠ Y, and no nonempty Y' ⊊ Y
+// (disjoint from X) with X ↠ Y' — the RHS cannot be split further.
+func MineMVDs(t *mat.Table, fds []FD) []MVD {
+	n := len(t.Schema)
+	if n == 0 || n > 16 {
+		return nil
+	}
+	full := mat.FullSet(n)
+	var out []MVD
+	for _, x := range allSubsets(full) {
+		rest := full.Minus(x)
+		if rest.Len() < 2 {
+			continue // Z would be empty for any nonempty Y
+		}
+		xClosure := Closure(x, fds)
+		for _, y := range allSubsets(rest) {
+			if y.Empty() || y == rest {
+				continue
+			}
+			m := MVD{From: x, To: y}
+			if y.SubsetOf(xClosure) {
+				continue // implied by an FD: not a proper MVD
+			}
+			if !m.HoldsIn(t) {
+				continue
+			}
+			// LHS minimality.
+			minimal := true
+			for _, b := range x.Members() {
+				if (MVD{From: x.Remove(b), To: y}).HoldsIn(t) {
+					minimal = false
+					break
+				}
+			}
+			if !minimal {
+				continue
+			}
+			// RHS minimality: no proper nonempty sub-RHS also holds.
+			for _, sub := range allSubsets(y) {
+				if sub.Empty() || sub == y {
+					continue
+				}
+				if (MVD{From: x, To: sub}).HoldsIn(t) {
+					minimal = false
+					break
+				}
+			}
+			if minimal {
+				out = append(out, m)
+			}
+		}
+	}
+	sortMVDs(out)
+	return out
+}
+
+func sortMVDs(ms []MVD) {
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ms[j-1], ms[j]
+			if a.From.Len() > b.From.Len() ||
+				(a.From.Len() == b.From.Len() && a.From > b.From) ||
+				(a.From == b.From && a.To > b.To) {
+				ms[j-1], ms[j] = ms[j], ms[j-1]
+			} else {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+
+	"manorm/internal/mat"
+)
+
+// crossTable plants an MVD: for each a-value, the sets of b- and c-values
+// are independent (full cross product per group).
+func crossTable(rng *rand.Rand) *mat.Table {
+	t := mat.New("x", mat.Schema{mat.F("a", 8), mat.F("b", 8), mat.F("c", 8)})
+	nGroups := 1 + rng.Intn(3)
+	for g := 0; g < nGroups; g++ {
+		nb := 1 + rng.Intn(3)
+		nc := 1 + rng.Intn(3)
+		for b := 0; b < nb; b++ {
+			for c := 0; c < nc; c++ {
+				t.Add(mat.Exact(uint64(g), 8), mat.Exact(uint64(g*10+b), 8), mat.Exact(uint64(g*100+c), 8))
+			}
+		}
+	}
+	return t
+}
+
+func TestMVDHoldsOnPlantedCrossProducts(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 100; trial++ {
+		tab := crossTable(rng)
+		m := MVD{From: mat.NewAttrSet(0), To: mat.NewAttrSet(1)}
+		if !m.HoldsIn(tab) {
+			t.Fatalf("trial %d: planted MVD fails on\n%s", trial, tab)
+		}
+		// The symmetric complement MVD also holds (a ↠ c).
+		mc := MVD{From: mat.NewAttrSet(0), To: mat.NewAttrSet(2)}
+		if !mc.HoldsIn(tab) {
+			t.Fatalf("trial %d: complement MVD fails", trial)
+		}
+	}
+}
+
+func TestMVDComplementRule(t *testing.T) {
+	// X ↠ Y iff X ↠ Z (complementation): check on random tables.
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		tab := mat.New("r", mat.Schema{mat.F("a", 4), mat.F("b", 4), mat.F("c", 4)})
+		rows := 1 + rng.Intn(10)
+		seen := map[[3]uint64]bool{}
+		for i := 0; i < rows; i++ {
+			k := [3]uint64{uint64(rng.Intn(3)), uint64(rng.Intn(3)), uint64(rng.Intn(3))}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			tab.Add(mat.Exact(k[0], 4), mat.Exact(k[1], 4), mat.Exact(k[2], 4))
+		}
+		my := MVD{From: mat.NewAttrSet(0), To: mat.NewAttrSet(1)}
+		mz := MVD{From: mat.NewAttrSet(0), To: mat.NewAttrSet(2)}
+		if my.HoldsIn(tab) != mz.HoldsIn(tab) {
+			t.Fatalf("trial %d: complementation violated on\n%s", trial, tab)
+		}
+	}
+}
+
+func TestMVDJoinDefinition(t *testing.T) {
+	// Direct check of Fagin's definition: X ↠ Y iff joining the two
+	// projections on X reproduces exactly the original row set.
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 200; trial++ {
+		tab := mat.New("r", mat.Schema{mat.F("a", 4), mat.F("b", 4), mat.F("c", 4)})
+		seen := map[[3]uint64]bool{}
+		for i := 0; i < 1+rng.Intn(12); i++ {
+			k := [3]uint64{uint64(rng.Intn(3)), uint64(rng.Intn(3)), uint64(rng.Intn(3))}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			tab.Add(mat.Exact(k[0], 4), mat.Exact(k[1], 4), mat.Exact(k[2], 4))
+		}
+		m := MVD{From: mat.NewAttrSet(0), To: mat.NewAttrSet(1)}
+		got := m.HoldsIn(tab)
+		want := joinReproduces(tab)
+		if got != want {
+			t.Fatalf("trial %d: HoldsIn=%v, join definition=%v on\n%s", trial, got, want, tab)
+		}
+	}
+}
+
+// joinReproduces computes π_{a,b} ⋈ π_{a,c} and compares to the table.
+func joinReproduces(t *mat.Table) bool {
+	type pair struct{ x, v uint64 }
+	ab := map[pair]bool{}
+	ac := map[pair]bool{}
+	orig := map[[3]uint64]bool{}
+	for _, e := range t.Entries {
+		ab[pair{e[0].Bits, e[1].Bits}] = true
+		ac[pair{e[0].Bits, e[2].Bits}] = true
+		orig[[3]uint64{e[0].Bits, e[1].Bits, e[2].Bits}] = true
+	}
+	count := 0
+	for p1 := range ab {
+		for p2 := range ac {
+			if p1.x != p2.x {
+				continue
+			}
+			count++
+			if !orig[[3]uint64{p1.x, p1.v, p2.v}] {
+				return false
+			}
+		}
+	}
+	return count == len(orig)
+}
+
+func TestMineMVDsMinimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		tab := crossTable(rng)
+		fds := Mine(tab)
+		for _, m := range MineMVDs(tab, fds) {
+			if !m.HoldsIn(tab) {
+				t.Fatalf("trial %d: mined MVD does not hold", trial)
+			}
+			for _, b := range m.From.Members() {
+				if (MVD{From: m.From.Remove(b), To: m.To}).HoldsIn(tab) {
+					t.Fatalf("trial %d: MVD %v LHS not minimal", trial, m)
+				}
+			}
+		}
+	}
+}
+
+func TestMVDFormat(t *testing.T) {
+	sch := mat.Schema{mat.F("a", 8), mat.F("b", 8)}
+	if got := (MVD{From: mat.NewAttrSet(0), To: mat.NewAttrSet(1)}).Format(sch); got != "{a} ->> {b}" {
+		t.Errorf("Format = %q", got)
+	}
+}

@@ -1,0 +1,46 @@
+package fd
+
+import (
+	"fmt"
+	"strings"
+
+	"manorm/internal/mat"
+)
+
+// Parse reads the textual dependency syntax "a,b -> c,d" against a schema.
+// Attribute names must exist in the schema. An empty LHS ("-> c") declares
+// a constant attribute (∅ → c).
+func Parse(s string, sch mat.Schema) (FD, error) {
+	parts := strings.SplitN(s, "->", 2)
+	if len(parts) != 2 {
+		return FD{}, fmt.Errorf("fd: dependency %q lacks '->'", s)
+	}
+	parse := func(side string, allowEmpty bool) (mat.AttrSet, error) {
+		var set mat.AttrSet
+		side = strings.TrimSpace(side)
+		if side == "" {
+			if allowEmpty {
+				return 0, nil
+			}
+			return 0, fmt.Errorf("fd: empty attribute list in %q", s)
+		}
+		for _, name := range strings.Split(side, ",") {
+			name = strings.TrimSpace(name)
+			i := sch.Index(name)
+			if i < 0 {
+				return 0, fmt.Errorf("fd: unknown attribute %q in %q", name, s)
+			}
+			set = set.Add(i)
+		}
+		return set, nil
+	}
+	from, err := parse(parts[0], true)
+	if err != nil {
+		return FD{}, err
+	}
+	to, err := parse(parts[1], false)
+	if err != nil {
+		return FD{}, err
+	}
+	return FD{From: from, To: to}, nil
+}

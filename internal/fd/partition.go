@@ -1,0 +1,151 @@
+package fd
+
+import (
+	"fmt"
+
+	"manorm/internal/mat"
+)
+
+// partition is a stripped partition of table rows: the equivalence classes
+// of rows under equality of some attribute set's projection, with singleton
+// classes removed (they carry no FD information). This is the TANE
+// representation.
+type partition struct {
+	// classes holds the non-singleton equivalence classes as row indices.
+	classes [][]int
+	// size is the total number of rows in the stripped classes (‖π‖).
+	size int
+}
+
+// errMeasure is TANE's e(π) = ‖π‖ − |π|. Because π_{X∪A} always refines
+// π_X, the dependency X→A holds iff e(π_X) == e(π_{X∪A}).
+func (p *partition) errMeasure() int { return p.size - len(p.classes) }
+
+// singletonPartition builds the stripped partition of one attribute.
+func singletonPartition(t *mat.Table, attr int) *partition {
+	groups := make(map[mat.Cell][]int)
+	for ri, e := range t.Entries {
+		groups[e[attr]] = append(groups[e[attr]], ri)
+	}
+	p := &partition{}
+	// Iterate rows again so class order is deterministic.
+	emitted := make(map[mat.Cell]bool)
+	for _, e := range t.Entries {
+		c := e[attr]
+		if emitted[c] {
+			continue
+		}
+		emitted[c] = true
+		g := groups[c]
+		if len(g) > 1 {
+			p.classes = append(p.classes, g)
+			p.size += len(g)
+		}
+	}
+	return p
+}
+
+// emptyPartition is π_∅: all rows in one class (if more than one row).
+func emptyPartition(n int) *partition {
+	if n <= 1 {
+		return &partition{}
+	}
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	return &partition{classes: [][]int{rows}, size: n}
+}
+
+// product computes the stripped partition π_{X∪Y} from π_X and π_Y using
+// the standard linear-time probe-table algorithm.
+//
+// nRows is the table's row count; the scratch slices are reused across
+// calls via the multiplier.
+type multiplier struct {
+	probe []int // row -> class id in p1 (+1), 0 = unassigned
+	tag   []int // row -> class id in result accumulation
+}
+
+func newMultiplier(nRows int) *multiplier {
+	return &multiplier{probe: make([]int, nRows), tag: make([]int, nRows)}
+}
+
+func (m *multiplier) product(p1, p2 *partition) *partition {
+	// Mark rows with their class in p1.
+	for ci, cls := range p1.classes {
+		for _, r := range cls {
+			m.probe[r] = ci + 1
+		}
+	}
+	// Intersect every class of p2 against the marking.
+	out := &partition{}
+	buckets := make(map[int][]int)
+	for _, cls := range p2.classes {
+		for k := range buckets {
+			delete(buckets, k)
+		}
+		for _, r := range cls {
+			if c1 := m.probe[r]; c1 != 0 {
+				buckets[c1] = append(buckets[c1], r)
+			}
+		}
+		// Emit non-singleton intersections deterministically by scanning
+		// the class rows in order.
+		seen := make(map[int]bool)
+		for _, r := range cls {
+			c1 := m.probe[r]
+			if c1 == 0 || seen[c1] {
+				continue
+			}
+			seen[c1] = true
+			if g := buckets[c1]; len(g) > 1 {
+				cp := make([]int, len(g))
+				copy(cp, g)
+				out.classes = append(out.classes, cp)
+				out.size += len(g)
+			}
+		}
+	}
+	// Clear marks.
+	for _, cls := range p1.classes {
+		for _, r := range cls {
+			m.probe[r] = 0
+		}
+	}
+	return out
+}
+
+// partitionOf computes π_X directly from the table (used by tests and the
+// naive miner; the TANE miner builds partitions incrementally instead).
+func partitionOf(t *mat.Table, x mat.AttrSet) *partition {
+	if x.Empty() {
+		return emptyPartition(len(t.Entries))
+	}
+	groups := make(map[string][]int)
+	order := make([]string, 0)
+	for ri, e := range t.Entries {
+		k := projKey(e, x)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], ri)
+	}
+	p := &partition{}
+	for _, k := range order {
+		if g := groups[k]; len(g) > 1 {
+			p.classes = append(p.classes, g)
+			p.size += len(g)
+		}
+	}
+	return p
+}
+
+// projKey is the comparable projection of an entry onto an attribute set.
+func projKey(e mat.Entry, x mat.AttrSet) string {
+	b := make([]byte, 0, 16*x.Len())
+	for _, i := range x.Members() {
+		b = append(b, fmt.Sprintf("%d/%d;", e[i].Bits, e[i].PLen)...)
+	}
+	return string(b)
+}

@@ -1,0 +1,52 @@
+package fd
+
+import (
+	"manorm/internal/mat"
+)
+
+// Project computes the projection of an FD set onto an attribute subset S:
+// the minimal cover of every dependency X→A with X, A ⊆ S implied by fds.
+// This is what a decomposed sub-table inherits from the original table's
+// declared dependencies.
+//
+// The classic algorithm enumerates subsets of S and takes closures; S is a
+// sub-schema of a match-action table, so this stays small.
+func Project(fds []FD, s mat.AttrSet) []FD {
+	var out []FD
+	for _, x := range allSubsets(s) {
+		cl := Closure(x, fds).Intersect(s).Minus(x)
+		if cl.Empty() {
+			continue
+		}
+		out = append(out, FD{From: x, To: cl})
+	}
+	return MinimalCover(out)
+}
+
+// Rename translates an FD set between schemas: attribute index oldIdx in
+// the source schema becomes position i in the projected schema, as produced
+// by mat.Table.Project (members in ascending order). Dependencies touching
+// attributes outside the kept set are dropped.
+func Rename(fds []FD, kept mat.AttrSet) []FD {
+	members := kept.Members()
+	pos := make(map[int]int, len(members))
+	for i, m := range members {
+		pos[m] = i
+	}
+	var out []FD
+	for _, f := range fds {
+		if !f.From.SubsetOf(kept) || !f.To.SubsetOf(kept) {
+			continue
+		}
+		var from, to mat.AttrSet
+		for _, m := range f.From.Members() {
+			from = from.Add(pos[m])
+		}
+		for _, m := range f.To.Members() {
+			to = to.Add(pos[m])
+		}
+		out = append(out, FD{From: from, To: to})
+	}
+	Sort(out)
+	return out
+}

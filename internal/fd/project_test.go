@@ -1,0 +1,119 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+
+	"manorm/internal/mat"
+)
+
+func TestProjectKeepsImpliedFDs(t *testing.T) {
+	// FDs over (a, b, c, d): a→b, b→c, c→d. Projected onto {a, c, d},
+	// the transitive a→c and c→d must survive, b-dependencies vanish.
+	fds := []FD{
+		{From: mat.NewAttrSet(0), To: mat.NewAttrSet(1)},
+		{From: mat.NewAttrSet(1), To: mat.NewAttrSet(2)},
+		{From: mat.NewAttrSet(2), To: mat.NewAttrSet(3)},
+	}
+	keep := mat.NewAttrSet(0, 2, 3)
+	proj := Project(fds, keep)
+	mustImply := []FD{
+		{From: mat.NewAttrSet(0), To: mat.NewAttrSet(2)},
+		{From: mat.NewAttrSet(2), To: mat.NewAttrSet(3)},
+		{From: mat.NewAttrSet(0), To: mat.NewAttrSet(3)},
+	}
+	for _, f := range mustImply {
+		if !Implies(proj, f) {
+			t.Errorf("projection lost %v", f)
+		}
+	}
+	// Nothing about attribute 1 may appear.
+	for _, f := range proj {
+		if f.From.Has(1) || f.To.Has(1) {
+			t.Errorf("projection leaked attribute 1: %v", f)
+		}
+	}
+}
+
+func TestProjectSoundness(t *testing.T) {
+	// Every projected FD must be implied by the original set.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		var fds []FD
+		n := 5
+		for i := 0; i < 4; i++ {
+			from := mat.AttrSet(rng.Intn(1 << n))
+			to := mat.AttrSet(rng.Intn(1 << n))
+			if from == 0 || to.Minus(from) == 0 {
+				continue
+			}
+			fds = append(fds, FD{From: from, To: to.Minus(from)})
+		}
+		keep := mat.AttrSet(rng.Intn(1<<n-1) + 1)
+		for _, f := range Project(fds, keep) {
+			if !Implies(fds, f) {
+				t.Fatalf("trial %d: projected FD %v not implied by original", trial, f)
+			}
+			if !f.From.SubsetOf(keep) || !f.To.SubsetOf(keep) {
+				t.Fatalf("trial %d: projected FD %v escapes the kept set", trial, f)
+			}
+		}
+	}
+}
+
+func TestRename(t *testing.T) {
+	// Keep attrs {1, 3}: old index 1 -> 0, old 3 -> 1.
+	fds := []FD{
+		{From: mat.NewAttrSet(1), To: mat.NewAttrSet(3)},
+		{From: mat.NewAttrSet(0), To: mat.NewAttrSet(1)}, // dropped: touches 0
+	}
+	got := Rename(fds, mat.NewAttrSet(1, 3))
+	if len(got) != 1 {
+		t.Fatalf("Rename kept %d FDs, want 1", len(got))
+	}
+	if got[0].From != mat.NewAttrSet(0) || got[0].To != mat.NewAttrSet(1) {
+		t.Errorf("Rename produced %v", got[0])
+	}
+}
+
+func TestParse(t *testing.T) {
+	sch := mat.Schema{mat.F("ip_src", 32), mat.F("ip_dst", 32), mat.A("out", 16)}
+	f, err := Parse("ip_src, ip_dst -> out", sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.From != mat.NewAttrSet(0, 1) || f.To != mat.NewAttrSet(2) {
+		t.Errorf("Parse = %+v", f)
+	}
+	// Constant declaration: empty LHS.
+	f, err = Parse(" -> ip_dst", sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.From.Empty() || f.To != mat.NewAttrSet(1) {
+		t.Errorf("constant Parse = %+v", f)
+	}
+	for _, bad := range []string{"", "ip_src", "-> ", "zz -> out", "ip_src -> zz", "ip_src ->"} {
+		if _, err := Parse(bad, sch); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestEquivalentFDSets(t *testing.T) {
+	a := []FD{{From: mat.NewAttrSet(0), To: mat.NewAttrSet(1, 2)}}
+	b := []FD{
+		{From: mat.NewAttrSet(0), To: mat.NewAttrSet(1)},
+		{From: mat.NewAttrSet(0), To: mat.NewAttrSet(2)},
+	}
+	if !Equivalent(a, b) {
+		t.Errorf("split RHS not equivalent")
+	}
+	c := []FD{{From: mat.NewAttrSet(0), To: mat.NewAttrSet(1)}}
+	if Equivalent(a, c) {
+		t.Errorf("weaker set reported equivalent")
+	}
+	if Equivalent(c, a) {
+		t.Errorf("stronger set reported equivalent")
+	}
+}

@@ -1,0 +1,190 @@
+package fd
+
+import (
+	"manorm/internal/mat"
+)
+
+// Mine finds all minimal nontrivial functional dependencies X→A that hold
+// in the table, using the TANE levelwise algorithm over stripped partitions
+// (Huhtala et al.). Minimal means no proper subset of X determines A. The
+// result is deterministic (sorted).
+//
+// Both match fields and action attributes participate, matching the paper's
+// treatment of attributes (§3: keys may contain the out action).
+func Mine(t *mat.Table) []FD {
+	n := len(t.Schema)
+	if n == 0 || n > 64 {
+		return nil
+	}
+	mult := newMultiplier(len(t.Entries))
+
+	// Level state: candidate rhs+ sets and partitions per attribute set.
+	type node struct {
+		parts *partition
+		cplus mat.AttrSet
+	}
+	full := mat.FullSet(n)
+	var fds []FD
+
+	// π_∅ and C+(∅) = R.
+	prevCplus := map[mat.AttrSet]mat.AttrSet{0: full}
+	prevErr := map[mat.AttrSet]int{0: emptyPartition(len(t.Entries)).errMeasure()}
+
+	// Level 1: singletons. A level is the list of its attr sets plus a map
+	// for subset lookups.
+	level := make([]mat.AttrSet, 0, n)
+	nodes := make(map[mat.AttrSet]*node, n)
+	for a := 0; a < n; a++ {
+		x := mat.NewAttrSet(a)
+		level = append(level, x)
+		nodes[x] = &node{parts: singletonPartition(t, a)}
+	}
+
+	for len(level) > 0 {
+		// Compute C+(X) = ∩_{B∈X} C+(X\{B}).
+		for _, x := range level {
+			c := full
+			for _, b := range x.Members() {
+				// Pruned subsets inherit an empty candidate set.
+				c = c.Intersect(prevCplus[x.Remove(b)])
+			}
+			nodes[x].cplus = c
+		}
+
+		// Compute dependencies: for A ∈ X ∩ C+(X), test X\{A} → A via
+		// e(π_{X\{A}}) == e(π_X).
+		for _, x := range level {
+			nd := nodes[x]
+			for _, a := range x.Intersect(nd.cplus).Members() {
+				lhs := x.Remove(a)
+				lerr, ok := prevErr[lhs]
+				if !ok {
+					lerr = partitionOf(t, lhs).errMeasure()
+				}
+				if lerr == nd.parts.errMeasure() {
+					fds = append(fds, FD{From: lhs, To: mat.NewAttrSet(a)})
+					nd.cplus = nd.cplus.Remove(a)
+					// Remove all B ∈ R\X from C+(X): any FD X'→B with
+					// X ⊆ X' is non-minimal because lhs→A makes X
+					// redundant context for B.
+					for _, b := range full.Minus(x).Members() {
+						nd.cplus = nd.cplus.Remove(b)
+					}
+				}
+			}
+		}
+
+		// Prune nodes with empty C+ and generate the next level by
+		// prefix join: X∪Y for X, Y sharing all but the last attribute,
+		// keeping only sets whose every l-subset survived.
+		survivors := level[:0]
+		for _, x := range level {
+			if !nodes[x].cplus.Empty() {
+				survivors = append(survivors, x)
+			}
+		}
+		inLevel := make(map[mat.AttrSet]bool, len(survivors))
+		for _, x := range survivors {
+			inLevel[x] = true
+		}
+
+		nextCplus := make(map[mat.AttrSet]mat.AttrSet, len(survivors))
+		nextErr := make(map[mat.AttrSet]int, len(survivors))
+		for _, x := range survivors {
+			nextCplus[x] = nodes[x].cplus
+			nextErr[x] = nodes[x].parts.errMeasure()
+		}
+
+		var nextLevel []mat.AttrSet
+		nextNodes := make(map[mat.AttrSet]*node)
+		for i := 0; i < len(survivors); i++ {
+			for j := i + 1; j < len(survivors); j++ {
+				x, y := survivors[i], survivors[j]
+				// Prefix join: differ in exactly one attribute each.
+				u := x.Union(y)
+				if u.Len() != x.Len()+1 {
+					continue
+				}
+				if _, dup := nextNodes[u]; dup {
+					continue
+				}
+				// All l-subsets must be in the surviving level.
+				ok := true
+				for _, b := range u.Members() {
+					if !inLevel[u.Remove(b)] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				nextNodes[u] = &node{parts: mult.product(nodes[x].parts, nodes[y].parts)}
+				nextLevel = append(nextLevel, u)
+			}
+		}
+
+		prevCplus = nextCplus
+		prevErr = nextErr
+		level = nextLevel
+		nodes = nextNodes
+	}
+
+	Sort(fds)
+	return fds
+}
+
+// MineNaive is the reference miner: brute-force minimal-FD search by
+// definition. Exponential in the attribute count; used to validate Mine in
+// tests and acceptable for the small schemas of real match-action programs.
+func MineNaive(t *mat.Table) []FD {
+	n := len(t.Schema)
+	if n == 0 || n > 20 {
+		return nil
+	}
+	var fds []FD
+	full := mat.FullSet(n)
+	for a := 0; a < n; a++ {
+		rest := full.Remove(a)
+		target := mat.NewAttrSet(a)
+		// Minimal LHS sets found so far for this attribute.
+		var minimal []mat.AttrSet
+		// Enumerate subsets of rest by increasing size.
+		subsets := allSubsets(rest)
+		mat.SortAttrSets(subsets)
+		for _, x := range subsets {
+			dominated := false
+			for _, m := range minimal {
+				if m.SubsetOf(x) {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				continue
+			}
+			if t.DetermineFn(x, target) {
+				minimal = append(minimal, x)
+				fds = append(fds, FD{From: x, To: target})
+			}
+		}
+	}
+	Sort(fds)
+	return fds
+}
+
+// allSubsets enumerates every subset of s (including ∅).
+func allSubsets(s mat.AttrSet) []mat.AttrSet {
+	members := s.Members()
+	out := make([]mat.AttrSet, 0, 1<<len(members))
+	for bits := 0; bits < 1<<len(members); bits++ {
+		var sub mat.AttrSet
+		for i, m := range members {
+			if bits&(1<<i) != 0 {
+				sub = sub.Add(m)
+			}
+		}
+		out = append(out, sub)
+	}
+	return out
+}

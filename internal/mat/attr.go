@@ -1,0 +1,148 @@
+// Package mat implements the relational model of match-action tables that
+// the normalization framework operates on.
+//
+// A match-action table is viewed as a relation: a schema of named attributes
+// and a set of entries (rows) assigning a cell to every attribute. Following
+// the paper, attributes come in two kinds — match fields and action
+// attributes — and both participate uniformly in functional dependencies and
+// candidate keys. Cells are bit patterns with an optional prefix length, so a
+// wildcard match such as "0.0.0.0/1" is a single opaque value of its
+// attribute, exactly as the paper treats it.
+package mat
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind distinguishes the two classes of attributes a match-action table may
+// carry. Both kinds take part in functional dependencies and keys; only the
+// decomposition rules treat them differently (see internal/core).
+type Kind uint8
+
+const (
+	// Field is a match attribute: the table matches packets on it.
+	Field Kind = iota
+	// Action is an action attribute: the table writes or emits it.
+	Action
+)
+
+// String returns "field" or "action".
+func (k Kind) String() string {
+	switch k {
+	case Field:
+		return "field"
+	case Action:
+		return "action"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Attr describes one attribute (column) of a match-action table.
+type Attr struct {
+	// Name identifies the attribute, e.g. "ip_dst" or "out".
+	Name string
+	// Kind says whether the attribute is matched on or acted upon.
+	Kind Kind
+	// Width is the attribute's size in bits (1..64). Concrete values and
+	// prefixes are interpreted against this width.
+	Width uint8
+}
+
+// F constructs a match-field attribute of the given width.
+func F(name string, width uint8) Attr { return Attr{Name: name, Kind: Field, Width: width} }
+
+// A constructs an action attribute of the given width.
+func A(name string, width uint8) Attr { return Attr{Name: name, Kind: Action, Width: width} }
+
+// String renders the attribute as name:kind/width.
+func (a Attr) String() string {
+	return fmt.Sprintf("%s:%s/%d", a.Name, a.Kind, a.Width)
+}
+
+// Schema is an ordered list of attributes. Order matters only for rendering;
+// the relational semantics are order-independent.
+type Schema []Attr
+
+// Names returns the attribute names in schema order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, a := range s {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Index returns the position of the attribute with the given name, or -1.
+func (s Schema) Index(name string) int {
+	for i, a := range s {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Fields returns the indices of all match-field attributes.
+func (s Schema) Fields() []int {
+	var out []int
+	for i, a := range s {
+		if a.Kind == Field {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Actions returns the indices of all action attributes.
+func (s Schema) Actions() []int {
+	var out []int
+	for i, a := range s {
+		if a.Kind == Action {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Project returns the sub-schema containing the attributes at the given
+// indices, in the order given.
+func (s Schema) Project(idx []int) Schema {
+	out := make(Schema, len(idx))
+	for i, j := range idx {
+		out[i] = s[j]
+	}
+	return out
+}
+
+// Validate checks that the schema is well formed: nonempty, unique names and
+// widths in 1..64.
+func (s Schema) Validate() error {
+	if len(s) == 0 {
+		return fmt.Errorf("mat: empty schema")
+	}
+	seen := make(map[string]bool, len(s))
+	for _, a := range s {
+		if a.Name == "" {
+			return fmt.Errorf("mat: attribute with empty name")
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("mat: duplicate attribute %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Width == 0 || a.Width > 64 {
+			return fmt.Errorf("mat: attribute %q has invalid width %d", a.Name, a.Width)
+		}
+	}
+	return nil
+}
+
+// String renders the schema as a comma-separated attribute list.
+func (s Schema) String() string {
+	parts := make([]string, len(s))
+	for i, a := range s {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ", ")
+}

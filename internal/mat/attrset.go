@@ -1,0 +1,109 @@
+package mat
+
+import (
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// AttrSet is a set of attribute positions in a schema, represented as a
+// 64-bit mask. Tables are limited to 64 attributes, far beyond any real
+// match-action program.
+type AttrSet uint64
+
+// NewAttrSet builds a set from attribute indices.
+func NewAttrSet(idx ...int) AttrSet {
+	var s AttrSet
+	for _, i := range idx {
+		s = s.Add(i)
+	}
+	return s
+}
+
+// SetOf builds a set from attribute names resolved against a schema;
+// unknown names are ignored.
+func SetOf(sch Schema, names ...string) AttrSet {
+	var s AttrSet
+	for _, n := range names {
+		if i := sch.Index(n); i >= 0 {
+			s = s.Add(i)
+		}
+	}
+	return s
+}
+
+// FullSet returns the set of all n attributes.
+func FullSet(n int) AttrSet {
+	if n >= 64 {
+		return ^AttrSet(0)
+	}
+	return AttrSet(1)<<n - 1
+}
+
+// Add returns the set with attribute i included.
+func (s AttrSet) Add(i int) AttrSet { return s | 1<<uint(i) }
+
+// Remove returns the set with attribute i excluded.
+func (s AttrSet) Remove(i int) AttrSet { return s &^ (1 << uint(i)) }
+
+// Has reports whether attribute i is in the set.
+func (s AttrSet) Has(i int) bool { return s&(1<<uint(i)) != 0 }
+
+// Union returns s ∪ o.
+func (s AttrSet) Union(o AttrSet) AttrSet { return s | o }
+
+// Intersect returns s ∩ o.
+func (s AttrSet) Intersect(o AttrSet) AttrSet { return s & o }
+
+// Minus returns s \ o.
+func (s AttrSet) Minus(o AttrSet) AttrSet { return s &^ o }
+
+// SubsetOf reports whether s ⊆ o.
+func (s AttrSet) SubsetOf(o AttrSet) bool { return s&^o == 0 }
+
+// ProperSubsetOf reports whether s ⊊ o.
+func (s AttrSet) ProperSubsetOf(o AttrSet) bool { return s != o && s.SubsetOf(o) }
+
+// Empty reports whether the set has no members.
+func (s AttrSet) Empty() bool { return s == 0 }
+
+// Len returns the number of members.
+func (s AttrSet) Len() int { return bits.OnesCount64(uint64(s)) }
+
+// Members returns the attribute indices in ascending order.
+func (s AttrSet) Members() []int {
+	out := make([]int, 0, s.Len())
+	for v := uint64(s); v != 0; {
+		i := bits.TrailingZeros64(v)
+		out = append(out, i)
+		v &^= 1 << uint(i)
+	}
+	return out
+}
+
+// Names renders the member attribute names against a schema, sorted by
+// schema position.
+func (s AttrSet) Names(sch Schema) []string {
+	m := s.Members()
+	out := make([]string, len(m))
+	for i, j := range m {
+		out[i] = sch[j].Name
+	}
+	return out
+}
+
+// Format renders the set as "{a, b}" against a schema.
+func (s AttrSet) Format(sch Schema) string {
+	return "{" + strings.Join(s.Names(sch), ", ") + "}"
+}
+
+// SortAttrSets orders sets by size then numeric value, for deterministic
+// output.
+func SortAttrSets(sets []AttrSet) {
+	sort.Slice(sets, func(i, j int) bool {
+		if li, lj := sets[i].Len(), sets[j].Len(); li != lj {
+			return li < lj
+		}
+		return sets[i] < sets[j]
+	})
+}

@@ -1,0 +1,98 @@
+package mat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAttrSetBasics(t *testing.T) {
+	s := NewAttrSet(0, 2, 5)
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+	if !s.Has(2) || s.Has(1) {
+		t.Errorf("membership wrong: %v", s.Members())
+	}
+	s2 := s.Remove(2)
+	if s2.Has(2) || s2.Len() != 2 {
+		t.Errorf("Remove failed: %v", s2.Members())
+	}
+	if got := s.Members(); len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 5 {
+		t.Errorf("Members = %v", got)
+	}
+}
+
+func TestAttrSetAlgebra(t *testing.T) {
+	a := NewAttrSet(0, 1)
+	b := NewAttrSet(1, 2)
+	if got := a.Union(b); got != NewAttrSet(0, 1, 2) {
+		t.Errorf("Union = %v", got.Members())
+	}
+	if got := a.Intersect(b); got != NewAttrSet(1) {
+		t.Errorf("Intersect = %v", got.Members())
+	}
+	if got := a.Minus(b); got != NewAttrSet(0) {
+		t.Errorf("Minus = %v", got.Members())
+	}
+	if !NewAttrSet(1).SubsetOf(a) || a.SubsetOf(b) {
+		t.Errorf("SubsetOf wrong")
+	}
+	if !NewAttrSet(1).ProperSubsetOf(a) || a.ProperSubsetOf(a) {
+		t.Errorf("ProperSubsetOf wrong")
+	}
+	if !AttrSet(0).Empty() || a.Empty() {
+		t.Errorf("Empty wrong")
+	}
+}
+
+func TestFullSet(t *testing.T) {
+	if FullSet(3) != NewAttrSet(0, 1, 2) {
+		t.Errorf("FullSet(3) = %v", FullSet(3).Members())
+	}
+	if FullSet(64).Len() != 64 {
+		t.Errorf("FullSet(64) has %d members", FullSet(64).Len())
+	}
+	if FullSet(0) != 0 {
+		t.Errorf("FullSet(0) nonempty")
+	}
+}
+
+func TestSetOf(t *testing.T) {
+	sch := Schema{F("a", 8), F("b", 8), A("c", 8)}
+	if got := SetOf(sch, "a", "c"); got != NewAttrSet(0, 2) {
+		t.Errorf("SetOf = %v", got.Members())
+	}
+	if got := SetOf(sch, "missing"); got != 0 {
+		t.Errorf("SetOf with unknown name = %v", got.Members())
+	}
+	if got := NewAttrSet(0, 2).Format(sch); got != "{a, c}" {
+		t.Errorf("Format = %q", got)
+	}
+}
+
+func TestAttrSetProperties(t *testing.T) {
+	// Union is the least upper bound; Minus then Union restores subsets.
+	f := func(a, b AttrSet) bool {
+		u := a.Union(b)
+		return a.SubsetOf(u) && b.SubsetOf(u) &&
+			a.Minus(b).Union(a.Intersect(b)) == a &&
+			u.Len() == a.Len()+b.Len()-a.Intersect(b).Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortAttrSets(t *testing.T) {
+	sets := []AttrSet{NewAttrSet(0, 1, 2), NewAttrSet(3), NewAttrSet(0, 1), NewAttrSet(1)}
+	SortAttrSets(sets)
+	if sets[0] != NewAttrSet(1) && sets[0] != NewAttrSet(3) {
+		// size-1 sets first, ordered by value
+	}
+	if sets[0].Len() != 1 || sets[1].Len() != 1 || sets[2].Len() != 2 || sets[3].Len() != 3 {
+		t.Errorf("SortAttrSets order wrong: %v", sets)
+	}
+	if sets[0] > sets[1] {
+		t.Errorf("equal-size sets not value ordered")
+	}
+}

@@ -1,0 +1,201 @@
+package mat
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Cell is one value of one attribute in one entry: a bit pattern with a
+// prefix length, interpreted against the attribute's width.
+//
+//   - PLen == width: an exact value (exact match, or a concrete action
+//     parameter).
+//   - 0 < PLen < width: a prefix pattern, e.g. the paper's "0*"
+//     (0.0.0.0/1) source-address split.
+//   - PLen == 0: a full wildcard ("any").
+//
+// For the relational machinery (functional dependencies, keys) cells are
+// opaque: two cells are the same value iff Bits and PLen are both equal.
+// The prefix structure only matters when a table is lowered to a concrete
+// classifier (internal/classifier) or evaluated on packets.
+type Cell struct {
+	// Bits holds the pattern, right-aligned in the attribute width. Bits
+	// outside the prefix must be zero (see Canonical).
+	Bits uint64
+	// PLen is the number of significant leading bits.
+	PLen uint8
+}
+
+// Exact constructs an exact-valued cell for an attribute of the given width.
+func Exact(bits uint64, width uint8) Cell { return Cell{Bits: bits & mask(width), PLen: width} }
+
+// Prefix constructs a prefix cell: the top plen bits of a width-bit pattern
+// are significant. Insignificant bits of bits are cleared.
+func Prefix(bits uint64, plen, width uint8) Cell {
+	if plen > width {
+		plen = width
+	}
+	return Cell{Bits: bits & prefixMask(plen, width), PLen: plen}
+}
+
+// Any is the full-wildcard cell.
+func Any() Cell { return Cell{} }
+
+// mask returns a mask of the low width bits.
+func mask(width uint8) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << width) - 1
+}
+
+// prefixMask returns the mask selecting the top plen bits of a width-bit
+// value.
+func prefixMask(plen, width uint8) uint64 {
+	if plen == 0 {
+		return 0
+	}
+	if plen > width {
+		plen = width
+	}
+	return mask(width) &^ mask(width-plen)
+}
+
+// IsExact reports whether the cell is an exact value for the given width.
+func (c Cell) IsExact(width uint8) bool { return c.PLen >= width }
+
+// IsAny reports whether the cell is a full wildcard.
+func (c Cell) IsAny() bool { return c.PLen == 0 }
+
+// Matches reports whether a concrete width-bit value v falls inside the
+// cell's pattern.
+func (c Cell) Matches(v uint64, width uint8) bool {
+	m := prefixMask(c.PLen, width)
+	return v&m == c.Bits&m
+}
+
+// Covers reports whether every value matched by o is also matched by c
+// (c is at least as general as o), for attributes of the given width.
+func (c Cell) Covers(o Cell, width uint8) bool {
+	if c.PLen > o.PLen {
+		return false
+	}
+	m := prefixMask(c.PLen, width)
+	return c.Bits&m == o.Bits&m
+}
+
+// Overlaps reports whether some concrete value is matched by both cells.
+func (c Cell) Overlaps(o Cell, width uint8) bool {
+	p := c.PLen
+	if o.PLen < p {
+		p = o.PLen
+	}
+	m := prefixMask(p, width)
+	return c.Bits&m == o.Bits&m
+}
+
+// Canonical returns the cell with bits outside the prefix cleared, so that
+// equal patterns compare equal with ==.
+func (c Cell) Canonical(width uint8) Cell {
+	if c.PLen > width {
+		c.PLen = width
+	}
+	c.Bits &= prefixMask(c.PLen, width)
+	return c
+}
+
+// String renders the cell: "*" for a wildcard, the decimal value for an
+// exact cell (width unknown here, so exactness is approximated by PLen>=64
+// being impossible: callers wanting width-aware rendering use Format).
+func (c Cell) String() string { return c.Format(64) }
+
+// Format renders the cell against a known attribute width: "*" for any,
+// plain decimal for exact values, "value/plen" for prefixes.
+func (c Cell) Format(width uint8) string {
+	switch {
+	case c.PLen == 0:
+		return "*"
+	case c.PLen >= width:
+		return strconv.FormatUint(c.Bits, 10)
+	default:
+		return fmt.Sprintf("%d/%d", c.Bits, c.PLen)
+	}
+}
+
+// ParseCell parses the textual cell syntax produced by Format: "*", a
+// decimal or 0x-hex value, or "value/plen". Dotted-quad IPv4 notation
+// ("192.0.2.1", optionally with "/plen") is also accepted for convenience.
+func ParseCell(s string, width uint8) (Cell, error) {
+	s = strings.TrimSpace(s)
+	if s == "*" || s == "" {
+		return Any(), nil
+	}
+	plen := width
+	if i := strings.LastIndexByte(s, '/'); i >= 0 {
+		p, err := strconv.ParseUint(s[i+1:], 10, 8)
+		if err != nil {
+			return Cell{}, fmt.Errorf("mat: bad prefix length in %q: %v", s, err)
+		}
+		if p > uint64(width) {
+			return Cell{}, fmt.Errorf("mat: prefix length %d exceeds width %d in %q", p, width, s)
+		}
+		plen = uint8(p)
+		s = s[:i]
+	}
+	var bits uint64
+	if strings.Count(s, ".") == 3 {
+		v, err := parseDottedQuad(s)
+		if err != nil {
+			return Cell{}, err
+		}
+		bits = v
+	} else {
+		v, err := strconv.ParseUint(s, 0, 64)
+		if err != nil {
+			return Cell{}, fmt.Errorf("mat: bad cell value %q: %v", s, err)
+		}
+		bits = v
+	}
+	if width < 64 && bits > mask(width) {
+		return Cell{}, fmt.Errorf("mat: value %d does not fit in %d bits", bits, width)
+	}
+	return Prefix(bits, plen, width), nil
+}
+
+// parseDottedQuad converts "a.b.c.d" into its 32-bit value.
+func parseDottedQuad(s string) (uint64, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("mat: bad IPv4 literal %q", s)
+	}
+	var v uint64
+	for _, p := range parts {
+		b, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("mat: bad IPv4 literal %q: %v", s, err)
+		}
+		v = v<<8 | b
+	}
+	return v, nil
+}
+
+// IPv4 is a convenience constructor turning a dotted quad into an exact
+// 32-bit cell. It panics on malformed input; use ParseCell for untrusted
+// data.
+func IPv4(s string) Cell {
+	v, err := parseDottedQuad(s)
+	if err != nil {
+		panic(err)
+	}
+	return Exact(v, 32)
+}
+
+// IPv4Prefix is like IPv4 but produces a prefix cell.
+func IPv4Prefix(s string, plen uint8) Cell {
+	v, err := parseDottedQuad(s)
+	if err != nil {
+		panic(err)
+	}
+	return Prefix(v, plen, 32)
+}

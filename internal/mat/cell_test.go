@@ -1,0 +1,211 @@
+package mat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExactCell(t *testing.T) {
+	c := Exact(0xC0000201, 32) // 192.0.2.1
+	if !c.IsExact(32) {
+		t.Fatalf("Exact cell not exact")
+	}
+	if c.IsAny() {
+		t.Fatalf("Exact cell reported as any")
+	}
+	if !c.Matches(0xC0000201, 32) {
+		t.Errorf("exact cell does not match its own value")
+	}
+	if c.Matches(0xC0000202, 32) {
+		t.Errorf("exact cell matches a different value")
+	}
+}
+
+func TestExactCellTruncates(t *testing.T) {
+	c := Exact(0x1FF, 8)
+	if c.Bits != 0xFF {
+		t.Errorf("Exact(0x1FF, 8).Bits = %#x, want 0xFF", c.Bits)
+	}
+}
+
+func TestPrefixCell(t *testing.T) {
+	// The paper's load-balancing split: ip_src in 0.0.0.0/1 vs 128.0.0.0/1.
+	lo := Prefix(0, 1, 32)
+	hi := Prefix(0x80000000, 1, 32)
+	if lo.Matches(0x80000000, 32) {
+		t.Errorf("0/1 matches 128.0.0.0")
+	}
+	if !lo.Matches(0x7FFFFFFF, 32) {
+		t.Errorf("0/1 does not match 127.255.255.255")
+	}
+	if !hi.Matches(0xFFFFFFFF, 32) {
+		t.Errorf("128/1 does not match 255.255.255.255")
+	}
+	if lo.Overlaps(hi, 32) {
+		t.Errorf("disjoint /1 prefixes report overlap")
+	}
+}
+
+func TestPrefixInsignificantBitsCleared(t *testing.T) {
+	c := Prefix(0xC0000201, 24, 32)
+	if c.Bits != 0xC0000200 {
+		t.Errorf("Prefix did not clear host bits: got %#x", c.Bits)
+	}
+}
+
+func TestAnyCell(t *testing.T) {
+	c := Any()
+	if !c.IsAny() {
+		t.Fatalf("Any() not any")
+	}
+	for _, v := range []uint64{0, 1, 0xFFFF, ^uint64(0)} {
+		if !c.Matches(v, 16) {
+			t.Errorf("Any does not match %d", v)
+		}
+	}
+}
+
+func TestCovers(t *testing.T) {
+	tests := []struct {
+		a, b  Cell
+		width uint8
+		want  bool
+	}{
+		{Any(), Exact(5, 16), 16, true},
+		{Exact(5, 16), Any(), 16, false},
+		{Prefix(0xC0000000, 8, 32), Prefix(0xC0000200, 24, 32), 32, true},
+		{Prefix(0xC0000200, 24, 32), Prefix(0xC0000000, 8, 32), 32, false},
+		{Prefix(0x40000000, 8, 32), Prefix(0xC0000200, 24, 32), 32, false},
+		{Exact(5, 16), Exact(5, 16), 16, true},
+		{Exact(5, 16), Exact(6, 16), 16, false},
+	}
+	for i, tc := range tests {
+		if got := tc.a.Covers(tc.b, tc.width); got != tc.want {
+			t.Errorf("case %d: Covers = %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestCoversImpliesOverlaps(t *testing.T) {
+	f := func(bits1, bits2 uint64, p1, p2 uint8) bool {
+		a := Prefix(bits1, p1%33, 32)
+		b := Prefix(bits2, p2%33, 32)
+		if a.Covers(b, 32) && !a.Overlaps(b, 32) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlapsSymmetric(t *testing.T) {
+	f := func(bits1, bits2 uint64, p1, p2 uint8) bool {
+		a := Prefix(bits1, p1%33, 32)
+		b := Prefix(bits2, p2%33, 32)
+		return a.Overlaps(b, 32) == b.Overlaps(a, 32)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchesConsistentWithOverlapExact(t *testing.T) {
+	// For an exact cell b, a.Overlaps(b) iff a.Matches(b.Bits).
+	f := func(bits1, v uint64, p1 uint8) bool {
+		a := Prefix(bits1, p1%33, 32)
+		b := Exact(v, 32)
+		return a.Overlaps(b, 32) == a.Matches(b.Bits, 32)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonicalIdempotent(t *testing.T) {
+	f := func(bits uint64, p uint8) bool {
+		c := Cell{Bits: bits, PLen: p % 40}
+		c1 := c.Canonical(32)
+		return c1 == c1.Canonical(32)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseCellRoundTrip(t *testing.T) {
+	tests := []struct {
+		in    string
+		width uint8
+		want  Cell
+	}{
+		{"*", 32, Any()},
+		{"80", 16, Exact(80, 16)},
+		{"0x50", 16, Exact(80, 16)},
+		{"192.0.2.1", 32, IPv4("192.0.2.1")},
+		{"192.0.2.0/24", 32, IPv4Prefix("192.0.2.0", 24)},
+		{"0/1", 32, Prefix(0, 1, 32)},
+		{"128.0.0.0/1", 32, Prefix(0x80000000, 1, 32)},
+	}
+	for _, tc := range tests {
+		got, err := ParseCell(tc.in, tc.width)
+		if err != nil {
+			t.Errorf("ParseCell(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseCell(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+		// Format then re-parse must be the identity.
+		back, err := ParseCell(got.Format(tc.width), tc.width)
+		if err != nil || back != got {
+			t.Errorf("ParseCell(Format(%q)) = %+v, %v; want %+v", tc.in, back, err, got)
+		}
+	}
+}
+
+func TestParseCellErrors(t *testing.T) {
+	bad := []struct {
+		in    string
+		width uint8
+	}{
+		{"zzz", 32},
+		{"1/99", 32},
+		{"300", 8},
+		{"1.2.3", 32},
+		{"1.2.3.999", 32},
+		{"5/x", 32},
+	}
+	for _, tc := range bad {
+		if _, err := ParseCell(tc.in, tc.width); err == nil {
+			t.Errorf("ParseCell(%q, %d) succeeded, want error", tc.in, tc.width)
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	tests := []struct {
+		c     Cell
+		width uint8
+		want  string
+	}{
+		{Any(), 32, "*"},
+		{Exact(80, 16), 16, "80"},
+		{Prefix(0x80000000, 1, 32), 32, "2147483648/1"},
+	}
+	for _, tc := range tests {
+		if got := tc.c.Format(tc.width); got != tc.want {
+			t.Errorf("Format(%+v, %d) = %q, want %q", tc.c, tc.width, got, tc.want)
+		}
+	}
+}
+
+func TestIPv4Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("IPv4 on malformed input did not panic")
+		}
+	}()
+	IPv4("not.an.ip.addr")
+}

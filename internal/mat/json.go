@@ -1,0 +1,129 @@
+package mat
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonTable is the on-disk form of a Table: attribute descriptors plus rows
+// of textual cells ("*", "42", "192.0.2.0/24").
+type jsonTable struct {
+	Name    string     `json:"name"`
+	Attrs   []jsonAttr `json:"attrs"`
+	Entries [][]string `json:"entries"`
+}
+
+type jsonAttr struct {
+	Name  string `json:"name"`
+	Kind  string `json:"kind"` // "field" or "action"
+	Width uint8  `json:"width"`
+}
+
+type jsonStage struct {
+	Table    jsonTable `json:"table"`
+	Next     int       `json:"next"`
+	MissDrop bool      `json:"miss_drop"`
+}
+
+type jsonPipeline struct {
+	Name   string      `json:"name"`
+	Start  int         `json:"start"`
+	Stages []jsonStage `json:"stages"`
+}
+
+func toJSONTable(t *Table) jsonTable {
+	jt := jsonTable{Name: t.Name}
+	for _, a := range t.Schema {
+		jt.Attrs = append(jt.Attrs, jsonAttr{Name: a.Name, Kind: a.Kind.String(), Width: a.Width})
+	}
+	for _, e := range t.Entries {
+		row := make([]string, len(e))
+		for i, c := range e {
+			row[i] = c.Format(t.Schema[i].Width)
+		}
+		jt.Entries = append(jt.Entries, row)
+	}
+	return jt
+}
+
+func fromJSONTable(jt jsonTable) (*Table, error) {
+	sch := make(Schema, len(jt.Attrs))
+	for i, a := range jt.Attrs {
+		var k Kind
+		switch a.Kind {
+		case "field", "match", "":
+			k = Field
+		case "action":
+			k = Action
+		default:
+			return nil, fmt.Errorf("mat: attribute %q: unknown kind %q", a.Name, a.Kind)
+		}
+		sch[i] = Attr{Name: a.Name, Kind: k, Width: a.Width}
+	}
+	t := New(jt.Name, sch)
+	if err := sch.Validate(); err != nil {
+		return nil, err
+	}
+	for ri, row := range jt.Entries {
+		if len(row) != len(sch) {
+			return nil, fmt.Errorf("mat: table %s: entry %d has %d cells, want %d", jt.Name, ri, len(row), len(sch))
+		}
+		e := make(Entry, len(row))
+		for i, s := range row {
+			c, err := ParseCell(s, sch[i].Width)
+			if err != nil {
+				return nil, fmt.Errorf("mat: table %s: entry %d, attr %s: %w", jt.Name, ri, sch[i].Name, err)
+			}
+			e[i] = c
+		}
+		t.Entries = append(t.Entries, e)
+	}
+	return t, nil
+}
+
+// MarshalJSON encodes the table in the textual-cell JSON form.
+func (t *Table) MarshalJSON() ([]byte, error) { return json.Marshal(toJSONTable(t)) }
+
+// UnmarshalJSON decodes the textual-cell JSON form.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var jt jsonTable
+	if err := json.Unmarshal(data, &jt); err != nil {
+		return err
+	}
+	nt, err := fromJSONTable(jt)
+	if err != nil {
+		return err
+	}
+	*t = *nt
+	return nil
+}
+
+// MarshalJSON encodes the pipeline, embedding each stage's table.
+func (p *Pipeline) MarshalJSON() ([]byte, error) {
+	jp := jsonPipeline{Name: p.Name, Start: p.Start}
+	for _, s := range p.Stages {
+		jp.Stages = append(jp.Stages, jsonStage{Table: toJSONTable(s.Table), Next: s.Next, MissDrop: s.MissDrop})
+	}
+	return json.Marshal(jp)
+}
+
+// UnmarshalJSON decodes a pipeline and validates it.
+func (p *Pipeline) UnmarshalJSON(data []byte) error {
+	var jp jsonPipeline
+	if err := json.Unmarshal(data, &jp); err != nil {
+		return err
+	}
+	np := &Pipeline{Name: jp.Name, Start: jp.Start}
+	for _, s := range jp.Stages {
+		t, err := fromJSONTable(s.Table)
+		if err != nil {
+			return err
+		}
+		np.Stages = append(np.Stages, Stage{Table: t, Next: s.Next, MissDrop: s.MissDrop})
+	}
+	if err := np.Validate(); err != nil {
+		return err
+	}
+	*p = *np
+	return nil
+}

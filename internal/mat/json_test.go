@@ -1,0 +1,80 @@
+package mat
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	orig := fig1a()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Table
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !orig.Equal(&back) {
+		t.Errorf("round trip changed table:\n%s\nvs\n%s", orig, &back)
+	}
+}
+
+func TestPipelineJSONRoundTrip(t *testing.T) {
+	orig := fig1b()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Pipeline
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Depth() != orig.Depth() || back.FieldCount() != orig.FieldCount() {
+		t.Errorf("round trip changed pipeline shape")
+	}
+	for i := range orig.Stages {
+		if !orig.Stages[i].Table.Equal(back.Stages[i].Table) {
+			t.Errorf("stage %d table changed", i)
+		}
+		if orig.Stages[i].Next != back.Stages[i].Next || orig.Stages[i].MissDrop != back.Stages[i].MissDrop {
+			t.Errorf("stage %d links changed", i)
+		}
+	}
+}
+
+func TestTableJSONErrors(t *testing.T) {
+	cases := []string{
+		`{"name":"t","attrs":[{"name":"a","kind":"bogus","width":8}],"entries":[]}`,
+		`{"name":"t","attrs":[{"name":"a","kind":"field","width":8}],"entries":[["1","2"]]}`,
+		`{"name":"t","attrs":[{"name":"a","kind":"field","width":8}],"entries":[["zzz"]]}`,
+		`{"name":"t","attrs":[],"entries":[]}`,
+		`not json`,
+	}
+	for i, c := range cases {
+		var tab Table
+		if err := json.Unmarshal([]byte(c), &tab); err == nil {
+			t.Errorf("case %d: bad JSON accepted", i)
+		}
+	}
+}
+
+func TestTableJSONDefaultKind(t *testing.T) {
+	// Kind defaults to "field" when omitted, and "match" is an alias.
+	src := `{"name":"t","attrs":[{"name":"a","width":8},{"name":"b","kind":"match","width":8}],"entries":[["1","*"]]}`
+	var tab Table
+	if err := json.Unmarshal([]byte(src), &tab); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if tab.Schema[0].Kind != Field || tab.Schema[1].Kind != Field {
+		t.Errorf("kind defaulting wrong: %s", tab.Schema)
+	}
+}
+
+func TestPipelineJSONValidates(t *testing.T) {
+	src := `{"name":"p","start":5,"stages":[{"table":{"name":"t","attrs":[{"name":"a","width":8}],"entries":[]},"next":-1}]}`
+	var p Pipeline
+	if err := json.Unmarshal([]byte(src), &p); err == nil {
+		t.Errorf("invalid pipeline accepted")
+	}
+}

@@ -1,0 +1,262 @@
+package mat
+
+import (
+	"strings"
+	"testing"
+)
+
+// fig1b builds the paper's Fig. 1b: the gateway & load-balancer decomposed
+// with goto_table joins. Stage 0 matches (ip_dst, tcp_dst) and jumps to a
+// per-tenant stage that load-balances on ip_src.
+func fig1b() *Pipeline {
+	t0 := New("T0", Schema{F("ip_dst", 32), F("tcp_dst", 16), A(GotoAttr, 8)})
+	t0.Add(IPv4("192.0.2.1"), Exact(80, 16), Exact(1, 8))
+	t0.Add(IPv4("192.0.2.2"), Exact(443, 16), Exact(2, 8))
+	t0.Add(IPv4("192.0.2.3"), Exact(22, 16), Exact(3, 8))
+
+	lb1 := New("T1", Schema{F("ip_src", 32), A("out", 16)})
+	lb1.Add(Prefix(0, 1, 32), Exact(1, 16))
+	lb1.Add(Prefix(0x80000000, 1, 32), Exact(2, 16))
+
+	lb2 := New("T2", Schema{F("ip_src", 32), A("out", 16)})
+	lb2.Add(Prefix(0, 2, 32), Exact(3, 16))
+	lb2.Add(Prefix(0x40000000, 2, 32), Exact(4, 16))
+	lb2.Add(Prefix(0x80000000, 1, 32), Exact(5, 16))
+
+	lb3 := New("T3", Schema{F("ip_src", 32), A("out", 16)})
+	lb3.Add(Any(), Exact(6, 16))
+
+	return &Pipeline{
+		Name:  "gwlb-goto",
+		Start: 0,
+		Stages: []Stage{
+			{Table: t0, Next: -1, MissDrop: true},
+			{Table: lb1, Next: -1, MissDrop: true},
+			{Table: lb2, Next: -1, MissDrop: true},
+			{Table: lb3, Next: -1, MissDrop: true},
+		},
+	}
+}
+
+func pkt(ipSrc, ipDst uint64, tcpDst uint64) Record {
+	return Record{"ip_src": ipSrc, "ip_dst": ipDst, "tcp_dst": tcpDst}
+}
+
+func TestSingleTableEval(t *testing.T) {
+	p := SingleTable(fig1a())
+	tests := []struct {
+		name    string
+		in      Record
+		wantOut uint64
+		drop    bool
+	}{
+		{"tenant1 low half", pkt(0x01000000, 0xC0000201, 80), 1, false},
+		{"tenant1 high half", pkt(0x81000000, 0xC0000201, 80), 2, false},
+		{"tenant2 first quarter", pkt(0x00000001, 0xC0000202, 443), 3, false},
+		{"tenant2 second quarter", pkt(0x40000001, 0xC0000202, 443), 4, false},
+		{"tenant2 high half", pkt(0xF0000000, 0xC0000202, 443), 5, false},
+		{"tenant3 ssh", pkt(0x12345678, 0xC0000203, 22), 6, false},
+		{"miss: wrong port", pkt(0x12345678, 0xC0000201, 443), 0, true},
+		{"miss: unknown vip", pkt(0x12345678, 0xC0000299, 80), 0, true},
+	}
+	for _, tc := range tests {
+		got, err := p.Eval(tc.in)
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if tc.drop {
+			if got[DropAttr] != 1 {
+				t.Errorf("%s: expected drop, got %v", tc.name, got)
+			}
+			continue
+		}
+		if got["out"] != tc.wantOut {
+			t.Errorf("%s: out = %d, want %d", tc.name, got["out"], tc.wantOut)
+		}
+	}
+}
+
+func TestGotoPipelineEquivalentToUniversal(t *testing.T) {
+	uni := SingleTable(fig1a())
+	dec := fig1b()
+	if err := dec.Validate(); err != nil {
+		t.Fatalf("fig1b invalid: %v", err)
+	}
+	// Probe with the cross product of interesting values per field.
+	srcs := []uint64{0, 0x3FFFFFFF, 0x40000001, 0x7FFFFFFF, 0x80000000, 0xFFFFFFFF}
+	dsts := []uint64{0xC0000201, 0xC0000202, 0xC0000203, 0xC0000299}
+	ports := []uint64{80, 443, 22, 8080}
+	n := 0
+	for _, s := range srcs {
+		for _, d := range dsts {
+			for _, pt := range ports {
+				in := pkt(s, d, pt)
+				a, err := uni.Eval(in)
+				if err != nil {
+					t.Fatalf("universal eval: %v", err)
+				}
+				b, err := dec.Eval(in)
+				if err != nil {
+					t.Fatalf("decomposed eval: %v", err)
+				}
+				if !a.Observable().Equal(b.Observable()) {
+					t.Fatalf("divergence on %v:\nuniversal:  %v\ndecomposed: %v", in, a.Observable(), b.Observable())
+				}
+				n++
+			}
+		}
+	}
+	if n != len(srcs)*len(dsts)*len(ports) {
+		t.Fatalf("probe count wrong")
+	}
+}
+
+func TestFieldCountsFig1(t *testing.T) {
+	// Paper §2: universal = 24 fields, goto-normalized (Fig. 1b) = 21.
+	if got := SingleTable(fig1a()).FieldCount(); got != 24 {
+		t.Errorf("universal field count = %d, want 24", got)
+	}
+	if got := fig1b().FieldCount(); got != 21 {
+		t.Errorf("normalized field count = %d, want 21", got)
+	}
+}
+
+func TestPipelineValidate(t *testing.T) {
+	p := fig1b()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid pipeline: %v", err)
+	}
+	bad := fig1b()
+	bad.Start = 9
+	if err := bad.Validate(); err == nil {
+		t.Errorf("out-of-range start not caught")
+	}
+	bad = fig1b()
+	bad.Stages[0].Next = 17
+	if err := bad.Validate(); err == nil {
+		t.Errorf("out-of-range next not caught")
+	}
+	bad = fig1b()
+	bad.Stages[0].Table.Entries[0][2] = Exact(200, 8)
+	if err := bad.Validate(); err == nil {
+		t.Errorf("out-of-range goto not caught")
+	}
+	empty := &Pipeline{Name: "e"}
+	if err := empty.Validate(); err == nil {
+		t.Errorf("empty pipeline not caught")
+	}
+}
+
+func TestGotoCycleDetected(t *testing.T) {
+	t0 := New("T0", Schema{F("a", 8), A(GotoAttr, 8)})
+	t0.Add(Any(), Exact(0, 8)) // goto self forever
+	p := &Pipeline{Stages: []Stage{{Table: t0, Next: -1}}}
+	if _, err := p.Eval(Record{"a": 1}); err == nil {
+		t.Errorf("goto cycle not detected")
+	}
+}
+
+func TestAmbiguousMatchDetected(t *testing.T) {
+	tab := New("T", Schema{F("a", 8), A("o", 8)})
+	tab.Add(Exact(1, 8), Exact(10, 8))
+	tab.Add(Exact(1, 8), Exact(20, 8))
+	p := SingleTable(tab)
+	if _, err := p.Eval(Record{"a": 1}); err == nil {
+		t.Errorf("ambiguous match not detected")
+	}
+}
+
+func TestMostSpecificWins(t *testing.T) {
+	// Overlapping prefixes resolve by longest prefix, the LPM convention.
+	tab := New("T", Schema{F("ip", 32), A("o", 8)})
+	tab.Add(IPv4Prefix("10.0.0.0", 8), Exact(1, 8))
+	tab.Add(IPv4Prefix("10.1.0.0", 16), Exact(2, 8))
+	p := SingleTable(tab)
+	r, err := p.Eval(Record{"ip": 0x0A010001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r["o"] != 2 {
+		t.Errorf("LPM priority: got out=%d, want 2", r["o"])
+	}
+	r, err = p.Eval(Record{"ip": 0x0A020001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r["o"] != 1 {
+		t.Errorf("fallback to /8: got out=%d, want 1", r["o"])
+	}
+}
+
+func TestMissFallthrough(t *testing.T) {
+	// A stage with MissDrop=false passes packets through untouched.
+	t0 := New("T0", Schema{F("a", 8), A("x", 8)})
+	t0.Add(Exact(1, 8), Exact(42, 8))
+	t1 := New("T1", Schema{F("a", 8), A("o", 8)})
+	t1.Add(Any(), Exact(7, 8))
+	p := &Pipeline{Stages: []Stage{{Table: t0, Next: 1}, {Table: t1, Next: -1, MissDrop: true}}}
+	r, err := p.Eval(Record{"a": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, set := r["x"]; set {
+		t.Errorf("missed stage wrote actions: %v", r)
+	}
+	if r["o"] != 7 {
+		t.Errorf("fallthrough did not reach stage 1: %v", r)
+	}
+}
+
+func TestAbsentFieldOnlyWildcardMatches(t *testing.T) {
+	tab := New("T", Schema{F("vlan", 12), A("o", 8)})
+	tab.Add(Exact(5, 12), Exact(1, 8))
+	tab.Add(Any(), Exact(2, 8))
+	p := SingleTable(tab)
+	r, err := p.Eval(Record{}) // packet without a vlan attribute
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r["o"] != 2 {
+		t.Errorf("absent field matched a concrete cell: %v", r)
+	}
+}
+
+func TestRecordHelpers(t *testing.T) {
+	r := Record{"a": 1, MetaPrefix + "_x": 2, GotoAttr: 3}
+	o := r.Observable()
+	if len(o) != 1 || o["a"] != 1 {
+		t.Errorf("Observable = %v", o)
+	}
+	c := r.Clone()
+	c["a"] = 9
+	if r["a"] != 1 {
+		t.Errorf("Clone shares storage")
+	}
+	if !r.Equal(r.Clone()) || r.Equal(o) {
+		t.Errorf("Equal wrong")
+	}
+}
+
+func TestPipelineAccessors(t *testing.T) {
+	p := fig1b()
+	if p.Depth() != 4 {
+		t.Errorf("Depth = %d", p.Depth())
+	}
+	if p.EntryCount() != 9 {
+		t.Errorf("EntryCount = %d, want 9", p.EntryCount())
+	}
+	s := p.String()
+	if !strings.Contains(s, "pipeline gwlb-goto") || !strings.Contains(s, "stage 3") {
+		t.Errorf("String missing parts:\n%s", s)
+	}
+}
+
+func TestIsLinkAttr(t *testing.T) {
+	if !IsLinkAttr(GotoAttr) || !IsLinkAttr(MetaPrefix+"_svc") {
+		t.Errorf("link attrs not recognized")
+	}
+	if IsLinkAttr("ip_dst") || IsLinkAttr("metadata") {
+		t.Errorf("non-link attr recognized as link")
+	}
+}

@@ -1,0 +1,154 @@
+package netkat
+
+import (
+	"fmt"
+
+	"manorm/internal/mat"
+)
+
+// EntryPolicy compiles one table entry into the sequential policy
+// (f1=x1; ...; fk=xk; a1<-v1; ...; an<-vn) — Eq. (1) of the paper. Goto
+// actions are not representable here; use CompilePipeline for pipelines.
+func EntryPolicy(t *mat.Table, e mat.Entry) Policy {
+	var s Seq
+	for i, a := range t.Schema {
+		if a.Kind == mat.Field {
+			s = append(s, Test{Field: a.Name, Cell: e[i], Width: a.Width})
+		}
+	}
+	for i, a := range t.Schema {
+		if a.Kind == mat.Action {
+			s = append(s, Assign{Field: a.Name, Value: e[i].Bits})
+		}
+	}
+	return s
+}
+
+// CompileTable compiles a table into its 1NF policy: the parallel
+// composition of its entry policies. A packet matching no entry produces
+// the empty output set (drop), matching the universal representation's
+// drop-on-miss default.
+func CompileTable(t *mat.Table) Policy {
+	p := make(Plus, 0, len(t.Entries))
+	for _, e := range t.Entries {
+		p = append(p, EntryPolicy(t, e))
+	}
+	return p
+}
+
+// CompilePipeline compiles a multi-table pipeline into a single NetKAT
+// policy by inlining control flow: each entry becomes
+// (tests; assigns; K(next)) where K(next) is the compiled continuation of
+// the stage the entry transfers to. Goto actions select the continuation
+// per entry; stage miss becomes either Drop or the fall-through
+// continuation. The pipeline must be acyclic (guaranteed by construction
+// for decomposition outputs; enforced here with a depth guard).
+func CompilePipeline(p *mat.Pipeline) (Policy, error) {
+	memo := make(map[int]Policy)
+	var build func(stage, depth int) (Policy, error)
+	build = func(stage, depth int) (Policy, error) {
+		if stage < 0 {
+			return Id{}, nil
+		}
+		if depth > len(p.Stages) {
+			return nil, fmt.Errorf("netkat: pipeline %s has a goto cycle", p.Name)
+		}
+		if q, ok := memo[stage]; ok {
+			return q, nil
+		}
+		st := p.Stages[stage]
+		t := st.Table
+		gotoIdx := t.Schema.Index(mat.GotoAttr)
+
+		fallthroughK, err := build(st.Next, depth+1)
+		if err != nil {
+			return nil, err
+		}
+
+		sum := make(Plus, 0, len(t.Entries)+1)
+		for _, e := range t.Entries {
+			var s Seq
+			for i, a := range t.Schema {
+				if a.Kind == mat.Field {
+					s = append(s, Test{Field: a.Name, Cell: e[i], Width: a.Width})
+				}
+			}
+			for i, a := range t.Schema {
+				if a.Kind != mat.Action || i == gotoIdx {
+					continue
+				}
+				s = append(s, Assign{Field: a.Name, Value: e[i].Bits})
+			}
+			k := fallthroughK
+			if gotoIdx >= 0 {
+				k, err = build(int(e[gotoIdx].Bits), depth+1)
+				if err != nil {
+					return nil, err
+				}
+			}
+			s = append(s, k)
+			sum = append(sum, s)
+		}
+		if !st.MissDrop {
+			// Miss falls through: add the negation of all entry matches
+			// followed by the continuation. NetKAT-lite has no negation
+			// term, so the miss branch is expressed semantically by the
+			// wrapper below instead.
+			sum = append(sum, missBranch{table: t, k: fallthroughK})
+		}
+		q := Policy(sum)
+		memo[stage] = q
+		return q, nil
+	}
+	return build(p.Start, 0)
+}
+
+// missBranch applies k only to packets that match no entry of the table —
+// the semantic encoding of ¬(e1 + e2 + ...); k, avoiding an explicit
+// negation operator in the policy syntax.
+type missBranch struct {
+	table *mat.Table
+	k     Policy
+}
+
+// Eval passes the record to the continuation only on table miss.
+func (m missBranch) Eval(in mat.Record) []mat.Record {
+	for _, e := range m.table.Entries {
+		hit := true
+		for i, a := range m.table.Schema {
+			if a.Kind != mat.Field {
+				continue
+			}
+			v, ok := in[a.Name]
+			if !ok {
+				if !e[i].IsAny() {
+					hit = false
+					break
+				}
+				continue
+			}
+			if !e[i].Matches(v, a.Width) {
+				hit = false
+				break
+			}
+		}
+		if hit {
+			return nil
+		}
+	}
+	return m.k.Eval(in)
+}
+
+// String renders the miss branch.
+func (m missBranch) String() string {
+	return fmt.Sprintf("(miss(%s); %s)", m.table.Name, m.k.String())
+}
+
+// Note on priorities: CompileTable encodes the pure 1NF sum of Eq. (1),
+// which is order-independent only when at most one entry can match any
+// packet. Tables with longest-prefix semantics (overlapping prefixes at
+// different lengths) are not in 1NF under the paper's definition; the
+// dataplane evaluator (mat.Pipeline.Eval) resolves them by specificity,
+// while this compiler preserves the ambiguity — the equivalence checker
+// uses that to detect order-dependence introduced by bad decompositions
+// (the paper's Fig. 3 discussion).

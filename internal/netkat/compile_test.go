@@ -1,0 +1,168 @@
+package netkat
+
+import (
+	"strings"
+	"testing"
+
+	"manorm/internal/mat"
+)
+
+// fig1a and fig1b rebuild the paper's running example (shared with the mat
+// tests; duplicated here because internal test fixtures do not cross
+// package boundaries).
+func fig1a() *mat.Table {
+	t := mat.New("T0", mat.Schema{
+		mat.F("ip_src", 32), mat.F("ip_dst", 32), mat.F("tcp_dst", 16), mat.A("out", 16),
+	})
+	t.Add(mat.Prefix(0, 1, 32), mat.IPv4("192.0.2.1"), mat.Exact(80, 16), mat.Exact(1, 16))
+	t.Add(mat.Prefix(0x80000000, 1, 32), mat.IPv4("192.0.2.1"), mat.Exact(80, 16), mat.Exact(2, 16))
+	t.Add(mat.Prefix(0, 2, 32), mat.IPv4("192.0.2.2"), mat.Exact(443, 16), mat.Exact(3, 16))
+	t.Add(mat.Prefix(0x40000000, 2, 32), mat.IPv4("192.0.2.2"), mat.Exact(443, 16), mat.Exact(4, 16))
+	t.Add(mat.Prefix(0x80000000, 1, 32), mat.IPv4("192.0.2.2"), mat.Exact(443, 16), mat.Exact(5, 16))
+	t.Add(mat.Any(), mat.IPv4("192.0.2.3"), mat.Exact(22, 16), mat.Exact(6, 16))
+	return t
+}
+
+func fig1b() *mat.Pipeline {
+	t0 := mat.New("T0", mat.Schema{mat.F("ip_dst", 32), mat.F("tcp_dst", 16), mat.A(mat.GotoAttr, 8)})
+	t0.Add(mat.IPv4("192.0.2.1"), mat.Exact(80, 16), mat.Exact(1, 8))
+	t0.Add(mat.IPv4("192.0.2.2"), mat.Exact(443, 16), mat.Exact(2, 8))
+	t0.Add(mat.IPv4("192.0.2.3"), mat.Exact(22, 16), mat.Exact(3, 8))
+	lb1 := mat.New("T1", mat.Schema{mat.F("ip_src", 32), mat.A("out", 16)})
+	lb1.Add(mat.Prefix(0, 1, 32), mat.Exact(1, 16))
+	lb1.Add(mat.Prefix(0x80000000, 1, 32), mat.Exact(2, 16))
+	lb2 := mat.New("T2", mat.Schema{mat.F("ip_src", 32), mat.A("out", 16)})
+	lb2.Add(mat.Prefix(0, 2, 32), mat.Exact(3, 16))
+	lb2.Add(mat.Prefix(0x40000000, 2, 32), mat.Exact(4, 16))
+	lb2.Add(mat.Prefix(0x80000000, 1, 32), mat.Exact(5, 16))
+	lb3 := mat.New("T3", mat.Schema{mat.F("ip_src", 32), mat.A("out", 16)})
+	lb3.Add(mat.Any(), mat.Exact(6, 16))
+	return &mat.Pipeline{
+		Name:  "gwlb-goto",
+		Start: 0,
+		Stages: []mat.Stage{
+			{Table: t0, Next: -1, MissDrop: true},
+			{Table: lb1, Next: -1, MissDrop: true},
+			{Table: lb2, Next: -1, MissDrop: true},
+			{Table: lb3, Next: -1, MissDrop: true},
+		},
+	}
+}
+
+func TestCompileTableEvalMatchesPipelineEval(t *testing.T) {
+	tab := fig1a()
+	pol := CompileTable(tab)
+	pipe := mat.SingleTable(tab)
+	dom := DomainOf(tab)
+	_, err := dom.Each(DefaultProbeLimit, func(in mat.Record) error {
+		outs := ObservableOutputs(pol.Eval(in))
+		r, err := pipe.Eval(in)
+		if err != nil {
+			return err
+		}
+		if r[mat.DropAttr] == 1 {
+			if len(outs) != 0 {
+				t.Fatalf("policy emits but dataplane drops on %v", in)
+			}
+			return nil
+		}
+		if len(outs) != 1 {
+			t.Fatalf("policy emitted %d records on %v, dataplane hit", len(outs), in)
+		}
+		if !outs[0].Equal(r.Observable()) {
+			t.Fatalf("policy %v vs dataplane %v on %v", outs[0], r.Observable(), in)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompilePipelineGoto(t *testing.T) {
+	pipe := fig1b()
+	pol, err := CompilePipeline(pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniPol := CompileTable(fig1a())
+	dom := DomainOf(fig1a())
+	cex, exhaustive, err := EquivalentPolicies(uniPol, pol, dom, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exhaustive {
+		t.Fatalf("probe set unexpectedly sampled (domain size %d)", dom.Size())
+	}
+	if cex != nil {
+		t.Fatalf("universal and goto-decomposed policies diverge: %v", cex)
+	}
+}
+
+func TestCompilePipelineDetectsCycle(t *testing.T) {
+	t0 := mat.New("T0", mat.Schema{mat.F("a", 8), mat.A(mat.GotoAttr, 8)})
+	t0.Add(mat.Any(), mat.Exact(0, 8))
+	p := &mat.Pipeline{Stages: []mat.Stage{{Table: t0, Next: -1, MissDrop: true}}}
+	if _, err := CompilePipeline(p); err == nil {
+		t.Fatalf("goto cycle not detected")
+	}
+}
+
+func TestCompilePipelineMissFallthrough(t *testing.T) {
+	// Stage 0 (MissDrop=false) tags some packets; stage 1 outputs.
+	t0 := mat.New("T0", mat.Schema{mat.F("a", 8), mat.A("tag", 8)})
+	t0.Add(mat.Exact(1, 8), mat.Exact(7, 8))
+	t1 := mat.New("T1", mat.Schema{mat.F("a", 8), mat.A("out", 8)})
+	t1.Add(mat.Any(), mat.Exact(9, 8))
+	pipe := &mat.Pipeline{Stages: []mat.Stage{
+		{Table: t0, Next: 1, MissDrop: false},
+		{Table: t1, Next: -1, MissDrop: true},
+	}}
+	pol, err := CompilePipeline(pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hit path: tagged and output.
+	out := pol.Eval(mat.Record{"a": 1})
+	if len(out) != 1 || out[0]["tag"] != 7 || out[0]["out"] != 9 {
+		t.Fatalf("hit path wrong: %v", out)
+	}
+	// Miss path: untagged but still output.
+	out = pol.Eval(mat.Record{"a": 2})
+	if len(out) != 1 || out[0]["out"] != 9 {
+		t.Fatalf("miss path wrong: %v", out)
+	}
+	if _, tagged := out[0]["tag"]; tagged {
+		t.Fatalf("missed stage applied actions: %v", out[0])
+	}
+	if !strings.Contains(pol.String(), "miss(T0)") {
+		t.Errorf("miss branch not rendered: %s", pol.String())
+	}
+}
+
+func TestEntryPolicyShape(t *testing.T) {
+	tab := fig1a()
+	p := EntryPolicy(tab, tab.Entries[0])
+	s := p.String()
+	// Matches first, then actions — Eq. (1) of the paper.
+	if !strings.Contains(s, "ip_src=") || !strings.Contains(s, "out<-1") {
+		t.Errorf("entry policy malformed: %s", s)
+	}
+	if strings.Index(s, "out<-") < strings.Index(s, "tcp_dst=") {
+		t.Errorf("actions precede matches: %s", s)
+	}
+}
+
+func TestOrderDependenceVisibleInPolicySemantics(t *testing.T) {
+	// The Fig. 3 pathology: a table with two entries sharing a match
+	// pattern. The policy sum emits two records — the ambiguity the join
+	// abstractions cannot express.
+	tab := mat.New("T1", mat.Schema{mat.F("in_port", 8), mat.A("m_out", 8)})
+	tab.Add(mat.Exact(1, 8), mat.Exact(1, 8))
+	tab.Add(mat.Exact(1, 8), mat.Exact(2, 8))
+	pol := CompileTable(tab)
+	out := pol.Eval(mat.Record{"in_port": 1})
+	if len(out) != 2 {
+		t.Fatalf("expected 2 parallel outputs for the non-1NF table, got %d", len(out))
+	}
+}

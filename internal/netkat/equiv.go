@@ -1,0 +1,230 @@
+package netkat
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"manorm/internal/mat"
+)
+
+// Domain maps attribute names to the concrete values a semantic-equivalence
+// probe should exercise.
+type Domain map[string][]uint64
+
+// DomainOf builds a complete test domain for programs over the given
+// tables' match fields.
+//
+// Completeness: a match-action program built from exact and prefix patterns
+// partitions each field's value space into maximal intervals whose
+// endpoints are pattern boundaries. Two packets whose fields fall into the
+// same interval on every field are indistinguishable by every test in the
+// program, so probing one representative per interval per field — and the
+// cross product across fields — decides equivalence exactly. For each
+// pattern we include its low end, high end, and the successor of its high
+// end; together with a fresh value these cover a representative of every
+// maximal interval.
+func DomainOf(tables ...*mat.Table) Domain {
+	d := make(Domain)
+	widths := make(map[string]uint8)
+	seen := make(map[string]map[uint64]bool)
+	add := func(name string, w uint8, v uint64) {
+		if seen[name] == nil {
+			seen[name] = make(map[uint64]bool)
+		}
+		v &= widthMask(w)
+		if !seen[name][v] {
+			seen[name][v] = true
+			d[name] = append(d[name], v)
+		}
+	}
+	for _, t := range tables {
+		for i, a := range t.Schema {
+			if a.Kind != mat.Field || mat.IsLinkAttr(a.Name) {
+				continue
+			}
+			widths[a.Name] = a.Width
+			for _, e := range t.Entries {
+				c := e[i]
+				lo := c.Bits
+				hi := c.Bits | hostMask(c.PLen, a.Width)
+				add(a.Name, a.Width, lo)
+				add(a.Name, a.Width, hi)
+				add(a.Name, a.Width, hi+1)
+			}
+		}
+	}
+	// One fresh value per field, outside every observed value if possible.
+	for name, w := range widths {
+		fresh := uint64(0)
+		for seen[name][fresh] && fresh < widthMask(w) {
+			fresh++
+		}
+		add(name, w, fresh)
+		sort.Slice(d[name], func(i, j int) bool { return d[name][i] < d[name][j] })
+	}
+	return d
+}
+
+func widthMask(w uint8) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << w) - 1
+}
+
+func hostMask(plen, width uint8) uint64 {
+	if plen >= width {
+		return 0
+	}
+	return widthMask(width - plen)
+}
+
+// Size returns the number of records in the domain's cross product.
+func (d Domain) Size() int {
+	n := 1
+	for _, vs := range d {
+		n *= len(vs)
+		if n > 1<<30 {
+			return 1 << 30
+		}
+	}
+	return n
+}
+
+// fields returns the attribute names in sorted order for determinism.
+func (d Domain) fields() []string {
+	out := make([]string, 0, len(d))
+	for k := range d {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Each enumerates the cross product of the domain, calling fn with a reused
+// record; fn must not retain it. If the product exceeds limit, a seeded
+// random sample of limit records is probed instead and Each reports
+// exhaustive=false.
+func (d Domain) Each(limit int, fn func(mat.Record) error) (exhaustive bool, err error) {
+	names := d.fields()
+	if len(names) == 0 {
+		return true, fn(mat.Record{})
+	}
+	if d.Size() <= limit {
+		rec := make(mat.Record, len(names))
+		var walk func(i int) error
+		walk = func(i int) error {
+			if i == len(names) {
+				return fn(rec)
+			}
+			for _, v := range d[names[i]] {
+				rec[names[i]] = v
+				if err := walk(i + 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return true, walk(0)
+	}
+	rng := rand.New(rand.NewSource(1))
+	rec := make(mat.Record, len(names))
+	for n := 0; n < limit; n++ {
+		for _, name := range names {
+			vs := d[name]
+			rec[name] = vs[rng.Intn(len(vs))]
+		}
+		if err := fn(rec); err != nil {
+			return false, err
+		}
+	}
+	return false, nil
+}
+
+// Counterexample describes a probe on which two programs diverged.
+type Counterexample struct {
+	Input mat.Record
+	A, B  mat.Record
+}
+
+// Error renders the divergence.
+func (c *Counterexample) Error() string {
+	return fmt.Sprintf("netkat: programs diverge on %v: %v vs %v", c.Input, c.A, c.B)
+}
+
+// DefaultProbeLimit bounds exhaustive probing before sampling kicks in.
+const DefaultProbeLimit = 200000
+
+// EquivalentPipelines checks semantic equivalence of two pipelines over the
+// test domain induced by both programs' tables: for every probe packet the
+// observable results (action attributes written, drop status) must agree.
+// It returns nil if no divergence was found, or a *Counterexample.
+// The second return value reports whether the probe set was exhaustive
+// (and therefore the equivalence exact rather than sampled).
+func EquivalentPipelines(a, b *mat.Pipeline, limit int) (*Counterexample, bool, error) {
+	if limit <= 0 {
+		limit = DefaultProbeLimit
+	}
+	var tabs []*mat.Table
+	for _, s := range a.Stages {
+		tabs = append(tabs, s.Table)
+	}
+	for _, s := range b.Stages {
+		tabs = append(tabs, s.Table)
+	}
+	dom := DomainOf(tabs...)
+
+	var cex *Counterexample
+	exhaustive, err := dom.Each(limit, func(in mat.Record) error {
+		ra, errA := a.Eval(in)
+		rb, errB := b.Eval(in)
+		if errA != nil {
+			return fmt.Errorf("pipeline %s: %w", a.Name, errA)
+		}
+		if errB != nil {
+			return fmt.Errorf("pipeline %s: %w", b.Name, errB)
+		}
+		oa, ob := ra.Observable(), rb.Observable()
+		if !oa.Equal(ob) {
+			cex = &Counterexample{Input: in.Clone(), A: oa, B: ob}
+			return errStop
+		}
+		return nil
+	})
+	if err == errStop {
+		return cex, exhaustive, nil
+	}
+	return nil, exhaustive, err
+}
+
+// errStop terminates domain enumeration early.
+var errStop = fmt.Errorf("stop")
+
+// EquivalentPolicies checks denotational equivalence of two compiled
+// policies over a domain: equal output sets on every probe.
+func EquivalentPolicies(p, q Policy, dom Domain, limit int) (*Counterexample, bool, error) {
+	if limit <= 0 {
+		limit = DefaultProbeLimit
+	}
+	var cex *Counterexample
+	exhaustive, err := dom.Each(limit, func(in mat.Record) error {
+		op := ObservableOutputs(p.Eval(in))
+		oq := ObservableOutputs(q.Eval(in))
+		if !OutputSetEqual(op, oq) {
+			cex = &Counterexample{Input: in.Clone()}
+			if len(op) > 0 {
+				cex.A = op[0]
+			}
+			if len(oq) > 0 {
+				cex.B = oq[0]
+			}
+			return errStop
+		}
+		return nil
+	})
+	if err == errStop {
+		return cex, exhaustive, nil
+	}
+	return nil, exhaustive, err
+}

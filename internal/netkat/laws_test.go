@@ -1,0 +1,219 @@
+package netkat
+
+import (
+	"math/rand"
+	"testing"
+
+	"manorm/internal/mat"
+)
+
+// randPolicy builds a random policy over fields a,b,c with small domains,
+// for law checking.
+func randPolicy(rng *rand.Rand, depth int) Policy {
+	fields := []string{"a", "b", "c"}
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return Drop{}
+		case 1:
+			return Id{}
+		case 2:
+			return Test{Field: fields[rng.Intn(3)], Cell: mat.Exact(uint64(rng.Intn(3)), 8), Width: 8}
+		default:
+			return Assign{Field: fields[rng.Intn(3)], Value: uint64(rng.Intn(3))}
+		}
+	}
+	switch rng.Intn(2) {
+	case 0:
+		return Seq{randPolicy(rng, depth-1), randPolicy(rng, depth-1)}
+	default:
+		return Plus{randPolicy(rng, depth-1), randPolicy(rng, depth-1)}
+	}
+}
+
+// semEqual checks p ≡ q over all records with fields a,b,c in 0..3.
+func semEqual(t *testing.T, p, q Policy) bool {
+	t.Helper()
+	rec := mat.Record{}
+	for a := uint64(0); a < 4; a++ {
+		for b := uint64(0); b < 4; b++ {
+			for c := uint64(0); c < 4; c++ {
+				rec["a"], rec["b"], rec["c"] = a, b, c
+				if !OutputSetEqual(p.Eval(rec), q.Eval(rec)) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// The NetKAT axioms used in the paper's Theorem 1 proof, checked as
+// semantic laws of the evaluator.
+
+func TestKAPlusIdem(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		p := randPolicy(rng, 2)
+		if !semEqual(t, Plus{p, p}, p) {
+			t.Fatalf("p+p ≠ p for %s", p)
+		}
+	}
+}
+
+func TestKAPlusComm(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		p, q := randPolicy(rng, 2), randPolicy(rng, 2)
+		if !semEqual(t, Plus{p, q}, Plus{q, p}) {
+			t.Fatalf("p+q ≠ q+p for %s, %s", p, q)
+		}
+	}
+}
+
+func TestKAPlusZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		p := randPolicy(rng, 2)
+		if !semEqual(t, Plus{p, Drop{}}, p) {
+			t.Fatalf("p+0 ≠ p for %s", p)
+		}
+	}
+}
+
+func TestKASeqAssoc(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		p, q, r := randPolicy(rng, 1), randPolicy(rng, 1), randPolicy(rng, 1)
+		if !semEqual(t, Seq{Seq{p, q}, r}, Seq{p, Seq{q, r}}) {
+			t.Fatalf("(p;q);r ≠ p;(q;r)")
+		}
+	}
+}
+
+func TestKASeqDistL(t *testing.T) {
+	// p;(q+r) = p;q + p;r — used twice in the Theorem 1 proof.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		p, q, r := randPolicy(rng, 1), randPolicy(rng, 1), randPolicy(rng, 1)
+		if !semEqual(t, Seq{p, Plus{q, r}}, Plus{Seq{p, q}, Seq{p, r}}) {
+			t.Fatalf("left distributivity fails")
+		}
+	}
+}
+
+func TestKASeqDistR(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 50; i++ {
+		p, q, r := randPolicy(rng, 1), randPolicy(rng, 1), randPolicy(rng, 1)
+		if !semEqual(t, Seq{Plus{p, q}, r}, Plus{Seq{p, r}, Seq{q, r}}) {
+			t.Fatalf("right distributivity fails")
+		}
+	}
+}
+
+func TestKASeqIdentities(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		p := randPolicy(rng, 2)
+		if !semEqual(t, Seq{Id{}, p}, p) || !semEqual(t, Seq{p, Id{}}, p) {
+			t.Fatalf("1;p ≠ p or p;1 ≠ p for %s", p)
+		}
+		if !semEqual(t, Seq{Drop{}, p}, Drop{}) || !semEqual(t, Seq{p, Drop{}}, Drop{}) {
+			t.Fatalf("0 not annihilating for %s", p)
+		}
+	}
+}
+
+func TestBASeqIdem(t *testing.T) {
+	// a;a = a for tests — the proof's BA-Seq-Idem step.
+	for v := uint64(0); v < 3; v++ {
+		a := Test{Field: "a", Cell: mat.Exact(v, 8), Width: 8}
+		if !semEqual(t, Seq{a, a}, a) {
+			t.Fatalf("a;a ≠ a for %s", a)
+		}
+	}
+}
+
+func TestBASeqComm(t *testing.T) {
+	// Tests on (possibly different) fields commute: a;b = b;a.
+	cases := []struct{ f1, f2 string }{{"a", "b"}, {"a", "c"}, {"a", "a"}}
+	for _, c := range cases {
+		for v1 := uint64(0); v1 < 3; v1++ {
+			for v2 := uint64(0); v2 < 3; v2++ {
+				t1 := Test{Field: c.f1, Cell: mat.Exact(v1, 8), Width: 8}
+				t2 := Test{Field: c.f2, Cell: mat.Exact(v2, 8), Width: 8}
+				if !semEqual(t, Seq{t1, t2}, Seq{t2, t1}) {
+					t.Fatalf("tests do not commute: %s, %s", t1, t2)
+				}
+			}
+		}
+	}
+}
+
+func TestTestAssignCommuteDifferentFields(t *testing.T) {
+	// f=n; g<-m = g<-m; f=n when f ≠ g (PA-Mod-Comm analogue).
+	test := Test{Field: "a", Cell: mat.Exact(1, 8), Width: 8}
+	asn := Assign{Field: "b", Value: 2}
+	if !semEqual(t, Seq{test, asn}, Seq{asn, test}) {
+		t.Fatalf("test/assign on different fields do not commute")
+	}
+}
+
+func TestAssignThenTestSameField(t *testing.T) {
+	// f<-n; f=n = f<-n (PA-Mod-Filter).
+	asn := Assign{Field: "a", Value: 2}
+	test := Test{Field: "a", Cell: mat.Exact(2, 8), Width: 8}
+	if !semEqual(t, Seq{asn, test}, asn) {
+		t.Fatalf("f<-n; f=n ≠ f<-n")
+	}
+	// And with a different value it drops: f<-n; f=m = 0 (n≠m).
+	bad := Test{Field: "a", Cell: mat.Exact(3, 8), Width: 8}
+	if !semEqual(t, Seq{asn, bad}, Drop{}) {
+		t.Fatalf("f<-2; f=3 ≠ 0")
+	}
+}
+
+func TestContradictoryTestsDrop(t *testing.T) {
+	// f=n; f=m = 0 when n ≠ m (BA-Contra).
+	t1 := Test{Field: "a", Cell: mat.Exact(1, 8), Width: 8}
+	t2 := Test{Field: "a", Cell: mat.Exact(2, 8), Width: 8}
+	if !semEqual(t, Seq{t1, t2}, Drop{}) {
+		t.Fatalf("contradictory tests do not drop")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p := Plus{Seq{Test{Field: "a", Cell: mat.Exact(1, 8), Width: 8}, Assign{Field: "b", Value: 2}}, Drop{}}
+	got := p.String()
+	want := "((a=1; b<-2) + 0)"
+	if got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if (Seq{}).String() != "1" || (Plus{}).String() != "0" {
+		t.Errorf("empty Seq/Plus rendering wrong")
+	}
+	if (Id{}).String() != "1" || (Drop{}).String() != "0" {
+		t.Errorf("Id/Drop rendering wrong")
+	}
+}
+
+func TestEvalDeduplicates(t *testing.T) {
+	// (a<-1 + a<-1) produces one output record, not two.
+	p := Plus{Assign{Field: "a", Value: 1}, Assign{Field: "a", Value: 1}}
+	out := p.Eval(mat.Record{"a": 0})
+	if len(out) != 1 {
+		t.Errorf("duplicate outputs not merged: %d records", len(out))
+	}
+}
+
+func TestTestOnAbsentField(t *testing.T) {
+	exact := Test{Field: "vlan", Cell: mat.Exact(5, 12), Width: 12}
+	if got := exact.Eval(mat.Record{"a": 1}); len(got) != 0 {
+		t.Errorf("exact test passed on absent field")
+	}
+	wild := Test{Field: "vlan", Cell: mat.Any(), Width: 12}
+	if got := wild.Eval(mat.Record{"a": 1}); len(got) != 1 {
+		t.Errorf("wildcard test failed on absent field")
+	}
+}

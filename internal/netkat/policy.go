@@ -1,0 +1,222 @@
+// Package netkat implements a restricted NetKAT-style policy language — the
+// formalism the paper adopts (§3) — together with a packet-record evaluator
+// and a finite-domain equivalence checker.
+//
+// A policy denotes a function from a packet record to a *set* of packet
+// records (NetKAT's semantics): Drop produces the empty set, Id the
+// singleton input, a test filters, an assignment rewrites a field, p;q is
+// Kleisli sequencing, and p+q is union. Match-action tables compile into
+// sums of (tests; assignments) entries; multi-table pipelines compile by
+// inlining each goto target (see compile.go).
+//
+// The paper restricts predicates to exact matches and notes the relaxation
+// to wildcards; we support prefix tests directly since the worked examples
+// (Fig. 1, Fig. 2) use them.
+package netkat
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"manorm/internal/mat"
+)
+
+// Policy is a NetKAT-lite packet-processing policy.
+type Policy interface {
+	// Eval applies the policy to one input record and returns the set of
+	// output records (deduplicated, deterministic order).
+	Eval(in mat.Record) []mat.Record
+	// String renders the policy in NetKAT-ish concrete syntax.
+	String() string
+}
+
+// Drop is the 0 policy: it produces no packets.
+type Drop struct{}
+
+// Eval returns the empty set.
+func (Drop) Eval(mat.Record) []mat.Record { return nil }
+
+// String returns "0".
+func (Drop) String() string { return "0" }
+
+// Id is the 1 (skip) policy: it passes the packet through unchanged.
+type Id struct{}
+
+// Eval returns the singleton input.
+func (Id) Eval(in mat.Record) []mat.Record { return []mat.Record{in.Clone()} }
+
+// String returns "1".
+func (Id) String() string { return "1" }
+
+// Test is the predicate f = pattern. With an exact cell this is NetKAT's
+// f = n test; a prefix cell generalizes it to a wildcard test. A record
+// lacking the field passes only the full-wildcard test.
+type Test struct {
+	Field string
+	Cell  mat.Cell
+	Width uint8
+}
+
+// Eval filters the packet.
+func (t Test) Eval(in mat.Record) []mat.Record {
+	v, ok := in[t.Field]
+	if !ok {
+		if t.Cell.IsAny() {
+			return []mat.Record{in.Clone()}
+		}
+		return nil
+	}
+	if t.Cell.Matches(v, t.Width) {
+		return []mat.Record{in.Clone()}
+	}
+	return nil
+}
+
+// String renders "f=pattern".
+func (t Test) String() string { return fmt.Sprintf("%s=%s", t.Field, t.Cell.Format(t.Width)) }
+
+// Assign is the modification f ← n.
+type Assign struct {
+	Field string
+	Value uint64
+}
+
+// Eval writes the field.
+func (a Assign) Eval(in mat.Record) []mat.Record {
+	out := in.Clone()
+	out[a.Field] = a.Value
+	return []mat.Record{out}
+}
+
+// String renders "f<-n".
+func (a Assign) String() string { return fmt.Sprintf("%s<-%d", a.Field, a.Value) }
+
+// Seq is sequential composition p1; p2; ...; pn (Id when empty).
+type Seq []Policy
+
+// Eval threads the record through each component, flat-mapping over the
+// intermediate sets.
+func (s Seq) Eval(in mat.Record) []mat.Record {
+	cur := []mat.Record{in.Clone()}
+	for _, p := range s {
+		var next []mat.Record
+		for _, r := range cur {
+			next = append(next, p.Eval(r)...)
+		}
+		if len(next) == 0 {
+			return nil
+		}
+		cur = next
+	}
+	return dedup(cur)
+}
+
+// String renders "(p1; p2; ...)".
+func (s Seq) String() string {
+	if len(s) == 0 {
+		return "1"
+	}
+	parts := make([]string, len(s))
+	for i, p := range s {
+		parts[i] = p.String()
+	}
+	return "(" + strings.Join(parts, "; ") + ")"
+}
+
+// Plus is parallel composition p1 + p2 + ... + pn (Drop when empty).
+type Plus []Policy
+
+// Eval unions the component outputs.
+func (p Plus) Eval(in mat.Record) []mat.Record {
+	var out []mat.Record
+	for _, q := range p {
+		out = append(out, q.Eval(in)...)
+	}
+	return dedup(out)
+}
+
+// String renders "(p1 + p2 + ...)".
+func (p Plus) String() string {
+	if len(p) == 0 {
+		return "0"
+	}
+	parts := make([]string, len(p))
+	for i, q := range p {
+		parts[i] = q.String()
+	}
+	return "(" + strings.Join(parts, " + ") + ")"
+}
+
+// recordKey produces a canonical comparable rendering of a record.
+func recordKey(r mat.Record) string {
+	keys := make([]string, 0, len(r))
+	for k := range r {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d;", k, r[k])
+	}
+	return b.String()
+}
+
+// dedup removes duplicate records, keeping a deterministic order.
+func dedup(rs []mat.Record) []mat.Record {
+	if len(rs) <= 1 {
+		return rs
+	}
+	keyed := make([]struct {
+		k string
+		r mat.Record
+	}, len(rs))
+	for i, r := range rs {
+		keyed[i] = struct {
+			k string
+			r mat.Record
+		}{recordKey(r), r}
+	}
+	sort.Slice(keyed, func(i, j int) bool { return keyed[i].k < keyed[j].k })
+	out := rs[:0]
+	for i, kr := range keyed {
+		if i > 0 && keyed[i-1].k == kr.k {
+			continue
+		}
+		out = append(out, kr.r)
+	}
+	return out
+}
+
+// OutputSetEqual reports whether two policy output sets contain exactly the
+// same records (order-insensitive; inputs are assumed deduplicated as
+// produced by Eval).
+func OutputSetEqual(a, b []mat.Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ka := make([]string, len(a))
+	kb := make([]string, len(b))
+	for i := range a {
+		ka[i] = recordKey(a[i])
+		kb[i] = recordKey(b[i])
+	}
+	sort.Strings(ka)
+	sort.Strings(kb)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ObservableOutputs projects each output record onto program-visible
+// attributes (dropping pipeline link metadata), then deduplicates.
+func ObservableOutputs(rs []mat.Record) []mat.Record {
+	out := make([]mat.Record, len(rs))
+	for i, r := range rs {
+		out[i] = r.Observable()
+	}
+	return dedup(out)
+}

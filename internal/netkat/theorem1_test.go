@@ -1,0 +1,122 @@
+package netkat
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"manorm/internal/mat"
+)
+
+// exactGwlb is an exact-match variant of the gateway table (the theorem's
+// setting): client group matched exactly instead of by prefix.
+func exactGwlb() *mat.Table {
+	t := mat.New("T0", mat.Schema{
+		mat.F("grp", 8), mat.F("ip_dst", 32), mat.F("tcp_dst", 16), mat.A("out", 16),
+	})
+	t.Add(mat.Exact(0, 8), mat.IPv4("192.0.2.1"), mat.Exact(80, 16), mat.Exact(1, 16))
+	t.Add(mat.Exact(1, 8), mat.IPv4("192.0.2.1"), mat.Exact(80, 16), mat.Exact(2, 16))
+	t.Add(mat.Exact(0, 8), mat.IPv4("192.0.2.2"), mat.Exact(443, 16), mat.Exact(3, 16))
+	t.Add(mat.Exact(1, 8), mat.IPv4("192.0.2.2"), mat.Exact(443, 16), mat.Exact(4, 16))
+	t.Add(mat.Exact(2, 8), mat.IPv4("192.0.2.2"), mat.Exact(443, 16), mat.Exact(5, 16))
+	t.Add(mat.Exact(0, 8), mat.IPv4("192.0.2.3"), mat.Exact(22, 16), mat.Exact(6, 16))
+	return t
+}
+
+func TestProveDecompositionGwlb(t *testing.T) {
+	tab := exactGwlb()
+	s := tab.Schema
+	steps, err := ProveDecomposition(tab, mat.SetOf(s, "ip_dst"), mat.SetOf(s, "tcp_dst"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's chain: start + 6 rewrites.
+	if len(steps) != 7 {
+		t.Fatalf("steps = %d, want 7", len(steps))
+	}
+	wantAxioms := []string{
+		"start", "X -> Y", "BA-Seq-Idem", "BA-Seq-Comm",
+		"KA-Plus-Idem", "BA-Contra + KA-Plus-Zero", "KA-Seq-Dist-R",
+	}
+	for i, want := range wantAxioms {
+		if !strings.Contains(steps[i].Axiom, want) {
+			t.Errorf("step %d axiom = %q, want ~%q", i, steps[i].Axiom, want)
+		}
+	}
+	// The end of the chain must also equal the start directly, and be a
+	// Seq of two sums — the decomposed T_XY ≫ T_XZ shape.
+	dom := DomainOf(tab)
+	cex, _, err := EquivalentPolicies(steps[0].Policy, steps[len(steps)-1].Policy, dom, 0)
+	if err != nil || cex != nil {
+		t.Fatalf("chain ends diverge: %v %v", err, cex)
+	}
+	final, ok := steps[len(steps)-1].Policy.(Seq)
+	if !ok || len(final) != 2 {
+		t.Fatalf("final policy is not a two-stage sequence: %T", steps[len(steps)-1].Policy)
+	}
+}
+
+func TestProveDecompositionRandomTables(t *testing.T) {
+	// Random exact tables with a planted X→Y: the proof must go through
+	// every time.
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 25; trial++ {
+		tab := mat.New("r", mat.Schema{
+			mat.F("x", 8), mat.F("y", 8), mat.F("z", 8), mat.A("o", 8),
+		})
+		seen := map[[2]uint64]bool{}
+		for i := 0; i < 2+rng.Intn(10); i++ {
+			xv := uint64(rng.Intn(4))
+			zv := uint64(rng.Intn(4))
+			if seen[[2]uint64{xv, zv}] {
+				continue
+			}
+			seen[[2]uint64{xv, zv}] = true
+			yv := xv * 7 % 3 // X -> Y
+			tab.Add(mat.Exact(xv, 8), mat.Exact(yv, 8), mat.Exact(zv, 8), mat.Exact(uint64(i), 8))
+		}
+		if len(tab.Entries) < 2 {
+			continue
+		}
+		steps, err := ProveDecomposition(tab, mat.SetOf(tab.Schema, "x"), mat.SetOf(tab.Schema, "y"))
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, tab)
+		}
+		if len(steps) != 7 {
+			t.Fatalf("trial %d: %d steps", trial, len(steps))
+		}
+	}
+}
+
+func TestProveDecompositionRejectsBadInputs(t *testing.T) {
+	tab := exactGwlb()
+	s := tab.Schema
+
+	// Action attribute in Y.
+	if _, err := ProveDecomposition(tab, mat.SetOf(s, "ip_dst"), mat.SetOf(s, "out")); err == nil {
+		t.Errorf("action-side dependency accepted")
+	}
+	// Overlapping X and Y.
+	if _, err := ProveDecomposition(tab, mat.SetOf(s, "ip_dst"), mat.SetOf(s, "ip_dst")); err == nil {
+		t.Errorf("overlapping X/Y accepted")
+	}
+	// FD that does not hold.
+	if _, err := ProveDecomposition(tab, mat.SetOf(s, "tcp_dst"), mat.SetOf(s, "grp")); err == nil {
+		t.Errorf("non-holding dependency accepted")
+	}
+	// Non-exact predicates.
+	pref := mat.New("p", mat.Schema{mat.F("a", 8), mat.F("b", 8), mat.A("o", 8)})
+	pref.Add(mat.Prefix(0, 4, 8), mat.Exact(1, 8), mat.Exact(1, 8))
+	pref.Add(mat.Prefix(0x10, 4, 8), mat.Exact(1, 8), mat.Exact(2, 8))
+	if _, err := ProveDecomposition(pref, mat.SetOf(pref.Schema, "a"), mat.SetOf(pref.Schema, "b")); err == nil {
+		t.Errorf("prefix predicates accepted")
+	}
+	// Order-dependent table.
+	dup := exactGwlb()
+	e := dup.Entries[0].Clone()
+	e[3] = mat.Exact(9, 16)
+	dup.Entries = append(dup.Entries, e)
+	if _, err := ProveDecomposition(dup, mat.SetOf(s, "ip_dst"), mat.SetOf(s, "tcp_dst")); err == nil {
+		t.Errorf("order-dependent table accepted")
+	}
+}

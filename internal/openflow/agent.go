@@ -1,0 +1,236 @@
+package openflow
+
+import (
+	"fmt"
+	"sync"
+
+	"manorm/internal/mat"
+	"manorm/internal/switches"
+)
+
+// Agent is the switch-side protocol endpoint: it owns the logical
+// match-action pipeline, applies flow-mods to it, and (re)installs it into
+// the backing switch model. Modifications take effect at the next barrier,
+// giving the barrier the OpenFlow commit semantics the reactiveness
+// experiment counts on.
+type Agent struct {
+	mu sync.Mutex
+	sw switches.Switch
+	// pipeline is the logical (control-plane-visible) pipeline state.
+	pipeline *mat.Pipeline
+	dirty    bool
+	// ModsApplied counts flow-mods accepted since creation — the
+	// control-plane churn metric of §2/§5.
+	ModsApplied int
+}
+
+// NewAgent creates an agent fronting a switch model with an initial
+// pipeline.
+func NewAgent(sw switches.Switch, p *mat.Pipeline) (*Agent, error) {
+	a := &Agent{sw: sw, pipeline: p}
+	if err := sw.Install(p); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Pipeline returns the logical pipeline (for inspection in tests).
+func (a *Agent) Pipeline() *mat.Pipeline {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.pipeline
+}
+
+// Serve handles control messages on the connection until it closes. It is
+// the switch's control-channel main loop.
+func (a *Agent) Serve(c *Conn) error {
+	if err := c.Send(&Message{Type: TypeHello}); err != nil {
+		return err
+	}
+	for {
+		m, err := c.Recv()
+		if err != nil {
+			return err
+		}
+		if err := a.handle(c, m); err != nil {
+			return err
+		}
+	}
+}
+
+func (a *Agent) handle(c *Conn, m *Message) error {
+	switch m.Type {
+	case TypeHello:
+		return nil
+	case TypeEchoRequest:
+		return c.Send(&Message{Type: TypeEchoReply, XID: m.XID, Payload: m.Payload})
+	case TypeFlowMod:
+		if err := a.ApplyFlowMod(m.Flow); err != nil {
+			return c.Send(&Message{Type: TypeError, XID: m.XID, Err: err.Error()})
+		}
+		return nil
+	case TypeBarrierRequest:
+		if err := a.Commit(); err != nil {
+			return c.Send(&Message{Type: TypeError, XID: m.XID, Err: err.Error()})
+		}
+		return c.Send(&Message{Type: TypeBarrierReply, XID: m.XID})
+	case TypeStatsRequest:
+		stats, err := a.ReadStats(int(m.Stats.TableID))
+		if err != nil {
+			return c.Send(&Message{Type: TypeError, XID: m.XID, Err: err.Error()})
+		}
+		return c.Send(&Message{Type: TypeStatsReply, XID: m.XID, Stats: stats})
+	default:
+		return c.Send(&Message{Type: TypeError, XID: m.XID, Err: fmt.Sprintf("unhandled type %s", m.Type)})
+	}
+}
+
+// ApplyFlowMod applies one modification to the logical pipeline. The
+// change is installed into the switch at the next Commit (barrier).
+func (a *Agent) ApplyFlowMod(f *FlowMod) error {
+	if f == nil {
+		return fmt.Errorf("openflow: nil flow-mod")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if int(f.TableID) >= len(a.pipeline.Stages) {
+		return fmt.Errorf("openflow: table %d out of range", f.TableID)
+	}
+	t := a.pipeline.Stages[f.TableID].Table
+
+	match, err := matchRow(t, f.Match)
+	if err != nil {
+		return err
+	}
+	idx := findEntry(t, match)
+
+	switch f.Command {
+	case FlowAdd:
+		if idx >= 0 {
+			return fmt.Errorf("openflow: duplicate entry in table %d", f.TableID)
+		}
+		row, err := fullRow(t, match, f.Actions)
+		if err != nil {
+			return err
+		}
+		t.Entries = append(t.Entries, row)
+	case FlowModify:
+		if idx < 0 {
+			return fmt.Errorf("openflow: modify: no such entry in table %d", f.TableID)
+		}
+		row, err := fullRow(t, match, f.Actions)
+		if err != nil {
+			return err
+		}
+		t.Entries[idx] = row
+	case FlowDelete:
+		if idx < 0 {
+			return fmt.Errorf("openflow: delete: no such entry in table %d", f.TableID)
+		}
+		t.Entries = append(t.Entries[:idx], t.Entries[idx+1:]...)
+	default:
+		return fmt.Errorf("openflow: unknown flow-mod command %d", f.Command)
+	}
+	a.ModsApplied++
+	a.dirty = true
+	return nil
+}
+
+// Commit reinstalls the logical pipeline into the switch if it changed —
+// the barrier semantics.
+func (a *Agent) Commit() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.dirty {
+		return nil
+	}
+	if err := a.pipeline.Validate(); err != nil {
+		return err
+	}
+	// Install-time classifier validation: a flow-mod batch must not
+	// create entries whose regions overlap at equal specificity — such
+	// packets would have no most-specific winner.
+	for si := range a.pipeline.Stages {
+		if amb := a.pipeline.Stages[si].Table.AmbiguousPairs(); len(amb) > 0 {
+			return fmt.Errorf("openflow: table %d has ambiguous entries %v; rejecting commit", si, amb[0])
+		}
+	}
+	if err := a.sw.Install(a.pipeline); err != nil {
+		return err
+	}
+	a.sw.ApplyMods(1)
+	a.dirty = false
+	return nil
+}
+
+// ReadStats snapshots one table's per-entry counters.
+func (a *Agent) ReadStats(table int) (*Stats, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if table >= len(a.pipeline.Stages) || table < 0 {
+		return nil, fmt.Errorf("openflow: table %d out of range", table)
+	}
+	return &Stats{TableID: uint8(table), Counts: a.sw.Counters(table)}, nil
+}
+
+// matchRow builds the match-cell projection of a flow-mod against a
+// table's schema: absent fields are wildcards.
+func matchRow(t *mat.Table, fields []MatchField) ([]mat.Cell, error) {
+	cells := make([]mat.Cell, len(t.Schema))
+	for i := range cells {
+		cells[i] = mat.Any()
+	}
+	for _, f := range fields {
+		i := t.Schema.Index(f.Name)
+		if i < 0 {
+			return nil, fmt.Errorf("openflow: table %s has no match field %q", t.Name, f.Name)
+		}
+		if t.Schema[i].Kind != mat.Field {
+			return nil, fmt.Errorf("openflow: attribute %q is not a match field", f.Name)
+		}
+		cells[i] = f.Cell.Canonical(t.Schema[i].Width)
+	}
+	return cells, nil
+}
+
+// findEntry locates the entry with exactly the given match cells.
+func findEntry(t *mat.Table, match []mat.Cell) int {
+	for ei, e := range t.Entries {
+		same := true
+		for _, fi := range t.Schema.Fields() {
+			if e[fi] != match[fi] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return ei
+		}
+	}
+	return -1
+}
+
+// fullRow combines match cells with action values into a complete entry;
+// every action attribute of the schema must be provided.
+func fullRow(t *mat.Table, match []mat.Cell, actions []ActionField) (mat.Entry, error) {
+	row := make(mat.Entry, len(t.Schema))
+	copy(row, match)
+	provided := make(map[int]bool)
+	for _, af := range actions {
+		i := t.Schema.Index(af.Name)
+		if i < 0 {
+			return nil, fmt.Errorf("openflow: table %s has no action %q", t.Name, af.Name)
+		}
+		if t.Schema[i].Kind != mat.Action {
+			return nil, fmt.Errorf("openflow: attribute %q is not an action", af.Name)
+		}
+		row[i] = mat.Exact(af.Value, t.Schema[i].Width)
+		provided[i] = true
+	}
+	for _, ai := range t.Schema.Actions() {
+		if !provided[ai] {
+			return nil, fmt.Errorf("openflow: action %q missing from flow-mod", t.Schema[ai].Name)
+		}
+	}
+	return row, nil
+}

@@ -1,0 +1,60 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Conn frames messages over a net.Conn. Reads and writes are each
+// serialized internally, so one reader and one writer goroutine may share
+// a Conn.
+type Conn struct {
+	c  net.Conn
+	rm sync.Mutex
+	wm sync.Mutex
+	rb []byte
+}
+
+// NewConn wraps a transport connection.
+func NewConn(c net.Conn) *Conn { return &Conn{c: c} }
+
+// Send encodes and writes one message.
+func (c *Conn) Send(m *Message) error {
+	frame, err := Encode(m)
+	if err != nil {
+		return err
+	}
+	c.wm.Lock()
+	defer c.wm.Unlock()
+	_, err = c.c.Write(frame)
+	return err
+}
+
+// Recv reads and decodes the next message.
+func (c *Conn) Recv() (*Message, error) {
+	c.rm.Lock()
+	defer c.rm.Unlock()
+	var hdr [8]byte
+	if _, err := io.ReadFull(c.c, hdr[:]); err != nil {
+		return nil, err
+	}
+	length := int(binary.BigEndian.Uint16(hdr[2:]))
+	if length < 8 || length > maxMessage {
+		return nil, fmt.Errorf("openflow: bad frame length %d", length)
+	}
+	if cap(c.rb) < length {
+		c.rb = make([]byte, length)
+	}
+	frame := c.rb[:length]
+	copy(frame, hdr[:])
+	if _, err := io.ReadFull(c.c, frame[8:]); err != nil {
+		return nil, err
+	}
+	return Decode(frame)
+}
+
+// Close closes the transport.
+func (c *Conn) Close() error { return c.c.Close() }

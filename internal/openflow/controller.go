@@ -1,0 +1,135 @@
+package openflow
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Client is the controller-side endpoint: it sends flow-mods, waits on
+// barriers, and reads stats over a Conn. Safe for concurrent use.
+type Client struct {
+	conn *Conn
+	xid  atomic.Uint32
+
+	mu      sync.Mutex
+	pending map[uint32]chan *Message
+	readErr error
+	done    chan struct{}
+
+	// ModsSent counts flow-mods issued — the controller-side churn
+	// metric.
+	ModsSent int64
+}
+
+// NewClient starts a client on the connection and waits for the switch's
+// hello.
+func NewClient(conn *Conn) (*Client, error) {
+	c := &Client{conn: conn, pending: make(map[uint32]chan *Message), done: make(chan struct{})}
+	// The switch speaks first; read its hello before sending ours so the
+	// handshake also works over fully synchronous transports (net.Pipe).
+	m, err := conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if m.Type != TypeHello {
+		return nil, fmt.Errorf("openflow: expected hello, got %s", m.Type)
+	}
+	if err := conn.Send(&Message{Type: TypeHello}); err != nil {
+		return nil, err
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	for {
+		m, err := c.conn.Recv()
+		c.mu.Lock()
+		if err != nil {
+			c.readErr = err
+			for xid, ch := range c.pending {
+				close(ch)
+				delete(c.pending, xid)
+			}
+			c.mu.Unlock()
+			close(c.done)
+			return
+		}
+		if ch, ok := c.pending[m.XID]; ok {
+			ch <- m
+			delete(c.pending, m.XID)
+		}
+		c.mu.Unlock()
+	}
+}
+
+// rpc sends a message and waits for the reply carrying the same xid.
+func (c *Client) rpc(m *Message) (*Message, error) {
+	m.XID = c.xid.Add(1)
+	ch := make(chan *Message, 1)
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.pending[m.XID] = ch
+	c.mu.Unlock()
+	if err := c.conn.Send(m); err != nil {
+		return nil, err
+	}
+	reply, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, fmt.Errorf("openflow: connection lost: %w", err)
+	}
+	if reply.Type == TypeError {
+		return nil, fmt.Errorf("openflow: switch error: %s", reply.Err)
+	}
+	return reply, nil
+}
+
+// SendFlowMod issues a flow modification (asynchronous; commit with
+// Barrier). Errors reported by the switch surface at the next Barrier or
+// on the connection.
+func (c *Client) SendFlowMod(f *FlowMod) error {
+	atomic.AddInt64(&c.ModsSent, 1)
+	return c.conn.Send(&Message{Type: TypeFlowMod, XID: c.xid.Add(1), Flow: f})
+}
+
+// Barrier commits outstanding flow-mods and blocks until the switch
+// acknowledges.
+func (c *Client) Barrier() error {
+	_, err := c.rpc(&Message{Type: TypeBarrierRequest})
+	return err
+}
+
+// Echo round-trips a payload (liveness / RTT probe).
+func (c *Client) Echo(payload []byte) error {
+	reply, err := c.rpc(&Message{Type: TypeEchoRequest, Payload: payload})
+	if err != nil {
+		return err
+	}
+	if string(reply.Payload) != string(payload) {
+		return fmt.Errorf("openflow: echo payload mismatch")
+	}
+	return nil
+}
+
+// ReadStats fetches one table's per-entry counters.
+func (c *Client) ReadStats(table int) ([]uint64, error) {
+	reply, err := c.rpc(&Message{Type: TypeStatsRequest, Stats: &Stats{TableID: uint8(table)}})
+	if err != nil {
+		return nil, err
+	}
+	if reply.Stats == nil {
+		return nil, fmt.Errorf("openflow: stats-reply without body")
+	}
+	return reply.Stats.Counts, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.conn.Close() }

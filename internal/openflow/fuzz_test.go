@@ -1,0 +1,108 @@
+package openflow
+
+import (
+	"math/rand"
+	"testing"
+
+	"manorm/internal/mat"
+)
+
+// TestDecodeNeverPanics hammers Decode with random bytes and random
+// mutations of valid frames: every input must produce a message or an
+// error, never a panic or a hang.
+func TestDecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+
+	// Pure random frames.
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(64)
+		b := make([]byte, n)
+		rng.Read(b)
+		// Make the length field self-consistent half the time so the
+		// body parsers get exercised too.
+		if n >= 8 && rng.Intn(2) == 0 {
+			b[0] = Version
+			b[2] = byte(n >> 8)
+			b[3] = byte(n)
+		}
+		_, _ = Decode(b) // must not panic
+	}
+
+	// Mutations of a valid flow-mod frame.
+	valid, err := Encode(&Message{Type: TypeFlowMod, XID: 7, Flow: &FlowMod{
+		Command: FlowAdd,
+		TableID: 1,
+		Match: []MatchField{
+			{Name: "ip_dst", Width: 32, Cell: mat.IPv4("192.0.2.1")},
+		},
+		Actions: []ActionField{{Name: "out", Width: 16, Value: 3}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		b := append([]byte(nil), valid...)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			b[rng.Intn(len(b))] ^= byte(1 << rng.Intn(8))
+		}
+		// Keep the header length consistent so mutations hit the body
+		// parser rather than the frame check.
+		b[2] = byte(len(b) >> 8)
+		b[3] = byte(len(b))
+		_, _ = Decode(b)
+	}
+
+	// Truncations of a valid stats frame.
+	statsFrame, err := Encode(&Message{Type: TypeStatsReply, XID: 9, Stats: &Stats{TableID: 0, Counts: []uint64{1, 2, 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(statsFrame); cut++ {
+		b := append([]byte(nil), statsFrame[:cut]...)
+		if len(b) >= 4 {
+			b[2] = byte(len(b) >> 8)
+			b[3] = byte(len(b))
+		}
+		_, _ = Decode(b)
+	}
+}
+
+// TestEncodeDecodeRandomFlowMods round-trips randomized flow-mods.
+func TestEncodeDecodeRandomFlowMods(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	names := []string{"ip_src", "ip_dst", "tcp_dst", "vlan", "in_port"}
+	for i := 0; i < 500; i++ {
+		f := &FlowMod{
+			Command: FlowModCommand(1 + rng.Intn(3)),
+			TableID: uint8(rng.Intn(8)),
+		}
+		for m := 0; m < rng.Intn(4); m++ {
+			f.Match = append(f.Match, MatchField{
+				Name:  names[rng.Intn(len(names))],
+				Width: 32,
+				Cell:  mat.Prefix(rng.Uint64(), uint8(rng.Intn(33)), 32),
+			})
+		}
+		for a := 0; a < rng.Intn(3); a++ {
+			f.Actions = append(f.Actions, ActionField{
+				Name: "out", Width: 16, Value: uint64(rng.Intn(1 << 16)),
+			})
+		}
+		frame, err := Encode(&Message{Type: TypeFlowMod, XID: uint32(i), Flow: f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Decode(frame)
+		if err != nil {
+			t.Fatalf("round trip %d: %v", i, err)
+		}
+		if len(back.Flow.Match) != len(f.Match) || len(back.Flow.Actions) != len(f.Actions) {
+			t.Fatalf("round trip %d changed arity", i)
+		}
+		for j := range f.Match {
+			if back.Flow.Match[j] != f.Match[j] {
+				t.Fatalf("round trip %d changed match %d: %+v vs %+v", i, j, f.Match[j], back.Flow.Match[j])
+			}
+		}
+	}
+}

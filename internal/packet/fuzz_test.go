@@ -1,0 +1,83 @@
+package packet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParseNeverPanics feeds random and mutated frames to the parser.
+func TestParseNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		n := rng.Intn(128)
+		b := make([]byte, n)
+		rng.Read(b)
+		_, _ = Parse(b)
+	}
+	valid := TCP4(1, 2, 3, 4, 5, 6).Marshal(nil)
+	for i := 0; i < 10000; i++ {
+		b := append([]byte(nil), valid...)
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			b[rng.Intn(len(b))] ^= byte(1 << rng.Intn(8))
+		}
+		_, _ = Parse(b)
+	}
+	// Truncations.
+	for cut := 0; cut <= len(valid); cut++ {
+		_, _ = Parse(valid[:cut])
+	}
+}
+
+// TestParseIHLOptions covers IPv4 headers with options (IHL > 5).
+func TestParseIHLOptions(t *testing.T) {
+	p := TCP4(1, 2, 3, 4, 5, 6)
+	wire := p.Marshal(nil)
+	// Rewrite the IP header to claim IHL=6 with a 4-byte option,
+	// shifting the L4 header accordingly.
+	ip := make([]byte, 24)
+	copy(ip, wire[EthHeaderLen:EthHeaderLen+20])
+	ip[0] = 0x46 // version 4, IHL 6
+	// Recompute checksum over 24 bytes.
+	ip[10], ip[11] = 0, 0
+	cs := Checksum(ip)
+	ip[10], ip[11] = byte(cs>>8), byte(cs)
+	frame := append(append(append([]byte{}, wire[:EthHeaderLen]...), ip...), wire[EthHeaderLen+20:]...)
+	q, err := Parse(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.HasIPv4 || q.IPDst != 4 {
+		t.Errorf("options header parsed wrong: %+v", q)
+	}
+	if !q.HasL4 || q.SrcPort != 5 {
+		t.Errorf("L4 after options parsed wrong: %+v", q)
+	}
+}
+
+// TestMarshalParseIdempotentOnReparse checks serialize∘parse∘serialize
+// stability.
+func TestMarshalParseIdempotentOnReparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 1000; i++ {
+		p := TCP4(rng.Uint64(), rng.Uint64(), rng.Uint32(), rng.Uint32(),
+			uint16(rng.Intn(1<<16)), uint16(rng.Intn(1<<16)))
+		if rng.Intn(2) == 0 {
+			p.HasVLAN = true
+			p.VLANID = uint16(rng.Intn(1 << 12))
+		}
+		w1 := p.Marshal(nil)
+		q, err := Parse(w1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2 := q.Marshal(nil)
+		if len(w1) != len(w2) {
+			t.Fatalf("reserialization changed length: %d vs %d", len(w1), len(w2))
+		}
+		for j := range w1 {
+			if w1[j] != w2[j] {
+				t.Fatalf("reserialization changed byte %d", j)
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package switches
+
+import (
+	"manorm/internal/dataplane"
+	"manorm/internal/packet"
+)
+
+// megaflowCache is the OVS-style second-level cache: masked ("megaflow")
+// entries produced by slow-path wildcard tracing. One megaflow covers
+// every microflow agreeing on the traced bits, so the cache stays small —
+// roughly one entry per distinct pipeline path — and is exactly the lazily
+// built denormalized table the paper's OVS discussion describes.
+//
+// Entries are grouped by mask signature (a dynamic tuple space); lookup
+// probes each mask group with the masked key.
+type megaflowCache struct {
+	fields []string // canonical field order for keys
+	widths []uint8
+	groups []*megaflowGroup
+	byMask map[string]*megaflowGroup
+	// Entries counts cached megaflows.
+	Entries int
+}
+
+type megaflowGroup struct {
+	plens   []uint8
+	buckets map[megaKey]dataplane.Verdict
+}
+
+// megaKey fits the canonical field set; fields beyond the array are not
+// used by the models' workloads.
+type megaKey [10]uint64
+
+func newMegaflowCache() *megaflowCache {
+	return &megaflowCache{
+		fields: []string{
+			packet.FieldEthDst, packet.FieldEthSrc, packet.FieldEthType,
+			packet.FieldVLAN, packet.FieldIPSrc, packet.FieldIPDst,
+			packet.FieldIPProto, packet.FieldTTL, packet.FieldTCPSrc, packet.FieldTCPDst,
+		},
+		widths: []uint8{48, 48, 16, 12, 32, 32, 8, 8, 16, 16},
+		byMask: make(map[string]*megaflowGroup),
+	}
+}
+
+// maskValue keeps the top plen bits of a width-bit value.
+func maskValue(v uint64, plen, width uint8) uint64 {
+	if plen == 0 {
+		return 0
+	}
+	if plen >= width {
+		return v
+	}
+	return v &^ ((uint64(1) << (width - plen)) - 1)
+}
+
+// lookup probes every mask group.
+func (c *megaflowCache) lookup(pkt *packet.Packet) (dataplane.Verdict, bool) {
+	var key megaKey
+	for _, g := range c.groups {
+		for i, f := range c.fields {
+			if g.plens[i] == 0 {
+				key[i] = 0
+				continue
+			}
+			v, ok := pkt.Field(f)
+			if !ok {
+				v = 0
+			}
+			key[i] = maskValue(v, g.plens[i], c.widths[i])
+		}
+		if verdict, ok := g.buckets[key]; ok {
+			return verdict, true
+		}
+	}
+	return dataplane.Verdict{}, false
+}
+
+// insert installs a megaflow from a slow-path trace.
+func (c *megaflowCache) insert(pkt *packet.Packet, tr *dataplane.Trace, v dataplane.Verdict) {
+	plens := make([]uint8, len(c.fields))
+	sig := make([]byte, len(c.fields))
+	for i, f := range c.fields {
+		if p, ok := tr.PLens[f]; ok {
+			plens[i] = p
+			sig[i] = byte(p)
+		}
+	}
+	g, ok := c.byMask[string(sig)]
+	if !ok {
+		g = &megaflowGroup{plens: plens, buckets: make(map[megaKey]dataplane.Verdict)}
+		c.byMask[string(sig)] = g
+		c.groups = append(c.groups, g)
+	}
+	var key megaKey
+	for i, f := range c.fields {
+		if plens[i] == 0 {
+			continue
+		}
+		v, ok := pkt.Field(f)
+		if !ok {
+			v = 0
+		}
+		key[i] = maskValue(v, plens[i], c.widths[i])
+	}
+	if _, dup := g.buckets[key]; !dup {
+		g.buckets[key] = v
+		c.Entries++
+	}
+}
+
+// flush empties the cache (revalidation).
+func (c *megaflowCache) flush() {
+	c.groups = nil
+	c.byMask = make(map[string]*megaflowGroup)
+	c.Entries = 0
+}

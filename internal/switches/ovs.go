@@ -1,0 +1,151 @@
+package switches
+
+import (
+	"fmt"
+
+	"manorm/internal/classifier"
+	"manorm/internal/dataplane"
+	"manorm/internal/mat"
+	"manorm/internal/packet"
+)
+
+// OVS models Open vSwitch's datapath architecture: a slow path that
+// interprets the installed multi-table pipeline (tuple space search per
+// table, as in ovs-vswitchd) and a single flat flow cache consulted first.
+// A cache hit costs one hash probe no matter how the pipeline was
+// represented — which is why the paper finds OVS agnostic to
+// normalization (§5: "the datapath collapses OpenFlow tables into a
+// single flow cache; in other words, OVS explicitly denormalizes the
+// pipeline").
+//
+// The cache here is a microflow cache (OVS's EMC): exact on the headers
+// the workloads vary. Control-plane updates invalidate it (revalidation).
+type OVS struct {
+	slow *dataplane.Pipeline
+	ctx  *dataplane.Ctx
+	// cache is the first-level exact-match cache (EMC).
+	cache map[ovsKey]ovsHit
+	// mega is the second-level masked cache (the megaflow cache), filled
+	// from slow-path wildcard traces.
+	mega  *megaflowCache
+	trace *dataplane.Trace
+	// Misses, Hits and MegaHits count per-layer cache behavior for the
+	// experiment logs (Misses = slow-path traversals).
+	Misses, Hits, MegaHits uint64
+	scratch                packet.Packet
+}
+
+type ovsKey struct {
+	src, dst   uint32
+	sport      uint16
+	dport      uint16
+	ethType    uint16
+	vlan       uint16
+	proto, ttl uint8
+}
+
+type ovsHit struct {
+	verdict dataplane.Verdict
+}
+
+// ovsCacheMax bounds the cache like the EMC's fixed size; beyond it, new
+// flows evict nothing and take the slow path (a simple, honest policy).
+const ovsCacheMax = 1 << 15
+
+// NewOVS creates an unprogrammed OVS model.
+func NewOVS() *OVS { return &OVS{} }
+
+// Name returns "ovs".
+func (s *OVS) Name() string { return "ovs" }
+
+// Install programs the slow path and flushes the cache.
+func (s *OVS) Install(p *mat.Pipeline) error {
+	dp, err := dataplane.Compile(p, dataplane.FixedTemplate(classifier.ForceTupleSpace))
+	if err != nil {
+		return fmt.Errorf("ovs: %w", err)
+	}
+	s.slow = dp
+	s.ctx = dp.NewCtx()
+	s.cache = make(map[ovsKey]ovsHit, 4096)
+	s.mega = newMegaflowCache()
+	s.trace = dataplane.NewTrace()
+	s.Misses, s.Hits, s.MegaHits = 0, 0, 0
+	return nil
+}
+
+func keyOf(p *packet.Packet) ovsKey {
+	return ovsKey{
+		src: p.IPSrc, dst: p.IPDst,
+		sport: p.SrcPort, dport: p.DstPort,
+		ethType: p.EthType, vlan: p.VLANID,
+		proto: p.Proto, ttl: p.TTL,
+	}
+}
+
+// Process consults the EMC, then the megaflow cache, then the slow path —
+// the OVS datapath lookup chain. Slow-path traversals trace the consulted
+// header bits and install a megaflow covering every microflow that agrees
+// on them.
+//
+// Caveat, as in the real caches: cached entries replay the *verdict* (port
+// or drop), so the model is exact for forwarding workloads;
+// header-rewriting actions are applied only on the slow path. The
+// benchmark workloads (gateway & load balancer) are pure forwarding.
+func (s *OVS) Process(pkt *packet.Packet) (dataplane.Verdict, error) {
+	k := keyOf(pkt)
+	if hit, ok := s.cache[k]; ok {
+		s.Hits++
+		return hit.verdict, nil
+	}
+	if v, ok := s.mega.lookup(pkt); ok {
+		s.MegaHits++
+		if len(s.cache) < ovsCacheMax {
+			s.cache[k] = ovsHit{verdict: v}
+		}
+		return v, nil
+	}
+	s.Misses++
+	v, err := s.slow.ProcessTraced(pkt, s.ctx, s.trace)
+	if err != nil {
+		return v, err
+	}
+	s.mega.insert(pkt, s.trace, v)
+	if len(s.cache) < ovsCacheMax {
+		s.cache[k] = ovsHit{verdict: v}
+	}
+	return v, nil
+}
+
+// ApplyMods triggers revalidation: both cache layers are flushed.
+func (s *OVS) ApplyMods(int) error {
+	for k := range s.cache {
+		delete(s.cache, k)
+	}
+	s.mega.flush()
+	return nil
+}
+
+// Perf returns the latency calibration (see ESwitch.Perf for the formula).
+func (s *OVS) Perf() PerfModel {
+	return PerfModel{BaseLatencyNs: 400_000, QueueFactor: 500}
+}
+
+// CacheSize reports the number of cached exact-match flows (EMC).
+func (s *OVS) CacheSize() int { return len(s.cache) }
+
+// MegaflowCount reports the number of cached megaflows.
+func (s *OVS) MegaflowCount() int { return s.mega.Entries }
+
+// Counters snapshots a stage's per-entry packet counters.
+func (s *OVS) Counters(stage int) []uint64 {
+	return s.slow.Counters(stage)
+}
+
+// ProcessFrame parses the frame into the model's scratch packet and
+// forwards it; malformed frames drop.
+func (s *OVS) ProcessFrame(frame []byte) (dataplane.Verdict, error) {
+	if err := s.scratch.ParseInto(frame); err != nil {
+		return dataplane.Verdict{Drop: true}, nil
+	}
+	return s.Process(&s.scratch)
+}

@@ -1,0 +1,187 @@
+package switches
+
+import (
+	"math/rand"
+
+	"manorm/internal/stats"
+)
+
+// ReactiveSimConfig drives the discrete-time reactiveness simulation: a
+// traffic generator offering line rate against a switch whose forwarding
+// engine is periodically stalled by control-plane table writes (the TCAM
+// reorganization of the NoviFlow model). This makes the Fig. 4 curves
+// *emergent* — throughput loss comes out of the event timeline rather
+// than a closed-form expression (ReactiveThroughput provides the closed
+// form for cross-checking).
+//
+// During a stall the switch *drops* at ingress beyond a small buffer —
+// packets racing an in-progress atomic table write miss, they do not
+// queue. This is the behavior consistent with both halves of the paper's
+// Fig. 4: throughput collapses under churn while the latency of the
+// packets that do get through stays pinned to the pipeline depth
+// ("minor latency increase ... mostly independently from the control
+// plane churn").
+type ReactiveSimConfig struct {
+	// DurationSec is the simulated time span.
+	DurationSec float64
+	// UpdateRate is service updates per second; each update issues
+	// ModsPerUpdate flow-mods against a stage of StageEntries entries.
+	UpdateRate    float64
+	ModsPerUpdate int
+	StageEntries  int
+	// BufferPkts is the small ingress buffer that survives a stall;
+	// everything beyond it is dropped while the tables are being
+	// rewritten.
+	BufferPkts int
+	// TablesTraversed feeds the pipeline-depth latency term.
+	TablesTraversed float64
+	// Jitter randomizes update spacing by ±25% (seeded; 0 disables).
+	JitterSeed int64
+}
+
+// DefaultReactiveSim mirrors the measurement setup: 10 simulated seconds,
+// a 128-packet ingress buffer (≈12 µs at line rate).
+func DefaultReactiveSim(updRate float64, mods, entries int, tables float64) ReactiveSimConfig {
+	return ReactiveSimConfig{
+		DurationSec:     10,
+		UpdateRate:      updRate,
+		ModsPerUpdate:   mods,
+		StageEntries:    entries,
+		BufferPkts:      128,
+		TablesTraversed: tables,
+		JitterSeed:      1,
+	}
+}
+
+// ReactiveSimResult reports the emergent performance.
+type ReactiveSimResult struct {
+	// RateMpps is delivered throughput (offered = line rate).
+	RateMpps float64
+	// DeliveredFrac is delivered/offered.
+	DeliveredFrac float64
+	// DelayP75Us is the 3rd-quartile latency of *delivered* packets in
+	// microseconds.
+	DelayP75Us float64
+	// Stalls is the number of distinct stall periods simulated.
+	Stalls int
+}
+
+// SimulateReactive runs the fluid-flow event simulation on the hardware
+// model's constants.
+func (s *NoviFlow) SimulateReactive(cfg ReactiveSimConfig) ReactiveSimResult {
+	pm := s.Perf()
+	lineNsPerPkt := 1000 / pm.HWLineRateMpps
+	stallPerUpdateNs := float64(cfg.ModsPerUpdate) * (pm.ModStallNsBase + pm.ModStallNsPerEntry*float64(cfg.StageEntries))
+	baseLatency := s.ReactiveLatency(cfg.TablesTraversed)
+
+	durationNs := cfg.DurationSec * 1e9
+	var rng *rand.Rand
+	if cfg.JitterSeed != 0 {
+		rng = rand.New(rand.NewSource(cfg.JitterSeed))
+	}
+
+	// Build the stall timeline (merging back-to-back stalls).
+	type stall struct{ start, end float64 }
+	var stalls []stall
+	if cfg.UpdateRate > 0 {
+		period := 1e9 / cfg.UpdateRate
+		for t := period; t < durationNs; t += period {
+			start := t
+			if rng != nil {
+				start += (rng.Float64() - 0.5) * 0.5 * period
+			}
+			end := start + stallPerUpdateNs
+			if end > durationNs {
+				end = durationNs
+			}
+			if start >= durationNs {
+				break
+			}
+			if n := len(stalls); n > 0 && start <= stalls[n-1].end {
+				if end > stalls[n-1].end {
+					stalls[n-1].end = end
+				}
+				continue
+			}
+			stalls = append(stalls, stall{start, end})
+		}
+	}
+
+	// Packet-weighted latency sampling: one sample per quantum of
+	// delivered packets, so stall survivors and steady-state packets are
+	// weighted by how many of them there are.
+	offered := durationNs / lineNsPerPkt
+	quantum := offered / 5000
+	if quantum < 1 {
+		quantum = 1
+	}
+	lat := stats.NewReservoir(8192, 2)
+	var sampleAcc float64
+	addSamples := func(count, latencyNs float64) {
+		sampleAcc += count
+		for sampleAcc >= quantum {
+			lat.Add(latencyNs)
+			sampleAcc -= quantum
+		}
+	}
+
+	buffered := 0.0 // packets held across a stall
+	delivered := 0.0
+	cursor := 0.0
+	bufCap := float64(cfg.BufferPkts)
+
+	for si := 0; si <= len(stalls); si++ {
+		// Clean segment before this stall (or the tail).
+		segEnd := durationNs
+		if si < len(stalls) {
+			segEnd = stalls[si].start
+		}
+		dt := segEnd - cursor
+		if dt > 0 {
+			capacity := dt / lineNsPerPkt
+			arriving := capacity
+			// Drain the survivors first; they waited for the stall to
+			// end.
+			drained := buffered
+			if drained > capacity {
+				drained = capacity
+			}
+			delivered += drained
+			buffered -= drained
+			capacity -= drained
+			served := arriving
+			if served > capacity {
+				buffered += served - capacity
+				served = capacity
+			}
+			delivered += served
+			addSamples(served, baseLatency)
+		}
+		if si == len(stalls) {
+			break
+		}
+		st := stalls[si]
+		// Stall: the first bufCap arrivals survive (and depart after the
+		// stall, having waited roughly its remaining length); the rest
+		// drop.
+		arriving := (st.end - st.start) / lineNsPerPkt
+		room := bufCap - buffered
+		if room < 0 {
+			room = 0
+		}
+		survivors := arriving
+		if survivors > room {
+			survivors = room
+		}
+		buffered += survivors
+		addSamples(survivors, baseLatency+(st.end-st.start))
+		cursor = st.end
+	}
+
+	return ReactiveSimResult{
+		RateMpps:      delivered / durationNs * 1000,
+		DeliveredFrac: delivered / offered,
+		DelayP75Us:    lat.Quantile(0.75) / 1000,
+		Stalls:        len(stalls),
+	}
+}

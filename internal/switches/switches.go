@@ -1,0 +1,78 @@
+// Package switches models the four programmable switches of the paper's
+// evaluation (§5): Open vSwitch, ESwitch, Lagopus and a NoviFlow-style
+// hardware OpenFlow switch. All models execute pipelines functionally via
+// internal/dataplane; they differ in the mechanisms that made the paper's
+// measurements come out the way they did:
+//
+//   - OVS collapses the pipeline into a single flow cache on the fly —
+//     representation-agnostic by construction.
+//   - ESwitch compiles each table to the best classifier template its
+//     shape admits — normalization directly improves its templates.
+//   - Lagopus runs a generic interpreted datapath with tuple-space tables
+//     — slower overall and insensitive to representation.
+//   - NoviFlow is a TCAM ASIC: line-rate lookups whatever the tables look
+//     like, a per-stage pipeline latency, and a control path whose
+//     flow-mod processing contends with forwarding (the reactiveness
+//     experiment's mechanism).
+package switches
+
+import (
+	"manorm/internal/dataplane"
+	"manorm/internal/mat"
+	"manorm/internal/packet"
+)
+
+// Switch is a programmable switch model: install a pipeline, process
+// packets, apply control-plane updates.
+type Switch interface {
+	// Name identifies the model ("ovs", "eswitch", ...).
+	Name() string
+	// Install programs the pipeline, replacing any previous program.
+	Install(p *mat.Pipeline) error
+	// Process forwards one packet. For software models this performs the
+	// real classification work that the benchmarks time.
+	Process(pkt *packet.Packet) (dataplane.Verdict, error)
+	// ProcessFrame forwards one wire-format frame: header parsing
+	// (including IPv4 checksum verification) plus Process — the
+	// end-to-end per-packet work a software datapath performs, and what
+	// the Table 1 measurements time. Malformed frames drop.
+	ProcessFrame(frame []byte) (dataplane.Verdict, error)
+	// ApplyMods applies a control-plane update of n flow modifications,
+	// invalidating whatever state the model caches.
+	ApplyMods(n int) error
+	// Counters snapshots the per-entry packet counters of one pipeline
+	// stage (the OpenFlow multipart flow-stats view).
+	Counters(stage int) []uint64
+	// Perf exposes the model's analytic performance parameters.
+	Perf() PerfModel
+}
+
+// PerfModel carries the analytic part of a switch's performance behavior.
+// Software models report zero HWLineRateMpps (throughput is the measured
+// packet-processing rate); the hardware model forwards at line rate and
+// derives latency and update behavior from these constants.
+type PerfModel struct {
+	// HWLineRateMpps, when positive, caps/fixes throughput at the
+	// hardware line rate regardless of software service time (64-byte
+	// packets on a 10 Gbps port ≈ 14.88 Mpps; the paper's NoviFlow test
+	// reached ~10.7 Mpps through its harness).
+	HWLineRateMpps float64
+	// BaseLatencyNs is the fixed port-to-port latency.
+	BaseLatencyNs float64
+	// PerTableLatencyNs is added per pipeline stage traversed — the
+	// "longer pipeline" cost the paper observes for goto chaining on the
+	// NoviFlow (§5: 6.4 → 8.4 µs).
+	PerTableLatencyNs float64
+	// QueueFactor scales measured software service time into reported
+	// latency (a stand-in for batching/queueing in software datapaths).
+	QueueFactor float64
+	// ModStallNsBase and ModStallNsPerEntry model the forwarding stall
+	// caused by one flow-mod: hardware TCAM updates shuffle entries, so
+	// the stall grows with the updated table's size.
+	ModStallNsBase     float64
+	ModStallNsPerEntry float64
+}
+
+// Verdicts carry the number of tables actually traversed
+// (dataplane.Verdict.Tables); the benchmark harness feeds that into
+// PerTableLatencyNs rather than guessing from static pipeline shape.

@@ -1,0 +1,211 @@
+package switches
+
+import (
+	"testing"
+
+	"manorm/internal/dataplane"
+	"manorm/internal/mat"
+	"manorm/internal/packet"
+	"manorm/internal/trafficgen"
+	"manorm/internal/usecases"
+)
+
+// every switch model must forward the gwlb workload identically.
+func allSwitches() []Switch {
+	return []Switch{NewOVS(), NewESwitch(), NewLagopus(), NewNoviFlow()}
+}
+
+func TestAllSwitchesAgreeOnGwlb(t *testing.T) {
+	g := usecases.Generate(10, 4, 3)
+	reps := []usecases.Representation{
+		usecases.RepUniversal, usecases.RepGoto, usecases.RepMetadata, usecases.RepRematch,
+	}
+	stream := trafficgen.GwLB(g, 512, 0.9, 5)
+	// Reference verdicts from the raw dataplane on the universal table.
+	uni, err := g.Build(usecases.RepUniversal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := dataplane.Compile(uni, dataplane.AutoTemplates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCtx := ref.NewCtx()
+	want := make([]dataplane.Verdict, stream.Len())
+	for i := range want {
+		v, err := ref.Process(stream.Next(), refCtx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = v
+	}
+
+	for _, sw := range allSwitches() {
+		for _, rep := range reps {
+			p, err := g.Build(rep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sw.Install(p); err != nil {
+				t.Fatalf("%s/%s: %v", sw.Name(), rep, err)
+			}
+			for i := 0; i < stream.Len(); i++ {
+				v, err := sw.Process(stream.Next())
+				if err != nil {
+					t.Fatalf("%s/%s: %v", sw.Name(), rep, err)
+				}
+				if v.Drop != want[i].Drop || (!v.Drop && v.Port != want[i].Port) {
+					t.Fatalf("%s/%s: packet %d verdict (%v,%d) != reference (%v,%d)",
+						sw.Name(), rep, i, v.Drop, v.Port, want[i].Drop, want[i].Port)
+				}
+			}
+		}
+	}
+}
+
+func TestOVSCacheBehaviour(t *testing.T) {
+	g := usecases.Generate(5, 4, 1)
+	s := NewOVS()
+	p, err := g.Build(usecases.RepGoto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Install(p); err != nil {
+		t.Fatal(err)
+	}
+	stream := trafficgen.GwLB(g, 256, 1.0, 2)
+	// First cycle populates; second cycle must hit.
+	for i := 0; i < stream.Len(); i++ {
+		if _, err := s.Process(stream.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	misses := s.Misses
+	if misses == 0 || s.CacheSize() == 0 {
+		t.Fatalf("cache not populated: misses=%d size=%d", misses, s.CacheSize())
+	}
+	for i := 0; i < stream.Len(); i++ {
+		if _, err := s.Process(stream.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Misses != misses {
+		t.Errorf("second cycle missed: %d -> %d", misses, s.Misses)
+	}
+	if s.Hits == 0 {
+		t.Errorf("no cache hits recorded")
+	}
+	// Updates flush the cache.
+	if err := s.ApplyMods(1); err != nil {
+		t.Fatal(err)
+	}
+	if s.CacheSize() != 0 {
+		t.Errorf("cache survived revalidation: %d", s.CacheSize())
+	}
+}
+
+func TestESwitchTemplates(t *testing.T) {
+	g := usecases.Generate(20, 8, 7)
+	s := NewESwitch()
+	uni, _ := g.Build(usecases.RepUniversal)
+	if err := s.Install(uni); err != nil {
+		t.Fatal(err)
+	}
+	if tmpl := s.Templates(); tmpl[0] != "ternary" {
+		t.Errorf("universal compiled to %v, want ternary first", tmpl)
+	}
+	gp, _ := g.Build(usecases.RepGoto)
+	if err := s.Install(gp); err != nil {
+		t.Fatal(err)
+	}
+	tmpl := s.Templates()
+	if tmpl[0] != "exact" {
+		t.Errorf("goto first stage = %s, want exact", tmpl[0])
+	}
+	for i := 1; i < len(tmpl); i++ {
+		if tmpl[i] != "lpm" && tmpl[i] != "exact" {
+			t.Errorf("goto stage %d = %s, want lpm/exact", i, tmpl[i])
+		}
+	}
+}
+
+func TestNoviFlowReactiveModel(t *testing.T) {
+	s := NewNoviFlow()
+	g := usecases.Generate(20, 8, 7)
+	uni, _ := g.Build(usecases.RepUniversal)
+	if err := s.Install(uni); err != nil {
+		t.Fatal(err)
+	}
+	line := s.Perf().HWLineRateMpps
+
+	// No updates: line rate.
+	if got := s.ReactiveThroughput(0, 8, 160); got != line {
+		t.Errorf("idle throughput = %g, want %g", got, line)
+	}
+	// The paper's Fig. 4 point: 100 updates/s on the universal table
+	// (8 mods each, 160-entry table) costs ~20× throughput...
+	uniRate := s.ReactiveThroughput(100, 8, 160)
+	if ratio := line / uniRate; ratio < 10 || ratio > 30 {
+		t.Errorf("universal loss ratio = %.1f, want ~20x", ratio)
+	}
+	// ...while the normalized pipeline (1 mod on the 20-entry service
+	// table) shows no visible drop.
+	normRate := s.ReactiveThroughput(100, 1, 20)
+	if normRate < 0.9*line {
+		t.Errorf("normalized rate = %g, want >= 90%% of %g", normRate, line)
+	}
+	// Monotone in update rate.
+	if s.ReactiveThroughput(50, 8, 160) < uniRate {
+		t.Errorf("throughput not monotone in update rate")
+	}
+
+	// Latency: normalized (2 stages) ~25-35% above universal (1 stage),
+	// independent of churn.
+	lu := s.ReactiveLatency(1)
+	ln := s.ReactiveLatency(2)
+	if lu != 6400 {
+		t.Errorf("universal latency = %g ns, want 6400", lu)
+	}
+	if inc := ln/lu - 1; inc < 0.2 || inc > 0.4 {
+		t.Errorf("normalized latency increase = %.0f%%, want ~25-35%%", inc*100)
+	}
+	if s.LargestStageEntries() != 160 {
+		t.Errorf("largest stage = %d, want 160", s.LargestStageEntries())
+	}
+}
+
+func TestPerfModelsDistinguishSwitches(t *testing.T) {
+	// Only the hardware model is line-rate bound.
+	for _, sw := range allSwitches() {
+		hw := sw.Perf().HWLineRateMpps > 0
+		if hw != (sw.Name() == "noviflow") {
+			t.Errorf("%s: HWLineRateMpps misconfigured", sw.Name())
+		}
+	}
+}
+
+func TestInstallErrors(t *testing.T) {
+	bad := &mat.Pipeline{Name: "empty"}
+	for _, sw := range allSwitches() {
+		if err := sw.Install(bad); err == nil {
+			t.Errorf("%s accepted an invalid pipeline", sw.Name())
+		}
+	}
+}
+
+func TestLagopusHandlesNonIP(t *testing.T) {
+	g := usecases.Fig1()
+	s := NewLagopus()
+	p, _ := g.Build(usecases.RepUniversal)
+	if err := s.Install(p); err != nil {
+		t.Fatal(err)
+	}
+	arp := &packet.Packet{EthType: packet.EtherTypeARP, EthSrc: 1, EthDst: 2}
+	v, err := s.Process(arp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Drop {
+		t.Errorf("non-IP packet not dropped by IP pipeline")
+	}
+}

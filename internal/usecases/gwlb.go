@@ -1,0 +1,293 @@
+// Package usecases builds the concrete match-action programs the paper
+// evaluates: the cloud gateway & load-balancer pipeline of Fig. 1
+// (parametric in services and backends), the L3 router of Fig. 2, the VLAN
+// caveat table of Fig. 3, and the SDX program of the appendix (Fig. 5).
+//
+// Each generator produces the universal table, the decomposed
+// representations for the join abstractions under study, and the declared
+// semantic dependency set the normalization framework consumes.
+package usecases
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"manorm/internal/fd"
+	"manorm/internal/mat"
+	"manorm/internal/packet"
+)
+
+// Backend is one load-balancer target: the switch port leading to the VM
+// and its relative traffic weight.
+type Backend struct {
+	Out    uint16
+	Weight int
+}
+
+// Service is one tenant service: a public VIP:port routed to weighted
+// backends by client-address load balancing.
+type Service struct {
+	VIP      uint32
+	Port     uint16
+	Backends []Backend
+}
+
+// GwLB is the cloud access-gateway & load-balancer program of the paper's
+// §2, parametric in N services × M backends (the evaluation uses N=20,
+// M=8).
+type GwLB struct {
+	Services []Service
+}
+
+// Generate builds a random gateway & load-balancer configuration with n
+// services of m equally weighted backends each, deterministically from the
+// seed. VIPs are unique; ports are drawn from a small realistic pool so
+// that distinct services may share a port (which is why tcp_dst does not
+// determine ip_dst semantically).
+func Generate(n, m int, seed int64) *GwLB {
+	rng := rand.New(rand.NewSource(seed))
+	ports := []uint16{80, 443, 22, 8080, 8443, 25, 53, 993}
+	g := &GwLB{}
+	nextOut := uint16(1)
+	for s := 0; s < n; s++ {
+		svc := Service{
+			VIP:  0xC0000200 + uint32(s), // 192.0.2.0/24 block and beyond
+			Port: ports[rng.Intn(len(ports))],
+		}
+		for b := 0; b < m; b++ {
+			svc.Backends = append(svc.Backends, Backend{Out: nextOut, Weight: 1})
+			nextOut++
+		}
+		g.Services = append(g.Services, svc)
+	}
+	return g
+}
+
+// Fig1 builds the exact 3-service example of the paper's Fig. 1: tenant 1
+// (192.0.2.1:80, two backends 1:1), tenant 2 (192.0.2.2:443, three
+// backends 1:1:2), tenant 3 (192.0.2.3:22, one backend).
+func Fig1() *GwLB {
+	return &GwLB{Services: []Service{
+		{VIP: 0xC0000201, Port: 80, Backends: []Backend{{Out: 1, Weight: 1}, {Out: 2, Weight: 1}}},
+		{VIP: 0xC0000202, Port: 443, Backends: []Backend{{Out: 3, Weight: 1}, {Out: 4, Weight: 1}, {Out: 5, Weight: 2}}},
+		{VIP: 0xC0000203, Port: 22, Backends: []Backend{{Out: 6, Weight: 1}}},
+	}}
+}
+
+// split divides the 32-bit client address space into aligned prefix blocks
+// proportional to the backends' weights, returning one or more (prefix,
+// backend) pairs per backend — the paper's ip_src-based splitting.
+func split(backends []Backend) ([]mat.Cell, []int, error) {
+	total := 0
+	for _, b := range backends {
+		if b.Weight <= 0 {
+			return nil, nil, fmt.Errorf("usecases: non-positive backend weight")
+		}
+		total += b.Weight
+	}
+	// Round the denominator up to a power of two; distribute remainder
+	// blocks round-robin so every backend keeps at least its share.
+	denom := 1
+	for denom < total {
+		denom <<= 1
+	}
+	blocks := make([]int, len(backends))
+	assigned := 0
+	for i, b := range backends {
+		blocks[i] = b.Weight * denom / total
+		if blocks[i] == 0 {
+			blocks[i] = 1
+		}
+		assigned += blocks[i]
+	}
+	for i := 0; assigned < denom; i = (i + 1) % len(backends) {
+		blocks[i]++
+		assigned++
+	}
+	for i := 0; assigned > denom; i = (i + 1) % len(backends) {
+		if blocks[i] > 1 {
+			blocks[i]--
+			assigned--
+		}
+	}
+	// Carve each backend's run of blocks into aligned prefixes.
+	depth := uint8(bits.Len(uint(denom - 1)))
+	var cells []mat.Cell
+	var owner []int
+	pos := 0
+	for i := range backends {
+		run := blocks[i]
+		for run > 0 {
+			// Largest aligned power-of-two chunk that fits.
+			size := 1 << uint(bits.TrailingZeros(uint(pos)|uint(1<<30)))
+			for size > run {
+				size >>= 1
+			}
+			plen := depth - uint8(bits.Len(uint(size-1)))
+			if size == 1 {
+				plen = depth
+			}
+			base := uint64(pos) << (32 - depth)
+			if depth == 0 {
+				cells = append(cells, mat.Any())
+			} else {
+				cells = append(cells, mat.Prefix(base, plen, 32))
+			}
+			owner = append(owner, i)
+			pos += size
+			run -= size
+		}
+	}
+	return cells, owner, nil
+}
+
+// Schema returns the universal table schema of the use case.
+func (g *GwLB) Schema() mat.Schema {
+	return mat.Schema{
+		mat.F(packet.FieldIPSrc, 32),
+		mat.F(packet.FieldIPDst, 32),
+		mat.F(packet.FieldTCPDst, 16),
+		mat.A("out", 16),
+	}
+}
+
+// Declared returns the semantic dependency set of the use case: a VIP
+// exposes one port, and (client half, VIP) picks the backend.
+func (g *GwLB) Declared() []fd.FD {
+	s := g.Schema()
+	return []fd.FD{
+		{From: mat.SetOf(s, packet.FieldIPDst), To: mat.SetOf(s, packet.FieldTCPDst)},
+		{From: mat.SetOf(s, packet.FieldIPSrc, packet.FieldIPDst), To: mat.SetOf(s, "out")},
+	}
+}
+
+// Universal builds the single-table representation (Fig. 1a).
+func (g *GwLB) Universal() (*mat.Table, error) {
+	t := mat.New("gwlb", g.Schema())
+	for _, svc := range g.Services {
+		cells, owner, err := split(svc.Backends)
+		if err != nil {
+			return nil, err
+		}
+		for i, c := range cells {
+			t.Add(c, mat.Exact(uint64(svc.VIP), 32), mat.Exact(uint64(svc.Port), 16),
+				mat.Exact(uint64(svc.Backends[owner[i]].Out), 16))
+		}
+	}
+	return t, nil
+}
+
+// Goto builds the goto_table decomposition (Fig. 1b): a service classifier
+// jumping into per-service load-balancer tables.
+func (g *GwLB) Goto() (*mat.Pipeline, error) {
+	first := mat.New("services", mat.Schema{
+		mat.F(packet.FieldIPDst, 32), mat.F(packet.FieldTCPDst, 16), mat.A(mat.GotoAttr, 16),
+	})
+	p := &mat.Pipeline{Name: "gwlb-goto", Start: 0}
+	p.Stages = append(p.Stages, mat.Stage{Table: first, Next: -1, MissDrop: true})
+	for si, svc := range g.Services {
+		first.Add(mat.Exact(uint64(svc.VIP), 32), mat.Exact(uint64(svc.Port), 16), mat.Exact(uint64(si+1), 16))
+		lb := mat.New(fmt.Sprintf("lb%d", si), mat.Schema{mat.F(packet.FieldIPSrc, 32), mat.A("out", 16)})
+		cells, owner, err := split(svc.Backends)
+		if err != nil {
+			return nil, err
+		}
+		for i, c := range cells {
+			lb.Add(c, mat.Exact(uint64(svc.Backends[owner[i]].Out), 16))
+		}
+		p.Stages = append(p.Stages, mat.Stage{Table: lb, Next: -1, MissDrop: true})
+	}
+	return p, nil
+}
+
+// Metadata builds the metadata-tag decomposition (Fig. 1c): the service
+// classifier writes a tenant tag matched by a single second-stage
+// load-balancer table.
+func (g *GwLB) Metadata() (*mat.Pipeline, error) {
+	mn := mat.MetaPrefix + "_svc"
+	first := mat.New("services", mat.Schema{
+		mat.F(packet.FieldIPDst, 32), mat.F(packet.FieldTCPDst, 16), mat.A(mn, 16),
+	})
+	second := mat.New("lb", mat.Schema{
+		mat.F(mn, 16), mat.F(packet.FieldIPSrc, 32), mat.A("out", 16),
+	})
+	for si, svc := range g.Services {
+		first.Add(mat.Exact(uint64(svc.VIP), 32), mat.Exact(uint64(svc.Port), 16), mat.Exact(uint64(si), 16))
+		cells, owner, err := split(svc.Backends)
+		if err != nil {
+			return nil, err
+		}
+		for i, c := range cells {
+			second.Add(mat.Exact(uint64(si), 16), c, mat.Exact(uint64(svc.Backends[owner[i]].Out), 16))
+		}
+	}
+	return &mat.Pipeline{
+		Name:  "gwlb-meta",
+		Start: 0,
+		Stages: []mat.Stage{
+			{Table: first, Next: 1, MissDrop: true},
+			{Table: second, Next: -1, MissDrop: true},
+		},
+	}, nil
+}
+
+// Rematch builds the re-matching decomposition (Fig. 1d): the second stage
+// re-matches ip_dst instead of carrying a tag.
+func (g *GwLB) Rematch() (*mat.Pipeline, error) {
+	first := mat.New("services", mat.Schema{
+		mat.F(packet.FieldIPDst, 32), mat.F(packet.FieldTCPDst, 16),
+	})
+	second := mat.New("lb", mat.Schema{
+		mat.F(packet.FieldIPDst, 32), mat.F(packet.FieldIPSrc, 32), mat.A("out", 16),
+	})
+	for _, svc := range g.Services {
+		first.Add(mat.Exact(uint64(svc.VIP), 32), mat.Exact(uint64(svc.Port), 16))
+		cells, owner, err := split(svc.Backends)
+		if err != nil {
+			return nil, err
+		}
+		for i, c := range cells {
+			second.Add(mat.Exact(uint64(svc.VIP), 32), c, mat.Exact(uint64(svc.Backends[owner[i]].Out), 16))
+		}
+	}
+	return &mat.Pipeline{
+		Name:  "gwlb-rematch",
+		Start: 0,
+		Stages: []mat.Stage{
+			{Table: first, Next: 1, MissDrop: true},
+			{Table: second, Next: -1, MissDrop: true},
+		},
+	}, nil
+}
+
+// Representation names a gwlb pipeline flavor.
+type Representation string
+
+// The four representations under study.
+const (
+	RepUniversal Representation = "universal"
+	RepGoto      Representation = "goto"
+	RepMetadata  Representation = "metadata"
+	RepRematch   Representation = "rematch"
+)
+
+// Build returns the requested representation as a pipeline.
+func (g *GwLB) Build(rep Representation) (*mat.Pipeline, error) {
+	switch rep {
+	case RepUniversal:
+		t, err := g.Universal()
+		if err != nil {
+			return nil, err
+		}
+		return mat.SingleTable(t), nil
+	case RepGoto:
+		return g.Goto()
+	case RepMetadata:
+		return g.Metadata()
+	case RepRematch:
+		return g.Rematch()
+	default:
+		return nil, fmt.Errorf("usecases: unknown representation %q", rep)
+	}
+}

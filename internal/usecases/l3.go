@@ -1,0 +1,88 @@
+package usecases
+
+import (
+	"math/rand"
+
+	"manorm/internal/fd"
+	"manorm/internal/mat"
+	"manorm/internal/packet"
+)
+
+// L3 is the IP forwarding use case of the paper's Fig. 2: disjoint
+// prefixes mapping to next-hops (destination MACs), next-hops sharing
+// output ports, ports sharing source MACs.
+type L3 struct {
+	Table *mat.Table
+}
+
+// L3Schema is the universal L3 table layout: (eth_type, ip_dst | mod_ttl,
+// mod_smac, mod_dmac, out).
+func L3Schema() mat.Schema {
+	return mat.Schema{
+		mat.F(packet.FieldEthType, 16),
+		mat.F(packet.FieldIPDst, 32),
+		mat.A("mod_ttl", 8),
+		mat.A("mod_smac", 48),
+		mat.A("mod_dmac", 48),
+		mat.A("out", 16),
+	}
+}
+
+// Fig2 builds the exact example of the paper's Fig. 2: four prefixes, with
+// P1 and P4 sharing next-hop D1, and D1/D2 sharing the outgoing port.
+func Fig2() *L3 {
+	t := mat.New("l3", L3Schema())
+	const (
+		s1, s2 = 0xAA0000000001, 0xAA0000000002
+		d1, d2 = 0xBB0000000001, 0xBB0000000002
+		d3     = 0xBB0000000003
+	)
+	t.Add(mat.Exact(0x800, 16), mat.IPv4Prefix("10.0.0.0", 16), mat.Exact(1, 8), mat.Exact(s1, 48), mat.Exact(d1, 48), mat.Exact(1, 16))
+	t.Add(mat.Exact(0x800, 16), mat.IPv4Prefix("10.1.0.0", 16), mat.Exact(1, 8), mat.Exact(s1, 48), mat.Exact(d2, 48), mat.Exact(1, 16))
+	t.Add(mat.Exact(0x800, 16), mat.IPv4Prefix("10.2.0.0", 16), mat.Exact(1, 8), mat.Exact(s2, 48), mat.Exact(d3, 48), mat.Exact(2, 16))
+	t.Add(mat.Exact(0x800, 16), mat.IPv4Prefix("10.3.0.0", 16), mat.Exact(1, 8), mat.Exact(s1, 48), mat.Exact(d1, 48), mat.Exact(1, 16))
+	return &L3{Table: t}
+}
+
+// GenerateL3 builds a random L3 table: nPrefixes disjoint /16 routes
+// mapped onto nNextHops next-hop MACs spread over nPorts ports. The
+// skew — many prefixes per next-hop, several next-hops per port — is what
+// gives normalization something to remove.
+func GenerateL3(nPrefixes, nNextHops, nPorts int, seed int64) *L3 {
+	rng := rand.New(rand.NewSource(seed))
+	if nNextHops < 1 {
+		nNextHops = 1
+	}
+	if nPorts < 1 {
+		nPorts = 1
+	}
+	portOf := make([]uint16, nNextHops)
+	for i := range portOf {
+		portOf[i] = uint16(1 + i%nPorts)
+	}
+	smacOf := func(port uint16) uint64 { return 0xAA0000000000 | uint64(port) }
+	dmacOf := func(nh int) uint64 { return 0xBB0000000000 | uint64(nh+1) }
+	t := mat.New("l3", L3Schema())
+	for i := 0; i < nPrefixes; i++ {
+		// Disjoint /16 routes covering the whole space: i.j.0.0/16.
+		pfx := mat.Prefix(uint64(i)<<16, 16, 32)
+		nh := rng.Intn(nNextHops)
+		port := portOf[nh]
+		t.Add(mat.Exact(0x800, 16), pfx, mat.Exact(1, 8),
+			mat.Exact(smacOf(port), 48), mat.Exact(dmacOf(nh), 48), mat.Exact(uint64(port), 16))
+	}
+	return &L3{Table: t}
+}
+
+// Declared returns the semantic dependencies of the L3 use case (§3): the
+// route determines the next hop, the next hop the port, the port the
+// source MAC; eth_type and TTL handling are pipeline constants.
+func (l *L3) Declared() []fd.FD {
+	s := l.Table.Schema
+	return []fd.FD{
+		{From: mat.SetOf(s, packet.FieldIPDst), To: mat.SetOf(s, "mod_dmac")},
+		{From: mat.SetOf(s, "mod_dmac"), To: mat.SetOf(s, "out")},
+		{From: mat.SetOf(s, "out"), To: mat.SetOf(s, "mod_smac")},
+		{From: 0, To: mat.SetOf(s, packet.FieldEthType, "mod_ttl")},
+	}
+}

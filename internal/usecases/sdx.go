@@ -1,0 +1,127 @@
+package usecases
+
+import (
+	"manorm/internal/mat"
+	"manorm/internal/packet"
+)
+
+// Fig3 builds the paper's Fig. 3a VLAN table over (in_port, vlan | out):
+// the fixture for the action-to-match caveat. Its dependency out → vlan
+// holds, but decomposing along it cannot produce 1NF sub-tables.
+func Fig3() *mat.Table {
+	t := mat.New("vlan", mat.Schema{
+		mat.F("in_port", 8), mat.F(packet.FieldVLAN, 12), mat.A("out", 8),
+	})
+	t.Add(mat.Exact(1, 8), mat.Exact(1, 12), mat.Exact(1, 8))
+	t.Add(mat.Exact(1, 8), mat.Exact(2, 12), mat.Exact(2, 8))
+	t.Add(mat.Exact(2, 8), mat.Exact(1, 12), mat.Exact(1, 8))
+	t.Add(mat.Exact(3, 8), mat.Exact(1, 12), mat.Exact(3, 8))
+	return t
+}
+
+// SDX is the appendix use case (Fig. 5): a software-defined IXP where
+// member A's outbound policy (prefer C over D for HTTP where C announced
+// the prefix), C's inbound load balancing, and the BGP announcements
+// combine into one program. The decomposition into announcement, outbound
+// and inbound tables cannot be driven by functional dependencies alone
+// (it needs join dependencies, i.e. beyond-3NF machinery), and the naive
+// pipeline is order-dependent; the published fix encodes the candidate
+// set into an "all" metadata field.
+type SDX struct {
+	// Universal is the collapsed single-table program (Fig. 5a).
+	Universal *mat.Table
+	// Pipeline is the correct metadata-encoded pipeline (Fig. 5c).
+	Pipeline *mat.Pipeline
+}
+
+// SDX concrete encoding:
+//
+//	prefixes: P1 = 203.0.113.0/25 (announced by C and D),
+//	          P2 = 203.0.113.128/25 (announced by D only)
+//	next hops (out): C1 = 1, C2 = 2, D = 3
+//	ip_src splits C's inbound load 50/50 between C1 and C2.
+//
+// Member A's outbound policy: HTTP (tcp_dst=80) to a prefix announced by C
+// goes to C; everything else follows BGP ranking (D preferred).
+func NewSDX() *SDX {
+	const (
+		outC1 = 1
+		outC2 = 2
+		outD  = 3
+	)
+	p1 := mat.IPv4Prefix("203.0.113.0", 25)
+	p2 := mat.IPv4Prefix("203.0.113.128", 25)
+	loHalf := mat.Prefix(0, 1, 32)
+	hiHalf := mat.Prefix(0x80000000, 1, 32)
+
+	// Fig. 5a — the collapsed universal table: (ip_src, ip_dst, tcp_dst |
+	// out).
+	uni := mat.New("sdx", mat.Schema{
+		mat.F(packet.FieldIPSrc, 32), mat.F(packet.FieldIPDst, 32), mat.F(packet.FieldTCPDst, 16), mat.A("out", 16),
+	})
+	// HTTP to P1 (announced by C): outbound policy sends it to C, whose
+	// inbound policy balances across C1/C2 by source.
+	uni.Add(loHalf, p1, mat.Exact(80, 16), mat.Exact(outC1, 16))
+	uni.Add(hiHalf, p1, mat.Exact(80, 16), mat.Exact(outC2, 16))
+	// Everything else to P1 and all of P2 follows BGP ranking: D.
+	uni.Add(mat.Any(), p1, mat.Exact(443, 16), mat.Exact(outD, 16))
+	uni.Add(mat.Any(), p2, mat.Exact(80, 16), mat.Exact(outD, 16))
+	uni.Add(mat.Any(), p2, mat.Exact(443, 16), mat.Exact(outD, 16))
+
+	// Fig. 5c — the metadata-encoded pipeline. Stage 1 (announcement
+	// table) computes the candidate-set tag "all": which members announce
+	// the destination prefix. Stage 2 (outbound) picks the egress member
+	// from (all, tcp_dst): C for HTTP when C is a candidate, else D.
+	// Stage 3 (inbound) expands C into C1/C2 by source.
+	const (
+		candCD = 1 // P1: both C and D announce
+		candD  = 2 // P2: D only
+		memC   = 1
+		memD   = 2
+	)
+	an := mat.New("announce", mat.Schema{
+		mat.F(packet.FieldIPDst, 32), mat.A(mat.MetaPrefix+"_all", 8),
+	})
+	an.Add(p1, mat.Exact(candCD, 8))
+	an.Add(p2, mat.Exact(candD, 8))
+
+	outT := mat.New("outbound", mat.Schema{
+		mat.F(mat.MetaPrefix+"_all", 8), mat.F(packet.FieldTCPDst, 16), mat.A(mat.MetaPrefix+"_mem", 8),
+	})
+	outT.Add(mat.Exact(candCD, 8), mat.Exact(80, 16), mat.Exact(memC, 8))
+	outT.Add(mat.Exact(candCD, 8), mat.Exact(443, 16), mat.Exact(memD, 8))
+	outT.Add(mat.Exact(candD, 8), mat.Exact(80, 16), mat.Exact(memD, 8))
+	outT.Add(mat.Exact(candD, 8), mat.Exact(443, 16), mat.Exact(memD, 8))
+
+	in := mat.New("inbound", mat.Schema{
+		mat.F(mat.MetaPrefix+"_mem", 8), mat.F(packet.FieldIPSrc, 32), mat.A("out", 16),
+	})
+	in.Add(mat.Exact(memC, 8), loHalf, mat.Exact(outC1, 16))
+	in.Add(mat.Exact(memC, 8), hiHalf, mat.Exact(outC2, 16))
+	in.Add(mat.Exact(memD, 8), mat.Any(), mat.Exact(outD, 16))
+
+	pipe := &mat.Pipeline{
+		Name:  "sdx-meta",
+		Start: 0,
+		Stages: []mat.Stage{
+			{Table: an, Next: 1, MissDrop: true},
+			{Table: outT, Next: 2, MissDrop: true},
+			{Table: in, Next: -1, MissDrop: true},
+		},
+	}
+	return &SDX{Universal: uni, Pipeline: pipe}
+}
+
+// NaiveInboundTable demonstrates why the FD-free decomposition of Fig. 5b
+// fails: the inbound table without the membership tag holds two entries
+// for the same (ip_src half) with different outputs — order-dependent.
+func NaiveInboundTable() *mat.Table {
+	t := mat.New("inbound-naive", mat.Schema{
+		mat.F(packet.FieldIPSrc, 32), mat.A("out", 16),
+	})
+	t.Add(mat.Prefix(0, 1, 32), mat.Exact(1, 16))          // to C1
+	t.Add(mat.Prefix(0, 1, 32), mat.Exact(3, 16))          // or to D — ambiguous!
+	t.Add(mat.Prefix(0x80000000, 1, 32), mat.Exact(2, 16)) // to C2
+	t.Add(mat.Prefix(0x80000000, 1, 32), mat.Exact(3, 16)) // or to D
+	return t
+}

@@ -1,0 +1,297 @@
+package usecases
+
+import (
+	"testing"
+
+	"manorm/internal/core"
+	"manorm/internal/mat"
+	"manorm/internal/netkat"
+	"manorm/internal/packet"
+)
+
+func TestFig1MatchesPaperCounts(t *testing.T) {
+	g := Fig1()
+	uni, err := g.Universal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 1a: 6 entries, 24 match-action fields.
+	if len(uni.Entries) != 6 {
+		t.Fatalf("universal entries = %d, want 6\n%s", len(uni.Entries), uni)
+	}
+	if uni.FieldCount() != 24 {
+		t.Errorf("universal fields = %d, want 24", uni.FieldCount())
+	}
+	gp, err := g.Goto()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 1b: 21 fields.
+	if gp.FieldCount() != 21 {
+		t.Errorf("goto fields = %d, want 21\n%s", gp.FieldCount(), gp)
+	}
+}
+
+func TestFig1WeightedSplit(t *testing.T) {
+	// Tenant 2 splits 1:1:2 → prefixes /2, /2, /1 (the paper's entries
+	// 3-5).
+	g := Fig1()
+	uni, err := g.Universal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plens []uint8
+	for _, e := range uni.Entries {
+		if e[1] == mat.IPv4("192.0.2.2") {
+			plens = append(plens, e[0].PLen)
+		}
+	}
+	if len(plens) != 3 || plens[0] != 2 || plens[1] != 2 || plens[2] != 1 {
+		t.Errorf("tenant-2 source prefixes = %v, want [2 2 1]", plens)
+	}
+}
+
+func TestAllRepresentationsEquivalent(t *testing.T) {
+	for _, g := range []*GwLB{Fig1(), Generate(6, 4, 1), Generate(5, 3, 2)} {
+		uni, err := g.Build(RepUniversal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rep := range []Representation{RepGoto, RepMetadata, RepRematch} {
+			p, err := g.Build(rep)
+			if err != nil {
+				t.Fatalf("%s: %v", rep, err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("%s: %v", rep, err)
+			}
+			cex, _, err := netkat.EquivalentPipelines(uni, p, 0)
+			if err != nil {
+				t.Fatalf("%s: %v", rep, err)
+			}
+			if cex != nil {
+				t.Fatalf("%s diverges from universal: %v", rep, cex)
+			}
+		}
+	}
+	if _, err := Fig1().Build(Representation("bogus")); err == nil {
+		t.Errorf("unknown representation accepted")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	g := Generate(20, 8, 7)
+	if len(g.Services) != 20 {
+		t.Fatalf("services = %d", len(g.Services))
+	}
+	uni, err := g.Universal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal power-of-two weights: exactly N×M entries and 4MN fields (the
+	// paper's footprint formula).
+	if len(uni.Entries) != 160 {
+		t.Errorf("entries = %d, want 160", len(uni.Entries))
+	}
+	if uni.FieldCount() != 4*20*8 {
+		t.Errorf("fields = %d, want %d", uni.FieldCount(), 4*20*8)
+	}
+	gp, err := g.Goto()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// N(3+2M) for the goto decomposition.
+	if want := 20 * (3 + 2*8); gp.FieldCount() != want {
+		t.Errorf("goto fields = %d, want %d", gp.FieldCount(), want)
+	}
+	// Deterministic for a seed.
+	g2 := Generate(20, 8, 7)
+	u2, _ := g2.Universal()
+	if !uni.Equal(u2) {
+		t.Errorf("Generate not deterministic")
+	}
+}
+
+func TestDeclaredDependenciesHold(t *testing.T) {
+	for _, g := range []*GwLB{Fig1(), Generate(10, 8, 3)} {
+		uni, err := g.Universal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range g.Declared() {
+			if !f.HoldsIn(uni) {
+				t.Errorf("declared FD %s does not hold", f.Format(uni.Schema))
+			}
+		}
+	}
+}
+
+func TestGwlbNormalizesAlongDeclaredFDs(t *testing.T) {
+	g := Generate(8, 4, 11)
+	uni, err := g.Universal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Normalize(uni, core.Options{
+		Target:   core.NF3,
+		Declared: g.Declared(),
+		Verify:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pipeline.Depth() != 2 {
+		t.Errorf("normalized depth = %d, want 2", res.Pipeline.Depth())
+	}
+	// The framework-derived pipeline must agree with the hand-built
+	// metadata representation.
+	handmade, err := g.Metadata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cex, _, err := netkat.EquivalentPipelines(res.Pipeline, handmade, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cex != nil {
+		t.Errorf("framework and hand-built pipelines diverge: %v", cex)
+	}
+}
+
+func TestFig2Properties(t *testing.T) {
+	l3 := Fig2()
+	if len(l3.Table.Entries) != 4 {
+		t.Fatalf("entries = %d", len(l3.Table.Entries))
+	}
+	for _, f := range l3.Declared() {
+		if !f.HoldsIn(l3.Table) {
+			t.Errorf("declared FD %s does not hold", f.Format(l3.Table.Schema))
+		}
+	}
+	res, err := core.Normalize(l3.Table, core.Options{Target: core.NF3, Declared: l3.Declared(), Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pipeline.Depth() != 4 {
+		t.Errorf("normalized depth = %d, want 4", res.Pipeline.Depth())
+	}
+}
+
+func TestGenerateL3(t *testing.T) {
+	l3 := GenerateL3(64, 8, 3, 5)
+	if len(l3.Table.Entries) != 64 {
+		t.Fatalf("entries = %d", len(l3.Table.Entries))
+	}
+	for _, f := range l3.Declared() {
+		if !f.HoldsIn(l3.Table) {
+			t.Errorf("declared FD %s does not hold in generated L3", f.Format(l3.Table.Schema))
+		}
+	}
+	// Prefixes must be pairwise disjoint.
+	for i, a := range l3.Table.Entries {
+		for j, b := range l3.Table.Entries {
+			if i < j && a[1].Overlaps(b[1], 32) {
+				t.Fatalf("prefixes %d and %d overlap", i, j)
+			}
+		}
+	}
+	// Normalization shrinks the footprint substantially: 64 routes share
+	// 8 next-hops over 3 ports.
+	res, err := core.Normalize(l3.Table, core.Options{Target: core.NF3, Declared: l3.Declared(), Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pipeline.FieldCount() >= l3.Table.FieldCount() {
+		t.Errorf("normalization did not shrink: %d -> %d", l3.Table.FieldCount(), res.Pipeline.FieldCount())
+	}
+}
+
+func TestFig3Caveat(t *testing.T) {
+	tab := Fig3()
+	a := core.Analyze(tab)
+	// out → vlan holds and is the paper's action-to-match example.
+	found := false
+	for _, f := range a.FDs {
+		if f.From == mat.SetOf(tab.Schema, "out") && f.To.Has(tab.Schema.Index(packet.FieldVLAN)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("out → vlan not mined from Fig. 3a")
+	}
+}
+
+func TestSDXPipelineEquivalent(t *testing.T) {
+	sdx := NewSDX()
+	cex, exhaustive, err := netkat.EquivalentPipelines(mat.SingleTable(sdx.Universal), sdx.Pipeline, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exhaustive {
+		t.Errorf("SDX probe not exhaustive")
+	}
+	if cex != nil {
+		t.Fatalf("SDX metadata pipeline diverges: %v", cex)
+	}
+}
+
+func TestSDXNaiveInboundOrderDependent(t *testing.T) {
+	// The appendix's point: without the membership tag the inbound table
+	// is not order-independent — 1NF fails, so FD-based normalization
+	// cannot produce it.
+	if NaiveInboundTable().IsOrderIndependent() {
+		t.Fatalf("naive inbound table unexpectedly order-independent")
+	}
+}
+
+func TestSDXBeyondFDs(t *testing.T) {
+	// No mined FD of the universal SDX table yields the 3-way
+	// announcement/outbound/inbound split: the decomposition is a join
+	// dependency, beyond 3NF. Sanity-check that the universal table is
+	// already in 3NF under mined dependencies (nothing for the FD
+	// framework to do).
+	sdx := NewSDX()
+	form, _ := core.Check(core.Analyze(sdx.Universal))
+	if form < core.NF3 {
+		t.Errorf("SDX universal table is %s; expected >= 3NF (FDs cannot split it)", form)
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	if _, _, err := split([]Backend{{Out: 1, Weight: 0}}); err == nil {
+		t.Errorf("zero weight accepted")
+	}
+}
+
+func TestSplitCoversSpace(t *testing.T) {
+	// Any weight vector must tile the space: every address matches
+	// exactly one prefix.
+	cases := [][]Backend{
+		{{1, 1}},
+		{{1, 1}, {2, 1}},
+		{{1, 1}, {2, 1}, {3, 2}},
+		{{1, 3}, {2, 5}},
+		{{1, 1}, {2, 1}, {3, 1}, {4, 1}, {5, 1}, {6, 1}, {7, 1}, {8, 1}},
+	}
+	for ci, bs := range cases {
+		cells, owner, err := split(bs)
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		if len(cells) != len(owner) {
+			t.Fatalf("case %d: cells/owner length mismatch", ci)
+		}
+		probes := []uint64{0, 1, 1 << 28, 1 << 30, 1<<31 - 1, 1 << 31, 3 << 30, 1<<32 - 1}
+		for _, v := range probes {
+			hits := 0
+			for _, c := range cells {
+				if c.Matches(v, 32) {
+					hits++
+				}
+			}
+			if hits != 1 {
+				t.Errorf("case %d: address %#x matched %d prefixes", ci, v, hits)
+			}
+		}
+	}
+}
