@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test check bench parallel quickstart
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the concurrency tier: static analysis plus the full test suite
+# under the race detector. The switch models advertise a concurrency
+# contract (see internal/switches); this target is what enforces it.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -p 1 -bench=. -benchmem ./...
+
+# parallel runs the multi-core scaling experiment and writes
+# BENCH_parallel.json.
+parallel:
+	$(GO) run ./cmd/mabench -workers 8 -json
+
+quickstart:
+	$(GO) run ./examples/quickstart

@@ -18,6 +18,12 @@
 //	mabench -experiment nf4            # beyond-3NF extension (MVD split)
 //	mabench -experiment churnwire      # E2b: update burst cost over TCP
 //	mabench -experiment cache          # OVS cache layers under Zipf traffic
+//	mabench -experiment parallel       # multi-core scaling over sharded workers
+//
+// -workers W runs the multi-core scaling experiment with worker counts
+// doubling up to W (`mabench -workers 8` is shorthand for
+// `-experiment parallel` with an 8-worker ceiling); -json additionally
+// writes the scaling results to BENCH_parallel.json.
 //
 // -quick trades measurement accuracy for speed (used by the smoke tests).
 package main
@@ -30,6 +36,18 @@ import (
 	"manorm/internal/bench"
 )
 
+// parallelJSONPath is where -json drops the machine-readable scaling
+// results.
+const parallelJSONPath = "BENCH_parallel.json"
+
+// options carries the multi-core experiment knobs through run.
+type options struct {
+	// workers is the ceiling of the scaling curve (counts double up to it).
+	workers int
+	// jsonPath, when non-empty, receives the scaling results as JSON.
+	jsonPath string
+}
+
 func main() {
 	var (
 		experiment = flag.String("experiment", "all", "which experiment to run")
@@ -37,6 +55,8 @@ func main() {
 		services   = flag.Int("services", 20, "number of services (N)")
 		backends   = flag.Int("backends", 8, "backends per service (M)")
 		seed       = flag.Int64("seed", 42, "workload seed")
+		workers    = flag.Int("workers", 0, "max workers for the parallel scaling experiment (implies -experiment parallel)")
+		jsonOut    = flag.Bool("json", false, "write parallel scaling results to "+parallelJSONPath)
 	)
 	flag.Parse()
 
@@ -48,13 +68,28 @@ func main() {
 	cfg.Backends = *backends
 	cfg.Seed = *seed
 
-	if err := run(*experiment, cfg); err != nil {
+	if *workers < 0 {
+		fmt.Fprintln(os.Stderr, "mabench: -workers must be >= 1")
+		os.Exit(2)
+	}
+	if *workers > 0 && *experiment == "all" {
+		*experiment = "parallel"
+	}
+	opts := options{workers: *workers}
+	if opts.workers <= 0 {
+		opts.workers = 8
+	}
+	if *jsonOut {
+		opts.jsonPath = parallelJSONPath
+	}
+
+	if err := run(*experiment, cfg, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "mabench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, cfg bench.Config) error {
+func run(experiment string, cfg bench.Config, opts options) error {
 	w := os.Stdout
 	sep := func() { fmt.Fprintln(w) }
 
@@ -138,6 +173,18 @@ func run(experiment string, cfg bench.Config) error {
 				return err
 			}
 			bench.RenderNF4(w, rows)
+		case "parallel":
+			rows, err := bench.ParallelTable(cfg, opts.workers)
+			if err != nil {
+				return err
+			}
+			bench.RenderParallel(w, rows)
+			if opts.jsonPath != "" {
+				if err := bench.WriteParallelJSON(opts.jsonPath, cfg, opts.workers, rows); err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "wrote %s\n", opts.jsonPath)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -150,6 +197,7 @@ func run(experiment string, cfg bench.Config) error {
 	for _, name := range []string{
 		"footprint", "control", "monitor", "reactive", "static",
 		"l3", "caveat", "sdx", "joins", "depth", "nf4", "churnwire", "cache",
+		"parallel",
 	} {
 		if err := runOne(name); err != nil {
 			return err

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"manorm/internal/bench"
@@ -14,7 +17,7 @@ func TestAllExperimentsRun(t *testing.T) {
 		"footprint", "control", "monitor", "reactive",
 		"l3", "caveat", "sdx", "depth", "nf4", "churnwire", "cache",
 	} {
-		if err := run(exp, cfg); err != nil {
+		if err := run(exp, cfg, options{workers: 2}); err != nil {
 			t.Errorf("%s: %v", exp, err)
 		}
 	}
@@ -30,14 +33,51 @@ func TestMeasurementExperimentsRun(t *testing.T) {
 	cfg.Packets = 5000
 	cfg.LatencySamples = 500
 	for _, exp := range []string{"static", "joins"} {
-		if err := run(exp, cfg); err != nil {
+		if err := run(exp, cfg, options{workers: 2}); err != nil {
 			t.Errorf("%s: %v", exp, err)
 		}
 	}
 }
 
+// TestParallelExperimentWritesJSON runs the multi-core scaling experiment
+// end to end and checks the -json artifact: per-switch, per-representation,
+// per-worker-count rows.
+func TestParallelExperimentWritesJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement experiments skipped in -short mode")
+	}
+	cfg := bench.QuickConfig()
+	cfg.Packets = 5000
+	path := filepath.Join(t.TempDir(), "BENCH_parallel.json")
+	if err := run("parallel", cfg, options{workers: 2, jsonPath: path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep bench.ParallelReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// 4 switches × 2 representations × 2 worker counts.
+	if len(rep.Results) != 16 {
+		t.Errorf("got %d result rows, want 16", len(rep.Results))
+	}
+	seen := map[string]bool{}
+	for _, r := range rep.Results {
+		seen[r.Switch] = true
+		if r.RateMpps <= 0 {
+			t.Errorf("%s/%s @%d: non-positive rate", r.Switch, r.Rep, r.Workers)
+		}
+	}
+	if len(seen) != 4 {
+		t.Errorf("results cover %d switches, want 4", len(seen))
+	}
+}
+
 func TestUnknownExperiment(t *testing.T) {
-	if err := run("warp-drive", bench.QuickConfig()); err == nil {
+	if err := run("warp-drive", bench.QuickConfig(), options{workers: 2}); err == nil {
 		t.Errorf("unknown experiment accepted")
 	}
 }

@@ -47,13 +47,14 @@ func CacheLayers(cfg Config, populations []int) ([]*CacheRow, error) {
 					return nil, err
 				}
 			}
-			total := float64(sw.Hits + sw.MegaHits + sw.Misses)
+			hits, megaHits, misses := sw.Hits.Load(), sw.MegaHits.Load(), sw.Misses.Load()
+			total := float64(hits + megaHits + misses)
 			out = append(out, &CacheRow{
 				Rep:        rep,
 				Flows:      pop,
-				EMCHitPct:  100 * float64(sw.Hits) / total,
-				MegaHitPct: 100 * float64(sw.MegaHits) / total,
-				SlowPct:    100 * float64(sw.Misses) / total,
+				EMCHitPct:  100 * float64(hits) / total,
+				MegaHitPct: 100 * float64(megaHits) / total,
+				SlowPct:    100 * float64(misses) / total,
 				EMCSize:    sw.CacheSize(),
 				Megaflows:  sw.MegaflowCount(),
 			})

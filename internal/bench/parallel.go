@@ -1,0 +1,239 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"manorm/internal/dataplane"
+	"manorm/internal/switches"
+	"manorm/internal/trafficgen"
+	"manorm/internal/usecases"
+)
+
+// parallelBatch is the frame-batch size of the parallel hot loop: large
+// enough to amortize the per-batch revalidation check and loop overhead,
+// small enough to keep the verdict buffer in cache.
+const parallelBatch = 64
+
+// ParallelResult is one point of the multi-core scaling curve: a switch
+// and representation driven by W workers over disjoint traffic shards.
+type ParallelResult struct {
+	Switch string                  `json:"switch"`
+	Rep    usecases.Representation `json:"rep"`
+	// Workers is the number of forwarding goroutines.
+	Workers int `json:"workers"`
+	// RateMpps is the aggregate forwarding rate over all workers
+	// (wall-clock: total packets / elapsed time).
+	RateMpps float64 `json:"mpps"`
+	// Speedup is RateMpps relative to the 1-worker rate of the same
+	// switch and representation (1.0 for the 1-worker row itself; 0 when
+	// no 1-worker baseline was measured).
+	Speedup float64 `json:"speedup"`
+	// Packets is the total packet count forwarded during the timed run.
+	Packets int `json:"packets"`
+}
+
+// MeasureParallel measures the aggregate forwarding rate of one switch and
+// representation with `workers` forwarding goroutines. Each goroutine owns
+// a dedicated switch Worker (its own scratch packet, metadata registers
+// and — for OVS — flow-cache shard) and a disjoint round-robin shard of
+// the traffic, the model's equivalent of per-core NIC queues under RSS.
+// The hot loop runs ProcessBatch over fixed-size frame batches; the rate
+// is wall-clock aggregate across all workers.
+//
+// The hardware model (NoviFlow) forwards at line rate regardless of how
+// many harness cores feed it, so its curve is flat at HWLineRateMpps; the
+// batches still execute for functional verification.
+func MeasureParallel(swName string, rep usecases.Representation, cfg Config, workers int) (*ParallelResult, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("bench: workers must be >= 1, got %d", workers)
+	}
+	sw, err := NewSwitch(swName)
+	if err != nil {
+		return nil, err
+	}
+	g := usecases.Generate(cfg.Services, cfg.Backends, cfg.Seed)
+	p, err := g.Build(rep)
+	if err != nil {
+		return nil, err
+	}
+	if err := sw.Install(p); err != nil {
+		return nil, err
+	}
+	stream := trafficgen.GwLB(g, 4096, 1.0, cfg.Seed+1)
+	frames, _ := trafficgen.Wire(stream)
+	shards := trafficgen.Shards(frames, workers)
+
+	// Per-goroutine state: a dedicated worker and its shard pre-cut into
+	// batches. Cutting outside the timed region keeps the hot loop to
+	// ProcessBatch calls only.
+	type lane struct {
+		w       switches.Worker
+		batches [][][]byte
+	}
+	lanes := make([]*lane, workers)
+	perWorker := cfg.Packets / workers
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	for i, shard := range shards {
+		l := &lane{w: sw.NewWorker()}
+		for off := 0; off < len(shard); off += parallelBatch {
+			end := off + parallelBatch
+			if end > len(shard) {
+				end = len(shard)
+			}
+			l.batches = append(l.batches, shard[off:end])
+		}
+		lanes[i] = l
+	}
+
+	// Warm-up: one pass per worker over its shard (fills cache shards,
+	// faults in the datapath snapshot).
+	out := make([]dataplane.Verdict, parallelBatch)
+	for _, l := range lanes {
+		for _, b := range l.batches {
+			if err := l.w.ProcessBatch(b, out); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Timed run: every worker forwards perWorker packets, cycling over its
+	// batches. First error wins; the others finish their quota.
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	counts := make([]int, workers)
+	start := time.Now()
+	for i, l := range lanes {
+		wg.Add(1)
+		go func(i int, l *lane) {
+			defer wg.Done()
+			verdicts := make([]dataplane.Verdict, parallelBatch)
+			done := 0
+			for b := 0; done < perWorker; b++ {
+				batch := l.batches[b%len(l.batches)]
+				if err := l.w.ProcessBatch(batch, verdicts); err != nil {
+					errs[i] = err
+					return
+				}
+				done += len(batch)
+			}
+			counts[i] = done
+		}(i, l)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+
+	res := &ParallelResult{Switch: swName, Rep: rep, Workers: workers, Packets: total}
+	if pm := sw.Perf(); pm.HWLineRateMpps > 0 {
+		res.RateMpps = pm.HWLineRateMpps
+		return res, nil
+	}
+	res.RateMpps = float64(total) * 1000 / float64(elapsed.Nanoseconds()) // pkts/µs = Mpps
+	return res, nil
+}
+
+// ScalingWorkerCounts returns the worker counts of the scaling curve:
+// doubling from 1 and capped at max, with max itself included (so
+// -workers 6 measures 1, 2, 4, 6).
+func ScalingWorkerCounts(max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	var counts []int
+	for w := 1; w < max; w *= 2 {
+		counts = append(counts, w)
+	}
+	return append(counts, max)
+}
+
+// ParallelScaling measures the multi-core scaling curve of one switch and
+// representation: worker counts doubling from 1 up to maxWorkers. Speedup
+// is reported relative to the 1-worker rate.
+func ParallelScaling(swName string, rep usecases.Representation, cfg Config, maxWorkers int) ([]*ParallelResult, error) {
+	var out []*ParallelResult
+	base := 0.0
+	for _, w := range ScalingWorkerCounts(maxWorkers) {
+		r, err := MeasureParallel(swName, rep, cfg, w)
+		if err != nil {
+			return nil, err
+		}
+		if w == 1 {
+			base = r.RateMpps
+		}
+		if base > 0 {
+			r.Speedup = r.RateMpps / base
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ParallelTable runs the scaling curve for every switch and both headline
+// representations (the Table 1 pair) — the full multi-core experiment.
+func ParallelTable(cfg Config, maxWorkers int) ([]*ParallelResult, error) {
+	var out []*ParallelResult
+	for _, sw := range SwitchNames() {
+		for _, rep := range []usecases.Representation{usecases.RepUniversal, usecases.RepGoto} {
+			rows, err := ParallelScaling(sw, rep, cfg, maxWorkers)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, rows...)
+		}
+	}
+	return out, nil
+}
+
+// RenderParallel prints the scaling experiment.
+func RenderParallel(w io.Writer, rows []*ParallelResult) {
+	fmt.Fprintf(w, "Multi-core scaling (extension): aggregate Mpps over sharded workers (host: %d CPUs)\n",
+		runtime.NumCPU())
+	fmt.Fprintf(w, "%-10s %-11s %-9s %-12s %-8s\n", "switch", "rep", "workers", "rate[Mpps]", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %-11s %-9d %-12.3f %-8.2f\n", r.Switch, r.Rep, r.Workers, r.RateMpps, r.Speedup)
+	}
+}
+
+// ParallelReport is the machine-readable envelope of the scaling
+// experiment (what -json writes to BENCH_parallel.json).
+type ParallelReport struct {
+	HostCPUs   int               `json:"host_cpus"`
+	MaxWorkers int               `json:"max_workers"`
+	Services   int               `json:"services"`
+	Backends   int               `json:"backends"`
+	Packets    int               `json:"packets"`
+	Results    []*ParallelResult `json:"results"`
+}
+
+// WriteParallelJSON writes the scaling results as indented JSON to path.
+func WriteParallelJSON(path string, cfg Config, maxWorkers int, rows []*ParallelResult) error {
+	rep := &ParallelReport{
+		HostCPUs:   runtime.NumCPU(),
+		MaxWorkers: maxWorkers,
+		Services:   cfg.Services,
+		Backends:   cfg.Backends,
+		Packets:    cfg.Packets,
+		Results:    rows,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

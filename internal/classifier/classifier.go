@@ -69,32 +69,99 @@ func extractPatterns(t *mat.Table) (cols []column, pats []pattern) {
 // Ternary is the fallback template: a priority-ordered linear scan with
 // per-column masked compare — the "slowest wildcard matching template" of
 // the paper's ESwitch discussion. It accepts any table shape.
+//
+// The scan is compiled at construction time: every entry's per-column
+// (mask, value) words are precomputed into two flat row-major arrays, so a
+// lookup is pure word compares over contiguous memory — no mat.Cell calls,
+// no per-cell mask recomputation. Columns that are wildcarded in every
+// entry are dropped from the compiled rows entirely. Rows are sorted by
+// descending priority, so the first hit is the answer (the priority-order
+// early exit).
 type Ternary struct {
-	cols []column
-	pats []pattern // sorted by descending priority
+	nCols int // compiled (active) columns per row
+	// active maps compiled column slots to key positions.
+	active []int
+	// masks/vals hold nRows × nCols words, row-major: row r matches iff
+	// key[active[i]] & masks[r*nCols+i] == vals[r*nCols+i] for all i.
+	masks []uint64
+	vals  []uint64
+	idx   []int32 // entry index per compiled row
 }
 
-// NewTernary builds a ternary classifier for the table's match columns.
+// NewTernary builds a ternary classifier for the table's match columns,
+// precomputing the per-entry mask/value words.
 func NewTernary(t *mat.Table) *Ternary {
 	cols, pats := extractPatterns(t)
 	sort.SliceStable(pats, func(i, j int) bool { return pats[i].prio > pats[j].prio })
-	return &Ternary{cols: cols, pats: pats}
+
+	// Keep only columns constrained by at least one entry; all-wildcard
+	// columns match any key word and would waste scan bandwidth.
+	var active []int
+	for i := range cols {
+		for _, p := range pats {
+			if !p.cells[i].IsAny() {
+				active = append(active, i)
+				break
+			}
+		}
+	}
+	c := &Ternary{
+		nCols:  len(active),
+		active: active,
+		masks:  make([]uint64, 0, len(pats)*len(active)),
+		vals:   make([]uint64, 0, len(pats)*len(active)),
+		idx:    make([]int32, len(pats)),
+	}
+	for r, p := range pats {
+		c.idx[r] = int32(p.idx)
+		for _, i := range active {
+			m := prefixMask64(p.cells[i].PLen, cols[i].width)
+			c.masks = append(c.masks, m)
+			c.vals = append(c.vals, p.cells[i].Bits&m)
+		}
+	}
+	return c
 }
 
-// Lookup scans patterns in priority order.
+// prefixMask64 returns the mask selecting the top plen bits of a width-bit
+// value (right-aligned in 64 bits).
+func prefixMask64(plen, width uint8) uint64 {
+	if plen == 0 {
+		return 0
+	}
+	if plen > width {
+		plen = width
+	}
+	full := ^uint64(0)
+	if width < 64 {
+		full = (uint64(1) << width) - 1
+	}
+	return full &^ (full >> plen)
+}
+
+// Lookup scans the compiled rows in priority order and returns on the
+// first hit.
 func (c *Ternary) Lookup(key []uint64) int {
-	for pi := range c.pats {
-		p := &c.pats[pi]
+	n := c.nCols
+	if n == 0 {
+		if len(c.idx) > 0 {
+			return int(c.idx[0])
+		}
+		return -1
+	}
+	base := 0
+	for r := range c.idx {
 		hit := true
-		for i := range p.cells {
-			if !p.cells[i].Matches(key[i], c.cols[i].width) {
+		for i := 0; i < n; i++ {
+			if key[c.active[i]]&c.masks[base+i] != c.vals[base+i] {
 				hit = false
 				break
 			}
 		}
 		if hit {
-			return p.idx
+			return int(c.idx[r])
 		}
+		base += n
 	}
 	return -1
 }

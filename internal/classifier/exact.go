@@ -13,7 +13,10 @@ import (
 type Exact struct {
 	cols []column
 	// active marks the columns participating in the hash.
-	active  []bool
+	active []bool
+	// colMask holds ^0 for active columns and 0 for dead ones, so lookups
+	// mask and hash the key in one pass with no scratch copy.
+	colMask []uint64
 	buckets map[uint64][]exactEntry
 }
 
@@ -45,7 +48,13 @@ func NewExact(t *mat.Table) (*Exact, error) {
 		}
 		active[i] = sawExact
 	}
-	c := &Exact{cols: cols, active: active, buckets: make(map[uint64][]exactEntry, len(pats))}
+	colMask := make([]uint64, len(cols))
+	for i, a := range active {
+		if a {
+			colMask[i] = ^uint64(0)
+		}
+	}
+	c := &Exact{cols: cols, active: active, colMask: colMask, buckets: make(map[uint64][]exactEntry, len(pats))}
 	for _, p := range pats {
 		key := make([]uint64, len(p.cells))
 		for i, cell := range p.cells {
@@ -59,38 +68,32 @@ func NewExact(t *mat.Table) (*Exact, error) {
 	return c, nil
 }
 
-// hashKey mixes the key words with an FNV-1a-style loop.
+// hashKey mixes the key words with an FNV-1a-style loop, one round per
+// 64-bit word. The result keys a Go map (which re-hashes it), so one
+// multiply per word is enough mixing for bucket grouping.
 func hashKey(key []uint64) uint64 {
 	h := uint64(14695981039346656037)
 	for _, v := range key {
-		for s := 0; s < 64; s += 16 {
-			h ^= (v >> s) & 0xFFFF
-			h *= 1099511628211
-		}
+		h ^= v
+		h *= 1099511628211
 	}
 	return h
 }
 
-// Lookup probes the hash table and verifies the masked key.
+// Lookup probes the hash table and verifies the masked key. The key is
+// masked and hashed in a single pass — no scratch buffer, no allocation.
 func (c *Exact) Lookup(key []uint64) int {
-	var scratch [16]uint64
-	var masked []uint64
-	if len(key) <= len(scratch) {
-		masked = scratch[:len(key)]
-	} else {
-		masked = make([]uint64, len(key))
+	h := uint64(14695981039346656037)
+	for i, v := range key {
+		h ^= v & c.colMask[i]
+		h *= 1099511628211
 	}
-	for i := range key {
-		if c.active[i] {
-			masked[i] = key[i]
-		}
-	}
-	bucket := c.buckets[hashKey(masked)]
+	bucket := c.buckets[h]
 	for i := range bucket {
 		e := &bucket[i]
 		ok := true
 		for j := range e.key {
-			if e.key[j] != masked[j] {
+			if e.key[j] != key[j]&c.colMask[j] {
 				ok = false
 				break
 			}

@@ -1,22 +1,28 @@
 package classifier
 
 import (
+	"sort"
+
 	"manorm/internal/mat"
 )
 
 // TupleSpace is the Open vSwitch-style tuple space search template: entries
 // are grouped by their mask tuple (the per-column prefix-length vector) and
-// each group is an exact hash over the masked key. A lookup probes every
-// tuple and keeps the highest-priority hit. Insertion-friendly and
-// shape-agnostic; lookup cost grows with the number of distinct tuples.
+// each group is an exact hash over the masked key. Tuples are kept sorted
+// by descending priority, so a lookup probes tuples in priority order and
+// stops at the first hit. Insertion-friendly and shape-agnostic; lookup
+// cost grows with the number of distinct tuples.
 type TupleSpace struct {
 	cols   []column
 	tuples []tuple
 }
 
 type tuple struct {
-	plens   []uint8
+	plens []uint8
+	// masks holds the precomputed per-column prefix masks for plens.
+	masks   []uint64
 	prio    int // total prefix bits — all members share it
+	order   int // insertion rank, for stable priority ties
 	buckets map[uint64][]exactEntry
 }
 
@@ -37,7 +43,11 @@ func NewTupleSpace(t *mat.Table) *TupleSpace {
 		if !ok {
 			ti = len(c.tuples)
 			index[string(sig)] = ti
-			c.tuples = append(c.tuples, tuple{plens: plens, prio: p.prio, buckets: make(map[uint64][]exactEntry)})
+			masks := make([]uint64, len(plens))
+			for i, pl := range plens {
+				masks[i] = prefixMask64(pl, cols[i].width)
+			}
+			c.tuples = append(c.tuples, tuple{plens: plens, masks: masks, prio: p.prio, order: ti, buckets: make(map[uint64][]exactEntry)})
 		}
 		masked := make([]uint64, len(p.cells))
 		for i, cell := range p.cells {
@@ -47,23 +57,20 @@ func NewTupleSpace(t *mat.Table) *TupleSpace {
 		tu := &c.tuples[ti]
 		tu.buckets[h] = append(tu.buckets[h], exactEntry{key: masked, idx: p.idx})
 	}
+	// Probe order: descending priority, insertion order on ties — the same
+	// resolution the unsorted keep-the-best scan produced.
+	sort.SliceStable(c.tuples, func(i, j int) bool {
+		if c.tuples[i].prio != c.tuples[j].prio {
+			return c.tuples[i].prio > c.tuples[j].prio
+		}
+		return c.tuples[i].order < c.tuples[j].order
+	})
 	return c
 }
 
-// maskTo keeps the top plen bits of a width-bit value.
-func maskTo(v uint64, plen, width uint8) uint64 {
-	if plen == 0 {
-		return 0
-	}
-	if plen >= width {
-		return v
-	}
-	return v &^ ((uint64(1) << (width - plen)) - 1)
-}
-
-// Lookup probes each tuple's hash with the appropriately masked key.
+// Lookup probes the tuples in descending priority order with the
+// appropriately masked key and returns on the first hit.
 func (c *TupleSpace) Lookup(key []uint64) int {
-	best, bestPrio := -1, -1
 	// Stack scratch keeps Lookup allocation-free and concurrency-safe for
 	// the match widths real tables use.
 	var scratch [16]uint64
@@ -75,13 +82,14 @@ func (c *TupleSpace) Lookup(key []uint64) int {
 	}
 	for ti := range c.tuples {
 		tu := &c.tuples[ti]
-		if tu.prio <= bestPrio {
-			continue
+		h := uint64(14695981039346656037)
+		for i := range masked {
+			m := key[i] & tu.masks[i]
+			masked[i] = m
+			h ^= m
+			h *= 1099511628211
 		}
-		for i := range c.cols {
-			masked[i] = maskTo(key[i], tu.plens[i], c.cols[i].width)
-		}
-		bucket := tu.buckets[hashKey(masked)]
+		bucket := tu.buckets[h]
 		for bi := range bucket {
 			e := &bucket[bi]
 			ok := true
@@ -92,12 +100,11 @@ func (c *TupleSpace) Lookup(key []uint64) int {
 				}
 			}
 			if ok {
-				best, bestPrio = e.idx, tu.prio
-				break
+				return e.idx
 			}
 		}
 	}
-	return best
+	return -1
 }
 
 // Template returns "tss".

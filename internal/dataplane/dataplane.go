@@ -252,6 +252,25 @@ func (p *Pipeline) ProcessTraced(pkt *packet.Packet, ctx *Ctx, tr *Trace) (Verdi
 	return p.process(pkt, ctx, tr)
 }
 
+// ProcessBatch runs a batch of packets through the pipeline on one ctx,
+// writing the i-th verdict into out[i]. This is the amortized fast path the
+// switch models' batch APIs build on: one bounds check up front, no
+// per-packet call back into the selector machinery. out must hold at least
+// len(pkts) verdicts; processing stops at the first pipeline error.
+func (p *Pipeline) ProcessBatch(pkts []*packet.Packet, ctx *Ctx, out []Verdict) error {
+	if len(out) < len(pkts) {
+		return fmt.Errorf("dataplane: verdict buffer %d too small for batch of %d", len(out), len(pkts))
+	}
+	for i, pkt := range pkts {
+		v, err := p.process(pkt, ctx, nil)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+	}
+	return nil
+}
+
 func (p *Pipeline) process(pkt *packet.Packet, ctx *Ctx, tr *Trace) (Verdict, error) {
 	for i := range ctx.meta {
 		ctx.meta[i] = 0

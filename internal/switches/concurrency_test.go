@@ -1,0 +1,239 @@
+package switches
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"manorm/internal/dataplane"
+	"manorm/internal/trafficgen"
+	"manorm/internal/usecases"
+)
+
+// TestConcurrentFrameProcessing drives every switch model from many
+// goroutines at once — half through the pooled switch-level frame APIs,
+// half through dedicated Workers, with a control-plane goroutine firing
+// ApplyMods throughout — and checks each verdict against a single-threaded
+// reference. Run under -race this is the concurrency contract's enforcement
+// (per-worker scratch and cache shards, atomic statistics, epoch-based
+// revalidation).
+func TestConcurrentFrameProcessing(t *testing.T) {
+	g := usecases.Generate(8, 4, 3)
+	p, err := g.Build(usecases.RepGoto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := trafficgen.GwLB(g, 512, 0.9, 5)
+	frames, _ := trafficgen.Wire(stream)
+
+	// Reference verdicts, single-threaded, from the raw dataplane.
+	ref, err := dataplane.Compile(p, dataplane.AutoTemplates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCtx := ref.NewCtx()
+	want := make([]dataplane.Verdict, stream.Len())
+	for i := range want {
+		v, err := ref.Process(stream.Next(), refCtx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = v
+	}
+	check := func(i int, v dataplane.Verdict) error {
+		w := want[i%len(want)]
+		if v.Drop != w.Drop || (!v.Drop && v.Port != w.Port) {
+			return fmt.Errorf("frame %d: verdict (%v,%d) != reference (%v,%d)",
+				i%len(want), v.Drop, v.Port, w.Drop, w.Port)
+		}
+		return nil
+	}
+
+	const (
+		goroutines = 6
+		passes     = 3
+		batchSize  = 32
+	)
+	for _, sw := range allSwitches() {
+		sw := sw
+		t.Run(sw.Name(), func(t *testing.T) {
+			if err := sw.Install(p); err != nil {
+				t.Fatal(err)
+			}
+			errs := make(chan error, goroutines+1)
+
+			// Control plane: concurrent cache revalidations.
+			stop := make(chan struct{})
+			var mods sync.WaitGroup
+			mods.Add(1)
+			go func() {
+				defer mods.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := sw.ApplyMods(1); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+
+			var wg sync.WaitGroup
+			for w := 0; w < goroutines; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					if w%2 == 0 {
+						// Pooled switch-level single-frame path.
+						for pass := 0; pass < passes; pass++ {
+							for i, f := range frames {
+								v, err := sw.ProcessFrame(f)
+								if err != nil {
+									errs <- err
+									return
+								}
+								if err := check(i, v); err != nil {
+									errs <- err
+									return
+								}
+							}
+						}
+						return
+					}
+					// Dedicated worker, batched path.
+					worker := sw.NewWorker()
+					out := make([]dataplane.Verdict, batchSize)
+					for pass := 0; pass < passes; pass++ {
+						for off := 0; off < len(frames); off += batchSize {
+							end := off + batchSize
+							if end > len(frames) {
+								end = len(frames)
+							}
+							if err := worker.ProcessBatch(frames[off:end], out); err != nil {
+								errs <- err
+								return
+							}
+							for j := 0; j < end-off; j++ {
+								if err := check(off+j, out[j]); err != nil {
+									errs <- err
+									return
+								}
+							}
+						}
+					}
+				}(w)
+			}
+
+			// Forwarders terminate on their own; then stop the control-plane
+			// loop and drain any errors.
+			wg.Wait()
+			close(stop)
+			mods.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestConcurrentBatchAgainstInstall exercises the pointer-swap Install
+// path: forwarding goroutines keep processing while the control plane
+// alternates between two representations. Every verdict must match one of
+// the two programs' references (both agree on this workload, so a single
+// reference suffices).
+func TestConcurrentBatchAgainstInstall(t *testing.T) {
+	g := usecases.Generate(8, 4, 3)
+	pGoto, err := g.Build(usecases.RepGoto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pUni, err := g.Build(usecases.RepUniversal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := trafficgen.GwLB(g, 256, 1.0, 9)
+	frames, _ := trafficgen.Wire(stream)
+
+	ref, err := dataplane.Compile(pUni, dataplane.AutoTemplates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCtx := ref.NewCtx()
+	want := make([]dataplane.Verdict, stream.Len())
+	for i := range want {
+		v, err := ref.Process(stream.Next(), refCtx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = v
+	}
+
+	for _, sw := range allSwitches() {
+		sw := sw
+		t.Run(sw.Name(), func(t *testing.T) {
+			if err := sw.Install(pGoto); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			errs := make(chan error, 4)
+			stop := make(chan struct{})
+
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				flip := false
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					p := pGoto
+					if flip {
+						p = pUni
+					}
+					flip = !flip
+					if err := sw.Install(p); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+
+			var fw sync.WaitGroup
+			for w := 0; w < 3; w++ {
+				fw.Add(1)
+				go func() {
+					defer fw.Done()
+					worker := sw.NewWorker()
+					out := make([]dataplane.Verdict, len(frames))
+					for pass := 0; pass < 4; pass++ {
+						if err := worker.ProcessBatch(frames, out); err != nil {
+							errs <- err
+							return
+						}
+						for i, v := range out {
+							w := want[i]
+							if v.Drop != w.Drop || (!v.Drop && v.Port != w.Port) {
+								errs <- fmt.Errorf("frame %d: verdict (%v,%d) != reference (%v,%d)",
+									i, v.Drop, v.Port, w.Drop, w.Port)
+								return
+							}
+						}
+					}
+				}()
+			}
+			fw.Wait()
+			close(stop)
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+		})
+	}
+}

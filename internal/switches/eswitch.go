@@ -11,14 +11,18 @@ import (
 // ESwitch models the template-specializing software switch of [Molnár et
 // al., SIGCOMM'16]: on Install it compiles every table to the most
 // efficient classifier template the table's shape admits (exact hash, LPM
-// trie, or the slow ternary scan). This is the switch where normalization
+// trie, or the ternary scan). This is the switch where normalization
 // pays off directly: the universal gateway table is stuck with the ternary
 // template while the decomposed stages compile to exact + LPM (§5,
 // Table 1: 9.6 → 15.0 Mpps, 426 → 247 µs).
+//
+// All mutable per-packet state lives in workers (see dpSwitch), so the
+// frame APIs are safe for concurrent callers and NewWorker hands out
+// per-core forwarding contexts for the parallel harness.
 type ESwitch struct {
-	dp      *dataplane.Pipeline
-	ctx     *dataplane.Ctx
-	scratch packet.Packet
+	dpSwitch
+	// ctx backs the single-threaded packet-level Process convenience.
+	ctx *dataplane.Ctx
 }
 
 // NewESwitch creates an unprogrammed ESwitch model.
@@ -27,20 +31,26 @@ func NewESwitch() *ESwitch { return &ESwitch{} }
 // Name returns "eswitch".
 func (s *ESwitch) Name() string { return "eswitch" }
 
-// Install recompiles the datapath with per-table template specialization.
+// Install recompiles the datapath with per-table template specialization
+// and publishes it; live workers pick it up on their next frame.
 func (s *ESwitch) Install(p *mat.Pipeline) error {
 	dp, err := dataplane.Compile(p, dataplane.AutoTemplates)
 	if err != nil {
 		return fmt.Errorf("eswitch: %w", err)
 	}
-	s.dp = dp
 	s.ctx = dp.NewCtx()
+	s.dp.Store(dp)
 	return nil
 }
 
-// Process classifies through the specialized templates.
+// Process classifies through the specialized templates (single-threaded
+// convenience; parallel drivers use the frame APIs or NewWorker).
 func (s *ESwitch) Process(pkt *packet.Packet) (dataplane.Verdict, error) {
-	return s.dp.Process(pkt, s.ctx)
+	dp := s.dp.Load()
+	if dp == nil {
+		return dataplane.Verdict{}, errNotProgrammed
+	}
+	return dp.Process(pkt, s.ctx)
 }
 
 // ApplyMods models a flow-mod batch. ESwitch recompiles its datapath on
@@ -59,22 +69,9 @@ func (s *ESwitch) Perf() PerfModel {
 // Templates reports the chosen per-stage templates (for tests and the
 // experiment logs).
 func (s *ESwitch) Templates() []string {
-	if s.dp == nil {
+	dp := s.dp.Load()
+	if dp == nil {
 		return nil
 	}
-	return s.dp.Templates()
-}
-
-// Counters snapshots a stage's per-entry packet counters.
-func (s *ESwitch) Counters(stage int) []uint64 {
-	return s.dp.Counters(stage)
-}
-
-// ProcessFrame parses the frame into the model's scratch packet and
-// forwards it; malformed frames drop.
-func (s *ESwitch) ProcessFrame(frame []byte) (dataplane.Verdict, error) {
-	if err := s.scratch.ParseInto(frame); err != nil {
-		return dataplane.Verdict{Drop: true}, nil
-	}
-	return s.Process(&s.scratch)
+	return dp.Templates()
 }

@@ -15,14 +15,20 @@ import (
 // attribute record before matching — the interpretive overhead that makes
 // the real Lagopus both slower than OVS/ESwitch and insensitive to the
 // pipeline representation (§5, Table 1: 1.4 Mpps either way).
+//
+// Workers carry the lift flag, so the per-packet record construction is
+// paid on the concurrent frame paths exactly as on the packet path.
 type Lagopus struct {
-	dp      *dataplane.Pipeline
-	ctx     *dataplane.Ctx
-	scratch packet.Packet
+	dpSwitch
+	ctx *dataplane.Ctx
 }
 
 // NewLagopus creates an unprogrammed Lagopus model.
-func NewLagopus() *Lagopus { return &Lagopus{} }
+func NewLagopus() *Lagopus {
+	s := &Lagopus{}
+	s.lift = true
+	return s
+}
 
 // Name returns "lagopus".
 func (s *Lagopus) Name() string { return "lagopus" }
@@ -33,8 +39,8 @@ func (s *Lagopus) Install(p *mat.Pipeline) error {
 	if err != nil {
 		return fmt.Errorf("lagopus: %w", err)
 	}
-	s.dp = dp
 	s.ctx = dp.NewCtx()
+	s.dp.Store(dp)
 	return nil
 }
 
@@ -44,11 +50,15 @@ func (s *Lagopus) Install(p *mat.Pipeline) error {
 // for Lagopus's generic flowinfo handling; it dominates service time and
 // is identical for every representation.
 func (s *Lagopus) Process(pkt *packet.Packet) (dataplane.Verdict, error) {
+	dp := s.dp.Load()
+	if dp == nil {
+		return dataplane.Verdict{}, errNotProgrammed
+	}
 	rec := pkt.Record()
 	if len(rec) == 0 {
 		return dataplane.Verdict{Drop: true, Tables: 0}, nil
 	}
-	return s.dp.Process(pkt, s.ctx)
+	return dp.Process(pkt, s.ctx)
 }
 
 // ApplyMods is a no-op for the model.
@@ -57,18 +67,4 @@ func (s *Lagopus) ApplyMods(int) error { return nil }
 // Perf returns the latency calibration (see ESwitch.Perf for the formula).
 func (s *Lagopus) Perf() PerfModel {
 	return PerfModel{BaseLatencyNs: 600_000, QueueFactor: 300}
-}
-
-// Counters snapshots a stage's per-entry packet counters.
-func (s *Lagopus) Counters(stage int) []uint64 {
-	return s.dp.Counters(stage)
-}
-
-// ProcessFrame parses the frame into the model's scratch packet and
-// forwards it; malformed frames drop.
-func (s *Lagopus) ProcessFrame(frame []byte) (dataplane.Verdict, error) {
-	if err := s.scratch.ParseInto(frame); err != nil {
-		return dataplane.Verdict{Drop: true}, nil
-	}
-	return s.Process(&s.scratch)
 }

@@ -33,7 +33,7 @@ func TestMegaflowCoversMicroflows(t *testing.T) {
 			}
 		}
 	}
-	slowAfterWarm := s.Misses
+	slowAfterWarm := s.Misses.Load()
 	mfAfterWarm := s.MegaflowCount()
 	if mfAfterWarm == 0 {
 		t.Fatalf("no megaflows installed")
@@ -52,10 +52,10 @@ func TestMegaflowCoversMicroflows(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if s.Misses != slowAfterWarm {
-		t.Errorf("new microflows took the slow path: %d -> %d misses", slowAfterWarm, s.Misses)
+	if s.Misses.Load() != slowAfterWarm {
+		t.Errorf("new microflows took the slow path: %d -> %d misses", slowAfterWarm, s.Misses.Load())
 	}
-	if s.MegaHits == 0 {
+	if s.MegaHits.Load() == 0 {
 		t.Errorf("megaflow layer never hit")
 	}
 }
@@ -101,19 +101,19 @@ func TestMegaflowVerdictsAgreeWithSlowPath(t *testing.T) {
 		}
 	}
 	// The megaflow layer must have absorbed the random microflows.
-	if s.MegaHits == 0 {
-		t.Errorf("megaflow layer idle: emc=%d mega=%d slow=%d", s.Hits, s.MegaHits, s.Misses)
+	if s.MegaHits.Load() == 0 {
+		t.Errorf("megaflow layer idle: emc=%d mega=%d slow=%d", s.Hits.Load(), s.MegaHits.Load(), s.Misses.Load())
 	}
 	// A repeated microflow hits the EMC on its second appearance.
 	repeat := packet.TCP4(1, 2, 42, g.Services[0].VIP, 4242, g.Services[0].Port)
 	if _, err := s.Process(repeat); err != nil {
 		t.Fatal(err)
 	}
-	emcBefore := s.Hits
+	emcBefore := s.Hits.Load()
 	if _, err := s.Process(packet.TCP4(1, 2, 42, g.Services[0].VIP, 4242, g.Services[0].Port)); err != nil {
 		t.Fatal(err)
 	}
-	if s.Hits != emcBefore+1 {
+	if s.Hits.Load() != emcBefore+1 {
 		t.Errorf("repeated microflow missed the EMC")
 	}
 }

@@ -23,10 +23,9 @@ import (
 //     M·N entries large, so at 100 updates/s the universal pipeline
 //     loses ~20× throughput while the normalized one is unaffected.
 type NoviFlow struct {
-	dp      *dataplane.Pipeline
+	dpSwitch
 	ctx     *dataplane.Ctx
 	entries []int // per-stage entry counts of the installed pipeline
-	scratch packet.Packet
 }
 
 // NewNoviFlow creates an unprogrammed hardware switch model.
@@ -41,19 +40,23 @@ func (s *NoviFlow) Install(p *mat.Pipeline) error {
 	if err != nil {
 		return fmt.Errorf("noviflow: %w", err)
 	}
-	s.dp = dp
 	s.ctx = dp.NewCtx()
 	s.entries = nil
 	for i := range p.Stages {
 		s.entries = append(s.entries, len(p.Stages[i].Table.Entries))
 	}
+	s.dp.Store(dp)
 	return nil
 }
 
 // Process executes the pipeline for functional results; the hardware's
 // timing comes from Perf, not from the software execution time.
 func (s *NoviFlow) Process(pkt *packet.Packet) (dataplane.Verdict, error) {
-	return s.dp.Process(pkt, s.ctx)
+	dp := s.dp.Load()
+	if dp == nil {
+		return dataplane.Verdict{}, errNotProgrammed
+	}
+	return dp.Process(pkt, s.ctx)
 }
 
 // ApplyMods is functionally a no-op (the benchmark reinstalls pipelines
@@ -125,18 +128,4 @@ func (s *NoviFlow) ReactiveLatency(tablesTraversed float64) float64 {
 		base += pm.PerTableLatencyNs * (tablesTraversed - 1)
 	}
 	return base
-}
-
-// Counters snapshots a stage's per-entry packet counters.
-func (s *NoviFlow) Counters(stage int) []uint64 {
-	return s.dp.Counters(stage)
-}
-
-// ProcessFrame parses the frame into the model's scratch packet and
-// forwards it; malformed frames drop.
-func (s *NoviFlow) ProcessFrame(frame []byte) (dataplane.Verdict, error) {
-	if err := s.scratch.ParseInto(frame); err != nil {
-		return dataplane.Verdict{Drop: true}, nil
-	}
-	return s.Process(&s.scratch)
 }

@@ -2,6 +2,8 @@ package switches
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"manorm/internal/classifier"
 	"manorm/internal/dataplane"
@@ -11,28 +13,34 @@ import (
 
 // OVS models Open vSwitch's datapath architecture: a slow path that
 // interprets the installed multi-table pipeline (tuple space search per
-// table, as in ovs-vswitchd) and a single flat flow cache consulted first.
+// table, as in ovs-vswitchd) and per-worker flow caches consulted first.
 // A cache hit costs one hash probe no matter how the pipeline was
 // represented — which is why the paper finds OVS agnostic to
 // normalization (§5: "the datapath collapses OpenFlow tables into a
 // single flow cache; in other words, OVS explicitly denormalizes the
 // pipeline").
 //
-// The cache here is a microflow cache (OVS's EMC): exact on the headers
-// the workloads vary. Control-plane updates invalidate it (revalidation).
+// Sharding mirrors the real datapath's per-PMD-thread design: every
+// worker owns a private EMC (exact-match microflow cache) and megaflow
+// cache, filled independently from the shared immutable slow path.
+// Control-plane updates bump a revalidation epoch; each worker notices the
+// stale epoch on its next frame and flushes its shard — no locks anywhere
+// on the forwarding path. The layer-hit statistics are shared atomics.
 type OVS struct {
-	slow *dataplane.Pipeline
-	ctx  *dataplane.Ctx
-	// cache is the first-level exact-match cache (EMC).
-	cache map[ovsKey]ovsHit
-	// mega is the second-level masked cache (the megaflow cache), filled
-	// from slow-path wildcard traces.
-	mega  *megaflowCache
-	trace *dataplane.Trace
+	// slow is the compiled slow-path pipeline, swapped atomically on
+	// Install; workers pick up the new program on their next frame.
+	slow atomic.Pointer[dataplane.Pipeline]
+	// epoch is the revalidation generation: ApplyMods increments it, and a
+	// worker whose local epoch lags flushes both cache layers.
+	epoch atomic.Uint64
 	// Misses, Hits and MegaHits count per-layer cache behavior for the
-	// experiment logs (Misses = slow-path traversals).
-	Misses, Hits, MegaHits uint64
-	scratch                packet.Packet
+	// experiment logs (Misses = slow-path traversals), aggregated over all
+	// workers.
+	Misses, Hits, MegaHits atomic.Uint64
+	// prim is the worker behind the single-threaded packet-level Process
+	// API and the cache-size inspectors.
+	prim *ovsWorker
+	pool sync.Pool
 }
 
 type ovsKey struct {
@@ -48,28 +56,34 @@ type ovsHit struct {
 	verdict dataplane.Verdict
 }
 
-// ovsCacheMax bounds the cache like the EMC's fixed size; beyond it, new
-// flows evict nothing and take the slow path (a simple, honest policy).
+// ovsCacheMax bounds each EMC shard like the real EMC's fixed size;
+// beyond it, new flows evict nothing and take the megaflow/slow path (a
+// simple, honest policy).
 const ovsCacheMax = 1 << 15
 
 // NewOVS creates an unprogrammed OVS model.
-func NewOVS() *OVS { return &OVS{} }
+func NewOVS() *OVS {
+	s := &OVS{}
+	s.prim = s.newOVSWorker()
+	return s
+}
 
 // Name returns "ovs".
 func (s *OVS) Name() string { return "ovs" }
 
-// Install programs the slow path and flushes the cache.
+// Install programs the slow path, resets the statistics and invalidates
+// every worker's caches (the pipeline pointer swap itself is the
+// invalidation signal; the fresh primary worker starts empty).
 func (s *OVS) Install(p *mat.Pipeline) error {
 	dp, err := dataplane.Compile(p, dataplane.FixedTemplate(classifier.ForceTupleSpace))
 	if err != nil {
 		return fmt.Errorf("ovs: %w", err)
 	}
-	s.slow = dp
-	s.ctx = dp.NewCtx()
-	s.cache = make(map[ovsKey]ovsHit, 4096)
-	s.mega = newMegaflowCache()
-	s.trace = dataplane.NewTrace()
-	s.Misses, s.Hits, s.MegaHits = 0, 0, 0
+	s.slow.Store(dp)
+	s.prim = s.newOVSWorker()
+	s.Misses.Store(0)
+	s.Hits.Store(0)
+	s.MegaHits.Store(0)
 	return nil
 }
 
@@ -82,46 +96,195 @@ func keyOf(p *packet.Packet) ovsKey {
 	}
 }
 
-// Process consults the EMC, then the megaflow cache, then the slow path —
-// the OVS datapath lookup chain. Slow-path traversals trace the consulted
-// header bits and install a megaflow covering every microflow that agrees
-// on them.
+// ovsWorker is one datapath shard: private EMC + megaflow cache, scratch
+// packet, slow-path registers and wildcard trace buffer.
+type ovsWorker struct {
+	parent *OVS
+	slow   *dataplane.Pipeline
+	epoch  uint64
+	ctx    *dataplane.Ctx
+	trace  *dataplane.Trace
+	cache  map[ovsKey]ovsHit
+	mega   *megaflowCache
+	// cacheable mirrors the real per-PMD accounting: scratch packet reused
+	// across frames.
+	scratch packet.Packet
+}
+
+func (s *OVS) newOVSWorker() *ovsWorker {
+	return &ovsWorker{
+		parent: s,
+		trace:  dataplane.NewTrace(),
+		cache:  make(map[ovsKey]ovsHit, 4096),
+		mega:   newMegaflowCache(),
+	}
+}
+
+func (w *ovsWorker) flush() {
+	for k := range w.cache {
+		delete(w.cache, k)
+	}
+	w.mega.flush()
+}
+
+// refresh revalidates the shard: a swapped slow path or a bumped epoch
+// flushes the local caches; a swapped slow path also re-provisions the
+// metadata registers.
+func (w *ovsWorker) refresh() (*dataplane.Pipeline, error) {
+	slow := w.parent.slow.Load()
+	if slow == nil {
+		return nil, errNotProgrammed
+	}
+	if slow != w.slow {
+		w.slow = slow
+		w.ctx = slow.NewCtx()
+		w.flush()
+	}
+	if e := w.parent.epoch.Load(); e != w.epoch {
+		w.epoch = e
+		w.flush()
+	}
+	return slow, nil
+}
+
+// process consults the EMC, then the megaflow cache, then the slow path —
+// the OVS datapath lookup chain — accumulating layer hits into the given
+// counters (flushed to the shared atomics by the callers, per frame or per
+// batch). Slow-path traversals trace the consulted header bits and install
+// a megaflow covering every microflow that agrees on them.
 //
 // Caveat, as in the real caches: cached entries replay the *verdict* (port
 // or drop), so the model is exact for forwarding workloads;
 // header-rewriting actions are applied only on the slow path. The
 // benchmark workloads (gateway & load balancer) are pure forwarding.
-func (s *OVS) Process(pkt *packet.Packet) (dataplane.Verdict, error) {
+func (w *ovsWorker) process(slow *dataplane.Pipeline, pkt *packet.Packet, hits, megaHits, misses *uint64) (dataplane.Verdict, error) {
 	k := keyOf(pkt)
-	if hit, ok := s.cache[k]; ok {
-		s.Hits++
+	if hit, ok := w.cache[k]; ok {
+		*hits++
 		return hit.verdict, nil
 	}
-	if v, ok := s.mega.lookup(pkt); ok {
-		s.MegaHits++
-		if len(s.cache) < ovsCacheMax {
-			s.cache[k] = ovsHit{verdict: v}
+	if v, ok := w.mega.lookup(pkt); ok {
+		*megaHits++
+		if len(w.cache) < ovsCacheMax {
+			w.cache[k] = ovsHit{verdict: v}
 		}
 		return v, nil
 	}
-	s.Misses++
-	v, err := s.slow.ProcessTraced(pkt, s.ctx, s.trace)
+	*misses++
+	v, err := slow.ProcessTraced(pkt, w.ctx, w.trace)
 	if err != nil {
 		return v, err
 	}
-	s.mega.insert(pkt, s.trace, v)
-	if len(s.cache) < ovsCacheMax {
-		s.cache[k] = ovsHit{verdict: v}
+	w.mega.insert(pkt, w.trace, v)
+	if len(w.cache) < ovsCacheMax {
+		w.cache[k] = ovsHit{verdict: v}
 	}
 	return v, nil
 }
 
-// ApplyMods triggers revalidation: both cache layers are flushed.
-func (s *OVS) ApplyMods(int) error {
-	for k := range s.cache {
-		delete(s.cache, k)
+// addStats flushes accumulated layer counts to the shared atomics.
+func (w *ovsWorker) addStats(hits, megaHits, misses uint64) {
+	if hits > 0 {
+		w.parent.Hits.Add(hits)
 	}
-	s.mega.flush()
+	if megaHits > 0 {
+		w.parent.MegaHits.Add(megaHits)
+	}
+	if misses > 0 {
+		w.parent.Misses.Add(misses)
+	}
+}
+
+// ProcessFrame parses into the shard's scratch packet and forwards.
+func (w *ovsWorker) ProcessFrame(frame []byte) (dataplane.Verdict, error) {
+	slow, err := w.refresh()
+	if err != nil {
+		return dataplane.Verdict{}, err
+	}
+	if err := w.scratch.ParseInto(frame); err != nil {
+		return dataplane.Verdict{Drop: true}, nil
+	}
+	var hits, megaHits, misses uint64
+	v, err := w.process(slow, &w.scratch, &hits, &megaHits, &misses)
+	w.addStats(hits, megaHits, misses)
+	return v, err
+}
+
+// ProcessBatch forwards a frame batch with one revalidation check and one
+// statistics flush for the whole batch.
+func (w *ovsWorker) ProcessBatch(frames [][]byte, out []dataplane.Verdict) error {
+	if len(out) < len(frames) {
+		return fmt.Errorf("switches: verdict buffer %d too small for batch of %d", len(out), len(frames))
+	}
+	slow, err := w.refresh()
+	if err != nil {
+		return err
+	}
+	var hits, megaHits, misses uint64
+	for i, f := range frames {
+		if err := w.scratch.ParseInto(f); err != nil {
+			out[i] = dataplane.Verdict{Drop: true}
+			continue
+		}
+		v, err := w.process(slow, &w.scratch, &hits, &megaHits, &misses)
+		if err != nil {
+			w.addStats(hits, megaHits, misses)
+			return err
+		}
+		out[i] = v
+	}
+	w.addStats(hits, megaHits, misses)
+	return nil
+}
+
+func (s *OVS) getWorker() *ovsWorker {
+	if w, ok := s.pool.Get().(*ovsWorker); ok {
+		return w
+	}
+	return s.newOVSWorker()
+}
+
+// ProcessFrame checks a worker shard out of the pool and forwards one
+// frame. Safe for concurrent use.
+func (s *OVS) ProcessFrame(frame []byte) (dataplane.Verdict, error) {
+	w := s.getWorker()
+	v, err := w.ProcessFrame(frame)
+	s.pool.Put(w)
+	return v, err
+}
+
+// ProcessBatch checks a worker shard out of the pool and forwards a frame
+// batch. Safe for concurrent use.
+func (s *OVS) ProcessBatch(frames [][]byte, out []dataplane.Verdict) error {
+	w := s.getWorker()
+	err := w.ProcessBatch(frames, out)
+	s.pool.Put(w)
+	return err
+}
+
+// NewWorker returns a dedicated datapath shard (its own EMC and megaflow
+// cache) for one forwarding goroutine — the model's PMD thread.
+func (s *OVS) NewWorker() Worker { return s.newOVSWorker() }
+
+// Process forwards one packet through the primary shard (single-threaded
+// convenience; the cache inspectors below report this shard's state).
+func (s *OVS) Process(pkt *packet.Packet) (dataplane.Verdict, error) {
+	slow, err := s.prim.refresh()
+	if err != nil {
+		return dataplane.Verdict{}, err
+	}
+	var hits, megaHits, misses uint64
+	v, err := s.prim.process(slow, pkt, &hits, &megaHits, &misses)
+	s.prim.addStats(hits, megaHits, misses)
+	return v, err
+}
+
+// ApplyMods triggers revalidation: the primary shard is flushed eagerly,
+// and every other worker flushes on its next frame via the epoch bump.
+func (s *OVS) ApplyMods(int) error {
+	s.epoch.Add(1)
+	s.prim.epoch = s.epoch.Load()
+	s.prim.flush()
 	return nil
 }
 
@@ -130,22 +293,19 @@ func (s *OVS) Perf() PerfModel {
 	return PerfModel{BaseLatencyNs: 400_000, QueueFactor: 500}
 }
 
-// CacheSize reports the number of cached exact-match flows (EMC).
-func (s *OVS) CacheSize() int { return len(s.cache) }
+// CacheSize reports the number of cached exact-match flows (EMC) in the
+// primary shard.
+func (s *OVS) CacheSize() int { return len(s.prim.cache) }
 
-// MegaflowCount reports the number of cached megaflows.
-func (s *OVS) MegaflowCount() int { return s.mega.Entries }
+// MegaflowCount reports the number of cached megaflows in the primary
+// shard.
+func (s *OVS) MegaflowCount() int { return s.prim.mega.Entries }
 
 // Counters snapshots a stage's per-entry packet counters.
 func (s *OVS) Counters(stage int) []uint64 {
-	return s.slow.Counters(stage)
-}
-
-// ProcessFrame parses the frame into the model's scratch packet and
-// forwards it; malformed frames drop.
-func (s *OVS) ProcessFrame(frame []byte) (dataplane.Verdict, error) {
-	if err := s.scratch.ParseInto(frame); err != nil {
-		return dataplane.Verdict{Drop: true}, nil
+	dp := s.slow.Load()
+	if dp == nil {
+		return nil
 	}
-	return s.Process(&s.scratch)
+	return dp.Counters(stage)
 }

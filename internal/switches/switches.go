@@ -17,26 +17,59 @@
 package switches
 
 import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
 	"manorm/internal/dataplane"
 	"manorm/internal/mat"
 	"manorm/internal/packet"
 )
 
+// errNotProgrammed is returned when packets are offered to a switch before
+// Install.
+var errNotProgrammed = errors.New("switches: no pipeline installed")
+
 // Switch is a programmable switch model: install a pipeline, process
 // packets, apply control-plane updates.
+//
+// Concurrency contract: ProcessFrame, ProcessBatch and ApplyMods are safe
+// to call from any number of goroutines — every mutable per-packet
+// structure (scratch packets, metadata registers, flow caches) is sharded
+// per worker, and shared statistics are atomic. The packet-level Process
+// and the state inspectors (CacheSize, Templates, ...) remain
+// single-threaded conveniences. Install must not race with forwarding on
+// the same moment's verdict expectations, but is pointer-swap safe: in-flight
+// workers finish on the old program and pick up the new one on their next
+// frame.
 type Switch interface {
 	// Name identifies the model ("ovs", "eswitch", ...).
 	Name() string
 	// Install programs the pipeline, replacing any previous program.
 	Install(p *mat.Pipeline) error
 	// Process forwards one packet. For software models this performs the
-	// real classification work that the benchmarks time.
+	// real classification work that the benchmarks time. Single-threaded;
+	// parallel drivers go through ProcessFrame/ProcessBatch or NewWorker.
 	Process(pkt *packet.Packet) (dataplane.Verdict, error)
 	// ProcessFrame forwards one wire-format frame: header parsing
 	// (including IPv4 checksum verification) plus Process — the
 	// end-to-end per-packet work a software datapath performs, and what
 	// the Table 1 measurements time. Malformed frames drop.
 	ProcessFrame(frame []byte) (dataplane.Verdict, error)
+	// ProcessBatch forwards a batch of wire-format frames, writing the
+	// i-th verdict into out[i] (which must hold at least len(frames)).
+	// Batching amortizes worker checkout, datapath revalidation checks and
+	// statistics flushes over the whole batch — the hot path of the
+	// parallel measurement harness.
+	ProcessBatch(frames [][]byte, out []dataplane.Verdict) error
+	// NewWorker returns a dedicated per-goroutine processing context
+	// sharing this switch's installed program and statistics. A Worker is
+	// not itself safe for concurrent use; one goroutine, one Worker. For
+	// peak parallel rates drive Workers directly — the Switch-level
+	// ProcessFrame/ProcessBatch check a worker out of an internal pool per
+	// call.
+	NewWorker() Worker
 	// ApplyMods applies a control-plane update of n flow modifications,
 	// invalidating whatever state the model caches.
 	ApplyMods(n int) error
@@ -45,6 +78,136 @@ type Switch interface {
 	Counters(stage int) []uint64
 	// Perf exposes the model's analytic performance parameters.
 	Perf() PerfModel
+}
+
+// Worker is a per-goroutine forwarding context of one switch: its own
+// scratch packet, metadata registers and (for cache-based models) flow
+// cache shard. Workers observe the parent switch's Install/ApplyMods via
+// cheap per-frame epoch checks.
+type Worker interface {
+	// ProcessFrame forwards one wire frame; malformed frames drop.
+	ProcessFrame(frame []byte) (dataplane.Verdict, error)
+	// ProcessBatch forwards frames into out[:len(frames)].
+	ProcessBatch(frames [][]byte, out []dataplane.Verdict) error
+}
+
+// dpWorker is the worker of the datapath-driven models (ESwitch, Lagopus,
+// NoviFlow): a snapshot of the compiled pipeline plus per-worker scratch.
+// When the parent reinstalls, the next frame notices the pipeline pointer
+// change and re-provisions the scratch registers.
+type dpWorker struct {
+	src     *atomic.Pointer[dataplane.Pipeline]
+	dp      *dataplane.Pipeline
+	ctx     *dataplane.Ctx
+	scratch packet.Packet
+	// lift enables the Lagopus-style generic record construction per
+	// packet (the interpreter's per-packet metadata overhead).
+	lift bool
+}
+
+// refresh picks up a reinstalled datapath.
+func (w *dpWorker) refresh() (*dataplane.Pipeline, error) {
+	dp := w.src.Load()
+	if dp == nil {
+		return nil, errNotProgrammed
+	}
+	if dp != w.dp {
+		w.dp = dp
+		w.ctx = dp.NewCtx()
+	}
+	return dp, nil
+}
+
+func (w *dpWorker) processPacket(dp *dataplane.Pipeline, pkt *packet.Packet) (dataplane.Verdict, error) {
+	if w.lift {
+		rec := pkt.Record()
+		if len(rec) == 0 {
+			return dataplane.Verdict{Drop: true}, nil
+		}
+	}
+	return dp.Process(pkt, w.ctx)
+}
+
+// ProcessFrame parses into the worker's scratch packet and forwards.
+func (w *dpWorker) ProcessFrame(frame []byte) (dataplane.Verdict, error) {
+	dp, err := w.refresh()
+	if err != nil {
+		return dataplane.Verdict{}, err
+	}
+	if err := w.scratch.ParseInto(frame); err != nil {
+		return dataplane.Verdict{Drop: true}, nil
+	}
+	return w.processPacket(dp, &w.scratch)
+}
+
+// ProcessBatch forwards a frame batch with one datapath revalidation check.
+func (w *dpWorker) ProcessBatch(frames [][]byte, out []dataplane.Verdict) error {
+	if len(out) < len(frames) {
+		return fmt.Errorf("switches: verdict buffer %d too small for batch of %d", len(out), len(frames))
+	}
+	dp, err := w.refresh()
+	if err != nil {
+		return err
+	}
+	for i, f := range frames {
+		if err := w.scratch.ParseInto(f); err != nil {
+			out[i] = dataplane.Verdict{Drop: true}
+			continue
+		}
+		v, err := w.processPacket(dp, &w.scratch)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+	}
+	return nil
+}
+
+// dpSwitch is the shared chassis of the datapath-driven models (ESwitch,
+// Lagopus, NoviFlow): the atomically swapped compiled pipeline plus a pool
+// of workers behind the switch-level frame APIs, making ProcessFrame and
+// ProcessBatch safe for concurrent callers.
+type dpSwitch struct {
+	dp   atomic.Pointer[dataplane.Pipeline]
+	pool sync.Pool
+	lift bool
+}
+
+func (s *dpSwitch) getWorker() *dpWorker {
+	if w, ok := s.pool.Get().(*dpWorker); ok {
+		return w
+	}
+	return &dpWorker{src: &s.dp, lift: s.lift}
+}
+
+// ProcessFrame checks a worker out of the pool and forwards one frame.
+// Safe for concurrent use.
+func (s *dpSwitch) ProcessFrame(frame []byte) (dataplane.Verdict, error) {
+	w := s.getWorker()
+	v, err := w.ProcessFrame(frame)
+	s.pool.Put(w)
+	return v, err
+}
+
+// ProcessBatch checks a worker out of the pool and forwards a frame batch.
+// Safe for concurrent use.
+func (s *dpSwitch) ProcessBatch(frames [][]byte, out []dataplane.Verdict) error {
+	w := s.getWorker()
+	err := w.ProcessBatch(frames, out)
+	s.pool.Put(w)
+	return err
+}
+
+// NewWorker returns a dedicated per-goroutine forwarding context.
+func (s *dpSwitch) NewWorker() Worker { return &dpWorker{src: &s.dp, lift: s.lift} }
+
+// Counters snapshots a stage's per-entry packet counters.
+func (s *dpSwitch) Counters(stage int) []uint64 {
+	dp := s.dp.Load()
+	if dp == nil {
+		return nil
+	}
+	return dp.Counters(stage)
 }
 
 // PerfModel carries the analytic part of a switch's performance behavior.

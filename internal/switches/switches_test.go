@@ -80,7 +80,7 @@ func TestOVSCacheBehaviour(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	misses := s.Misses
+	misses := s.Misses.Load()
 	if misses == 0 || s.CacheSize() == 0 {
 		t.Fatalf("cache not populated: misses=%d size=%d", misses, s.CacheSize())
 	}
@@ -89,10 +89,10 @@ func TestOVSCacheBehaviour(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if s.Misses != misses {
-		t.Errorf("second cycle missed: %d -> %d", misses, s.Misses)
+	if s.Misses.Load() != misses {
+		t.Errorf("second cycle missed: %d -> %d", misses, s.Misses.Load())
 	}
-	if s.Hits == 0 {
+	if s.Hits.Load() == 0 {
 		t.Errorf("no cache hits recorded")
 	}
 	// Updates flush the cache.

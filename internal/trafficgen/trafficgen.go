@@ -91,6 +91,29 @@ func Wire(s *Stream) ([][]byte, float64) {
 	return frames, float64(total) / float64(len(frames))
 }
 
+// Shards splits a frame trace into n disjoint round-robin shards, one per
+// forwarding worker. Round-robin (rather than contiguous chunks) keeps
+// every shard statistically identical to the full trace, so per-worker
+// cache behavior matches the single-core measurement. Shards only
+// reslice — frames are shared, not copied. n is clamped to [1, len(frames)].
+func Shards(frames [][]byte, n int) [][][]byte {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(frames) {
+		n = len(frames)
+	}
+	out := make([][][]byte, n)
+	per := (len(frames) + n - 1) / n
+	for i := range out {
+		out[i] = make([][]byte, 0, per)
+	}
+	for i, f := range frames {
+		out[i%n] = append(out[i%n], f)
+	}
+	return out
+}
+
 // GwLBZipf generates gateway traffic from a finite population of flows
 // with Zipf-distributed popularity (skew s > 1): a small number of
 // elephant flows dominate, as in real traces. This is the workload that

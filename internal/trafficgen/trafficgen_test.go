@@ -185,3 +185,53 @@ func TestGwLBZipfSkew(t *testing.T) {
 		}
 	}
 }
+
+func TestShardsDisjointAndComplete(t *testing.T) {
+	g := usecases.Generate(5, 4, 3)
+	frames, _ := Wire(GwLB(g, 1000, 1.0, 2))
+	for _, n := range []int{1, 2, 3, 8, 1000, 5000} {
+		shards := Shards(frames, n)
+		wantShards := n
+		if wantShards > len(frames) {
+			wantShards = len(frames)
+		}
+		if len(shards) != wantShards {
+			t.Fatalf("Shards(%d) returned %d shards", n, len(shards))
+		}
+		total := 0
+		seen := map[int]bool{}
+		for _, sh := range shards {
+			total += len(sh)
+			for _, f := range sh {
+				// Frames are shared slices: identity check by the backing
+				// array's first byte address via index lookup.
+				for i := range frames {
+					if &frames[i][0] == &f[0] {
+						if seen[i] {
+							t.Fatalf("frame %d appears in two shards", i)
+						}
+						seen[i] = true
+						break
+					}
+				}
+			}
+		}
+		if total != len(frames) || len(seen) != len(frames) {
+			t.Fatalf("Shards(%d): %d frames in shards, %d distinct, want %d",
+				n, total, len(seen), len(frames))
+		}
+		// Balanced: shard sizes differ by at most one.
+		min, max := len(shards[0]), len(shards[0])
+		for _, sh := range shards {
+			if len(sh) < min {
+				min = len(sh)
+			}
+			if len(sh) > max {
+				max = len(sh)
+			}
+		}
+		if max-min > 1 {
+			t.Errorf("Shards(%d) unbalanced: min %d max %d", n, min, max)
+		}
+	}
+}
