@@ -17,6 +17,7 @@
 //	mabench -experiment depth          # A2
 //	mabench -experiment nf4            # beyond-3NF extension (MVD split)
 //	mabench -experiment churnwire      # E2b: update burst cost over TCP
+//	mabench -experiment faultchurn     # E2c: update burst under channel faults
 //	mabench -experiment cache          # OVS cache layers under Zipf traffic
 //	mabench -experiment parallel       # multi-core scaling over sharded workers
 //
@@ -167,6 +168,12 @@ func run(experiment string, cfg bench.Config, opts options) error {
 				return err
 			}
 			bench.RenderWireChurn(w, rows)
+		case "faultchurn":
+			rows, err := bench.FaultChurn(cfg, 24, bench.DefaultFaultGrid())
+			if err != nil {
+				return err
+			}
+			bench.RenderFaultChurn(w, rows)
 		case "nf4":
 			rows, err := bench.NF4([][3]int{{4, 4, 4}, {8, 8, 4}, {16, 8, 8}})
 			if err != nil {
@@ -196,8 +203,8 @@ func run(experiment string, cfg bench.Config, opts options) error {
 	}
 	for _, name := range []string{
 		"footprint", "control", "monitor", "reactive", "static",
-		"l3", "caveat", "sdx", "joins", "depth", "nf4", "churnwire", "cache",
-		"parallel",
+		"l3", "caveat", "sdx", "joins", "depth", "nf4", "churnwire",
+		"faultchurn", "cache", "parallel",
 	} {
 		if err := runOne(name); err != nil {
 			return err

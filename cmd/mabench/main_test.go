@@ -76,6 +76,20 @@ func TestParallelExperimentWritesJSON(t *testing.T) {
 	}
 }
 
+// TestFaultChurnExperimentRuns drives the churn-under-faults sweep on a
+// scaled-down workload; it dials TCP and sleeps through injected jitter,
+// so it stays out of -short runs.
+func TestFaultChurnExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault-injection experiment skipped in -short mode")
+	}
+	cfg := bench.QuickConfig()
+	cfg.Services, cfg.Backends = 4, 3
+	if err := run("faultchurn", cfg, options{workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestUnknownExperiment(t *testing.T) {
 	if err := run("warp-drive", bench.QuickConfig(), options{workers: 2}); err == nil {
 		t.Errorf("unknown experiment accepted")

@@ -3,11 +3,18 @@
 // control channel on a TCP port, and reports forwarding rate and latency
 // for a generated traffic run.
 //
+// With -churn it instead runs a service-update burst against the switch
+// over a fault-injected control channel (-loss, -jitter, -cut) and
+// reports the client's retry/reconnect counters plus whether the final
+// switch state matches the fault-free run. The fault schedule is seeded
+// (-faultseed), so the counters are reproducible.
+//
 // Usage:
 //
 //	maswitch -switch eswitch -rep universal -services 20 -backends 8
 //	maswitch -switch eswitch -rep goto -listen 127.0.0.1:6653 &
 //	          # then drive it with a controller (see examples/reactive)
+//	maswitch -rep goto -churn 40 -loss 0.01 -jitter 25ms -cut
 package main
 
 import (
@@ -24,31 +31,58 @@ import (
 	"manorm/internal/usecases"
 )
 
-func main() {
-	var (
-		swName   = flag.String("switch", "eswitch", "switch model: ovs, eswitch, lagopus, noviflow")
-		rep      = flag.String("rep", "universal", "representation: universal, goto, metadata, rematch")
-		services = flag.Int("services", 20, "number of services (N)")
-		backends = flag.Int("backends", 8, "backends per service (M)")
-		packets  = flag.Int("packets", 1_000_000, "packets to forward")
-		seed     = flag.Int64("seed", 42, "workload seed")
-		listen   = flag.String("listen", "", "serve the control channel on this TCP address (runs until killed)")
-	)
-	flag.Parse()
+// options carries the full flag set; churn > 0 selects the
+// fault-injection mode.
+type options struct {
+	swName   string
+	rep      usecases.Representation
+	services int
+	backends int
+	packets  int
+	seed     int64
+	listen   string
 
-	if err := run(*swName, usecases.Representation(*rep), *services, *backends, *packets, *seed, *listen); err != nil {
+	churn     int
+	loss      float64
+	jitter    time.Duration
+	cut       bool
+	faultSeed int64
+}
+
+func main() {
+	var o options
+	var rep string
+	flag.StringVar(&o.swName, "switch", "eswitch", "switch model: ovs, eswitch, lagopus, noviflow")
+	flag.StringVar(&rep, "rep", "universal", "representation: universal, goto, metadata, rematch")
+	flag.IntVar(&o.services, "services", 20, "number of services (N)")
+	flag.IntVar(&o.backends, "backends", 8, "backends per service (M)")
+	flag.IntVar(&o.packets, "packets", 1_000_000, "packets to forward")
+	flag.Int64Var(&o.seed, "seed", 42, "workload seed")
+	flag.StringVar(&o.listen, "listen", "", "serve the control channel on this TCP address (runs until killed)")
+	flag.IntVar(&o.churn, "churn", 0, "run this many service updates over a fault-injected control channel instead of forwarding")
+	flag.Float64Var(&o.loss, "loss", 0, "control-channel frame loss probability (churn mode)")
+	flag.DurationVar(&o.jitter, "jitter", 0, "control-channel jitter upper bound (churn mode)")
+	flag.BoolVar(&o.cut, "cut", false, "force one mid-churn disconnect (churn mode)")
+	flag.Int64Var(&o.faultSeed, "faultseed", 1, "fault schedule seed (churn mode)")
+	flag.Parse()
+	o.rep = usecases.Representation(rep)
+
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "maswitch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(swName string, rep usecases.Representation, services, backends, packets int, seed int64, listen string) error {
-	sw, err := bench.NewSwitch(swName)
+func run(o options) error {
+	if o.churn > 0 {
+		return runChurn(o)
+	}
+	sw, err := bench.NewSwitch(o.swName)
 	if err != nil {
 		return err
 	}
-	g := usecases.Generate(services, backends, seed)
-	p, err := g.Build(rep)
+	g := usecases.Generate(o.services, o.backends, o.seed)
+	p, err := g.Build(o.rep)
 	if err != nil {
 		return err
 	}
@@ -57,10 +91,10 @@ func run(swName string, rep usecases.Representation, services, backends, packets
 		return err
 	}
 	fmt.Printf("maswitch: %s loaded with %s (%d stages, %d entries, %d fields)\n",
-		swName, rep, p.Depth(), p.EntryCount(), p.FieldCount())
+		o.swName, o.rep, p.Depth(), p.EntryCount(), p.FieldCount())
 
-	if listen != "" {
-		ln, err := net.Listen("tcp", listen)
+	if o.listen != "" {
+		ln, err := net.Listen("tcp", o.listen)
 		if err != nil {
 			return err
 		}
@@ -71,14 +105,14 @@ func run(swName string, rep usecases.Representation, services, backends, packets
 				return err
 			}
 			go func() {
-				if err := agent.Serve(openflow.NewConn(c)); err != nil {
+				if err := agent.Serve(nil, c); err != nil {
 					fmt.Fprintf(os.Stderr, "maswitch: control session ended: %v\n", err)
 				}
 			}()
 		}
 	}
 
-	stream := trafficgen.GwLB(g, 4096, 1.0, seed+1)
+	stream := trafficgen.GwLB(g, 4096, 1.0, o.seed+1)
 	// Warm-up.
 	for i := 0; i < stream.Len(); i++ {
 		if _, err := sw.Process(stream.Next()); err != nil {
@@ -86,9 +120,9 @@ func run(swName string, rep usecases.Representation, services, backends, packets
 		}
 	}
 	var meter stats.RateMeter
-	lat := stats.NewReservoir(8192, seed)
+	lat := stats.NewReservoir(8192, o.seed)
 	start := time.Now()
-	for i := 0; i < packets; i++ {
+	for i := 0; i < o.packets; i++ {
 		t0 := time.Now()
 		if _, err := sw.Process(stream.Next()); err != nil {
 			return err
@@ -97,16 +131,41 @@ func run(swName string, rep usecases.Representation, services, backends, packets
 			lat.Add(float64(time.Since(t0).Nanoseconds()))
 		}
 	}
-	meter.Record(int64(packets), time.Since(start))
+	meter.Record(int64(o.packets), time.Since(start))
 
 	pm := sw.Perf()
 	rate := meter.Mpps()
 	if pm.HWLineRateMpps > 0 {
 		rate = pm.HWLineRateMpps
 	}
-	fmt.Printf("maswitch: forwarded %d packets\n", packets)
+	fmt.Printf("maswitch: forwarded %d packets\n", o.packets)
 	fmt.Printf("maswitch: rate %.2f Mpps (software loop: %.2f Mpps)\n", rate, meter.Mpps())
 	fmt.Printf("maswitch: service time p50/p75/p99 = %.0f/%.0f/%.0f ns\n",
 		lat.Quantile(0.5), lat.Quantile(0.75), lat.Quantile(0.99))
+	return nil
+}
+
+// runChurn drives the churn-under-faults experiment for one
+// representation and prints the deterministic resilience counters.
+func runChurn(o options) error {
+	cfg := bench.Config{Services: o.services, Backends: o.backends, Seed: o.seed}
+	fs := bench.FaultSpec{Loss: o.loss, Jitter: o.jitter, Cut: o.cut, Seed: o.faultSeed}
+	row, err := bench.FaultChurnOne(cfg, o.rep, o.churn, fs)
+	if err != nil {
+		return err
+	}
+	state := "OK (equals fault-free run)"
+	if !row.StateOK {
+		state = "DIVERGED"
+	}
+	m := row.Client
+	fmt.Printf("maswitch churn: %s, %d updates under %s (seed %d)\n", o.rep, o.churn, fs, o.faultSeed)
+	fmt.Printf("  flow-mods sent      %d\n", m.ModsSent)
+	fmt.Printf("  resent after loss   %d\n", m.ModsResent)
+	fmt.Printf("  rpc retries         %d (timeouts %d)\n", m.Retries, m.Timeouts)
+	fmt.Printf("  reconnects          %d (sessions %d)\n", m.Reconnects, row.Sessions)
+	fmt.Printf("  dup mods absorbed   %d\n", row.DupsSkipped)
+	fmt.Printf("  rpc latency p50/p99 %.2f/%.2f ms\n", m.RPCLatencyP50Ms, m.RPCLatencyP99Ms)
+	fmt.Printf("  final state         %s\n", state)
 	return nil
 }

@@ -6,10 +6,17 @@ import (
 	"manorm/internal/usecases"
 )
 
+func opts(sw string, rep usecases.Representation, packets int) options {
+	return options{
+		swName: sw, rep: rep, services: 4, backends: 4,
+		packets: packets, seed: 1,
+	}
+}
+
 func TestRunAllSwitchesAndReps(t *testing.T) {
 	for _, sw := range []string{"ovs", "eswitch", "lagopus", "noviflow"} {
 		for _, rep := range []usecases.Representation{usecases.RepUniversal, usecases.RepGoto} {
-			if err := run(sw, rep, 4, 4, 2000, 1, ""); err != nil {
+			if err := run(opts(sw, rep, 2000)); err != nil {
 				t.Errorf("%s/%s: %v", sw, rep, err)
 			}
 		}
@@ -17,10 +24,24 @@ func TestRunAllSwitchesAndReps(t *testing.T) {
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("cisco", usecases.RepGoto, 4, 4, 100, 1, ""); err == nil {
+	if err := run(opts("cisco", usecases.RepGoto, 100)); err == nil {
 		t.Errorf("unknown switch accepted")
 	}
-	if err := run("ovs", usecases.Representation("x"), 4, 4, 100, 1, ""); err == nil {
+	if err := run(opts("ovs", usecases.Representation("x"), 100)); err == nil {
 		t.Errorf("unknown representation accepted")
+	}
+}
+
+func TestRunChurnMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn mode dials TCP and injects faults")
+	}
+	o := opts("eswitch", usecases.RepGoto, 0)
+	o.churn = 6
+	o.loss = 0.05
+	o.cut = true
+	o.faultSeed = 7
+	if err := run(o); err != nil {
+		t.Fatalf("churn mode: %v", err)
 	}
 }

@@ -7,14 +7,25 @@
 // prints the flow-mod churn both sides generate and the modeled throughput
 // at increasing update rates.
 //
+// It then repeats the burst over a fault-injected channel — seeded frame
+// loss, jitter, and one forced mid-churn disconnect — showing that the
+// resilient client recovers every dropped flow-mod (the final switch
+// state equals the fault-free run) and what the recovery costs each
+// representation, and feeds the measured control latency back into the
+// reactiveness model.
+//
 //	go run ./examples/reactive
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"time"
 
+	"manorm/internal/bench"
 	"manorm/internal/controlplane"
 	"manorm/internal/openflow"
 	"manorm/internal/switches"
@@ -53,6 +64,61 @@ func main() {
 		}
 		fmt.Printf("%-8.0f %-16.2f %-16.2f\n", rate, row[usecases.RepUniversal], row[usecases.RepGoto])
 	}
+
+	if err := churnUnderFaults(g); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// churnUnderFaults reruns the update burst over progressively worse
+// channels. Every row must end "OK": the barrier receipt lists and the
+// xid-keyed resend queue guarantee no flow-mod is lost, whatever the
+// channel drops — the universal representation just pays for recovery
+// more often because it puts more flow-mods on the wire.
+func churnUnderFaults(g *usecases.GwLB) error {
+	cfg := bench.Config{Services: services, Backends: backends, Seed: 42}
+	grid := []bench.FaultSpec{
+		{Seed: 1},
+		{Loss: 0.005, Seed: 1},
+		{Loss: 0.02, Seed: 1},
+		// The headline scenario: 1% loss, 25 ms jitter, one forced
+		// disconnect mid-burst.
+		{Loss: 0.01, Jitter: 25 * time.Millisecond, Cut: true, Seed: 1},
+	}
+	fmt.Println()
+	rows, err := bench.FaultChurn(cfg, services, grid)
+	if err != nil {
+		return err
+	}
+	bench.RenderFaultChurn(os.Stdout, rows)
+
+	// Close the loop with the reactiveness model: the measured control
+	// latency (RPC p50 under the headline faults) delays and rate-limits
+	// the updates the simulation applies.
+	var gotoLatMs float64
+	for _, r := range rows {
+		if r.Rep == usecases.RepGoto && r.Spec.Cut {
+			gotoLatMs = r.Client.RPCLatencyP50Ms
+		}
+	}
+	p, err := g.Build(usecases.RepGoto)
+	if err != nil {
+		return err
+	}
+	plan, err := controlplane.PlanPortChange(g, usecases.RepGoto, 0, 9999)
+	if err != nil {
+		return err
+	}
+	sw := switches.NewNoviFlow()
+	entries := len(p.Stages[0].Table.Entries)
+	simCfg := switches.DefaultReactiveSim(200, plan.EntriesTouched, entries, float64(p.Depth()))
+	ideal := sw.SimulateReactive(simCfg)
+	simCfg.UpdateLatencyNs = gotoLatMs * 1e6
+	faulty := sw.SimulateReactive(simCfg)
+	fmt.Printf("\nmodeled 200 upd/s on goto: ideal channel %.2f Mpps (%d updates applied), "+
+		"faulty channel (%.1f ms control latency) %.2f Mpps (%d updates applied)\n",
+		ideal.RateMpps, ideal.UpdatesApplied, gotoLatMs, faulty.RateMpps, faulty.UpdatesApplied)
+	return nil
 }
 
 // driveSwitch starts a switch agent on a TCP listener, connects a
@@ -78,26 +144,27 @@ func driveSwitch(rep usecases.Representation) error {
 		if err != nil {
 			return
 		}
-		_ = agent.Serve(openflow.NewConn(c))
+		_ = agent.Serve(context.Background(), c)
 	}()
 
 	conn, err := net.Dial("tcp", ln.Addr().String())
 	if err != nil {
 		return err
 	}
-	client, err := openflow.NewClient(openflow.NewConn(conn))
+	client, err := openflow.NewClient(conn)
 	if err != nil {
 		return err
 	}
 	defer client.Close()
 
+	ctx := context.Background()
 	ctl := &controlplane.Controller{Client: client, Rep: rep, Config: g}
 
 	// Burst: move every service to a fresh port, one barrier per update
 	// (the per-update commit the reactiveness experiment assumes).
 	totalTouched := 0
 	for i := 0; i < services; i++ {
-		touched, err := ctl.ChangeServicePort(i, uint16(20000+i))
+		touched, err := ctl.ChangeServicePort(ctx, i, uint16(20000+i))
 		if err != nil {
 			return err
 		}

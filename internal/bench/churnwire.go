@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -77,8 +79,8 @@ func wireChurnOne(cfg Config, rep usecases.Representation, updates int) (*WireCh
 			serveErr <- err
 			return
 		}
-		err = agent.Serve(openflow.NewConn(c))
-		if err == io.EOF {
+		err = agent.Serve(context.Background(), c)
+		if errors.Is(err, io.EOF) {
 			err = nil
 		}
 		serveErr <- err
@@ -89,17 +91,18 @@ func wireChurnOne(cfg Config, rep usecases.Representation, updates int) (*WireCh
 		return nil, err
 	}
 	var tx atomic.Int64
-	client, err := openflow.NewClient(openflow.NewConn(&countingConn{Conn: raw, tx: &tx}))
+	client, err := openflow.NewClient(&countingConn{Conn: raw, tx: &tx})
 	if err != nil {
 		return nil, err
 	}
 	defer client.Close()
 
+	ctx := context.Background()
 	ctl := &controlplane.Controller{Client: client, Rep: rep, Config: g}
 	start := time.Now()
 	for i := 0; i < updates; i++ {
 		svc := i % len(g.Services)
-		if _, err := ctl.ChangeServicePort(svc, uint16(20000+i)); err != nil {
+		if _, err := ctl.ChangeServicePort(ctx, svc, uint16(20000+i)); err != nil {
 			return nil, err
 		}
 	}

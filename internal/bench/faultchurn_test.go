@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"manorm/internal/usecases"
+)
+
+func faultCfg() Config {
+	return Config{Services: 4, Backends: 3, Seed: 5}
+}
+
+func TestFaultChurnCleanChannelHasNoRetries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dials TCP")
+	}
+	row, err := FaultChurnOne(faultCfg(), usecases.RepGoto, 6, FaultSpec{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.StateOK {
+		t.Errorf("clean run diverged from reference")
+	}
+	m := row.Client
+	if m.ModsResent != 0 || m.Retries != 0 || m.Reconnects != 0 || m.Timeouts != 0 {
+		t.Errorf("clean channel produced recovery work: %+v", m)
+	}
+	if row.DupsSkipped != 0 {
+		t.Errorf("clean channel produced duplicates: %d", row.DupsSkipped)
+	}
+	if m.ModsSent != 12 {
+		t.Errorf("ModsSent = %d, want 12 (6 updates x delete+add on goto)", m.ModsSent)
+	}
+}
+
+func TestFaultChurnSurvivesLossAndCut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dials TCP with injected faults")
+	}
+	// The acceptance scenario: seeded loss, jitter, and one forced
+	// disconnect — the run must complete with zero lost flow-mods and the
+	// exact fault-free final state.
+	fs := FaultSpec{
+		Loss:       0.05,
+		Jitter:     500 * time.Microsecond,
+		Cut:        true,
+		Seed:       9,
+		RPCTimeout: 200 * time.Millisecond,
+	}
+	for _, rep := range []usecases.Representation{usecases.RepUniversal, usecases.RepGoto} {
+		row, err := FaultChurnOne(faultCfg(), rep, 8, fs)
+		if err != nil {
+			t.Fatalf("%s: %v", rep, err)
+		}
+		if !row.StateOK {
+			t.Errorf("%s: state diverged from fault-free run", rep)
+		}
+		if row.Client.Reconnects != 1 {
+			t.Errorf("%s: reconnects = %d, want 1 (one forced cut)", rep, row.Client.Reconnects)
+		}
+		if row.Sessions != 2 {
+			t.Errorf("%s: sessions = %d, want 2", rep, row.Sessions)
+		}
+	}
+}
+
+func TestFaultChurnCountersAreSeedDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dials TCP with injected faults")
+	}
+	fs := FaultSpec{Loss: 0.08, Cut: true, Seed: 31, RPCTimeout: 200 * time.Millisecond}
+	a, err := FaultChurnOne(faultCfg(), usecases.RepGoto, 8, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FaultChurnOne(faultCfg(), usecases.RepGoto, 8, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, bm := a.Client, b.Client
+	if am.ModsSent != bm.ModsSent || am.ModsResent != bm.ModsResent ||
+		am.Retries != bm.Retries || am.Timeouts != bm.Timeouts ||
+		am.Reconnects != bm.Reconnects {
+		t.Errorf("same seed produced different counters:\n%+v\n%+v", am, bm)
+	}
+	if a.DupsSkipped != b.DupsSkipped {
+		t.Errorf("DupsSkipped diverged: %d vs %d", a.DupsSkipped, b.DupsSkipped)
+	}
+	if !a.StateOK || !b.StateOK {
+		t.Errorf("state diverged under faults: %v %v", a.StateOK, b.StateOK)
+	}
+}

@@ -12,6 +12,7 @@
 package controlplane
 
 import (
+	"context"
 	"fmt"
 
 	"manorm/internal/mat"
@@ -219,7 +220,11 @@ func CounterPlacement(g *usecases.GwLB, rep usecases.Representation, svcIdx int)
 }
 
 // Controller drives a switch over the OpenFlow channel, keeping the
-// desired service state and applying intents through the planners.
+// desired service state and applying intents through the planners. Every
+// intent takes a context for cancellation and deadlines; channel failures
+// propagate as the openflow package's typed errors (errors.Is against
+// openflow.ErrTimeout / ErrClosed, errors.As for *openflow.OpError and
+// *openflow.SwitchError), wrapped with the failing intent.
 type Controller struct {
 	Client *openflow.Client
 	Rep    usecases.Representation
@@ -227,23 +232,26 @@ type Controller struct {
 }
 
 // Apply pushes a plan and commits it with a barrier.
-func (c *Controller) Apply(p *Plan) error {
+func (c *Controller) Apply(ctx context.Context, p *Plan) error {
 	for i := range p.Mods {
-		if err := c.Client.SendFlowMod(&p.Mods[i]); err != nil {
-			return err
+		if err := c.Client.SendFlowMod(ctx, &p.Mods[i]); err != nil {
+			return fmt.Errorf("controlplane: apply mod %d/%d: %w", i+1, len(p.Mods), err)
 		}
 	}
-	return c.Client.Barrier()
+	if err := c.Client.Barrier(ctx); err != nil {
+		return fmt.Errorf("controlplane: apply commit: %w", err)
+	}
+	return nil
 }
 
 // ChangeServicePort executes the port-change intent end to end and
 // records the new desired state. It returns the entries touched.
-func (c *Controller) ChangeServicePort(svcIdx int, newPort uint16) (int, error) {
+func (c *Controller) ChangeServicePort(ctx context.Context, svcIdx int, newPort uint16) (int, error) {
 	p, err := PlanPortChange(c.Config, c.Rep, svcIdx, newPort)
 	if err != nil {
 		return 0, err
 	}
-	if err := c.Apply(p); err != nil {
+	if err := c.Apply(ctx, p); err != nil {
 		return 0, err
 	}
 	c.Config.Services[svcIdx].Port = newPort
@@ -251,12 +259,12 @@ func (c *Controller) ChangeServicePort(svcIdx int, newPort uint16) (int, error) 
 }
 
 // ChangeServiceVIP executes the VIP renumbering intent end to end.
-func (c *Controller) ChangeServiceVIP(svcIdx int, newVIP uint32) (int, error) {
+func (c *Controller) ChangeServiceVIP(ctx context.Context, svcIdx int, newVIP uint32) (int, error) {
 	p, err := PlanVIPChange(c.Config, c.Rep, svcIdx, newVIP)
 	if err != nil {
 		return 0, err
 	}
-	if err := c.Apply(p); err != nil {
+	if err := c.Apply(ctx, p); err != nil {
 		return 0, err
 	}
 	c.Config.Services[svcIdx].VIP = newVIP
@@ -265,14 +273,14 @@ func (c *Controller) ChangeServiceVIP(svcIdx int, newVIP uint32) (int, error) {
 
 // ReadServiceTraffic sums the counters monitoring one service, returning
 // the aggregate count and how many counters had to be read.
-func (c *Controller) ReadServiceTraffic(svcIdx int) (total uint64, countersRead int, err error) {
+func (c *Controller) ReadServiceTraffic(ctx context.Context, svcIdx int) (total uint64, countersRead int, err error) {
 	stage, entries, err := CounterPlacement(c.Config, c.Rep, svcIdx)
 	if err != nil {
 		return 0, 0, err
 	}
-	counts, err := c.Client.ReadStats(stage)
+	counts, err := c.Client.ReadStats(ctx, stage)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, fmt.Errorf("controlplane: traffic read: %w", err)
 	}
 	for _, ei := range entries {
 		if ei >= len(counts) {

@@ -1,6 +1,7 @@
 package controlplane
 
 import (
+	"context"
 	"net"
 	"testing"
 
@@ -82,8 +83,8 @@ func endToEnd(t *testing.T, g *usecases.GwLB, rep usecases.Representation, sw sw
 		t.Fatal(err)
 	}
 	a, b := net.Pipe()
-	go agent.Serve(openflow.NewConn(a)) //nolint:errcheck — ends with the pipe
-	client, err := openflow.NewClient(openflow.NewConn(b))
+	go agent.Serve(context.Background(), a) //nolint:errcheck — ends with the pipe
+	client, err := openflow.NewClient(b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestPortChangeEndToEndAllReps(t *testing.T) {
 		oldPort := svc.Port
 		newPort := uint16(9999)
 
-		touched, err := ctl.ChangeServicePort(2, newPort)
+		touched, err := ctl.ChangeServicePort(context.Background(), 2, newPort)
 		if err != nil {
 			t.Fatalf("%s: %v", rep, err)
 		}
@@ -134,7 +135,7 @@ func TestVIPChangeEndToEnd(t *testing.T) {
 		svc := g.Services[1]
 		oldVIP := svc.VIP
 		newVIP := uint32(0xC00002F0)
-		if _, err := ctl.ChangeServiceVIP(1, newVIP); err != nil {
+		if _, err := ctl.ChangeServiceVIP(context.Background(), 1, newVIP); err != nil {
 			t.Fatalf("%s: %v", rep, err)
 		}
 		v, err := sw.Process(packet.TCP4(1, 2, 0x01000000, newVIP, 1234, svc.Port))
@@ -170,7 +171,7 @@ func TestMonitorabilityEndToEnd(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		total, reads, err := ctl.ReadServiceTraffic(3)
+		total, reads, err := ctl.ReadServiceTraffic(context.Background(), 3)
 		if err != nil {
 			t.Fatalf("%s: %v", tc.rep, err)
 		}

@@ -1,0 +1,161 @@
+// Package faultconn wraps a net.Conn with seeded, deterministic fault
+// injection: added latency and jitter, message (frame) drops, chunked
+// partial reads, and forced mid-stream disconnects. It is the adversary
+// the resilient control channel (internal/openflow) is tested and
+// measured against.
+//
+// Faults are frame-aligned by design: the wrapped protocol writes one
+// frame per Write call, so dropping an entire Write models message loss
+// on a lossy channel without desynchronizing the peer's framing — the
+// same abstraction level at which a real controller sees loss (an
+// OpenFlow message that never arrives), while forced cuts exercise the
+// desynchronization paths too. All randomness is drawn from per-direction
+// PRNGs seeded from Config.Seed, so a fixed seed yields a reproducible
+// fault schedule: for a protocol whose write sequence is deterministic,
+// drop decisions, delays and cut points are identical across runs.
+package faultconn
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjectedCut reports a forced mid-stream disconnect.
+var ErrInjectedCut = errors.New("faultconn: injected disconnect")
+
+// Config selects the faults to inject. The zero value injects nothing.
+type Config struct {
+	// Seed drives the fault schedule. Write-side and read-side draws use
+	// independent streams derived from it, so concurrent readers do not
+	// perturb the write-side (counter-relevant) schedule.
+	Seed int64
+	// DropRate is the probability that one Write call (one protocol
+	// frame) is silently discarded.
+	DropRate float64
+	// Latency delays every delivered write; Jitter adds a uniform draw
+	// from [0, Jitter) on top.
+	Latency time.Duration
+	Jitter  time.Duration
+	// MaxReadChunk caps the bytes returned per Read at a random size in
+	// [1, MaxReadChunk], forcing the peer to reassemble frames from
+	// partial reads. 0 disables chunking.
+	MaxReadChunk int
+	// CutAfterWrites force-closes the transport when the Nth delivered
+	// or dropped Write is reached (0 = never). With CutMidFrame the cut
+	// lands mid-frame: a prefix of the frame is delivered first, so the
+	// peer sees a truncated read.
+	CutAfterWrites int
+	CutMidFrame    bool
+}
+
+// Stats counts injected faults; fields are read with atomic loads via the
+// accessor methods.
+type Stats struct {
+	writes  int64
+	dropped int64
+	cuts    int64
+	reads   int64
+}
+
+// Writes returns Write calls observed (delivered + dropped).
+func (s *Stats) Writes() int64 { return atomic.LoadInt64(&s.writes) }
+
+// Dropped returns frames silently discarded.
+func (s *Stats) Dropped() int64 { return atomic.LoadInt64(&s.dropped) }
+
+// Cuts returns forced disconnects (0 or 1 per conn).
+func (s *Stats) Cuts() int64 { return atomic.LoadInt64(&s.cuts) }
+
+// Reads returns Read calls observed.
+func (s *Stats) Reads() int64 { return atomic.LoadInt64(&s.reads) }
+
+// Conn is a fault-injecting net.Conn. Deadlines, addresses and Close pass
+// through to the wrapped transport.
+type Conn struct {
+	net.Conn
+	cfg   Config
+	stats *Stats
+
+	wmu    sync.Mutex
+	wrng   *rand.Rand
+	writes int
+	cut    bool
+
+	rmu  sync.Mutex
+	rrng *rand.Rand
+}
+
+// Wrap decorates a transport with the configured faults.
+func Wrap(c net.Conn, cfg Config) *Conn {
+	return &Conn{
+		Conn:  c,
+		cfg:   cfg,
+		stats: &Stats{},
+		wrng:  rand.New(rand.NewSource(cfg.Seed)),
+		rrng:  rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D)),
+	}
+}
+
+// Stats exposes the fault counters (shared with the connection; safe to
+// read concurrently).
+func (c *Conn) Stats() *Stats { return c.stats }
+
+// Write delivers, delays, drops, or cuts one outgoing frame.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.cut {
+		return 0, ErrInjectedCut
+	}
+	c.writes++
+	atomic.AddInt64(&c.stats.writes, 1)
+
+	if c.cfg.CutAfterWrites > 0 && c.writes >= c.cfg.CutAfterWrites {
+		c.cut = true
+		atomic.AddInt64(&c.stats.cuts, 1)
+		if c.cfg.CutMidFrame && len(p) > 1 {
+			// Deliver a prefix so the peer observes a truncated frame,
+			// then kill the transport mid-stream.
+			_, _ = c.Conn.Write(p[:1+c.wrng.Intn(len(p)-1)])
+		}
+		_ = c.Conn.Close()
+		return 0, ErrInjectedCut
+	}
+	if c.cfg.DropRate > 0 && c.wrng.Float64() < c.cfg.DropRate {
+		// Silent loss: report success so the sender believes the frame
+		// is on the wire.
+		atomic.AddInt64(&c.stats.dropped, 1)
+		return len(p), nil
+	}
+	if d := c.writeDelay(); d > 0 {
+		time.Sleep(d)
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *Conn) writeDelay() time.Duration {
+	d := c.cfg.Latency
+	if c.cfg.Jitter > 0 {
+		d += time.Duration(c.wrng.Int63n(int64(c.cfg.Jitter)))
+	}
+	return d
+}
+
+// Read returns at most a random chunk of the available bytes, forcing
+// frame reassembly in the peer's framing layer.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	atomic.AddInt64(&c.stats.reads, 1)
+	if c.cfg.MaxReadChunk > 0 && len(p) > 1 {
+		n := 1 + c.rrng.Intn(c.cfg.MaxReadChunk)
+		if n < len(p) {
+			p = p[:n]
+		}
+	}
+	return c.Conn.Read(p)
+}

@@ -1,0 +1,211 @@
+package faultconn
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// sinkConn is a minimal net.Conn that records delivered writes.
+type sinkConn struct {
+	net.Conn
+	wrote  [][]byte
+	closed bool
+}
+
+func (s *sinkConn) Write(p []byte) (int, error) {
+	s.wrote = append(s.wrote, append([]byte(nil), p...))
+	return len(p), nil
+}
+func (s *sinkConn) Close() error { s.closed = true; return nil }
+
+// srcConn is a minimal net.Conn serving a fixed byte stream.
+type srcConn struct {
+	net.Conn
+	buf []byte
+}
+
+func (s *srcConn) Read(p []byte) (int, error) {
+	if len(s.buf) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, s.buf)
+	s.buf = s.buf[n:]
+	return n, nil
+}
+
+func dropSchedule(seed int64, rate float64, frames int) []bool {
+	sink := &sinkConn{}
+	c := Wrap(sink, Config{Seed: seed, DropRate: rate})
+	out := make([]bool, frames)
+	for i := 0; i < frames; i++ {
+		before := len(sink.wrote)
+		if _, err := c.Write([]byte{byte(i)}); err != nil {
+			panic(err)
+		}
+		out[i] = len(sink.wrote) == before
+	}
+	return out
+}
+
+func TestDropScheduleIsSeedDeterministic(t *testing.T) {
+	a := dropSchedule(42, 0.3, 500)
+	b := dropSchedule(42, 0.3, 500)
+	dropped := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("frame %d: schedules diverged", i)
+		}
+		if a[i] {
+			dropped++
+		}
+	}
+	if dropped < 100 || dropped > 200 {
+		t.Errorf("dropped %d/500 at rate 0.3, far from expectation", dropped)
+	}
+	c := dropSchedule(43, 0.3, 500)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Errorf("different seeds produced identical schedules")
+	}
+}
+
+func TestReadChunkingReassembles(t *testing.T) {
+	payload := make([]byte, 300)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	c := Wrap(&srcConn{buf: append([]byte(nil), payload...)}, Config{Seed: 9, MaxReadChunk: 5})
+	var got []byte
+	buf := make([]byte, 64)
+	for {
+		n, err := c.Read(buf)
+		if n > 5 {
+			t.Fatalf("read returned %d bytes, cap is 5", n)
+		}
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("chunked reads corrupted the stream")
+	}
+	if c.Stats().Reads() == 0 {
+		t.Errorf("read counter not advanced")
+	}
+}
+
+func TestCutAfterWrites(t *testing.T) {
+	sink := &sinkConn{}
+	c := Wrap(sink, Config{Seed: 1, CutAfterWrites: 3})
+	for i := 0; i < 2; i++ {
+		if _, err := c.Write([]byte("frame")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if _, err := c.Write([]byte("frame")); !errors.Is(err, ErrInjectedCut) {
+		t.Fatalf("3rd write err = %v, want ErrInjectedCut", err)
+	}
+	if !sink.closed {
+		t.Errorf("cut did not close the transport")
+	}
+	// Every later write fails too.
+	if _, err := c.Write([]byte("after")); !errors.Is(err, ErrInjectedCut) {
+		t.Fatalf("post-cut write err = %v, want ErrInjectedCut", err)
+	}
+	if got := c.Stats().Cuts(); got != 1 {
+		t.Errorf("cuts = %d, want 1", got)
+	}
+	if got := len(sink.wrote); got != 2 {
+		t.Errorf("delivered %d frames before the cut, want 2", got)
+	}
+}
+
+func TestCutMidFrameDeliversPrefix(t *testing.T) {
+	sink := &sinkConn{}
+	c := Wrap(sink, Config{Seed: 5, CutAfterWrites: 1, CutMidFrame: true})
+	frame := []byte("0123456789")
+	if _, err := c.Write(frame); !errors.Is(err, ErrInjectedCut) {
+		t.Fatalf("err = %v, want ErrInjectedCut", err)
+	}
+	if len(sink.wrote) != 1 {
+		t.Fatalf("mid-frame cut delivered %d writes, want 1 prefix", len(sink.wrote))
+	}
+	prefix := sink.wrote[0]
+	if len(prefix) == 0 || len(prefix) >= len(frame) {
+		t.Fatalf("prefix length %d, want in [1, %d)", len(prefix), len(frame))
+	}
+	if !bytes.Equal(prefix, frame[:len(prefix)]) {
+		t.Fatalf("prefix content mismatch")
+	}
+}
+
+func TestLatencyAndJitterDelayWrites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	sink := &sinkConn{}
+	c := Wrap(sink, Config{Seed: 2, Latency: 10 * time.Millisecond, Jitter: 5 * time.Millisecond})
+	start := time.Now()
+	const frames = 5
+	for i := 0; i < frames; i++ {
+		if _, err := c.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed < frames*10*time.Millisecond {
+		t.Errorf("%d delayed writes took %v, want >= %v", frames, elapsed, frames*10*time.Millisecond)
+	}
+	if got := c.Stats().Writes(); got != frames {
+		t.Errorf("writes = %d, want %d", got, frames)
+	}
+}
+
+// TestFullDuplexOverPipe exercises the wrapper on a real bidirectional
+// transport: reader chunking on one side must not perturb the write-side
+// fault schedule (independent RNG streams).
+func TestFullDuplexOverPipe(t *testing.T) {
+	a, b := net.Pipe()
+	fa := Wrap(a, Config{Seed: 77, MaxReadChunk: 3})
+	done := make(chan []byte, 1)
+	go func() {
+		var got []byte
+		buf := make([]byte, 16)
+		for len(got) < 40 {
+			n, err := fa.Read(buf)
+			if err != nil {
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+		done <- got
+	}()
+	want := make([]byte, 40)
+	for i := range want {
+		want[i] = byte(i)
+	}
+	for i := 0; i < len(want); i += 8 {
+		if _, err := b.Write(want[i : i+8]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := <-done
+	if !bytes.Equal(got, want) {
+		t.Fatalf("duplex stream corrupted: got %v", got)
+	}
+	a.Close()
+	b.Close()
+}

@@ -1,8 +1,12 @@
 package openflow
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"net"
 	"sync"
+	"sync/atomic"
 
 	"manorm/internal/mat"
 	"manorm/internal/switches"
@@ -13,6 +17,15 @@ import (
 // the backing switch model. Modifications take effect at the next barrier,
 // giving the barrier the OpenFlow commit semantics the reactiveness
 // experiment counts on.
+//
+// The agent degrades gracefully under a faulty channel: pipeline state
+// lives in the Agent, not the session, so a disconnect (or, by default, a
+// malformed frame) ends only the connection — the switch keeps forwarding
+// on its last committed tables, and a reattached controller resynchronizes
+// by resending unacknowledged flow-mods, which the agent deduplicates by
+// xid. Each barrier reply carries the receipt list of flow-mod xids
+// covered since the previous barrier, closing the loop for clients on
+// lossy channels.
 type Agent struct {
 	mu sync.Mutex
 	sw switches.Switch
@@ -22,12 +35,35 @@ type Agent struct {
 	// ModsApplied counts flow-mods accepted since creation — the
 	// control-plane churn metric of §2/§5.
 	ModsApplied int
+
+	strictDecode bool
+	// applied records flow-mod xids already applied, so resent mods
+	// (after drops or reconnects) are acknowledged without re-applying.
+	applied map[uint32]bool
+	// epochAcks accumulates the xids covered since the last barrier
+	// reply — the receipt list shipped in the next TypeBarrierReply.
+	epochAcks []uint32
+
+	// DupsSkipped counts deduplicated flow-mod re-deliveries,
+	// DecodeErrors malformed frames survived, Sessions control sessions
+	// served. Read with atomic.LoadInt64.
+	DupsSkipped  int64
+	DecodeErrors int64
+	Sessions     int64
 }
+
+// maxAcksPerReply bounds the barrier-reply receipt list; overflow stays
+// queued for the next barrier (the client resends unacked mods, which
+// dedup absorbs).
+const maxAcksPerReply = 1 << 15
 
 // NewAgent creates an agent fronting a switch model with an initial
 // pipeline.
-func NewAgent(sw switches.Switch, p *mat.Pipeline) (*Agent, error) {
-	a := &Agent{sw: sw, pipeline: p}
+func NewAgent(sw switches.Switch, p *mat.Pipeline, opts ...AgentOption) (*Agent, error) {
+	a := &Agent{sw: sw, pipeline: p, applied: make(map[uint32]bool)}
+	for _, o := range opts {
+		o(a)
+	}
 	if err := sw.Install(p); err != nil {
 		return nil, err
 	}
@@ -41,15 +77,36 @@ func (a *Agent) Pipeline() *mat.Pipeline {
 	return a.pipeline
 }
 
-// Serve handles control messages on the connection until it closes. It is
-// the switch's control-channel main loop.
-func (a *Agent) Serve(c *Conn) error {
+// Serve handles control messages on the connection until it closes, the
+// context is canceled, or (under WithStrictDecode) a malformed frame
+// arrives. It is the switch's control-channel main loop; the agent may
+// serve any number of sessions sequentially or concurrently.
+func (a *Agent) Serve(ctx context.Context, rw net.Conn) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c := NewConn(rw)
+	atomic.AddInt64(&a.Sessions, 1)
+	stop := context.AfterFunc(ctx, func() { c.Close() })
+	defer stop()
 	if err := c.Send(&Message{Type: TypeHello}); err != nil {
 		return err
 	}
 	for {
 		m, err := c.Recv()
 		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return ctxErr
+			}
+			if (errors.Is(err, ErrBadFrame) || errors.Is(err, ErrUnsupported)) && !c.Broken() {
+				// The frame was consumed whole; the stream is still
+				// synchronized. Report and keep serving unless strict.
+				atomic.AddInt64(&a.DecodeErrors, 1)
+				if !a.strictDecode {
+					_ = c.Send(&Message{Type: TypeError, XID: recvXID(err), Err: err.Error()})
+					continue
+				}
+			}
 			return err
 		}
 		if err := a.handle(c, m); err != nil {
@@ -65,15 +122,19 @@ func (a *Agent) handle(c *Conn, m *Message) error {
 	case TypeEchoRequest:
 		return c.Send(&Message{Type: TypeEchoReply, XID: m.XID, Payload: m.Payload})
 	case TypeFlowMod:
-		if err := a.ApplyFlowMod(m.Flow); err != nil {
+		applied, err := a.applyFlowModXID(m.XID, m.Flow)
+		if err != nil {
 			return c.Send(&Message{Type: TypeError, XID: m.XID, Err: err.Error()})
+		}
+		if !applied {
+			atomic.AddInt64(&a.DupsSkipped, 1)
 		}
 		return nil
 	case TypeBarrierRequest:
 		if err := a.Commit(); err != nil {
 			return c.Send(&Message{Type: TypeError, XID: m.XID, Err: err.Error()})
 		}
-		return c.Send(&Message{Type: TypeBarrierReply, XID: m.XID})
+		return c.Send(&Message{Type: TypeBarrierReply, XID: m.XID, Payload: a.takeEpochAcks()})
 	case TypeStatsRequest:
 		stats, err := a.ReadStats(int(m.Stats.TableID))
 		if err != nil {
@@ -81,55 +142,110 @@ func (a *Agent) handle(c *Conn, m *Message) error {
 		}
 		return c.Send(&Message{Type: TypeStatsReply, XID: m.XID, Stats: stats})
 	default:
-		return c.Send(&Message{Type: TypeError, XID: m.XID, Err: fmt.Sprintf("unhandled type %s", m.Type)})
+		return c.Send(&Message{Type: TypeError, XID: m.XID, Err: unsupported("unhandled type %s", m.Type).Error()})
 	}
+}
+
+// applyFlowModXID applies one flow-mod with xid deduplication: a
+// re-delivered xid is acknowledged (it joins the barrier receipt list)
+// but not re-applied, making client resends idempotent. xid 0 bypasses
+// dedup.
+func (a *Agent) applyFlowModXID(xid uint32, f *FlowMod) (bool, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if xid != 0 && a.applied[xid] {
+		a.epochAcks = append(a.epochAcks, xid)
+		return false, nil
+	}
+	if err := a.applyLocked(f); err != nil {
+		return false, err
+	}
+	if xid != 0 {
+		a.applied[xid] = true
+		a.pruneAppliedLocked(xid)
+		a.epochAcks = append(a.epochAcks, xid)
+	}
+	return true, nil
+}
+
+// pruneAppliedLocked bounds the dedup map: once it exceeds 64k entries,
+// xids far behind the current one are forgotten (a client never resends a
+// mod that old — resend queues drain at every successful barrier).
+func (a *Agent) pruneAppliedLocked(latest uint32) {
+	if len(a.applied) <= 1<<16 {
+		return
+	}
+	horizon := latest - 1<<15
+	for x := range a.applied {
+		if x < horizon {
+			delete(a.applied, x)
+		}
+	}
+}
+
+// takeEpochAcks drains (up to maxAcksPerReply of) the receipt list into
+// wire format.
+func (a *Agent) takeEpochAcks() []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := len(a.epochAcks)
+	if n > maxAcksPerReply {
+		n = maxAcksPerReply
+	}
+	b := appendAckXIDs(nil, a.epochAcks[:n])
+	a.epochAcks = append(a.epochAcks[:0], a.epochAcks[n:]...)
+	return b
 }
 
 // ApplyFlowMod applies one modification to the logical pipeline. The
 // change is installed into the switch at the next Commit (barrier).
 func (a *Agent) ApplyFlowMod(f *FlowMod) error {
-	if f == nil {
-		return fmt.Errorf("openflow: nil flow-mod")
-	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	return a.applyLocked(f)
+}
+
+func (a *Agent) applyLocked(f *FlowMod) error {
+	if f == nil {
+		return badFrame("nil flow-mod")
+	}
 	if int(f.TableID) >= len(a.pipeline.Stages) {
-		return fmt.Errorf("openflow: table %d out of range", f.TableID)
+		return opErr("flow-mod", 0, int(f.TableID), fmt.Errorf("%w: table %d out of range", ErrUnsupported, f.TableID))
 	}
 	t := a.pipeline.Stages[f.TableID].Table
 
 	match, err := matchRow(t, f.Match)
 	if err != nil {
-		return err
+		return opErr("flow-mod", 0, int(f.TableID), err)
 	}
 	idx := findEntry(t, match)
 
 	switch f.Command {
 	case FlowAdd:
 		if idx >= 0 {
-			return fmt.Errorf("openflow: duplicate entry in table %d", f.TableID)
+			return opErr("flow-mod", 0, int(f.TableID), fmt.Errorf("duplicate entry in table %d", f.TableID))
 		}
 		row, err := fullRow(t, match, f.Actions)
 		if err != nil {
-			return err
+			return opErr("flow-mod", 0, int(f.TableID), err)
 		}
 		t.Entries = append(t.Entries, row)
 	case FlowModify:
 		if idx < 0 {
-			return fmt.Errorf("openflow: modify: no such entry in table %d", f.TableID)
+			return opErr("flow-mod", 0, int(f.TableID), fmt.Errorf("modify: no such entry in table %d", f.TableID))
 		}
 		row, err := fullRow(t, match, f.Actions)
 		if err != nil {
-			return err
+			return opErr("flow-mod", 0, int(f.TableID), err)
 		}
 		t.Entries[idx] = row
 	case FlowDelete:
 		if idx < 0 {
-			return fmt.Errorf("openflow: delete: no such entry in table %d", f.TableID)
+			return opErr("flow-mod", 0, int(f.TableID), fmt.Errorf("delete: no such entry in table %d", f.TableID))
 		}
 		t.Entries = append(t.Entries[:idx], t.Entries[idx+1:]...)
 	default:
-		return fmt.Errorf("openflow: unknown flow-mod command %d", f.Command)
+		return opErr("flow-mod", 0, int(f.TableID), fmt.Errorf("%w: unknown flow-mod command %d", ErrUnsupported, f.Command))
 	}
 	a.ModsApplied++
 	a.dirty = true
@@ -145,18 +261,18 @@ func (a *Agent) Commit() error {
 		return nil
 	}
 	if err := a.pipeline.Validate(); err != nil {
-		return err
+		return opErr("commit", 0, -1, err)
 	}
 	// Install-time classifier validation: a flow-mod batch must not
 	// create entries whose regions overlap at equal specificity — such
 	// packets would have no most-specific winner.
 	for si := range a.pipeline.Stages {
 		if amb := a.pipeline.Stages[si].Table.AmbiguousPairs(); len(amb) > 0 {
-			return fmt.Errorf("openflow: table %d has ambiguous entries %v; rejecting commit", si, amb[0])
+			return opErr("commit", 0, si, fmt.Errorf("table %d has ambiguous entries %v; rejecting commit", si, amb[0]))
 		}
 	}
 	if err := a.sw.Install(a.pipeline); err != nil {
-		return err
+		return opErr("commit", 0, -1, err)
 	}
 	a.sw.ApplyMods(1)
 	a.dirty = false
@@ -168,7 +284,7 @@ func (a *Agent) ReadStats(table int) (*Stats, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if table >= len(a.pipeline.Stages) || table < 0 {
-		return nil, fmt.Errorf("openflow: table %d out of range", table)
+		return nil, opErr("stats", 0, table, fmt.Errorf("%w: table %d out of range", ErrUnsupported, table))
 	}
 	return &Stats{TableID: uint8(table), Counts: a.sw.Counters(table)}, nil
 }
@@ -183,10 +299,10 @@ func matchRow(t *mat.Table, fields []MatchField) ([]mat.Cell, error) {
 	for _, f := range fields {
 		i := t.Schema.Index(f.Name)
 		if i < 0 {
-			return nil, fmt.Errorf("openflow: table %s has no match field %q", t.Name, f.Name)
+			return nil, fmt.Errorf("table %s has no match field %q", t.Name, f.Name)
 		}
 		if t.Schema[i].Kind != mat.Field {
-			return nil, fmt.Errorf("openflow: attribute %q is not a match field", f.Name)
+			return nil, fmt.Errorf("attribute %q is not a match field", f.Name)
 		}
 		cells[i] = f.Cell.Canonical(t.Schema[i].Width)
 	}
@@ -219,17 +335,17 @@ func fullRow(t *mat.Table, match []mat.Cell, actions []ActionField) (mat.Entry, 
 	for _, af := range actions {
 		i := t.Schema.Index(af.Name)
 		if i < 0 {
-			return nil, fmt.Errorf("openflow: table %s has no action %q", t.Name, af.Name)
+			return nil, fmt.Errorf("table %s has no action %q", t.Name, af.Name)
 		}
 		if t.Schema[i].Kind != mat.Action {
-			return nil, fmt.Errorf("openflow: attribute %q is not an action", af.Name)
+			return nil, fmt.Errorf("attribute %q is not an action", af.Name)
 		}
 		row[i] = mat.Exact(af.Value, t.Schema[i].Width)
 		provided[i] = true
 	}
 	for _, ai := range t.Schema.Actions() {
 		if !provided[ai] {
-			return nil, fmt.Errorf("openflow: action %q missing from flow-mod", t.Schema[ai].Name)
+			return nil, fmt.Errorf("action %q missing from flow-mod", t.Schema[ai].Name)
 		}
 	}
 	return row, nil

@@ -2,20 +2,23 @@ package openflow
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // Conn frames messages over a net.Conn. Reads and writes are each
 // serialized internally, so one reader and one writer goroutine may share
 // a Conn.
 type Conn struct {
-	c  net.Conn
-	rm sync.Mutex
-	wm sync.Mutex
-	rb []byte
+	c      net.Conn
+	rm     sync.Mutex
+	wm     sync.Mutex
+	rb     []byte
+	broken atomic.Bool
 }
 
 // NewConn wraps a transport connection.
@@ -29,21 +32,36 @@ func (c *Conn) Send(m *Message) error {
 	}
 	c.wm.Lock()
 	defer c.wm.Unlock()
-	_, err = c.c.Write(frame)
-	return err
+	if _, err := c.c.Write(frame); err != nil {
+		return fmt.Errorf("openflow: send: %w: %w", ErrClosed, err)
+	}
+	return nil
 }
 
 // Recv reads and decodes the next message.
+//
+// Error classification matters for resilience: a decode failure of a
+// self-consistent frame (errors.Is(err, ErrBadFrame) with Broken() false)
+// leaves the stream positioned at the next frame, so a lenient endpoint
+// may keep serving. A corrupt length field desynchronizes the stream —
+// Recv marks the Conn broken and no further reads are meaningful. I/O
+// failures wrap ErrClosed.
 func (c *Conn) Recv() (*Message, error) {
 	c.rm.Lock()
 	defer c.rm.Unlock()
+	if c.broken.Load() {
+		return nil, opErr("recv", 0, -1, ErrClosed)
+	}
 	var hdr [8]byte
 	if _, err := io.ReadFull(c.c, hdr[:]); err != nil {
-		return nil, err
+		c.broken.Store(true)
+		return nil, fmt.Errorf("openflow: recv: %w: %w", ErrClosed, err)
 	}
 	length := int(binary.BigEndian.Uint16(hdr[2:]))
 	if length < 8 || length > maxMessage {
-		return nil, fmt.Errorf("openflow: bad frame length %d", length)
+		// The stream cannot be resynchronized past a corrupt length.
+		c.broken.Store(true)
+		return nil, badFrame("frame length %d out of range", length)
 	}
 	if cap(c.rb) < length {
 		c.rb = make([]byte, length)
@@ -51,10 +69,31 @@ func (c *Conn) Recv() (*Message, error) {
 	frame := c.rb[:length]
 	copy(frame, hdr[:])
 	if _, err := io.ReadFull(c.c, frame[8:]); err != nil {
-		return nil, err
+		c.broken.Store(true)
+		return nil, fmt.Errorf("openflow: recv: %w: %w", ErrClosed, err)
 	}
-	return Decode(frame)
+	m, err := Decode(frame)
+	if err != nil {
+		// The frame was fully consumed: the stream stays usable. Recover
+		// the xid from the header so lenient peers can address their
+		// TypeError reply.
+		return nil, opErr("recv", binary.BigEndian.Uint32(hdr[4:]), -1, err)
+	}
+	return m, nil
 }
+
+// Broken reports whether the receive stream has desynchronized (corrupt
+// framing) or hit an I/O error; once broken, the connection is useless.
+func (c *Conn) Broken() bool { return c.broken.Load() }
 
 // Close closes the transport.
 func (c *Conn) Close() error { return c.c.Close() }
+
+// recvXID extracts the xid of a failed Recv, when one was recovered.
+func recvXID(err error) uint32 {
+	var oe *OpError
+	if errors.As(err, &oe) {
+		return oe.XID
+	}
+	return 0
+}

@@ -1,0 +1,89 @@
+package openflow
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors classify every failure mode of the control channel.
+// They are the stable API surface: callers branch with errors.Is and
+// recover structured context with errors.As on *OpError / *SwitchError,
+// never by matching message strings.
+var (
+	// ErrTimeout reports an RPC that did not complete within the client's
+	// per-attempt deadline (the reply may still be in flight; retried
+	// attempts use fresh xids so stale replies are discarded).
+	ErrTimeout = errors.New("openflow: timeout")
+	// ErrClosed reports an operation on a closed or broken connection.
+	ErrClosed = errors.New("openflow: connection closed")
+	// ErrBadFrame reports a frame that failed to encode or decode. A
+	// decode failure of a self-consistent frame leaves the stream usable
+	// (the next frame starts right after it); a corrupt length field does
+	// not, and marks the Conn broken.
+	ErrBadFrame = errors.New("openflow: bad frame")
+	// ErrUnsupported reports a message type or flow-mod command the peer
+	// does not implement.
+	ErrUnsupported = errors.New("openflow: unsupported")
+)
+
+// OpError decorates a channel failure with the operation, the xid it was
+// issued under, and (for table-addressed operations) the table. It wraps
+// the underlying cause for errors.Is/As traversal.
+type OpError struct {
+	// Op names the failing operation: "rpc", "flow-mod", "barrier",
+	// "echo", "stats", "recv", "handshake", "reconnect".
+	Op string
+	// XID is the transaction the failure belongs to (0 when none).
+	XID uint32
+	// Table is the addressed table, or -1 when not table-addressed.
+	Table int
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *OpError) Error() string {
+	msg := fmt.Sprintf("openflow: %s", e.Op)
+	if e.XID != 0 {
+		msg += fmt.Sprintf(" xid=%d", e.XID)
+	}
+	if e.Table >= 0 {
+		msg += fmt.Sprintf(" table=%d", e.Table)
+	}
+	return msg + ": " + e.Err.Error()
+}
+
+func (e *OpError) Unwrap() error { return e.Err }
+
+// opErr wraps err with operation context, preserving an existing *OpError
+// rather than stacking a second layer of identical context.
+func opErr(op string, xid uint32, table int, err error) error {
+	if err == nil {
+		return nil
+	}
+	var oe *OpError
+	if errors.As(err, &oe) && oe.Op == op {
+		return err
+	}
+	return &OpError{Op: op, XID: xid, Table: table, Err: err}
+}
+
+// SwitchError is an error the switch reported over the wire (a TypeError
+// message). It is permanent: the client does not retry it.
+type SwitchError struct {
+	XID uint32
+	Msg string
+}
+
+func (e *SwitchError) Error() string {
+	return fmt.Sprintf("openflow: switch error (xid=%d): %s", e.XID, e.Msg)
+}
+
+// badFrame builds an ErrBadFrame-wrapped error with detail.
+func badFrame(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadFrame, fmt.Sprintf(format, args...))
+}
+
+// unsupported builds an ErrUnsupported-wrapped error with detail.
+func unsupported(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrUnsupported, fmt.Sprintf(format, args...))
+}

@@ -1,7 +1,11 @@
 package openflow
 
 import (
+	"errors"
+	"io"
 	"math/rand"
+	"net"
+	"reflect"
 	"testing"
 
 	"manorm/internal/mat"
@@ -64,6 +68,123 @@ func TestDecodeNeverPanics(t *testing.T) {
 			b[3] = byte(len(b))
 		}
 		_, _ = Decode(b)
+	}
+}
+
+// chunkedConn is a net.Conn stub whose Read returns at most a random
+// 1..maxChunk bytes per call, splitting frames across arbitrary
+// boundaries the way a congested TCP stream does.
+type chunkedConn struct {
+	net.Conn
+	buf      []byte
+	rng      *rand.Rand
+	maxChunk int
+}
+
+func (c *chunkedConn) Read(p []byte) (int, error) {
+	if len(c.buf) == 0 {
+		return 0, io.EOF
+	}
+	n := 1 + c.rng.Intn(c.maxChunk)
+	if n > len(c.buf) {
+		n = len(c.buf)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, c.buf[:n])
+	c.buf = c.buf[n:]
+	return n, nil
+}
+
+func (c *chunkedConn) Write(p []byte) (int, error) { return len(p), nil }
+func (c *chunkedConn) Close() error                { return nil }
+
+// TestRecvReassemblesPartialReads streams a batch of valid frames through
+// a transport that fragments them at random byte boundaries; Recv must
+// reassemble every message intact regardless of where the cuts land.
+func TestRecvReassemblesPartialReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		msgs := []*Message{
+			{Type: TypeHello, XID: 1},
+			{Type: TypeEchoRequest, XID: 2, Payload: []byte("fragmented payload")},
+			{Type: TypeFlowMod, XID: 3, Flow: &FlowMod{
+				Command: FlowAdd, TableID: 1,
+				Match:   []MatchField{{Name: "ip_dst", Width: 32, Cell: mat.IPv4("192.0.2.9")}},
+				Actions: []ActionField{{Name: "out", Width: 16, Value: 5}},
+			}},
+			{Type: TypeBarrierReply, XID: 4, Payload: appendAckXIDs(nil, []uint32{7, 8, 9})},
+			{Type: TypeStatsReply, XID: 5, Stats: &Stats{TableID: 2, Counts: []uint64{10, 20}}},
+		}
+		var stream []byte
+		for _, m := range msgs {
+			frame, err := Encode(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream = append(stream, frame...)
+		}
+		c := NewConn(&chunkedConn{buf: stream, rng: rng, maxChunk: 1 + rng.Intn(5)})
+		for i, want := range msgs {
+			got, err := c.Recv()
+			if err != nil {
+				t.Fatalf("trial %d: recv %d: %v", trial, i, err)
+			}
+			if got.Type != want.Type || got.XID != want.XID {
+				t.Fatalf("trial %d: recv %d: got %s/%d, want %s/%d",
+					trial, i, got.Type, got.XID, want.Type, want.XID)
+			}
+			if !reflect.DeepEqual(got.Payload, want.Payload) && len(want.Payload) > 0 {
+				t.Fatalf("trial %d: recv %d: payload mismatch", trial, i)
+			}
+		}
+		// The stream is exhausted: the next Recv fails with a channel
+		// error, not a hang or partial message.
+		if _, err := c.Recv(); !errors.Is(err, ErrClosed) {
+			t.Fatalf("trial %d: recv at EOF: err = %v, want ErrClosed", trial, err)
+		}
+	}
+}
+
+// TestRecvRecoverableVsFatal checks the error taxonomy Recv promises: a
+// self-consistent frame with an undecodable body is recoverable (the next
+// frame still parses), while a corrupt length field breaks the stream.
+func TestRecvRecoverableVsFatal(t *testing.T) {
+	good, err := Encode(&Message{Type: TypeEchoRequest, XID: 11, Payload: []byte("ok")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A well-framed message of an unknown type: consumed whole, stream
+	// stays synchronized.
+	unknown := []byte{Version, 200, 0, 8, 0, 0, 0, 42}
+	c := NewConn(&chunkedConn{buf: append(append([]byte(nil), unknown...), good...), rng: rand.New(rand.NewSource(1)), maxChunk: 3})
+	_, err = c.Recv()
+	if !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("unknown type: err = %v, want ErrUnsupported", err)
+	}
+	if c.Broken() {
+		t.Fatalf("recoverable decode failure marked the conn broken")
+	}
+	if recvXID(err) != 42 {
+		t.Fatalf("recovered xid = %d, want 42", recvXID(err))
+	}
+	m, err := c.Recv()
+	if err != nil || m.XID != 11 {
+		t.Fatalf("stream not synchronized after recoverable failure: %v, %+v", err, m)
+	}
+
+	// A corrupt length field cannot be resynchronized: fatal.
+	c = NewConn(&chunkedConn{buf: []byte{Version, byte(TypeHello), 0, 3, 0, 0, 0, 1}, rng: rand.New(rand.NewSource(1)), maxChunk: 8})
+	_, err = c.Recv()
+	if !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("corrupt length: err = %v, want ErrBadFrame", err)
+	}
+	if !c.Broken() {
+		t.Fatalf("corrupt length did not mark the conn broken")
+	}
+	if _, err := c.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("recv on broken conn: err = %v, want ErrClosed", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package openflow
 
 import (
+	"context"
 	"net"
 	"reflect"
 	"testing"
@@ -88,8 +89,8 @@ func pipePair(t *testing.T, g *usecases.GwLB, rep usecases.Representation) (*Cli
 		t.Fatal(err)
 	}
 	a, b := net.Pipe()
-	go agent.Serve(NewConn(a)) //nolint:errcheck — ends when the pipe closes
-	client, err := NewClient(NewConn(b))
+	go agent.Serve(context.Background(), a) //nolint:errcheck — ends when the pipe closes
+	client, err := NewClient(b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,10 +100,11 @@ func pipePair(t *testing.T, g *usecases.GwLB, rep usecases.Representation) (*Cli
 
 func TestEchoAndBarrier(t *testing.T) {
 	client, _, _ := pipePair(t, usecases.Fig1(), usecases.RepGoto)
-	if err := client.Echo([]byte("hello switch")); err != nil {
+	ctx := context.Background()
+	if err := client.Echo(ctx, []byte("hello switch")); err != nil {
 		t.Fatal(err)
 	}
-	if err := client.Barrier(); err != nil {
+	if err := client.Barrier(ctx); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -133,13 +135,14 @@ func TestServicePortUpdateOverChannel(t *testing.T) {
 		},
 		Actions: []ActionField{{Name: mat.GotoAttr, Width: 16, Value: 1}},
 	}
-	if err := client.SendFlowMod(del); err != nil {
+	ctx := context.Background()
+	if err := client.SendFlowMod(ctx, del); err != nil {
 		t.Fatal(err)
 	}
-	if err := client.SendFlowMod(add); err != nil {
+	if err := client.SendFlowMod(ctx, add); err != nil {
 		t.Fatal(err)
 	}
-	if err := client.Barrier(); err != nil {
+	if err := client.Barrier(ctx); err != nil {
 		t.Fatal(err)
 	}
 
@@ -168,7 +171,8 @@ func TestStatsOverChannel(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	counts, err := client.ReadStats(0)
+	ctx := context.Background()
+	counts, err := client.ReadStats(ctx, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,8 +182,9 @@ func TestStatsOverChannel(t *testing.T) {
 	if counts[0] != 7 {
 		t.Errorf("service 0 count = %d, want 7", counts[0])
 	}
-	// Out-of-range table errors.
-	if _, err := client.ReadStats(99); err == nil {
+	// Out-of-range table errors, and the failure is typed: the switch
+	// rejected it (not a channel fault), so it must not be retried.
+	if _, err := client.ReadStats(ctx, 99); err == nil {
 		t.Errorf("stats for bad table succeeded")
 	}
 }

@@ -108,7 +108,10 @@ type Message struct {
 	Stats *Stats
 	// Err carries the error text for TypeError.
 	Err string
-	// Payload carries opaque bytes for echo messages.
+	// Payload carries opaque bytes for echo messages, and the
+	// acknowledged flow-mod xids (big-endian uint32s) for
+	// TypeBarrierReply — the switch's receipt list that lets a client on
+	// a lossy channel detect silently dropped flow-mods and resend them.
 	Payload []byte
 }
 
@@ -130,7 +133,7 @@ func Encode(m *Message) ([]byte, error) {
 		return nil, err
 	}
 	if len(body)+8 > maxMessage {
-		return nil, fmt.Errorf("openflow: message too large: %d", len(body)+8)
+		return nil, badFrame("message too large: %d", len(body)+8)
 	}
 	out := make([]byte, 8+len(body))
 	out[0] = Version
@@ -144,20 +147,24 @@ func Encode(m *Message) ([]byte, error) {
 func encodeBody(m *Message) ([]byte, error) {
 	var b []byte
 	switch m.Type {
-	case TypeHello, TypeBarrierRequest, TypeBarrierReply:
+	case TypeHello, TypeBarrierRequest:
 		return nil, nil
+	case TypeBarrierReply:
+		// The payload is the ack-xid list (4-byte aligned by
+		// construction; see appendAckXIDs).
+		return m.Payload, nil
 	case TypeEchoRequest, TypeEchoReply:
 		return m.Payload, nil
 	case TypeError:
 		return append(b, m.Err...), nil
 	case TypeStatsRequest:
 		if m.Stats == nil {
-			return nil, fmt.Errorf("openflow: stats-request without selector")
+			return nil, badFrame("stats-request without selector")
 		}
 		return []byte{m.Stats.TableID}, nil
 	case TypeStatsReply:
 		if m.Stats == nil {
-			return nil, fmt.Errorf("openflow: stats-reply without stats")
+			return nil, badFrame("stats-reply without stats")
 		}
 		b = append(b, m.Stats.TableID)
 		b = appendUint32(b, uint32(len(m.Stats.Counts)))
@@ -168,7 +175,7 @@ func encodeBody(m *Message) ([]byte, error) {
 	case TypeFlowMod:
 		f := m.Flow
 		if f == nil {
-			return nil, fmt.Errorf("openflow: flow-mod without body")
+			return nil, badFrame("flow-mod without body")
 		}
 		b = append(b, byte(f.Command), f.TableID)
 		b = appendUint16(b, uint16(len(f.Match)))
@@ -185,25 +192,31 @@ func encodeBody(m *Message) ([]byte, error) {
 		}
 		return b, nil
 	default:
-		return nil, fmt.Errorf("openflow: cannot encode type %s", m.Type)
+		return nil, unsupported("cannot encode type %s", m.Type)
 	}
 }
 
 // Decode parses one full frame previously produced by Encode.
 func Decode(frame []byte) (*Message, error) {
 	if len(frame) < 8 {
-		return nil, fmt.Errorf("openflow: short frame: %d bytes", len(frame))
+		return nil, badFrame("short frame: %d bytes", len(frame))
 	}
 	if frame[0] != Version {
-		return nil, fmt.Errorf("openflow: bad version %d", frame[0])
+		return nil, badFrame("bad version %d", frame[0])
 	}
 	if int(binary.BigEndian.Uint16(frame[2:])) != len(frame) {
-		return nil, fmt.Errorf("openflow: length field %d != frame %d", binary.BigEndian.Uint16(frame[2:]), len(frame))
+		return nil, badFrame("length field %d != frame %d", binary.BigEndian.Uint16(frame[2:]), len(frame))
 	}
 	m := &Message{Type: MsgType(frame[1]), XID: binary.BigEndian.Uint32(frame[4:])}
 	body := frame[8:]
 	switch m.Type {
-	case TypeHello, TypeBarrierRequest, TypeBarrierReply:
+	case TypeHello, TypeBarrierRequest:
+		return m, nil
+	case TypeBarrierReply:
+		if len(body)%4 != 0 {
+			return nil, badFrame("barrier-reply ack list not 4-byte aligned")
+		}
+		m.Payload = append([]byte(nil), body...)
 		return m, nil
 	case TypeEchoRequest, TypeEchoReply:
 		m.Payload = append([]byte(nil), body...)
@@ -213,19 +226,19 @@ func Decode(frame []byte) (*Message, error) {
 		return m, nil
 	case TypeStatsRequest:
 		if len(body) != 1 {
-			return nil, fmt.Errorf("openflow: bad stats-request body")
+			return nil, badFrame("bad stats-request body")
 		}
 		m.Stats = &Stats{TableID: body[0]}
 		return m, nil
 	case TypeStatsReply:
 		if len(body) < 5 {
-			return nil, fmt.Errorf("openflow: bad stats-reply body")
+			return nil, badFrame("bad stats-reply body")
 		}
 		s := &Stats{TableID: body[0]}
 		n := binary.BigEndian.Uint32(body[1:])
 		body = body[5:]
 		if uint64(len(body)) != uint64(n)*8 {
-			return nil, fmt.Errorf("openflow: stats-reply length mismatch")
+			return nil, badFrame("stats-reply length mismatch")
 		}
 		for i := uint32(0); i < n; i++ {
 			s.Counts = append(s.Counts, binary.BigEndian.Uint64(body[i*8:]))
@@ -235,7 +248,7 @@ func Decode(frame []byte) (*Message, error) {
 	case TypeFlowMod:
 		f := &FlowMod{}
 		if len(body) < 4 {
-			return nil, fmt.Errorf("openflow: bad flow-mod body")
+			return nil, badFrame("bad flow-mod body")
 		}
 		f.Command = FlowModCommand(body[0])
 		f.TableID = body[1]
@@ -249,7 +262,7 @@ func Decode(frame []byte) (*Message, error) {
 				return nil, err
 			}
 			if len(body) < 10 {
-				return nil, fmt.Errorf("openflow: truncated match field")
+				return nil, badFrame("truncated match field")
 			}
 			mf.Width = body[0]
 			mf.Cell = mat.Cell{PLen: body[1], Bits: binary.BigEndian.Uint64(body[2:])}
@@ -257,7 +270,7 @@ func Decode(frame []byte) (*Message, error) {
 			f.Match = append(f.Match, mf)
 		}
 		if len(body) < 2 {
-			return nil, fmt.Errorf("openflow: truncated action count")
+			return nil, badFrame("truncated action count")
 		}
 		nAct := binary.BigEndian.Uint16(body)
 		body = body[2:]
@@ -268,7 +281,7 @@ func Decode(frame []byte) (*Message, error) {
 				return nil, err
 			}
 			if len(body) < 9 {
-				return nil, fmt.Errorf("openflow: truncated action field")
+				return nil, badFrame("truncated action field")
 			}
 			af.Width = body[0]
 			af.Value = binary.BigEndian.Uint64(body[1:])
@@ -276,13 +289,34 @@ func Decode(frame []byte) (*Message, error) {
 			f.Actions = append(f.Actions, af)
 		}
 		if len(body) != 0 {
-			return nil, fmt.Errorf("openflow: %d trailing bytes in flow-mod", len(body))
+			return nil, badFrame("%d trailing bytes in flow-mod", len(body))
 		}
 		m.Flow = f
 		return m, nil
 	default:
-		return nil, fmt.Errorf("openflow: unknown type %d", frame[1])
+		return nil, unsupported("unknown type %d", frame[1])
 	}
+}
+
+// appendAckXIDs encodes the barrier-reply receipt list.
+func appendAckXIDs(b []byte, xids []uint32) []byte {
+	for _, x := range xids {
+		b = appendUint32(b, x)
+	}
+	return b
+}
+
+// parseAckXIDs decodes a barrier-reply payload (validated 4-byte aligned
+// by Decode).
+func parseAckXIDs(payload []byte) []uint32 {
+	if len(payload) < 4 {
+		return nil
+	}
+	out := make([]uint32, 0, len(payload)/4)
+	for i := 0; i+4 <= len(payload); i += 4 {
+		out = append(out, binary.BigEndian.Uint32(payload[i:]))
+	}
+	return out
 }
 
 func appendUint16(b []byte, v uint16) []byte {
@@ -309,11 +343,11 @@ func appendString(b []byte, s string) []byte {
 
 func takeString(b []byte) (string, []byte, error) {
 	if len(b) < 1 {
-		return "", nil, fmt.Errorf("openflow: truncated string")
+		return "", nil, badFrame("truncated string")
 	}
 	n := int(b[0])
 	if len(b) < 1+n {
-		return "", nil, fmt.Errorf("openflow: truncated string body")
+		return "", nil, badFrame("truncated string body")
 	}
 	return string(b[1 : 1+n]), b[1+n:], nil
 }

@@ -1,0 +1,419 @@
+package openflow
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"manorm/internal/faultconn"
+	"manorm/internal/mat"
+	"manorm/internal/switches"
+	"manorm/internal/usecases"
+)
+
+func TestRetryPolicyBackoffSchedule(t *testing.T) {
+	cases := []struct {
+		name   string
+		policy RetryPolicy
+		want   []time.Duration // jitter-free expected delays per attempt
+	}{
+		{
+			name:   "doubling capped",
+			policy: RetryPolicy{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Multiplier: 2},
+			want: []time.Duration{
+				10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+				80 * time.Millisecond, 80 * time.Millisecond,
+			},
+		},
+		{
+			name:   "sub-unit multiplier is constant backoff",
+			policy: RetryPolicy{Base: 5 * time.Millisecond, Multiplier: 0.5},
+			want:   []time.Duration{5 * time.Millisecond, 5 * time.Millisecond, 5 * time.Millisecond},
+		},
+		{
+			name:   "uncapped growth",
+			policy: RetryPolicy{Base: time.Millisecond, Multiplier: 3},
+			want:   []time.Duration{time.Millisecond, 3 * time.Millisecond, 9 * time.Millisecond, 27 * time.Millisecond},
+		},
+		{
+			name:   "zero base disables backoff",
+			policy: RetryPolicy{Multiplier: 2, Max: time.Second},
+			want:   []time.Duration{0, 0, 0},
+		},
+	}
+	for _, tc := range cases {
+		for attempt, want := range tc.want {
+			if got := tc.policy.Delay(attempt, nil); got != want {
+				t.Errorf("%s: attempt %d: delay = %v, want %v", tc.name, attempt, got, want)
+			}
+		}
+	}
+}
+
+func TestRetryPolicyJitterBoundsAndDeterminism(t *testing.T) {
+	p := RetryPolicy{Base: 100 * time.Millisecond, Max: time.Second, Multiplier: 2, Jitter: 0.5}
+	rng1 := rand.New(rand.NewSource(7))
+	rng2 := rand.New(rand.NewSource(7))
+	for attempt := 0; attempt < 6; attempt++ {
+		center := p.Delay(attempt, nil)
+		d1 := p.Delay(attempt, rng1)
+		d2 := p.Delay(attempt, rng2)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", attempt, d1, d2)
+		}
+		lo := time.Duration(float64(center) * 0.75)
+		hi := time.Duration(float64(center) * 1.25)
+		if d1 < lo || d1 > hi {
+			t.Errorf("attempt %d: jittered delay %v outside [%v, %v]", attempt, d1, lo, hi)
+		}
+	}
+}
+
+// dropConn silently discards selected Write calls (1-based write index),
+// modeling frame loss on an otherwise healthy channel.
+type dropConn struct {
+	net.Conn
+	n    atomic.Int64
+	drop map[int64]bool
+}
+
+func (c *dropConn) Write(p []byte) (int, error) {
+	if c.drop[c.n.Add(1)] {
+		return len(p), nil
+	}
+	return c.Conn.Write(p)
+}
+
+func TestBarrierResendsDroppedFlowMods(t *testing.T) {
+	// The channel silently eats one of two flow-mods. The barrier receipt
+	// list exposes the gap; the client must resend and re-commit so no
+	// update is lost — without a reconnect (the conn stays healthy).
+	g := usecases.Fig1()
+	p, err := g.Build(usecases.RepGoto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := NewAgent(switches.NewESwitch(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := net.Pipe()
+	go agent.Serve(context.Background(), a) //nolint:errcheck — ends with the pipe
+	// Client writes: 1 = hello reply, 2 = first flow-mod (dropped),
+	// 3 = second flow-mod, 4 = barrier request, 5+ = recovery.
+	client, err := NewClient(&dropConn{Conn: b, drop: map[int64]bool{2: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx := context.Background()
+	del := &FlowMod{Command: FlowDelete, TableID: 0, Match: []MatchField{
+		{Name: "ip_dst", Width: 32, Cell: mat.IPv4("192.0.2.1")},
+		{Name: "tcp_dst", Width: 16, Cell: mat.Exact(80, 16)},
+	}}
+	add := &FlowMod{Command: FlowAdd, TableID: 0,
+		Match: []MatchField{
+			{Name: "ip_dst", Width: 32, Cell: mat.IPv4("192.0.2.1")},
+			{Name: "tcp_dst", Width: 16, Cell: mat.Exact(443, 16)},
+		},
+		Actions: []ActionField{{Name: mat.GotoAttr, Width: 16, Value: 1}},
+	}
+	if err := client.SendFlowMod(ctx, del); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.SendFlowMod(ctx, add); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Barrier(ctx); err != nil {
+		t.Fatalf("barrier over lossy channel: %v", err)
+	}
+
+	m := client.Metrics()
+	if m.ModsResent != 1 {
+		t.Errorf("ModsResent = %d, want 1", m.ModsResent)
+	}
+	if m.Reconnects != 0 {
+		t.Errorf("Reconnects = %d, want 0 (conn stayed healthy)", m.Reconnects)
+	}
+	if agent.ModsApplied != 2 {
+		t.Errorf("ModsApplied = %d, want 2 (no mod lost)", agent.ModsApplied)
+	}
+	if client.QueueLen() != 0 {
+		t.Errorf("resend queue not drained: %d", client.QueueLen())
+	}
+}
+
+func TestResendIsIdempotentAcrossReconnect(t *testing.T) {
+	// A forced mid-burst disconnect: delivered-but-unacknowledged
+	// flow-mods are replayed after the reconnect, and the agent's xid
+	// dedup must absorb the duplicates so the final state matches a
+	// fault-free run exactly.
+	if testing.Short() {
+		t.Skip("dials TCP")
+	}
+	run := func(cut bool) (string, ClientMetrics, *Agent) {
+		g := usecases.Fig1()
+		p, err := g.Build(usecases.RepGoto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agent, err := NewAgent(switches.NewESwitch(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		go func() {
+			for {
+				c, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				_ = agent.Serve(context.Background(), c)
+			}
+		}()
+		dials := 0
+		dialer := func() (net.Conn, error) {
+			raw, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				return nil, err
+			}
+			cfg := faultconn.Config{Seed: 3, MaxReadChunk: 5}
+			if cut && dials == 0 {
+				// Mid-burst: after the hello reply and the first three
+				// mods, the 5th write dies mid-frame.
+				cfg.CutAfterWrites = 5
+				cfg.CutMidFrame = true
+			}
+			dials++
+			return faultconn.Wrap(raw, cfg), nil
+		}
+		client, err := NewClient(nil,
+			WithDialer(dialer),
+			WithRPCTimeout(2*time.Second),
+			WithRetryPolicy(RetryPolicy{Base: time.Millisecond, Max: 10 * time.Millisecond, Multiplier: 2, Jitter: 0.25, MaxRetries: 6, Seed: 11}),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer client.Close()
+
+		ctx := context.Background()
+		// Three updates, one barrier each: move every Fig1 service to a
+		// fresh port.
+		ports := []uint16{80, 443, 22}
+		for i, vip := range []string{"192.0.2.1", "192.0.2.2", "192.0.2.3"} {
+			del := &FlowMod{Command: FlowDelete, TableID: 0, Match: []MatchField{
+				{Name: "ip_dst", Width: 32, Cell: mat.IPv4(vip)},
+				{Name: "tcp_dst", Width: 16, Cell: mat.Exact(uint64(ports[i]), 16)},
+			}}
+			add := &FlowMod{Command: FlowAdd, TableID: 0,
+				Match: []MatchField{
+					{Name: "ip_dst", Width: 32, Cell: mat.IPv4(vip)},
+					{Name: "tcp_dst", Width: 16, Cell: mat.Exact(uint64(7000+i), 16)},
+				},
+				Actions: []ActionField{{Name: mat.GotoAttr, Width: 16, Value: uint64(i + 1)}},
+			}
+			if err := client.SendFlowMod(ctx, del); err != nil {
+				t.Fatalf("update %d: %v", i, err)
+			}
+			if err := client.SendFlowMod(ctx, add); err != nil {
+				t.Fatalf("update %d: %v", i, err)
+			}
+			if err := client.Barrier(ctx); err != nil {
+				t.Fatalf("update %d barrier: %v", i, err)
+			}
+		}
+		state, err := json.Marshal(agent.Pipeline())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(state), client.Metrics(), agent
+	}
+
+	wantState, _, _ := run(false)
+	gotState, m, agent := run(true)
+	if m.Reconnects != 1 {
+		t.Errorf("Reconnects = %d, want 1", m.Reconnects)
+	}
+	if m.ModsResent == 0 {
+		t.Errorf("ModsResent = 0, want > 0 (queue replay after cut)")
+	}
+	if got := atomic.LoadInt64(&agent.Sessions); got != 2 {
+		t.Errorf("agent sessions = %d, want 2", got)
+	}
+	if gotState != wantState {
+		t.Errorf("final state diverged from fault-free run:\n got: %s\nwant: %s", gotState, wantState)
+	}
+}
+
+func TestContextCancelsClientOps(t *testing.T) {
+	client, _, _ := pipePair(t, usecases.Fig1(), usecases.RepGoto)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := client.Barrier(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("barrier: err = %v, want context.Canceled", err)
+	}
+	if err := client.SendFlowMod(ctx, &FlowMod{Command: FlowDelete, TableID: 0}); !errors.Is(err, context.Canceled) {
+		t.Errorf("flow-mod: err = %v, want context.Canceled", err)
+	}
+	// The client survives: a live context still works.
+	if err := client.Echo(context.Background(), []byte("still here")); err != nil {
+		t.Errorf("echo after canceled op: %v", err)
+	}
+}
+
+func TestContextStopsAgentServe(t *testing.T) {
+	g := usecases.Fig1()
+	p, err := g.Build(usecases.RepGoto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := NewAgent(switches.NewESwitch(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := net.Pipe()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- agent.Serve(ctx, a) }()
+	// Complete the handshake so Serve is parked in Recv.
+	nc := NewConn(b)
+	if m, err := nc.Recv(); err != nil || m.Type != TypeHello {
+		t.Fatalf("handshake: %+v, %v", m, err)
+	}
+	if err := nc.Send(&Message{Type: TypeHello}); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("Serve returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after context cancellation")
+	}
+}
+
+func TestSwitchRejectionSurfacesAsTypedError(t *testing.T) {
+	client, _, _ := pipePair(t, usecases.Fig1(), usecases.RepGoto)
+	ctx := context.Background()
+	// Deleting a nonexistent entry is a switch-side rejection: permanent,
+	// never retried, reported at the commit point.
+	bogus := &FlowMod{Command: FlowDelete, TableID: 0, Match: []MatchField{
+		{Name: "ip_dst", Width: 32, Cell: mat.IPv4("203.0.113.9")},
+		{Name: "tcp_dst", Width: 16, Cell: mat.Exact(1, 16)},
+	}}
+	if err := client.SendFlowMod(ctx, bogus); err != nil {
+		t.Fatal(err)
+	}
+	err := client.Barrier(ctx)
+	var se *SwitchError
+	if !errors.As(err, &se) {
+		t.Fatalf("barrier err = %v, want *SwitchError", err)
+	}
+	var oe *OpError
+	if !errors.As(err, &oe) || oe.Op != "barrier" {
+		t.Errorf("err = %v, want wrapped in a barrier OpError", err)
+	}
+	if m := client.Metrics(); m.SwitchErrors != 1 {
+		t.Errorf("SwitchErrors = %d, want 1", m.SwitchErrors)
+	}
+	// The channel is still healthy afterwards.
+	if err := client.Echo(ctx, []byte("ok")); err != nil {
+		t.Errorf("echo after rejection: %v", err)
+	}
+	if err := client.Barrier(ctx); err != nil {
+		t.Errorf("barrier after rejection: %v", err)
+	}
+}
+
+func TestClosedClientReturnsErrClosed(t *testing.T) {
+	client, _, _ := pipePair(t, usecases.Fig1(), usecases.RepGoto)
+	client.Close()
+	ctx := context.Background()
+	if err := client.Barrier(ctx); !errors.Is(err, ErrClosed) {
+		t.Errorf("barrier: err = %v, want ErrClosed", err)
+	}
+	if err := client.SendFlowMod(ctx, &FlowMod{Command: FlowDelete, TableID: 0}); !errors.Is(err, ErrClosed) {
+		t.Errorf("flow-mod: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestAgentLenientAndStrictDecode(t *testing.T) {
+	serve := func(strict bool) (net.Conn, chan error, *Agent) {
+		g := usecases.Fig1()
+		p, err := g.Build(usecases.RepGoto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agent, err := NewAgent(switches.NewESwitch(), p, WithStrictDecode(strict))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := net.Pipe()
+		done := make(chan error, 1)
+		go func() { done <- agent.Serve(context.Background(), a) }()
+		return b, done, agent
+	}
+	unknownType := []byte{Version, 200, 0, 8, 0, 0, 0, 77}
+
+	// Lenient (default): the agent reports the bad frame and keeps
+	// serving.
+	b, _, agent := serve(false)
+	nc := NewConn(b)
+	if m, err := nc.Recv(); err != nil || m.Type != TypeHello {
+		t.Fatalf("handshake: %+v, %v", m, err)
+	}
+	if err := nc.Send(&Message{Type: TypeHello}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Write(unknownType); err != nil {
+		t.Fatal(err)
+	}
+	m, err := nc.Recv()
+	if err != nil || m.Type != TypeError || m.XID != 77 {
+		t.Fatalf("lenient agent reply = %+v, %v; want TypeError xid 77", m, err)
+	}
+	if err := nc.Send(&Message{Type: TypeEchoRequest, XID: 5, Payload: []byte("alive")}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := nc.Recv(); err != nil || m.Type != TypeEchoReply {
+		t.Fatalf("agent did not survive bad frame: %+v, %v", m, err)
+	}
+	if n := atomic.LoadInt64(&agent.DecodeErrors); n != 1 {
+		t.Errorf("DecodeErrors = %d, want 1", n)
+	}
+	b.Close()
+
+	// Strict: the same frame terminates the session with the typed error.
+	b, done, _ := serve(true)
+	nc = NewConn(b)
+	if _, err := nc.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nc.Send(&Message{Type: TypeHello}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Write(unknownType); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrUnsupported) {
+			t.Errorf("strict Serve err = %v, want ErrUnsupported", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("strict agent kept serving after bad frame")
+	}
+}

@@ -1,0 +1,78 @@
+package openflow
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy is the exponential-backoff schedule the client uses for RPC
+// retries and reconnect attempts. The zero value disables retries; use
+// DefaultRetryPolicy for the production schedule.
+type RetryPolicy struct {
+	// Base is the delay before the first retry.
+	Base time.Duration
+	// Max caps the grown delay (0 = uncapped).
+	Max time.Duration
+	// Multiplier grows the delay per attempt (values < 1 are treated
+	// as 1, i.e. constant backoff).
+	Multiplier float64
+	// Jitter spreads each delay uniformly over
+	// [d·(1-Jitter/2), d·(1+Jitter/2)) to decorrelate retry storms.
+	// 0 disables jitter; values are clamped to [0, 1].
+	Jitter float64
+	// MaxRetries bounds retry attempts per operation (0 = no retries:
+	// fail on the first error).
+	MaxRetries int
+	// Seed drives the jitter stream, making schedules reproducible.
+	Seed int64
+}
+
+// DefaultRetryPolicy mirrors common controller practice: 20 ms doubling to
+// a 1 s cap, ±25% jitter, 6 attempts.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Base: 20 * time.Millisecond, Max: time.Second, Multiplier: 2, Jitter: 0.25, MaxRetries: 6, Seed: 1}
+}
+
+// Delay returns the backoff before retry attempt (0-based). rng supplies
+// the jitter stream and may be nil for a deterministic, jitter-free
+// schedule.
+func (p RetryPolicy) Delay(attempt int, rng *rand.Rand) time.Duration {
+	if p.Base <= 0 {
+		return 0
+	}
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 1
+	}
+	d := float64(p.Base) * math.Pow(mult, float64(attempt))
+	if p.Max > 0 && d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	j := p.Jitter
+	if j < 0 {
+		j = 0
+	} else if j > 1 {
+		j = 1
+	}
+	if j > 0 && rng != nil {
+		d *= 1 - j/2 + j*rng.Float64()
+	}
+	return time.Duration(d)
+}
+
+// sleep waits d or until the context is done, whichever comes first.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,6 +1,8 @@
 package openflow
 
 import (
+	"context"
+	"errors"
 	"net"
 	"sync"
 	"testing"
@@ -33,7 +35,7 @@ func startTCPAgent(t *testing.T, g *usecases.GwLB, rep usecases.Representation) 
 			if err != nil {
 				return
 			}
-			go agent.Serve(NewConn(c)) //nolint:errcheck — session ends with the conn
+			go agent.Serve(context.Background(), c) //nolint:errcheck — session ends with the conn
 		}
 	}()
 	return ln.Addr().String(), agent, sw
@@ -45,7 +47,7 @@ func dialClient(t *testing.T, addr string) *Client {
 	if err != nil {
 		t.Fatal(err)
 	}
-	client, err := NewClient(NewConn(c))
+	client, err := NewClient(c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,17 +60,18 @@ func TestTCPSession(t *testing.T) {
 	addr, _, sw := startTCPAgent(t, g, usecases.RepGoto)
 	client := dialClient(t, addr)
 
-	if err := client.Echo([]byte("over tcp")); err != nil {
+	ctx := context.Background()
+	if err := client.Echo(ctx, []byte("over tcp")); err != nil {
 		t.Fatal(err)
 	}
 	// Delete the SSH service and commit.
-	if err := client.SendFlowMod(&FlowMod{Command: FlowDelete, TableID: 0, Match: []MatchField{
+	if err := client.SendFlowMod(ctx, &FlowMod{Command: FlowDelete, TableID: 0, Match: []MatchField{
 		{Name: "ip_dst", Width: 32, Cell: mat.IPv4("192.0.2.3")},
 		{Name: "tcp_dst", Width: 16, Cell: mat.Exact(22, 16)},
 	}}); err != nil {
 		t.Fatal(err)
 	}
-	if err := client.Barrier(); err != nil {
+	if err := client.Barrier(ctx); err != nil {
 		t.Fatal(err)
 	}
 	v, err := sw.Process(packet.TCP4(1, 2, 3, 0xC0000203, 4, 22))
@@ -95,22 +98,23 @@ func TestTCPConcurrentControllers(t *testing.T) {
 				errs <- err
 				return
 			}
-			client, err := NewClient(NewConn(c))
+			client, err := NewClient(c)
 			if err != nil {
 				errs <- err
 				return
 			}
 			defer client.Close()
+			ctx := context.Background()
 			for k := 0; k < 50; k++ {
-				if err := client.Echo([]byte{byte(id), byte(k)}); err != nil {
+				if err := client.Echo(ctx, []byte{byte(id), byte(k)}); err != nil {
 					errs <- err
 					return
 				}
-				if err := client.Barrier(); err != nil {
+				if err := client.Barrier(ctx); err != nil {
 					errs <- err
 					return
 				}
-				if _, err := client.ReadStats(0); err != nil {
+				if _, err := client.ReadStats(ctx, 0); err != nil {
 					errs <- err
 					return
 				}
@@ -131,13 +135,14 @@ func TestClientSurvivesAgentClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	client, err := NewClient(NewConn(raw))
+	client, err := NewClient(raw)
 	if err != nil {
 		t.Fatal(err)
 	}
 	raw.Close()
-	// Subsequent RPCs must error out, not hang.
-	if err := client.Barrier(); err == nil {
-		t.Fatalf("barrier on a closed connection succeeded")
+	// Without a dialer the loss is terminal: RPCs must error out with the
+	// typed ErrClosed, not hang and not retry forever.
+	if err := client.Barrier(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("barrier on a closed connection: err = %v, want ErrClosed", err)
 	}
 }

@@ -37,6 +37,14 @@ type ReactiveSimConfig struct {
 	TablesTraversed float64
 	// Jitter randomizes update spacing by ±25% (seeded; 0 disables).
 	JitterSeed int64
+	// UpdateLatencyNs is the control-channel delay between the controller
+	// issuing an update and the switch committing it (RPC latency plus
+	// retries, as measured by the fault-injection experiments). It shifts
+	// every stall later by that delay, and because the control channel
+	// serializes updates it also caps the applied update rate: when the
+	// delay exceeds the update period, updates queue behind the channel
+	// and stalls space out at the channel latency instead.
+	UpdateLatencyNs float64
 }
 
 // DefaultReactiveSim mirrors the measurement setup: 10 simulated seconds,
@@ -64,6 +72,10 @@ type ReactiveSimResult struct {
 	DelayP75Us float64
 	// Stalls is the number of distinct stall periods simulated.
 	Stalls int
+	// UpdatesApplied is the number of updates that committed within the
+	// simulated span; below UpdateRate·DurationSec when the control
+	// channel cannot sustain the offered rate.
+	UpdatesApplied int
 }
 
 // SimulateReactive runs the fluid-flow event simulation on the hardware
@@ -83,10 +95,16 @@ func (s *NoviFlow) SimulateReactive(cfg ReactiveSimConfig) ReactiveSimResult {
 	// Build the stall timeline (merging back-to-back stalls).
 	type stall struct{ start, end float64 }
 	var stalls []stall
+	updatesApplied := 0
 	if cfg.UpdateRate > 0 {
 		period := 1e9 / cfg.UpdateRate
+		if cfg.UpdateLatencyNs > period {
+			// The channel serializes updates: they queue behind each other
+			// and commit at channel-latency spacing, not the offered rate.
+			period = cfg.UpdateLatencyNs
+		}
 		for t := period; t < durationNs; t += period {
-			start := t
+			start := t + cfg.UpdateLatencyNs
 			if rng != nil {
 				start += (rng.Float64() - 0.5) * 0.5 * period
 			}
@@ -97,6 +115,7 @@ func (s *NoviFlow) SimulateReactive(cfg ReactiveSimConfig) ReactiveSimResult {
 			if start >= durationNs {
 				break
 			}
+			updatesApplied++
 			if n := len(stalls); n > 0 && start <= stalls[n-1].end {
 				if end > stalls[n-1].end {
 					stalls[n-1].end = end
@@ -179,9 +198,10 @@ func (s *NoviFlow) SimulateReactive(cfg ReactiveSimConfig) ReactiveSimResult {
 	}
 
 	return ReactiveSimResult{
-		RateMpps:      delivered / durationNs * 1000,
-		DeliveredFrac: delivered / offered,
-		DelayP75Us:    lat.Quantile(0.75) / 1000,
-		Stalls:        len(stalls),
+		RateMpps:       delivered / durationNs * 1000,
+		DeliveredFrac:  delivered / offered,
+		DelayP75Us:     lat.Quantile(0.75) / 1000,
+		Stalls:         len(stalls),
+		UpdatesApplied: updatesApplied,
 	}
 }
