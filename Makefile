@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench parallel quickstart
+.PHONY: build test check bench parallel profile quickstart
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,12 @@ bench:
 # BENCH_parallel.json.
 parallel:
 	$(GO) run ./cmd/mabench -workers 8 -json
+
+# profile captures a CPU profile of a short instrumented benchmark run.
+# Inspect it with `go tool pprof cpu.prof`.
+profile:
+	$(GO) run ./cmd/mabench -experiment static -quick -metrics -cpuprofile cpu.prof
+	@echo "wrote cpu.prof (go tool pprof cpu.prof)"
 
 quickstart:
 	$(GO) run ./examples/quickstart

@@ -27,14 +27,26 @@
 // writes the scaling results to BENCH_parallel.json.
 //
 // -quick trades measurement accuracy for speed (used by the smoke tests).
+//
+// Observability (see the README's "Observability" section): -metrics
+// instruments the measured switches and embeds telemetry snapshots in the
+// JSON results; -trace-sample N prints paired per-packet pipeline
+// witnesses (universal vs goto) after the experiments, failing on any
+// verdict disagreement; -metrics-addr serves JSON metrics plus
+// net/http/pprof during the run; -cpuprofile captures a CPU profile
+// (`make profile`).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime/pprof"
 
 	"manorm/internal/bench"
+	"manorm/internal/cliflags"
+	"manorm/internal/telemetry"
 )
 
 // parallelJSONPath is where -json drops the machine-readable scaling
@@ -47,6 +59,9 @@ type options struct {
 	workers int
 	// jsonPath, when non-empty, receives the scaling results as JSON.
 	jsonPath string
+	// traceSample > 0 prints witness pairs (universal vs decomposed) for
+	// every Nth packet of the standard workload after the experiments.
+	traceSample int
 }
 
 func main() {
@@ -57,8 +72,10 @@ func main() {
 		backends   = flag.Int("backends", 8, "backends per service (M)")
 		seed       = flag.Int64("seed", 42, "workload seed")
 		workers    = flag.Int("workers", 0, "max workers for the parallel scaling experiment (implies -experiment parallel)")
-		jsonOut    = flag.Bool("json", false, "write parallel scaling results to "+parallelJSONPath)
+		metrics    = flag.Bool("metrics", false, "instrument measured switches and embed telemetry snapshots in JSON results")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (see `make profile`)")
 	)
+	obs := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -68,6 +85,7 @@ func main() {
 	cfg.Services = *services
 	cfg.Backends = *backends
 	cfg.Seed = *seed
+	cfg.Telemetry = *metrics
 
 	if *workers < 0 {
 		fmt.Fprintln(os.Stderr, "mabench: -workers must be >= 1")
@@ -76,12 +94,39 @@ func main() {
 	if *workers > 0 && *experiment == "all" {
 		*experiment = "parallel"
 	}
-	opts := options{workers: *workers}
+	opts := options{workers: *workers, traceSample: obs.TraceSample}
 	if opts.workers <= 0 {
 		opts.workers = 8
 	}
-	if *jsonOut {
+	if obs.JSON {
 		opts.jsonPath = parallelJSONPath
+	}
+
+	// The metrics endpoint of a batch run mainly buys live pprof profiling
+	// of the measurement loops; the per-phase registries live inside the
+	// harness and land in the JSON results instead.
+	if srv, err := obs.Serve(telemetry.NewRegistry()); err != nil {
+		fmt.Fprintln(os.Stderr, "mabench:", err)
+		os.Exit(1)
+	} else if srv != nil {
+		fmt.Fprintf(os.Stderr, "mabench: metrics and pprof on http://%s\n", srv.Addr)
+		defer srv.Close()
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mabench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mabench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 
 	if err := run(*experiment, cfg, opts); err != nil {
@@ -199,7 +244,10 @@ func run(experiment string, cfg bench.Config, opts options) error {
 	}
 
 	if experiment != "all" {
-		return runOne(experiment)
+		if err := runOne(experiment); err != nil {
+			return err
+		}
+		return traceDemo(w, cfg, opts.traceSample)
 	}
 	for _, name := range []string{
 		"footprint", "control", "monitor", "reactive", "static",
@@ -210,6 +258,31 @@ func run(experiment string, cfg bench.Config, opts options) error {
 			return err
 		}
 		sep()
+	}
+	return traceDemo(w, cfg, opts.traceSample)
+}
+
+// traceDemo prints sampled per-packet witness pairs — the same packet
+// explained through the universal table and the goto-decomposed pipeline
+// — and fails if any pair disagrees on the verdict (Theorem 1 violated at
+// runtime).
+func traceDemo(w io.Writer, cfg bench.Config, every int) error {
+	if every <= 0 {
+		return nil
+	}
+	pairs, err := bench.TraceWitnesses(cfg, every, 4)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nsampled pipeline witnesses (every %d packets, universal vs goto):\n", every)
+	for _, p := range pairs {
+		fmt.Fprint(w, p.Universal.String())
+		fmt.Fprint(w, p.Decomposed.String())
+		if !p.Agree {
+			return fmt.Errorf("witness verdicts disagree: universal %s vs decomposed %s",
+				p.Universal.Verdict(), p.Decomposed.Verdict())
+		}
+		fmt.Fprintf(w, "  verdicts agree: %s\n", p.Universal.Verdict())
 	}
 	return nil
 }

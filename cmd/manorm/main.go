@@ -27,10 +27,14 @@ import (
 	"os"
 	"strings"
 
+	"manorm/internal/cliflags"
 	"manorm/internal/core"
+	"manorm/internal/dataplane"
 	"manorm/internal/fd"
 	"manorm/internal/mat"
 	"manorm/internal/netkat"
+	"manorm/internal/packet"
+	"manorm/internal/telemetry"
 )
 
 type multiFlag []string
@@ -53,15 +57,29 @@ func main() {
 		declaredFDs multiFlag
 	)
 	flag.Var(&declaredFDs, "fd", "declared semantic dependency (repeatable), e.g. \"ip_dst -> tcp_dst\"")
+	obs := cliflags.Register(flag.CommandLine)
 	flag.Parse()
+	if obs.JSON {
+		*format = "json"
+	}
 
-	if err := run(*analyze, *normalize, *decompose, *denorm, *in, *target, *join, *verify, *format, declaredFDs, *prove); err != nil {
+	// Verification over large tables can run long; the endpoint mostly
+	// buys pprof access while it does.
+	if srv, err := obs.Serve(telemetry.NewRegistry()); err != nil {
+		fmt.Fprintln(os.Stderr, "manorm:", err)
+		os.Exit(1)
+	} else if srv != nil {
+		fmt.Fprintf(os.Stderr, "manorm: metrics and pprof on http://%s\n", srv.Addr)
+		defer srv.Close()
+	}
+
+	if err := run(*analyze, *normalize, *decompose, *denorm, *in, *target, *join, *verify, *format, declaredFDs, *prove, obs.TraceSample); err != nil {
 		fmt.Fprintln(os.Stderr, "manorm:", err)
 		os.Exit(1)
 	}
 }
 
-func run(analyze, normalize bool, decompose string, denorm bool, in, target, join string, verify bool, format string, declaredFDs []string, prove string) error {
+func run(analyze, normalize bool, decompose string, denorm bool, in, target, join string, verify bool, format string, declaredFDs []string, prove string, traceSample int) error {
 	data, err := readInput(in)
 	if err != nil {
 		return err
@@ -102,12 +120,79 @@ func run(analyze, normalize bool, decompose string, denorm bool, in, target, joi
 	case prove != "":
 		return runProve(&tab, prove)
 	case decompose != "":
-		return runDecompose(&tab, declared, decompose, join, verify, format)
+		return runDecompose(&tab, declared, decompose, join, verify, format, traceSample)
 	case normalize:
-		return runNormalize(&tab, declared, target, join, verify, format)
+		return runNormalize(&tab, declared, target, join, verify, format, traceSample)
 	default:
 		return fmt.Errorf("pick one of -analyze, -normalize, -decompose or -denormalize")
 	}
+}
+
+// emitWitnesses probes the original table and the produced pipeline with
+// packets synthesized from every trace-sample'th table entry (canonical
+// packet fields only) and prints the paired per-stage witnesses to
+// stderr — the runtime Theorem 1 check alongside the symbolic -verify.
+func emitWitnesses(tab *mat.Table, p *mat.Pipeline, every int) error {
+	if every <= 0 {
+		return nil
+	}
+	udp, err := dataplane.Compile(mat.SingleTable(tab), dataplane.AutoTemplates)
+	if err != nil {
+		return fmt.Errorf("witness compile (universal): %w", err)
+	}
+	pdp, err := dataplane.Compile(p, dataplane.AutoTemplates)
+	if err != nil {
+		return fmt.Errorf("witness compile (pipeline): %w", err)
+	}
+	uctx, pctx := udp.NewCtx(), pdp.NewCtx()
+	probed := 0
+	for ei, entry := range tab.Entries {
+		if (ei+1)%every != 0 {
+			continue
+		}
+		pkt, ok := probeFor(tab, entry)
+		if !ok {
+			continue
+		}
+		cp := *pkt
+		uv, utr, err := udp.ProcessExplain(pkt, uctx)
+		if err != nil {
+			return err
+		}
+		pv, ptr, err := pdp.ProcessExplain(&cp, pctx)
+		if err != nil {
+			return err
+		}
+		probed++
+		fmt.Fprint(os.Stderr, utr.String())
+		fmt.Fprint(os.Stderr, ptr.String())
+		if uv.Drop != pv.Drop || (!uv.Drop && uv.Port != pv.Port) {
+			return fmt.Errorf("witness verdicts disagree on entry %d: %s vs %s", ei, utr.Verdict(), ptr.Verdict())
+		}
+		fmt.Fprintf(os.Stderr, "manorm: entry %d verdicts agree: %s\n", ei, utr.Verdict())
+	}
+	if probed == 0 {
+		fmt.Fprintln(os.Stderr, "manorm: no witnesses emitted (no sampled entry uses only canonical packet fields)")
+	}
+	return nil
+}
+
+// probeFor synthesizes a packet matching one table entry. Only canonical
+// packet fields can be probed; ok is false otherwise.
+func probeFor(tab *mat.Table, entry mat.Entry) (*packet.Packet, bool) {
+	pkt := packet.TCP4(0xA, 0xB, 0, 0, 33333, 0)
+	for i, a := range tab.Schema {
+		if a.Kind != mat.Field {
+			continue
+		}
+		if packet.FieldWidth(a.Name) == 0 {
+			return nil, false
+		}
+		if !pkt.SetField(a.Name, entry[i].Bits) {
+			return nil, false
+		}
+	}
+	return pkt, true
 }
 
 func readInput(in string) ([]byte, error) {
@@ -172,7 +257,7 @@ func parseJoin(join string) (core.JoinKind, error) {
 	}
 }
 
-func runDecompose(tab *mat.Table, declared []fd.FD, dep, join string, verify bool, format string) error {
+func runDecompose(tab *mat.Table, declared []fd.FD, dep, join string, verify bool, format string, traceSample int) error {
 	a, err := buildAnalysis(tab, declared)
 	if err != nil {
 		return err
@@ -195,10 +280,13 @@ func runDecompose(tab *mat.Table, declared []fd.FD, dep, join string, verify boo
 		}
 		fmt.Fprintln(os.Stderr, "manorm: equivalence verified")
 	}
+	if err := emitWitnesses(tab, p, traceSample); err != nil {
+		return err
+	}
 	return emitPipeline(os.Stdout, p, format)
 }
 
-func runNormalize(tab *mat.Table, declared []fd.FD, target, join string, verify bool, format string) error {
+func runNormalize(tab *mat.Table, declared []fd.FD, target, join string, verify bool, format string, traceSample int) error {
 	var form core.Form
 	switch target {
 	case "2nf":
@@ -235,6 +323,9 @@ func runNormalize(tab *mat.Table, declared []fd.FD, target, join string, verify 
 		tab.FieldCount(), p.FieldCount(), p.Depth())
 	if verify {
 		fmt.Fprintln(os.Stderr, "manorm: equivalence verified")
+	}
+	if err := emitWitnesses(tab, p, traceSample); err != nil {
+		return err
 	}
 	return emitPipeline(os.Stdout, p, format)
 }

@@ -15,9 +15,16 @@
 //	maswitch -switch eswitch -rep goto -listen 127.0.0.1:6653 &
 //	          # then drive it with a controller (see examples/reactive)
 //	maswitch -rep goto -churn 40 -loss 0.01 -jitter 25ms -cut
+//
+// The shared observability flags (internal/cliflags) apply:
+// -metrics-addr serves the switch's telemetry registry as JSON plus
+// net/http/pprof; -trace-sample N records a pipeline witness for every
+// Nth packet and cross-checks its verdict against the switch's; -json
+// emits the run summary (with the full telemetry snapshot) as JSON.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -25,8 +32,12 @@ import (
 	"time"
 
 	"manorm/internal/bench"
+	"manorm/internal/cliflags"
+	"manorm/internal/dataplane"
 	"manorm/internal/openflow"
 	"manorm/internal/stats"
+	"manorm/internal/switches"
+	"manorm/internal/telemetry"
 	"manorm/internal/trafficgen"
 	"manorm/internal/usecases"
 )
@@ -47,6 +58,11 @@ type options struct {
 	jitter    time.Duration
 	cut       bool
 	faultSeed int64
+
+	// Observability (shared flag set, internal/cliflags).
+	metricsAddr string
+	traceSample int
+	jsonOut     bool
 }
 
 func main() {
@@ -64,8 +80,12 @@ func main() {
 	flag.DurationVar(&o.jitter, "jitter", 0, "control-channel jitter upper bound (churn mode)")
 	flag.BoolVar(&o.cut, "cut", false, "force one mid-churn disconnect (churn mode)")
 	flag.Int64Var(&o.faultSeed, "faultseed", 1, "fault schedule seed (churn mode)")
+	obs := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 	o.rep = usecases.Representation(rep)
+	o.metricsAddr = obs.MetricsAddr
+	o.traceSample = obs.TraceSample
+	o.jsonOut = obs.JSON
 
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "maswitch:", err)
@@ -73,14 +93,34 @@ func main() {
 	}
 }
 
+// summary is the -json report of a forwarding run.
+type summary struct {
+	Switch    string                  `json:"switch"`
+	Rep       usecases.Representation `json:"rep"`
+	Packets   int                     `json:"packets"`
+	RateMpps  float64                 `json:"mpps"`
+	LoopMpps  float64                 `json:"loop_mpps"`
+	ServiceNs struct {
+		P50 float64 `json:"p50"`
+		P75 float64 `json:"p75"`
+		P99 float64 `json:"p99"`
+	} `json:"service_ns"`
+	// WitnessMismatches counts sampled packets whose witness verdict
+	// disagreed with the switch's (must be 0).
+	WitnessMismatches int                 `json:"witness_mismatches"`
+	Telemetry         *telemetry.Snapshot `json:"telemetry,omitempty"`
+}
+
 func run(o options) error {
 	if o.churn > 0 {
 		return runChurn(o)
 	}
-	sw, err := bench.NewSwitch(o.swName)
+	reg := telemetry.NewRegistry()
+	sw, err := bench.NewSwitch(o.swName, switches.WithTelemetry(reg))
 	if err != nil {
 		return err
 	}
+	reg.Register("switch", sw)
 	g := usecases.Generate(o.services, o.backends, o.seed)
 	p, err := g.Build(o.rep)
 	if err != nil {
@@ -90,8 +130,32 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
+	reg.Register("agent", agent)
 	fmt.Printf("maswitch: %s loaded with %s (%d stages, %d entries, %d fields)\n",
 		o.swName, o.rep, p.Depth(), p.EntryCount(), p.FieldCount())
+
+	if o.metricsAddr != "" {
+		srv, err := telemetry.Serve(o.metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("maswitch: metrics and pprof on http://%s/metrics\n", srv.Addr)
+	}
+
+	// The witness datapath is a parallel compilation of the same pipeline
+	// used only for sampled packets — the forwarding hot path never pays
+	// for explanation.
+	sink := telemetry.NewTraceSink(o.traceSample, 32)
+	var wdp *dataplane.Pipeline
+	var wctx *dataplane.Ctx
+	if o.traceSample > 0 {
+		reg.SetTraceSink(sink)
+		if wdp, err = dataplane.Compile(p, dataplane.AutoTemplates); err != nil {
+			return err
+		}
+		wctx = wdp.NewCtx()
+	}
 
 	if o.listen != "" {
 		ln, err := net.Listen("tcp", o.listen)
@@ -121,14 +185,30 @@ func run(o options) error {
 	}
 	var meter stats.RateMeter
 	lat := stats.NewReservoir(8192, o.seed)
+	mismatches := 0
 	start := time.Now()
 	for i := 0; i < o.packets; i++ {
+		pkt := stream.Next()
+		var wit *telemetry.Trace
+		if sink.Tick() {
+			// Explain a copy first: the switch's Process may rewrite the
+			// packet's headers.
+			cp := *pkt
+			if _, tr, werr := wdp.ProcessExplain(&cp, wctx); werr == nil {
+				sink.Add(*tr)
+				wit = tr
+			}
+		}
 		t0 := time.Now()
-		if _, err := sw.Process(stream.Next()); err != nil {
+		v, err := sw.Process(pkt)
+		if err != nil {
 			return err
 		}
 		if i%16 == 0 {
 			lat.Add(float64(time.Since(t0).Nanoseconds()))
+		}
+		if wit != nil && (wit.Drop != v.Drop || (!v.Drop && wit.Port != v.Port)) {
+			mismatches++
 		}
 	}
 	meter.Record(int64(o.packets), time.Since(start))
@@ -138,10 +218,32 @@ func run(o options) error {
 	if pm.HWLineRateMpps > 0 {
 		rate = pm.HWLineRateMpps
 	}
+
+	if o.jsonOut {
+		var s summary
+		s.Switch, s.Rep, s.Packets = o.swName, o.rep, o.packets
+		s.RateMpps, s.LoopMpps = rate, meter.Mpps()
+		s.ServiceNs.P50 = lat.Quantile(0.5)
+		s.ServiceNs.P75 = lat.Quantile(0.75)
+		s.ServiceNs.P99 = lat.Quantile(0.99)
+		s.WitnessMismatches = mismatches
+		snap := reg.Snapshot()
+		s.Telemetry = &snap
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&s)
+	}
+
 	fmt.Printf("maswitch: forwarded %d packets\n", o.packets)
 	fmt.Printf("maswitch: rate %.2f Mpps (software loop: %.2f Mpps)\n", rate, meter.Mpps())
 	fmt.Printf("maswitch: service time p50/p75/p99 = %.0f/%.0f/%.0f ns\n",
 		lat.Quantile(0.5), lat.Quantile(0.75), lat.Quantile(0.99))
+	if o.traceSample > 0 {
+		fmt.Printf("maswitch: %d packets witnessed, %d verdict mismatches\n", sink.Total(), mismatches)
+		if traces := sink.Snapshot(); len(traces) > 0 {
+			fmt.Print(traces[len(traces)-1].String())
+		}
+	}
 	return nil
 }
 

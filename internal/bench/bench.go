@@ -14,6 +14,7 @@ import (
 
 	"manorm/internal/stats"
 	"manorm/internal/switches"
+	"manorm/internal/telemetry"
 	"manorm/internal/trafficgen"
 	"manorm/internal/usecases"
 )
@@ -28,6 +29,12 @@ type Config struct {
 	LatencySamples int
 	// Seed drives workload generation.
 	Seed int64
+	// Telemetry instruments the measured switch with a fresh metrics
+	// registry and attaches a per-phase snapshot (per-stage lookup counts,
+	// processing-latency percentiles, cache-layer breakdowns) to the
+	// result. It perturbs the hot path — a few atomic ops per packet — so
+	// headline numbers are normally measured with it off.
+	Telemetry bool
 }
 
 // DefaultConfig mirrors the paper's setup: 20 random services, 8 backends,
@@ -54,22 +61,48 @@ type StaticResult struct {
 	// Templates lists the per-stage classifier templates (ESwitch's
 	// explanatory variable).
 	Templates []string
+	// Stats is the end-of-measurement telemetry snapshot (registry
+	// instruments plus the model's Stats view); nil unless
+	// Config.Telemetry was set.
+	Stats *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
-// NewSwitch constructs a switch model by name.
-func NewSwitch(name string) (switches.Switch, error) {
+// NewSwitch constructs a switch model by name. Options (e.g.
+// switches.WithTelemetry) pass through to the model constructor.
+func NewSwitch(name string, opts ...switches.Option) (switches.Switch, error) {
 	switch name {
 	case "ovs":
-		return switches.NewOVS(), nil
+		return switches.NewOVS(opts...), nil
 	case "eswitch":
-		return switches.NewESwitch(), nil
+		return switches.NewESwitch(opts...), nil
 	case "lagopus":
-		return switches.NewLagopus(), nil
+		return switches.NewLagopus(opts...), nil
 	case "noviflow":
-		return switches.NewNoviFlow(), nil
+		return switches.NewNoviFlow(opts...), nil
 	default:
 		return nil, fmt.Errorf("bench: unknown switch %q", name)
 	}
+}
+
+// instrumented builds a switch by name, attaching a fresh registry (with
+// the model registered as its "switch" sub-provider) when cfg.Telemetry
+// is set. snapshot() captures the phase snapshot, or returns nil with
+// telemetry off.
+func instrumented(name string, cfg Config) (switches.Switch, func() *telemetry.Snapshot, error) {
+	if !cfg.Telemetry {
+		sw, err := NewSwitch(name)
+		return sw, func() *telemetry.Snapshot { return nil }, err
+	}
+	reg := telemetry.NewRegistry()
+	sw, err := NewSwitch(name, switches.WithTelemetry(reg))
+	if err != nil {
+		return nil, nil, err
+	}
+	reg.Register("switch", sw)
+	return sw, func() *telemetry.Snapshot {
+		snap := reg.Snapshot()
+		return &snap
+	}, nil
 }
 
 // SwitchNames lists the evaluated switches in the paper's column order.
@@ -78,7 +111,7 @@ func SwitchNames() []string { return []string{"ovs", "eswitch", "lagopus", "novi
 // MeasureStatic runs the static-performance measurement of Table 1 for one
 // switch and representation.
 func MeasureStatic(swName string, rep usecases.Representation, cfg Config) (*StaticResult, error) {
-	sw, err := NewSwitch(swName)
+	sw, snapshot, err := instrumented(swName, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -136,6 +169,7 @@ func MeasureStatic(swName string, rep usecases.Representation, cfg Config) (*Sta
 	}
 	p75 := res75.Quantile(0.75)
 	res.ServiceNsP75 = p75
+	res.Stats = snapshot()
 
 	if pm.HWLineRateMpps > 0 {
 		// Hardware: line rate; latency from the pipeline-depth model.

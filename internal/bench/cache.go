@@ -47,7 +47,10 @@ func CacheLayers(cfg Config, populations []int) ([]*CacheRow, error) {
 					return nil, err
 				}
 			}
-			hits, megaHits, misses := sw.Hits.Load(), sw.MegaHits.Load(), sw.Misses.Load()
+			snap := sw.Stats()
+			hits := snap.Counters["emc_hits"]
+			megaHits := snap.Counters["megaflow_hits"]
+			misses := snap.Counters["slow_misses"]
 			total := float64(hits + megaHits + misses)
 			out = append(out, &CacheRow{
 				Rep:        rep,
@@ -55,8 +58,8 @@ func CacheLayers(cfg Config, populations []int) ([]*CacheRow, error) {
 				EMCHitPct:  100 * float64(hits) / total,
 				MegaHitPct: 100 * float64(megaHits) / total,
 				SlowPct:    100 * float64(misses) / total,
-				EMCSize:    sw.CacheSize(),
-				Megaflows:  sw.MegaflowCount(),
+				EMCSize:    int(snap.Gauges["emc_entries"]),
+				Megaflows:  int(snap.Gauges["megaflow_entries"]),
 			})
 		}
 	}

@@ -11,6 +11,7 @@ import (
 
 	"manorm/internal/dataplane"
 	"manorm/internal/switches"
+	"manorm/internal/telemetry"
 	"manorm/internal/trafficgen"
 	"manorm/internal/usecases"
 )
@@ -36,6 +37,9 @@ type ParallelResult struct {
 	Speedup float64 `json:"speedup"`
 	// Packets is the total packet count forwarded during the timed run.
 	Packets int `json:"packets"`
+	// Stats is the end-of-run telemetry snapshot; nil unless
+	// Config.Telemetry was set.
+	Stats *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
 // MeasureParallel measures the aggregate forwarding rate of one switch and
@@ -53,7 +57,7 @@ func MeasureParallel(swName string, rep usecases.Representation, cfg Config, wor
 	if workers < 1 {
 		return nil, fmt.Errorf("bench: workers must be >= 1, got %d", workers)
 	}
-	sw, err := NewSwitch(swName)
+	sw, snapshot, err := instrumented(swName, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -139,7 +143,7 @@ func MeasureParallel(swName string, rep usecases.Representation, cfg Config, wor
 		total += c
 	}
 
-	res := &ParallelResult{Switch: swName, Rep: rep, Workers: workers, Packets: total}
+	res := &ParallelResult{Switch: swName, Rep: rep, Workers: workers, Packets: total, Stats: snapshot()}
 	if pm := sw.Perf(); pm.HWLineRateMpps > 0 {
 		res.RateMpps = pm.HWLineRateMpps
 		return res, nil

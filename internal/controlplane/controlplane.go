@@ -14,10 +14,12 @@ package controlplane
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"manorm/internal/mat"
 	"manorm/internal/openflow"
 	"manorm/internal/packet"
+	"manorm/internal/telemetry"
 	"manorm/internal/usecases"
 )
 
@@ -229,6 +231,35 @@ type Controller struct {
 	Client *openflow.Client
 	Rep    usecases.Representation
 	Config *usecases.GwLB
+
+	// Churn counters: intents executed, plans applied, flow-mods pushed
+	// and entries touched — the controllability metrics of §2, read with
+	// atomic loads or through Stats.
+	intents        atomic.Uint64
+	plansApplied   atomic.Uint64
+	modsPushed     atomic.Uint64
+	entriesTouched atomic.Uint64
+}
+
+// Stats reports the controller's churn telemetry (telemetry.Provider):
+// how many intents ran, how many flow-mods they cost, and — nested under
+// "client" — the control channel's resilience and latency view. The
+// mods-per-intent ratio is the paper's update-effort metric observed at
+// runtime.
+func (c *Controller) Stats() telemetry.Snapshot {
+	snap := telemetry.Snapshot{
+		Name: "controlplane",
+		Counters: map[string]uint64{
+			"intents":         c.intents.Load(),
+			"plans_applied":   c.plansApplied.Load(),
+			"mods_pushed":     c.modsPushed.Load(),
+			"entries_touched": c.entriesTouched.Load(),
+		},
+	}
+	if c.Client != nil {
+		snap.Providers = map[string]telemetry.Snapshot{"client": c.Client.Stats()}
+	}
+	return snap
 }
 
 // Apply pushes a plan and commits it with a barrier.
@@ -237,16 +268,20 @@ func (c *Controller) Apply(ctx context.Context, p *Plan) error {
 		if err := c.Client.SendFlowMod(ctx, &p.Mods[i]); err != nil {
 			return fmt.Errorf("controlplane: apply mod %d/%d: %w", i+1, len(p.Mods), err)
 		}
+		c.modsPushed.Add(1)
 	}
 	if err := c.Client.Barrier(ctx); err != nil {
 		return fmt.Errorf("controlplane: apply commit: %w", err)
 	}
+	c.plansApplied.Add(1)
+	c.entriesTouched.Add(uint64(p.EntriesTouched))
 	return nil
 }
 
 // ChangeServicePort executes the port-change intent end to end and
 // records the new desired state. It returns the entries touched.
 func (c *Controller) ChangeServicePort(ctx context.Context, svcIdx int, newPort uint16) (int, error) {
+	c.intents.Add(1)
 	p, err := PlanPortChange(c.Config, c.Rep, svcIdx, newPort)
 	if err != nil {
 		return 0, err
@@ -260,6 +295,7 @@ func (c *Controller) ChangeServicePort(ctx context.Context, svcIdx int, newPort 
 
 // ChangeServiceVIP executes the VIP renumbering intent end to end.
 func (c *Controller) ChangeServiceVIP(ctx context.Context, svcIdx int, newVIP uint32) (int, error) {
+	c.intents.Add(1)
 	p, err := PlanVIPChange(c.Config, c.Rep, svcIdx, newVIP)
 	if err != nil {
 		return 0, err

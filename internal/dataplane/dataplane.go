@@ -11,10 +11,12 @@ package dataplane
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"manorm/internal/classifier"
 	"manorm/internal/mat"
 	"manorm/internal/packet"
+	"manorm/internal/telemetry"
 )
 
 // ActionKind enumerates compiled packet actions.
@@ -80,6 +82,44 @@ type Pipeline struct {
 	tables []*Table
 	start  int
 	nMeta  int
+	// tel holds the pre-resolved per-stage instruments; nil when the
+	// pipeline is uninstrumented (the allocation-free fast path checks a
+	// single pointer).
+	tel *pipelineTel
+}
+
+// pipelineTel is the instrument set of one compiled pipeline: per-stage
+// lookup/match/miss counters and the per-packet processing latency
+// histogram. All instruments live in the registry passed to Compile, so
+// snapshots of that registry carry them; the pipeline only keeps resolved
+// pointers for the hot path.
+type pipelineTel struct {
+	stages []stageTel
+	procNs *telemetry.Histogram
+}
+
+// stageTel is one stage's counter set.
+type stageTel struct {
+	lookups *telemetry.Counter
+	matches *telemetry.Counter
+	misses  *telemetry.Counter
+}
+
+// Option configures pipeline compilation.
+type Option func(*compileCfg)
+
+type compileCfg struct {
+	reg *telemetry.Registry
+}
+
+// WithTelemetry instruments the compiled pipeline against the registry:
+// per-stage lookup/match/miss counters
+// ("pipeline.<name>.stage<i>.<table>.lookups", ".matches", ".misses") and
+// a per-packet processing latency histogram ("pipeline.<name>.process_ns").
+// A nil registry leaves the pipeline uninstrumented, so callers can pass
+// their (possibly nil) registry through unconditionally.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(c *compileCfg) { c.reg = reg }
 }
 
 // Ctx is per-worker scratch state: metadata registers and the key buffer.
@@ -110,13 +150,18 @@ func FixedTemplate(tmpl classifier.Template) TemplateSelector {
 
 // Compile lowers a mat.Pipeline into executable form. The selector chooses
 // each stage's classifier template; metadata attributes become registers
-// indexed per distinct name.
-func Compile(p *mat.Pipeline, sel TemplateSelector) (*Pipeline, error) {
+// indexed per distinct name. Options attach cross-cutting concerns, e.g.
+// WithTelemetry.
+func Compile(p *mat.Pipeline, sel TemplateSelector, opts ...Option) (*Pipeline, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if sel == nil {
 		sel = AutoTemplates
+	}
+	var cfg compileCfg
+	for _, o := range opts {
+		o(&cfg)
 	}
 	metaIdx := make(map[string]int)
 	metaOf := func(name string) int {
@@ -188,6 +233,20 @@ func Compile(p *mat.Pipeline, sel TemplateSelector) (*Pipeline, error) {
 		out.tables = append(out.tables, ct)
 	}
 	out.nMeta = len(metaIdx)
+	if cfg.reg != nil {
+		tel := &pipelineTel{
+			procNs: cfg.reg.Histogram(fmt.Sprintf("pipeline.%s.process_ns", out.Name)),
+		}
+		for i, t := range out.tables {
+			prefix := fmt.Sprintf("pipeline.%s.stage%d.%s.", out.Name, i, t.Name)
+			tel.stages = append(tel.stages, stageTel{
+				lookups: cfg.reg.Counter(prefix + "lookups"),
+				matches: cfg.reg.Counter(prefix + "matches"),
+				misses:  cfg.reg.Counter(prefix + "misses"),
+			})
+		}
+		out.tel = tel
+	}
 	return out, nil
 }
 
@@ -272,6 +331,10 @@ func (p *Pipeline) ProcessBatch(pkts []*packet.Packet, ctx *Ctx, out []Verdict) 
 }
 
 func (p *Pipeline) process(pkt *packet.Packet, ctx *Ctx, tr *Trace) (Verdict, error) {
+	var t0 time.Time
+	if p.tel != nil {
+		t0 = time.Now()
+	}
 	for i := range ctx.meta {
 		ctx.meta[i] = 0
 	}
@@ -283,6 +346,9 @@ func (p *Pipeline) process(pkt *packet.Packet, ctx *Ctx, tr *Trace) (Verdict, er
 		}
 		t := p.tables[cur]
 		v.Tables++
+		if p.tel != nil {
+			p.tel.stages[cur].lookups.Inc()
+		}
 
 		key := ctx.key[:len(t.cols)]
 		miss := false
@@ -304,6 +370,9 @@ func (p *Pipeline) process(pkt *packet.Packet, ctx *Ctx, tr *Trace) (Verdict, er
 			ei = t.cls.Lookup(key)
 		}
 		if ei < 0 {
+			if p.tel != nil {
+				p.tel.stages[cur].misses.Inc()
+			}
 			// A miss depends on every bit the table could have matched:
 			// trace full column widths.
 			if tr != nil {
@@ -315,10 +384,16 @@ func (p *Pipeline) process(pkt *packet.Packet, ctx *Ctx, tr *Trace) (Verdict, er
 			}
 			if t.missDrop {
 				v.Drop = true
+				if p.tel != nil {
+					p.tel.procNs.Observe(float64(time.Since(t0)))
+				}
 				return v, nil
 			}
 			cur = t.next
 			continue
+		}
+		if p.tel != nil {
+			p.tel.stages[cur].matches.Inc()
 		}
 		if tr != nil {
 			for i := range t.cols {
@@ -347,6 +422,9 @@ func (p *Pipeline) process(pkt *packet.Packet, ctx *Ctx, tr *Trace) (Verdict, er
 		} else {
 			cur = t.next
 		}
+	}
+	if p.tel != nil {
+		p.tel.procNs.Observe(float64(time.Since(t0)))
 	}
 	return v, nil
 }

@@ -1,0 +1,131 @@
+package dataplane
+
+import (
+	"fmt"
+
+	"manorm/internal/packet"
+	"manorm/internal/telemetry"
+)
+
+// ProcessExplain runs one packet through the pipeline exactly like
+// Process (actions applied, counters updated) while building a
+// per-packet witness: every table visited, the matched rule, the applied
+// actions and the join mechanism that carried execution to the next
+// stage. The witness of a universal table and of its decomposed pipeline
+// on the same packet must agree on the verdict — a runtime instance of
+// the paper's Theorem 1 equivalence, with the per-stage records showing
+// *how* each representation reached it.
+//
+// Explain is the sampled slow path of the trace facility; it allocates
+// (one Trace plus a record per stage) and is not meant for every packet.
+func (p *Pipeline) ProcessExplain(pkt *packet.Packet, ctx *Ctx) (Verdict, *telemetry.Trace, error) {
+	wit := &telemetry.Trace{Pipeline: p.Name}
+	for i := range ctx.meta {
+		ctx.meta[i] = 0
+	}
+	var v Verdict
+	cur := p.start
+	for steps := 0; cur >= 0; steps++ {
+		if steps > len(p.tables) {
+			return v, wit, fmt.Errorf("dataplane: pipeline %s: goto cycle", p.Name)
+		}
+		t := p.tables[cur]
+		v.Tables++
+		st := telemetry.TraceStage{Stage: cur, Table: t.Name, Entry: -1}
+
+		key := ctx.key[:len(t.cols)]
+		miss := false
+		for i := range t.cols {
+			c := &t.cols[i]
+			if c.meta >= 0 {
+				key[i] = ctx.meta[c.meta]
+				continue
+			}
+			fv, ok := pkt.Field(c.field)
+			if !ok {
+				miss = true
+				break
+			}
+			key[i] = fv
+		}
+		ei := -1
+		if !miss {
+			ei = t.cls.Lookup(key)
+		}
+		if ei < 0 {
+			if t.missDrop {
+				st.Join = "drop"
+				wit.Stages = append(wit.Stages, st)
+				v.Drop = true
+				wit.Drop, wit.Port, wit.Tables = v.Drop, v.Port, v.Tables
+				return v, wit, nil
+			}
+			st.Join = joinName(-1, false, t.next)
+			wit.Stages = append(wit.Stages, st)
+			cur = t.next
+			continue
+		}
+		st.Entry = ei
+		t.counters[ei].Add(1)
+		setsMeta := false
+		for _, a := range t.acts[ei] {
+			st.Actions = append(st.Actions, renderAction(a))
+			switch a.Kind {
+			case ActOutput:
+				v.Port = uint16(a.Value)
+			case ActSetMeta:
+				ctx.meta[a.Meta] = a.Value
+				setsMeta = true
+			case ActDecTTL:
+				if pkt.HasIPv4 && pkt.TTL > 0 {
+					pkt.TTL--
+				}
+			case ActSetField:
+				pkt.SetField(a.Field, a.Value)
+			}
+		}
+		g := t.gotos[ei]
+		st.Join = joinName(g, setsMeta, t.next)
+		wit.Stages = append(wit.Stages, st)
+		if g >= 0 {
+			cur = g
+		} else {
+			cur = t.next
+		}
+	}
+	wit.Drop, wit.Port, wit.Tables = v.Drop, v.Port, v.Tables
+	return v, wit, nil
+}
+
+// joinName classifies the mechanism that carries execution onward from a
+// stage: an explicit goto, a metadata register handed to the next stage,
+// or plain fall-through (the rematch abstraction: the next stage matches
+// packet headers again). A next of -1 ends the pipeline.
+func joinName(gotoTarget int, setsMeta bool, next int) string {
+	switch {
+	case gotoTarget >= 0:
+		return "goto"
+	case next < 0:
+		return "terminal"
+	case setsMeta:
+		return "metadata"
+	default:
+		return "rematch"
+	}
+}
+
+// renderAction formats one compiled action for witness output.
+func renderAction(a Action) string {
+	switch a.Kind {
+	case ActOutput:
+		return fmt.Sprintf("out=%d", a.Value)
+	case ActSetMeta:
+		return fmt.Sprintf("meta[%d]=%d", a.Meta, a.Value)
+	case ActDecTTL:
+		return "dec_ttl"
+	case ActSetField:
+		return fmt.Sprintf("set %s=%#x", a.Field, a.Value)
+	default:
+		return fmt.Sprintf("action(%d)", a.Kind)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"manorm/internal/mat"
 	"manorm/internal/switches"
+	"manorm/internal/telemetry"
 )
 
 // Agent is the switch-side protocol endpoint: it owns the logical
@@ -277,6 +278,29 @@ func (a *Agent) Commit() error {
 	a.sw.ApplyMods(1)
 	a.dirty = false
 	return nil
+}
+
+// Stats reports the agent's control-plane telemetry (telemetry.Provider):
+// flow-mod churn, dedup and decode counters, session count, and — nested
+// under "switch" — the fronted switch model's own snapshot.
+func (a *Agent) Stats() telemetry.Snapshot {
+	a.mu.Lock()
+	mods := uint64(a.ModsApplied)
+	sw := a.sw
+	a.mu.Unlock()
+	snap := telemetry.Snapshot{
+		Name: "openflow_agent",
+		Counters: map[string]uint64{
+			"mods_applied":  mods,
+			"dups_skipped":  uint64(atomic.LoadInt64(&a.DupsSkipped)),
+			"decode_errors": uint64(atomic.LoadInt64(&a.DecodeErrors)),
+			"sessions":      uint64(atomic.LoadInt64(&a.Sessions)),
+		},
+	}
+	if sw != nil {
+		snap.Providers = map[string]telemetry.Snapshot{"switch": sw.Stats()}
+	}
+	return snap
 }
 
 // ReadStats snapshots one table's per-entry counters.

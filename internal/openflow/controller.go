@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"manorm/internal/stats"
+	"manorm/internal/telemetry"
 )
 
 // Client is the controller-side endpoint: it sends flow-mods, waits on
@@ -543,7 +544,44 @@ type ClientMetrics struct {
 	RPCLatencyP99Ms float64
 }
 
+// Stats reports the unified telemetry view of the control channel
+// (telemetry.Provider): the resilience counters plus the RPC latency
+// profile as a percentile snapshot in nanoseconds. It subsumes Metrics;
+// the JSON metrics endpoints export this form.
+func (c *Client) Stats() telemetry.Snapshot {
+	c.mu.Lock()
+	h := telemetry.HistogramSnapshot{
+		Count: uint64(c.lat.Count()),
+		Mean:  c.lat.Mean(),
+		Max:   c.lat.Quantile(1),
+		P50:   c.lat.Quantile(0.5),
+		P90:   c.lat.Quantile(0.9),
+		P99:   c.lat.Quantile(0.99),
+	}
+	c.mu.Unlock()
+	h.Sum = h.Mean * float64(h.Count)
+	m := c.Metrics()
+	return telemetry.Snapshot{
+		Name: "openflow_client",
+		Counters: map[string]uint64{
+			"mods_sent":     uint64(m.ModsSent),
+			"mods_resent":   uint64(m.ModsResent),
+			"retries":       uint64(m.Retries),
+			"timeouts":      uint64(m.Timeouts),
+			"reconnects":    uint64(m.Reconnects),
+			"switch_errors": uint64(m.SwitchErrors),
+			"rpcs":          uint64(m.RPCs),
+		},
+		Histograms: map[string]telemetry.HistogramSnapshot{
+			"rpc_latency_ns": h,
+		},
+	}
+}
+
 // Metrics returns a consistent snapshot of the client's counters.
+//
+// Deprecated: use Stats, the unified telemetry surface. Metrics remains
+// as a thin struct-typed view for existing callers.
 func (c *Client) Metrics() ClientMetrics {
 	c.mu.Lock()
 	p50 := c.lat.Quantile(0.5) / 1e6

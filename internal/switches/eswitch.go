@@ -6,6 +6,7 @@ import (
 	"manorm/internal/dataplane"
 	"manorm/internal/mat"
 	"manorm/internal/packet"
+	"manorm/internal/telemetry"
 )
 
 // ESwitch models the template-specializing software switch of [Molnár et
@@ -26,7 +27,11 @@ type ESwitch struct {
 }
 
 // NewESwitch creates an unprogrammed ESwitch model.
-func NewESwitch() *ESwitch { return &ESwitch{} }
+func NewESwitch(opts ...Option) *ESwitch {
+	s := &ESwitch{}
+	s.reg = buildCfg(opts).reg
+	return s
+}
 
 // Name returns "eswitch".
 func (s *ESwitch) Name() string { return "eswitch" }
@@ -34,7 +39,7 @@ func (s *ESwitch) Name() string { return "eswitch" }
 // Install recompiles the datapath with per-table template specialization
 // and publishes it; live workers pick it up on their next frame.
 func (s *ESwitch) Install(p *mat.Pipeline) error {
-	dp, err := dataplane.Compile(p, dataplane.AutoTemplates)
+	dp, err := dataplane.Compile(p, dataplane.AutoTemplates, dataplane.WithTelemetry(s.reg))
 	if err != nil {
 		return fmt.Errorf("eswitch: %w", err)
 	}
@@ -64,6 +69,23 @@ func (s *ESwitch) ApplyMods(int) error { return nil }
 // while the absolute scale matches the paper's testbed (§5, Table 1).
 func (s *ESwitch) Perf() PerfModel {
 	return PerfModel{BaseLatencyNs: 200_000, QueueFactor: 600}
+}
+
+// Stats reports the per-stage match counts plus the chosen classifier
+// templates (as a template0..n gauge-free counter view would be lossy,
+// templates ride along in the snapshot name-keyed counters as
+// "template<i>_<name>" markers with value 1).
+func (s *ESwitch) Stats() telemetry.Snapshot {
+	snap := s.pipelineStats("eswitch")
+	if tmpls := s.Templates(); len(tmpls) > 0 {
+		if snap.Counters == nil {
+			snap.Counters = make(map[string]uint64, len(tmpls))
+		}
+		for i, t := range tmpls {
+			snap.Counters[fmt.Sprintf("template%d_%s", i, t)] = 1
+		}
+	}
+	return snap
 }
 
 // Templates reports the chosen per-stage templates (for tests and the

@@ -7,6 +7,7 @@ import (
 	"manorm/internal/dataplane"
 	"manorm/internal/mat"
 	"manorm/internal/packet"
+	"manorm/internal/telemetry"
 )
 
 // Lagopus models the Lagopus software OpenFlow switch: a faithful but
@@ -24,9 +25,10 @@ type Lagopus struct {
 }
 
 // NewLagopus creates an unprogrammed Lagopus model.
-func NewLagopus() *Lagopus {
+func NewLagopus(opts ...Option) *Lagopus {
 	s := &Lagopus{}
 	s.lift = true
+	s.reg = buildCfg(opts).reg
 	return s
 }
 
@@ -35,7 +37,7 @@ func (s *Lagopus) Name() string { return "lagopus" }
 
 // Install programs the interpreted pipeline.
 func (s *Lagopus) Install(p *mat.Pipeline) error {
-	dp, err := dataplane.Compile(p, dataplane.FixedTemplate(classifier.ForceTupleSpace))
+	dp, err := dataplane.Compile(p, dataplane.FixedTemplate(classifier.ForceTupleSpace), dataplane.WithTelemetry(s.reg))
 	if err != nil {
 		return fmt.Errorf("lagopus: %w", err)
 	}
@@ -63,6 +65,9 @@ func (s *Lagopus) Process(pkt *packet.Packet) (dataplane.Verdict, error) {
 
 // ApplyMods is a no-op for the model.
 func (s *Lagopus) ApplyMods(int) error { return nil }
+
+// Stats reports the per-stage match counts of the interpreted pipeline.
+func (s *Lagopus) Stats() telemetry.Snapshot { return s.pipelineStats("lagopus") }
 
 // Perf returns the latency calibration (see ESwitch.Perf for the formula).
 func (s *Lagopus) Perf() PerfModel {

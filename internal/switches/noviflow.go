@@ -6,6 +6,7 @@ import (
 	"manorm/internal/dataplane"
 	"manorm/internal/mat"
 	"manorm/internal/packet"
+	"manorm/internal/telemetry"
 )
 
 // NoviFlow models a hardware OpenFlow switch built around TCAM pipeline
@@ -29,14 +30,18 @@ type NoviFlow struct {
 }
 
 // NewNoviFlow creates an unprogrammed hardware switch model.
-func NewNoviFlow() *NoviFlow { return &NoviFlow{} }
+func NewNoviFlow(opts ...Option) *NoviFlow {
+	s := &NoviFlow{}
+	s.reg = buildCfg(opts).reg
+	return s
+}
 
 // Name returns "noviflow".
 func (s *NoviFlow) Name() string { return "noviflow" }
 
 // Install programs the TCAM stages.
 func (s *NoviFlow) Install(p *mat.Pipeline) error {
-	dp, err := dataplane.Compile(p, dataplane.AutoTemplates)
+	dp, err := dataplane.Compile(p, dataplane.AutoTemplates, dataplane.WithTelemetry(s.reg))
 	if err != nil {
 		return fmt.Errorf("noviflow: %w", err)
 	}
@@ -78,6 +83,21 @@ func (s *NoviFlow) Perf() PerfModel {
 		ModStallNsBase:     200_000,
 		ModStallNsPerEntry: 8_000,
 	}
+}
+
+// Stats reports the per-stage match counts plus the TCAM capacity view:
+// per-stage entry counts and the largest-stage size (the update-stall
+// driver of the reactiveness model).
+func (s *NoviFlow) Stats() telemetry.Snapshot {
+	snap := s.pipelineStats("noviflow")
+	if snap.Gauges == nil {
+		snap.Gauges = make(map[string]float64, len(s.entries)+1)
+	}
+	for i, n := range s.entries {
+		snap.Gauges[fmt.Sprintf("tcam_stage%d_entries", i)] = float64(n)
+	}
+	snap.Gauges["tcam_largest_stage_entries"] = float64(s.LargestStageEntries())
+	return snap
 }
 
 // LargestStageEntries returns the entry count of the switch's largest

@@ -9,6 +9,7 @@ import (
 	"manorm/internal/dataplane"
 	"manorm/internal/mat"
 	"manorm/internal/packet"
+	"manorm/internal/telemetry"
 )
 
 // OVS models Open vSwitch's datapath architecture: a slow path that
@@ -33,14 +34,19 @@ type OVS struct {
 	// epoch is the revalidation generation: ApplyMods increments it, and a
 	// worker whose local epoch lags flushes both cache layers.
 	epoch atomic.Uint64
-	// Misses, Hits and MegaHits count per-layer cache behavior for the
-	// experiment logs (Misses = slow-path traversals), aggregated over all
-	// workers.
+	// Misses, Hits and MegaHits count per-layer cache behavior (Misses =
+	// slow-path traversals), aggregated over all workers.
+	//
+	// Deprecated: read these through Stats() ("emc_hits", "megaflow_hits",
+	// "slow_misses") — the unified telemetry surface. The fields remain
+	// exported so existing callers keep compiling.
 	Misses, Hits, MegaHits atomic.Uint64
 	// prim is the worker behind the single-threaded packet-level Process
 	// API and the cache-size inspectors.
 	prim *ovsWorker
 	pool sync.Pool
+	// reg is the optional metrics registry (WithTelemetry).
+	reg *telemetry.Registry
 }
 
 type ovsKey struct {
@@ -61,10 +67,21 @@ type ovsHit struct {
 // simple, honest policy).
 const ovsCacheMax = 1 << 15
 
-// NewOVS creates an unprogrammed OVS model.
-func NewOVS() *OVS {
+// NewOVS creates an unprogrammed OVS model. With WithTelemetry, the
+// cache-layer view (hits per layer, entry counts, hit ratio) is folded
+// into the registry as gauge functions reading the shared atomics — zero
+// added cost on the forwarding path.
+func NewOVS(opts ...Option) *OVS {
 	s := &OVS{}
+	s.reg = buildCfg(opts).reg
 	s.prim = s.newOVSWorker()
+	if s.reg != nil {
+		s.reg.GaugeFunc("ovs.emc_hits", func() float64 { return float64(s.Hits.Load()) })
+		s.reg.GaugeFunc("ovs.megaflow_hits", func() float64 { return float64(s.MegaHits.Load()) })
+		s.reg.GaugeFunc("ovs.slow_misses", func() float64 { return float64(s.Misses.Load()) })
+		s.reg.GaugeFunc("ovs.emc_entries", func() float64 { return float64(s.CacheSize()) })
+		s.reg.GaugeFunc("ovs.megaflow_entries", func() float64 { return float64(s.MegaflowCount()) })
+	}
 	return s
 }
 
@@ -75,15 +92,13 @@ func (s *OVS) Name() string { return "ovs" }
 // every worker's caches (the pipeline pointer swap itself is the
 // invalidation signal; the fresh primary worker starts empty).
 func (s *OVS) Install(p *mat.Pipeline) error {
-	dp, err := dataplane.Compile(p, dataplane.FixedTemplate(classifier.ForceTupleSpace))
+	dp, err := dataplane.Compile(p, dataplane.FixedTemplate(classifier.ForceTupleSpace), dataplane.WithTelemetry(s.reg))
 	if err != nil {
 		return fmt.Errorf("ovs: %w", err)
 	}
 	s.slow.Store(dp)
 	s.prim = s.newOVSWorker()
-	s.Misses.Store(0)
-	s.Hits.Store(0)
-	s.MegaHits.Store(0)
+	s.Reset()
 	return nil
 }
 
@@ -109,6 +124,11 @@ type ovsWorker struct {
 	// cacheable mirrors the real per-PMD accounting: scratch packet reused
 	// across frames.
 	scratch packet.Packet
+	// pendHits/pendMega/pendMisses accumulate layer counts locally during a
+	// frame or batch; flushStats drains them to the shared atomics once per
+	// call (amortizing the atomic traffic) and on Reset (so a snapshot taken
+	// right after Reset cannot see a late flush's residue).
+	pendHits, pendMega, pendMisses uint64
 }
 
 func (s *OVS) newOVSWorker() *ovsWorker {
@@ -148,29 +168,30 @@ func (w *ovsWorker) refresh() (*dataplane.Pipeline, error) {
 }
 
 // process consults the EMC, then the megaflow cache, then the slow path —
-// the OVS datapath lookup chain — accumulating layer hits into the given
-// counters (flushed to the shared atomics by the callers, per frame or per
-// batch). Slow-path traversals trace the consulted header bits and install
-// a megaflow covering every microflow that agrees on them.
+// the OVS datapath lookup chain — accumulating layer hits into the
+// shard's pending counters (drained to the shared atomics by flushStats,
+// per frame or per batch). Slow-path traversals trace the consulted
+// header bits and install a megaflow covering every microflow that agrees
+// on them.
 //
 // Caveat, as in the real caches: cached entries replay the *verdict* (port
 // or drop), so the model is exact for forwarding workloads;
 // header-rewriting actions are applied only on the slow path. The
 // benchmark workloads (gateway & load balancer) are pure forwarding.
-func (w *ovsWorker) process(slow *dataplane.Pipeline, pkt *packet.Packet, hits, megaHits, misses *uint64) (dataplane.Verdict, error) {
+func (w *ovsWorker) process(slow *dataplane.Pipeline, pkt *packet.Packet) (dataplane.Verdict, error) {
 	k := keyOf(pkt)
 	if hit, ok := w.cache[k]; ok {
-		*hits++
+		w.pendHits++
 		return hit.verdict, nil
 	}
 	if v, ok := w.mega.lookup(pkt); ok {
-		*megaHits++
+		w.pendMega++
 		if len(w.cache) < ovsCacheMax {
 			w.cache[k] = ovsHit{verdict: v}
 		}
 		return v, nil
 	}
-	*misses++
+	w.pendMisses++
 	v, err := slow.ProcessTraced(pkt, w.ctx, w.trace)
 	if err != nil {
 		return v, err
@@ -182,16 +203,20 @@ func (w *ovsWorker) process(slow *dataplane.Pipeline, pkt *packet.Packet, hits, 
 	return v, nil
 }
 
-// addStats flushes accumulated layer counts to the shared atomics.
-func (w *ovsWorker) addStats(hits, megaHits, misses uint64) {
-	if hits > 0 {
-		w.parent.Hits.Add(hits)
+// flushStats drains the shard's pending layer counts into the shared
+// atomics and zeroes them.
+func (w *ovsWorker) flushStats() {
+	if w.pendHits > 0 {
+		w.parent.Hits.Add(w.pendHits)
+		w.pendHits = 0
 	}
-	if megaHits > 0 {
-		w.parent.MegaHits.Add(megaHits)
+	if w.pendMega > 0 {
+		w.parent.MegaHits.Add(w.pendMega)
+		w.pendMega = 0
 	}
-	if misses > 0 {
-		w.parent.Misses.Add(misses)
+	if w.pendMisses > 0 {
+		w.parent.Misses.Add(w.pendMisses)
+		w.pendMisses = 0
 	}
 }
 
@@ -204,9 +229,8 @@ func (w *ovsWorker) ProcessFrame(frame []byte) (dataplane.Verdict, error) {
 	if err := w.scratch.ParseInto(frame); err != nil {
 		return dataplane.Verdict{Drop: true}, nil
 	}
-	var hits, megaHits, misses uint64
-	v, err := w.process(slow, &w.scratch, &hits, &megaHits, &misses)
-	w.addStats(hits, megaHits, misses)
+	v, err := w.process(slow, &w.scratch)
+	w.flushStats()
 	return v, err
 }
 
@@ -220,20 +244,18 @@ func (w *ovsWorker) ProcessBatch(frames [][]byte, out []dataplane.Verdict) error
 	if err != nil {
 		return err
 	}
-	var hits, megaHits, misses uint64
+	defer w.flushStats()
 	for i, f := range frames {
 		if err := w.scratch.ParseInto(f); err != nil {
 			out[i] = dataplane.Verdict{Drop: true}
 			continue
 		}
-		v, err := w.process(slow, &w.scratch, &hits, &megaHits, &misses)
+		v, err := w.process(slow, &w.scratch)
 		if err != nil {
-			w.addStats(hits, megaHits, misses)
 			return err
 		}
 		out[i] = v
 	}
-	w.addStats(hits, megaHits, misses)
 	return nil
 }
 
@@ -273,9 +295,8 @@ func (s *OVS) Process(pkt *packet.Packet) (dataplane.Verdict, error) {
 	if err != nil {
 		return dataplane.Verdict{}, err
 	}
-	var hits, megaHits, misses uint64
-	v, err := s.prim.process(slow, pkt, &hits, &megaHits, &misses)
-	s.prim.addStats(hits, megaHits, misses)
+	v, err := s.prim.process(slow, pkt)
+	s.prim.flushStats()
 	return v, err
 }
 
@@ -286,6 +307,55 @@ func (s *OVS) ApplyMods(int) error {
 	s.prim.epoch = s.epoch.Load()
 	s.prim.flush()
 	return nil
+}
+
+// Reset zeroes the layer-hit statistics. Per-worker pending accumulators
+// are drained first: every pooled shard and the primary flush their
+// in-flight counts into the atomics before those are cleared, so a Stats
+// snapshot taken right after Reset reads zero rather than the residue of
+// a not-yet-flushed batch. Dedicated NewWorker shards owned by caller
+// goroutines cannot be drained here; quiesce them before Reset.
+func (s *OVS) Reset() {
+	var drained []*ovsWorker
+	for {
+		w, ok := s.pool.Get().(*ovsWorker)
+		if !ok {
+			break
+		}
+		w.flushStats()
+		drained = append(drained, w)
+	}
+	s.prim.flushStats()
+	s.Hits.Store(0)
+	s.MegaHits.Store(0)
+	s.Misses.Store(0)
+	for _, w := range drained {
+		s.pool.Put(w)
+	}
+}
+
+// Stats reports the unified telemetry view: the slow-path pipeline's
+// per-stage match counts plus the cache-layer breakdown — per-layer hit
+// counters, entry counts of the primary shard's caches, and the overall
+// cache hit ratio (the quantity behind OVS's representation-agnosticism).
+func (s *OVS) Stats() telemetry.Snapshot {
+	snap := pipelineSnapshot("ovs", s.slow.Load())
+	if snap.Counters == nil {
+		snap.Counters = make(map[string]uint64, 3)
+	}
+	if snap.Gauges == nil {
+		snap.Gauges = make(map[string]float64, 3)
+	}
+	hits, mega, misses := s.Hits.Load(), s.MegaHits.Load(), s.Misses.Load()
+	snap.Counters["emc_hits"] = hits
+	snap.Counters["megaflow_hits"] = mega
+	snap.Counters["slow_misses"] = misses
+	snap.Gauges["emc_entries"] = float64(s.CacheSize())
+	snap.Gauges["megaflow_entries"] = float64(s.MegaflowCount())
+	if total := hits + mega + misses; total > 0 {
+		snap.Gauges["cache_hit_ratio"] = float64(hits+mega) / float64(total)
+	}
+	return snap
 }
 
 // Perf returns the latency calibration (see ESwitch.Perf for the formula).

@@ -25,11 +25,38 @@ import (
 	"manorm/internal/dataplane"
 	"manorm/internal/mat"
 	"manorm/internal/packet"
+	"manorm/internal/telemetry"
 )
 
 // errNotProgrammed is returned when packets are offered to a switch before
 // Install.
 var errNotProgrammed = errors.New("switches: no pipeline installed")
+
+// Option configures a switch model at construction time.
+type Option func(*modelCfg)
+
+// modelCfg carries cross-model construction options.
+type modelCfg struct {
+	reg *telemetry.Registry
+}
+
+// WithTelemetry attaches a metrics registry to the model: Install compiles
+// the datapath with per-stage lookup counters and a processing-latency
+// histogram registered there (see dataplane.WithTelemetry), in addition to
+// whatever the model reports through Stats. A nil registry is a no-op, so
+// callers can pass an optional registry through unconditionally. Without
+// this option the forwarding path carries no instrumentation at all.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(c *modelCfg) { c.reg = reg }
+}
+
+func buildCfg(opts []Option) modelCfg {
+	var c modelCfg
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
 
 // Switch is a programmable switch model: install a pipeline, process
 // packets, apply control-plane updates.
@@ -78,7 +105,21 @@ type Switch interface {
 	Counters(stage int) []uint64
 	// Perf exposes the model's analytic performance parameters.
 	Perf() PerfModel
+	// Stats snapshots the model's runtime telemetry — per-stage match
+	// counts for every model, plus model-specific state such as OVS's
+	// cache-layer hits and sizes. This is the unified observability
+	// surface (telemetry.Provider); it is safe to call concurrently with
+	// forwarding.
+	Stats() telemetry.Snapshot
 }
+
+// Switch models implement the unified stats surface.
+var (
+	_ telemetry.Provider = (*OVS)(nil)
+	_ telemetry.Provider = (*ESwitch)(nil)
+	_ telemetry.Provider = (*Lagopus)(nil)
+	_ telemetry.Provider = (*NoviFlow)(nil)
+)
 
 // Worker is a per-goroutine forwarding context of one switch: its own
 // scratch packet, metadata registers and (for cache-based models) flow
@@ -171,6 +212,9 @@ type dpSwitch struct {
 	dp   atomic.Pointer[dataplane.Pipeline]
 	pool sync.Pool
 	lift bool
+	// reg is the optional metrics registry (WithTelemetry); Install passes
+	// it to dataplane.Compile so per-stage instruments register there.
+	reg *telemetry.Registry
 }
 
 func (s *dpSwitch) getWorker() *dpWorker {
@@ -208,6 +252,33 @@ func (s *dpSwitch) Counters(stage int) []uint64 {
 		return nil
 	}
 	return dp.Counters(stage)
+}
+
+// pipelineSnapshot builds the shared part of every model's Stats: the
+// installed pipeline's depth and per-stage matched-packet counts (summed
+// from the per-entry counters, so it costs nothing on the forwarding
+// path).
+func pipelineSnapshot(name string, dp *dataplane.Pipeline) telemetry.Snapshot {
+	snap := telemetry.Snapshot{Name: name}
+	if dp == nil {
+		return snap
+	}
+	snap.Counters = make(map[string]uint64, dp.Depth())
+	snap.Gauges = map[string]float64{"pipeline_depth": float64(dp.Depth())}
+	for i := 0; i < dp.Depth(); i++ {
+		var sum uint64
+		for _, c := range dp.Counters(i) {
+			sum += c
+		}
+		snap.Counters[fmt.Sprintf("table%d_matched", i)] = sum
+	}
+	return snap
+}
+
+// Stats reports the pipeline view shared by the datapath-driven models;
+// the outer models override Name via their own Stats wrappers.
+func (s *dpSwitch) pipelineStats(name string) telemetry.Snapshot {
+	return pipelineSnapshot(name, s.dp.Load())
 }
 
 // PerfModel carries the analytic part of a switch's performance behavior.

@@ -1,0 +1,209 @@
+package switches
+
+import (
+	"sync"
+	"testing"
+
+	"manorm/internal/dataplane"
+	"manorm/internal/telemetry"
+	"manorm/internal/trafficgen"
+	"manorm/internal/usecases"
+)
+
+// drive installs the goto representation of a small gwlb workload and
+// pushes one traffic cycle through the switch.
+func drive(t *testing.T, sw Switch) *trafficgen.Stream {
+	t.Helper()
+	g := usecases.Generate(5, 4, 11)
+	p, err := g.Build(usecases.RepGoto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Install(p); err != nil {
+		t.Fatal(err)
+	}
+	stream := trafficgen.GwLB(g, 256, 1.0, 12)
+	for i := 0; i < stream.Len(); i++ {
+		if _, err := sw.Process(stream.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return stream
+}
+
+// TestAllModelsImplementStats checks the unified Provider surface: every
+// switch model reports a named snapshot with per-stage match counters and
+// a pipeline depth after forwarding traffic.
+func TestAllModelsImplementStats(t *testing.T) {
+	for _, sw := range allSwitches() {
+		drive(t, sw)
+		snap := sw.Stats()
+		if snap.Name != sw.Name() {
+			t.Errorf("%s: snapshot name %q", sw.Name(), snap.Name)
+		}
+		if d, ok := snap.Gauge("pipeline_depth"); !ok || d <= 0 {
+			t.Errorf("%s: pipeline_depth = %v,%v", sw.Name(), d, ok)
+		}
+		var matched uint64
+		for name, v := range snap.Counters {
+			if len(name) > 5 && name[:5] == "table" {
+				matched += v
+			}
+		}
+		if matched == 0 {
+			t.Errorf("%s: no table match counts in %+v", sw.Name(), snap.Counters)
+		}
+	}
+}
+
+func TestESwitchStatsListsTemplates(t *testing.T) {
+	sw := NewESwitch()
+	drive(t, sw)
+	snap := sw.Stats()
+	found := false
+	for name := range snap.Counters {
+		if len(name) > 8 && name[:8] == "template" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no template counters in %+v", snap.Counters)
+	}
+}
+
+func TestNoviFlowStatsListsTCAMSizes(t *testing.T) {
+	sw := NewNoviFlow()
+	drive(t, sw)
+	snap := sw.Stats()
+	if v, ok := snap.Gauge("tcam_largest_stage_entries"); !ok || v <= 0 {
+		t.Errorf("tcam_largest_stage_entries = %v,%v in %+v", v, ok, snap.Gauges)
+	}
+}
+
+// TestOVSStatsMatchesDeprecatedAtomics pins the migration contract: the
+// snapshot's cache counters equal the deprecated public atomics, and the
+// hit ratio is derived from them.
+func TestOVSStatsMatchesDeprecatedAtomics(t *testing.T) {
+	sw := NewOVS()
+	drive(t, sw)
+	snap := sw.Stats()
+	if got := snap.Counters["emc_hits"]; got != sw.Hits.Load() {
+		t.Errorf("emc_hits = %d, atomic = %d", got, sw.Hits.Load())
+	}
+	if got := snap.Counters["megaflow_hits"]; got != sw.MegaHits.Load() {
+		t.Errorf("megaflow_hits = %d, atomic = %d", got, sw.MegaHits.Load())
+	}
+	if got := snap.Counters["slow_misses"]; got != sw.Misses.Load() {
+		t.Errorf("slow_misses = %d, atomic = %d", got, sw.Misses.Load())
+	}
+	if snap.Counters["slow_misses"] == 0 {
+		t.Fatal("cold-start traffic recorded no slow-path misses")
+	}
+	if r, ok := snap.Gauge("cache_hit_ratio"); !ok || r < 0 || r > 1 {
+		t.Errorf("cache_hit_ratio = %v,%v", r, ok)
+	}
+	if v, ok := snap.Gauge("emc_entries"); !ok || v != float64(sw.CacheSize()) {
+		t.Errorf("emc_entries = %v,%v, CacheSize = %d", v, ok, sw.CacheSize())
+	}
+}
+
+// TestOVSResetDrainsWorkers is the regression test for the Reset fix: all
+// per-worker pending stat accumulators (primary, pooled frame workers)
+// must be drained and discarded, so a post-Reset snapshot is zero even
+// after batched traffic through the worker pool.
+func TestOVSResetDrainsWorkers(t *testing.T) {
+	sw := NewOVS()
+	stream := drive(t, sw)
+	frames, _ := trafficgen.Wire(stream)
+	// Push frames through the pooled per-frame and batched paths too.
+	out := make([]dataplane.Verdict, len(frames))
+	if err := sw.ProcessBatch(frames, out); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames[:16] {
+		if _, err := sw.ProcessFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pre := sw.Stats()
+	if pre.Counters["emc_hits"]+pre.Counters["megaflow_hits"]+pre.Counters["slow_misses"] == 0 {
+		t.Fatal("no cache activity before Reset")
+	}
+
+	sw.Reset()
+	snap := sw.Stats()
+	for _, name := range []string{"emc_hits", "megaflow_hits", "slow_misses"} {
+		if v := snap.Counters[name]; v != 0 {
+			t.Errorf("%s = %d after Reset, want 0", name, v)
+		}
+	}
+
+	// Counting starts fresh afterwards.
+	for i := 0; i < stream.Len(); i++ {
+		if _, err := sw.Process(stream.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	post := sw.Stats()
+	if post.Counters["emc_hits"]+post.Counters["megaflow_hits"]+post.Counters["slow_misses"] == 0 {
+		t.Error("no cache activity recorded after Reset")
+	}
+}
+
+// TestStatsConcurrentWithForwarding enforces the Provider contract that
+// Stats is safe to call while the hot path runs; meaningful under -race
+// (make check).
+func TestStatsConcurrentWithForwarding(t *testing.T) {
+	g := usecases.Generate(5, 4, 11)
+	stream := trafficgen.GwLB(g, 256, 1.0, 12)
+	frames, _ := trafficgen.Wire(stream)
+	for _, sw := range allSwitches() {
+		p, err := g.Build(usecases.RepGoto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.Install(p); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = sw.Stats()
+				}
+			}
+		}()
+		out := make([]dataplane.Verdict, len(frames))
+		for r := 0; r < 4; r++ {
+			if err := sw.ProcessBatch(frames, out); err != nil {
+				t.Fatalf("%s: %v", sw.Name(), err)
+			}
+		}
+		close(stop)
+		wg.Wait()
+	}
+}
+
+// TestWithTelemetryRegistersInstruments checks the functional option: a
+// model built with WithTelemetry lands its pipeline instruments in the
+// registry, and a registry snapshot nests the model's own Stats when the
+// model is registered as a provider.
+func TestWithTelemetryRegistersInstruments(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	sw := NewOVS(WithTelemetry(reg))
+	reg.Register("switch", sw)
+	drive(t, sw)
+	snap := reg.Snapshot()
+	if v, ok := snap.Gauge("ovs.emc_entries"); !ok || v != float64(sw.CacheSize()) {
+		t.Errorf("ovs.emc_entries = %v,%v, CacheSize = %d", v, ok, sw.CacheSize())
+	}
+	if v, ok := snap.Counter("switch/slow_misses"); !ok || v == 0 {
+		t.Errorf("nested switch/slow_misses = %d,%v", v, ok)
+	}
+}

@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Provider is the unified stats surface: anything that can report a
+// telemetry snapshot — switch models, protocol endpoints, controllers,
+// registries. The repo-wide contract is that Stats is safe to call
+// concurrently with the provider's hot paths.
+type Provider interface {
+	Stats() Snapshot
+}
+
+// Snapshot is a point-in-time telemetry view: flat counter/gauge maps,
+// histogram snapshots with percentiles, retained pipeline traces, and
+// nested sub-provider snapshots. It marshals to the expvar-style JSON the
+// HTTP endpoint and the BENCH_*.json artifacts carry.
+type Snapshot struct {
+	// Name identifies the producing component ("ovs", "openflow_client").
+	Name string `json:"name,omitempty"`
+	// Counters are monotonic event counts (cache hits, lookups, mods).
+	Counters map[string]uint64 `json:"counters,omitempty"`
+	// Gauges are instantaneous values (cache sizes, ratios, depths).
+	Gauges map[string]float64 `json:"gauges,omitempty"`
+	// Histograms carry latency distributions with percentile estimates.
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	// Traces are retained per-packet pipeline witnesses.
+	Traces []Trace `json:"traces,omitempty"`
+	// Providers nest sub-component snapshots under their registered names.
+	Providers map[string]Snapshot `json:"providers,omitempty"`
+}
+
+// Counter returns a counter by name, descending into nested providers via
+// "/"-separated paths ("ovs/emc_hits"). The second result is false when
+// absent.
+func (s Snapshot) Counter(path string) (uint64, bool) {
+	sub, name, ok := s.resolve(path)
+	if !ok {
+		return 0, false
+	}
+	v, ok := sub.Counters[name]
+	return v, ok
+}
+
+// Gauge returns a gauge by name or nested "/" path.
+func (s Snapshot) Gauge(path string) (float64, bool) {
+	sub, name, ok := s.resolve(path)
+	if !ok {
+		return 0, false
+	}
+	v, ok := sub.Gauges[name]
+	return v, ok
+}
+
+// Histogram returns a histogram snapshot by name or nested "/" path.
+func (s Snapshot) Histogram(path string) (HistogramSnapshot, bool) {
+	sub, name, ok := s.resolve(path)
+	if !ok {
+		return HistogramSnapshot{}, false
+	}
+	v, ok := sub.Histograms[name]
+	return v, ok
+}
+
+// resolve walks "/"-separated provider prefixes, returning the final
+// snapshot and leaf name.
+func (s Snapshot) resolve(path string) (Snapshot, string, bool) {
+	cur := s
+	for {
+		i := indexByte(path, '/')
+		if i < 0 {
+			return cur, path, true
+		}
+		sub, ok := cur.Providers[path[:i]]
+		if !ok {
+			return Snapshot{}, "", false
+		}
+		cur = sub
+		path = path[i+1:]
+	}
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// WriteJSON writes the snapshot as indented JSON (the expvar-style export
+// served by the HTTP endpoint and embedded in benchmark artifacts).
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,366 @@
+// Package telemetry is the observability layer of the repository: a
+// lightweight, allocation-conscious metrics registry (counters, gauges,
+// fixed-bucket latency histograms with percentile snapshots), a unified
+// Provider/Snapshot API implemented by every switch model and control
+// endpoint, a per-packet pipeline trace facility (the runtime witness of
+// the paper's Theorem 1 equivalences), and an expvar-style JSON/HTTP
+// exporter with net/http/pprof wired in.
+//
+// Design rules:
+//
+//   - The uninstrumented fast path stays allocation-free: instrumented
+//     code holds nil-checkable pointers to pre-resolved instruments, so
+//     "telemetry off" costs one pointer compare per packet.
+//   - The instrumented path is allocation-free too: Counter.Add,
+//     Gauge.Set and Histogram.Observe are single atomic operations on
+//     pre-allocated state; snapshotting is the only place that allocates.
+//   - All instruments are safe for concurrent use from any number of
+//     forwarding shards.
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous float64 value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Load returns the current gauge value.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefaultLatencyBounds returns the standard latency bucket upper bounds in
+// nanoseconds: powers of two from 16 ns to ~536 ms (26 buckets), which
+// covers everything from a cache-hit classification to a TCAM stall with
+// ~2x relative quantile error.
+func DefaultLatencyBounds() []float64 {
+	bounds := make([]float64, 26)
+	v := 16.0
+	for i := range bounds {
+		bounds[i] = v
+		v *= 2
+	}
+	return bounds
+}
+
+// Histogram is a fixed-bucket histogram: observation i lands in the first
+// bucket whose upper bound is >= i ("le" semantics); values above the last
+// bound land in an overflow bucket. Observe is one atomic increment plus a
+// binary search over the (immutable) bounds — allocation-free and safe for
+// concurrent use.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; immutable after creation
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	max    atomic.Uint64 // float64 bits
+}
+
+// NewHistogram creates a histogram over the given ascending upper bounds
+// (DefaultLatencyBounds when nil).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBounds()
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if v <= math.Float64frombits(old) && old != 0 {
+			break
+		}
+		if h.max.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Snapshot captures the histogram state: bucket counts plus derived
+// percentiles.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   math.Float64frombits(h.sum.Load()),
+		Max:   math.Float64frombits(h.max.Load()),
+	}
+	s.Buckets = make([]Bucket, 0, len(h.counts))
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		le := math.Inf(1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		s.Buckets = append(s.Buckets, Bucket{LE: le, Count: n})
+	}
+	if s.Count > 0 {
+		s.Mean = s.Sum / float64(s.Count)
+	}
+	s.P50 = s.Quantile(0.50)
+	s.P90 = s.Quantile(0.90)
+	s.P99 = s.Quantile(0.99)
+	return s
+}
+
+// Bucket is one non-empty histogram bucket: the count of observations at
+// or below LE (and above the previous bucket's bound).
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time view of a histogram with derived
+// percentile estimates (linear interpolation within the target bucket).
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     float64  `json:"sum"`
+	Mean    float64  `json:"mean"`
+	Max     float64  `json:"max"`
+	P50     float64  `json:"p50"`
+	P90     float64  `json:"p90"`
+	P99     float64  `json:"p99"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket counts:
+// the target rank's bucket is located, and the value is interpolated
+// linearly between the bucket's bounds. The overflow bucket reports the
+// observed maximum. Returns 0 on an empty snapshot.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	if target < 1 {
+		target = 1
+	}
+	var cum float64
+	lower := 0.0
+	for _, b := range s.Buckets {
+		next := cum + float64(b.Count)
+		if target <= next {
+			upper := b.LE
+			if math.IsInf(upper, 1) {
+				// Overflow bucket: the max is the best upper estimate.
+				return s.Max
+			}
+			frac := (target - cum) / float64(b.Count)
+			return lower + frac*(upper-lower)
+		}
+		cum = next
+		lower = b.LE
+	}
+	return s.Max
+}
+
+// Registry is a named instrument store. Instruments are created on first
+// use and live for the registry's lifetime; hot paths resolve them once
+// and keep the pointer. Nested Providers (switch models, protocol
+// endpoints) are snapshotted on demand.
+type Registry struct {
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	gaugeFns  map[string]func() float64
+	hists     map[string]*Histogram
+	providers map[string]Provider
+	traces    *TraceSink
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+		gaugeFns:  make(map[string]func() float64),
+		hists:     make(map[string]*Histogram),
+		providers: make(map[string]Provider),
+	}
+}
+
+// Counter returns the named counter, creating it if absent.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if absent.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a pull-style gauge evaluated at snapshot time
+// (cache sizes, queue depths). The function must be safe for concurrent
+// use.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFns[name] = fn
+}
+
+// Histogram returns the named histogram with default latency bounds,
+// creating it if absent.
+func (r *Registry) Histogram(name string) *Histogram {
+	return r.HistogramWithBounds(name, nil)
+}
+
+// HistogramWithBounds returns the named histogram, creating it with the
+// given bounds if absent (existing histograms keep their original bounds).
+func (r *Registry) HistogramWithBounds(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Register attaches a named sub-provider whose Stats() is embedded in this
+// registry's snapshots. Re-registering a name replaces the provider.
+func (r *Registry) Register(name string, p Provider) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.providers[name] = p
+}
+
+// SetTraceSink attaches a pipeline trace sink; its retained witnesses are
+// embedded in snapshots. Pass nil to detach.
+func (r *Registry) SetTraceSink(s *TraceSink) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.traces = s
+}
+
+// TraceSinkAttached returns the attached sink (nil when none).
+func (r *Registry) TraceSinkAttached() *TraceSink {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.traces
+}
+
+// Snapshot captures every instrument, evaluated gauge function, retained
+// trace and nested provider into one consistent-enough view (counters are
+// read individually; cross-counter exactness is not guaranteed under
+// concurrent writes, matching expvar semantics).
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	gaugeFns := make(map[string]func() float64, len(r.gaugeFns))
+	for k, v := range r.gaugeFns {
+		gaugeFns[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	providers := make(map[string]Provider, len(r.providers))
+	for k, v := range r.providers {
+		providers[k] = v
+	}
+	traces := r.traces
+	r.mu.Unlock()
+
+	snap := Snapshot{}
+	if len(counters) > 0 {
+		snap.Counters = make(map[string]uint64, len(counters))
+		for k, c := range counters {
+			snap.Counters[k] = c.Load()
+		}
+	}
+	if len(gauges)+len(gaugeFns) > 0 {
+		snap.Gauges = make(map[string]float64, len(gauges)+len(gaugeFns))
+		for k, g := range gauges {
+			snap.Gauges[k] = g.Load()
+		}
+		for k, fn := range gaugeFns {
+			snap.Gauges[k] = fn()
+		}
+	}
+	if len(hists) > 0 {
+		snap.Histograms = make(map[string]HistogramSnapshot, len(hists))
+		for k, h := range hists {
+			snap.Histograms[k] = h.Snapshot()
+		}
+	}
+	if len(providers) > 0 {
+		snap.Providers = make(map[string]Snapshot, len(providers))
+		for k, p := range providers {
+			snap.Providers[k] = p.Stats()
+		}
+	}
+	if traces != nil {
+		snap.Traces = traces.Snapshot()
+	}
+	return snap
+}
+
+// Stats implements Provider, so registries nest inside other registries.
+func (r *Registry) Stats() Snapshot { return r.Snapshot() }

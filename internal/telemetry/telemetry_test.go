@@ -1,0 +1,342 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(3.5)
+	if got := g.Load(); got != 3.5 {
+		t.Errorf("gauge = %v, want 3.5", got)
+	}
+	g.Set(-1)
+	if got := g.Load(); got != -1 {
+		t.Errorf("gauge = %v, want -1", got)
+	}
+}
+
+func TestDefaultLatencyBounds(t *testing.T) {
+	b := DefaultLatencyBounds()
+	if len(b) != 26 {
+		t.Fatalf("len = %d, want 26", len(b))
+	}
+	if b[0] != 16 {
+		t.Errorf("first bound = %v, want 16", b[0])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] != 2*b[i-1] {
+			t.Errorf("bound %d = %v, want %v", i, b[i], 2*b[i-1])
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	tenBounds := make([]float64, 10)
+	for i := range tenBounds {
+		tenBounds[i] = float64(i + 1)
+	}
+	cases := []struct {
+		name    string
+		bounds  []float64
+		obs     []float64
+		q       float64
+		want    float64
+		wantMax float64
+	}{
+		// All observations in one bucket: linear interpolation inside it.
+		{"single-bucket-median", []float64{100}, []float64{50, 50, 50, 50}, 0.5, 50, 50},
+		// One observation per unit bucket: quantiles are exact.
+		{"uniform-p50", tenBounds, seq(1, 10), 0.5, 5, 10},
+		{"uniform-p90", tenBounds, seq(1, 10), 0.9, 9, 10},
+		{"uniform-p99", tenBounds, seq(1, 10), 0.99, 9.9, 10},
+		// Values above the last bound land in the overflow bucket, whose
+		// quantile estimate is the observed max.
+		{"overflow-max", []float64{10}, []float64{5, 100}, 0.99, 100, 100},
+		// Skewed mass: 90 fast observations, 10 slow ones.
+		{"skewed-p50", []float64{10, 1000}, append(rep(5, 90), rep(500, 10)...), 0.5, 5.555555555555555, 500},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram(tc.bounds)
+			for _, v := range tc.obs {
+				h.Observe(v)
+			}
+			s := h.Snapshot()
+			if s.Count != uint64(len(tc.obs)) {
+				t.Fatalf("count = %d, want %d", s.Count, len(tc.obs))
+			}
+			if got := s.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+				t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+			if s.Max != tc.wantMax {
+				t.Errorf("max = %v, want %v", s.Max, tc.wantMax)
+			}
+			var sum float64
+			for _, v := range tc.obs {
+				sum += v
+			}
+			if math.Abs(s.Sum-sum) > 1e-9 {
+				t.Errorf("sum = %v, want %v", s.Sum, sum)
+			}
+			if wantMean := sum / float64(len(tc.obs)); math.Abs(s.Mean-wantMean) > 1e-9 {
+				t.Errorf("mean = %v, want %v", s.Mean, wantMean)
+			}
+		})
+	}
+}
+
+func seq(lo, hi int) []float64 {
+	out := make([]float64, 0, hi-lo+1)
+	for v := lo; v <= hi; v++ {
+		out = append(out, float64(v))
+	}
+	return out
+}
+
+func rep(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestHistogramBucketCounts(t *testing.T) {
+	h := NewHistogram([]float64{10, 20})
+	for _, v := range []float64{1, 10, 11, 20, 21} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []Bucket{
+		{LE: 10, Count: 2},
+		{LE: 20, Count: 2},
+		{LE: math.Inf(1), Count: 1},
+	}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", s.Buckets, want)
+	}
+	for i, b := range s.Buckets {
+		if b != want[i] {
+			t.Errorf("bucket %d = %+v, want %+v", i, b, want[i])
+		}
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	h := NewHistogram(nil)
+	s := h.Snapshot()
+	if s.Count != 0 || s.P50 != 0 || s.P99 != 0 || len(s.Buckets) != 0 {
+		t.Errorf("empty snapshot not zero: %+v", s)
+	}
+}
+
+func TestRegistrySnapshotAndPaths(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("lookups").Add(7)
+	reg.Gauge("depth").Set(4)
+	reg.GaugeFunc("pulled", func() float64 { return 2.5 })
+	reg.Histogram("lat_ns").Observe(100)
+
+	sub := NewRegistry()
+	sub.Counter("emc_hits").Add(3)
+	reg.Register("ovs", sub)
+
+	snap := reg.Snapshot()
+	if v, ok := snap.Counter("lookups"); !ok || v != 7 {
+		t.Errorf("Counter(lookups) = %d,%v", v, ok)
+	}
+	if v, ok := snap.Gauge("depth"); !ok || v != 4 {
+		t.Errorf("Gauge(depth) = %v,%v", v, ok)
+	}
+	if v, ok := snap.Gauge("pulled"); !ok || v != 2.5 {
+		t.Errorf("Gauge(pulled) = %v,%v", v, ok)
+	}
+	if h, ok := snap.Histogram("lat_ns"); !ok || h.Count != 1 {
+		t.Errorf("Histogram(lat_ns) = %+v,%v", h, ok)
+	}
+	// "/"-paths descend into nested providers.
+	if v, ok := snap.Counter("ovs/emc_hits"); !ok || v != 3 {
+		t.Errorf("Counter(ovs/emc_hits) = %d,%v", v, ok)
+	}
+	if _, ok := snap.Counter("nosuch/leaf"); ok {
+		t.Error("missing provider path resolved")
+	}
+	if _, ok := snap.Counter("absent"); ok {
+		t.Error("missing counter resolved")
+	}
+}
+
+func TestRegistryReturnsSameInstrument(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Counter("x") != reg.Counter("x") {
+		t.Error("counter identity not stable")
+	}
+	if reg.Histogram("h") != reg.HistogramWithBounds("h", []float64{1}) {
+		t.Error("histogram identity not stable")
+	}
+}
+
+func TestTraceSinkSampling(t *testing.T) {
+	s := NewTraceSink(3, 2)
+	var sampled int
+	for i := 0; i < 9; i++ {
+		if s.Tick() {
+			sampled++
+			s.Add(Trace{Pipeline: fmt.Sprintf("p%d", i)})
+		}
+	}
+	if sampled != 3 {
+		t.Errorf("sampled %d of 9 with every=3", sampled)
+	}
+	if s.Total() != 3 {
+		t.Errorf("total = %d, want 3", s.Total())
+	}
+	// Ring keeps the last two, oldest first.
+	traces := s.Snapshot()
+	if len(traces) != 2 || traces[0].Pipeline != "p5" || traces[1].Pipeline != "p8" {
+		t.Errorf("ring = %+v, want [p5 p8]", traces)
+	}
+}
+
+func TestTraceSinkDisabledAndNil(t *testing.T) {
+	if NewTraceSink(0, 4).Tick() {
+		t.Error("every=0 sink sampled")
+	}
+	var s *TraceSink
+	if s.Tick() {
+		t.Error("nil sink sampled")
+	}
+	s.Add(Trace{})
+	if s.Total() != 0 || s.Snapshot() != nil {
+		t.Error("nil sink not inert")
+	}
+}
+
+func TestTraceRendering(t *testing.T) {
+	tr := Trace{
+		Pipeline: "gwlb",
+		Stages: []TraceStage{
+			{Stage: 0, Table: "T0", Entry: 1, Actions: []string{"meta[0]=1"}, Join: "metadata"},
+			{Stage: 1, Table: "T1", Entry: -1, Join: "drop"},
+		},
+		Drop:   true,
+		Tables: 2,
+	}
+	if tr.Verdict() != "drop" {
+		t.Errorf("verdict = %q", tr.Verdict())
+	}
+	out := tr.String()
+	for _, want := range []string{"gwlb", "entry 1", "metadata", "miss -> drop"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	port := Trace{Port: 7}
+	if port.Verdict() != "port=7" {
+		t.Errorf("verdict = %q, want port=7", port.Verdict())
+	}
+}
+
+// TestRegistryConcurrency hammers shared instruments from many goroutines
+// with concurrent snapshots; run under -race (make check) it enforces the
+// package's concurrency contract.
+func TestRegistryConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	sink := NewTraceSink(2, 8)
+	reg.SetTraceSink(sink)
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := reg.Counter("shared")
+			g := reg.Gauge("g")
+			h := reg.Histogram("h")
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i % 128))
+				if sink.Tick() {
+					sink.Add(Trace{Pipeline: "race", Port: uint16(w)})
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			snap := reg.Snapshot()
+			if _, err := json.Marshal(snap); err != nil {
+				t.Errorf("marshal: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	snap := reg.Snapshot()
+	if v, _ := snap.Counter("shared"); v != workers*iters {
+		t.Errorf("counter = %d, want %d", v, workers*iters)
+	}
+	if h, _ := snap.Histogram("h"); h.Count != workers*iters {
+		t.Errorf("histogram count = %d, want %d", h.Count, workers*iters)
+	}
+	if sink.Total() != workers*iters/2 {
+		t.Errorf("sink total = %d, want %d", sink.Total(), workers*iters/2)
+	}
+}
+
+func TestHandlerServesJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits").Add(9)
+	rr := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("content-type = %q", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rr.Body.String())
+	}
+	if v, ok := snap.Counter("hits"); !ok || v != 9 {
+		t.Errorf("served counter = %d,%v", v, ok)
+	}
+}
+
+func TestServeBindsAndExports(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("served").Inc()
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := snap.Counter("served"); !ok || v != 1 {
+		t.Errorf("endpoint counter = %d,%v", v, ok)
+	}
+}

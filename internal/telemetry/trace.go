@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Trace is a per-packet pipeline witness: for one sampled packet, every
+// table it hit, the matched rule, the actions applied and the join
+// mechanism (goto / metadata / rematch fall-through) that carried it to
+// the next stage. Comparing the witnesses of a universal table and its
+// decomposed pipeline on the same packet is a runtime check of the
+// paper's Theorem 1: the per-stage paths differ, the verdicts must not.
+type Trace struct {
+	// Pipeline names the traced program.
+	Pipeline string `json:"pipeline"`
+	// Stages records the traversal in execution order.
+	Stages []TraceStage `json:"stages"`
+	// Drop and Port mirror the final dataplane verdict.
+	Drop bool   `json:"drop"`
+	Port uint16 `json:"port"`
+	// Tables is the number of tables traversed (pipeline depth cost).
+	Tables int `json:"tables"`
+}
+
+// TraceStage is one table visit of a witness.
+type TraceStage struct {
+	// Stage is the table's pipeline index, Table its name.
+	Stage int    `json:"stage"`
+	Table string `json:"table"`
+	// Entry is the matched rule index (-1 on a table miss).
+	Entry int `json:"entry"`
+	// Actions renders the applied action list ("out=3", "meta[0]=5",
+	// "set eth_dst=0x1", "dec_ttl").
+	Actions []string `json:"actions,omitempty"`
+	// Join is the mechanism that carried execution onward: "goto"
+	// (explicit goto_table), "metadata" (register write consumed
+	// downstream), "rematch" (plain fall-through, the next stage re-matches
+	// packet headers), "terminal" (pipeline end) or "drop" (miss on a
+	// drop-on-miss stage).
+	Join string `json:"join"`
+}
+
+// Verdict summarizes the witness outcome as a comparable string
+// ("port=7" or "drop") — the equality tests' unit of comparison.
+func (t Trace) Verdict() string {
+	if t.Drop {
+		return "drop"
+	}
+	return fmt.Sprintf("port=%d", t.Port)
+}
+
+// String renders the witness as a one-line-per-stage explanation.
+func (t Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s -> %s (%d tables)\n", t.Pipeline, t.Verdict(), t.Tables)
+	for _, st := range t.Stages {
+		if st.Entry < 0 {
+			fmt.Fprintf(&b, "  [%d] %s: miss -> %s\n", st.Stage, st.Table, st.Join)
+			continue
+		}
+		fmt.Fprintf(&b, "  [%d] %s: entry %d {%s} -> %s\n",
+			st.Stage, st.Table, st.Entry, strings.Join(st.Actions, ", "), st.Join)
+	}
+	return b.String()
+}
+
+// TraceSink decides which packets to witness (1-in-N sampling) and
+// retains the most recent witnesses in a fixed ring for snapshot export.
+// Tick is a single atomic increment, so probing it on a forwarding path
+// is cheap; only sampled packets pay for witness construction.
+type TraceSink struct {
+	every uint64
+	n     atomic.Uint64
+
+	mu    sync.Mutex
+	ring  []Trace
+	next  int
+	total uint64
+}
+
+// NewTraceSink creates a sink sampling every Nth Tick and retaining the
+// last keep witnesses (16 when keep <= 0). every <= 0 disables sampling.
+func NewTraceSink(every, keep int) *TraceSink {
+	if keep <= 0 {
+		keep = 16
+	}
+	e := uint64(0)
+	if every > 0 {
+		e = uint64(every)
+	}
+	return &TraceSink{every: e, ring: make([]Trace, 0, keep)}
+}
+
+// Tick reports whether the current packet should be witnessed.
+func (s *TraceSink) Tick() bool {
+	if s == nil || s.every == 0 {
+		return false
+	}
+	return s.n.Add(1)%s.every == 0
+}
+
+// Add retains one witness, evicting the oldest beyond the ring capacity.
+func (s *TraceSink) Add(t Trace) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.total++
+	if len(s.ring) < cap(s.ring) {
+		s.ring = append(s.ring, t)
+		return
+	}
+	s.ring[s.next] = t
+	s.next = (s.next + 1) % len(s.ring)
+}
+
+// Total returns the number of witnesses recorded (not retained).
+func (s *TraceSink) Total() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Snapshot returns the retained witnesses, oldest first.
+func (s *TraceSink) Snapshot() []Trace {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Trace, 0, len(s.ring))
+	out = append(out, s.ring[s.next:]...)
+	out = append(out, s.ring[:s.next]...)
+	return out
+}
