@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: build test check bench parallel profile quickstart
+.PHONY: build test lint race check fuzz-smoke fuzz-replay benchguard \
+	benchguard-update bench parallel profile quickstart
 
 build:
 	$(GO) build ./...
@@ -8,12 +9,43 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the concurrency tier: static analysis plus the full test suite
-# under the race detector. The switch models advertise a concurrency
-# contract (see internal/switches); this target is what enforces it.
-check:
+# lint is the static tier: formatting drift fails the build the same way
+# a vet diagnostic does.
+lint:
+	@unformatted="$$(gofmt -l cmd internal examples *.go)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 	$(GO) vet ./...
-	$(GO) test -race ./...
+
+# race runs the packages with a concurrency contract (the sharded
+# switch workers, the control channel) under the race detector.
+race:
+	$(GO) test -race ./internal/...
+
+# fuzz-smoke is the CI slice of the differential fuzzer: a fixed-seed,
+# time-boxed run that must finish with zero divergences. fuzz-replay
+# re-executes every committed reproducer; each must still diverge with
+# its recorded kind, so known caveats stay detected.
+fuzz-smoke:
+	$(GO) run ./cmd/mafuzz -seed 1 -duration 30s
+
+fuzz-replay:
+	$(GO) run ./cmd/mafuzz -replay -corpus internal/difftest/testdata/corpus
+
+# benchguard re-measures the multi-core scaling workload and compares
+# its shape against the checked-in BENCH_parallel.json baseline (±20%
+# per (switch, rep) aggregate, host-normalized). benchguard-update
+# refreshes the baseline after an intentional performance change.
+benchguard:
+	$(GO) run ./cmd/benchguard
+
+benchguard-update:
+	$(GO) run ./cmd/benchguard -update -current BENCH_parallel.json -runs 5
+
+# check is the single gate CI runs — .github/workflows/ci.yml calls
+# exactly this target, so a green `make check` locally is a green build.
+check: lint build test race fuzz-smoke fuzz-replay benchguard
 
 bench:
 	$(GO) test -p 1 -bench=. -benchmem ./...

@@ -1,0 +1,147 @@
+// Command benchguard is the CI bench-regression gate (`make benchguard`):
+// it re-measures the multi-core scaling workload and compares the shape
+// of the result — median-normalized Mpps aggregated per (switch,
+// representation) — against the checked-in BENCH_parallel.json baseline
+// with a symmetric tolerance. See internal/bench/guard.go for why the
+// comparison is shape-based rather than absolute.
+//
+// Usage:
+//
+//	benchguard                          # measure (best of 3) and compare
+//	                                    # against BENCH_parallel.json, ±20%
+//	benchguard -tol 0.3 -runs 5         # looser gate, more stable measurement
+//	benchguard -current other.json      # compare two files, no measurement
+//	benchguard -update -current out.json  # measure and write a fresh
+//	                                      # baseline instead of comparing
+//
+// Exit status is non-zero when any (switch, rep) aggregate moved by more
+// than the tolerance in either direction — a too-good result usually
+// means the workload or the measurement broke, not that the code got
+// faster for free.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"manorm/internal/bench"
+)
+
+// options carries the parsed flags through run.
+type options struct {
+	baseline string
+	current  string
+	update   bool
+	tol      float64
+	runs     int
+	attempts int
+	workers  int
+	packets  int
+}
+
+func main() {
+	var (
+		baseline = flag.String("baseline", "BENCH_parallel.json", "checked-in baseline report")
+		current  = flag.String("current", "", "compare this report instead of measuring")
+		update   = flag.Bool("update", false, "measure and write a fresh report to -current instead of comparing")
+		tol      = flag.Float64("tol", 0.20, "symmetric tolerance on each (switch, rep) aggregate")
+		runs     = flag.Int("runs", 3, "measurement repetitions (best rate per row is kept)")
+		attempts = flag.Int("attempts", 2, "fresh measurements to try before declaring a regression (ignored with -current)")
+		workers  = flag.Int("workers", 8, "worker-count ceiling of the measured workload (keep equal to the baseline's max_workers: the shared rows must run under identical conditions)")
+		packets  = flag.Int("packets", 400_000, "packets per measurement")
+	)
+	flag.Parse()
+
+	opts := options{
+		baseline: *baseline, current: *current, update: *update,
+		tol: *tol, runs: *runs, attempts: *attempts, workers: *workers, packets: *packets,
+	}
+	if err := run(os.Stdout, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}
+
+// measure takes the guard measurement: the fixed scaling workload,
+// best-of-runs per row.
+func measure(opts options) (*bench.ParallelReport, error) {
+	cfg := bench.DefaultConfig()
+	cfg.Packets = opts.packets
+	return bench.MeasureGuard(cfg, opts.workers, opts.runs)
+}
+
+func run(w io.Writer, opts options) error {
+	if opts.update {
+		if opts.current == "" {
+			return fmt.Errorf("-update needs -current PATH to write the new baseline to")
+		}
+		rep, err := measure(opts)
+		if err != nil {
+			return err
+		}
+		cfg := bench.DefaultConfig()
+		cfg.Packets = opts.packets
+		if err := bench.WriteParallelJSON(opts.current, cfg, opts.workers, rep.Results); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "benchguard: wrote %s (%d rows, best of %d runs)\n",
+			opts.current, len(rep.Results), opts.runs)
+		return nil
+	}
+
+	base, err := bench.ReadParallelReport(opts.baseline)
+	if err != nil {
+		return err
+	}
+	if opts.current != "" {
+		cur, err := bench.ReadParallelReport(opts.current)
+		if err != nil {
+			return err
+		}
+		return compareOnce(w, base, cur, opts)
+	}
+
+	// A fresh measurement on a shared runner can lose the coin toss; a
+	// regression that is real survives a re-measurement, noise does not.
+	attempts := max(opts.attempts, 1)
+	for i := 1; ; i++ {
+		cur, err := measure(opts)
+		if err != nil {
+			return err
+		}
+		err = compareOnce(w, base, cur, opts)
+		if err == nil || i >= attempts {
+			return err
+		}
+		fmt.Fprintf(w, "benchguard: attempt %d/%d failed (%v); re-measuring\n", i, attempts, err)
+	}
+}
+
+// compareOnce prints the per-(switch, rep) comparison table and returns
+// an error when any aggregate moved beyond the tolerance.
+func compareOnce(w io.Writer, base, cur *bench.ParallelReport, opts options) error {
+	deltas, err := bench.CompareParallel(base, cur, opts.tol)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "benchguard: %s vs current (tol ±%.0f%%, normalized per-host)\n",
+		opts.baseline, opts.tol*100)
+	fmt.Fprintf(w, "%-22s %-10s %-10s %-8s %s\n", "switch/rep", "base", "current", "delta", "")
+	bad := 0
+	for _, d := range deltas {
+		mark := "ok"
+		if !d.OK {
+			mark = "REGRESSION"
+			bad++
+		}
+		fmt.Fprintf(w, "%-22s %-10.3f %-10.3f %+-8.1f %s\n",
+			d.Key, d.Base, d.Cur, d.Delta*100, mark)
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d (switch, rep) aggregates moved beyond ±%.0f%%", bad, len(deltas), opts.tol*100)
+	}
+	fmt.Fprintf(w, "benchguard: all %d aggregates within tolerance\n", len(deltas))
+	return nil
+}

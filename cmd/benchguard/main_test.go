@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"manorm/internal/bench"
+	"manorm/internal/usecases"
+)
+
+// writeReport drops a two-row scaling report at path, with the given
+// rate for the (ovs, universal) rows.
+func writeReport(t *testing.T, path string, ovsRate float64) {
+	t.Helper()
+	rows := []*bench.ParallelResult{
+		{Switch: "ovs", Rep: usecases.Representation("universal"), Workers: 1, RateMpps: ovsRate},
+		{Switch: "ovs", Rep: usecases.Representation("universal"), Workers: 2, RateMpps: ovsRate * 1.1},
+		{Switch: "eswitch", Rep: usecases.Representation("goto"), Workers: 1, RateMpps: 5},
+		{Switch: "eswitch", Rep: usecases.Representation("goto"), Workers: 2, RateMpps: 6},
+	}
+	if err := bench.WriteParallelJSON(path, bench.DefaultConfig(), 2, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunCompareFiles: file-vs-file mode passes on matching reports and
+// fails when one aggregate regresses beyond tolerance.
+func TestRunCompareFiles(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	same := filepath.Join(dir, "same.json")
+	slow := filepath.Join(dir, "slow.json")
+	writeReport(t, base, 10)
+	writeReport(t, same, 10)
+	writeReport(t, slow, 4) // ovs/universal halved relative to eswitch/goto
+
+	var out bytes.Buffer
+	if err := run(&out, options{baseline: base, current: same, tol: 0.20}); err != nil {
+		t.Fatalf("identical reports flagged: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "within tolerance") {
+		t.Fatalf("missing pass summary:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run(&out, options{baseline: base, current: slow, tol: 0.20}); err == nil {
+		t.Fatalf("regressed report passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("missing REGRESSION marker:\n%s", out.String())
+	}
+}
+
+// TestRunUpdateNeedsPath: -update without -current is a usage error.
+func TestRunUpdateNeedsPath(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, options{update: true}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// TestRunMissingBaseline: a deleted baseline is an error, not a pass.
+func TestRunMissingBaseline(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, options{baseline: filepath.Join(t.TempDir(), "nope.json")}); err == nil {
+		t.Fatal("expected error")
+	}
+}

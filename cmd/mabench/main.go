@@ -24,7 +24,9 @@
 // -workers W runs the multi-core scaling experiment with worker counts
 // doubling up to W (`mabench -workers 8` is shorthand for
 // `-experiment parallel` with an 8-worker ceiling); -json additionally
-// writes the scaling results to BENCH_parallel.json.
+// writes the scaling results to BENCH_parallel.json (-o redirects them
+// elsewhere, which is how `make benchguard` takes a throwaway measurement
+// without clobbering the checked-in baseline).
 //
 // -quick trades measurement accuracy for speed (used by the smoke tests).
 //
@@ -71,8 +73,10 @@ func main() {
 		services   = flag.Int("services", 20, "number of services (N)")
 		backends   = flag.Int("backends", 8, "backends per service (M)")
 		seed       = flag.Int64("seed", 42, "workload seed")
+		packets    = flag.Int("packets", 0, "override the per-measurement packet count (0 keeps the config default)")
 		workers    = flag.Int("workers", 0, "max workers for the parallel scaling experiment (implies -experiment parallel)")
 		metrics    = flag.Bool("metrics", false, "instrument measured switches and embed telemetry snapshots in JSON results")
+		jsonOut    = flag.String("o", "", "write -json output to this path instead of "+parallelJSONPath)
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (see `make profile`)")
 	)
 	obs := cliflags.Register(flag.CommandLine)
@@ -86,6 +90,9 @@ func main() {
 	cfg.Backends = *backends
 	cfg.Seed = *seed
 	cfg.Telemetry = *metrics
+	if *packets > 0 {
+		cfg.Packets = *packets
+	}
 
 	if *workers < 0 {
 		fmt.Fprintln(os.Stderr, "mabench: -workers must be >= 1")
@@ -100,6 +107,9 @@ func main() {
 	}
 	if obs.JSON {
 		opts.jsonPath = parallelJSONPath
+		if *jsonOut != "" {
+			opts.jsonPath = *jsonOut
+		}
 	}
 
 	// The metrics endpoint of a batch run mainly buys live pprof profiling

@@ -1,0 +1,229 @@
+// Command mafuzz drives the differential fuzzing subsystem
+// (internal/difftest): it generates seeded random match-action programs,
+// executes every representation the normalizer can produce for them on
+// every switch model, and cross-checks all outputs packet by packet,
+// against the relational semantics and against the NetKAT oracle. Any
+// divergence is shrunk to a minimal reproducer and written to the corpus
+// directory; the exit status is non-zero.
+//
+// Usage:
+//
+//	mafuzz -seed 1 -iters 2000              # fixed iteration budget
+//	mafuzz -seed 1 -duration 30s            # time budget (the CI smoke stage)
+//	mafuzz -plant-caveat -corpus DIR        # Fig. 3 demo: plant the forbidden
+//	                                        # decomposition; it MUST diverge,
+//	                                        # and the minimized reproducer is
+//	                                        # written to DIR
+//	mafuzz -replay -corpus DIR              # re-execute every reproducer in
+//	                                        # DIR; each must still diverge
+//	                                        # with its recorded kind
+//
+// The committed reproducers live in internal/difftest/testdata/corpus and
+// are replayed by `go test ./internal/difftest` on every run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"manorm/internal/difftest"
+	"manorm/internal/switches"
+)
+
+// options carries the parsed flags through run.
+type options struct {
+	seed     int64
+	iters    int
+	duration time.Duration
+	corpus   string
+	models   []string
+	plant    bool
+	hazard   bool
+	replay   bool
+	verbose  bool
+}
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "base seed; iteration i runs program seed+i")
+		iters    = flag.Int("iters", 0, "iteration budget (default 1000 when no -duration)")
+		duration = flag.Duration("duration", 0, "time budget; stops after the current program")
+		corpus   = flag.String("corpus", "", "corpus directory for reproducers (write on divergence, read with -replay)")
+		models   = flag.String("models", strings.Join(switches.ModelNames(), ","), "comma-separated switch models to execute on")
+		plant    = flag.Bool("plant-caveat", false, "plant the paper's Fig. 3 action-to-match decomposition: the run fails unless it diverges; the shrunk reproducer goes to -corpus")
+		hazard   = flag.Bool("plant-hazard", false, "plant the set-field/rematch hazard (rewrite a field a later stage re-matches): must diverge at the compiled layers only")
+		replay   = flag.Bool("replay", false, "replay every corpus file instead of fuzzing")
+		verbose  = flag.Bool("v", false, "log every program")
+	)
+	flag.Parse()
+
+	opts := options{
+		seed: *seed, iters: *iters, duration: *duration,
+		corpus: *corpus, plant: *plant, hazard: *hazard, replay: *replay, verbose: *verbose,
+	}
+	for _, m := range strings.Split(*models, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			opts.models = append(opts.models, m)
+		}
+	}
+	if opts.iters == 0 && opts.duration == 0 {
+		opts.iters = 1000
+	}
+
+	if err := run(os.Stdout, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "mafuzz:", err)
+		os.Exit(1)
+	}
+}
+
+// run dispatches to the selected mode and returns an error when the run
+// must fail (divergence while fuzzing, no divergence while planting, lost
+// divergence while replaying).
+func run(w io.Writer, opts options) error {
+	cfg := difftest.DefaultExecConfig()
+	cfg.Models = opts.models
+	switch {
+	case opts.replay:
+		return runReplay(w, opts, cfg)
+	case opts.plant || opts.hazard:
+		return runPlant(w, opts, cfg)
+	default:
+		return runFuzz(w, opts, cfg)
+	}
+}
+
+// runFuzz is the main loop: generate, execute, and on divergence shrink
+// and persist.
+func runFuzz(w io.Writer, opts options, cfg difftest.ExecConfig) error {
+	start := time.Now()
+	divergent := 0
+	programs := 0
+	packets := 0
+	for i := 0; ; i++ {
+		if opts.iters > 0 && i >= opts.iters {
+			break
+		}
+		if opts.duration > 0 && time.Since(start) >= opts.duration {
+			break
+		}
+		seed := opts.seed + int64(i)
+		p := difftest.Generate(seed, difftest.DefaultGenConfig())
+		programs++
+		packets += len(p.Packets)
+		divs, err := difftest.Execute(p, cfg)
+		if err != nil {
+			return fmt.Errorf("seed %d: %w", seed, err)
+		}
+		if opts.verbose {
+			fmt.Fprintf(w, "seed %d: %d entries, %d packets, %d divergences\n",
+				seed, len(p.Table.Entries), len(p.Packets), len(divs))
+		}
+		if len(divs) == 0 {
+			continue
+		}
+		divergent++
+		fmt.Fprintf(w, "seed %d DIVERGED:\n", seed)
+		for _, d := range divs {
+			fmt.Fprintf(w, "  %s\n", d)
+		}
+		if opts.corpus != "" {
+			s := difftest.Shrink(p, cfg)
+			path, err := difftest.WriteCorpus(opts.corpus, s, divs[0].Kind)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "  minimized reproducer (%d attrs, %d entries, %d packets): %s\n",
+				len(s.Table.Schema), len(s.Table.Entries), len(s.Packets), path)
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(w, "mafuzz: %d programs (%d packets) on models [%s] in %v (%.1f prog/s): %d divergent\n",
+		programs, packets, strings.Join(opts.models, " "), elapsed.Round(time.Millisecond),
+		float64(programs)/elapsed.Seconds(), divergent)
+	if divergent > 0 {
+		return fmt.Errorf("%d of %d programs diverged", divergent, programs)
+	}
+	return nil
+}
+
+// runPlant demonstrates a known caveat end to end: build a program whose
+// decomposition must misbehave (the paper's Fig. 3 action-to-match split,
+// or the set-field/rematch hazard), execute it, require a divergence, and
+// write the shrunk reproducer to the corpus.
+func runPlant(w io.Writer, opts options, cfg difftest.ExecConfig) error {
+	var p *difftest.Program
+	var err error
+	what := "fig3 caveat"
+	if opts.hazard {
+		what = "rematch hazard"
+		p = difftest.PlantRematchHazard(opts.seed)
+	} else {
+		p, err = difftest.PlantCaveat(opts.seed, difftest.DefaultGenConfig())
+		if err != nil {
+			return err
+		}
+	}
+	divs, err := difftest.Execute(p, cfg)
+	if err != nil {
+		return err
+	}
+	if len(divs) == 0 {
+		return fmt.Errorf("seed %d: planted %s did NOT diverge — the detector is broken", opts.seed, what)
+	}
+	fmt.Fprintf(w, "planted %s (seed %d) diverged as it must:\n", what, opts.seed)
+	for _, d := range divs {
+		fmt.Fprintf(w, "  %s\n", d)
+	}
+	s := difftest.Shrink(p, cfg)
+	fmt.Fprintf(w, "shrunk %d -> %d (attrs+entries+packets)\n", p.Size(), s.Size())
+	if opts.corpus != "" {
+		path, err := difftest.WriteCorpus(opts.corpus, s, divs[0].Kind)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "reproducer: %s\n", path)
+	}
+	return nil
+}
+
+// runReplay re-executes every corpus reproducer; each must still diverge
+// with the kind recorded when it was written.
+func runReplay(w io.Writer, opts options, cfg difftest.ExecConfig) error {
+	if opts.corpus == "" {
+		return fmt.Errorf("-replay needs -corpus")
+	}
+	files, err := difftest.CorpusFiles(opts.corpus)
+	if err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no corpus files in %s", opts.corpus)
+	}
+	bad := 0
+	for _, f := range files {
+		divs, kind, err := difftest.Replay(f, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		found := false
+		for _, d := range divs {
+			if d.Kind == kind {
+				found = true
+			}
+		}
+		if found {
+			fmt.Fprintf(w, "%s: reproduced [%s]\n", f, kind)
+		} else {
+			bad++
+			fmt.Fprintf(w, "%s: LOST its [%s] divergence (got %v)\n", f, kind, divs)
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d reproducers no longer diverge", bad, len(files))
+	}
+	return nil
+}

@@ -70,18 +70,11 @@ type StaticResult struct {
 // NewSwitch constructs a switch model by name. Options (e.g.
 // switches.WithTelemetry) pass through to the model constructor.
 func NewSwitch(name string, opts ...switches.Option) (switches.Switch, error) {
-	switch name {
-	case "ovs":
-		return switches.NewOVS(opts...), nil
-	case "eswitch":
-		return switches.NewESwitch(opts...), nil
-	case "lagopus":
-		return switches.NewLagopus(opts...), nil
-	case "noviflow":
-		return switches.NewNoviFlow(opts...), nil
-	default:
-		return nil, fmt.Errorf("bench: unknown switch %q", name)
+	sw, err := switches.New(name, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
 	}
+	return sw, nil
 }
 
 // instrumented builds a switch by name, attaching a fresh registry (with
@@ -106,7 +99,7 @@ func instrumented(name string, cfg Config) (switches.Switch, func() *telemetry.S
 }
 
 // SwitchNames lists the evaluated switches in the paper's column order.
-func SwitchNames() []string { return []string{"ovs", "eswitch", "lagopus", "noviflow"} }
+func SwitchNames() []string { return switches.ModelNames() }
 
 // MeasureStatic runs the static-performance measurement of Table 1 for one
 // switch and representation.

@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+)
+
+// This file is the bench-regression guard behind `make benchguard`: it
+// re-measures the multi-core scaling workload and compares the result
+// against a checked-in BENCH_parallel.json baseline.
+//
+// Raw Mpps numbers are useless as a cross-host gate — CI runners differ
+// by integer factors — so the guard compares *shape*, not magnitude:
+// every row is normalized by the report's median Mpps over the shared
+// rows, then rows are aggregated per (switch, representation) by
+// averaging over worker counts. The aggregate says "on this host, ovs
+// running the goto pipeline is 1.2× the median configuration"; that
+// ratio is what the paper's overhead claims are about, it is stable
+// across hosts, and a decomposition that suddenly costs 2× shifts it
+// no matter how fast the runner is. A uniform slowdown of everything
+// (compiler regression, runner downgrade) is invisible by construction
+// — that is the price of a gate that does not flake on shared CI.
+//
+// Because the normalizer is the report's own median, a large regression
+// in one group also inflates the others' normalized values; the gate
+// still fails, but the per-group attribution in the output is
+// approximate when more than one row moved.
+
+// GuardKey identifies one aggregated guard metric.
+type GuardKey struct {
+	Switch string `json:"switch"`
+	Rep    string `json:"rep"`
+}
+
+func (k GuardKey) String() string { return k.Switch + "/" + k.Rep }
+
+// GuardDelta is the comparison of one (switch, rep) aggregate between
+// baseline and current.
+type GuardDelta struct {
+	Key GuardKey `json:"key"`
+	// Base and Cur are median-normalized Mpps aggregates (dimensionless).
+	Base float64 `json:"base"`
+	Cur  float64 `json:"cur"`
+	// Delta is (Cur-Base)/Base.
+	Delta float64 `json:"delta"`
+	// OK reports whether |Delta| is within the tolerance.
+	OK bool `json:"ok"`
+}
+
+// ReadParallelReport loads a BENCH_parallel.json-format file.
+func ReadParallelReport(path string) (*ParallelReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep ParallelReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("%s: no results", path)
+	}
+	return &rep, nil
+}
+
+// rowKey identifies one measured row.
+type rowKey struct {
+	sw, rep string
+	workers int
+}
+
+func reportRows(r *ParallelReport) map[rowKey]float64 {
+	out := make(map[rowKey]float64, len(r.Results))
+	for _, row := range r.Results {
+		out[rowKey{row.Switch, string(row.Rep), row.Workers}] = row.RateMpps
+	}
+	return out
+}
+
+// CompareParallel compares two scaling reports over their shared rows
+// and returns one GuardDelta per (switch, rep) pair, sorted by key. It
+// errors when the reports share no rows — a silently empty comparison
+// would pass vacuously.
+func CompareParallel(base, cur *ParallelReport, tol float64) ([]GuardDelta, error) {
+	brows, crows := reportRows(base), reportRows(cur)
+	var shared []rowKey
+	for k := range brows {
+		if _, ok := crows[k]; ok {
+			shared = append(shared, k)
+		}
+	}
+	if len(shared) == 0 {
+		return nil, fmt.Errorf("baseline and current share no (switch, rep, workers) rows")
+	}
+	bmed, cmed := medianOver(brows, shared), medianOver(crows, shared)
+	if bmed <= 0 || cmed <= 0 {
+		return nil, fmt.Errorf("non-positive median rate (baseline %g, current %g)", bmed, cmed)
+	}
+
+	type agg struct {
+		sum float64
+		n   int
+	}
+	bagg := make(map[GuardKey]*agg)
+	cagg := make(map[GuardKey]*agg)
+	for _, k := range shared {
+		gk := GuardKey{Switch: k.sw, Rep: k.rep}
+		if bagg[gk] == nil {
+			bagg[gk], cagg[gk] = &agg{}, &agg{}
+		}
+		bagg[gk].sum += brows[k] / bmed
+		bagg[gk].n++
+		cagg[gk].sum += crows[k] / cmed
+		cagg[gk].n++
+	}
+
+	deltas := make([]GuardDelta, 0, len(bagg))
+	for gk, b := range bagg {
+		c := cagg[gk]
+		d := GuardDelta{Key: gk, Base: b.sum / float64(b.n), Cur: c.sum / float64(c.n)}
+		d.Delta = (d.Cur - d.Base) / d.Base
+		d.OK = d.Delta >= -tol && d.Delta <= tol
+		deltas = append(deltas, d)
+	}
+	sort.Slice(deltas, func(i, j int) bool {
+		return deltas[i].Key.String() < deltas[j].Key.String()
+	})
+	return deltas, nil
+}
+
+func medianOver(rows map[rowKey]float64, keys []rowKey) float64 {
+	vs := make([]float64, 0, len(keys))
+	for _, k := range keys {
+		vs = append(vs, rows[k])
+	}
+	sort.Float64s(vs)
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
+}
+
+// MeasureGuard runs the scaling workload `runs` times and keeps, per
+// row, the best observed rate. Max-of-N is the standard throughput
+// stabilizer: scheduling hiccups only ever push a run's rate down, so
+// the maximum converges on the machine's real capability while a mean
+// drags the noise in.
+func MeasureGuard(cfg Config, maxWorkers, runs int) (*ParallelReport, error) {
+	best := make(map[rowKey]*ParallelResult)
+	var order []rowKey
+	for i := 0; i < runs; i++ {
+		rows, err := ParallelTable(cfg, maxWorkers)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rows {
+			k := rowKey{row.Switch, string(row.Rep), row.Workers}
+			if prev, ok := best[k]; !ok {
+				best[k] = row
+				order = append(order, k)
+			} else if row.RateMpps > prev.RateMpps {
+				best[k] = row
+			}
+		}
+	}
+	out := make([]*ParallelResult, 0, len(order))
+	for _, k := range order {
+		out = append(out, best[k])
+	}
+	return &ParallelReport{
+		HostCPUs:   runtime.NumCPU(),
+		MaxWorkers: maxWorkers,
+		Services:   cfg.Services,
+		Backends:   cfg.Backends,
+		Packets:    cfg.Packets,
+		Results:    out,
+	}, nil
+}

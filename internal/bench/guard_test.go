@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+
+	"manorm/internal/usecases"
+)
+
+// guardReport builds a synthetic scaling report from (switch, rep,
+// workers, mpps) tuples.
+func guardReport(rows ...[4]float64) *ParallelReport {
+	names := []string{"ovs", "eswitch"}
+	reps := []usecases.Representation{"universal", "goto"}
+	out := &ParallelReport{}
+	for _, r := range rows {
+		out.Results = append(out.Results, &ParallelResult{
+			Switch:   names[int(r[0])],
+			Rep:      reps[int(r[1])],
+			Workers:  int(r[2]),
+			RateMpps: r[3],
+		})
+	}
+	return out
+}
+
+// fullGrid is 2 switches x 2 reps x 2 worker counts with distinct rates.
+func fullGrid() *ParallelReport {
+	return guardReport(
+		[4]float64{0, 0, 1, 10}, [4]float64{0, 0, 2, 12},
+		[4]float64{0, 1, 1, 8}, [4]float64{0, 1, 2, 11},
+		[4]float64{1, 0, 1, 4}, [4]float64{1, 0, 2, 5},
+		[4]float64{1, 1, 1, 9}, [4]float64{1, 1, 2, 13},
+	)
+}
+
+// TestCompareParallelIdentical: a report compared against itself is
+// clean with zero deltas.
+func TestCompareParallelIdentical(t *testing.T) {
+	base := fullGrid()
+	deltas, err := CompareParallel(base, fullGrid(), 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 4 {
+		t.Fatalf("want 4 aggregates, got %d", len(deltas))
+	}
+	for _, d := range deltas {
+		if !d.OK || d.Delta != 0 {
+			t.Fatalf("self-comparison not clean: %+v", d)
+		}
+	}
+}
+
+// TestCompareParallelScaleInvariant: a uniformly k-times-faster host
+// must pass — the guard compares shape, not absolute rates.
+func TestCompareParallelScaleInvariant(t *testing.T) {
+	base := fullGrid()
+	cur := fullGrid()
+	for _, r := range cur.Results {
+		r.RateMpps *= 7.5
+	}
+	deltas, err := CompareParallel(base, cur, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range deltas {
+		if !d.OK {
+			t.Fatalf("uniform speedup flagged as regression: %+v", d)
+		}
+	}
+}
+
+// TestCompareParallelDetectsRegression: halving one (switch, rep)
+// group's rate must flag exactly that group.
+func TestCompareParallelDetectsRegression(t *testing.T) {
+	base := fullGrid()
+	cur := fullGrid()
+	for _, r := range cur.Results {
+		if r.Switch == "eswitch" && r.Rep == "goto" {
+			r.RateMpps /= 2
+		}
+	}
+	deltas, err := CompareParallel(base, cur, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagged := 0
+	for _, d := range deltas {
+		if d.Key == (GuardKey{Switch: "eswitch", Rep: "goto"}) {
+			if d.OK || d.Delta > -0.20 {
+				t.Fatalf("halved group not flagged: %+v", d)
+			}
+			flagged++
+		} else if !d.OK && d.Delta < 0 {
+			// A large regression drags the current median down, so the
+			// healthy groups inflate — they may trip the +tol side (the
+			// gate fails either way, attribution is approximate), but
+			// they must never read as slower.
+			t.Fatalf("healthy group flagged as regressed: %+v", d)
+		}
+	}
+	if flagged != 1 {
+		t.Fatalf("want the regressed aggregate flagged, got %d", flagged)
+	}
+}
+
+// TestCompareParallelIntersection: rows only one side has are ignored;
+// fully disjoint reports are an error, not a vacuous pass.
+func TestCompareParallelIntersection(t *testing.T) {
+	base := fullGrid()
+	extra := guardReport([4]float64{0, 0, 4, 999}) // workers=4 only in current
+	cur := fullGrid()
+	cur.Results = append(cur.Results, extra.Results...)
+	deltas, err := CompareParallel(base, cur, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range deltas {
+		if !d.OK {
+			t.Fatalf("extra non-shared row leaked into the comparison: %+v", d)
+		}
+	}
+
+	disjoint := guardReport([4]float64{0, 0, 16, 10})
+	if _, err := CompareParallel(base, disjoint, 0.20); err == nil {
+		t.Fatal("disjoint reports must not compare cleanly")
+	}
+}
+
+// TestReadParallelReport: WriteParallelJSON output round-trips; garbage
+// and empty reports are rejected.
+func TestReadParallelReport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	base := fullGrid()
+	if err := WriteParallelJSON(path, DefaultConfig(), 2, base.Results); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadParallelReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != len(base.Results) {
+		t.Fatalf("round trip lost rows: %d != %d", len(got.Results), len(base.Results))
+	}
+	if _, err := ReadParallelReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := WriteParallelJSON(empty, DefaultConfig(), 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadParallelReport(empty); err == nil {
+		t.Fatal("report with no results must error")
+	}
+}
+
+// TestMeasureGuard: a tiny real measurement produces positive rates for
+// every (switch, rep, workers) row and honors the runs>1 contract.
+func TestMeasureGuard(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Packets = 2_000
+	rep, err := MeasureGuard(cfg, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) == 0 {
+		t.Fatal("no rows measured")
+	}
+	for _, r := range rep.Results {
+		if r.RateMpps <= 0 {
+			t.Fatalf("non-positive rate: %+v", r)
+		}
+	}
+	if deltas, err := CompareParallel(rep, rep, 0.20); err != nil || len(deltas) == 0 {
+		t.Fatalf("self-comparison of measured report failed: %v", err)
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"manorm/internal/mat"
+)
+
+// Variant is one data-plane representation of a universal match-action
+// table: the table itself, the fully normalized pipeline under one of the
+// join abstractions, or a single decomposition step along one dependency.
+// The differential harness (internal/difftest) executes all variants of a
+// program side by side and cross-checks their outputs.
+type Variant struct {
+	// Name identifies the representation, e.g. "universal",
+	// "nf3-metadata", "dec({ip_dst} -> {out})/goto".
+	Name string
+	// Pipeline is the executable representation.
+	Pipeline *mat.Pipeline
+}
+
+// maxVariantFDs caps how many mined dependencies Variants expands into
+// one-step decompositions; beyond it the full normalization variants still
+// cover the interesting structure without blowing up the work per program.
+const maxVariantFDs = 8
+
+// Variants enumerates the representations the normalization machinery can
+// emit for a universal table: the table as a one-stage pipeline, the full
+// normalization to target under the metadata join, its goto_table
+// conversion (Fig. 1c → 1b), and a one-step decomposition along every
+// mined dependency under each applicable join abstraction (metadata, goto,
+// rematch). Dependencies a join cannot express — the Fig. 3 action-to-match
+// shape, overlapping LHS groups, rematch over action attributes — are
+// skipped silently: they are the normal "not decomposable here" cases.
+// Any other construction failure is returned as an error, because for a
+// valid 1NF input it indicates a bug in the transformation machinery.
+//
+// Every returned pipeline is validated; by the paper's Theorem 1 all of
+// them must be semantically equivalent to the input table.
+func Variants(t *mat.Table, target Form) ([]Variant, error) {
+	if target == 0 {
+		target = NF3
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	out := []Variant{{Name: "universal", Pipeline: mat.SingleTable(t)}}
+
+	res, err := Normalize(t, Options{Target: target})
+	if err != nil {
+		return nil, fmt.Errorf("core: variants of %s: normalize: %w", t.Name, err)
+	}
+	if res.Pipeline.Depth() > 1 {
+		out = append(out, Variant{Name: fmt.Sprintf("%s-metadata", target), Pipeline: res.Pipeline})
+		g, err := ToGoto(res.Pipeline)
+		if err != nil {
+			return nil, fmt.Errorf("core: variants of %s: togoto: %w", t.Name, err)
+		}
+		if g.Depth() > res.Pipeline.Depth() || !samePipelineShape(g, res.Pipeline) {
+			out = append(out, Variant{Name: fmt.Sprintf("%s-goto", target), Pipeline: g})
+		}
+	}
+
+	a := Analyze(t)
+	n := len(t.Schema)
+	joins := []JoinKind{JoinMetadata, JoinGoto, JoinRematch}
+	fds := a.FDs
+	if len(fds) > maxVariantFDs {
+		fds = fds[:maxVariantFDs]
+	}
+	for _, f := range fds {
+		y := f.To.Minus(f.From)
+		z := mat.FullSet(n).Minus(f.From).Minus(y)
+		if y.Empty() || z.Empty() {
+			continue
+		}
+		for _, j := range joins {
+			p, err := Decompose(a, f, j)
+			if err != nil {
+				if errors.Is(err, ErrActionToMatch) ||
+					errors.Is(err, ErrOverlappingGroups) ||
+					errors.Is(err, ErrRematchNeedsFields) {
+					continue
+				}
+				return nil, fmt.Errorf("core: variants of %s: decompose %s via %s: %w",
+					t.Name, f.Format(t.Schema), j, err)
+			}
+			out = append(out, Variant{
+				Name:     fmt.Sprintf("dec(%s)/%s", f.Format(t.Schema), j),
+				Pipeline: p,
+			})
+		}
+	}
+	return out, nil
+}
+
+// samePipelineShape reports whether two pipelines have identical stage
+// tables and links — used to drop a goto conversion that changed nothing.
+func samePipelineShape(a, b *mat.Pipeline) bool {
+	if len(a.Stages) != len(b.Stages) || a.Start != b.Start {
+		return false
+	}
+	for i := range a.Stages {
+		if a.Stages[i].Next != b.Stages[i].Next ||
+			a.Stages[i].MissDrop != b.Stages[i].MissDrop ||
+			!a.Stages[i].Table.Equal(b.Stages[i].Table) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestVariantsFig1 enumerates the representations of the Fig. 1a gateway
+// table and checks every one against the universal table with the
+// finite-domain oracle — the static version of what the differential
+// fuzzing harness does per generated program.
+func TestVariantsFig1(t *testing.T) {
+	tab := fig1a()
+	vs, err := Variants(tab, NF3)
+	if err != nil {
+		t.Fatalf("Variants: %v", err)
+	}
+	names := make(map[string]bool, len(vs))
+	for _, v := range vs {
+		names[v.Name] = true
+	}
+	// Under mined instance dependencies fig1a is already 3NF (tcp_dst and
+	// ip_dst are in bijection, so both are prime); the universal pipeline
+	// and the one-step decompositions are the interesting variants here.
+	if !names["universal"] {
+		t.Fatalf("Variants missing %q; got %v", "universal", keys(names))
+	}
+	var decs int
+	for _, v := range vs {
+		if strings.HasPrefix(v.Name, "dec(") {
+			decs++
+		}
+	}
+	if decs == 0 {
+		t.Fatalf("Variants produced no one-step decompositions: %v", keys(names))
+	}
+	for _, v := range vs {
+		if err := v.Pipeline.Validate(); err != nil {
+			t.Fatalf("variant %s invalid: %v", v.Name, err)
+		}
+		if err := VerifyEquivalent(tab, v.Pipeline); err != nil {
+			t.Fatalf("variant %s not equivalent: %v", v.Name, err)
+		}
+	}
+}
+
+// TestVariantsFig2 covers the L3 table, whose normalization includes a
+// constant-attribute Cartesian factor and a longer chain — here the full
+// 3NF metadata pipeline and its goto conversion must both appear.
+func TestVariantsFig2(t *testing.T) {
+	tab := fig2a()
+	vs, err := Variants(tab, NF3)
+	if err != nil {
+		t.Fatalf("Variants: %v", err)
+	}
+	names := make(map[string]bool, len(vs))
+	for _, v := range vs {
+		names[v.Name] = true
+	}
+	for _, want := range []string{"universal", "3NF-metadata", "3NF-goto"} {
+		if !names[want] {
+			t.Fatalf("Variants missing %q; got %v", want, keys(names))
+		}
+	}
+	for _, v := range vs {
+		if err := VerifyEquivalent(tab, v.Pipeline); err != nil {
+			t.Fatalf("variant %s not equivalent: %v", v.Name, err)
+		}
+	}
+}
+
+// TestVariantsFig3 checks that the action-to-match dependency of the
+// caveat table is skipped silently rather than failing enumeration: the
+// Fig. 3 shape is "not decomposable", not an internal error.
+func TestVariantsFig3(t *testing.T) {
+	tab := fig3a()
+	vs, err := Variants(tab, NF3)
+	if err != nil {
+		t.Fatalf("Variants: %v", err)
+	}
+	for _, v := range vs {
+		if strings.Contains(v.Name, "out") && strings.Contains(v.Name, "vlan") &&
+			strings.HasPrefix(v.Name, "dec({out}") {
+			t.Fatalf("action-to-match decomposition %s should have been skipped", v.Name)
+		}
+		if err := VerifyEquivalent(tab, v.Pipeline); err != nil {
+			t.Fatalf("variant %s not equivalent: %v", v.Name, err)
+		}
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package difftest
+
+import (
+	"errors"
+	"fmt"
+
+	"manorm/internal/core"
+	"manorm/internal/fd"
+	"manorm/internal/mat"
+)
+
+// CaveatPipeline hand-builds the decomposition the paper's Fig. 3 warns
+// about and core.Decompose refuses (ErrActionToMatch): splitting a table
+// along a dependency whose left-hand side contains an action attribute
+// and whose right-hand side contains a match field.
+//
+// Heath's theorem still applies relationally — the projections join back
+// to the original table — but the first stage must then decide the action
+// *without* seeing the moved match field, which leaves it with duplicate
+// match rows: the resulting table is not order-independent (not 1NF), and
+// no priority assignment can make it faithful. Executing this pipeline is
+// how the differential harness demonstrates the caveat is real: the
+// relational evaluator reports the ambiguity, and compiled classifiers
+// silently tie-break and return wrong verdicts.
+func CaveatPipeline(t *mat.Table) (*mat.Pipeline, error) {
+	a := core.Analyze(t)
+	cands := fd.ActionToMatch(t.Schema, a.FDs)
+	if len(cands) == 0 {
+		return nil, errors.New("difftest: table has no action-to-match dependency to exploit")
+	}
+	f := cands[0]
+
+	// Move a single determined match field to the second stage (Fig. 3
+	// moves vlan); everything else stays in stage 1 together with the
+	// metadata tag identifying the LHS group.
+	x := f.From
+	var y mat.AttrSet
+	for _, i := range f.To.Minus(x).Members() {
+		if t.Schema[i].Kind == mat.Field {
+			y = mat.NewAttrSet(i)
+			break
+		}
+	}
+	if y.Empty() {
+		return nil, errors.New("difftest: dependency has no match field to move")
+	}
+
+	groups := t.GroupBy(x)
+	gidOf := make([]int, len(t.Entries))
+	for gi, idxs := range groups {
+		for _, ei := range idxs {
+			gidOf[ei] = gi
+		}
+	}
+	mw := uint8(1)
+	for n := len(groups); n > 1<<mw; {
+		mw++
+	}
+	metaName := mat.MetaPrefix + "_" + x.Names(t.Schema)[0]
+
+	// Stage 1: every attribute except the moved field, plus the metadata
+	// write. The projection keeps full rows distinct but match rows
+	// duplicated — the 1NF violation the construction cannot avoid.
+	s1Idx := mat.FullSet(len(t.Schema)).Minus(y).Members()
+	s1Sch := append(t.Schema.Project(s1Idx), mat.A(metaName, mw))
+	s1 := mat.New(t.Name+"_dec", s1Sch)
+	seen1 := make(map[string]bool, len(t.Entries))
+	for ei, e := range t.Entries {
+		row := make([]mat.Cell, 0, len(s1Sch))
+		for _, i := range s1Idx {
+			row = append(row, e[i])
+		}
+		row = append(row, mat.Exact(uint64(gidOf[ei]), mw))
+		k := fmt.Sprint(row)
+		if seen1[k] {
+			continue
+		}
+		seen1[k] = true
+		s1.Add(row...)
+	}
+
+	// Stage 2: the metadata tag plus the moved match field — the
+	// "validation" table that checks the field against the group.
+	yIdx := y.Members()
+	s2Sch := append(mat.Schema{mat.F(metaName, mw)}, t.Schema.Project(yIdx)...)
+	s2 := mat.New(t.Name+"_dep", s2Sch)
+	seen2 := make(map[string]bool, len(t.Entries))
+	for ei, e := range t.Entries {
+		row := make([]mat.Cell, 0, len(s2Sch))
+		row = append(row, mat.Exact(uint64(gidOf[ei]), mw))
+		for _, i := range yIdx {
+			row = append(row, e[i])
+		}
+		k := fmt.Sprint(row)
+		if seen2[k] {
+			continue
+		}
+		seen2[k] = true
+		s2.Add(row...)
+	}
+
+	p := &mat.Pipeline{
+		Name: t.Name + "-fig3",
+		Stages: []mat.Stage{
+			{Table: s1, Next: 1, MissDrop: true},
+			{Table: s2, Next: -1, MissDrop: true},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("difftest: caveat pipeline invalid: %w", err)
+	}
+	return p, nil
+}
+
+// PlantCaveat generates a program carrying the Fig. 3 trap: a universal
+// table with an action-to-match dependency plus the Caveat flag that
+// makes Execute attach the forbidden decomposition. Executing it must
+// diverge; the caller typically shrinks the result and writes it to the
+// corpus.
+func PlantCaveat(seed int64, cfg GenConfig) (*Program, error) {
+	cfg.PlantActionFD = true
+	p := Generate(seed, cfg)
+	if _, err := CaveatPipeline(p.Table); err != nil {
+		return nil, fmt.Errorf("difftest: seed %d: %w", seed, err)
+	}
+	return p, nil
+}

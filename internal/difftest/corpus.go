@@ -1,0 +1,123 @@
+package difftest
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"manorm/internal/mat"
+	"manorm/internal/packet"
+)
+
+// corpusFile is the on-disk reproducer format: the universal table in the
+// mat JSON codec, the packets as hex-encoded wire frames (so replay
+// parses exactly the bytes the divergence was found on), and the
+// divergence kind recorded when the file was written.
+type corpusFile struct {
+	Seed   int64      `json:"seed"`
+	Note   string     `json:"note,omitempty"`
+	Kind   string     `json:"kind,omitempty"`
+	Caveat bool       `json:"caveat,omitempty"`
+	Table  *mat.Table `json:"table"`
+	Frames []string   `json:"frames"`
+}
+
+// MarshalCorpus serializes a program (plus the divergence kind that
+// triggered the write) into the corpus JSON format.
+func MarshalCorpus(p *Program, kind string) ([]byte, error) {
+	cf := corpusFile{Seed: p.Seed, Note: p.Note, Kind: kind, Caveat: p.Caveat, Table: p.Table}
+	cf.Frames = make([]string, len(p.Packets))
+	for i, pk := range p.Packets {
+		cf.Frames[i] = hex.EncodeToString(pk.Marshal(nil))
+	}
+	return json.MarshalIndent(cf, "", "  ")
+}
+
+// UnmarshalCorpus parses a corpus file back into a replayable program and
+// the recorded divergence kind.
+func UnmarshalCorpus(b []byte) (*Program, string, error) {
+	var cf corpusFile
+	if err := json.Unmarshal(b, &cf); err != nil {
+		return nil, "", fmt.Errorf("difftest: corpus: %w", err)
+	}
+	if cf.Table == nil {
+		return nil, "", fmt.Errorf("difftest: corpus: no table")
+	}
+	p := &Program{Seed: cf.Seed, Note: cf.Note, Caveat: cf.Caveat, Table: cf.Table}
+	for i, h := range cf.Frames {
+		raw, err := hex.DecodeString(h)
+		if err != nil {
+			return nil, "", fmt.Errorf("difftest: corpus frame %d: %w", i, err)
+		}
+		pk, err := packet.Parse(raw)
+		if err != nil {
+			return nil, "", fmt.Errorf("difftest: corpus frame %d: %w", i, err)
+		}
+		p.Packets = append(p.Packets, pk)
+	}
+	return p, cf.Kind, nil
+}
+
+// WriteCorpus writes the program into dir under a content-addressed name
+// ("<kind>-<hash>.json"), creating dir if needed, and returns the path.
+// Writing the same reproducer twice is idempotent.
+func WriteCorpus(dir string, p *Program, kind string) (string, error) {
+	b, err := MarshalCorpus(p, kind)
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	path := filepath.Join(dir, fmt.Sprintf("%s-%s.json", kind, hex.EncodeToString(sum[:4])))
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ReadCorpus loads one corpus file.
+func ReadCorpus(path string) (*Program, string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	return UnmarshalCorpus(b)
+}
+
+// CorpusFiles lists the corpus files in dir in sorted order; a missing
+// directory is an empty corpus.
+func CorpusFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Replay executes one corpus file and reports its divergences plus the
+// kind recorded when it was written. Regression tests assert that every
+// committed reproducer still diverges with its recorded kind.
+func Replay(path string, cfg ExecConfig) ([]Divergence, string, error) {
+	p, kind, err := ReadCorpus(path)
+	if err != nil {
+		return nil, "", err
+	}
+	divs, err := Execute(p, cfg)
+	return divs, kind, err
+}

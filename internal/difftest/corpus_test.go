@@ -1,0 +1,50 @@
+package difftest
+
+import (
+	"testing"
+)
+
+// TestCorpusRoundTrip: marshal → unmarshal must preserve the table, the
+// caveat flag and every frame byte-for-byte (packets compare via their
+// records, which cover all matched fields).
+func TestCorpusRoundTrip(t *testing.T) {
+	for _, seed := range []int64{3, 7} {
+		p := Generate(seed, DefaultGenConfig())
+		p.Caveat = seed == 7
+		b, err := MarshalCorpus(p, KindVerdict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, kind, err := UnmarshalCorpus(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind != KindVerdict {
+			t.Fatalf("kind %q, want %q", kind, KindVerdict)
+		}
+		if q.Caveat != p.Caveat || q.Seed != p.Seed || q.Note != p.Note {
+			t.Fatalf("metadata changed: %+v vs %+v", q, p)
+		}
+		if !q.Table.Equal(p.Table) {
+			t.Fatalf("table changed across round trip:\n%s\n%s", p.Table, q.Table)
+		}
+		if len(q.Packets) != len(p.Packets) {
+			t.Fatalf("packet count %d, want %d", len(q.Packets), len(p.Packets))
+		}
+		for i := range p.Packets {
+			if !p.Packets[i].Record().Equal(q.Packets[i].Record()) {
+				t.Fatalf("packet %d changed across round trip", i)
+			}
+		}
+	}
+}
+
+// TestCorpusRejectsGarbage: loader errors, not panics, on malformed
+// files.
+func TestCorpusRejectsGarbage(t *testing.T) {
+	for _, b := range []string{"", "{", `{"frames":["zz"]}`, `{"table":null}`} {
+		if _, _, err := UnmarshalCorpus([]byte(b)); err == nil {
+			t.Fatalf("no error for %q", b)
+		}
+	}
+}

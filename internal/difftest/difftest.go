@@ -1,0 +1,171 @@
+// Package difftest is the differential fuzzing subsystem: it generates
+// random match-action programs, enumerates every representation the
+// normalization machinery can produce for them (the universal table, the
+// full 3NF pipelines under the metadata and goto joins, and one-step
+// decompositions along every mined dependency), executes all of them on
+// all four switch models, and cross-checks the outputs packet by packet —
+// against each other, against the relational semantics, against the
+// finite-domain NetKAT oracle where widths permit, and against the
+// per-packet trace witnesses.
+//
+// By the paper's Theorem 1 every representation of a 1NF table is
+// semantically equivalent, so for a well-formed generated program *any*
+// disagreement is a bug — in the normalizer, in a classifier, in a flow
+// cache, or in the harness's own understanding of the semantics. The
+// generator also knows how to plant the paper's Fig. 3 caveat (a
+// decomposition along an action-to-match dependency, which core.Decompose
+// rightly refuses): executing the hand-built forbidden pipeline must
+// produce a divergence, which the shrinker minimizes into a replayable
+// corpus file. cmd/mafuzz drives the loop; the corpus under
+// testdata/corpus is replayed by the regression tests and by CI.
+package difftest
+
+import (
+	"fmt"
+
+	"manorm/internal/core"
+	"manorm/internal/mat"
+	"manorm/internal/packet"
+	"manorm/internal/switches"
+)
+
+// Program is one differential test case: a universal table plus the
+// packet batch to drive through every representation of it.
+type Program struct {
+	// Seed is the generator seed the program came from (0 for hand-built
+	// or corpus-loaded programs).
+	Seed int64
+	// Note is a human-readable provenance tag ("gen(seed=42)",
+	// "fig3-caveat(seed=7)", ...).
+	Note string
+	// Caveat attaches the hand-built Fig. 3 decomposition (see
+	// CaveatPipeline) as an extra variant. It is part of the program, not
+	// the executor config, so that shrinking and corpus replay preserve
+	// it.
+	Caveat bool
+	// Table is the universal (single-table, 1NF) program.
+	Table *mat.Table
+	// Packets is the input batch. Packets are full-stack
+	// Ethernet/VLAN/IPv4/TCP frames so the relational record and the
+	// parsed wire frame agree on every canonical field.
+	Packets []*packet.Packet
+}
+
+// Clone deep-copies the program.
+func (p *Program) Clone() *Program {
+	q := &Program{Seed: p.Seed, Note: p.Note, Caveat: p.Caveat, Table: p.Table.Clone()}
+	q.Packets = make([]*packet.Packet, len(p.Packets))
+	for i, pk := range p.Packets {
+		c := *pk
+		c.Payload = append([]byte(nil), pk.Payload...)
+		q.Packets[i] = &c
+	}
+	return q
+}
+
+// Size is the shrink metric: schema attributes + entries + packets. The
+// shrinker only accepts candidates that strictly decrease it.
+func (p *Program) Size() int {
+	return len(p.Table.Schema) + len(p.Table.Entries) + len(p.Packets)
+}
+
+// Divergence kinds, roughly ordered by layer.
+const (
+	// KindConstruct: building or installing a representation failed where
+	// it must not (Variants, CaveatPipeline, dataplane.Compile, Install).
+	KindConstruct = "construct"
+	// KindEval: an evaluator reported a runtime error — almost always the
+	// ambiguous-match error, i.e. an order-independence (1NF) violation
+	// observable at runtime. This is how the planted Fig. 3 decomposition
+	// announces itself under the relational semantics.
+	KindEval = "eval-error"
+	// KindRelational: a variant's relational (mat.Eval) observable output
+	// differs from the universal table's on some packet.
+	KindRelational = "relational"
+	// KindOracle: the finite-domain NetKAT oracle found a diverging probe
+	// packet (possibly one no generated packet covered).
+	KindOracle = "oracle"
+	// KindVerdict: a compiled representation's verdict (drop/output port)
+	// on a switch model differs from the relational ground truth.
+	KindVerdict = "verdict"
+	// KindMutation: the dataplane's final header rewrites differ from the
+	// action attributes the relational semantics assigned.
+	KindMutation = "mutation"
+	// KindWitness: a ProcessExplain trace witness is inconsistent with
+	// the verdict it explains.
+	KindWitness = "witness"
+	// KindCache: a switch model changed its verdict between a cold and a
+	// warm run of the same batch — a flow-cache replay bug.
+	KindCache = "cache"
+)
+
+// Divergence is one detected disagreement between representations.
+type Divergence struct {
+	// Kind is one of the Kind* constants.
+	Kind string
+	// Variant names the representation that disagreed ("universal",
+	// "nf3-metadata", "dec(...)/goto", "fig3-caveat", ...).
+	Variant string
+	// Model is the switch model involved, "dataplane" for the directly
+	// compiled pipeline, or "" for relational/oracle checks.
+	Model string
+	// Packet is the index into Program.Packets, or -1 when the check is
+	// not tied to a generated packet (oracle probes, construction).
+	Packet int
+	// Detail is a human-readable description of the disagreement.
+	Detail string
+}
+
+// String renders the divergence on one line.
+func (d Divergence) String() string {
+	where := d.Variant
+	if d.Model != "" {
+		where += "@" + d.Model
+	}
+	if d.Packet >= 0 {
+		return fmt.Sprintf("[%s] %s pkt %d: %s", d.Kind, where, d.Packet, d.Detail)
+	}
+	return fmt.Sprintf("[%s] %s: %s", d.Kind, where, d.Detail)
+}
+
+// ExecConfig controls how much cross-checking Execute performs per
+// program.
+type ExecConfig struct {
+	// Models lists the switch models to execute on; nil means all four.
+	Models []string
+	// Target is the normal form Variants normalizes to (default 3NF).
+	Target core.Form
+	// OracleExhaustive is the largest probe-domain size the NetKAT oracle
+	// enumerates exhaustively ("where widths permit").
+	OracleExhaustive int
+	// OracleSample is the probe count for sampled oracle checks when the
+	// domain is too large to enumerate; 0 skips those domains.
+	OracleSample int
+	// MaxDivergences stops the executor early once this many divergences
+	// accumulated (a broken program tends to diverge everywhere at once).
+	MaxDivergences int
+}
+
+// DefaultExecConfig is the configuration mafuzz and the tests run with.
+func DefaultExecConfig() ExecConfig {
+	return ExecConfig{
+		Models:           switches.ModelNames(),
+		Target:           core.NF3,
+		OracleExhaustive: 4096,
+		OracleSample:     128,
+		MaxDivergences:   16,
+	}
+}
+
+func (c ExecConfig) withDefaults() ExecConfig {
+	if c.Models == nil {
+		c.Models = switches.ModelNames()
+	}
+	if c.Target == 0 {
+		c.Target = core.NF3
+	}
+	if c.MaxDivergences <= 0 {
+		c.MaxDivergences = 16
+	}
+	return c
+}

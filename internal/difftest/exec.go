@@ -1,0 +1,253 @@
+package difftest
+
+import (
+	"errors"
+	"fmt"
+
+	"manorm/internal/core"
+	"manorm/internal/dataplane"
+	"manorm/internal/mat"
+	"manorm/internal/netkat"
+	"manorm/internal/packet"
+	"manorm/internal/switches"
+)
+
+// mutTargets maps the generator's rewriting actions onto the canonical
+// header field the dataplane writes them to (internal/dataplane's action
+// lowering); the mutation check compares those header fields against the
+// action attributes the relational semantics assigned.
+var mutTargets = map[string]string{
+	"mod_vlan": packet.FieldVLAN,
+	"mod_smac": packet.FieldEthSrc,
+	"mod_dmac": packet.FieldEthDst,
+}
+
+// truth is the relational ground truth for one packet: the universal
+// table's observable output.
+type truth struct {
+	obs  mat.Record
+	drop bool
+	port uint16
+}
+
+// Execute runs one program differentially: it enumerates every
+// representation (core.Variants, plus the Fig. 3 pipeline for caveat
+// programs), establishes ground truth by evaluating the universal table
+// relationally on every packet, and then cross-checks
+//
+//   - every variant's relational evaluation, packet by packet;
+//   - every variant against the universal table under the finite-domain
+//     NetKAT oracle (exhaustively where the joint domain is small enough,
+//     sampled otherwise);
+//   - every variant compiled to the raw dataplane: verdicts, header
+//     mutations, and the ProcessExplain witness's consistency;
+//   - every variant installed on every switch model, batch-processed
+//     twice so the second, cache-warm pass validates flow-cache replay.
+//
+// The returned divergences are empty for a healthy program. An error
+// means the harness itself could not run (nil table, unknown model) —
+// never that the program diverged.
+func Execute(p *Program, cfg ExecConfig) ([]Divergence, error) {
+	if p == nil || p.Table == nil {
+		return nil, errors.New("difftest: nil program")
+	}
+	cfg = cfg.withDefaults()
+	var divs []Divergence
+	full := func() bool { return len(divs) >= cfg.MaxDivergences }
+	add := func(kind, variant, model string, pkt int, format string, args ...any) {
+		if !full() {
+			divs = append(divs, Divergence{
+				Kind: kind, Variant: variant, Model: model, Packet: pkt,
+				Detail: fmt.Sprintf(format, args...),
+			})
+		}
+	}
+
+	vs, err := core.Variants(p.Table, cfg.Target)
+	if err != nil {
+		add(KindConstruct, "variants", "", -1, "%v", err)
+		return divs, nil
+	}
+	if p.Caveat {
+		cp, err := CaveatPipeline(p.Table)
+		if err != nil {
+			add(KindConstruct, "fig3-caveat", "", -1, "%v", err)
+			return divs, nil
+		}
+		vs = append(vs, core.Variant{Name: "fig3-caveat", Pipeline: cp})
+	}
+	uni := vs[0].Pipeline
+	hasOut := p.Table.Schema.Index("out") >= 0
+
+	// Ground truth: the universal 1NF table under the relational
+	// semantics. If even that is ambiguous the program itself is broken.
+	expected := make([]truth, len(p.Packets))
+	recs := make([]mat.Record, len(p.Packets))
+	for i, pkt := range p.Packets {
+		recs[i] = pkt.Record()
+		out, err := uni.Eval(recs[i])
+		if err != nil {
+			add(KindEval, "universal", "", i, "%v", err)
+			return divs, nil
+		}
+		expected[i] = truth{obs: out.Observable(), drop: out[mat.DropAttr] == 1, port: uint16(out["out"])}
+	}
+
+	// Relational cross-check of every other representation.
+	for _, v := range vs[1:] {
+		for i := range p.Packets {
+			out, err := v.Pipeline.Eval(recs[i])
+			if err != nil {
+				add(KindEval, v.Name, "", i, "%v", err)
+				break
+			}
+			if !out.Observable().Equal(expected[i].obs) {
+				add(KindRelational, v.Name, "", i, "got %v, want %v", out.Observable(), expected[i].obs)
+				break
+			}
+		}
+		if full() {
+			return divs, nil
+		}
+	}
+
+	// NetKAT oracle: exhaustive over the joint probe domain where widths
+	// permit, sampled otherwise. This covers inputs the packet batch
+	// missed.
+	for _, v := range vs[1:] {
+		limit := cfg.OracleSample
+		if s := netkat.DomainOfPipelines(uni, v.Pipeline).Size(); s <= cfg.OracleExhaustive {
+			limit = cfg.OracleExhaustive
+		}
+		if limit <= 0 {
+			continue
+		}
+		cex, _, err := netkat.EquivalentPipelines(uni, v.Pipeline, limit)
+		if err != nil {
+			add(KindEval, v.Name, "", -1, "oracle probe: %v", err)
+		} else if cex != nil {
+			add(KindOracle, v.Name, "", -1, "%v", cex.Error())
+		}
+		if full() {
+			return divs, nil
+		}
+	}
+
+	// Compiled execution. Frames are marshaled once; every executor
+	// parses its own copy, as a real datapath would.
+	frames := make([][]byte, len(p.Packets))
+	for i, pkt := range p.Packets {
+		frames[i] = pkt.Marshal(nil)
+	}
+
+	// Raw dataplane: verdicts, witness consistency, header mutations.
+	for _, v := range vs {
+		dp, err := dataplane.Compile(v.Pipeline, dataplane.AutoTemplates)
+		if err != nil {
+			add(KindConstruct, v.Name, "dataplane", -1, "compile: %v", err)
+			continue
+		}
+		ctx := dp.NewCtx()
+		var scratch packet.Packet
+		for i := range p.Packets {
+			if err := scratch.ParseInto(frames[i]); err != nil {
+				return nil, fmt.Errorf("difftest: reparse frame %d: %w", i, err)
+			}
+			verd, wit, err := dp.ProcessExplain(&scratch, ctx)
+			if err != nil {
+				add(KindEval, v.Name, "dataplane", i, "%v", err)
+				break
+			}
+			exp := expected[i]
+			if verd.Drop != exp.drop || (!exp.drop && hasOut && verd.Port != exp.port) {
+				add(KindVerdict, v.Name, "dataplane", i,
+					"verdict {drop:%v port:%d}, want {drop:%v port:%d}", verd.Drop, verd.Port, exp.drop, exp.port)
+				break
+			}
+			if wit.Drop != verd.Drop || wit.Port != verd.Port ||
+				wit.Tables != verd.Tables || len(wit.Stages) != verd.Tables {
+				add(KindWitness, v.Name, "dataplane", i,
+					"witness {drop:%v port:%d tables:%d stages:%d} inconsistent with verdict {drop:%v port:%d tables:%d}",
+					wit.Drop, wit.Port, wit.Tables, len(wit.Stages), verd.Drop, verd.Port, verd.Tables)
+				break
+			}
+			if !exp.drop {
+				if d := checkMutations(p.Table.Schema, exp.obs, p.Packets[i], &scratch); d != "" {
+					add(KindMutation, v.Name, "dataplane", i, "%s", d)
+					break
+				}
+			}
+		}
+		if full() {
+			return divs, nil
+		}
+	}
+
+	// Switch models: install every variant, process the batch cold, then
+	// again warm — the second pass runs out of the models' flow caches
+	// and must replay identical verdicts.
+	out1 := make([]dataplane.Verdict, len(frames))
+	out2 := make([]dataplane.Verdict, len(frames))
+	for _, model := range cfg.Models {
+		sw, err := switches.New(model)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range vs {
+			if err := sw.Install(v.Pipeline); err != nil {
+				add(KindConstruct, v.Name, model, -1, "install: %v", err)
+				continue
+			}
+			w := sw.NewWorker()
+			if err := w.ProcessBatch(frames, out1); err != nil {
+				add(KindEval, v.Name, model, -1, "cold batch: %v", err)
+				continue
+			}
+			if err := w.ProcessBatch(frames, out2); err != nil {
+				add(KindEval, v.Name, model, -1, "warm batch: %v", err)
+				continue
+			}
+			for i := range frames {
+				exp := expected[i]
+				if out1[i].Drop != exp.drop || (!exp.drop && hasOut && out1[i].Port != exp.port) {
+					add(KindVerdict, v.Name, model, i,
+						"verdict {drop:%v port:%d}, want {drop:%v port:%d}", out1[i].Drop, out1[i].Port, exp.drop, exp.port)
+					break
+				}
+				if out1[i].Drop != out2[i].Drop || out1[i].Port != out2[i].Port {
+					add(KindCache, v.Name, model, i,
+						"cold {drop:%v port:%d} vs warm {drop:%v port:%d}", out1[i].Drop, out1[i].Port, out2[i].Drop, out2[i].Port)
+					break
+				}
+			}
+			if full() {
+				return divs, nil
+			}
+		}
+	}
+	return divs, nil
+}
+
+// checkMutations compares the dataplane's final header fields against the
+// relational record: for every rewriting action attribute in the schema
+// the mapped header field must equal the value the relational semantics
+// assigned (or the original value if the relational run never wrote it).
+// It returns a description of the first mismatch, or "".
+func checkMutations(sch mat.Schema, obs mat.Record, orig *packet.Packet, got *packet.Packet) string {
+	for _, ai := range sch.Actions() {
+		name := sch[ai].Name
+		fldName, ok := mutTargets[name]
+		if !ok {
+			continue
+		}
+		want, wrote := obs[name]
+		if !wrote {
+			want, _ = orig.Field(fldName)
+		}
+		have, _ := got.Field(fldName)
+		if have != want {
+			return fmt.Sprintf("%s: header %s = %d, want %d", name, fldName, have, want)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,163 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+
+	"manorm/internal/mat"
+	"manorm/internal/packet"
+)
+
+// TestExecuteClean: well-formed generated programs must execute with zero
+// divergences across every representation, every switch model, and the
+// oracle — the paper's Theorem 1, checked end to end. mafuzz runs the
+// same check over thousands of seeds; this is the fast always-on slice.
+func TestExecuteClean(t *testing.T) {
+	cfg := DefaultExecConfig()
+	for seed := int64(1); seed <= 25; seed++ {
+		p := Generate(seed, DefaultGenConfig())
+		divs, err := Execute(p, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, d := range divs {
+			t.Errorf("seed %d: %s", seed, d)
+		}
+		if t.Failed() {
+			t.Fatalf("diverging table:\n%s", p.Table)
+		}
+	}
+}
+
+// TestExecuteCaveatDiverges: every planted Fig. 3 program must produce at
+// least one divergence, and the divergences must include the two
+// signatures of a 1NF violation — the relational evaluator's ambiguity
+// error and/or a wrong verdict from a silently tie-breaking classifier.
+func TestExecuteCaveatDiverges(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		p, err := PlantCaveat(seed, DefaultGenConfig())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		divs, err := Execute(p, DefaultExecConfig())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(divs) == 0 {
+			t.Fatalf("seed %d: caveat program did not diverge:\n%s", seed, p.Table)
+		}
+		caveatOnly := true
+		for _, d := range divs {
+			if d.Variant != "fig3-caveat" {
+				caveatOnly = false
+			}
+		}
+		if !caveatOnly {
+			t.Fatalf("seed %d: divergence outside the planted variant: %v", seed, divs)
+		}
+	}
+}
+
+// TestExecuteDetectsBrokenPipeline: hand-build an obviously wrong
+// representation (wrong output port) as a universal-vs-variant pair via
+// the caveat hook and confirm the relational layer flags it. This guards
+// the executor itself: a harness that cannot see a planted bug would
+// happily report thousands of clean iterations.
+func TestExecuteDetectsBrokenPipeline(t *testing.T) {
+	sch := mat.Schema{mat.F(packet.FieldVLAN, 12), mat.F(packet.FieldTCPDst, 16), mat.A("out", 16)}
+	tab := mat.New("fig3", sch)
+	// The paper's Fig. 3 instance: out is determined by (vlan, tcp_dst)
+	// jointly, and {out} → {tcp_dst} holds.
+	tab.Add(mat.Exact(1, 12), mat.Exact(80, 16), mat.Exact(1, 16))
+	tab.Add(mat.Exact(1, 12), mat.Exact(443, 16), mat.Exact(2, 16))
+	tab.Add(mat.Exact(2, 12), mat.Exact(80, 16), mat.Exact(3, 16))
+	tab.Add(mat.Exact(2, 12), mat.Exact(443, 16), mat.Exact(4, 16))
+
+	mk := func(vlan uint16, dport uint16) *packet.Packet {
+		pk := packet.TCP4(0xa, 0xb, 0x0a000001, 0x0a000002, 1234, dport)
+		pk.HasVLAN = true
+		pk.VLANID = vlan
+		var q packet.Packet
+		if err := q.ParseInto(pk.Marshal(nil)); err != nil {
+			t.Fatal(err)
+		}
+		return &q
+	}
+	p := &Program{
+		Note:   "hand-built fig3",
+		Caveat: true,
+		Table:  tab,
+		Packets: []*packet.Packet{
+			mk(1, 80), mk(1, 443), mk(2, 80), mk(2, 443), mk(3, 80),
+		},
+	}
+	divs, err := Execute(p, DefaultExecConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawEval, sawRuntime bool
+	for _, d := range divs {
+		if d.Variant != "fig3-caveat" {
+			t.Fatalf("divergence outside planted variant: %s", d)
+		}
+		switch d.Kind {
+		case KindEval:
+			sawEval = true
+			if !strings.Contains(d.Detail, "ambiguous") {
+				t.Fatalf("eval divergence without ambiguity: %s", d)
+			}
+		case KindVerdict, KindConstruct, KindOracle, KindRelational:
+			sawRuntime = true
+		}
+	}
+	if !sawEval {
+		t.Fatalf("relational ambiguity not detected: %v", divs)
+	}
+	if !sawRuntime {
+		t.Fatalf("no compiled-layer divergence detected: %v", divs)
+	}
+}
+
+// TestExecuteCleanOnFig3Universal: the Fig. 3 *universal* table is a fine
+// 1NF program — without the Caveat flag it must execute cleanly. The trap
+// is the decomposition, not the table.
+func TestExecuteCleanOnFig3Universal(t *testing.T) {
+	p, err := PlantCaveat(3, DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Caveat = false
+	divs, err := Execute(p, DefaultExecConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(divs) != 0 {
+		t.Fatalf("universal fig3 table diverged without the planted pipeline: %v", divs)
+	}
+}
+
+// TestExecuteHazardSignature: the set-field/rematch hazard must show the
+// signature that motivates runtime differential testing — the relational
+// evaluator and the NetKAT oracle certify the decomposition equivalent,
+// while every compiled executor diverges on the verdict.
+func TestExecuteHazardSignature(t *testing.T) {
+	p := PlantRematchHazard(2)
+	divs, err := Execute(p, DefaultExecConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(divs) == 0 {
+		t.Fatalf("hazard program did not diverge:\n%s", p.Table)
+	}
+	for _, d := range divs {
+		if d.Kind != KindVerdict {
+			t.Fatalf("expected only verdict divergences, got %s", d)
+		}
+		if d.Model == "" {
+			t.Fatalf("hazard divergence at the relational/oracle layer: %s", d)
+		}
+		if !strings.Contains(d.Variant, "rematch") && !strings.Contains(d.Variant, "const") {
+			t.Fatalf("divergence outside the rematch/const decomposition: %s", d)
+		}
+	}
+}

@@ -1,0 +1,361 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"manorm/internal/mat"
+	"manorm/internal/packet"
+)
+
+// GenConfig bounds the generator. The defaults are sized so that one
+// program's full differential execution (all variants × all models ×
+// oracle) stays in the low milliseconds — mafuzz runs thousands of them.
+type GenConfig struct {
+	// MinFields/MaxFields bound the number of match columns.
+	MinFields, MaxFields int
+	// MaxExtraActions bounds the header-rewriting actions added besides
+	// the always-present "out".
+	MaxExtraActions int
+	// MaxEntries bounds the entry count (before deduplication).
+	MaxEntries int
+	// MinPackets/MaxPackets bound the input batch.
+	MinPackets, MaxPackets int
+	// PlantActionFD switches the generator into caveat mode: the table is
+	// shaped like the paper's Fig. 3 — an action column whose value
+	// functionally determines a match field, without the remaining match
+	// columns determining the action. Decomposing along that dependency
+	// is exactly what Theorem 1 forbids; PlantCaveat builds the forbidden
+	// pipeline from it.
+	PlantActionFD bool
+}
+
+// DefaultGenConfig returns the standard fuzzing envelope.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		MinFields: 2, MaxFields: 4,
+		MaxExtraActions: 2,
+		MaxEntries:      12,
+		MinPackets:      8, MaxPackets: 20,
+	}
+}
+
+// attrSpec is one choosable schema attribute.
+type attrSpec struct {
+	name  string
+	width uint8
+	// target is the canonical packet field a rewriting action writes
+	// ("" for match fields and for "out").
+	target string
+}
+
+// fieldPool lists the match fields the generator draws from. eth_type and
+// ip_proto are excluded: generated packets are always Ethernet/IPv4/TCP,
+// so those fields are constant and matching them adds nothing.
+var fieldPool = []attrSpec{
+	{name: packet.FieldEthSrc, width: 48},
+	{name: packet.FieldEthDst, width: 48},
+	{name: packet.FieldVLAN, width: 12},
+	{name: packet.FieldIPSrc, width: 32},
+	{name: packet.FieldIPDst, width: 32},
+	{name: packet.FieldTTL, width: 8},
+	{name: packet.FieldTCPSrc, width: 16},
+	{name: packet.FieldTCPDst, width: 16},
+}
+
+// actionPool lists the optional rewriting actions (the dataplane maps
+// them onto header fields; see internal/dataplane). mod_ttl is excluded
+// because its decrement semantics has no relational counterpart.
+var actionPool = []attrSpec{
+	{name: "mod_vlan", width: 12, target: packet.FieldVLAN},
+	{name: "mod_smac", width: 48, target: packet.FieldEthSrc},
+	{name: "mod_dmac", width: 48, target: packet.FieldEthDst},
+}
+
+// mask returns the low-width-bits mask.
+func mask(width uint8) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << width) - 1
+}
+
+// prefixMask selects the top plen bits of a width-bit value.
+func prefixMask(plen, width uint8) uint64 {
+	if plen == 0 {
+		return 0
+	}
+	if plen > width {
+		plen = width
+	}
+	return mask(width) &^ mask(width-plen)
+}
+
+// cellPool builds a pool of pairwise-disjoint match patterns for one
+// column, mixing exact values with prefixes of varying length.
+//
+// Disjointness per column is a deliberate soundness constraint, not a
+// simplification: the OVS megaflow cache (see the trace-soundness note in
+// internal/dataplane) is only exact for tables whose per-column patterns
+// are pairwise disjoint or equal, and under that discipline two entries
+// overlap iff their match rows are identical — so a deduplicated table
+// can never hit the runtime ambiguity error. Clean programs therefore
+// execute everywhere without caveats; ambiguity is reserved for the
+// deliberately planted Fig. 3 reproducers.
+func cellPool(rng *rand.Rand, width uint8, minCells int, allowWildcard bool) []mat.Cell {
+	if allowWildcard && rng.Float64() < 0.15 {
+		return []mat.Cell{mat.Any()}
+	}
+	n := minCells + rng.Intn(4)
+	if n < minCells {
+		n = minCells
+	}
+	var cells []mat.Cell
+	for tries := 0; len(cells) < n && tries < 8*n; tries++ {
+		span := uint8(8)
+		if span > width {
+			span = width
+		}
+		plen := width - uint8(rng.Intn(int(span)))
+		if rng.Float64() < 0.5 {
+			plen = width // bias toward exact matches
+		}
+		c := mat.Prefix(rng.Uint64(), plen, width)
+		disjoint := true
+		for _, o := range cells {
+			if c.Overlaps(o, width) {
+				disjoint = false
+				break
+			}
+		}
+		if disjoint {
+			cells = append(cells, c)
+		}
+	}
+	// Top up with sequential exact values if random draws kept colliding,
+	// so minCells is a guarantee, not a hope.
+	for v := uint64(0); len(cells) < minCells; v++ {
+		c := mat.Exact(v, width)
+		disjoint := true
+		for _, o := range cells {
+			if c.Overlaps(o, width) {
+				disjoint = false
+				break
+			}
+		}
+		if disjoint {
+			cells = append(cells, c)
+		}
+	}
+	return cells
+}
+
+// distinctValue draws an exact width-bit value not yet in used, marking
+// it used.
+func distinctValue(rng *rand.Rand, width uint8, used map[uint64]bool) uint64 {
+	for {
+		v := rng.Uint64() & mask(width)
+		if !used[v] {
+			used[v] = true
+			return v
+		}
+	}
+}
+
+// Generate produces one seeded, deterministic program: a 1NF universal
+// table with planted field→action dependencies (so the normalizer has
+// structure to decompose) and a packet batch biased toward the installed
+// entries. The same seed and config always produce the same program.
+func Generate(seed int64, cfg GenConfig) *Program {
+	rng := rand.New(rand.NewSource(seed))
+	if cfg.PlantActionFD {
+		return generateCaveat(seed, rng, cfg)
+	}
+
+	// Schema: nf match fields, "out", and extra rewriting actions whose
+	// target field is not itself matched (a set-field into a field a
+	// later stage re-matches would change the match result mid-pipeline —
+	// real switches behave that way, the relational semantics does not;
+	// see the hazard reproducer in testdata/corpus).
+	nf := cfg.MinFields + rng.Intn(cfg.MaxFields-cfg.MinFields+1)
+	perm := rng.Perm(len(fieldPool))
+	fields := make([]attrSpec, nf)
+	matched := make(map[string]bool, nf)
+	for i := 0; i < nf; i++ {
+		fields[i] = fieldPool[perm[i]]
+		matched[fields[i].name] = true
+	}
+	acts := []attrSpec{{name: "out", width: 16}}
+	for _, i := range rng.Perm(len(actionPool)) {
+		a := actionPool[i]
+		if len(acts)-1 >= cfg.MaxExtraActions || matched[a.target] {
+			continue
+		}
+		if rng.Float64() < 0.5 {
+			acts = append(acts, a)
+		}
+	}
+
+	sch := make(mat.Schema, 0, nf+len(acts))
+	for _, f := range fields {
+		sch = append(sch, mat.F(f.name, f.width))
+	}
+	for _, a := range acts {
+		sch = append(sch, mat.A(a.name, a.width))
+	}
+	t := mat.New(fmt.Sprintf("fuzz%d", seed), sch)
+
+	pools := make([][]mat.Cell, nf)
+	for i, f := range fields {
+		pools[i] = cellPool(rng, f.width, 2, true)
+	}
+
+	// Group structure: entries cluster on fields[0]'s cell, and a random
+	// subset of the actions is constant per group — planting
+	// {fields[0]} → {actions...} dependencies for the normalizer to find.
+	G := 1 + rng.Intn(min(3, len(pools[0])))
+	determined := make([]bool, len(acts))
+	for ai := range acts {
+		p := 0.6
+		if ai == 0 {
+			p = 0.5 // "out"
+		}
+		determined[ai] = rng.Float64() < p
+	}
+	groupActs := make([][]uint64, G)
+	for g := 0; g < G; g++ {
+		groupActs[g] = make([]uint64, len(acts))
+		for ai, a := range acts {
+			groupActs[g][ai] = rng.Uint64() & mask(a.width)
+		}
+	}
+
+	ne := 2 + rng.Intn(cfg.MaxEntries-1)
+	seen := make(map[string]bool, ne)
+	for k := 0; k < ne; k++ {
+		g := rng.Intn(G)
+		cells := make([]mat.Cell, 0, len(sch))
+		cells = append(cells, pools[0][g])
+		for fi := 1; fi < nf; fi++ {
+			cells = append(cells, pools[fi][rng.Intn(len(pools[fi]))])
+		}
+		key := fmt.Sprint(cells)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		for ai, a := range acts {
+			v := rng.Uint64() & mask(a.width)
+			if determined[ai] {
+				v = groupActs[g][ai]
+			}
+			cells = append(cells, mat.Exact(v, a.width))
+		}
+		t.Add(cells...)
+	}
+	dropAmbiguous(t)
+
+	return &Program{
+		Seed:    seed,
+		Note:    fmt.Sprintf("gen(seed=%d)", seed),
+		Table:   t,
+		Packets: genPackets(rng, t, cfg),
+	}
+}
+
+// generateCaveat builds a Fig. 3-shaped program: two match columns whose
+// cross product carries a per-entry-distinct "out", so {out} → {field}
+// holds while neither match column alone determines out. A couple of
+// noise entries in a third group give the shrinker something to chew on.
+func generateCaveat(seed int64, rng *rand.Rand, cfg GenConfig) *Program {
+	perm := rng.Perm(len(fieldPool))
+	f0, f1 := fieldPool[perm[0]], fieldPool[perm[1]]
+	sch := mat.Schema{
+		mat.F(f0.name, f0.width),
+		mat.F(f1.name, f1.width),
+		mat.A("out", 16),
+	}
+	t := mat.New(fmt.Sprintf("fuzz%d", seed), sch)
+	pool0 := cellPool(rng, f0.width, 3, false)
+	pool1 := cellPool(rng, f1.width, 2, false)
+
+	used := make(map[uint64]bool)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			t.Add(pool0[i], pool1[j], mat.Exact(distinctValue(rng, 16, used), 16))
+		}
+	}
+	for k := 0; k < 1+rng.Intn(2) && len(pool0) > 2; k++ {
+		t.Add(pool0[2], pool1[rng.Intn(len(pool1))],
+			mat.Exact(distinctValue(rng, 16, used), 16))
+	}
+	dropAmbiguous(t)
+
+	return &Program{
+		Seed:    seed,
+		Note:    fmt.Sprintf("fig3-caveat(seed=%d)", seed),
+		Caveat:  true,
+		Table:   t,
+		Packets: genPackets(rng, t, cfg),
+	}
+}
+
+// dropAmbiguous removes entries until no ambiguous pair remains. Under
+// the disjoint-column discipline this never fires; it is defense in depth
+// so a generator bug cannot masquerade as a dataplane divergence.
+func dropAmbiguous(t *mat.Table) {
+	for {
+		pairs := t.AmbiguousPairs()
+		if len(pairs) == 0 {
+			return
+		}
+		i := pairs[0][1]
+		t.Entries = append(t.Entries[:i], t.Entries[i+1:]...)
+	}
+}
+
+// genPackets builds the input batch: full-stack Ethernet/VLAN/IPv4/TCP
+// packets (every canonical field present, so the relational record and
+// the dataplane agree on field presence), with values biased into the
+// table's match patterns and round-tripped through Marshal/Parse so the
+// wire frame and the in-memory packet are byte-for-byte consistent.
+func genPackets(rng *rand.Rand, t *mat.Table, cfg GenConfig) []*packet.Packet {
+	np := cfg.MinPackets + rng.Intn(cfg.MaxPackets-cfg.MinPackets+1)
+	pkts := make([]*packet.Packet, 0, np)
+	fieldIdx := t.Schema.Fields()
+	for i := 0; i < np; i++ {
+		p := &packet.Packet{
+			EthDst:  rng.Uint64() & mask(48),
+			EthSrc:  rng.Uint64() & mask(48),
+			EthType: packet.EtherTypeIPv4,
+			HasVLAN: true,
+			VLANID:  uint16(rng.Uint64() & 0x0FFF),
+			HasIPv4: true,
+			TTL:     uint8(1 + rng.Intn(255)),
+			Proto:   packet.ProtoTCP,
+			IPSrc:   uint32(rng.Uint64()),
+			IPDst:   uint32(rng.Uint64()),
+			HasL4:   true,
+			SrcPort: uint16(rng.Uint64()),
+			DstPort: uint16(rng.Uint64()),
+		}
+		for _, fi := range fieldIdx {
+			a := t.Schema[fi]
+			v := rng.Uint64() & mask(a.Width)
+			if len(t.Entries) > 0 && rng.Float64() < 0.85 {
+				c := t.Entries[rng.Intn(len(t.Entries))][fi]
+				v = c.Bits | (rng.Uint64() & (mask(a.Width) &^ prefixMask(c.PLen, a.Width)))
+			}
+			p.SetField(a.Name, v)
+		}
+		// Round-trip: the parsed frame is the packet of record, so the
+		// switch models (which parse wire bytes) and the relational
+		// semantics (which reads the struct) see identical values.
+		var q packet.Packet
+		if err := q.ParseInto(p.Marshal(nil)); err != nil {
+			continue
+		}
+		pkts = append(pkts, &q)
+	}
+	return pkts
+}

@@ -1,0 +1,70 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"manorm/internal/mat"
+	"manorm/internal/packet"
+)
+
+// PlantRematchHazard builds a program exposing a second caveat the
+// differential harness found beyond the paper's Fig. 3: the rematch join
+// is dep-first, so the dependency stage applies its rewriting actions
+// *before* the rest stage re-matches the dependency's LHS fields — and a
+// real datapath re-matches the rewritten header, while the relational
+// semantics keeps action attributes in a separate namespace and re-reads
+// the original value.
+//
+// The planted table matches vlan and carries a mod_vlan action whose
+// values lie outside every vlan pattern: {vlan} → {mod_vlan} holds, the
+// decomposition dec({vlan} -> {mod_vlan})/rematch is perfectly legal, the
+// relational evaluator and the NetKAT oracle both certify it equivalent —
+// and every compiled executor drops the traffic, because stage 2 re-
+// matches the rewritten vlan. The divergence kind is therefore "verdict"
+// with clean relational/oracle layers: the signature of a bug only
+// runtime differential testing can see.
+//
+// This is why the generator never pairs a rewriting action with a match
+// on its target field; the committed reproducer keeps the hazard itself
+// under regression.
+func PlantRematchHazard(seed int64) *Program {
+	rng := rand.New(rand.NewSource(seed))
+	sch := mat.Schema{
+		mat.F(packet.FieldVLAN, 12),
+		mat.F(packet.FieldTCPDst, 16),
+		mat.A("mod_vlan", 12),
+		mat.A("out", 16),
+	}
+	t := mat.New(fmt.Sprintf("hazard%d", seed), sch)
+
+	// Two vlan groups, two tcp_dst values; mod_vlan constant per group
+	// and distinct from every matched vlan; out distinct per entry.
+	used12 := make(map[uint64]bool)
+	used16 := make(map[uint64]bool)
+	var g, m [2]uint64
+	var d [2]uint64
+	for i := range g {
+		g[i] = distinctValue(rng, 12, used12)
+		d[i] = distinctValue(rng, 16, used16)
+	}
+	for i := range m {
+		m[i] = distinctValue(rng, 12, used12) // disjoint from g by used12
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			t.Add(
+				mat.Exact(g[i], 12),
+				mat.Exact(d[j], 16),
+				mat.Exact(m[i], 12),
+				mat.Exact(distinctValue(rng, 16, used16), 16),
+			)
+		}
+	}
+	return &Program{
+		Seed:    seed,
+		Note:    fmt.Sprintf("rematch-hazard(seed=%d)", seed),
+		Table:   t,
+		Packets: genPackets(rng, t, DefaultGenConfig()),
+	}
+}

@@ -1,0 +1,79 @@
+package difftest
+
+import (
+	"manorm/internal/mat"
+)
+
+// Shrink greedily minimizes a diverging program while preserving the
+// divergence: it repeatedly tries dropping packets, entries and schema
+// attributes, accepting a candidate only if executing it still yields a
+// divergence of the same kind as the original's first. The result is the
+// reproducer written to the corpus — typically a handful of entries and
+// one or two packets instead of the full generated program.
+//
+// A program that does not diverge is returned unchanged.
+func Shrink(p *Program, cfg ExecConfig) *Program {
+	divs, err := Execute(p, cfg)
+	if err != nil || len(divs) == 0 {
+		return p
+	}
+	kind := divs[0].Kind
+	still := func(c *Program) bool {
+		ds, err := Execute(c, cfg)
+		if err != nil {
+			return false
+		}
+		for _, d := range ds {
+			if d.Kind == kind {
+				return true
+			}
+		}
+		return false
+	}
+
+	cur := p
+	for changed := true; changed; {
+		changed = false
+
+		// Packets: keep at least one so the reproducer stays replayable
+		// through the frame-level executors.
+		for i := len(cur.Packets) - 1; i >= 0 && len(cur.Packets) > 1; i-- {
+			c := cur.Clone()
+			c.Packets = append(c.Packets[:i], c.Packets[i+1:]...)
+			if still(c) {
+				cur, changed = c, true
+			}
+		}
+
+		// Entries.
+		for i := len(cur.Table.Entries) - 1; i >= 0 && len(cur.Table.Entries) > 1; i-- {
+			c := cur.Clone()
+			c.Table.Entries = append(c.Table.Entries[:i], c.Table.Entries[i+1:]...)
+			if still(c) {
+				cur, changed = c, true
+			}
+		}
+
+		// Attributes: project the table onto a smaller schema, keeping at
+		// least one match field and one attribute overall. Projection
+		// dedupes rows, so this can shrink the entry set too.
+		for ai := len(cur.Table.Schema) - 1; ai >= 0 && len(cur.Table.Schema) > 2; ai-- {
+			keep := mat.FullSet(len(cur.Table.Schema)).Remove(ai)
+			fields := 0
+			for _, i := range keep.Members() {
+				if cur.Table.Schema[i].Kind == mat.Field {
+					fields++
+				}
+			}
+			if fields == 0 {
+				continue
+			}
+			c := cur.Clone()
+			c.Table = cur.Table.Project(cur.Table.Name, keep)
+			if still(c) {
+				cur, changed = c, true
+			}
+		}
+	}
+	return cur
+}

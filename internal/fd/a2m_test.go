@@ -1,0 +1,31 @@
+package fd
+
+import (
+	"testing"
+
+	"manorm/internal/mat"
+)
+
+// TestActionToMatch filters a mixed dependency set down to the Fig. 3
+// shape: action attributes on the left, match fields on the right.
+func TestActionToMatch(t *testing.T) {
+	sch := mat.Schema{
+		mat.F("in_port", 8), mat.F("vlan", 12), mat.A("out", 8),
+	}
+	fds := []FD{
+		{From: mat.SetOf(sch, "in_port"), To: mat.SetOf(sch, "vlan")},        // field → field
+		{From: mat.SetOf(sch, "out"), To: mat.SetOf(sch, "vlan")},            // Fig. 3
+		{From: mat.SetOf(sch, "in_port", "vlan"), To: mat.SetOf(sch, "out")}, // key → action
+		{From: mat.SetOf(sch, "out"), To: mat.SetOf(sch, "out")},             // trivial
+		{From: mat.SetOf(sch, "out", "vlan"), To: mat.SetOf(sch, "in_port")}, // Fig. 3 (mixed LHS)
+	}
+	got := ActionToMatch(sch, fds)
+	if len(got) != 2 {
+		t.Fatalf("want 2 action-to-match FDs, got %d: %v", len(got), got)
+	}
+	for _, f := range got {
+		if f.From.Intersect(mat.SetOf(sch, "out")).Empty() {
+			t.Fatalf("filtered FD %v has no action on the LHS", f)
+		}
+	}
+}

@@ -66,6 +66,25 @@ func SplitRHS(fds []FD) []FD {
 	return out
 }
 
+// ActionToMatch filters dependencies down to the paper's Fig. 3 shape: a
+// left-hand side containing at least one action attribute and an effective
+// right-hand side containing at least one match field. Decomposing along
+// such a dependency cannot yield 1NF sub-tables (core.ErrActionToMatch);
+// the differential fuzzing harness uses this filter to locate the
+// dependencies worth planting as deliberate caveat traps.
+func ActionToMatch(sch mat.Schema, fds []FD) []FD {
+	actions := mat.NewAttrSet(sch.Actions()...)
+	fields := mat.NewAttrSet(sch.Fields()...)
+	var out []FD
+	for _, f := range fds {
+		if !f.From.Intersect(actions).Empty() &&
+			!f.To.Minus(f.From).Intersect(fields).Empty() {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
 // MergeRHS groups FDs with identical LHS into one FD with the union RHS.
 // Output is deterministic.
 func MergeRHS(fds []FD) []FD {

@@ -1,0 +1,25 @@
+package netkat
+
+import (
+	"testing"
+
+	"manorm/internal/mat"
+)
+
+// TestDomainOfPipelines checks that the exported domain constructor
+// covers every field of every stage of every pipeline, matching what
+// EquivalentPipelines enumerates internally.
+func TestDomainOfPipelines(t *testing.T) {
+	a := mat.New("a", mat.Schema{mat.F("ip_dst", 8), mat.A("out", 8)})
+	a.Add(mat.Exact(1, 8), mat.Exact(1, 8))
+	b := mat.New("b", mat.Schema{mat.F("tcp_dst", 8), mat.A("out", 8)})
+	b.Add(mat.Exact(2, 8), mat.Exact(2, 8))
+
+	dom := DomainOfPipelines(mat.SingleTable(a), mat.SingleTable(b))
+	if len(dom["ip_dst"]) == 0 || len(dom["tcp_dst"]) == 0 {
+		t.Fatalf("domain missing fields: %v", dom)
+	}
+	if dom.Size() != len(dom["ip_dst"])*len(dom["tcp_dst"]) {
+		t.Fatalf("size %d inconsistent with per-field counts %v", dom.Size(), dom)
+	}
+}

@@ -156,6 +156,21 @@ func (c *Counterexample) Error() string {
 // DefaultProbeLimit bounds exhaustive probing before sampling kicks in.
 const DefaultProbeLimit = 200000
 
+// DomainOfPipelines builds the complete probe domain induced by the
+// tables of all given pipelines — the inputs a finite-domain equivalence
+// check between them must enumerate. Exposed so callers (e.g. the
+// differential fuzzing harness) can inspect Size() first and decide
+// whether an exhaustive check is affordable before running it.
+func DomainOfPipelines(ps ...*mat.Pipeline) Domain {
+	var tabs []*mat.Table
+	for _, p := range ps {
+		for _, s := range p.Stages {
+			tabs = append(tabs, s.Table)
+		}
+	}
+	return DomainOf(tabs...)
+}
+
 // EquivalentPipelines checks semantic equivalence of two pipelines over the
 // test domain induced by both programs' tables: for every probe packet the
 // observable results (action attributes written, drop status) must agree.
@@ -166,14 +181,7 @@ func EquivalentPipelines(a, b *mat.Pipeline, limit int) (*Counterexample, bool, 
 	if limit <= 0 {
 		limit = DefaultProbeLimit
 	}
-	var tabs []*mat.Table
-	for _, s := range a.Stages {
-		tabs = append(tabs, s.Table)
-	}
-	for _, s := range b.Stages {
-		tabs = append(tabs, s.Table)
-	}
-	dom := DomainOf(tabs...)
+	dom := DomainOfPipelines(a, b)
 
 	var cex *Counterexample
 	exhaustive, err := dom.Each(limit, func(in mat.Record) error {

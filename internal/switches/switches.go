@@ -113,6 +113,29 @@ type Switch interface {
 	Stats() telemetry.Snapshot
 }
 
+// ModelNames lists the four evaluated switch models in the paper's column
+// order.
+func ModelNames() []string { return []string{"ovs", "eswitch", "lagopus", "noviflow"} }
+
+// New constructs a switch model by name. Options (e.g. WithTelemetry)
+// pass through to the model constructor. This is the single factory the
+// measurement harness (internal/bench) and the differential fuzzing
+// harness (internal/difftest) build every model through.
+func New(name string, opts ...Option) (Switch, error) {
+	switch name {
+	case "ovs":
+		return NewOVS(opts...), nil
+	case "eswitch":
+		return NewESwitch(opts...), nil
+	case "lagopus":
+		return NewLagopus(opts...), nil
+	case "noviflow":
+		return NewNoviFlow(opts...), nil
+	default:
+		return nil, fmt.Errorf("switches: unknown model %q", name)
+	}
+}
+
 // Switch models implement the unified stats surface.
 var (
 	_ telemetry.Provider = (*OVS)(nil)
