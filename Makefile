@@ -24,9 +24,11 @@ race:
 	$(GO) test -race ./internal/...
 
 # fuzz-smoke is the CI slice of the differential fuzzer: a fixed-seed,
-# time-boxed run that must finish with zero divergences. fuzz-replay
-# re-executes every committed reproducer; each must still diverge with
-# its recorded kind, so known caveats stay detected.
+# time-boxed run that must finish with zero divergences (the executor
+# matrix includes the fused twins, so fusion is smoke-checked here too).
+# fuzz-replay re-executes every committed reproducer; each must still
+# diverge with its recorded kind, so known caveats — including the
+# fused-path rematch hazard — stay detected.
 fuzz-smoke:
 	$(GO) run ./cmd/mafuzz -seed 1 -duration 30s
 
@@ -35,13 +37,15 @@ fuzz-replay:
 
 # benchguard re-measures the multi-core scaling workload and compares
 # its shape against the checked-in BENCH_parallel.json baseline (±20%
-# per (switch, rep) aggregate, host-normalized). benchguard-update
+# per (switch, rep) aggregate, host-normalized); -require-rep asserts
+# the fused row family was actually measured rather than dropping out
+# of the intersection the comparison scores. benchguard-update
 # refreshes the baseline after an intentional performance change.
 benchguard:
-	$(GO) run ./cmd/benchguard
+	$(GO) run ./cmd/benchguard -require-rep fused
 
 benchguard-update:
-	$(GO) run ./cmd/benchguard -update -current BENCH_parallel.json -runs 5
+	$(GO) run ./cmd/benchguard -update -current BENCH_parallel.json -runs 5 -require-rep fused
 
 # check is the single gate CI runs — .github/workflows/ci.yml calls
 # exactly this target, so a green `make check` locally is a green build.

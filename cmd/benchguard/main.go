@@ -25,38 +25,44 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"manorm/internal/bench"
 )
 
 // options carries the parsed flags through run.
 type options struct {
-	baseline string
-	current  string
-	update   bool
-	tol      float64
-	runs     int
-	attempts int
-	workers  int
-	packets  int
+	baseline    string
+	current     string
+	update      bool
+	tol         float64
+	runs        int
+	attempts    int
+	workers     int
+	packets     int
+	requireReps []string
 }
 
 func main() {
 	var (
-		baseline = flag.String("baseline", "BENCH_parallel.json", "checked-in baseline report")
-		current  = flag.String("current", "", "compare this report instead of measuring")
-		update   = flag.Bool("update", false, "measure and write a fresh report to -current instead of comparing")
-		tol      = flag.Float64("tol", 0.20, "symmetric tolerance on each (switch, rep) aggregate")
-		runs     = flag.Int("runs", 3, "measurement repetitions (best rate per row is kept)")
-		attempts = flag.Int("attempts", 2, "fresh measurements to try before declaring a regression (ignored with -current)")
-		workers  = flag.Int("workers", 8, "worker-count ceiling of the measured workload (keep equal to the baseline's max_workers: the shared rows must run under identical conditions)")
-		packets  = flag.Int("packets", 400_000, "packets per measurement")
+		baseline   = flag.String("baseline", "BENCH_parallel.json", "checked-in baseline report")
+		current    = flag.String("current", "", "compare this report instead of measuring")
+		update     = flag.Bool("update", false, "measure and write a fresh report to -current instead of comparing")
+		tol        = flag.Float64("tol", 0.20, "symmetric tolerance on each (switch, rep) aggregate")
+		runs       = flag.Int("runs", 3, "measurement repetitions (best rate per row is kept)")
+		attempts   = flag.Int("attempts", 2, "fresh measurements to try before declaring a regression (ignored with -current)")
+		workers    = flag.Int("workers", 8, "worker-count ceiling of the measured workload (keep equal to the baseline's max_workers: the shared rows must run under identical conditions)")
+		packets    = flag.Int("packets", 400_000, "packets per measurement")
+		requireRep = flag.String("require-rep", "", "comma-separated representations every switch in the current report must cover (e.g. fused)")
 	)
 	flag.Parse()
 
 	opts := options{
 		baseline: *baseline, current: *current, update: *update,
 		tol: *tol, runs: *runs, attempts: *attempts, workers: *workers, packets: *packets,
+	}
+	if *requireRep != "" {
+		opts.requireReps = strings.Split(*requireRep, ",")
 	}
 	if err := run(os.Stdout, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "benchguard:", err)
@@ -79,6 +85,9 @@ func run(w io.Writer, opts options) error {
 		}
 		rep, err := measure(opts)
 		if err != nil {
+			return err
+		}
+		if err := bench.RequireReps(rep, opts.requireReps); err != nil {
 			return err
 		}
 		cfg := bench.DefaultConfig()
@@ -120,11 +129,25 @@ func run(w io.Writer, opts options) error {
 }
 
 // compareOnce prints the per-(switch, rep) comparison table and returns
-// an error when any aggregate moved beyond the tolerance.
+// an error when any aggregate moved beyond the tolerance or the current
+// report lacks a required representation. Rows only one report covers are
+// printed first: the shape comparison scores just the intersection, so
+// coverage drift has to be surfaced rather than silently dropped.
 func compareOnce(w io.Writer, base, cur *bench.ParallelReport, opts options) error {
+	if err := bench.RequireReps(cur, opts.requireReps); err != nil {
+		return err
+	}
 	deltas, err := bench.CompareParallel(base, cur, opts.tol)
 	if err != nil {
 		return err
+	}
+	if diff := bench.DiffParallelRows(base, cur); !diff.Empty() {
+		if len(diff.Added) > 0 {
+			fmt.Fprintf(w, "benchguard: rows only in current (not scored): %s\n", strings.Join(diff.Added, ", "))
+		}
+		if len(diff.Removed) > 0 {
+			fmt.Fprintf(w, "benchguard: rows only in baseline (not scored): %s\n", strings.Join(diff.Removed, ", "))
+		}
 	}
 	fmt.Fprintf(w, "benchguard: %s vs current (tol ±%.0f%%, normalized per-host)\n",
 		opts.baseline, opts.tol*100)

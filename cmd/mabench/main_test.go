@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"manorm/internal/bench"
+	"manorm/internal/usecases"
 )
 
 // TestAllExperimentsRun smoke-tests every experiment the tool exposes with
@@ -60,16 +61,23 @@ func TestParallelExperimentWritesJSON(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
-	// 4 switches × 2 representations × 2 worker counts.
-	if len(rep.Results) != 16 {
-		t.Errorf("got %d result rows, want 16", len(rep.Results))
+	// 4 switches × 3 representations (universal, goto, fused) × 2 worker counts.
+	if len(rep.Results) != 24 {
+		t.Errorf("got %d result rows, want 24", len(rep.Results))
 	}
 	seen := map[string]bool{}
+	fused := 0
 	for _, r := range rep.Results {
 		seen[r.Switch] = true
+		if r.Rep == usecases.RepFused {
+			fused++
+		}
 		if r.RateMpps <= 0 {
 			t.Errorf("%s/%s @%d: non-positive rate", r.Switch, r.Rep, r.Workers)
 		}
+	}
+	if fused != 8 {
+		t.Errorf("got %d fused rows, want 8", fused)
 	}
 	if len(seen) != 4 {
 		t.Errorf("results cover %d switches, want 4", len(seen))

@@ -69,7 +69,7 @@ func main() {
 	var o options
 	var rep string
 	flag.StringVar(&o.swName, "switch", "eswitch", "switch model: ovs, eswitch, lagopus, noviflow")
-	flag.StringVar(&rep, "rep", "universal", "representation: universal, goto, metadata, rematch")
+	flag.StringVar(&rep, "rep", "universal", "representation: universal, goto, metadata, rematch, fused")
 	flag.IntVar(&o.services, "services", 20, "number of services (N)")
 	flag.IntVar(&o.backends, "backends", 8, "backends per service (M)")
 	flag.IntVar(&o.packets, "packets", 1_000_000, "packets to forward")

@@ -180,11 +180,12 @@ func MeasureStatic(swName string, rep usecases.Representation, cfg Config) (*Sta
 }
 
 // Table1 regenerates the paper's Table 1: static performance of the
-// universal and goto representations on all four switches.
+// universal and goto representations on all four switches, plus the
+// compiler-fused form as the zero-join reference point.
 func Table1(cfg Config) ([]*StaticResult, error) {
 	var out []*StaticResult
 	for _, sw := range SwitchNames() {
-		for _, rep := range []usecases.Representation{usecases.RepUniversal, usecases.RepGoto} {
+		for _, rep := range []usecases.Representation{usecases.RepUniversal, usecases.RepGoto, usecases.RepFused} {
 			r, err := MeasureStatic(sw, rep, cfg)
 			if err != nil {
 				return nil, err

@@ -131,6 +131,70 @@ func CompareParallel(base, cur *ParallelReport, tol float64) ([]GuardDelta, erro
 	return deltas, nil
 }
 
+// RowDiff lists the measurement rows present in only one of two reports.
+// CompareParallel deliberately scores just the shared rows; without this
+// diff a baseline that silently lost (or never gained) a row family would
+// still pass the gate.
+type RowDiff struct {
+	// Added are rows only in the current report, "switch/rep/wN" formatted.
+	Added []string `json:"added,omitempty"`
+	// Removed are rows only in the baseline.
+	Removed []string `json:"removed,omitempty"`
+}
+
+// Empty reports whether the two reports covered identical rows.
+func (d RowDiff) Empty() bool { return len(d.Added) == 0 && len(d.Removed) == 0 }
+
+func (k rowKey) String() string { return fmt.Sprintf("%s/%s/w%d", k.sw, k.rep, k.workers) }
+
+// DiffParallelRows reports the (switch, rep, workers) rows that baseline
+// and current do not share, so the guard output can surface coverage
+// drift alongside the shape comparison.
+func DiffParallelRows(base, cur *ParallelReport) RowDiff {
+	brows, crows := reportRows(base), reportRows(cur)
+	var d RowDiff
+	for k := range crows {
+		if _, ok := brows[k]; !ok {
+			d.Added = append(d.Added, k.String())
+		}
+	}
+	for k := range brows {
+		if _, ok := crows[k]; !ok {
+			d.Removed = append(d.Removed, k.String())
+		}
+	}
+	sort.Strings(d.Added)
+	sort.Strings(d.Removed)
+	return d
+}
+
+// RequireReps checks that every switch appearing in the report has at
+// least one row for each required representation. It is the CI assertion
+// that a new row family (e.g. "fused") actually got measured instead of
+// dropping out of the intersection CompareParallel scores.
+func RequireReps(r *ParallelReport, reps []string) error {
+	switches := make(map[string]map[string]bool)
+	for _, row := range r.Results {
+		if switches[row.Switch] == nil {
+			switches[row.Switch] = make(map[string]bool)
+		}
+		switches[row.Switch][string(row.Rep)] = true
+	}
+	var missing []string
+	for sw, have := range switches {
+		for _, rep := range reps {
+			if !have[rep] {
+				missing = append(missing, sw+"/"+rep)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("report lacks required rows: %v", missing)
+	}
+	return nil
+}
+
 func medianOver(rows map[rowKey]float64, keys []rowKey) float64 {
 	vs := make([]float64, 0, len(keys))
 	for _, k := range keys {

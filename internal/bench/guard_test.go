@@ -128,6 +128,53 @@ func TestCompareParallelIntersection(t *testing.T) {
 	}
 }
 
+// TestDiffParallelRows: rows the comparison would silently drop are
+// reported on the right side of the diff.
+func TestDiffParallelRows(t *testing.T) {
+	base := fullGrid()
+	cur := fullGrid()
+	if d := DiffParallelRows(base, cur); !d.Empty() {
+		t.Fatalf("identical reports diff non-empty: %+v", d)
+	}
+	cur.Results = append(cur.Results, guardReport([4]float64{0, 0, 4, 20}).Results...)
+	base.Results = base.Results[1:] // drop ovs/universal/w1 from the baseline
+	d := DiffParallelRows(base, cur)
+	if len(d.Added) != 2 || d.Added[0] != "ovs/universal/w1" || d.Added[1] != "ovs/universal/w4" {
+		t.Fatalf("added rows wrong: %v", d.Added)
+	}
+	if len(d.Removed) != 0 {
+		t.Fatalf("removed rows wrong: %v", d.Removed)
+	}
+	if d2 := DiffParallelRows(cur, base); len(d2.Removed) != 2 || len(d2.Added) != 0 {
+		t.Fatalf("reverse diff wrong: %+v", d2)
+	}
+}
+
+// TestRequireReps: every switch present in the report must cover every
+// required representation.
+func TestRequireReps(t *testing.T) {
+	rep := fullGrid()
+	if err := RequireReps(rep, nil); err != nil {
+		t.Fatalf("no requirements must pass: %v", err)
+	}
+	if err := RequireReps(rep, []string{"universal", "goto"}); err != nil {
+		t.Fatalf("covered reps must pass: %v", err)
+	}
+	err := RequireReps(rep, []string{"fused"})
+	if err == nil {
+		t.Fatal("missing rep must fail")
+	}
+	// Adding fused rows for only one switch must still fail for the other.
+	rep.Results = append(rep.Results, &ParallelResult{Switch: "ovs", Rep: usecases.RepFused, Workers: 1, RateMpps: 30})
+	if err := RequireReps(rep, []string{"fused"}); err == nil {
+		t.Fatal("partially covered rep must fail")
+	}
+	rep.Results = append(rep.Results, &ParallelResult{Switch: "eswitch", Rep: usecases.RepFused, Workers: 1, RateMpps: 30})
+	if err := RequireReps(rep, []string{"fused"}); err != nil {
+		t.Fatalf("fully covered rep must pass: %v", err)
+	}
+}
+
 // TestReadParallelReport: WriteParallelJSON output round-trips; garbage
 // and empty reports are rejected.
 func TestReadParallelReport(t *testing.T) {

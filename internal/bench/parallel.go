@@ -188,12 +188,13 @@ func ParallelScaling(swName string, rep usecases.Representation, cfg Config, max
 	return out, nil
 }
 
-// ParallelTable runs the scaling curve for every switch and both headline
-// representations (the Table 1 pair) — the full multi-core experiment.
+// ParallelTable runs the scaling curve for every switch and the headline
+// representations (the Table 1 pair plus the compiler-fused form) — the
+// full multi-core experiment.
 func ParallelTable(cfg Config, maxWorkers int) ([]*ParallelResult, error) {
 	var out []*ParallelResult
 	for _, sw := range SwitchNames() {
-		for _, rep := range []usecases.Representation{usecases.RepUniversal, usecases.RepGoto} {
+		for _, rep := range []usecases.Representation{usecases.RepUniversal, usecases.RepGoto, usecases.RepFused} {
 			rows, err := ParallelScaling(sw, rep, cfg, maxWorkers)
 			if err != nil {
 				return nil, err

@@ -26,7 +26,7 @@ func RenderTable1(w io.Writer, rows []*StaticResult) {
 		fmt.Fprintf(w, "  %-8s %-9s", "rate", "delay")
 	}
 	fmt.Fprintln(w)
-	for _, rep := range []usecases.Representation{usecases.RepUniversal, usecases.RepGoto} {
+	for _, rep := range []usecases.Representation{usecases.RepUniversal, usecases.RepGoto, usecases.RepFused} {
 		fmt.Fprintf(w, "%-11s", rep)
 		for _, sw := range SwitchNames() {
 			r := byKey[sw+"/"+string(rep)]

@@ -23,6 +23,11 @@ const (
 	ForceTernary
 	// ForceTupleSpace compiles tuple space search (any shape).
 	ForceTupleSpace
+	// ForceFDD compiles the field-ordered decision structure with
+	// first-match-in-entry-order semantics (any shape). This is the
+	// template pipeline fusion (internal/fdd) lowers to; unlike the other
+	// templates it must not re-sort entries by specificity.
+	ForceFDD
 )
 
 // String names the template.
@@ -38,6 +43,8 @@ func (t Template) String() string {
 		return "ternary"
 	case ForceTupleSpace:
 		return "tss"
+	case ForceFDD:
+		return "fdd"
 	default:
 		return fmt.Sprintf("Template(%d)", int(t))
 	}
@@ -100,6 +107,8 @@ func Compile(t *mat.Table, tmpl Template) (Classifier, error) {
 		return NewTernary(t), nil
 	case ForceTupleSpace:
 		return NewTupleSpace(t), nil
+	case ForceFDD:
+		return NewFDD(t)
 	default:
 		return nil, fmt.Errorf("classifier: unknown template %d", int(tmpl))
 	}

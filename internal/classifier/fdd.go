@@ -1,0 +1,450 @@
+package classifier
+
+import (
+	"fmt"
+
+	"manorm/internal/mat"
+)
+
+// FDD is the fused-pipeline template: a field-ordered decision structure
+// in the style of the NetKAT compiler's forwarding decision diagrams.
+// Internal nodes dispatch on one key column — a dense child table for
+// exact-valued columns spanning a compact range (a hash map otherwise), a
+// single compare when only one value occurs, a bit-trie for prefix
+// columns — and leaves either name the answering entry directly or
+// fall back to a short first-match scan over the same precomputed
+// mask/value rows the ternary template uses.
+//
+// Unlike every other template, FDD resolves ties by *entry order*, not by
+// specificity: the rule lists produced by pipeline fusion (internal/fdd)
+// encode the source pipeline's semantics positionally, and re-sorting them
+// by prefix length would be unsound (a fused miss-continuation rule must
+// lose to every earlier rule it overlaps, regardless of how many bits
+// either constrains).
+type FDD struct {
+	root  *fddNode
+	nCols int
+
+	nodes  int // internal decision nodes (exact, test, trie, scan)
+	leaves int // direct-answer leaves
+	depth  int // longest root-to-leaf decision path
+}
+
+type fddKind uint8
+
+const (
+	fddLeaf fddKind = iota
+	fddTest
+	fddExact
+	fddDense
+	fddTrie
+	fddLpm
+	fddScan
+	fddScan1
+)
+
+// fddLpmBits caps the longest prefix a column may use before its dispatch
+// falls back from a precomputed 2^plen expansion table (one shift+load
+// resolves the longest match) to the pointer-chasing bit-trie.
+const fddLpmBits = 12
+
+// fddDenseMax caps the value range a compact exact column may span before
+// the dispatch falls back to a hash map: a dense child table indexes in
+// two instructions where the map pays a hash and a probe, but an outlier
+// value range would waste unbounded memory on absent slots.
+const fddDenseMax = 4096
+
+type fddNode struct {
+	kind fddKind
+	col  int // key position dispatched on (test, exact, trie)
+
+	entry int32 // leaf answer (-1: miss)
+
+	testVal  uint64              // test: single exact value
+	hit      *fddNode            // test: value matched
+	dflt     *fddNode            // test/exact/dense: no value matched
+	children map[uint64]*fddNode // exact: value -> subtree
+
+	base  uint64     // dense: lowest dispatched value
+	dense []*fddNode // dense: subtree per value in [base, base+len); absent values hold dflt
+
+	width uint8        // trie/lpm: column bit width
+	trie  *fddTrieNode // trie: root (empty prefix)
+
+	shift uint8      // lpm: width minus the expansion's prefix depth
+	lpm   []*fddNode // lpm: longest-match sub-decision per top-bits slot
+
+	// scan: first-match rows over the remaining active columns, same
+	// row-major mask/value layout as Ternary.
+	nCols  int
+	active []int
+	masks  []uint64
+	vals   []uint64
+	idx    []int32
+}
+
+// fddTrieNode is one prefix-trie vertex; sub decides keys whose bit walk
+// ends here (every strictly longer inserted prefix diverges from the key).
+type fddTrieNode struct {
+	child [2]*fddTrieNode
+	sub   *fddNode
+}
+
+// fddRule is one ordered rule during construction.
+type fddRule struct {
+	cells []mat.Cell
+	idx   int32
+}
+
+// fddScanMax bounds the rule count below which a first-match scan leaf is
+// cheaper than further dispatch nodes.
+const fddScanMax = 3
+
+// NewFDD builds the decision structure over the table's match columns with
+// first-match-in-entry-order semantics.
+func NewFDD(t *mat.Table) (*FDD, error) {
+	cols, pats := extractPatterns(t)
+	rules := make([]fddRule, len(pats))
+	for i, p := range pats {
+		rules[i] = fddRule{cells: p.cells, idx: int32(p.idx)}
+	}
+	c := &FDD{nCols: len(cols)}
+	done := make([]bool, len(cols))
+	c.root = c.build(cols, rules, done, 1)
+	return c, nil
+}
+
+// build constructs the decision node for an ordered rule list; done marks
+// columns already resolved by ancestor dispatches.
+func (c *FDD) build(cols []column, rules []fddRule, done []bool, depth int) *fddNode {
+	if depth > c.depth {
+		c.depth = depth
+	}
+	if len(rules) == 0 {
+		return c.leaf(-1)
+	}
+	// First-match semantics: if the earliest rule is unconstrained on every
+	// remaining column it shadows everything after it.
+	if ruleResolved(rules[0], cols, done) {
+		return c.leaf(rules[0].idx)
+	}
+
+	col := c.pickColumn(cols, rules, done)
+	if col < 0 || len(rules) <= fddScanMax {
+		return c.scanLeaf(cols, rules, done)
+	}
+
+	childDone := make([]bool, len(done))
+	copy(childDone, done)
+	childDone[col] = true
+
+	if exactDispatchable(rules, col, cols[col].width) {
+		return c.buildExact(cols, rules, childDone, col, depth)
+	}
+	return c.buildTrie(cols, rules, childDone, col, depth)
+}
+
+// pickColumn chooses the most discriminating remaining column: the one
+// with the largest number of distinct constraining patterns. Returns -1
+// when every remaining column is wildcarded by every rule.
+func (c *FDD) pickColumn(cols []column, rules []fddRule, done []bool) int {
+	best, bestScore := -1, 0
+	for i := range cols {
+		if done[i] {
+			continue
+		}
+		seen := make(map[mat.Cell]struct{})
+		for _, r := range rules {
+			if !r.cells[i].IsAny() {
+				seen[r.cells[i].Canonical(cols[i].width)] = struct{}{}
+			}
+		}
+		if len(seen) > bestScore {
+			best, bestScore = i, len(seen)
+		}
+	}
+	return best
+}
+
+// exactDispatchable reports whether every constraint on the column is a
+// full-width exact value (hash-dispatchable without residue).
+func exactDispatchable(rules []fddRule, col int, width uint8) bool {
+	for _, r := range rules {
+		cell := r.cells[col]
+		if !cell.IsAny() && !cell.IsExact(width) {
+			return false
+		}
+	}
+	return true
+}
+
+// buildExact dispatches on an exact column: one subtree per occurring
+// value (wildcard rules replicate into each, preserving order) plus a
+// default subtree of the wildcard rules alone.
+func (c *FDD) buildExact(cols []column, rules []fddRule, done []bool, col int, depth int) *fddNode {
+	byVal := make(map[uint64][]fddRule)
+	var anyRules []fddRule
+	for _, r := range rules {
+		if r.cells[col].IsAny() {
+			anyRules = append(anyRules, r)
+			continue
+		}
+		v := r.cells[col].Bits
+		byVal[v] = append(byVal[v], r)
+	}
+	// Merge wildcard rules into each value bucket in original order.
+	merge := func(v uint64) []fddRule {
+		out := make([]fddRule, 0, len(byVal[v])+len(anyRules))
+		for _, r := range rules {
+			if r.cells[col].IsAny() || (r.cells[col].IsExact(cols[col].width) && r.cells[col].Bits == v) {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	if len(byVal) == 1 {
+		n := &fddNode{kind: fddTest, col: col}
+		for v := range byVal {
+			n.testVal = v
+			n.hit = c.build(cols, merge(v), done, depth+1)
+		}
+		n.dflt = c.build(cols, anyRules, done, depth+1)
+		c.nodes++
+		return n
+	}
+	// Compact value ranges (contiguous VIP blocks, small port pools) index
+	// a dense child table instead of hashing.
+	lo, hi := ^uint64(0), uint64(0)
+	for v := range byVal {
+		lo, hi = min(lo, v), max(hi, v)
+	}
+	if span := hi - lo + 1; span <= fddDenseMax {
+		n := &fddNode{kind: fddDense, col: col, base: lo, dense: make([]*fddNode, span)}
+		n.dflt = c.build(cols, anyRules, done, depth+1)
+		for i := range n.dense {
+			n.dense[i] = n.dflt
+		}
+		for v := range byVal {
+			n.dense[v-lo] = c.build(cols, merge(v), done, depth+1)
+		}
+		c.nodes++
+		return n
+	}
+	n := &fddNode{kind: fddExact, col: col, children: make(map[uint64]*fddNode, len(byVal))}
+	for v := range byVal {
+		n.children[v] = c.build(cols, merge(v), done, depth+1)
+	}
+	n.dflt = c.build(cols, anyRules, done, depth+1)
+	c.nodes++
+	return n
+}
+
+// buildTrie dispatches on a prefix column: every distinct prefix becomes a
+// trie path, and each trie vertex holds the decision for keys whose walk
+// ends there — built from the rules whose prefix covers the vertex, in
+// original order, with the column resolved.
+func (c *FDD) buildTrie(cols []column, rules []fddRule, done []bool, col int, depth int) *fddNode {
+	width := cols[col].width
+	root := &fddTrieNode{}
+	var maxPlen uint8
+	for _, r := range rules {
+		cell := r.cells[col]
+		if cell.IsAny() {
+			continue
+		}
+		if cell.PLen > maxPlen {
+			maxPlen = cell.PLen
+		}
+		tn := root
+		for d := uint8(0); d < cell.PLen; d++ {
+			b := (cell.Bits >> (width - 1 - d)) & 1
+			if tn.child[b] == nil {
+				tn.child[b] = &fddTrieNode{}
+			}
+			tn = tn.child[b]
+		}
+	}
+	// Populate each vertex's decision from its covering rules.
+	var fill func(tn *fddTrieNode, prefix uint64, d uint8)
+	fill = func(tn *fddTrieNode, prefix uint64, d uint8) {
+		var covering []fddRule
+		for _, r := range rules {
+			cell := r.cells[col]
+			if cell.IsAny() || (cell.PLen <= d && cell.Matches(prefix, width)) {
+				covering = append(covering, r)
+			}
+		}
+		tn.sub = c.build(cols, covering, done, depth+1)
+		for b := uint64(0); b < 2; b++ {
+			if ch := tn.child[b]; ch != nil {
+				fill(ch, prefix|b<<(width-1-d), d+1)
+			}
+		}
+	}
+	fill(root, 0, 0)
+	c.nodes++
+
+	// Shallow prefix sets expand into a 2^maxPlen longest-match table:
+	// one shift and one load replace the per-bit pointer walk.
+	if maxPlen <= fddLpmBits {
+		n := &fddNode{kind: fddLpm, col: col, width: width, shift: width - maxPlen,
+			lpm: make([]*fddNode, 1<<maxPlen)}
+		for s := range n.lpm {
+			tn := root
+			for d := uint8(0); d < maxPlen; d++ {
+				next := tn.child[(uint64(s)>>(maxPlen-1-d))&1]
+				if next == nil {
+					break
+				}
+				tn = next
+			}
+			n.lpm[s] = tn.sub
+		}
+		return n
+	}
+	return &fddNode{kind: fddTrie, col: col, width: width, trie: root}
+}
+
+// scanLeaf compiles the remaining rules into first-match mask/value rows
+// (the ternary row machinery, minus the priority sort).
+func (c *FDD) scanLeaf(cols []column, rules []fddRule, done []bool) *fddNode {
+	var active []int
+	for i := range cols {
+		if done[i] {
+			continue
+		}
+		for _, r := range rules {
+			if !r.cells[i].IsAny() {
+				active = append(active, i)
+				break
+			}
+		}
+	}
+	if len(active) == 0 {
+		return c.leaf(rules[0].idx)
+	}
+	n := &fddNode{
+		kind:   fddScan,
+		nCols:  len(active),
+		active: active,
+		masks:  make([]uint64, 0, len(rules)*len(active)),
+		vals:   make([]uint64, 0, len(rules)*len(active)),
+		idx:    make([]int32, len(rules)),
+	}
+	for r, rule := range rules {
+		n.idx[r] = rule.idx
+		for _, i := range active {
+			m := prefixMask64(rule.cells[i].PLen, cols[i].width)
+			n.masks = append(n.masks, m)
+			n.vals = append(n.vals, rule.cells[i].Bits&m)
+		}
+	}
+	// The one-column case loads the key once and scans flat mask/value
+	// rows with no per-cell index indirection.
+	if len(active) == 1 {
+		n.kind = fddScan1
+		n.col = active[0]
+	}
+	c.nodes++
+	return n
+}
+
+func (c *FDD) leaf(entry int32) *fddNode {
+	c.leaves++
+	return &fddNode{kind: fddLeaf, entry: entry}
+}
+
+// ruleResolved reports whether a rule constrains none of the remaining
+// columns (it matches every key reaching this node).
+func ruleResolved(r fddRule, cols []column, done []bool) bool {
+	for i := range cols {
+		if !done[i] && !r.cells[i].IsAny() {
+			return false
+		}
+	}
+	return true
+}
+
+// Lookup walks the decision structure and returns the first matching
+// entry in the table's entry order, or -1.
+func (c *FDD) Lookup(key []uint64) int {
+	n := c.root
+	for {
+		switch n.kind {
+		case fddLeaf:
+			return int(n.entry)
+		case fddTest:
+			if key[n.col] == n.testVal {
+				n = n.hit
+			} else {
+				n = n.dflt
+			}
+		case fddExact:
+			if ch, ok := n.children[key[n.col]]; ok {
+				n = ch
+			} else {
+				n = n.dflt
+			}
+		case fddDense:
+			if i := key[n.col] - n.base; i < uint64(len(n.dense)) {
+				n = n.dense[i]
+			} else {
+				n = n.dflt
+			}
+		case fddLpm:
+			n = n.lpm[key[n.col]>>n.shift]
+		case fddTrie:
+			tn := n.trie
+			v := key[n.col]
+			for d := n.width; d > 0; d-- {
+				next := tn.child[(v>>(d-1))&1]
+				if next == nil {
+					break
+				}
+				tn = next
+			}
+			n = tn.sub
+		case fddScan1:
+			v := key[n.col]
+			for r := range n.idx {
+				if v&n.masks[r] == n.vals[r] {
+					return int(n.idx[r])
+				}
+			}
+			return -1
+		default: // fddScan
+			base := 0
+			for r := range n.idx {
+				hit := true
+				for i := 0; i < n.nCols; i++ {
+					if key[n.active[i]]&n.masks[base+i] != n.vals[base+i] {
+						hit = false
+						break
+					}
+				}
+				if hit {
+					return int(n.idx[r])
+				}
+				base += n.nCols
+			}
+			return -1
+		}
+	}
+}
+
+// Template returns "fdd".
+func (c *FDD) Template() string { return "fdd" }
+
+// Nodes returns the internal decision-node count.
+func (c *FDD) Nodes() int { return c.nodes }
+
+// Leaves returns the direct-answer leaf count.
+func (c *FDD) Leaves() int { return c.leaves }
+
+// DecisionDepth returns the longest root-to-leaf dispatch path.
+func (c *FDD) DecisionDepth() int { return c.depth }
+
+// String summarizes the structure for stats output.
+func (c *FDD) String() string {
+	return fmt.Sprintf("fdd{nodes=%d leaves=%d depth=%d}", c.nodes, c.leaves, c.depth)
+}

@@ -1,0 +1,119 @@
+package classifier
+
+import (
+	"math/rand"
+	"testing"
+
+	"manorm/internal/mat"
+)
+
+// refFirstMatch is the semantics FDD must implement: scan entries in
+// insertion order, return the first whose every cell matches.
+func refFirstMatch(t *mat.Table, key []uint64) int {
+	fields := t.Schema.Fields()
+	for ei, e := range t.Entries {
+		hit := true
+		for i, f := range fields {
+			if !e[f].Matches(key[i], t.Schema[f].Width) {
+				hit = false
+				break
+			}
+		}
+		if hit {
+			return ei
+		}
+	}
+	return -1
+}
+
+// randomTable builds a table with overlapping exact/prefix/any cells in
+// arbitrary order — the shape fused rule lists take.
+func randomTable(rng *rand.Rand, entries int) *mat.Table {
+	widths := []uint8{8, 12, 16}
+	t := mat.New("fuzz", mat.Schema{
+		mat.F("a", widths[0]), mat.F("b", widths[1]), mat.F("c", widths[2]),
+		mat.A("out", 16),
+	})
+	for i := 0; i < entries; i++ {
+		cells := make([]mat.Cell, 0, 4)
+		for _, w := range widths {
+			switch rng.Intn(3) {
+			case 0:
+				cells = append(cells, mat.Any())
+			case 1:
+				cells = append(cells, mat.Exact(rng.Uint64()&0x7, w)) // dense values: force overlaps
+			default:
+				cells = append(cells, mat.Prefix(rng.Uint64(), uint8(rng.Intn(int(w))+1), w))
+			}
+		}
+		cells = append(cells, mat.Exact(uint64(i), 16))
+		t.Add(cells...)
+	}
+	return t
+}
+
+// FDD lookups must agree with ordered first-match reference semantics on
+// random tables and random keys, including keys matching several
+// overlapping entries of differing specificity.
+func TestFDDMatchesOrderedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		tab := randomTable(rng, rng.Intn(24)+1)
+		c, err := NewFDD(tab)
+		if err != nil {
+			t.Fatalf("trial %d: NewFDD: %v", trial, err)
+		}
+		for k := 0; k < 200; k++ {
+			key := []uint64{rng.Uint64() & 0x7, rng.Uint64() & 0xFFF, rng.Uint64() & 0x7}
+			if k%4 == 0 { // bias keys toward entry patterns
+				ei := rng.Intn(len(tab.Entries))
+				fields := tab.Schema.Fields()
+				for i, f := range fields {
+					cell := tab.Entries[ei][f]
+					if !cell.IsAny() {
+						key[i] = cell.Bits
+					}
+				}
+			}
+			want := refFirstMatch(tab, key)
+			got := c.Lookup(key)
+			if got != want {
+				t.Fatalf("trial %d key %v: FDD=%d want=%d (%s)", trial, key, got, want, c)
+			}
+		}
+	}
+}
+
+// A later, more specific rule must lose to an earlier, broader one — the
+// property that distinguishes FDD from every specificity-sorted template.
+func TestFDDEntryOrderBeatsSpecificity(t *testing.T) {
+	tab := mat.New("order", mat.Schema{mat.F("f", 8), mat.A("out", 16)})
+	tab.Add(mat.Prefix(0x80, 1, 8), mat.Exact(0, 16)) // 1000_0000/1, first
+	tab.Add(mat.Exact(0x81, 8), mat.Exact(1, 16))     // exact, second
+	c, err := NewFDD(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Lookup([]uint64{0x81}); got != 0 {
+		t.Fatalf("first-match order violated: got entry %d, want 0", got)
+	}
+	if got := c.Lookup([]uint64{0x00}); got != -1 {
+		t.Fatalf("expected miss, got %d", got)
+	}
+}
+
+// The structure must expose its size for fusion-cost telemetry.
+func TestFDDStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tab := randomTable(rng, 16)
+	c, err := NewFDD(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Template() != "fdd" {
+		t.Fatalf("template = %q", c.Template())
+	}
+	if c.Leaves() == 0 || c.DecisionDepth() == 0 {
+		t.Fatalf("degenerate stats: %s", c)
+	}
+}

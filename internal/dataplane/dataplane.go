@@ -31,6 +31,11 @@ const (
 	ActSetMeta
 	// ActDecTTL decrements the IPv4 TTL (the "mod_ttl" attribute).
 	ActDecTTL
+	// ActDrop drops the packet. Source pipelines express drops only as
+	// miss policies; fused rule lists (CompileFused) need the explicit
+	// form because a fused drop path must keep its position in the
+	// first-match order rather than fall through to a table miss.
+	ActDrop
 )
 
 // Action is one compiled action.
@@ -44,6 +49,7 @@ type Action struct {
 // matchCol describes where one match column's key word comes from.
 type matchCol struct {
 	field string // packet field name ("" when meta >= 0)
+	fid   int    // dense packet field id (packet.FieldID), -1 for unknown
 	meta  int    // metadata register index, -1 for packet fields
 	width uint8
 }
@@ -63,6 +69,11 @@ type Table struct {
 	counters []atomic.Uint64
 	// Template records which classifier template the table compiled to.
 	Template string
+	// Fused-table metadata (nil on interpreted tables): per entry, the
+	// logical depth of the source path and the reconstructed witness
+	// stages (see CompileFused).
+	fusedTables []int32
+	fusedStages [][]telemetry.TraceStage
 }
 
 // Verdict is the result of processing one packet.
@@ -86,6 +97,12 @@ type Pipeline struct {
 	// pipeline is uninstrumented (the allocation-free fast path checks a
 	// single pointer).
 	tel *pipelineTel
+	// fusedT/fusedFDD, set by CompileFused, route Process/ProcessBatch
+	// through the straight-line fused hot path (one table, no metadata
+	// registers, no goto dispatch, drop on miss) with the classifier call
+	// devirtualized. Traced processing still takes the general loop.
+	fusedT   *Table
+	fusedFDD *classifier.FDD
 }
 
 // pipelineTel is the instrument set of one compiled pipeline: per-stage
@@ -153,6 +170,11 @@ func FixedTemplate(tmpl classifier.Template) TemplateSelector {
 // indexed per distinct name. Options attach cross-cutting concerns, e.g.
 // WithTelemetry.
 func Compile(p *mat.Pipeline, sel TemplateSelector, opts ...Option) (*Pipeline, error) {
+	if p.Fused {
+		// The fusion hint overrides per-stage template selection: the whole
+		// pipeline becomes one first-match decision structure.
+		return CompileFused(p, opts...)
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -193,11 +215,12 @@ func Compile(p *mat.Pipeline, sel TemplateSelector, opts ...Option) (*Pipeline, 
 		}
 		for _, fi := range t.Schema.Fields() {
 			at := t.Schema[fi]
-			col := matchCol{width: at.Width, meta: -1}
+			col := matchCol{width: at.Width, meta: -1, fid: -1}
 			if mat.IsLinkAttr(at.Name) {
 				col.meta = metaOf(at.Name)
 			} else {
 				col.field = at.Name
+				col.fid = packet.FieldID(at.Name)
 			}
 			ct.cols = append(ct.cols, col)
 		}
@@ -250,21 +273,10 @@ func Compile(p *mat.Pipeline, sel TemplateSelector, opts ...Option) (*Pipeline, 
 	return out, nil
 }
 
-// actionField maps action attribute names to the packet field they write
-// (mod_smac -> eth_src etc.); unknown names pass through and are treated
-// as opaque packet fields.
-func actionField(name string) string {
-	switch name {
-	case "mod_smac":
-		return packet.FieldEthSrc
-	case "mod_dmac":
-		return packet.FieldEthDst
-	case "mod_vlan":
-		return packet.FieldVLAN
-	default:
-		return name
-	}
-}
+// actionField maps action attribute names to the packet field they write;
+// the canonical mapping lives in internal/packet so the fusion compiler
+// can statically resolve rewrites against downstream matches.
+func actionField(name string) string { return packet.ActionField(name) }
 
 // Trace records which packet bits a pipeline traversal consulted: for
 // every header field, the maximum prefix length any visited table matched
@@ -301,6 +313,9 @@ func (tr *Trace) add(field string, plen uint8) {
 // the matched actions, updating per-entry counters, and returning the
 // verdict. ctx must come from NewCtx on this pipeline.
 func (p *Pipeline) Process(pkt *packet.Packet, ctx *Ctx) (Verdict, error) {
+	if p.fusedT != nil {
+		return p.processFused(pkt, ctx)
+	}
 	return p.process(pkt, ctx, nil)
 }
 
@@ -319,6 +334,16 @@ func (p *Pipeline) ProcessTraced(pkt *packet.Packet, ctx *Ctx, tr *Trace) (Verdi
 func (p *Pipeline) ProcessBatch(pkts []*packet.Packet, ctx *Ctx, out []Verdict) error {
 	if len(out) < len(pkts) {
 		return fmt.Errorf("dataplane: verdict buffer %d too small for batch of %d", len(out), len(pkts))
+	}
+	if p.fusedT != nil {
+		for i, pkt := range pkts {
+			v, err := p.processFused(pkt, ctx)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+		return nil
 	}
 	for i, pkt := range pkts {
 		v, err := p.process(pkt, ctx, nil)
@@ -358,7 +383,7 @@ func (p *Pipeline) process(pkt *packet.Packet, ctx *Ctx, tr *Trace) (Verdict, er
 				key[i] = ctx.meta[c.meta]
 				continue
 			}
-			fv, ok := pkt.Field(c.field)
+			fv, ok := pkt.FieldByID(c.fid)
 			if !ok {
 				miss = true
 				break
@@ -403,6 +428,11 @@ func (p *Pipeline) process(pkt *packet.Packet, ctx *Ctx, tr *Trace) (Verdict, er
 			}
 		}
 		t.counters[ei].Add(1)
+		if t.fusedTables != nil {
+			// Report the logical depth of the fused-away path, not the
+			// single physical lookup.
+			v.Tables += int(t.fusedTables[ei]) - 1
+		}
 		for _, a := range t.acts[ei] {
 			switch a.Kind {
 			case ActOutput:
@@ -415,7 +445,15 @@ func (p *Pipeline) process(pkt *packet.Packet, ctx *Ctx, tr *Trace) (Verdict, er
 				}
 			case ActSetField:
 				pkt.SetField(a.Field, a.Value)
+			case ActDrop:
+				v.Drop = true
 			}
+		}
+		if v.Drop {
+			if p.tel != nil {
+				p.tel.procNs.Observe(float64(time.Since(t0)))
+			}
+			return v, nil
 		}
 		if g := t.gotos[ei]; g >= 0 {
 			cur = g

@@ -1,0 +1,261 @@
+package dataplane
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"manorm/internal/classifier"
+	"manorm/internal/fdd"
+	"manorm/internal/mat"
+	"manorm/internal/packet"
+	"manorm/internal/telemetry"
+)
+
+// CompileFused lowers a pipeline through the fusion compiler
+// (internal/fdd) into a single-stage executable: one first-match decision
+// structure whose leaves carry the concatenated actions of the fused-away
+// path. Table-to-table joins, metadata plumbing and rematch re-entries
+// are resolved at compile time, so forwarding is one classifier walk —
+// the batch path, per-shard caches and counter machinery of the
+// interpreted pipeline are reused unchanged.
+//
+// The fused stage keeps the *logical* pipeline observable: Verdict.Tables
+// reports the depth of the fused-away path and ProcessExplain replays the
+// reconstructed per-table witness, so the runtime Theorem-1 equivalence
+// check compares fused and interpreted runs stage by stage.
+//
+// Megaflow traces of fused entries claim the full width of every consulted
+// column. Per-rule prefix masks would be unsound here: fused rules
+// overlap in first-match order, so a hit does not imply the packet avoids
+// every earlier rule on the matched bits alone.
+func CompileFused(p *mat.Pipeline, opts ...Option) (*Pipeline, error) {
+	var cfg compileCfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	t0 := time.Now()
+	prog, err := fdd.Fuse(p)
+	if err != nil {
+		return nil, fmt.Errorf("dataplane: fuse %s: %w", p.Name, err)
+	}
+	cls, err := classifier.NewFDD(prog.MatchTable())
+	if err != nil {
+		return nil, fmt.Errorf("dataplane: fused classifier %s: %w", p.Name, err)
+	}
+	metaIdx := assignMetaIndices(p)
+
+	ct := &Table{
+		Name:        "fused",
+		cls:         cls,
+		next:        -1,
+		missDrop:    true,
+		counters:    make([]atomic.Uint64, len(prog.Rules)),
+		Template:    cls.Template(),
+		fusedTables: make([]int32, len(prog.Rules)),
+		fusedStages: make([][]telemetry.TraceStage, len(prog.Rules)),
+	}
+	for _, c := range prog.Cols {
+		ct.cols = append(ct.cols, matchCol{
+			field: c.Name, fid: packet.FieldID(c.Name), meta: -1, width: c.Width,
+		})
+	}
+	fullPlens := make([]uint8, len(prog.Cols))
+	for i, c := range prog.Cols {
+		fullPlens[i] = c.Width
+	}
+	for ri, r := range prog.Rules {
+		var acts []Action
+		for _, a := range r.Acts {
+			if la := lowerFusedAct(a); la.Kind != actNone {
+				acts = append(acts, la)
+			}
+		}
+		if r.Drop {
+			acts = append(acts, Action{Kind: ActDrop})
+		}
+		ct.acts = append(ct.acts, acts)
+		ct.gotos = append(ct.gotos, -1)
+		ct.plens = append(ct.plens, fullPlens)
+		ct.fusedTables[ri] = int32(r.Tables())
+		ct.fusedStages[ri] = fusedWitnessStages(r, metaIdx)
+	}
+
+	out := &Pipeline{Name: p.Name, tables: []*Table{ct}, start: 0, nMeta: 0, fusedT: ct, fusedFDD: cls}
+	if cfg.reg != nil {
+		out.tel = &pipelineTel{
+			procNs: cfg.reg.Histogram(fmt.Sprintf("pipeline.%s.process_ns", out.Name)),
+			stages: []stageTel{{
+				lookups: cfg.reg.Counter(fmt.Sprintf("pipeline.%s.stage0.fused.lookups", out.Name)),
+				matches: cfg.reg.Counter(fmt.Sprintf("pipeline.%s.stage0.fused.matches", out.Name)),
+				misses:  cfg.reg.Counter(fmt.Sprintf("pipeline.%s.stage0.fused.misses", out.Name)),
+			}},
+		}
+		// Fusion-cost instruments: decision-structure size and compile
+		// latency, reported by `mabench -metrics` alongside throughput.
+		prefix := fmt.Sprintf("pipeline.%s.fdd.", out.Name)
+		cfg.reg.Gauge(prefix + "rules").Set(float64(len(prog.Rules)))
+		cfg.reg.Gauge(prefix + "nodes").Set(float64(cls.Nodes()))
+		cfg.reg.Gauge(prefix + "leaves").Set(float64(cls.Leaves()))
+		cfg.reg.Gauge(prefix + "depth").Set(float64(cls.DecisionDepth()))
+		cfg.reg.Gauge(prefix + "compile_ns").Set(float64(time.Since(t0)))
+	}
+	return out, nil
+}
+
+// processFused is the fused hot path: the general stage loop specialized
+// for exactly one table with no metadata registers, no goto dispatch and
+// drop-on-miss, and with the decision-structure lookup devirtualized. It
+// must stay verdict-identical to process() on the same fused table (the
+// traced and ProcessExplain paths still run the general machinery).
+func (p *Pipeline) processFused(pkt *packet.Packet, ctx *Ctx) (Verdict, error) {
+	var t0 time.Time
+	if p.tel != nil {
+		t0 = time.Now()
+		p.tel.stages[0].lookups.Inc()
+	}
+	t := p.fusedT
+	key := ctx.key[:len(t.cols)]
+	ei := -1
+	ok := true
+	for i := range t.cols {
+		if key[i], ok = pkt.FieldByID(t.cols[i].fid); !ok {
+			break
+		}
+	}
+	if ok {
+		ei = p.fusedFDD.Lookup(key)
+	}
+	v := Verdict{Tables: 1}
+	if ei < 0 {
+		v.Drop = true
+		if p.tel != nil {
+			p.tel.stages[0].misses.Inc()
+			p.tel.procNs.Observe(float64(time.Since(t0)))
+		}
+		return v, nil
+	}
+	if p.tel != nil {
+		p.tel.stages[0].matches.Inc()
+	}
+	t.counters[ei].Add(1)
+	v.Tables = int(t.fusedTables[ei])
+	for _, a := range t.acts[ei] {
+		switch a.Kind {
+		case ActOutput:
+			v.Port = uint16(a.Value)
+		case ActDecTTL:
+			if pkt.HasIPv4 && pkt.TTL > 0 {
+				pkt.TTL--
+			}
+		case ActSetField:
+			pkt.SetField(a.Field, a.Value)
+		case ActDrop:
+			v.Drop = true
+		}
+	}
+	if p.tel != nil {
+		p.tel.procNs.Observe(float64(time.Since(t0)))
+	}
+	return v, nil
+}
+
+// FusedStats describes a compiled fused stage for stats readers.
+type FusedStats struct {
+	Rules  int `json:"rules"`
+	Nodes  int `json:"nodes"`
+	Leaves int `json:"leaves"`
+	Depth  int `json:"depth"` // decision-path depth, not pipeline depth
+}
+
+// Fused returns the decision-structure statistics when the pipeline was
+// compiled by CompileFused, else nil.
+func (p *Pipeline) Fused() *FusedStats {
+	if len(p.tables) != 1 || p.tables[0].fusedTables == nil {
+		return nil
+	}
+	c, ok := p.tables[0].cls.(*classifier.FDD)
+	if !ok {
+		return nil
+	}
+	return &FusedStats{
+		Rules: len(p.tables[0].counters), Nodes: c.Nodes(),
+		Leaves: c.Leaves(), Depth: c.DecisionDepth(),
+	}
+}
+
+// actNone marks logical acts with no physical lowering (metadata writes:
+// every downstream consumer was resolved at fusion time).
+const actNone ActionKind = 0xFF
+
+// lowerFusedAct maps one logical fused act to its physical action.
+func lowerFusedAct(a fdd.Act) Action {
+	switch {
+	case a.Attr == "out":
+		return Action{Kind: ActOutput, Value: a.Value}
+	case a.Attr == "mod_ttl":
+		return Action{Kind: ActDecTTL}
+	case mat.IsLinkAttr(a.Attr):
+		return Action{Kind: actNone}
+	default:
+		return Action{Kind: ActSetField, Field: actionField(a.Attr), Value: a.Value}
+	}
+}
+
+// assignMetaIndices replicates Compile's metadata-register numbering (in
+// stage order: match columns first, then action attributes entry by
+// entry), so fused witnesses render "meta[i]=v" with the same register
+// indices the interpreted pipeline reports.
+func assignMetaIndices(p *mat.Pipeline) map[string]int {
+	idx := make(map[string]int)
+	assign := func(name string) {
+		if _, ok := idx[name]; !ok {
+			idx[name] = len(idx)
+		}
+	}
+	for _, st := range p.Stages {
+		sch := st.Table.Schema
+		for _, fi := range sch.Fields() {
+			if mat.IsLinkAttr(sch[fi].Name) {
+				assign(sch[fi].Name)
+			}
+		}
+		for range st.Table.Entries {
+			for i, at := range sch {
+				if at.Kind == mat.Action && i != sch.Index(mat.GotoAttr) && mat.IsLinkAttr(at.Name) {
+					assign(at.Name)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// fusedWitnessStages pre-renders the logical per-table witness of one
+// fused rule; ProcessExplain replays it verbatim.
+func fusedWitnessStages(r fdd.Rule, metaIdx map[string]int) []telemetry.TraceStage {
+	stages := make([]telemetry.TraceStage, 0, len(r.Steps))
+	for _, s := range r.Steps {
+		st := telemetry.TraceStage{Stage: s.Stage, Table: s.Table, Entry: s.Entry, Join: s.Join}
+		for _, a := range s.Acts {
+			st.Actions = append(st.Actions, renderFusedAct(a, metaIdx))
+		}
+		stages = append(stages, st)
+	}
+	return stages
+}
+
+// renderFusedAct formats one logical act exactly as the interpreted
+// witness renders the corresponding compiled action.
+func renderFusedAct(a fdd.Act, metaIdx map[string]int) string {
+	switch {
+	case a.Attr == "out":
+		return fmt.Sprintf("out=%d", a.Value)
+	case a.Attr == "mod_ttl":
+		return "dec_ttl"
+	case mat.IsLinkAttr(a.Attr):
+		return fmt.Sprintf("meta[%d]=%d", metaIdx[a.Attr], a.Value)
+	default:
+		return fmt.Sprintf("set %s=%#x", actionField(a.Attr), a.Value)
+	}
+}

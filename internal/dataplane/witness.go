@@ -67,6 +67,30 @@ func (p *Pipeline) ProcessExplain(pkt *packet.Packet, ctx *Ctx) (Verdict, *telem
 		}
 		st.Entry = ei
 		t.counters[ei].Add(1)
+		if t.fusedStages != nil {
+			// A fused hit replays the pre-rendered logical witness of the
+			// fused-away path (and the path's concatenated actions), so the
+			// Theorem-1 check sees the same per-table trace the interpreted
+			// pipeline would produce.
+			for _, a := range t.acts[ei] {
+				switch a.Kind {
+				case ActOutput:
+					v.Port = uint16(a.Value)
+				case ActDecTTL:
+					if pkt.HasIPv4 && pkt.TTL > 0 {
+						pkt.TTL--
+					}
+				case ActSetField:
+					pkt.SetField(a.Field, a.Value)
+				case ActDrop:
+					v.Drop = true
+				}
+			}
+			v.Tables = int(t.fusedTables[ei])
+			wit.Stages = append(wit.Stages, t.fusedStages[ei]...)
+			wit.Drop, wit.Port, wit.Tables = v.Drop, v.Port, v.Tables
+			return v, wit, nil
+		}
 		setsMeta := false
 		for _, a := range t.acts[ei] {
 			st.Actions = append(st.Actions, renderAction(a))
@@ -125,6 +149,8 @@ func renderAction(a Action) string {
 		return "dec_ttl"
 	case ActSetField:
 		return fmt.Sprintf("set %s=%#x", a.Field, a.Value)
+	case ActDrop:
+		return "drop"
 	default:
 		return fmt.Sprintf("action(%d)", a.Kind)
 	}

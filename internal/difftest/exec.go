@@ -6,6 +6,7 @@ import (
 
 	"manorm/internal/core"
 	"manorm/internal/dataplane"
+	"manorm/internal/fdd"
 	"manorm/internal/mat"
 	"manorm/internal/netkat"
 	"manorm/internal/packet"
@@ -44,6 +45,11 @@ type truth struct {
 //   - every variant installed on every switch model, batch-processed
 //     twice so the second, cache-warm pass validates flow-cache replay.
 //
+// The compiled layers additionally run a fused twin of every fusable
+// variant (the pipeline re-compiled through internal/fdd into a single
+// first-match decision structure), so fusion is cross-checked against
+// the same relational ground truth as the interpreted datapaths.
+//
 // The returned divergences are empty for a healthy program. An error
 // means the harness itself could not run (nil table, unknown model) —
 // never that the program diverged.
@@ -76,6 +82,27 @@ func Execute(p *Program, cfg ExecConfig) ([]Divergence, error) {
 		}
 		vs = append(vs, core.Variant{Name: "fig3-caveat", Pipeline: cp})
 	}
+	// Fused twins: every variant re-entered through the FDD fusion path
+	// (rep "fused"). Fusion is a compilation hint — the relational
+	// semantics and the oracle ignore it — so the twins join only the
+	// compiled layers below. Pipelines fusion declines (a matched field
+	// whose written value analysis cannot track, stage cycles) are
+	// skipped: ErrUnfusable is a stated capability limit, not a
+	// divergence. Any other fusion failure is a construct divergence.
+	compiled := vs
+	for _, v := range vs {
+		if _, err := fdd.Fuse(v.Pipeline); err != nil {
+			if !fdd.IsUnfusable(err) {
+				add(KindConstruct, v.Name+"+fused", "", -1, "fuse: %v", err)
+			}
+			continue
+		}
+		tw := *v.Pipeline
+		tw.Name = v.Pipeline.Name + "+fused"
+		tw.Fused = true
+		compiled = append(compiled, core.Variant{Name: v.Name + "+fused", Pipeline: &tw})
+	}
+
 	uni := vs[0].Pipeline
 	hasOut := p.Table.Schema.Index("out") >= 0
 
@@ -141,7 +168,7 @@ func Execute(p *Program, cfg ExecConfig) ([]Divergence, error) {
 	}
 
 	// Raw dataplane: verdicts, witness consistency, header mutations.
-	for _, v := range vs {
+	for _, v := range compiled {
 		dp, err := dataplane.Compile(v.Pipeline, dataplane.AutoTemplates)
 		if err != nil {
 			add(KindConstruct, v.Name, "dataplane", -1, "compile: %v", err)
@@ -193,7 +220,7 @@ func Execute(p *Program, cfg ExecConfig) ([]Divergence, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, v := range vs {
+		for _, v := range compiled {
 			if err := sw.Install(v.Pipeline); err != nil {
 				add(KindConstruct, v.Name, model, -1, "install: %v", err)
 				continue

@@ -48,7 +48,9 @@ func TestExecuteCaveatDiverges(t *testing.T) {
 		}
 		caveatOnly := true
 		for _, d := range divs {
-			if d.Variant != "fig3-caveat" {
+			// The fused twin of the planted pipeline inherits its
+			// divergence — fusion reproduces datapath semantics.
+			if strings.TrimSuffix(d.Variant, "+fused") != "fig3-caveat" {
 				caveatOnly = false
 			}
 		}
@@ -97,7 +99,7 @@ func TestExecuteDetectsBrokenPipeline(t *testing.T) {
 	}
 	var sawEval, sawRuntime bool
 	for _, d := range divs {
-		if d.Variant != "fig3-caveat" {
+		if strings.TrimSuffix(d.Variant, "+fused") != "fig3-caveat" {
 			t.Fatalf("divergence outside planted variant: %s", d)
 		}
 		switch d.Kind {
@@ -115,6 +117,31 @@ func TestExecuteDetectsBrokenPipeline(t *testing.T) {
 	}
 	if !sawRuntime {
 		t.Fatalf("no compiled-layer divergence detected: %v", divs)
+	}
+}
+
+// TestExecuteFusedTwinsRun: the compiled layers must actually execute the
+// fused twins — on the planted rematch hazard the fused twin of the
+// rematch decomposition has to reproduce the verdict divergence (fusion
+// resolves the re-match against the written constant, i.e. datapath
+// semantics), not silently drop out of the matrix.
+func TestExecuteFusedTwinsRun(t *testing.T) {
+	p := PlantRematchHazard(2)
+	divs, err := Execute(p, DefaultExecConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := 0
+	for _, d := range divs {
+		if strings.HasSuffix(d.Variant, "+fused") {
+			fused++
+			if d.Kind != KindVerdict {
+				t.Fatalf("fused twin diverged with kind %s, want verdict: %s", d.Kind, d)
+			}
+		}
+	}
+	if fused == 0 {
+		t.Fatalf("no fused-twin divergence on the hazard program: %v", divs)
 	}
 }
 

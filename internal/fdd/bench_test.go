@@ -1,0 +1,54 @@
+package fdd
+
+import (
+	"testing"
+
+	"manorm/internal/usecases"
+)
+
+// Fusion cost for the paper's evaluation-scale gateway/load-balancer
+// (20 services × 8 backends) across the join abstractions: run with
+// `go test -bench . ./internal/fdd` to see rules-per-compile and
+// compile latency per representation.
+func BenchmarkFuse(b *testing.B) {
+	g := usecases.Generate(20, 8, 42)
+	for _, rep := range []usecases.Representation{
+		usecases.RepUniversal, usecases.RepGoto, usecases.RepMetadata, usecases.RepRematch,
+	} {
+		p, err := g.Build(rep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(string(rep), func(b *testing.B) {
+			var rules int
+			for i := 0; i < b.N; i++ {
+				prog, err := Fuse(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rules = len(prog.Rules)
+			}
+			b.ReportMetric(float64(rules), "rules")
+		})
+	}
+}
+
+// Lowering cost of the fused match side into a table (the classifier
+// build happens in dataplane; this isolates path enumeration + lowering).
+func BenchmarkMatchTable(b *testing.B) {
+	g := usecases.Generate(20, 8, 42)
+	p, err := g.Goto()
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := Fuse(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if t := prog.MatchTable(); len(t.Entries) != len(prog.Rules) {
+			b.Fatal("lowering dropped rules")
+		}
+	}
+}

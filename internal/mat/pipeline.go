@@ -44,6 +44,11 @@ type Pipeline struct {
 	Name   string
 	Stages []Stage
 	Start  int
+	// Fused asks compiling datapaths to fuse the whole pipeline into a
+	// single first-match decision structure (internal/fdd) instead of
+	// interpreting the stage joins per packet. It is a compilation hint:
+	// the relational semantics, validation and footprint metrics ignore it.
+	Fused bool
 }
 
 // SingleTable wraps one table as a one-stage pipeline (the universal

@@ -1,0 +1,37 @@
+package packet
+
+import "testing"
+
+// FieldByID must agree with Field for every canonical name, on packets
+// with and without the optional layers.
+func TestFieldIDAgreesWithField(t *testing.T) {
+	names := []string{
+		FieldEthDst, FieldEthSrc, FieldEthType, FieldVLAN, FieldIPSrc,
+		FieldIPDst, FieldIPProto, FieldTTL, FieldTCPSrc, FieldTCPDst,
+	}
+	pkts := []*Packet{
+		TCP4(0x0a, 0x0b, 0xC0000201, 0xC0000202, 1234, 80),
+		{EthDst: 1, EthSrc: 2, EthType: 0x0800}, // no VLAN/IPv4/L4 layers
+	}
+	pkts[0].HasVLAN = true
+	pkts[0].VLANID = 7
+	for _, p := range pkts {
+		for _, n := range names {
+			id := FieldID(n)
+			if id < 0 || id >= NumFieldIDs {
+				t.Fatalf("FieldID(%q) = %d out of range", n, id)
+			}
+			wv, wok := p.Field(n)
+			gv, gok := p.FieldByID(id)
+			if wv != gv || wok != gok {
+				t.Fatalf("field %q: Field=(%d,%v) FieldByID=(%d,%v)", n, wv, wok, gv, gok)
+			}
+		}
+	}
+	if FieldID("nope") != -1 {
+		t.Fatalf("FieldID(unknown) should be -1")
+	}
+	if _, ok := pkts[0].FieldByID(-1); ok {
+		t.Fatalf("FieldByID(-1) should report absent")
+	}
+}

@@ -1,0 +1,85 @@
+package switches
+
+import (
+	"testing"
+
+	"manorm/internal/dataplane"
+	"manorm/internal/packet"
+	"manorm/internal/trafficgen"
+	"manorm/internal/usecases"
+)
+
+// Every switch model must accept a fused install and produce, frame for
+// frame, the interpreted goto representation's verdicts — cold caches and
+// warm.
+func TestFusedInstallAgreesAcrossModels(t *testing.T) {
+	g := usecases.Generate(8, 4, 31)
+	gotoP, err := g.Build(usecases.RepGoto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fusedP, err := g.Build(usecases.RepFused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, _ := trafficgen.Wire(trafficgen.GwLB(g, 256, 0.8, 17))
+	for _, name := range ModelNames() {
+		ref, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sut, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Install(gotoP); err != nil {
+			t.Fatalf("%s: install goto: %v", name, err)
+		}
+		if err := sut.Install(fusedP); err != nil {
+			t.Fatalf("%s: install fused: %v", name, err)
+		}
+		refOut := make([]dataplane.Verdict, len(frames))
+		sutOut := make([]dataplane.Verdict, len(frames))
+		for pass := 0; pass < 2; pass++ { // pass 1 hits warmed caches
+			if err := ref.ProcessBatch(frames, refOut); err != nil {
+				t.Fatalf("%s: goto batch: %v", name, err)
+			}
+			if err := sut.ProcessBatch(frames, sutOut); err != nil {
+				t.Fatalf("%s: fused batch: %v", name, err)
+			}
+			for i := range frames {
+				if refOut[i].Drop != sutOut[i].Drop || refOut[i].Port != sutOut[i].Port {
+					t.Fatalf("%s pass %d frame %d: goto=%+v fused=%+v", name, pass, i, refOut[i], sutOut[i])
+				}
+			}
+		}
+	}
+}
+
+// A fused install must surface its decision-structure size through the
+// unified Stats view.
+func TestFusedStatsSurface(t *testing.T) {
+	g := usecases.Generate(4, 2, 7)
+	fusedP, err := g.Build(usecases.RepFused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := New("eswitch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Install(fusedP); err != nil {
+		t.Fatal(err)
+	}
+	pkt := packet.TCP4(1, 2, 3, g.Services[0].VIP, 99, g.Services[0].Port)
+	if _, err := sw.Process(pkt); err != nil {
+		t.Fatal(err)
+	}
+	snap := sw.Stats()
+	if snap.Gauges["fdd_rules"] <= 0 || snap.Gauges["fdd_nodes"] <= 0 {
+		t.Fatalf("fused stats missing from snapshot: %+v", snap.Gauges)
+	}
+	if snap.Gauges["pipeline_depth"] != 1 {
+		t.Fatalf("fused pipeline depth = %v, want 1", snap.Gauges["pipeline_depth"])
+	}
+}

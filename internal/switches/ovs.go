@@ -121,6 +121,13 @@ type ovsWorker struct {
 	trace  *dataplane.Trace
 	cache  map[ovsKey]ovsHit
 	mega   *megaflowCache
+	// direct is set when the installed program is pre-fused
+	// (mat.Pipeline.Fused): the caches exist to amortize multi-table
+	// traversal, and fusion already collapsed the pipeline into one
+	// first-match structure — the compile-time analogue of the megaflow
+	// cache itself — so the shard forwards through it directly instead of
+	// stacking microflow hashing on top of an O(1) datapath.
+	direct bool
 	// cacheable mirrors the real per-PMD accounting: scratch packet reused
 	// across frames.
 	scratch packet.Packet
@@ -158,6 +165,7 @@ func (w *ovsWorker) refresh() (*dataplane.Pipeline, error) {
 	if slow != w.slow {
 		w.slow = slow
 		w.ctx = slow.NewCtx()
+		w.direct = slow.Fused() != nil
 		w.flush()
 	}
 	if e := w.parent.epoch.Load(); e != w.epoch {
@@ -179,6 +187,13 @@ func (w *ovsWorker) refresh() (*dataplane.Pipeline, error) {
 // header-rewriting actions are applied only on the slow path. The
 // benchmark workloads (gateway & load balancer) are pure forwarding.
 func (w *ovsWorker) process(slow *dataplane.Pipeline, pkt *packet.Packet) (dataplane.Verdict, error) {
+	if w.direct {
+		// Pre-fused program: forward through the decision structure
+		// directly (counted as slow-path traversals — that is literally
+		// what they are; there is no cache layer in front).
+		w.pendMisses++
+		return slow.Process(pkt, w.ctx)
+	}
 	k := keyOf(pkt)
 	if hit, ok := w.cache[k]; ok {
 		w.pendHits++

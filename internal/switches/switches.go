@@ -295,6 +295,12 @@ func pipelineSnapshot(name string, dp *dataplane.Pipeline) telemetry.Snapshot {
 		}
 		snap.Counters[fmt.Sprintf("table%d_matched", i)] = sum
 	}
+	if fs := dp.Fused(); fs != nil {
+		snap.Gauges["fdd_rules"] = float64(fs.Rules)
+		snap.Gauges["fdd_nodes"] = float64(fs.Nodes)
+		snap.Gauges["fdd_leaves"] = float64(fs.Leaves)
+		snap.Gauges["fdd_depth"] = float64(fs.Depth)
+	}
 	return snap
 }
 

@@ -264,12 +264,16 @@ func (g *GwLB) Rematch() (*mat.Pipeline, error) {
 // Representation names a gwlb pipeline flavor.
 type Representation string
 
-// The four representations under study.
+// The four representations under study, plus the compiler-fused form.
 const (
 	RepUniversal Representation = "universal"
 	RepGoto      Representation = "goto"
 	RepMetadata  Representation = "metadata"
 	RepRematch   Representation = "rematch"
+	// RepFused is the goto decomposition with the fusion hint set: the
+	// datapath compiles the whole pipeline into one first-match decision
+	// structure (internal/fdd), making the join free at forwarding time.
+	RepFused Representation = "fused"
 )
 
 // Build returns the requested representation as a pipeline.
@@ -283,6 +287,14 @@ func (g *GwLB) Build(rep Representation) (*mat.Pipeline, error) {
 		return mat.SingleTable(t), nil
 	case RepGoto:
 		return g.Goto()
+	case RepFused:
+		p, err := g.Goto()
+		if err != nil {
+			return nil, err
+		}
+		p.Name = "gwlb-fused"
+		p.Fused = true
+		return p, nil
 	case RepMetadata:
 		return g.Metadata()
 	case RepRematch:
