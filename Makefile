@@ -1,7 +1,7 @@
 GO ?= go
 
-.PHONY: build test lint race check fuzz-smoke fuzz-replay benchguard \
-	benchguard-update bench parallel profile quickstart
+.PHONY: build test lint race check fuzz-smoke fuzz-replay fabric-smoke \
+	benchguard benchguard-update bench parallel profile quickstart
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,15 @@ fuzz-smoke:
 fuzz-replay:
 	$(GO) run ./cmd/mafuzz -replay -corpus internal/difftest/testdata/corpus
 
+# fabric-smoke drives the multi-switch fabric through the headline fault
+# schedule (1% loss, a forced mid-frame cut, a partition every third
+# update) under both placement modes and fails unless the convergence
+# checker proves full convergence: identical normal forms on every
+# replica, exact desired state (zero lost or duplicated flow-mods), and
+# packet-for-packet forwarding agreement with the single-switch oracle.
+fabric-smoke:
+	$(GO) run ./cmd/mabench -experiment fabricchurn -quick
+
 # benchguard re-measures the multi-core scaling workload and compares
 # its shape against the checked-in BENCH_parallel.json baseline (±20%
 # per (switch, rep) aggregate, host-normalized); -require-rep asserts
@@ -49,7 +58,7 @@ benchguard-update:
 
 # check is the single gate CI runs — .github/workflows/ci.yml calls
 # exactly this target, so a green `make check` locally is a green build.
-check: lint build test race fuzz-smoke fuzz-replay benchguard
+check: lint build test race fuzz-smoke fuzz-replay fabric-smoke benchguard
 
 bench:
 	$(GO) test -p 1 -bench=. -benchmem ./...

@@ -18,6 +18,7 @@
 //	mabench -experiment nf4            # beyond-3NF extension (MVD split)
 //	mabench -experiment churnwire      # E2b: update burst cost over TCP
 //	mabench -experiment faultchurn     # E2c: update burst under channel faults
+//	mabench -experiment fabricchurn    # E9: multi-switch fabric under partitioned churn
 //	mabench -experiment cache          # OVS cache layers under Zipf traffic
 //	mabench -experiment parallel       # multi-core scaling over sharded workers
 //
@@ -59,6 +60,8 @@ const parallelJSONPath = "BENCH_parallel.json"
 type options struct {
 	// workers is the ceiling of the scaling curve (counts double up to it).
 	workers int
+	// fabric is the member count for the fabric-churn experiment.
+	fabric int
 	// jsonPath, when non-empty, receives the scaling results as JSON.
 	jsonPath string
 	// traceSample > 0 prints witness pairs (universal vs decomposed) for
@@ -75,6 +78,7 @@ func main() {
 		seed       = flag.Int64("seed", 42, "workload seed")
 		packets    = flag.Int("packets", 0, "override the per-measurement packet count (0 keeps the config default)")
 		workers    = flag.Int("workers", 0, "max workers for the parallel scaling experiment (implies -experiment parallel)")
+		fabricN    = flag.Int("fabric", 3, "switch count for the fabric-churn experiment")
 		metrics    = flag.Bool("metrics", false, "instrument measured switches and embed telemetry snapshots in JSON results")
 		jsonOut    = flag.String("o", "", "write -json output to this path instead of "+parallelJSONPath)
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (see `make profile`)")
@@ -101,7 +105,7 @@ func main() {
 	if *workers > 0 && *experiment == "all" {
 		*experiment = "parallel"
 	}
-	opts := options{workers: *workers, traceSample: obs.TraceSample}
+	opts := options{workers: *workers, fabric: *fabricN, traceSample: obs.TraceSample}
 	if opts.workers <= 0 {
 		opts.workers = 8
 	}
@@ -229,6 +233,17 @@ func run(experiment string, cfg bench.Config, opts options) error {
 				return err
 			}
 			bench.RenderFaultChurn(w, rows)
+		case "fabricchurn":
+			rows, err := bench.FabricChurn(cfg, 12, bench.DefaultFabricGrid(opts.fabric))
+			if err != nil {
+				return err
+			}
+			bench.RenderFabricChurn(w, rows)
+			for _, r := range rows {
+				if !r.Report.OK() {
+					return fmt.Errorf("fabric did not converge (%s): %s\n%s", r.Spec, r.Report, r.Report.Witness)
+				}
+			}
 		case "nf4":
 			rows, err := bench.NF4([][3]int{{4, 4, 4}, {8, 8, 4}, {16, 8, 8}})
 			if err != nil {
@@ -262,7 +277,7 @@ func run(experiment string, cfg bench.Config, opts options) error {
 	for _, name := range []string{
 		"footprint", "control", "monitor", "reactive", "static",
 		"l3", "caveat", "sdx", "joins", "depth", "nf4", "churnwire",
-		"faultchurn", "cache", "parallel",
+		"faultchurn", "fabricchurn", "cache", "parallel",
 	} {
 		if err := runOne(name); err != nil {
 			return err

@@ -11,9 +11,19 @@
 //	manorm -decompose "ip_dst -> tcp_dst" -in table.json [-join metadata]
 //	manorm -prove     "ip_dst -> tcp_dst" -in table.json
 //	manorm -denormalize    -in pipeline.json
+//	manorm -fingerprint    -in pipeline.json
 //
 // -prove prints the paper's Theorem 1 rewrite chain for the given
 // dependency, machine-checking every step (exact-match tables only).
+//
+// -fingerprint prints the canonical normal-form fingerprint of a table
+// or pipeline: the installed rules are denormalized to the universal
+// table, sorted into canonical entry order, and renormalized, and the
+// result is hashed. The fingerprint is invariant to the order rules were
+// installed in (resends and interleaved deliveries reorder entries), so
+// two switches driven to the same program fingerprint equal — it is how
+// the fabric convergence checker (internal/fabric) decides that replicas
+// agree.
 //
 // Input defaults to stdin; output is text (-format text) or JSON
 // (-format json) on stdout.
@@ -30,6 +40,7 @@ import (
 	"manorm/internal/cliflags"
 	"manorm/internal/core"
 	"manorm/internal/dataplane"
+	"manorm/internal/fabric"
 	"manorm/internal/fd"
 	"manorm/internal/mat"
 	"manorm/internal/netkat"
@@ -49,6 +60,7 @@ func main() {
 		decompose   = flag.String("decompose", "", "single decomposition step along the given dependency (\"a,b -> c\")")
 		prove       = flag.String("prove", "", "print the machine-checked Theorem 1 rewrite chain for the dependency")
 		denorm      = flag.Bool("denormalize", false, "re-join a pipeline into its universal table")
+		fingerprint = flag.Bool("fingerprint", false, "print the canonical normal-form fingerprint of a table or pipeline")
 		in          = flag.String("in", "-", "input file (JSON table or pipeline), - for stdin")
 		target      = flag.String("target", "3nf", "normalization target: 2nf, 3nf or bcnf")
 		join        = flag.String("join", "metadata", "join abstraction: metadata, goto or rematch")
@@ -73,16 +85,20 @@ func main() {
 		defer srv.Close()
 	}
 
-	if err := run(*analyze, *normalize, *decompose, *denorm, *in, *target, *join, *verify, *format, declaredFDs, *prove, obs.TraceSample); err != nil {
+	if err := run(*analyze, *normalize, *decompose, *denorm, *fingerprint, *in, *target, *join, *verify, *format, declaredFDs, *prove, obs.TraceSample); err != nil {
 		fmt.Fprintln(os.Stderr, "manorm:", err)
 		os.Exit(1)
 	}
 }
 
-func run(analyze, normalize bool, decompose string, denorm bool, in, target, join string, verify bool, format string, declaredFDs []string, prove string, traceSample int) error {
+func run(analyze, normalize bool, decompose string, denorm, fingerprint bool, in, target, join string, verify bool, format string, declaredFDs []string, prove string, traceSample int) error {
 	data, err := readInput(in)
 	if err != nil {
 		return err
+	}
+
+	if fingerprint {
+		return runFingerprint(data)
 	}
 
 	if denorm {
@@ -332,6 +348,33 @@ func runNormalize(tab *mat.Table, declared []fd.FD, target, join string, verify 
 
 func verifyEquiv(tab *mat.Table, p *mat.Pipeline) error {
 	return core.VerifyEquivalent(tab, p)
+}
+
+// runFingerprint prints the canonical normal-form fingerprint of the
+// input, which may be either a pipeline or a single universal table.
+func runFingerprint(data []byte) error {
+	var p mat.Pipeline
+	if err := json.Unmarshal(data, &p); err == nil && len(p.Stages) > 0 {
+		fp, err := fabric.Fingerprint(&p)
+		if err != nil {
+			return err
+		}
+		fmt.Println(fp)
+		return nil
+	}
+	var tab mat.Table
+	if err := json.Unmarshal(data, &tab); err != nil {
+		return fmt.Errorf("parsing table or pipeline: %w", err)
+	}
+	if err := tab.Validate(); err != nil {
+		return err
+	}
+	fp, err := fabric.Fingerprint(mat.SingleTable(&tab))
+	if err != nil {
+		return err
+	}
+	fmt.Println(fp)
+	return nil
 }
 
 // runProve prints the machine-checked Theorem 1 rewrite chain.

@@ -49,7 +49,7 @@ func readAll(f *os.File) (string, error) {
 
 func TestAnalyzeFixture(t *testing.T) {
 	out, err := captureStdout(t, func() error {
-		return run(true, false, "", false, fixture, "3nf", "metadata", false, "text",
+		return run(true, false, "", false, false, fixture, "3nf", "metadata", false, "text",
 			[]string{"ip_dst -> tcp_dst", "ip_src, ip_dst -> out"}, "", 0)
 	})
 	if err != nil {
@@ -64,7 +64,7 @@ func TestAnalyzeFixture(t *testing.T) {
 
 func TestAnalyzeMined(t *testing.T) {
 	out, err := captureStdout(t, func() error {
-		return run(true, false, "", false, fixture, "3nf", "metadata", false, "text", nil, "", 0)
+		return run(true, false, "", false, false, fixture, "3nf", "metadata", false, "text", nil, "", 0)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -76,7 +76,7 @@ func TestAnalyzeMined(t *testing.T) {
 
 func TestNormalizeFixtureJSON(t *testing.T) {
 	out, err := captureStdout(t, func() error {
-		return run(false, true, "", false, fixture, "3nf", "metadata", true, "json",
+		return run(false, true, "", false, false, fixture, "3nf", "metadata", true, "json",
 			[]string{"ip_dst -> tcp_dst", "ip_src, ip_dst -> out"}, "", 0)
 	})
 	if err != nil {
@@ -93,7 +93,7 @@ func TestNormalizeFixtureJSON(t *testing.T) {
 
 func TestNormalizeGotoFixture(t *testing.T) {
 	out, err := captureStdout(t, func() error {
-		return run(false, true, "", false, fixture, "3nf", "goto", true, "json",
+		return run(false, true, "", false, false, fixture, "3nf", "goto", true, "json",
 			[]string{"ip_dst -> tcp_dst", "ip_src, ip_dst -> out"}, "", 0)
 	})
 	if err != nil {
@@ -111,7 +111,7 @@ func TestNormalizeGotoFixture(t *testing.T) {
 
 func TestDecomposeFixture(t *testing.T) {
 	out, err := captureStdout(t, func() error {
-		return run(false, false, "ip_dst -> tcp_dst", false, fixture, "3nf", "goto", true, "text",
+		return run(false, false, "ip_dst -> tcp_dst", false, false, fixture, "3nf", "goto", true, "text",
 			[]string{"ip_dst -> tcp_dst"}, "", 0)
 	})
 	if err != nil {
@@ -126,7 +126,7 @@ func TestDenormalizeRoundTrip(t *testing.T) {
 	// normalize -> write pipeline -> denormalize -> must be a 6-entry
 	// table again.
 	pipeJSON, err := captureStdout(t, func() error {
-		return run(false, true, "", false, fixture, "3nf", "metadata", false, "json",
+		return run(false, true, "", false, false, fixture, "3nf", "metadata", false, "json",
 			[]string{"ip_dst -> tcp_dst", "ip_src, ip_dst -> out"}, "", 0)
 	})
 	if err != nil {
@@ -137,7 +137,7 @@ func TestDenormalizeRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	out, err := captureStdout(t, func() error {
-		return run(false, false, "", true, tmp, "3nf", "metadata", false, "json", nil, "", 0)
+		return run(false, false, "", true, false, tmp, "3nf", "metadata", false, "json", nil, "", 0)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -157,25 +157,25 @@ func TestRunErrors(t *testing.T) {
 		fn   func() error
 	}{
 		{"no mode", func() error {
-			return run(false, false, "", false, fixture, "3nf", "metadata", false, "text", nil, "", 0)
+			return run(false, false, "", false, false, fixture, "3nf", "metadata", false, "text", nil, "", 0)
 		}},
 		{"missing file", func() error {
-			return run(true, false, "", false, "testdata/nope.json", "3nf", "metadata", false, "text", nil, "", 0)
+			return run(true, false, "", false, false, "testdata/nope.json", "3nf", "metadata", false, "text", nil, "", 0)
 		}},
 		{"bad target", func() error {
-			return run(false, true, "", false, fixture, "7nf", "metadata", false, "text", nil, "", 0)
+			return run(false, true, "", false, false, fixture, "7nf", "metadata", false, "text", nil, "", 0)
 		}},
 		{"bad join", func() error {
-			return run(false, false, "ip_dst -> tcp_dst", false, fixture, "3nf", "zipper", false, "text", nil, "", 0)
+			return run(false, false, "ip_dst -> tcp_dst", false, false, fixture, "3nf", "zipper", false, "text", nil, "", 0)
 		}},
 		{"bad fd", func() error {
-			return run(true, false, "", false, fixture, "3nf", "metadata", false, "text", []string{"nope"}, "", 0)
+			return run(true, false, "", false, false, fixture, "3nf", "metadata", false, "text", []string{"nope"}, "", 0)
 		}},
 		{"unknown attr fd", func() error {
-			return run(true, false, "", false, fixture, "3nf", "metadata", false, "text", []string{"bogus -> out"}, "", 0)
+			return run(true, false, "", false, false, fixture, "3nf", "metadata", false, "text", []string{"bogus -> out"}, "", 0)
 		}},
 		{"false fd", func() error {
-			return run(true, false, "", false, fixture, "3nf", "metadata", false, "text", []string{"ip_dst -> out"}, "", 0)
+			return run(true, false, "", false, false, fixture, "3nf", "metadata", false, "text", []string{"ip_dst -> out"}, "", 0)
 		}},
 	}
 	for _, tc := range cases {
@@ -187,7 +187,7 @@ func TestRunErrors(t *testing.T) {
 
 func TestProveFixture(t *testing.T) {
 	out, err := captureStdout(t, func() error {
-		return run(false, false, "", false, "testdata/exact.json", "3nf", "metadata", false, "text", nil,
+		return run(false, false, "", false, false, "testdata/exact.json", "3nf", "metadata", false, "text", nil,
 			"ip_dst -> tcp_dst", 0)
 	})
 	if err != nil {
@@ -200,7 +200,7 @@ func TestProveFixture(t *testing.T) {
 	}
 	// Prefix tables are outside the proof's setting.
 	if _, err := captureStdout(t, func() error {
-		return run(false, false, "", false, fixture, "3nf", "metadata", false, "text", nil,
+		return run(false, false, "", false, false, fixture, "3nf", "metadata", false, "text", nil,
 			"ip_dst -> tcp_dst", 0)
 	}); err == nil {
 		t.Errorf("prefix table accepted by -prove")
@@ -221,12 +221,60 @@ func TestAnalyzeReports4NFBlockers(t *testing.T) {
 		t.Fatal(err)
 	}
 	out, err := captureStdout(t, func() error {
-		return run(true, false, "", false, tmp, "3nf", "metadata", false, "text", nil, "", 0)
+		return run(true, false, "", false, false, tmp, "3nf", "metadata", false, "text", nil, "", 0)
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "blocking 4NF") {
 		t.Errorf("4NF blockers not reported:\n%s", out)
+	}
+}
+
+// TestFingerprint checks the canonical normal-form fingerprint: stable
+// format, deterministic across runs, invariant under entry reordering,
+// and accepted for both table and pipeline inputs.
+func TestFingerprint(t *testing.T) {
+	fp := func(in string) string {
+		t.Helper()
+		out, err := captureStdout(t, func() error {
+			return run(false, false, "", false, true, in, "3nf", "metadata", false, "text", nil, "", 0)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.TrimSpace(out)
+	}
+	a := fp(fixture)
+	if len(a) != 16 {
+		t.Fatalf("fingerprint %q, want 16 hex chars", a)
+	}
+	if b := fp(fixture); b != a {
+		t.Fatalf("fingerprint not deterministic: %s vs %s", a, b)
+	}
+
+	// Reverse the table's entries: matching is order-free, so the
+	// fingerprint must not move.
+	raw, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tab mat.Table
+	if err := json.Unmarshal(raw, &tab); err != nil {
+		t.Fatal(err)
+	}
+	for i, j := 0, len(tab.Entries)-1; i < j; i, j = i+1, j-1 {
+		tab.Entries[i], tab.Entries[j] = tab.Entries[j], tab.Entries[i]
+	}
+	tmp := filepath.Join(t.TempDir(), "reversed.json")
+	enc, err := json.Marshal(&tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(tmp, enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if c := fp(tmp); c != a {
+		t.Fatalf("fingerprint depends on entry order: %s vs %s", c, a)
 	}
 }

@@ -15,6 +15,10 @@
 //	maswitch -switch eswitch -rep goto -listen 127.0.0.1:6653 &
 //	          # then drive it with a controller (see examples/reactive)
 //	maswitch -rep goto -churn 40 -loss 0.01 -jitter 25ms -cut
+//	maswitch -rep goto -listen 127.0.0.1:6653 -fabric 3 -fabricmode partition &
+//	          # serve 3 control channels (ports 6653..6655), each member
+//	          # holding its placement shard — drive them as one logical
+//	          # switch with a fabric controller (internal/fabric)
 //
 // The shared observability flags (internal/cliflags) apply:
 // -metrics-addr serves the switch's telemetry registry as JSON plus
@@ -29,11 +33,13 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strconv"
 	"time"
 
 	"manorm/internal/bench"
 	"manorm/internal/cliflags"
 	"manorm/internal/dataplane"
+	"manorm/internal/fabric"
 	"manorm/internal/openflow"
 	"manorm/internal/stats"
 	"manorm/internal/switches"
@@ -52,6 +58,9 @@ type options struct {
 	packets  int
 	seed     int64
 	listen   string
+
+	fabric     int
+	fabricMode string
 
 	churn     int
 	loss      float64
@@ -75,6 +84,8 @@ func main() {
 	flag.IntVar(&o.packets, "packets", 1_000_000, "packets to forward")
 	flag.Int64Var(&o.seed, "seed", 42, "workload seed")
 	flag.StringVar(&o.listen, "listen", "", "serve the control channel on this TCP address (runs until killed)")
+	flag.IntVar(&o.fabric, "fabric", 1, "serve this many fabric members on ports counting up from -listen")
+	flag.StringVar(&o.fabricMode, "fabricmode", "replicate", "fabric placement: replicate or partition")
 	flag.IntVar(&o.churn, "churn", 0, "run this many service updates over a fault-injected control channel instead of forwarding")
 	flag.Float64Var(&o.loss, "loss", 0, "control-channel frame loss probability (churn mode)")
 	flag.DurationVar(&o.jitter, "jitter", 0, "control-channel jitter upper bound (churn mode)")
@@ -114,6 +125,12 @@ type summary struct {
 func run(o options) error {
 	if o.churn > 0 {
 		return runChurn(o)
+	}
+	if o.fabric > 1 {
+		if o.listen == "" {
+			return fmt.Errorf("-fabric needs -listen")
+		}
+		return runFabric(o)
 	}
 	reg := telemetry.NewRegistry()
 	sw, err := bench.NewSwitch(o.swName, switches.WithTelemetry(reg))
@@ -249,6 +266,89 @@ func run(o options) error {
 
 // runChurn drives the churn-under-faults experiment for one
 // representation and prints the deterministic resilience counters.
+// runFabric serves a fabric of control channels: the built pipeline is
+// placed across -fabric members (replicated, or partitioned by entry-
+// stage match key) and each member's shard is loaded into its own switch
+// behind its own TCP listener, on ports counting up from -listen. A
+// fabric controller (internal/fabric) can then drive the members as one
+// logical switch with epoch-stamped updates and convergence checking.
+func runFabric(o options) error {
+	var mode fabric.PlacementMode
+	switch o.fabricMode {
+	case "replicate":
+		mode = fabric.Replicate
+	case "partition":
+		mode = fabric.Partition
+	default:
+		return fmt.Errorf("unknown fabric mode %q (replicate, partition)", o.fabricMode)
+	}
+	g := usecases.Generate(o.services, o.backends, o.seed)
+	p, err := g.Build(o.rep)
+	if err != nil {
+		return err
+	}
+	placed, err := fabric.Place(p, o.fabric, mode)
+	if err != nil {
+		return err
+	}
+	host, portStr, err := net.SplitHostPort(o.listen)
+	if err != nil {
+		return err
+	}
+	basePort, err := strconv.Atoi(portStr)
+	if err != nil {
+		return fmt.Errorf("-listen port: %w", err)
+	}
+
+	reg := telemetry.NewRegistry()
+	fmt.Printf("maswitch: fabric of %d members, %s placement of %s (%d stages, %d entries)\n",
+		o.fabric, mode, o.rep, p.Depth(), p.EntryCount())
+	for i, mp := range placed {
+		sw, err := bench.NewSwitch(o.swName)
+		if err != nil {
+			return err
+		}
+		agent, err := openflow.NewAgent(sw, mp)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("sw%d", i)
+		reg.Register(name, agent)
+		addr := net.JoinHostPort(host, portStr)
+		if basePort > 0 {
+			addr = net.JoinHostPort(host, strconv.Itoa(basePort+i))
+		}
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("maswitch: member %s (%d entries) control channel on %s\n",
+			name, mp.EntryCount(), ln.Addr())
+		go func() {
+			for {
+				c, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				go func() {
+					if err := agent.Serve(nil, c); err != nil {
+						fmt.Fprintf(os.Stderr, "maswitch: %s control session ended: %v\n", name, err)
+					}
+				}()
+			}
+		}()
+	}
+	if o.metricsAddr != "" {
+		srv, err := telemetry.Serve(o.metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("maswitch: metrics and pprof on http://%s/metrics\n", srv.Addr)
+	}
+	select {}
+}
+
 func runChurn(o options) error {
 	cfg := bench.Config{Services: o.services, Backends: o.backends, Seed: o.seed}
 	fs := bench.FaultSpec{Loss: o.loss, Jitter: o.jitter, Cut: o.cut, Seed: o.faultSeed}

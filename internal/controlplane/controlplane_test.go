@@ -2,9 +2,15 @@ package controlplane
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
 	"net"
 	"testing"
+	"time"
 
+	"manorm/internal/faultconn"
+	"manorm/internal/mat"
 	"manorm/internal/openflow"
 	"manorm/internal/packet"
 	"manorm/internal/switches"
@@ -197,5 +203,130 @@ func TestPlannerErrors(t *testing.T) {
 	}
 	if _, err := PlanVIPChange(g, usecases.RepGoto, -1, 1); err == nil {
 		t.Errorf("negative index accepted")
+	}
+}
+
+// canonicalJSON renders a pipeline with every table's entries sorted, via
+// a JSON round-trip clone so the live pipeline is left untouched —
+// matching is order-free, so runs whose resends installed entries in a
+// different order compare equal.
+func canonicalJSON(t *testing.T, p *mat.Pipeline) string {
+	t.Helper()
+	raw, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cp mat.Pipeline
+	if err := json.Unmarshal(raw, &cp); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range cp.Stages {
+		st.Table.SortEntries()
+	}
+	out, err := json.Marshal(&cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestBarrierAcrossCutCompletesExactlyOnce forces a mid-frame disconnect
+// at every write position of a port-change transaction — the cut lands
+// inside a flow-mod for early positions and inside the barrier exchange
+// for late ones — and requires that the update either completes exactly
+// once (the client reconnects, replays its resend queue under the
+// original xids, the agent deduplicates, and the final state equals the
+// fault-free reference) or surfaces a typed openflow error. It must
+// never hang: every attempt runs under a deadline with bounded retries.
+func TestBarrierAcrossCutCompletesExactlyOnce(t *testing.T) {
+	for cut := 1; cut <= 6; cut++ {
+		cut := cut
+		t.Run(fmt.Sprintf("cut_after_%d_writes", cut), func(t *testing.T) {
+			g := usecases.Generate(4, 4, 21)
+			p, err := g.Build(usecases.RepGoto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			agent, err := openflow.NewAgent(switches.NewESwitch(), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { ln.Close() })
+			go func() {
+				// Sequential sessions: the post-cut redial is served by the
+				// next accept.
+				for {
+					c, err := ln.Accept()
+					if err != nil {
+						return
+					}
+					_ = agent.Serve(context.Background(), c)
+				}
+			}()
+
+			addr := ln.Addr().String()
+			dials := 0
+			dialer := func() (net.Conn, error) {
+				raw, err := net.Dial("tcp", addr)
+				if err != nil {
+					return nil, err
+				}
+				fc := faultconn.Config{Seed: int64(cut)}
+				if dials == 0 {
+					fc.CutAfterWrites = cut
+					fc.CutMidFrame = true
+				}
+				dials++
+				return faultconn.Wrap(raw, fc), nil
+			}
+			client, err := openflow.NewClient(nil,
+				openflow.WithDialer(dialer),
+				openflow.WithRPCTimeout(50*time.Millisecond),
+				openflow.WithRetryPolicy(openflow.RetryPolicy{
+					Base: time.Millisecond, Max: 20 * time.Millisecond,
+					Multiplier: 2, Jitter: 0.25, MaxRetries: 4, Seed: int64(cut),
+				}),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { client.Close() })
+
+			ctl := &Controller{Client: client, Rep: usecases.RepGoto, Config: g}
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			start := time.Now()
+			_, err = ctl.ChangeServicePort(ctx, 1, uint16(30000+cut))
+			if ctx.Err() != nil {
+				t.Fatalf("barrier across cut hung (%s elapsed)", time.Since(start))
+			}
+			if err != nil {
+				// A surfaced failure must be typed: a structured *OpError or
+				// *SwitchError, or one of the sentinel classes — callers
+				// branch with errors.Is/As, never on message strings.
+				var oe *openflow.OpError
+				var se *openflow.SwitchError
+				if !errors.As(err, &oe) && !errors.As(err, &se) &&
+					!errors.Is(err, openflow.ErrTimeout) && !errors.Is(err, openflow.ErrClosed) {
+					t.Fatalf("untyped error surfaced: %v", err)
+				}
+				return
+			}
+			// Completed: the switch state must equal the fault-free
+			// reference — the barrier committed the update exactly once
+			// (duplicate re-deliveries were absorbed by xid dedup, never
+			// applied twice).
+			ref, err := g.Build(usecases.RepGoto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := canonicalJSON(t, agent.Pipeline()), canonicalJSON(t, ref); got != want {
+				t.Fatal("post-cut state diverged from the fault-free reference")
+			}
+		})
 	}
 }

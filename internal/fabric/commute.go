@@ -1,0 +1,84 @@
+package fabric
+
+import (
+	"manorm/internal/openflow"
+)
+
+// Commutation pre-check. Two flow-mods commute when applying them in
+// either order yields the same table state. The fabric checks commutation
+// conservatively and syntactically, in the spirit of the network-update
+// literature's conflict tests: mods addressing different tables always
+// commute (tables are independent relations), mods addressing the same
+// table commute iff their canonical match keys differ (match-action
+// lookup is order-free across distinct keys — the agent's ambiguity check
+// and the canonical-state comparison both treat a table as a set keyed by
+// match). Two mods on the same (table, match key) are flagged
+// non-commuting regardless of command: add-vs-delete obviously race, and
+// even two identical-looking adds differ in which one's error surfaces.
+
+// Commutes reports whether the two flow-mods may be applied in either
+// order with the same result.
+func Commutes(a, b *openflow.FlowMod) bool {
+	if a.TableID != b.TableID {
+		return true
+	}
+	return MatchKey(a) != MatchKey(b)
+}
+
+// ConflictPair identifies one non-commuting pair between two batches:
+// mod A[I] conflicts with mod B[J].
+type ConflictPair struct {
+	I, J int
+}
+
+// BatchConflicts returns every non-commuting (i, j) pair between two
+// batches of flow-mods. An empty result means the batches commute: they
+// may be delivered to the switches in either interleaving.
+func BatchConflicts(a, b []openflow.FlowMod) []ConflictPair {
+	var out []ConflictPair
+	for i := range a {
+		for j := range b {
+			if !Commutes(&a[i], &b[j]) {
+				out = append(out, ConflictPair{I: i, J: j})
+			}
+		}
+	}
+	return out
+}
+
+// planWaves greedily groups batches into waves of pairwise-commuting
+// batches: each batch joins the earliest wave it conflicts with nothing
+// in, so conflicting batches end up in distinct (serialized) waves while
+// commuting ones share a wave and may be interleaved freely. The returned
+// conflict count is the number of batch pairs that failed the pre-check.
+func planWaves(batches [][]openflow.FlowMod) (waves [][]int, conflicts int) {
+	for bi := range batches {
+		placed := false
+		for wi := range waves {
+			ok := true
+			for _, other := range waves[wi] {
+				if len(BatchConflicts(batches[other], batches[bi])) > 0 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				waves[wi] = append(waves[wi], bi)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			waves = append(waves, []int{bi})
+		}
+	}
+	// Count conflicting pairs across all batches for the report.
+	for i := 0; i < len(batches); i++ {
+		for j := i + 1; j < len(batches); j++ {
+			if len(BatchConflicts(batches[i], batches[j])) > 0 {
+				conflicts++
+			}
+		}
+	}
+	return waves, conflicts
+}

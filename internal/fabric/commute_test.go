@@ -1,0 +1,78 @@
+package fabric
+
+import (
+	"testing"
+
+	"manorm/internal/mat"
+	"manorm/internal/openflow"
+)
+
+func fm(cmd openflow.FlowModCommand, table uint8, ipDst uint64, port uint64) openflow.FlowMod {
+	return openflow.FlowMod{
+		Command: cmd,
+		TableID: table,
+		Match: []openflow.MatchField{
+			{Name: "ip_dst", Width: 32, Cell: mat.Exact(ipDst, 32)},
+			{Name: "tcp_dst", Width: 16, Cell: mat.Exact(port, 16)},
+		},
+	}
+}
+
+func TestCommutes(t *testing.T) {
+	a := fm(openflow.FlowAdd, 0, 1, 80)
+	cases := []struct {
+		name string
+		b    openflow.FlowMod
+		want bool
+	}{
+		{"different tables", fm(openflow.FlowAdd, 1, 1, 80), true},
+		{"same table different key", fm(openflow.FlowAdd, 0, 2, 80), true},
+		{"same key add/delete", fm(openflow.FlowDelete, 0, 1, 80), false},
+		{"same key add/add", fm(openflow.FlowAdd, 0, 1, 80), false},
+	}
+	for _, tc := range cases {
+		if got := Commutes(&a, &tc.b); got != tc.want {
+			t.Errorf("%s: Commutes = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestMatchKeyIsFieldOrderFree(t *testing.T) {
+	a := fm(openflow.FlowAdd, 0, 1, 80)
+	b := a
+	b.Match = []openflow.MatchField{a.Match[1], a.Match[0]}
+	if MatchKey(&a) != MatchKey(&b) {
+		t.Fatalf("match key depends on wire field order: %q vs %q", MatchKey(&a), MatchKey(&b))
+	}
+}
+
+func TestBatchConflictsLocatesPairs(t *testing.T) {
+	batchA := []openflow.FlowMod{fm(openflow.FlowDelete, 0, 1, 80), fm(openflow.FlowAdd, 0, 1, 8080)}
+	batchB := []openflow.FlowMod{fm(openflow.FlowDelete, 0, 1, 8080), fm(openflow.FlowAdd, 0, 1, 9090)}
+	got := BatchConflicts(batchA, batchB)
+	// batchA's add of (1, 8080) collides with batchB's delete of it.
+	if len(got) != 1 || got[0] != (ConflictPair{I: 1, J: 0}) {
+		t.Fatalf("conflicts = %+v, want [{1 0}]", got)
+	}
+}
+
+func TestPlanWavesGroupsCommutingBatches(t *testing.T) {
+	batches := [][]openflow.FlowMod{
+		{fm(openflow.FlowAdd, 0, 1, 80)},    // conflicts with batch 2
+		{fm(openflow.FlowAdd, 0, 2, 80)},    // commutes with everything else
+		{fm(openflow.FlowDelete, 0, 1, 80)}, // conflicts with batch 0
+		{fm(openflow.FlowAdd, 1, 1, 80)},    // different table: commutes
+	}
+	waves, conflicts := planWaves(batches)
+	if conflicts != 1 {
+		t.Fatalf("conflicts = %d, want 1", conflicts)
+	}
+	if len(waves) != 2 {
+		t.Fatalf("waves = %v, want 2 waves", waves)
+	}
+	// Greedy placement: batches 0, 1, 3 share the first wave; the
+	// conflicting batch 2 is serialized after.
+	if len(waves[0]) != 3 || len(waves[1]) != 1 || waves[1][0] != 2 {
+		t.Fatalf("waves = %v, want [[0 1 3] [2]]", waves)
+	}
+}

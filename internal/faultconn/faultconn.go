@@ -1,8 +1,10 @@
 // Package faultconn wraps a net.Conn with seeded, deterministic fault
 // injection: added latency and jitter, message (frame) drops, chunked
-// partial reads, and forced mid-stream disconnects. It is the adversary
-// the resilient control channel (internal/openflow) is tested and
-// measured against.
+// partial reads, forced mid-stream disconnects, and — through the Net
+// partition domain — whole-fabric splits and asymmetric-direction
+// blackholes shared by any number of connections. It is the adversary
+// the resilient control channel (internal/openflow) and the fabric
+// controller (internal/fabric) are tested and measured against.
 //
 // Faults are frame-aligned by design: the wrapped protocol writes one
 // frame per Write call, so dropping an entire Write models message loss
@@ -47,24 +49,36 @@ type Config struct {
 	// CutAfterWrites force-closes the transport when the Nth delivered
 	// or dropped Write is reached (0 = never). With CutMidFrame the cut
 	// lands mid-frame: a prefix of the frame is delivered first, so the
-	// peer sees a truncated read.
+	// peer sees a truncated read. Without it the cut lands on the frame
+	// boundary — the Nth frame (and everything after) never reaches the
+	// wire at all.
 	CutAfterWrites int
 	CutMidFrame    bool
+
+	// Net, From, To tie the connection into a fabric-wide partition
+	// domain: while Net reports the From -> To direction severed, writes
+	// are silently discarded (counted in both the conn's and the Net's
+	// drop counters). A nil Net disables partition faults.
+	Net      *Net
+	From, To string
 }
 
 // Stats counts injected faults; fields are read with atomic loads via the
 // accessor methods.
 type Stats struct {
-	writes  int64
-	dropped int64
-	cuts    int64
-	reads   int64
+	writes         int64
+	dropped        int64
+	cuts           int64
+	reads          int64
+	partitionDrops int64
+	partialWrites  int64
+	partialBytes   int64
 }
 
 // Writes returns Write calls observed (delivered + dropped).
 func (s *Stats) Writes() int64 { return atomic.LoadInt64(&s.writes) }
 
-// Dropped returns frames silently discarded.
+// Dropped returns frames silently discarded by loss injection.
 func (s *Stats) Dropped() int64 { return atomic.LoadInt64(&s.dropped) }
 
 // Cuts returns forced disconnects (0 or 1 per conn).
@@ -72,6 +86,21 @@ func (s *Stats) Cuts() int64 { return atomic.LoadInt64(&s.cuts) }
 
 // Reads returns Read calls observed.
 func (s *Stats) Reads() int64 { return atomic.LoadInt64(&s.reads) }
+
+// PartitionDrops returns frames discarded because the conn's direction
+// was severed in its partition Net.
+func (s *Stats) PartitionDrops() int64 { return atomic.LoadInt64(&s.partitionDrops) }
+
+// PartialWrites returns forced cuts that landed mid-frame (a truncated
+// prefix reached the wire); PartialWriteBytes returns how many bytes of
+// the cut frame were delivered. Together they make a mid-frame cut
+// visible to the harness: the write sequence cannot silently pretend the
+// torn frame never touched the wire.
+func (s *Stats) PartialWrites() int64 { return atomic.LoadInt64(&s.partialWrites) }
+
+// PartialWriteBytes returns the total bytes of torn frames delivered
+// before a mid-frame cut.
+func (s *Stats) PartialWriteBytes() int64 { return atomic.LoadInt64(&s.partialBytes) }
 
 // Conn is a fault-injecting net.Conn. Deadlines, addresses and Close pass
 // through to the wrapped transport.
@@ -117,13 +146,28 @@ func (c *Conn) Write(p []byte) (int, error) {
 	if c.cfg.CutAfterWrites > 0 && c.writes >= c.cfg.CutAfterWrites {
 		c.cut = true
 		atomic.AddInt64(&c.stats.cuts, 1)
+		delivered := 0
 		if c.cfg.CutMidFrame && len(p) > 1 {
 			// Deliver a prefix so the peer observes a truncated frame,
-			// then kill the transport mid-stream.
-			_, _ = c.Conn.Write(p[:1+c.wrng.Intn(len(p)-1)])
+			// then kill the transport mid-stream. The partial byte count
+			// is surfaced both in Stats and as the Write result, so a cut
+			// can never land mid-frame invisibly: the sender learns
+			// exactly how much of the torn frame reached the wire.
+			delivered, _ = c.Conn.Write(p[:1+c.wrng.Intn(len(p)-1)])
+			if delivered > 0 {
+				atomic.AddInt64(&c.stats.partialWrites, 1)
+				atomic.AddInt64(&c.stats.partialBytes, int64(delivered))
+			}
 		}
 		_ = c.Conn.Close()
-		return 0, ErrInjectedCut
+		return delivered, ErrInjectedCut
+	}
+	if c.cfg.Net != nil && c.cfg.Net.Severed(c.cfg.From, c.cfg.To) {
+		// Partitioned: the frame vanishes in the network, the transport
+		// stays up — the peer only notices through timeouts.
+		atomic.AddInt64(&c.stats.partitionDrops, 1)
+		c.cfg.Net.drops.Add(1)
+		return len(p), nil
 	}
 	if c.cfg.DropRate > 0 && c.wrng.Float64() < c.cfg.DropRate {
 		// Silent loss: report success so the sender believes the frame

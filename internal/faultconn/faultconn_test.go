@@ -209,3 +209,138 @@ func TestFullDuplexOverPipe(t *testing.T) {
 	a.Close()
 	b.Close()
 }
+
+func TestCutMidFrameSurfacesPartialWrite(t *testing.T) {
+	sink := &sinkConn{}
+	c := Wrap(sink, Config{Seed: 5, CutAfterWrites: 1, CutMidFrame: true})
+	frame := []byte("0123456789")
+	n, err := c.Write(frame)
+	if !errors.Is(err, ErrInjectedCut) {
+		t.Fatalf("err = %v, want ErrInjectedCut", err)
+	}
+	// The torn frame is visible three ways: the Write result reports the
+	// delivered prefix, and the stats carry both the event and the byte
+	// count — a mid-frame cut can never look like a clean boundary cut.
+	if n == 0 || n >= len(frame) {
+		t.Fatalf("partial write returned n = %d, want in [1, %d)", n, len(frame))
+	}
+	if got := c.Stats().PartialWrites(); got != 1 {
+		t.Errorf("partial writes = %d, want 1", got)
+	}
+	if got := c.Stats().PartialWriteBytes(); got != int64(n) {
+		t.Errorf("partial write bytes = %d, want %d", got, n)
+	}
+	if len(sink.wrote) != 1 || len(sink.wrote[0]) != n {
+		t.Fatalf("wire saw %d bytes, Write reported %d", len(sink.wrote[0]), n)
+	}
+}
+
+func TestFrameBoundaryCutLeavesNoPartialBytes(t *testing.T) {
+	sink := &sinkConn{}
+	c := Wrap(sink, Config{Seed: 5, CutAfterWrites: 2})
+	if _, err := c.Write([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Write([]byte("second"))
+	if !errors.Is(err, ErrInjectedCut) || n != 0 {
+		t.Fatalf("boundary cut: n = %d, err = %v, want 0, ErrInjectedCut", n, err)
+	}
+	if got := c.Stats().PartialWrites(); got != 0 {
+		t.Errorf("boundary cut recorded %d partial writes, want 0", got)
+	}
+	if len(sink.wrote) != 1 {
+		t.Fatalf("wire saw %d frames, want only the pre-cut frame", len(sink.wrote))
+	}
+}
+
+func TestNetPartitionBlackholesDirectionally(t *testing.T) {
+	net := NewNet(1)
+	sinkAB := &sinkConn{}
+	sinkBA := &sinkConn{}
+	ab := Wrap(sinkAB, Config{Net: net, From: "a", To: "b"})
+	ba := Wrap(sinkBA, Config{Net: net, From: "b", To: "a"})
+
+	// Connected: both directions deliver.
+	if _, err := ab.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ba.Write([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if len(sinkAB.wrote) != 1 || len(sinkBA.wrote) != 1 {
+		t.Fatalf("healthy net dropped frames")
+	}
+
+	// Asymmetric fault: a -> b severed, b -> a alive.
+	net.SeverDirection("a", "b")
+	if n, err := ab.Write([]byte("gone")); err != nil || n != 4 {
+		t.Fatalf("partitioned write: n = %d, err = %v, want silent success", n, err)
+	}
+	if _, err := ba.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if len(sinkAB.wrote) != 1 {
+		t.Errorf("severed direction delivered a frame")
+	}
+	if len(sinkBA.wrote) != 2 {
+		t.Errorf("healthy direction lost a frame")
+	}
+	if got := ab.Stats().PartitionDrops(); got != 1 {
+		t.Errorf("conn partition drops = %d, want 1", got)
+	}
+	if got := net.Drops(); got != 1 {
+		t.Errorf("net drops = %d, want 1", got)
+	}
+
+	// Heal restores delivery.
+	net.Heal()
+	if _, err := ab.Write([]byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	if len(sinkAB.wrote) != 2 {
+		t.Errorf("healed direction still blackholed")
+	}
+}
+
+func TestNetSplitSeversAcrossGroupsOnly(t *testing.T) {
+	net := NewNet(7)
+	net.Split([]string{"s0", "s1"}, []string{"s2", "ctl"})
+	cases := []struct {
+		from, to string
+		severed  bool
+	}{
+		{"s0", "s1", false}, {"s1", "s0", false}, // same group
+		{"s2", "ctl", false}, {"ctl", "s2", false},
+		{"s0", "s2", true}, {"s2", "s0", true}, // across the split
+		{"ctl", "s1", true}, {"s1", "ctl", true},
+	}
+	for _, c := range cases {
+		if got := net.Severed(c.from, c.to); got != c.severed {
+			t.Errorf("Severed(%s, %s) = %v, want %v", c.from, c.to, got, c.severed)
+		}
+	}
+	net.HealLink("s0", "s2")
+	if net.Severed("s0", "s2") || net.Severed("s2", "s0") {
+		t.Errorf("HealLink left the link severed")
+	}
+	if net.Severed("ctl", "s1") != true {
+		t.Errorf("HealLink healed an unrelated link")
+	}
+}
+
+func TestRandomSplitIsSeedDeterministic(t *testing.T) {
+	eps := []string{"a", "b", "c", "d", "e"}
+	v1 := NewNet(11).RandomSplit(eps)
+	v2 := NewNet(11).RandomSplit(eps)
+	if len(v1) != len(v2) {
+		t.Fatalf("victim group sizes differ: %v vs %v", v1, v2)
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("victim groups differ: %v vs %v", v1, v2)
+		}
+	}
+	if len(v1) == 0 || len(v1) >= len(eps) {
+		t.Fatalf("victim group size %d out of range", len(v1))
+	}
+}

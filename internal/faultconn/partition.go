@@ -1,0 +1,123 @@
+package faultconn
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// Net models the failure domain of a multi-switch fabric: a set of named
+// endpoints whose pairwise links can be severed and healed at runtime.
+// While two endpoints are separated, frames written across the link are
+// silently discarded — the transport stays up, the bytes just never
+// arrive, which is how a routing-level partition looks to an OpenFlow
+// channel riding on it (the peer times out rather than seeing a reset).
+//
+// Severing is directional: Split severs both directions between groups,
+// SeverDirection blackholes a single direction (the asymmetric fault where
+// a controller's flow-mods arrive but the switch's replies vanish, or vice
+// versa). All mutations are plain deterministic calls — a fault schedule
+// that drives Split/Heal at fixed points in a deterministic write sequence
+// reproduces the same drop set every run; RandomSplit derives group
+// membership from the Net's seed for reproducible whole-fabric splits.
+type Net struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	// sealed maps "from\x00to" to true while that direction is blackholed.
+	sealed map[string]bool
+	// drops counts frames discarded by active partitions, fabric-wide.
+	drops atomic.Int64
+	// splits counts Split/SeverDirection events applied.
+	splits atomic.Int64
+}
+
+// NewNet creates a fully connected fault domain. The seed only drives
+// RandomSplit's group draw; severing itself is deterministic.
+func NewNet(seed int64) *Net {
+	return &Net{rng: rand.New(rand.NewSource(seed)), sealed: make(map[string]bool)}
+}
+
+func linkKey(from, to string) string { return from + "\x00" + to }
+
+// Split severs every link between endpoints of different groups, both
+// directions. Links inside one group are untouched; previously severed
+// links stay severed.
+func (n *Net) Split(groups ...[]string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.splits.Add(1)
+	for i := range groups {
+		for j := range groups {
+			if i == j {
+				continue
+			}
+			for _, a := range groups[i] {
+				for _, b := range groups[j] {
+					n.sealed[linkKey(a, b)] = true
+				}
+			}
+		}
+	}
+}
+
+// RandomSplit draws a seeded 2-way split of the endpoints — the victims
+// plus everyone else — and applies it. It returns the victim group so the
+// caller can log or heal it; the draw sequence is deterministic in the
+// Net's seed, making whole-fabric splits reproducible.
+func (n *Net) RandomSplit(endpoints []string) []string {
+	n.mu.Lock()
+	k := 1
+	if len(endpoints) > 2 {
+		k = 1 + n.rng.Intn(len(endpoints)-1)
+	}
+	perm := n.rng.Perm(len(endpoints))
+	n.mu.Unlock()
+	victims := make([]string, 0, k)
+	rest := make([]string, 0, len(endpoints)-k)
+	for i, p := range perm {
+		if i < k {
+			victims = append(victims, endpoints[p])
+		} else {
+			rest = append(rest, endpoints[p])
+		}
+	}
+	n.Split(victims, rest)
+	return victims
+}
+
+// SeverDirection blackholes frames flowing from -> to while leaving the
+// reverse direction intact — the asymmetric-direction fault.
+func (n *Net) SeverDirection(from, to string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.splits.Add(1)
+	n.sealed[linkKey(from, to)] = true
+}
+
+// Heal restores full connectivity.
+func (n *Net) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.sealed = make(map[string]bool)
+}
+
+// HealLink restores both directions of one link.
+func (n *Net) HealLink(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.sealed, linkKey(a, b))
+	delete(n.sealed, linkKey(b, a))
+}
+
+// Severed reports whether frames from -> to are currently blackholed.
+func (n *Net) Severed(from, to string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sealed[linkKey(from, to)]
+}
+
+// Drops returns frames discarded by partitions across all linked conns.
+func (n *Net) Drops() int64 { return n.drops.Load() }
+
+// Splits returns partition events applied since creation.
+func (n *Net) Splits() int64 { return n.splits.Load() }

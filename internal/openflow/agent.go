@@ -2,6 +2,7 @@ package openflow
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -142,6 +143,12 @@ func (a *Agent) handle(c *Conn, m *Message) error {
 			return c.Send(&Message{Type: TypeError, XID: m.XID, Err: err.Error()})
 		}
 		return c.Send(&Message{Type: TypeStatsReply, XID: m.XID, Stats: stats})
+	case TypeFlowDumpRequest:
+		dump, err := a.DumpPipeline()
+		if err != nil {
+			return c.Send(&Message{Type: TypeError, XID: m.XID, Err: err.Error()})
+		}
+		return c.Send(&Message{Type: TypeFlowDumpReply, XID: m.XID, Payload: dump})
 	default:
 		return c.Send(&Message{Type: TypeError, XID: m.XID, Err: unsupported("unhandled type %s", m.Type).Error()})
 	}
@@ -206,14 +213,42 @@ func (a *Agent) ApplyFlowMod(f *FlowMod) error {
 	return a.applyLocked(f)
 }
 
+// DumpPipeline serializes the logical pipeline (including flow-mods
+// awaiting the next barrier) into the flow-dump wire payload.
+func (a *Agent) DumpPipeline() ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b, err := json.Marshal(a.pipeline)
+	if err != nil {
+		return nil, opErr("flow-dump", 0, -1, err)
+	}
+	if len(b)+8 > maxMessage {
+		return nil, opErr("flow-dump", 0, -1, fmt.Errorf("%w: pipeline dump %d bytes exceeds frame limit", ErrUnsupported, len(b)))
+	}
+	return b, nil
+}
+
 func (a *Agent) applyLocked(f *FlowMod) error {
+	if err := ApplyToPipeline(a.pipeline, f); err != nil {
+		return err
+	}
+	a.ModsApplied++
+	a.dirty = true
+	return nil
+}
+
+// ApplyToPipeline applies one flow-mod to a logical pipeline in place —
+// the state transition an agent performs per accepted flow-mod, exported
+// so controllers (the fabric) can track each switch's desired state with
+// exactly the switch's own semantics.
+func ApplyToPipeline(p *mat.Pipeline, f *FlowMod) error {
 	if f == nil {
 		return badFrame("nil flow-mod")
 	}
-	if int(f.TableID) >= len(a.pipeline.Stages) {
+	if int(f.TableID) >= len(p.Stages) {
 		return opErr("flow-mod", 0, int(f.TableID), fmt.Errorf("%w: table %d out of range", ErrUnsupported, f.TableID))
 	}
-	t := a.pipeline.Stages[f.TableID].Table
+	t := p.Stages[f.TableID].Table
 
 	match, err := matchRow(t, f.Match)
 	if err != nil {
@@ -248,8 +283,6 @@ func (a *Agent) applyLocked(f *FlowMod) error {
 	default:
 		return opErr("flow-mod", 0, int(f.TableID), fmt.Errorf("%w: unknown flow-mod command %d", ErrUnsupported, f.Command))
 	}
-	a.ModsApplied++
-	a.dirty = true
 	return nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"reflect"
 	"testing"
 
+	"manorm/internal/faultconn"
 	"manorm/internal/mat"
 )
 
@@ -225,5 +226,75 @@ func TestEncodeDecodeRandomFlowMods(t *testing.T) {
 				t.Fatalf("round trip %d changed match %d: %+v vs %+v", i, j, f.Match[j], back.Flow.Match[j])
 			}
 		}
+	}
+}
+
+// TestCutAtFrameBoundaryVsMidFrame pins the forced-cut semantics the
+// fault experiments rely on: a cut landing on a frame boundary delivers
+// every earlier frame intact and nothing of the cut frame, while a
+// mid-frame cut delivers a truncated prefix whose byte count is surfaced
+// (faultconn partial-write stats) — in both cases the receiver decodes
+// exactly the complete frames and then fails with a channel error, never
+// a phantom message assembled from torn bytes.
+func TestCutAtFrameBoundaryVsMidFrame(t *testing.T) {
+	frames := make([]*Message, 5)
+	for i := range frames {
+		frames[i] = &Message{Type: TypeEchoRequest, XID: uint32(i + 1), Payload: []byte("payload-0123456789")}
+	}
+	for _, midFrame := range []bool{false, true} {
+		a, b := net.Pipe()
+		fc := faultconn.Wrap(a, faultconn.Config{
+			Seed:           7,
+			CutAfterWrites: 4, // the 4th frame is cut
+			CutMidFrame:    midFrame,
+		})
+		sender := NewConn(fc)
+		recv := NewConn(b)
+
+		sendErr := make(chan error, 1)
+		go func() {
+			for _, m := range frames {
+				if err := sender.Send(m); err != nil {
+					sendErr <- err
+					return
+				}
+			}
+			sendErr <- nil
+		}()
+
+		for i := 0; i < 3; i++ {
+			m, err := recv.Recv()
+			if err != nil {
+				t.Fatalf("midFrame=%v: pre-cut frame %d: %v", midFrame, i, err)
+			}
+			if m.XID != uint32(i+1) || string(m.Payload) != "payload-0123456789" {
+				t.Fatalf("midFrame=%v: pre-cut frame %d corrupted: %+v", midFrame, i, m)
+			}
+		}
+		// The 4th frame was cut: whatever arrives next must be an error,
+		// never a decoded message built from a torn prefix.
+		if m, err := recv.Recv(); err == nil {
+			t.Fatalf("midFrame=%v: received phantom frame %+v past the cut", midFrame, m)
+		} else if !errors.Is(err, ErrClosed) && !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("midFrame=%v: post-cut err = %v, want channel error", midFrame, err)
+		}
+		if err := <-sendErr; !errors.Is(err, faultconn.ErrInjectedCut) {
+			t.Fatalf("midFrame=%v: sender err = %v, want ErrInjectedCut", midFrame, err)
+		}
+
+		st := fc.Stats()
+		if midFrame {
+			if st.PartialWrites() != 1 || st.PartialWriteBytes() == 0 {
+				t.Errorf("mid-frame cut not surfaced: partials=%d bytes=%d",
+					st.PartialWrites(), st.PartialWriteBytes())
+			}
+		} else {
+			if st.PartialWrites() != 0 || st.PartialWriteBytes() != 0 {
+				t.Errorf("boundary cut reported partial bytes: partials=%d bytes=%d",
+					st.PartialWrites(), st.PartialWriteBytes())
+			}
+		}
+		a.Close()
+		b.Close()
 	}
 }

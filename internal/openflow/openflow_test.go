@@ -9,6 +9,7 @@ import (
 	"manorm/internal/mat"
 	"manorm/internal/packet"
 	"manorm/internal/switches"
+	"manorm/internal/telemetry"
 	"manorm/internal/usecases"
 )
 
@@ -317,5 +318,112 @@ func TestCommitAmbiguityValidator(t *testing.T) {
 	}
 	if err := agent.Commit(); err == nil {
 		t.Fatalf("ambiguous commit accepted")
+	}
+}
+
+// TestDumpFlowsRoundTrip pulls the agent's pipeline over the wire and
+// checks it matches the installed logical state, including flow-mods
+// accepted since the last barrier.
+func TestDumpFlowsRoundTrip(t *testing.T) {
+	g := usecases.Fig1()
+	p, err := g.Build(usecases.RepGoto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := NewAgent(switches.NewESwitch(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := net.Pipe()
+	go agent.Serve(context.Background(), a) //nolint:errcheck — ends with the pipe
+	client, err := NewClient(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx := context.Background()
+	dump, err := client.DumpFlows(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Stages) != len(p.Stages) {
+		t.Fatalf("dump has %d stages, want %d", len(dump.Stages), len(p.Stages))
+	}
+	for si := range p.Stages {
+		if got, want := len(dump.Stages[si].Table.Entries), len(p.Stages[si].Table.Entries); got != want {
+			t.Fatalf("stage %d: dump has %d entries, want %d", si, got, want)
+		}
+	}
+
+	// An uncommitted flow-mod is part of the logical state and must show
+	// up in the dump.
+	mod := &FlowMod{Command: FlowDelete, TableID: 0, Match: []MatchField{
+		{Name: "ip_dst", Width: 32, Cell: mat.Exact(uint64(g.Services[0].VIP), 32)},
+		{Name: "tcp_dst", Width: 16, Cell: mat.Exact(uint64(g.Services[0].Port), 16)},
+	}}
+	if err := client.SendFlowMod(ctx, mod); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Barrier(ctx); err != nil {
+		t.Fatal(err)
+	}
+	dump2, err := client.DumpFlows(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(dump2.Stages[0].Table.Entries); got != len(p.Stages[0].Table.Entries) {
+		t.Fatalf("post-delete dump has %d first-stage entries, want %d", got, len(p.Stages[0].Table.Entries))
+	}
+}
+
+// TestClientRegisterTelemetry checks the live gauges mirror the client's
+// resilience counters.
+func TestClientRegisterTelemetry(t *testing.T) {
+	g := usecases.Fig1()
+	p, err := g.Build(usecases.RepGoto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := NewAgent(switches.NewESwitch(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := net.Pipe()
+	go agent.Serve(context.Background(), a) //nolint:errcheck
+	client, err := NewClient(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	reg := telemetry.NewRegistry()
+	client.RegisterTelemetry(reg)
+	snap := reg.Snapshot()
+	for _, name := range []string{"resend_queue_depth", "reconnects", "backoff_attempts", "timeouts", "mods_resent"} {
+		if _, ok := snap.Gauges[name]; !ok {
+			t.Fatalf("gauge %q not registered", name)
+		}
+	}
+	if got := snap.Gauges["resend_queue_depth"]; got != 0 {
+		t.Fatalf("idle resend queue depth gauge = %v, want 0", got)
+	}
+
+	// Queue a mod without a barrier: the depth gauge must see it live.
+	mod := &FlowMod{Command: FlowDelete, TableID: 0, Match: []MatchField{
+		{Name: "ip_dst", Width: 32, Cell: mat.Exact(uint64(g.Services[0].VIP), 32)},
+		{Name: "tcp_dst", Width: 16, Cell: mat.Exact(uint64(g.Services[0].Port), 16)},
+	}}
+	if err := client.SendFlowMod(context.Background(), mod); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Gauges["resend_queue_depth"]; got != 1 {
+		t.Fatalf("resend queue depth gauge = %v, want 1", got)
+	}
+	if err := client.Barrier(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Gauges["resend_queue_depth"]; got != 0 {
+		t.Fatalf("post-barrier resend queue depth gauge = %v, want 0", got)
 	}
 }

@@ -35,6 +35,13 @@ const (
 	TypeStatsRequest
 	TypeStatsReply
 	TypeError
+	// TypeFlowDumpRequest asks the switch for its full logical pipeline;
+	// TypeFlowDumpReply answers with the pipeline in the JSON form of
+	// internal/mat. The dump powers controller-side resynchronization
+	// (full state transfer after a reconnect) and the fabric convergence
+	// checker, which renormalizes each switch's installed rule set.
+	TypeFlowDumpRequest
+	TypeFlowDumpReply
 )
 
 // String names the message type.
@@ -58,6 +65,10 @@ func (t MsgType) String() string {
 		return "stats-reply"
 	case TypeError:
 		return "error"
+	case TypeFlowDumpRequest:
+		return "flow-dump-request"
+	case TypeFlowDumpReply:
+		return "flow-dump-reply"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -147,13 +158,16 @@ func Encode(m *Message) ([]byte, error) {
 func encodeBody(m *Message) ([]byte, error) {
 	var b []byte
 	switch m.Type {
-	case TypeHello, TypeBarrierRequest:
+	case TypeHello, TypeBarrierRequest, TypeFlowDumpRequest:
 		return nil, nil
 	case TypeBarrierReply:
 		// The payload is the ack-xid list (4-byte aligned by
 		// construction; see appendAckXIDs).
 		return m.Payload, nil
 	case TypeEchoRequest, TypeEchoReply:
+		return m.Payload, nil
+	case TypeFlowDumpReply:
+		// The payload is the JSON-encoded logical pipeline.
 		return m.Payload, nil
 	case TypeError:
 		return append(b, m.Err...), nil
@@ -210,7 +224,7 @@ func Decode(frame []byte) (*Message, error) {
 	m := &Message{Type: MsgType(frame[1]), XID: binary.BigEndian.Uint32(frame[4:])}
 	body := frame[8:]
 	switch m.Type {
-	case TypeHello, TypeBarrierRequest:
+	case TypeHello, TypeBarrierRequest, TypeFlowDumpRequest:
 		return m, nil
 	case TypeBarrierReply:
 		if len(body)%4 != 0 {
@@ -218,7 +232,7 @@ func Decode(frame []byte) (*Message, error) {
 		}
 		m.Payload = append([]byte(nil), body...)
 		return m, nil
-	case TypeEchoRequest, TypeEchoReply:
+	case TypeEchoRequest, TypeEchoReply, TypeFlowDumpReply:
 		m.Payload = append([]byte(nil), body...)
 		return m, nil
 	case TypeError:

@@ -1,0 +1,53 @@
+package openflow
+
+import (
+	"context"
+	"encoding/json"
+	"sync/atomic"
+
+	"manorm/internal/mat"
+	"manorm/internal/telemetry"
+)
+
+// DumpFlows pulls the switch's full logical pipeline over the wire — the
+// state-transfer primitive behind controller-side resynchronization and
+// the fabric convergence checker. The reply reflects every flow-mod the
+// agent has accepted, including ones awaiting the next barrier.
+func (c *Client) DumpFlows(ctx context.Context) (*mat.Pipeline, error) {
+	reply, err := c.rpc(ctx, "flow-dump", &Message{Type: TypeFlowDumpRequest})
+	if err != nil {
+		return nil, err
+	}
+	if len(reply.Payload) == 0 {
+		return nil, opErr("flow-dump", reply.XID, -1, badFrame("flow-dump reply without body"))
+	}
+	p := &mat.Pipeline{}
+	if err := json.Unmarshal(reply.Payload, p); err != nil {
+		return nil, opErr("flow-dump", reply.XID, -1, badFrame("flow-dump decode: %v", err))
+	}
+	return p, nil
+}
+
+// RegisterTelemetry exposes the client's live resilience state as pull
+// gauges on the registry, so dashboards and experiment snapshots see the
+// control channel without walking a nested Stats tree:
+//
+//	resend_queue_depth   flow-mods awaiting barrier acknowledgment
+//	reconnects           successful re-dials since creation
+//	backoff_attempts     RPC retry attempts (each slept a backoff step)
+//	timeouts             per-attempt deadline expiries
+//	mods_resent          wire-level flow-mod re-deliveries
+//
+// The gauges read the same counters Stats snapshots; registering is
+// idempotent and costs nothing until snapshot time. A nil registry is a
+// no-op.
+func (c *Client) RegisterTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("resend_queue_depth", func() float64 { return float64(c.QueueLen()) })
+	reg.GaugeFunc("reconnects", func() float64 { return float64(atomic.LoadInt64(&c.reconnects)) })
+	reg.GaugeFunc("backoff_attempts", func() float64 { return float64(atomic.LoadInt64(&c.retries)) })
+	reg.GaugeFunc("timeouts", func() float64 { return float64(atomic.LoadInt64(&c.timeouts)) })
+	reg.GaugeFunc("mods_resent", func() float64 { return float64(atomic.LoadInt64(&c.modsResent)) })
+}
