@@ -25,12 +25,17 @@ race:
 
 # fuzz-smoke is the CI slice of the differential fuzzer: a fixed-seed,
 # time-boxed run that must finish with zero divergences (the executor
-# matrix includes the fused twins, so fusion is smoke-checked here too).
-# fuzz-replay re-executes every committed reproducer; each must still
-# diverge with its recorded kind, so known caveats — including the
-# fused-path rematch hazard — stay detected.
+# matrix includes the fused twins, so fusion is smoke-checked here too),
+# followed by the same budget in schema mode — every seed invents a
+# fresh header schema and parse graph and replays raw frames through the
+# programmable decoder. fuzz-replay re-executes every committed
+# reproducer (schema-mode ones carry their parse graph in the JSON);
+# each must still diverge with its recorded kind, so known caveats —
+# including the fused-path rematch hazard and its schema-mode twin —
+# stay detected.
 fuzz-smoke:
 	$(GO) run ./cmd/mafuzz -seed 1 -duration 30s
+	$(GO) run ./cmd/mafuzz -seed 1 -duration 30s -schema-fuzz
 
 fuzz-replay:
 	$(GO) run ./cmd/mafuzz -replay -corpus internal/difftest/testdata/corpus

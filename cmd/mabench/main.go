@@ -21,6 +21,9 @@
 //	mabench -experiment fabricchurn    # E9: multi-switch fabric under partitioned churn
 //	mabench -experiment cache          # OVS cache layers under Zipf traffic
 //	mabench -experiment parallel       # multi-core scaling over sharded workers
+//	mabench -experiment schemas        # shipped non-default schemas (VXLAN,
+//	                                   # MPLS, GTP-U) through the programmable
+//	                                   # parser, all switch models
 //
 // -workers W runs the multi-core scaling experiment with worker counts
 // doubling up to W (`mabench -workers 8` is shorthand for
@@ -250,6 +253,12 @@ func run(experiment string, cfg bench.Config, opts options) error {
 				return err
 			}
 			bench.RenderNF4(w, rows)
+		case "schemas":
+			rows, err := bench.SchemaTable(cfg, opts.workers)
+			if err != nil {
+				return err
+			}
+			bench.RenderSchemas(w, rows)
 		case "parallel":
 			rows, err := bench.ParallelTable(cfg, opts.workers)
 			if err != nil {
@@ -277,7 +286,7 @@ func run(experiment string, cfg bench.Config, opts options) error {
 	for _, name := range []string{
 		"footprint", "control", "monitor", "reactive", "static",
 		"l3", "caveat", "sdx", "joins", "depth", "nf4", "churnwire",
-		"faultchurn", "fabricchurn", "cache", "parallel",
+		"faultchurn", "fabricchurn", "cache", "parallel", "schemas",
 	} {
 		if err := runOne(name); err != nil {
 			return err

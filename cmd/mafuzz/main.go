@@ -17,6 +17,13 @@
 //	mafuzz -replay -corpus DIR              # re-execute every reproducer in
 //	                                        # DIR; each must still diverge
 //	                                        # with its recorded kind
+//	mafuzz -schema-fuzz -iters 500          # schema mode: every program gets a
+//	                                        # freshly invented header schema and
+//	                                        # parse graph; frames replay through
+//	                                        # the compiled decoder
+//	mafuzz -plant-schema-hazard -corpus DIR # the rematch hazard expressed over
+//	                                        # the VXLAN schema: must diverge at
+//	                                        # the compiled layers only
 //
 // The committed reproducers live in internal/difftest/testdata/corpus and
 // are replayed by `go test ./internal/difftest` on every run.
@@ -43,6 +50,8 @@ type options struct {
 	models   []string
 	plant    bool
 	hazard   bool
+	schema   bool
+	schemaHz bool
 	replay   bool
 	verbose  bool
 }
@@ -56,6 +65,8 @@ func main() {
 		models   = flag.String("models", strings.Join(switches.ModelNames(), ","), "comma-separated switch models to execute on")
 		plant    = flag.Bool("plant-caveat", false, "plant the paper's Fig. 3 action-to-match decomposition: the run fails unless it diverges; the shrunk reproducer goes to -corpus")
 		hazard   = flag.Bool("plant-hazard", false, "plant the set-field/rematch hazard (rewrite a field a later stage re-matches): must diverge at the compiled layers only")
+		schema   = flag.Bool("schema-fuzz", false, "fuzz schema-mode programs: each seed invents a header schema and parse graph and the frames replay through its compiled decoder")
+		schemaHz = flag.Bool("plant-schema-hazard", false, "plant the rematch hazard over the VXLAN schema: must diverge at the compiled layers only")
 		replay   = flag.Bool("replay", false, "replay every corpus file instead of fuzzing")
 		verbose  = flag.Bool("v", false, "log every program")
 	)
@@ -63,7 +74,8 @@ func main() {
 
 	opts := options{
 		seed: *seed, iters: *iters, duration: *duration,
-		corpus: *corpus, plant: *plant, hazard: *hazard, replay: *replay, verbose: *verbose,
+		corpus: *corpus, plant: *plant, hazard: *hazard,
+		schema: *schema, schemaHz: *schemaHz, replay: *replay, verbose: *verbose,
 	}
 	for _, m := range strings.Split(*models, ",") {
 		if m = strings.TrimSpace(m); m != "" {
@@ -89,7 +101,7 @@ func run(w io.Writer, opts options) error {
 	switch {
 	case opts.replay:
 		return runReplay(w, opts, cfg)
-	case opts.plant || opts.hazard:
+	case opts.plant || opts.hazard || opts.schemaHz:
 		return runPlant(w, opts, cfg)
 	default:
 		return runFuzz(w, opts, cfg)
@@ -111,16 +123,21 @@ func runFuzz(w io.Writer, opts options, cfg difftest.ExecConfig) error {
 			break
 		}
 		seed := opts.seed + int64(i)
-		p := difftest.Generate(seed, difftest.DefaultGenConfig())
+		var p *difftest.Program
+		if opts.schema {
+			p = difftest.GenerateSchema(seed, difftest.DefaultGenConfig())
+		} else {
+			p = difftest.Generate(seed, difftest.DefaultGenConfig())
+		}
 		programs++
-		packets += len(p.Packets)
+		packets += p.NumInputs()
 		divs, err := difftest.Execute(p, cfg)
 		if err != nil {
 			return fmt.Errorf("seed %d: %w", seed, err)
 		}
 		if opts.verbose {
 			fmt.Fprintf(w, "seed %d: %d entries, %d packets, %d divergences\n",
-				seed, len(p.Table.Entries), len(p.Packets), len(divs))
+				seed, len(p.Table.Entries), p.NumInputs(), len(divs))
 		}
 		if len(divs) == 0 {
 			continue
@@ -137,7 +154,7 @@ func runFuzz(w io.Writer, opts options, cfg difftest.ExecConfig) error {
 				return err
 			}
 			fmt.Fprintf(w, "  minimized reproducer (%d attrs, %d entries, %d packets): %s\n",
-				len(s.Table.Schema), len(s.Table.Entries), len(s.Packets), path)
+				len(s.Table.Schema), len(s.Table.Entries), s.NumInputs(), path)
 		}
 	}
 	elapsed := time.Since(start)
@@ -158,7 +175,13 @@ func runPlant(w io.Writer, opts options, cfg difftest.ExecConfig) error {
 	var p *difftest.Program
 	var err error
 	what := "fig3 caveat"
-	if opts.hazard {
+	if opts.schemaHz {
+		what = "schema rematch hazard"
+		p, err = difftest.PlantSchemaHazard(opts.seed)
+		if err != nil {
+			return err
+		}
+	} else if opts.hazard {
 		what = "rematch hazard"
 		p = difftest.PlantRematchHazard(opts.seed)
 	} else {

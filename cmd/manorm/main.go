@@ -16,6 +16,11 @@
 // -prove prints the paper's Theorem 1 rewrite chain for the given
 // dependency, machine-checking every step (exact-match tables only).
 //
+// -trace-sample N emits a runtime witness for every Nth table entry; the
+// probes default to canonical packets, and -schema <name> switches them
+// to FieldViews over a shipped header schema so tables over arbitrary
+// schema fields (vxlan_vni, mpls_label, gtpu_teid, ...) can be witnessed.
+//
 // -fingerprint prints the canonical normal-form fingerprint of a table
 // or pipeline: the installed rules are denormalized to the universal
 // table, sorted into canonical entry order, and renormalized, and the
@@ -85,13 +90,13 @@ func main() {
 		defer srv.Close()
 	}
 
-	if err := run(*analyze, *normalize, *decompose, *denorm, *fingerprint, *in, *target, *join, *verify, *format, declaredFDs, *prove, obs.TraceSample); err != nil {
+	if err := run(*analyze, *normalize, *decompose, *denorm, *fingerprint, *in, *target, *join, *verify, *format, declaredFDs, *prove, obs.TraceSample, obs.Schema); err != nil {
 		fmt.Fprintln(os.Stderr, "manorm:", err)
 		os.Exit(1)
 	}
 }
 
-func run(analyze, normalize bool, decompose string, denorm, fingerprint bool, in, target, join string, verify bool, format string, declaredFDs []string, prove string, traceSample int) error {
+func run(analyze, normalize bool, decompose string, denorm, fingerprint bool, in, target, join string, verify bool, format string, declaredFDs []string, prove string, traceSample int, schema string) error {
 	data, err := readInput(in)
 	if err != nil {
 		return err
@@ -136,27 +141,40 @@ func run(analyze, normalize bool, decompose string, denorm, fingerprint bool, in
 	case prove != "":
 		return runProve(&tab, prove)
 	case decompose != "":
-		return runDecompose(&tab, declared, decompose, join, verify, format, traceSample)
+		return runDecompose(&tab, declared, decompose, join, verify, format, traceSample, schema)
 	case normalize:
-		return runNormalize(&tab, declared, target, join, verify, format, traceSample)
+		return runNormalize(&tab, declared, target, join, verify, format, traceSample, schema)
 	default:
 		return fmt.Errorf("pick one of -analyze, -normalize, -decompose or -denormalize")
 	}
 }
 
 // emitWitnesses probes the original table and the produced pipeline with
-// packets synthesized from every trace-sample'th table entry (canonical
-// packet fields only) and prints the paired per-stage witnesses to
-// stderr — the runtime Theorem 1 check alongside the symbolic -verify.
-func emitWitnesses(tab *mat.Table, p *mat.Pipeline, every int) error {
+// packets synthesized from every trace-sample'th table entry and prints
+// the paired per-stage witnesses to stderr — the runtime Theorem 1 check
+// alongside the symbolic -verify. With schema empty the probes are
+// canonical packets (entries using non-canonical fields are skipped);
+// with -schema they are FieldViews over the named shipped schema, so
+// tables matching arbitrary schema fields (vxlan_vni, mpls_label, ...)
+// can be witnessed too.
+func emitWitnesses(tab *mat.Table, p *mat.Pipeline, every int, schema string) error {
 	if every <= 0 {
 		return nil
 	}
-	udp, err := dataplane.Compile(mat.SingleTable(tab), dataplane.AutoTemplates)
+	var opts []dataplane.Option
+	var dec *packet.Decoder
+	if schema != "" && schema != packet.SchemaDefault {
+		var err error
+		if dec, err = packet.BuiltinDecoder(schema); err != nil {
+			return err
+		}
+		opts = append(opts, dataplane.WithSchema(dec.Schema()))
+	}
+	udp, err := dataplane.Compile(mat.SingleTable(tab), dataplane.AutoTemplates, opts...)
 	if err != nil {
 		return fmt.Errorf("witness compile (universal): %w", err)
 	}
-	pdp, err := dataplane.Compile(p, dataplane.AutoTemplates)
+	pdp, err := dataplane.Compile(p, dataplane.AutoTemplates, opts...)
 	if err != nil {
 		return fmt.Errorf("witness compile (pipeline): %w", err)
 	}
@@ -166,18 +184,34 @@ func emitWitnesses(tab *mat.Table, p *mat.Pipeline, every int) error {
 		if (ei+1)%every != 0 {
 			continue
 		}
-		pkt, ok := probeFor(tab, entry)
-		if !ok {
-			continue
-		}
-		cp := *pkt
-		uv, utr, err := udp.ProcessExplain(pkt, uctx)
-		if err != nil {
-			return err
-		}
-		pv, ptr, err := pdp.ProcessExplain(&cp, pctx)
-		if err != nil {
-			return err
+		var uv, pv dataplane.Verdict
+		var utr, ptr *telemetry.Trace
+		if dec != nil {
+			// Each side explains its own freshly synthesized view: the
+			// universal pass may rewrite fields the pipeline pass matches.
+			uview, ok := viewProbeFor(dec, tab, entry)
+			if !ok {
+				continue
+			}
+			pview, _ := viewProbeFor(dec, tab, entry)
+			if uv, utr, err = udp.ProcessExplainView(uview, uctx); err != nil {
+				return err
+			}
+			if pv, ptr, err = pdp.ProcessExplainView(pview, pctx); err != nil {
+				return err
+			}
+		} else {
+			pkt, ok := probeFor(tab, entry)
+			if !ok {
+				continue
+			}
+			cp := *pkt
+			if uv, utr, err = udp.ProcessExplain(pkt, uctx); err != nil {
+				return err
+			}
+			if pv, ptr, err = pdp.ProcessExplain(&cp, pctx); err != nil {
+				return err
+			}
 		}
 		probed++
 		fmt.Fprint(os.Stderr, utr.String())
@@ -188,7 +222,7 @@ func emitWitnesses(tab *mat.Table, p *mat.Pipeline, every int) error {
 		fmt.Fprintf(os.Stderr, "manorm: entry %d verdicts agree: %s\n", ei, utr.Verdict())
 	}
 	if probed == 0 {
-		fmt.Fprintln(os.Stderr, "manorm: no witnesses emitted (no sampled entry uses only canonical packet fields)")
+		fmt.Fprintln(os.Stderr, "manorm: no witnesses emitted (no sampled entry's fields fit the probe schema)")
 	}
 	return nil
 }
@@ -209,6 +243,29 @@ func probeFor(tab *mat.Table, entry mat.Entry) (*packet.Packet, bool) {
 		}
 	}
 	return pkt, true
+}
+
+// viewProbeFor synthesizes a FieldView matching one table entry under the
+// probe schema: every header is marked present and each match field is
+// written through its schema slot. Entries matching fields the schema
+// does not define cannot be probed; ok is false.
+func viewProbeFor(dec *packet.Decoder, tab *mat.Table, entry mat.Entry) (*packet.FieldView, bool) {
+	view := dec.NewView()
+	sch := dec.Schema()
+	for hi := range sch.Headers {
+		view.MarkPresent(hi)
+	}
+	for i, a := range tab.Schema {
+		if a.Kind != mat.Field {
+			continue
+		}
+		slot := sch.Slot(a.Name)
+		if slot < 0 {
+			return nil, false
+		}
+		view.Set(slot, entry[i].Bits)
+	}
+	return view, true
 }
 
 func readInput(in string) ([]byte, error) {
@@ -273,7 +330,7 @@ func parseJoin(join string) (core.JoinKind, error) {
 	}
 }
 
-func runDecompose(tab *mat.Table, declared []fd.FD, dep, join string, verify bool, format string, traceSample int) error {
+func runDecompose(tab *mat.Table, declared []fd.FD, dep, join string, verify bool, format string, traceSample int, schema string) error {
 	a, err := buildAnalysis(tab, declared)
 	if err != nil {
 		return err
@@ -296,13 +353,13 @@ func runDecompose(tab *mat.Table, declared []fd.FD, dep, join string, verify boo
 		}
 		fmt.Fprintln(os.Stderr, "manorm: equivalence verified")
 	}
-	if err := emitWitnesses(tab, p, traceSample); err != nil {
+	if err := emitWitnesses(tab, p, traceSample, schema); err != nil {
 		return err
 	}
 	return emitPipeline(os.Stdout, p, format)
 }
 
-func runNormalize(tab *mat.Table, declared []fd.FD, target, join string, verify bool, format string, traceSample int) error {
+func runNormalize(tab *mat.Table, declared []fd.FD, target, join string, verify bool, format string, traceSample int, schema string) error {
 	var form core.Form
 	switch target {
 	case "2nf":
@@ -340,7 +397,7 @@ func runNormalize(tab *mat.Table, declared []fd.FD, target, join string, verify 
 	if verify {
 		fmt.Fprintln(os.Stderr, "manorm: equivalence verified")
 	}
-	if err := emitWitnesses(tab, p, traceSample); err != nil {
+	if err := emitWitnesses(tab, p, traceSample, schema); err != nil {
 		return err
 	}
 	return emitPipeline(os.Stdout, p, format)

@@ -50,7 +50,7 @@ func readAll(f *os.File) (string, error) {
 func TestAnalyzeFixture(t *testing.T) {
 	out, err := captureStdout(t, func() error {
 		return run(true, false, "", false, false, fixture, "3nf", "metadata", false, "text",
-			[]string{"ip_dst -> tcp_dst", "ip_src, ip_dst -> out"}, "", 0)
+			[]string{"ip_dst -> tcp_dst", "ip_src, ip_dst -> out"}, "", 0, "")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -64,7 +64,7 @@ func TestAnalyzeFixture(t *testing.T) {
 
 func TestAnalyzeMined(t *testing.T) {
 	out, err := captureStdout(t, func() error {
-		return run(true, false, "", false, false, fixture, "3nf", "metadata", false, "text", nil, "", 0)
+		return run(true, false, "", false, false, fixture, "3nf", "metadata", false, "text", nil, "", 0, "")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -77,7 +77,7 @@ func TestAnalyzeMined(t *testing.T) {
 func TestNormalizeFixtureJSON(t *testing.T) {
 	out, err := captureStdout(t, func() error {
 		return run(false, true, "", false, false, fixture, "3nf", "metadata", true, "json",
-			[]string{"ip_dst -> tcp_dst", "ip_src, ip_dst -> out"}, "", 0)
+			[]string{"ip_dst -> tcp_dst", "ip_src, ip_dst -> out"}, "", 0, "")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -94,7 +94,7 @@ func TestNormalizeFixtureJSON(t *testing.T) {
 func TestNormalizeGotoFixture(t *testing.T) {
 	out, err := captureStdout(t, func() error {
 		return run(false, true, "", false, false, fixture, "3nf", "goto", true, "json",
-			[]string{"ip_dst -> tcp_dst", "ip_src, ip_dst -> out"}, "", 0)
+			[]string{"ip_dst -> tcp_dst", "ip_src, ip_dst -> out"}, "", 0, "")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -112,7 +112,7 @@ func TestNormalizeGotoFixture(t *testing.T) {
 func TestDecomposeFixture(t *testing.T) {
 	out, err := captureStdout(t, func() error {
 		return run(false, false, "ip_dst -> tcp_dst", false, false, fixture, "3nf", "goto", true, "text",
-			[]string{"ip_dst -> tcp_dst"}, "", 0)
+			[]string{"ip_dst -> tcp_dst"}, "", 0, "")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -127,7 +127,7 @@ func TestDenormalizeRoundTrip(t *testing.T) {
 	// table again.
 	pipeJSON, err := captureStdout(t, func() error {
 		return run(false, true, "", false, false, fixture, "3nf", "metadata", false, "json",
-			[]string{"ip_dst -> tcp_dst", "ip_src, ip_dst -> out"}, "", 0)
+			[]string{"ip_dst -> tcp_dst", "ip_src, ip_dst -> out"}, "", 0, "")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -137,7 +137,7 @@ func TestDenormalizeRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	out, err := captureStdout(t, func() error {
-		return run(false, false, "", true, false, tmp, "3nf", "metadata", false, "json", nil, "", 0)
+		return run(false, false, "", true, false, tmp, "3nf", "metadata", false, "json", nil, "", 0, "")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -157,25 +157,25 @@ func TestRunErrors(t *testing.T) {
 		fn   func() error
 	}{
 		{"no mode", func() error {
-			return run(false, false, "", false, false, fixture, "3nf", "metadata", false, "text", nil, "", 0)
+			return run(false, false, "", false, false, fixture, "3nf", "metadata", false, "text", nil, "", 0, "")
 		}},
 		{"missing file", func() error {
-			return run(true, false, "", false, false, "testdata/nope.json", "3nf", "metadata", false, "text", nil, "", 0)
+			return run(true, false, "", false, false, "testdata/nope.json", "3nf", "metadata", false, "text", nil, "", 0, "")
 		}},
 		{"bad target", func() error {
-			return run(false, true, "", false, false, fixture, "7nf", "metadata", false, "text", nil, "", 0)
+			return run(false, true, "", false, false, fixture, "7nf", "metadata", false, "text", nil, "", 0, "")
 		}},
 		{"bad join", func() error {
-			return run(false, false, "ip_dst -> tcp_dst", false, false, fixture, "3nf", "zipper", false, "text", nil, "", 0)
+			return run(false, false, "ip_dst -> tcp_dst", false, false, fixture, "3nf", "zipper", false, "text", nil, "", 0, "")
 		}},
 		{"bad fd", func() error {
-			return run(true, false, "", false, false, fixture, "3nf", "metadata", false, "text", []string{"nope"}, "", 0)
+			return run(true, false, "", false, false, fixture, "3nf", "metadata", false, "text", []string{"nope"}, "", 0, "")
 		}},
 		{"unknown attr fd", func() error {
-			return run(true, false, "", false, false, fixture, "3nf", "metadata", false, "text", []string{"bogus -> out"}, "", 0)
+			return run(true, false, "", false, false, fixture, "3nf", "metadata", false, "text", []string{"bogus -> out"}, "", 0, "")
 		}},
 		{"false fd", func() error {
-			return run(true, false, "", false, false, fixture, "3nf", "metadata", false, "text", []string{"ip_dst -> out"}, "", 0)
+			return run(true, false, "", false, false, fixture, "3nf", "metadata", false, "text", []string{"ip_dst -> out"}, "", 0, "")
 		}},
 	}
 	for _, tc := range cases {
@@ -188,7 +188,7 @@ func TestRunErrors(t *testing.T) {
 func TestProveFixture(t *testing.T) {
 	out, err := captureStdout(t, func() error {
 		return run(false, false, "", false, false, "testdata/exact.json", "3nf", "metadata", false, "text", nil,
-			"ip_dst -> tcp_dst", 0)
+			"ip_dst -> tcp_dst", 0, "")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -201,7 +201,7 @@ func TestProveFixture(t *testing.T) {
 	// Prefix tables are outside the proof's setting.
 	if _, err := captureStdout(t, func() error {
 		return run(false, false, "", false, false, fixture, "3nf", "metadata", false, "text", nil,
-			"ip_dst -> tcp_dst", 0)
+			"ip_dst -> tcp_dst", 0, "")
 	}); err == nil {
 		t.Errorf("prefix table accepted by -prove")
 	}
@@ -221,7 +221,7 @@ func TestAnalyzeReports4NFBlockers(t *testing.T) {
 		t.Fatal(err)
 	}
 	out, err := captureStdout(t, func() error {
-		return run(true, false, "", false, false, tmp, "3nf", "metadata", false, "text", nil, "", 0)
+		return run(true, false, "", false, false, tmp, "3nf", "metadata", false, "text", nil, "", 0, "")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -238,7 +238,7 @@ func TestFingerprint(t *testing.T) {
 	fp := func(in string) string {
 		t.Helper()
 		out, err := captureStdout(t, func() error {
-			return run(false, false, "", false, true, in, "3nf", "metadata", false, "text", nil, "", 0)
+			return run(false, false, "", false, true, in, "3nf", "metadata", false, "text", nil, "", 0, "")
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -20,11 +20,20 @@
 //	          # holding its placement shard — drive them as one logical
 //	          # switch with a fabric controller (internal/fabric)
 //
+// With -schema the switch runs in protocol-independent mode: frames are
+// decoded by the named shipped schema's programmable parse graph instead
+// of the canonical fixed parser, and the workload is that schema's use
+// case (VXLAN tenant gateway, MPLS label-switching router, GTP-U mobile
+// gateway):
+//
+//	maswitch -switch ovs -rep goto -schema vxlan -packets 200000
+//
 // The shared observability flags (internal/cliflags) apply:
 // -metrics-addr serves the switch's telemetry registry as JSON plus
 // net/http/pprof; -trace-sample N records a pipeline witness for every
-// Nth packet and cross-checks its verdict against the switch's; -json
-// emits the run summary (with the full telemetry snapshot) as JSON.
+// Nth packet and cross-checks its verdict against the switch's (in both
+// the canonical and -schema paths); -json emits the run summary (with
+// the full telemetry snapshot) as JSON.
 package main
 
 import (
@@ -41,6 +50,7 @@ import (
 	"manorm/internal/dataplane"
 	"manorm/internal/fabric"
 	"manorm/internal/openflow"
+	"manorm/internal/packet"
 	"manorm/internal/stats"
 	"manorm/internal/switches"
 	"manorm/internal/telemetry"
@@ -68,10 +78,12 @@ type options struct {
 	cut       bool
 	faultSeed int64
 
-	// Observability (shared flag set, internal/cliflags).
+	// Observability and schema selection (shared flag set,
+	// internal/cliflags).
 	metricsAddr string
 	traceSample int
 	jsonOut     bool
+	schema      string
 }
 
 func main() {
@@ -97,6 +109,7 @@ func main() {
 	o.metricsAddr = obs.MetricsAddr
 	o.traceSample = obs.TraceSample
 	o.jsonOut = obs.JSON
+	o.schema = obs.Schema
 
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "maswitch:", err)
@@ -108,6 +121,7 @@ func main() {
 type summary struct {
 	Switch    string                  `json:"switch"`
 	Rep       usecases.Representation `json:"rep"`
+	Schema    string                  `json:"schema,omitempty"`
 	Packets   int                     `json:"packets"`
 	RateMpps  float64                 `json:"mpps"`
 	LoopMpps  float64                 `json:"loop_mpps"`
@@ -132,6 +146,13 @@ func run(o options) error {
 		}
 		return runFabric(o)
 	}
+	if o.schema != "" && o.schema != packet.SchemaDefault {
+		if o.listen != "" {
+			return fmt.Errorf("-schema does not combine with -listen")
+		}
+		return runSchema(o)
+	}
+	o.schema = ""
 	reg := telemetry.NewRegistry()
 	sw, err := bench.NewSwitch(o.swName, switches.WithTelemetry(reg))
 	if err != nil {
@@ -235,11 +256,114 @@ func run(o options) error {
 	if pm.HWLineRateMpps > 0 {
 		rate = pm.HWLineRateMpps
 	}
+	return report(o, rate, meter.Mpps(), lat, mismatches, sink, reg)
+}
 
+// runSchema is the protocol-independent forwarding run (-schema): the
+// switch parses frames through the named shipped schema's compiled parse
+// graph and the workload is that schema's use case. The witness path
+// (-trace-sample) compiles the same pipeline against the schema and
+// replays sampled frames through ProcessExplainView, so the cross-check
+// covers the programmable decoder as well as the match logic.
+func runSchema(o options) error {
+	dec, err := packet.BuiltinDecoder(o.schema)
+	if err != nil {
+		return err
+	}
+	reg := telemetry.NewRegistry()
+	sw, err := bench.NewSwitch(o.swName, switches.WithTelemetry(reg), switches.WithSchema(dec))
+	if err != nil {
+		return err
+	}
+	reg.Register("switch", sw)
+	cfg := bench.Config{Services: o.services, Backends: o.backends, Seed: o.seed}
+	p, frames, err := bench.SchemaWorkload(o.schema, o.rep, cfg)
+	if err != nil {
+		return err
+	}
+	agent, err := openflow.NewAgent(sw, p)
+	if err != nil {
+		return err
+	}
+	reg.Register("agent", agent)
+	fmt.Printf("maswitch: %s loaded with %s under schema %s (%d stages, %d entries, %d fields)\n",
+		o.swName, o.rep, o.schema, p.Depth(), p.EntryCount(), p.FieldCount())
+
+	if o.metricsAddr != "" {
+		srv, err := telemetry.Serve(o.metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("maswitch: metrics and pprof on http://%s/metrics\n", srv.Addr)
+	}
+
+	sink := telemetry.NewTraceSink(o.traceSample, 32)
+	var wdp *dataplane.Pipeline
+	var wctx *dataplane.Ctx
+	var wview *packet.FieldView
+	if o.traceSample > 0 {
+		reg.SetTraceSink(sink)
+		if wdp, err = dataplane.Compile(p, dataplane.AutoTemplates, dataplane.WithSchema(dec.Schema())); err != nil {
+			return err
+		}
+		wctx = wdp.NewCtx()
+		wview = dec.NewView()
+	}
+
+	// Warm-up over one pass of the batch.
+	for _, f := range frames {
+		if _, err := sw.ProcessFrame(f); err != nil {
+			return err
+		}
+	}
+	var meter stats.RateMeter
+	lat := stats.NewReservoir(8192, o.seed)
+	mismatches := 0
+	start := time.Now()
+	for i := 0; i < o.packets; i++ {
+		f := frames[i%len(frames)]
+		var wit *telemetry.Trace
+		if sink.Tick() {
+			// Explain a fresh parse of the same frame: the switch decodes
+			// into its own view inside ProcessFrame, so the witness never
+			// observes its mutations.
+			if werr := dec.ParseInto(wview, f); werr == nil {
+				if _, tr, werr := wdp.ProcessExplainView(wview, wctx); werr == nil {
+					sink.Add(*tr)
+					wit = tr
+				}
+			}
+		}
+		t0 := time.Now()
+		v, err := sw.ProcessFrame(f)
+		if err != nil {
+			return err
+		}
+		if i%16 == 0 {
+			lat.Add(float64(time.Since(t0).Nanoseconds()))
+		}
+		if wit != nil && (wit.Drop != v.Drop || (!v.Drop && wit.Port != v.Port)) {
+			mismatches++
+		}
+	}
+	meter.Record(int64(o.packets), time.Since(start))
+
+	pm := sw.Perf()
+	rate := meter.Mpps()
+	if pm.HWLineRateMpps > 0 {
+		rate = pm.HWLineRateMpps
+	}
+	return report(o, rate, meter.Mpps(), lat, mismatches, sink, reg)
+}
+
+// report prints (or JSON-encodes, -json) the forwarding-run summary
+// shared by the canonical and -schema paths.
+func report(o options, rate, loopMpps float64, lat *stats.Reservoir, mismatches int, sink *telemetry.TraceSink, reg *telemetry.Registry) error {
 	if o.jsonOut {
 		var s summary
-		s.Switch, s.Rep, s.Packets = o.swName, o.rep, o.packets
-		s.RateMpps, s.LoopMpps = rate, meter.Mpps()
+		s.Switch, s.Rep, s.Schema, s.Packets = o.swName, o.rep, o.schema, o.packets
+		s.RateMpps, s.LoopMpps = rate, loopMpps
 		s.ServiceNs.P50 = lat.Quantile(0.5)
 		s.ServiceNs.P75 = lat.Quantile(0.75)
 		s.ServiceNs.P99 = lat.Quantile(0.99)
@@ -252,7 +376,7 @@ func run(o options) error {
 	}
 
 	fmt.Printf("maswitch: forwarded %d packets\n", o.packets)
-	fmt.Printf("maswitch: rate %.2f Mpps (software loop: %.2f Mpps)\n", rate, meter.Mpps())
+	fmt.Printf("maswitch: rate %.2f Mpps (software loop: %.2f Mpps)\n", rate, loopMpps)
 	fmt.Printf("maswitch: service time p50/p75/p99 = %.0f/%.0f/%.0f ns\n",
 		lat.Quantile(0.5), lat.Quantile(0.75), lat.Quantile(0.99))
 	if o.traceSample > 0 {
@@ -360,14 +484,15 @@ func runChurn(o options) error {
 	if !row.StateOK {
 		state = "DIVERGED"
 	}
-	m := row.Client
+	m := row.Client.Counters
+	lat := row.Client.Histograms["rpc_latency_ns"]
 	fmt.Printf("maswitch churn: %s, %d updates under %s (seed %d)\n", o.rep, o.churn, fs, o.faultSeed)
-	fmt.Printf("  flow-mods sent      %d\n", m.ModsSent)
-	fmt.Printf("  resent after loss   %d\n", m.ModsResent)
-	fmt.Printf("  rpc retries         %d (timeouts %d)\n", m.Retries, m.Timeouts)
-	fmt.Printf("  reconnects          %d (sessions %d)\n", m.Reconnects, row.Sessions)
+	fmt.Printf("  flow-mods sent      %d\n", m["mods_sent"])
+	fmt.Printf("  resent after loss   %d\n", m["mods_resent"])
+	fmt.Printf("  rpc retries         %d (timeouts %d)\n", m["retries"], m["timeouts"])
+	fmt.Printf("  reconnects          %d (sessions %d)\n", m["reconnects"], row.Sessions)
 	fmt.Printf("  dup mods absorbed   %d\n", row.DupsSkipped)
-	fmt.Printf("  rpc latency p50/p99 %.2f/%.2f ms\n", m.RPCLatencyP50Ms, m.RPCLatencyP99Ms)
+	fmt.Printf("  rpc latency p50/p99 %.2f/%.2f ms\n", lat.P50/1e6, lat.P99/1e6)
 	fmt.Printf("  final state         %s\n", state)
 	return nil
 }

@@ -98,7 +98,7 @@ func churnUnderFaults(g *usecases.GwLB) error {
 	var gotoLatMs float64
 	for _, r := range rows {
 		if r.Rep == usecases.RepGoto && r.Spec.Cut {
-			gotoLatMs = r.Client.RPCLatencyP50Ms
+			gotoLatMs = r.Client.Histograms["rpc_latency_ns"].P50 / 1e6
 		}
 	}
 	p, err := g.Build(usecases.RepGoto)

@@ -81,13 +81,13 @@ func NewSwitch(name string, opts ...switches.Option) (switches.Switch, error) {
 // the model registered as its "switch" sub-provider) when cfg.Telemetry
 // is set. snapshot() captures the phase snapshot, or returns nil with
 // telemetry off.
-func instrumented(name string, cfg Config) (switches.Switch, func() *telemetry.Snapshot, error) {
+func instrumented(name string, cfg Config, extra ...switches.Option) (switches.Switch, func() *telemetry.Snapshot, error) {
 	if !cfg.Telemetry {
-		sw, err := NewSwitch(name)
+		sw, err := NewSwitch(name, extra...)
 		return sw, func() *telemetry.Snapshot { return nil }, err
 	}
 	reg := telemetry.NewRegistry()
-	sw, err := NewSwitch(name, switches.WithTelemetry(reg))
+	sw, err := NewSwitch(name, append([]switches.Option{switches.WithTelemetry(reg)}, extra...)...)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -318,10 +318,10 @@ func FabricChurnOne(cfg Config, updates int, fs FabricSpec) (*FabricChurnRow, er
 	row.Conflicts = int64(snap.Counters["commute_conflicts"])
 	for _, m := range f.Members() {
 		row.Resyncs += m.Resyncs()
-		cm := m.Client().Metrics()
-		row.Reconnects += cm.Reconnects
-		row.ModsResent += cm.ModsResent
-		row.Retries += cm.Retries
+		cm := m.Client().Stats()
+		row.Reconnects += int64(cm.Counters["reconnects"])
+		row.ModsResent += int64(cm.Counters["mods_resent"])
+		row.Retries += int64(cm.Counters["retries"])
 	}
 	row.NetDrops = nf.Drops()
 

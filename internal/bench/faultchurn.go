@@ -16,6 +16,7 @@ import (
 	"manorm/internal/mat"
 	"manorm/internal/openflow"
 	"manorm/internal/switches"
+	"manorm/internal/telemetry"
 	"manorm/internal/usecases"
 )
 
@@ -56,7 +57,10 @@ type FaultChurnRow struct {
 	Spec    FaultSpec
 	Updates int
 
-	Client openflow.ClientMetrics
+	// Client is the control channel's telemetry snapshot (counters
+	// mods_sent, mods_resent, retries, timeouts, reconnects; histogram
+	// rpc_latency_ns).
+	Client telemetry.Snapshot
 	// DupsSkipped counts resends the agent absorbed by xid dedup;
 	// Sessions counts control sessions (1 + reconnects).
 	DupsSkipped int64
@@ -193,7 +197,7 @@ func FaultChurnOne(cfg Config, rep usecases.Representation, updates int, fs Faul
 		Rep:         rep,
 		Spec:        fs,
 		Updates:     updates,
-		Client:      client.Metrics(),
+		Client:      client.Stats(),
 		DupsSkipped: atomic.LoadInt64(&agent.DupsSkipped),
 		Sessions:    atomic.LoadInt64(&agent.Sessions),
 		WallMs:      float64(wall.Microseconds()) / 1000,
@@ -241,10 +245,10 @@ func faultFreeReference(cfg Config, rep usecases.Representation, updates int) (s
 	if err != nil {
 		return "", 0, err
 	}
-	m := client.Metrics()
+	m := client.Stats()
 	// Frames written: hello reply + every flow-mod + one barrier per
 	// update.
-	frames := 1 + int(m.ModsSent) + updates
+	frames := 1 + int(m.Counters["mods_sent"]) + updates
 	return state, frames, nil
 }
 
@@ -293,7 +297,8 @@ func RenderFaultChurn(w io.Writer, rows []*FaultChurnRow) {
 			state = "DIVERGED"
 		}
 		fmt.Fprintf(w, "%-11s %-27s %-9d %-8d %-8d %-8d %-6d %-6d %-8s\n",
-			r.Rep, r.Spec, r.Client.ModsSent, r.Client.ModsResent, r.Client.Retries,
-			r.Client.Timeouts, r.Client.Reconnects, r.DupsSkipped, state)
+			r.Rep, r.Spec, r.Client.Counters["mods_sent"], r.Client.Counters["mods_resent"],
+			r.Client.Counters["retries"], r.Client.Counters["timeouts"],
+			r.Client.Counters["reconnects"], r.DupsSkipped, state)
 	}
 }

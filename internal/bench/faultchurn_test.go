@@ -22,15 +22,15 @@ func TestFaultChurnCleanChannelHasNoRetries(t *testing.T) {
 	if !row.StateOK {
 		t.Errorf("clean run diverged from reference")
 	}
-	m := row.Client
-	if m.ModsResent != 0 || m.Retries != 0 || m.Reconnects != 0 || m.Timeouts != 0 {
+	m := row.Client.Counters
+	if m["mods_resent"] != 0 || m["retries"] != 0 || m["reconnects"] != 0 || m["timeouts"] != 0 {
 		t.Errorf("clean channel produced recovery work: %+v", m)
 	}
 	if row.DupsSkipped != 0 {
 		t.Errorf("clean channel produced duplicates: %d", row.DupsSkipped)
 	}
-	if m.ModsSent != 12 {
-		t.Errorf("ModsSent = %d, want 12 (6 updates x delete+add on goto)", m.ModsSent)
+	if m["mods_sent"] != 12 {
+		t.Errorf("mods_sent = %d, want 12 (6 updates x delete+add on goto)", m["mods_sent"])
 	}
 }
 
@@ -56,8 +56,8 @@ func TestFaultChurnSurvivesLossAndCut(t *testing.T) {
 		if !row.StateOK {
 			t.Errorf("%s: state diverged from fault-free run", rep)
 		}
-		if row.Client.Reconnects != 1 {
-			t.Errorf("%s: reconnects = %d, want 1 (one forced cut)", rep, row.Client.Reconnects)
+		if n := row.Client.Counters["reconnects"]; n != 1 {
+			t.Errorf("%s: reconnects = %d, want 1 (one forced cut)", rep, n)
 		}
 		if row.Sessions != 2 {
 			t.Errorf("%s: sessions = %d, want 2", rep, row.Sessions)
@@ -78,11 +78,12 @@ func TestFaultChurnCountersAreSeedDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	am, bm := a.Client, b.Client
-	if am.ModsSent != bm.ModsSent || am.ModsResent != bm.ModsResent ||
-		am.Retries != bm.Retries || am.Timeouts != bm.Timeouts ||
-		am.Reconnects != bm.Reconnects {
-		t.Errorf("same seed produced different counters:\n%+v\n%+v", am, bm)
+	am, bm := a.Client.Counters, b.Client.Counters
+	for _, k := range []string{"mods_sent", "mods_resent", "retries", "timeouts", "reconnects"} {
+		if am[k] != bm[k] {
+			t.Errorf("same seed produced different counters:\n%+v\n%+v", am, bm)
+			break
+		}
 	}
 	if a.DupsSkipped != b.DupsSkipped {
 		t.Errorf("DupsSkipped diverged: %d vs %d", a.DupsSkipped, b.DupsSkipped)

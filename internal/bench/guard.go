@@ -29,13 +29,21 @@ import (
 // still fails, but the per-group attribution in the output is
 // approximate when more than one row moved.
 
-// GuardKey identifies one aggregated guard metric.
+// GuardKey identifies one aggregated guard metric. Schema is empty for
+// the canonical default-schema rows — the only rows pre-schema baselines
+// contain — so their JSON form and display strings are unchanged.
 type GuardKey struct {
 	Switch string `json:"switch"`
 	Rep    string `json:"rep"`
+	Schema string `json:"schema,omitempty"`
 }
 
-func (k GuardKey) String() string { return k.Switch + "/" + k.Rep }
+func (k GuardKey) String() string {
+	if k.Schema != "" {
+		return k.Switch + "/" + k.Rep + "@" + k.Schema
+	}
+	return k.Switch + "/" + k.Rep
+}
 
 // GuardDelta is the comparison of one (switch, rep) aggregate between
 // baseline and current.
@@ -66,16 +74,18 @@ func ReadParallelReport(path string) (*ParallelReport, error) {
 	return &rep, nil
 }
 
-// rowKey identifies one measured row.
+// rowKey identifies one measured row. The schema dimension is "" for
+// default-schema rows, so reports written before the schema experiments
+// existed keep keying (and gating) identically.
 type rowKey struct {
-	sw, rep string
-	workers int
+	sw, rep, schema string
+	workers         int
 }
 
 func reportRows(r *ParallelReport) map[rowKey]float64 {
 	out := make(map[rowKey]float64, len(r.Results))
 	for _, row := range r.Results {
-		out[rowKey{row.Switch, string(row.Rep), row.Workers}] = row.RateMpps
+		out[rowKey{row.Switch, string(row.Rep), row.Schema, row.Workers}] = row.RateMpps
 	}
 	return out
 }
@@ -107,7 +117,7 @@ func CompareParallel(base, cur *ParallelReport, tol float64) ([]GuardDelta, erro
 	bagg := make(map[GuardKey]*agg)
 	cagg := make(map[GuardKey]*agg)
 	for _, k := range shared {
-		gk := GuardKey{Switch: k.sw, Rep: k.rep}
+		gk := GuardKey{Switch: k.sw, Rep: k.rep, Schema: k.schema}
 		if bagg[gk] == nil {
 			bagg[gk], cagg[gk] = &agg{}, &agg{}
 		}
@@ -145,7 +155,12 @@ type RowDiff struct {
 // Empty reports whether the two reports covered identical rows.
 func (d RowDiff) Empty() bool { return len(d.Added) == 0 && len(d.Removed) == 0 }
 
-func (k rowKey) String() string { return fmt.Sprintf("%s/%s/w%d", k.sw, k.rep, k.workers) }
+func (k rowKey) String() string {
+	if k.schema != "" {
+		return fmt.Sprintf("%s/%s@%s/w%d", k.sw, k.rep, k.schema, k.workers)
+	}
+	return fmt.Sprintf("%s/%s/w%d", k.sw, k.rep, k.workers)
+}
 
 // DiffParallelRows reports the (switch, rep, workers) rows that baseline
 // and current do not share, so the guard output can surface coverage
@@ -222,7 +237,7 @@ func MeasureGuard(cfg Config, maxWorkers, runs int) (*ParallelReport, error) {
 			return nil, err
 		}
 		for _, row := range rows {
-			k := rowKey{row.Switch, string(row.Rep), row.Workers}
+			k := rowKey{row.Switch, string(row.Rep), row.Schema, row.Workers}
 			if prev, ok := best[k]; !ok {
 				best[k] = row
 				order = append(order, k)

@@ -28,6 +28,10 @@ type ParallelResult struct {
 	Rep    usecases.Representation `json:"rep"`
 	// Workers is the number of forwarding goroutines.
 	Workers int `json:"workers"`
+	// Schema names the header schema the workload ran under; empty for
+	// the canonical (default) schema, so pre-schema baselines parse
+	// unchanged.
+	Schema string `json:"schema,omitempty"`
 	// RateMpps is the aggregate forwarding rate over all workers
 	// (wall-clock: total packets / elapsed time).
 	RateMpps float64 `json:"mpps"`
@@ -71,6 +75,24 @@ func MeasureParallel(swName string, rep usecases.Representation, cfg Config, wor
 	}
 	stream := trafficgen.GwLB(g, 4096, 1.0, cfg.Seed+1)
 	frames, _ := trafficgen.Wire(stream)
+
+	total, elapsed, err := runParallelFrames(sw, frames, cfg.Packets, workers)
+	if err != nil {
+		return nil, err
+	}
+	res := &ParallelResult{Switch: swName, Rep: rep, Workers: workers, Packets: total, Stats: snapshot()}
+	if pm := sw.Perf(); pm.HWLineRateMpps > 0 {
+		res.RateMpps = pm.HWLineRateMpps
+		return res, nil
+	}
+	res.RateMpps = float64(total) * 1000 / float64(elapsed.Nanoseconds()) // pkts/µs = Mpps
+	return res, nil
+}
+
+// runParallelFrames is the shared timed core of the parallel experiments:
+// shard the frames across `workers` dedicated switch workers, warm every
+// lane once, then forward `packets` total and report (count, wall time).
+func runParallelFrames(sw switches.Switch, frames [][]byte, packets, workers int) (int, time.Duration, error) {
 	shards := trafficgen.Shards(frames, workers)
 
 	// Per-goroutine state: a dedicated worker and its shard pre-cut into
@@ -81,7 +103,7 @@ func MeasureParallel(swName string, rep usecases.Representation, cfg Config, wor
 		batches [][][]byte
 	}
 	lanes := make([]*lane, workers)
-	perWorker := cfg.Packets / workers
+	perWorker := packets / workers
 	if perWorker < 1 {
 		perWorker = 1
 	}
@@ -103,7 +125,7 @@ func MeasureParallel(swName string, rep usecases.Representation, cfg Config, wor
 	for _, l := range lanes {
 		for _, b := range l.batches {
 			if err := l.w.ProcessBatch(b, out); err != nil {
-				return nil, err
+				return 0, 0, err
 			}
 		}
 	}
@@ -135,21 +157,14 @@ func MeasureParallel(swName string, rep usecases.Representation, cfg Config, wor
 	elapsed := time.Since(start)
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return 0, 0, err
 		}
 	}
 	total := 0
 	for _, c := range counts {
 		total += c
 	}
-
-	res := &ParallelResult{Switch: swName, Rep: rep, Workers: workers, Packets: total, Stats: snapshot()}
-	if pm := sw.Perf(); pm.HWLineRateMpps > 0 {
-		res.RateMpps = pm.HWLineRateMpps
-		return res, nil
-	}
-	res.RateMpps = float64(total) * 1000 / float64(elapsed.Nanoseconds()) // pkts/µs = Mpps
-	return res, nil
+	return total, elapsed, nil
 }
 
 // ScalingWorkerCounts returns the worker counts of the scaling curve:

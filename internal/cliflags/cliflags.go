@@ -1,17 +1,21 @@
-// Package cliflags defines the observability flag set shared by the
-// repository's commands (maswitch, mabench, manorm): the metrics/pprof
-// endpoint address, the per-packet witness sampling rate, and the
-// machine-readable output toggle. Registering them through one package
-// keeps the flag names and help text identical across binaries.
+// Package cliflags defines the flag set shared by the repository's
+// commands (maswitch, mabench, manorm): the metrics/pprof endpoint
+// address, the per-packet witness sampling rate, the machine-readable
+// output toggle, and the header-schema selector for the programmable
+// parser. Registering them through one package keeps the flag names and
+// help text identical across binaries.
 package cliflags
 
 import (
 	"flag"
+	"fmt"
+	"strings"
 
+	"manorm/internal/packet"
 	"manorm/internal/telemetry"
 )
 
-// Flags carries the parsed observability options.
+// Flags carries the parsed shared options.
 type Flags struct {
 	// MetricsAddr, when non-empty, is the address the command serves its
 	// telemetry registry (JSON) and net/http/pprof on.
@@ -21,10 +25,13 @@ type Flags struct {
 	TraceSample int
 	// JSON selects machine-readable output where the command supports it.
 	JSON bool
+	// Schema names a shipped header schema (packet.BuiltinSchemaNames)
+	// to run the command under; empty means the canonical default parser.
+	Schema string
 }
 
-// Register adds the shared observability flags to fs (use flag.CommandLine
-// in main) and returns the struct they parse into.
+// Register adds the shared flags to fs (use flag.CommandLine in main) and
+// returns the struct they parse into.
 func Register(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
 	fs.StringVar(&f.MetricsAddr, "metrics-addr", "",
@@ -32,7 +39,20 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.IntVar(&f.TraceSample, "trace-sample", 0,
 		"record a per-packet pipeline witness every Nth packet (0 disables)")
 	fs.BoolVar(&f.JSON, "json", false, "machine-readable JSON output")
+	fs.StringVar(&f.Schema, "schema", "",
+		fmt.Sprintf("header schema for the programmable parser: %s (empty: canonical default)",
+			strings.Join(packet.BuiltinSchemaNames(), ", ")))
 	return f
+}
+
+// Decoder resolves -schema into its compiled decoder. With the flag unset
+// (or naming the default schema) it returns (nil, nil): commands treat a
+// nil decoder as "run the canonical fixed-struct path".
+func (f *Flags) Decoder() (*packet.Decoder, error) {
+	if f.Schema == "" || f.Schema == packet.SchemaDefault {
+		return nil, nil
+	}
+	return packet.BuiltinDecoder(f.Schema)
 }
 
 // Serve starts the metrics endpoint when -metrics-addr is set. With the

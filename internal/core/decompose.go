@@ -269,6 +269,7 @@ func buildTable(name string, sch mat.Schema, keep mat.AttrSet, link *linkSpec, g
 		outSch = append(outSch, mat.Attr{Name: link.name, Kind: link.kind, Width: link.width})
 	}
 	out := mat.New(name, outSch)
+	out.Provenance = t.Provenance
 	if groups == nil {
 		// One row per distinct projection.
 		proj := t.Project(name, keep)
@@ -312,6 +313,7 @@ func buildRest(name string, sch mat.Schema, x, z mat.AttrSet, groups [][]int, t 
 	zIdx = z.Members()
 	outSch = append(outSch, sch.Project(zIdx)...)
 	out := mat.New(name, outSch)
+	out.Provenance = t.Provenance
 	seen := make(map[string]bool)
 	for ri, e := range t.Entries {
 		row := make(mat.Entry, 0, len(outSch))
@@ -343,6 +345,7 @@ func buildRestFirst(name string, sch mat.Schema, xFields, z mat.AttrSet, gidOf [
 	outSch := sch.Project(idx)
 	outSch = append(outSch, mat.Attr{Name: link.name, Kind: link.kind, Width: link.width})
 	out := mat.New(name, outSch)
+	out.Provenance = t.Provenance
 	seen := make(map[string]bool)
 	for ri, e := range t.Entries {
 		row := make(mat.Entry, 0, len(idx)+1)
@@ -365,6 +368,7 @@ func buildRestFirst(name string, sch mat.Schema, xFields, z mat.AttrSet, gidOf [
 func buildSubTable(name string, sch mat.Schema, keep mat.AttrSet, rows []int, t *mat.Table) *mat.Table {
 	idx := keep.Members()
 	out := mat.New(name, sch.Project(idx))
+	out.Provenance = t.Provenance
 	seen := make(map[string]bool)
 	for _, ri := range rows {
 		e := t.Entries[ri]

@@ -65,6 +65,9 @@ func Denormalize(p *mat.Pipeline) (*mat.Table, error) {
 	}
 
 	out := mat.New(p.Name+"-denorm", ordered)
+	if len(p.Stages) > 0 {
+		out.Provenance = p.Stages[0].Table.Provenance
+	}
 
 	// path state: accumulated match constraints and action assignments.
 	type state struct {

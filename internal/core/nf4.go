@@ -86,6 +86,7 @@ func DecomposeMVD(a *Analysis, m fd.MVD) (*mat.Pipeline, error) {
 	// Stage 1: the announcement-style table — matches fields(X), writes
 	// the group tag (the encoded candidate set).
 	first := mat.New(t.Name+"_groups", append(sch.Project(x.Members()), mat.Attr{Name: mn, Kind: mat.Action, Width: mw}))
+	first.Provenance = t.Provenance
 	for gi, rows := range groups {
 		rep := t.Entries[rows[0]]
 		row := make(mat.Entry, 0, x.Len()+1)
@@ -99,6 +100,7 @@ func DecomposeMVD(a *Analysis, m fd.MVD) (*mat.Pipeline, error) {
 	// Stage 2: (tag, fields(Y)) — one row per (group, y) pair. Y-side
 	// actions are excluded by precondition, so this stage only filters.
 	second := mat.New(t.Name+"_dep", append(mat.Schema{{Name: mn, Kind: mat.Field, Width: mw}}, sch.Project(y.Members())...))
+	second.Provenance = t.Provenance
 	seen := map[string]bool{}
 	gidOf := make([]int, len(t.Entries))
 	for gi, rows := range groups {
@@ -122,6 +124,7 @@ func DecomposeMVD(a *Analysis, m fd.MVD) (*mat.Pipeline, error) {
 	// Stage 3: (tag, fields(Z)) with actions(Z) — one row per (group, z)
 	// pair.
 	third := mat.New(t.Name+"_rest", append(mat.Schema{{Name: mn, Kind: mat.Field, Width: mw}}, sch.Project(z.Members())...))
+	third.Provenance = t.Provenance
 	seen = map[string]bool{}
 	for ri, e := range t.Entries {
 		row := make(mat.Entry, 0, 1+z.Len())

@@ -90,6 +90,7 @@ func ToGoto(p *mat.Pipeline) (*mat.Pipeline, error) {
 		subIdxByTag := make(map[uint64]int, len(order))
 		for si, tag := range order {
 			sub := mat.New(fmt.Sprintf("%s_g%d", c.Table.Name, si), subSchema)
+			sub.Provenance = c.Table.Provenance
 			for _, ri := range groups[tag] {
 				e := c.Table.Entries[ri]
 				row := make(mat.Entry, 0, len(subSchema))

@@ -43,6 +43,7 @@ type Action struct {
 	Kind  ActionKind
 	Field string // for ActSetField
 	Meta  int    // register index for ActSetMeta
+	Slot  int    // target field slot under WithSchema (set-field / dec-ttl)
 	Value uint64
 }
 
@@ -50,6 +51,7 @@ type Action struct {
 type matchCol struct {
 	field string // packet field name ("" when meta >= 0)
 	fid   int    // dense packet field id (packet.FieldID), -1 for unknown
+	slot  int    // schema slot index under WithSchema, -1 otherwise
 	meta  int    // metadata register index, -1 for packet fields
 	width uint8
 }
@@ -103,7 +105,15 @@ type Pipeline struct {
 	// devirtualized. Traced processing still takes the general loop.
 	fusedT   *Table
 	fusedFDD *classifier.FDD
+	// schema, set by WithSchema, enables the FieldView entry points
+	// (ProcessView and friends): match columns and rewriting actions were
+	// resolved to the schema's slot indices at compile time.
+	schema *packet.HeaderSchema
 }
+
+// Schema returns the header schema the pipeline was compiled against, or
+// nil when compiled for the fixed default Packet path.
+func (p *Pipeline) Schema() *packet.HeaderSchema { return p.schema }
 
 // pipelineTel is the instrument set of one compiled pipeline: per-stage
 // lookup/match/miss counters and the per-packet processing latency
@@ -126,7 +136,8 @@ type stageTel struct {
 type Option func(*compileCfg)
 
 type compileCfg struct {
-	reg *telemetry.Registry
+	reg    *telemetry.Registry
+	schema *packet.HeaderSchema
 }
 
 // WithTelemetry instruments the compiled pipeline against the registry:
@@ -137,6 +148,34 @@ type compileCfg struct {
 // their (possibly nil) registry through unconditionally.
 func WithTelemetry(reg *telemetry.Registry) Option {
 	return func(c *compileCfg) { c.reg = reg }
+}
+
+// WithSchema compiles the pipeline against a header schema: every match
+// column and rewriting action resolves to a FieldView slot index, and
+// the pipeline becomes processable through ProcessView on decoded views
+// of that schema. Compilation fails on attribute names outside the
+// schema and on tables whose Provenance names a different schema — a
+// VXLAN program cannot silently bind to the default parser. A nil schema
+// is a no-op, keeping the fixed Packet fast path.
+func WithSchema(s *packet.HeaderSchema) Option {
+	return func(c *compileCfg) { c.schema = s }
+}
+
+// checkProvenance rejects schema/table mismatches in either direction.
+func checkProvenance(t *mat.Table, schema *packet.HeaderSchema) error {
+	if t.Provenance == "" {
+		return nil
+	}
+	if schema == nil {
+		if t.Provenance != packet.SchemaDefault {
+			return fmt.Errorf("dataplane: table %s was built against schema %q; compile it with WithSchema", t.Name, t.Provenance)
+		}
+		return nil
+	}
+	if t.Provenance != schema.Name {
+		return fmt.Errorf("dataplane: table %s was built against schema %q, not %q", t.Name, t.Provenance, schema.Name)
+	}
+	return nil
 }
 
 // Ctx is per-worker scratch state: metadata registers and the key buffer.
@@ -195,11 +234,18 @@ func Compile(p *mat.Pipeline, sel TemplateSelector, opts ...Option) (*Pipeline, 
 		return i
 	}
 
-	out := &Pipeline{Name: p.Name, start: p.Start}
+	out := &Pipeline{Name: p.Name, start: p.Start, schema: cfg.schema}
+	var binder *packet.Binder
+	if cfg.schema != nil {
+		binder = packet.NewBinder(cfg.schema)
+	}
 	for _, st := range p.Stages {
 		t := st.Table
 		if got := len(t.Schema.Fields()); got > 16 {
 			return nil, fmt.Errorf("dataplane: table %s has %d match columns; the key buffer supports 16", t.Name, got)
+		}
+		if err := checkProvenance(t, cfg.schema); err != nil {
+			return nil, err
 		}
 		cls, err := classifier.Compile(t, sel(t))
 		if err != nil {
@@ -215,12 +261,17 @@ func Compile(p *mat.Pipeline, sel TemplateSelector, opts ...Option) (*Pipeline, 
 		}
 		for _, fi := range t.Schema.Fields() {
 			at := t.Schema[fi]
-			col := matchCol{width: at.Width, meta: -1, fid: -1}
+			col := matchCol{width: at.Width, meta: -1, fid: -1, slot: -1}
 			if mat.IsLinkAttr(at.Name) {
 				col.meta = metaOf(at.Name)
 			} else {
 				col.field = at.Name
 				col.fid = packet.FieldID(at.Name)
+				if binder != nil {
+					if col.slot = binder.Slot(at.Name); col.slot < 0 {
+						return nil, fmt.Errorf("dataplane: table %s matches %q, not a field of schema %s", t.Name, at.Name, cfg.schema.Name)
+					}
+				}
 			}
 			ct.cols = append(ct.cols, col)
 		}
@@ -243,11 +294,11 @@ func Compile(p *mat.Pipeline, sel TemplateSelector, opts ...Option) (*Pipeline, 
 				case at.Name == "out":
 					acts = append(acts, Action{Kind: ActOutput, Value: e[i].Bits})
 				case at.Name == "mod_ttl":
-					acts = append(acts, Action{Kind: ActDecTTL})
+					acts = append(acts, Action{Kind: ActDecTTL, Slot: ttlSlot(binder)})
 				case mat.IsLinkAttr(at.Name):
 					acts = append(acts, Action{Kind: ActSetMeta, Meta: metaOf(at.Name), Value: e[i].Bits})
 				default:
-					acts = append(acts, Action{Kind: ActSetField, Field: actionField(at.Name), Value: e[i].Bits})
+					acts = append(acts, Action{Kind: ActSetField, Field: actionField(at.Name), Slot: actionSlot(binder, at.Name), Value: e[i].Bits})
 				}
 			}
 			ct.acts = append(ct.acts, acts)
@@ -277,6 +328,25 @@ func Compile(p *mat.Pipeline, sel TemplateSelector, opts ...Option) (*Pipeline, 
 // the canonical mapping lives in internal/packet so the fusion compiler
 // can statically resolve rewrites against downstream matches.
 func actionField(name string) string { return packet.ActionField(name) }
+
+// actionSlot resolves a rewriting action attribute to its view slot
+// (-1 without a schema or for fields outside it — the view path then
+// no-ops exactly like Packet.SetField on an unknown name).
+func actionSlot(binder *packet.Binder, name string) int {
+	if binder == nil {
+		return -1
+	}
+	return binder.ActionSlot(name)
+}
+
+// ttlSlot resolves the dec-ttl target under a schema (-1 when the schema
+// carries no ip_ttl field; dec_ttl is then a no-op on the view path).
+func ttlSlot(binder *packet.Binder) int {
+	if binder == nil {
+		return -1
+	}
+	return binder.Slot(packet.FieldTTL)
+}
 
 // Trace records which packet bits a pipeline traversal consulted: for
 // every header field, the maximum prefix length any visited table matched
@@ -316,14 +386,41 @@ func (p *Pipeline) Process(pkt *packet.Packet, ctx *Ctx) (Verdict, error) {
 	if p.fusedT != nil {
 		return p.processFused(pkt, ctx)
 	}
-	return p.process(pkt, ctx, nil)
+	return p.process(pkt, nil, ctx, nil)
+}
+
+// ProcessView runs one decoded FieldView through the pipeline — the
+// schema-driven twin of Process. The pipeline must have been compiled
+// with WithSchema on the view's schema; match columns and rewriting
+// actions then read and write slot indices directly, so the path stays
+// allocation-free for any header stack.
+func (p *Pipeline) ProcessView(view *packet.FieldView, ctx *Ctx) (Verdict, error) {
+	if p.schema == nil {
+		return Verdict{}, fmt.Errorf("dataplane: pipeline %s was not compiled with WithSchema", p.Name)
+	}
+	if view.Schema() != p.schema {
+		return Verdict{}, fmt.Errorf("dataplane: pipeline %s compiled for schema %s, view is %s", p.Name, p.schema.Name, view.Schema().Name)
+	}
+	if p.fusedT != nil {
+		return p.processFusedView(view, ctx)
+	}
+	return p.process(nil, view, ctx, nil)
+}
+
+// ProcessViewTraced is ProcessView plus megaflow wildcard tracing.
+func (p *Pipeline) ProcessViewTraced(view *packet.FieldView, ctx *Ctx, tr *Trace) (Verdict, error) {
+	if p.schema == nil {
+		return Verdict{}, fmt.Errorf("dataplane: pipeline %s was not compiled with WithSchema", p.Name)
+	}
+	tr.Reset()
+	return p.process(nil, view, ctx, tr)
 }
 
 // ProcessTraced is Process plus megaflow wildcard tracing into tr (which
 // is reset first).
 func (p *Pipeline) ProcessTraced(pkt *packet.Packet, ctx *Ctx, tr *Trace) (Verdict, error) {
 	tr.Reset()
-	return p.process(pkt, ctx, tr)
+	return p.process(pkt, nil, ctx, tr)
 }
 
 // ProcessBatch runs a batch of packets through the pipeline on one ctx,
@@ -346,7 +443,7 @@ func (p *Pipeline) ProcessBatch(pkts []*packet.Packet, ctx *Ctx, out []Verdict) 
 		return nil
 	}
 	for i, pkt := range pkts {
-		v, err := p.process(pkt, ctx, nil)
+		v, err := p.process(pkt, nil, ctx, nil)
 		if err != nil {
 			return err
 		}
@@ -355,7 +452,12 @@ func (p *Pipeline) ProcessBatch(pkts []*packet.Packet, ctx *Ctx, out []Verdict) 
 	return nil
 }
 
-func (p *Pipeline) process(pkt *packet.Packet, ctx *Ctx, tr *Trace) (Verdict, error) {
+// process is the general stage loop. Exactly one of pkt and view is
+// non-nil: the view branch reads and writes slot indices resolved by
+// WithSchema, the packet branch the dense FieldID table. The branch is
+// per field read but perfectly predicted within a run, so the default
+// Packet path keeps its measured shape.
+func (p *Pipeline) process(pkt *packet.Packet, view *packet.FieldView, ctx *Ctx, tr *Trace) (Verdict, error) {
 	var t0 time.Time
 	if p.tel != nil {
 		t0 = time.Now()
@@ -383,7 +485,13 @@ func (p *Pipeline) process(pkt *packet.Packet, ctx *Ctx, tr *Trace) (Verdict, er
 				key[i] = ctx.meta[c.meta]
 				continue
 			}
-			fv, ok := pkt.FieldByID(c.fid)
+			var fv uint64
+			var ok bool
+			if view != nil {
+				fv, ok = view.Get(c.slot)
+			} else {
+				fv, ok = pkt.FieldByID(c.fid)
+			}
 			if !ok {
 				miss = true
 				break
@@ -440,11 +548,19 @@ func (p *Pipeline) process(pkt *packet.Packet, ctx *Ctx, tr *Trace) (Verdict, er
 			case ActSetMeta:
 				ctx.meta[a.Meta] = a.Value
 			case ActDecTTL:
-				if pkt.HasIPv4 && pkt.TTL > 0 {
+				if view != nil {
+					if ttl, ok := view.Get(a.Slot); ok && ttl > 0 {
+						view.Set(a.Slot, ttl-1)
+					}
+				} else if pkt.HasIPv4 && pkt.TTL > 0 {
 					pkt.TTL--
 				}
 			case ActSetField:
-				pkt.SetField(a.Field, a.Value)
+				if view != nil {
+					view.Set(a.Slot, a.Value)
+				} else {
+					pkt.SetField(a.Field, a.Value)
+				}
 			case ActDrop:
 				v.Drop = true
 			}

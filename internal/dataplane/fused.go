@@ -34,6 +34,15 @@ func CompileFused(p *mat.Pipeline, opts ...Option) (*Pipeline, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	var binder *packet.Binder
+	if cfg.schema != nil {
+		binder = packet.NewBinder(cfg.schema)
+	}
+	for _, st := range p.Stages {
+		if err := checkProvenance(st.Table, cfg.schema); err != nil {
+			return nil, err
+		}
+	}
 	t0 := time.Now()
 	prog, err := fdd.Fuse(p)
 	if err != nil {
@@ -56,9 +65,15 @@ func CompileFused(p *mat.Pipeline, opts ...Option) (*Pipeline, error) {
 		fusedStages: make([][]telemetry.TraceStage, len(prog.Rules)),
 	}
 	for _, c := range prog.Cols {
-		ct.cols = append(ct.cols, matchCol{
-			field: c.Name, fid: packet.FieldID(c.Name), meta: -1, width: c.Width,
-		})
+		col := matchCol{
+			field: c.Name, fid: packet.FieldID(c.Name), slot: -1, meta: -1, width: c.Width,
+		}
+		if binder != nil {
+			if col.slot = binder.Slot(c.Name); col.slot < 0 {
+				return nil, fmt.Errorf("dataplane: fused %s matches %q, not a field of schema %s", p.Name, c.Name, cfg.schema.Name)
+			}
+		}
+		ct.cols = append(ct.cols, col)
 	}
 	fullPlens := make([]uint8, len(prog.Cols))
 	for i, c := range prog.Cols {
@@ -67,7 +82,7 @@ func CompileFused(p *mat.Pipeline, opts ...Option) (*Pipeline, error) {
 	for ri, r := range prog.Rules {
 		var acts []Action
 		for _, a := range r.Acts {
-			if la := lowerFusedAct(a); la.Kind != actNone {
+			if la := lowerFusedAct(a, binder); la.Kind != actNone {
 				acts = append(acts, la)
 			}
 		}
@@ -81,7 +96,7 @@ func CompileFused(p *mat.Pipeline, opts ...Option) (*Pipeline, error) {
 		ct.fusedStages[ri] = fusedWitnessStages(r, metaIdx)
 	}
 
-	out := &Pipeline{Name: p.Name, tables: []*Table{ct}, start: 0, nMeta: 0, fusedT: ct, fusedFDD: cls}
+	out := &Pipeline{Name: p.Name, tables: []*Table{ct}, start: 0, nMeta: 0, fusedT: ct, fusedFDD: cls, schema: cfg.schema}
 	if cfg.reg != nil {
 		out.tel = &pipelineTel{
 			procNs: cfg.reg.Histogram(fmt.Sprintf("pipeline.%s.process_ns", out.Name)),
@@ -160,6 +175,63 @@ func (p *Pipeline) processFused(pkt *packet.Packet, ctx *Ctx) (Verdict, error) {
 	return v, nil
 }
 
+// processFusedView is the fused hot path over a decoded FieldView: the
+// same devirtualized single-lookup loop as processFused, with field reads
+// and writes going through the slot indices resolved by WithSchema. Kept
+// as a separate specialization so the default Packet path stays
+// byte-identical to its benchmarked shape.
+func (p *Pipeline) processFusedView(view *packet.FieldView, ctx *Ctx) (Verdict, error) {
+	var t0 time.Time
+	if p.tel != nil {
+		t0 = time.Now()
+		p.tel.stages[0].lookups.Inc()
+	}
+	t := p.fusedT
+	key := ctx.key[:len(t.cols)]
+	ei := -1
+	ok := true
+	for i := range t.cols {
+		if key[i], ok = view.Get(t.cols[i].slot); !ok {
+			break
+		}
+	}
+	if ok {
+		ei = p.fusedFDD.Lookup(key)
+	}
+	v := Verdict{Tables: 1}
+	if ei < 0 {
+		v.Drop = true
+		if p.tel != nil {
+			p.tel.stages[0].misses.Inc()
+			p.tel.procNs.Observe(float64(time.Since(t0)))
+		}
+		return v, nil
+	}
+	if p.tel != nil {
+		p.tel.stages[0].matches.Inc()
+	}
+	t.counters[ei].Add(1)
+	v.Tables = int(t.fusedTables[ei])
+	for _, a := range t.acts[ei] {
+		switch a.Kind {
+		case ActOutput:
+			v.Port = uint16(a.Value)
+		case ActDecTTL:
+			if ttl, tok := view.Get(a.Slot); tok && ttl > 0 {
+				view.Set(a.Slot, ttl-1)
+			}
+		case ActSetField:
+			view.Set(a.Slot, a.Value)
+		case ActDrop:
+			v.Drop = true
+		}
+	}
+	if p.tel != nil {
+		p.tel.procNs.Observe(float64(time.Since(t0)))
+	}
+	return v, nil
+}
+
 // FusedStats describes a compiled fused stage for stats readers.
 type FusedStats struct {
 	Rules  int `json:"rules"`
@@ -189,16 +261,16 @@ func (p *Pipeline) Fused() *FusedStats {
 const actNone ActionKind = 0xFF
 
 // lowerFusedAct maps one logical fused act to its physical action.
-func lowerFusedAct(a fdd.Act) Action {
+func lowerFusedAct(a fdd.Act, binder *packet.Binder) Action {
 	switch {
 	case a.Attr == "out":
 		return Action{Kind: ActOutput, Value: a.Value}
 	case a.Attr == "mod_ttl":
-		return Action{Kind: ActDecTTL}
+		return Action{Kind: ActDecTTL, Slot: ttlSlot(binder)}
 	case mat.IsLinkAttr(a.Attr):
 		return Action{Kind: actNone}
 	default:
-		return Action{Kind: ActSetField, Field: actionField(a.Attr), Value: a.Value}
+		return Action{Kind: ActSetField, Field: actionField(a.Attr), Slot: actionSlot(binder, a.Attr), Value: a.Value}
 	}
 }
 

@@ -19,6 +19,24 @@ import (
 // Explain is the sampled slow path of the trace facility; it allocates
 // (one Trace plus a record per stage) and is not meant for every packet.
 func (p *Pipeline) ProcessExplain(pkt *packet.Packet, ctx *Ctx) (Verdict, *telemetry.Trace, error) {
+	return p.explain(pkt, nil, ctx)
+}
+
+// ProcessExplainView is ProcessExplain over a decoded FieldView; the
+// pipeline must have been compiled with WithSchema on the view's schema.
+func (p *Pipeline) ProcessExplainView(view *packet.FieldView, ctx *Ctx) (Verdict, *telemetry.Trace, error) {
+	if p.schema == nil {
+		return Verdict{}, nil, fmt.Errorf("dataplane: pipeline %s was not compiled with WithSchema", p.Name)
+	}
+	if view.Schema() != p.schema {
+		return Verdict{}, nil, fmt.Errorf("dataplane: pipeline %s compiled for schema %s, view is %s", p.Name, p.schema.Name, view.Schema().Name)
+	}
+	return p.explain(nil, view, ctx)
+}
+
+// explain is the shared witness loop; exactly one of pkt and view is
+// non-nil.
+func (p *Pipeline) explain(pkt *packet.Packet, view *packet.FieldView, ctx *Ctx) (Verdict, *telemetry.Trace, error) {
 	wit := &telemetry.Trace{Pipeline: p.Name}
 	for i := range ctx.meta {
 		ctx.meta[i] = 0
@@ -41,7 +59,13 @@ func (p *Pipeline) ProcessExplain(pkt *packet.Packet, ctx *Ctx) (Verdict, *telem
 				key[i] = ctx.meta[c.meta]
 				continue
 			}
-			fv, ok := pkt.Field(c.field)
+			var fv uint64
+			var ok bool
+			if view != nil {
+				fv, ok = view.Get(c.slot)
+			} else {
+				fv, ok = pkt.Field(c.field)
+			}
 			if !ok {
 				miss = true
 				break
@@ -73,18 +97,7 @@ func (p *Pipeline) ProcessExplain(pkt *packet.Packet, ctx *Ctx) (Verdict, *telem
 			// Theorem-1 check sees the same per-table trace the interpreted
 			// pipeline would produce.
 			for _, a := range t.acts[ei] {
-				switch a.Kind {
-				case ActOutput:
-					v.Port = uint16(a.Value)
-				case ActDecTTL:
-					if pkt.HasIPv4 && pkt.TTL > 0 {
-						pkt.TTL--
-					}
-				case ActSetField:
-					pkt.SetField(a.Field, a.Value)
-				case ActDrop:
-					v.Drop = true
-				}
+				applyExplainAct(a, pkt, view, &v)
 			}
 			v.Tables = int(t.fusedTables[ei])
 			wit.Stages = append(wit.Stages, t.fusedStages[ei]...)
@@ -94,19 +107,12 @@ func (p *Pipeline) ProcessExplain(pkt *packet.Packet, ctx *Ctx) (Verdict, *telem
 		setsMeta := false
 		for _, a := range t.acts[ei] {
 			st.Actions = append(st.Actions, renderAction(a))
-			switch a.Kind {
-			case ActOutput:
-				v.Port = uint16(a.Value)
-			case ActSetMeta:
+			if a.Kind == ActSetMeta {
 				ctx.meta[a.Meta] = a.Value
 				setsMeta = true
-			case ActDecTTL:
-				if pkt.HasIPv4 && pkt.TTL > 0 {
-					pkt.TTL--
-				}
-			case ActSetField:
-				pkt.SetField(a.Field, a.Value)
+				continue
 			}
+			applyExplainAct(a, pkt, view, &v)
 		}
 		g := t.gotos[ei]
 		st.Join = joinName(g, setsMeta, t.next)
@@ -119,6 +125,31 @@ func (p *Pipeline) ProcessExplain(pkt *packet.Packet, ctx *Ctx) (Verdict, *telem
 	}
 	wit.Drop, wit.Port, wit.Tables = v.Drop, v.Port, v.Tables
 	return v, wit, nil
+}
+
+// applyExplainAct applies one non-metadata action on whichever packet
+// representation the explain run carries.
+func applyExplainAct(a Action, pkt *packet.Packet, view *packet.FieldView, v *Verdict) {
+	switch a.Kind {
+	case ActOutput:
+		v.Port = uint16(a.Value)
+	case ActDecTTL:
+		if view != nil {
+			if ttl, ok := view.Get(a.Slot); ok && ttl > 0 {
+				view.Set(a.Slot, ttl-1)
+			}
+		} else if pkt.HasIPv4 && pkt.TTL > 0 {
+			pkt.TTL--
+		}
+	case ActSetField:
+		if view != nil {
+			view.Set(a.Slot, a.Value)
+		} else {
+			pkt.SetField(a.Field, a.Value)
+		}
+	case ActDrop:
+		v.Drop = true
+	}
 }
 
 // joinName classifies the mechanism that carries execution onward from a

@@ -16,23 +16,35 @@ import (
 // corpusFile is the on-disk reproducer format: the universal table in the
 // mat JSON codec, the packets as hex-encoded wire frames (so replay
 // parses exactly the bytes the divergence was found on), and the
-// divergence kind recorded when the file was written.
+// divergence kind recorded when the file was written. Schema-mode
+// reproducers additionally carry the parse graph (the packet types are
+// JSON-serializable; Verify hooks are dropped, which the generators never
+// rely on) — when Graph is present the frames replay through its compiled
+// decoder instead of the canonical parser.
 type corpusFile struct {
-	Seed   int64      `json:"seed"`
-	Note   string     `json:"note,omitempty"`
-	Kind   string     `json:"kind,omitempty"`
-	Caveat bool       `json:"caveat,omitempty"`
-	Table  *mat.Table `json:"table"`
-	Frames []string   `json:"frames"`
+	Seed   int64              `json:"seed"`
+	Note   string             `json:"note,omitempty"`
+	Kind   string             `json:"kind,omitempty"`
+	Caveat bool               `json:"caveat,omitempty"`
+	Graph  *packet.ParseGraph `json:"graph,omitempty"`
+	Table  *mat.Table         `json:"table"`
+	Frames []string           `json:"frames"`
 }
 
 // MarshalCorpus serializes a program (plus the divergence kind that
 // triggered the write) into the corpus JSON format.
 func MarshalCorpus(p *Program, kind string) ([]byte, error) {
-	cf := corpusFile{Seed: p.Seed, Note: p.Note, Kind: kind, Caveat: p.Caveat, Table: p.Table}
-	cf.Frames = make([]string, len(p.Packets))
-	for i, pk := range p.Packets {
-		cf.Frames[i] = hex.EncodeToString(pk.Marshal(nil))
+	cf := corpusFile{Seed: p.Seed, Note: p.Note, Kind: kind, Caveat: p.Caveat, Graph: p.Graph, Table: p.Table}
+	if p.SchemaMode() {
+		cf.Frames = make([]string, len(p.Frames))
+		for i, f := range p.Frames {
+			cf.Frames[i] = hex.EncodeToString(f)
+		}
+	} else {
+		cf.Frames = make([]string, len(p.Packets))
+		for i, pk := range p.Packets {
+			cf.Frames[i] = hex.EncodeToString(pk.Marshal(nil))
+		}
 	}
 	return json.MarshalIndent(cf, "", "  ")
 }
@@ -47,7 +59,27 @@ func UnmarshalCorpus(b []byte) (*Program, string, error) {
 	if cf.Table == nil {
 		return nil, "", fmt.Errorf("difftest: corpus: no table")
 	}
-	p := &Program{Seed: cf.Seed, Note: cf.Note, Caveat: cf.Caveat, Table: cf.Table}
+	p := &Program{Seed: cf.Seed, Note: cf.Note, Caveat: cf.Caveat, Graph: cf.Graph, Table: cf.Table}
+	if cf.Graph != nil {
+		// Validate the deserialized graph (and every frame against it) up
+		// front, so a corrupt reproducer fails here rather than mid-replay.
+		dec, err := cf.Graph.Compile()
+		if err != nil {
+			return nil, "", fmt.Errorf("difftest: corpus graph: %w", err)
+		}
+		view := dec.NewView()
+		for i, h := range cf.Frames {
+			raw, err := hex.DecodeString(h)
+			if err != nil {
+				return nil, "", fmt.Errorf("difftest: corpus frame %d: %w", i, err)
+			}
+			if err := dec.ParseInto(view, raw); err != nil {
+				return nil, "", fmt.Errorf("difftest: corpus frame %d: %w", i, err)
+			}
+			p.Frames = append(p.Frames, raw)
+		}
+		return p, cf.Kind, nil
+	}
 	for i, h := range cf.Frames {
 		raw, err := hex.DecodeString(h)
 		if err != nil {

@@ -49,24 +49,52 @@ type Program struct {
 	// Ethernet/VLAN/IPv4/TCP frames so the relational record and the
 	// parsed wire frame agree on every canonical field.
 	Packets []*packet.Packet
+	// Graph, when non-nil, puts the program in schema mode: the table is
+	// written against the graph's header schema and the input batch is
+	// Frames (decoded through the compiled graph), not Packets. Generated
+	// by GenerateSchema and PlantSchemaHazard.
+	Graph *packet.ParseGraph
+	// Frames is the schema-mode input batch as wire frames; every
+	// executor parses its own view from the bytes, as a real datapath
+	// would.
+	Frames [][]byte
 }
 
-// Clone deep-copies the program.
+// SchemaMode reports whether the program is driven through a custom
+// header schema (Graph/Frames) rather than the canonical Packet batch.
+func (p *Program) SchemaMode() bool { return p.Graph != nil }
+
+// NumInputs returns the input batch length in either mode.
+func (p *Program) NumInputs() int {
+	if p.SchemaMode() {
+		return len(p.Frames)
+	}
+	return len(p.Packets)
+}
+
+// Clone deep-copies the program. The parse graph is shared: it is
+// immutable after construction.
 func (p *Program) Clone() *Program {
-	q := &Program{Seed: p.Seed, Note: p.Note, Caveat: p.Caveat, Table: p.Table.Clone()}
+	q := &Program{Seed: p.Seed, Note: p.Note, Caveat: p.Caveat, Table: p.Table.Clone(), Graph: p.Graph}
 	q.Packets = make([]*packet.Packet, len(p.Packets))
 	for i, pk := range p.Packets {
 		c := *pk
 		c.Payload = append([]byte(nil), pk.Payload...)
 		q.Packets[i] = &c
 	}
+	if p.Frames != nil {
+		q.Frames = make([][]byte, len(p.Frames))
+		for i, f := range p.Frames {
+			q.Frames[i] = append([]byte(nil), f...)
+		}
+	}
 	return q
 }
 
-// Size is the shrink metric: schema attributes + entries + packets. The
+// Size is the shrink metric: schema attributes + entries + inputs. The
 // shrinker only accepts candidates that strictly decrease it.
 func (p *Program) Size() int {
-	return len(p.Table.Schema) + len(p.Table.Entries) + len(p.Packets)
+	return len(p.Table.Schema) + len(p.Table.Entries) + p.NumInputs()
 }
 
 // Divergence kinds, roughly ordered by layer.

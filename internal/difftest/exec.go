@@ -3,6 +3,7 @@ package difftest
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"manorm/internal/core"
 	"manorm/internal/dataplane"
@@ -11,6 +12,7 @@ import (
 	"manorm/internal/netkat"
 	"manorm/internal/packet"
 	"manorm/internal/switches"
+	"manorm/internal/telemetry"
 )
 
 // mutTargets maps the generator's rewriting actions onto the canonical
@@ -106,12 +108,41 @@ func Execute(p *Program, cfg ExecConfig) ([]Divergence, error) {
 	uni := vs[0].Pipeline
 	hasOut := p.Table.Schema.Index("out") >= 0
 
+	// Inputs. In canonical mode the batch is p.Packets, marshaled once to
+	// frames for the compiled layers. In schema mode the batch is raw
+	// frames and the program's parse graph is compiled once; the record the
+	// relational layers see is exactly the decoded FieldView — so a codec
+	// or parser bug surfaces as a divergence between the relational and
+	// compiled layers, which both consume the same bytes.
+	n := p.NumInputs()
+	recs := make([]mat.Record, n)
+	var frames [][]byte
+	var dec *packet.Decoder
+	if p.SchemaMode() {
+		dec, err = p.Graph.Compile()
+		if err != nil {
+			return nil, fmt.Errorf("difftest: compile parse graph: %w", err)
+		}
+		frames = p.Frames
+		view := dec.NewView()
+		for i, f := range frames {
+			if err := dec.ParseInto(view, f); err != nil {
+				return nil, fmt.Errorf("difftest: parse frame %d: %w", i, err)
+			}
+			recs[i] = view.Record()
+		}
+	} else {
+		frames = make([][]byte, n)
+		for i, pkt := range p.Packets {
+			recs[i] = pkt.Record()
+			frames[i] = pkt.Marshal(nil)
+		}
+	}
+
 	// Ground truth: the universal 1NF table under the relational
 	// semantics. If even that is ambiguous the program itself is broken.
-	expected := make([]truth, len(p.Packets))
-	recs := make([]mat.Record, len(p.Packets))
-	for i, pkt := range p.Packets {
-		recs[i] = pkt.Record()
+	expected := make([]truth, n)
+	for i := range recs {
 		out, err := uni.Eval(recs[i])
 		if err != nil {
 			add(KindEval, "universal", "", i, "%v", err)
@@ -122,7 +153,7 @@ func Execute(p *Program, cfg ExecConfig) ([]Divergence, error) {
 
 	// Relational cross-check of every other representation.
 	for _, v := range vs[1:] {
-		for i := range p.Packets {
+		for i := range recs {
 			out, err := v.Pipeline.Eval(recs[i])
 			if err != nil {
 				add(KindEval, v.Name, "", i, "%v", err)
@@ -160,27 +191,39 @@ func Execute(p *Program, cfg ExecConfig) ([]Divergence, error) {
 		}
 	}
 
-	// Compiled execution. Frames are marshaled once; every executor
-	// parses its own copy, as a real datapath would.
-	frames := make([][]byte, len(p.Packets))
-	for i, pkt := range p.Packets {
-		frames[i] = pkt.Marshal(nil)
-	}
-
 	// Raw dataplane: verdicts, witness consistency, header mutations.
+	// Every executor reparses its own copy of the frame bytes, as a real
+	// datapath would.
+	dpOpts := []dataplane.Option(nil)
+	if dec != nil {
+		dpOpts = append(dpOpts, dataplane.WithSchema(dec.Schema()))
+	}
 	for _, v := range compiled {
-		dp, err := dataplane.Compile(v.Pipeline, dataplane.AutoTemplates)
+		dp, err := dataplane.Compile(v.Pipeline, dataplane.AutoTemplates, dpOpts...)
 		if err != nil {
 			add(KindConstruct, v.Name, "dataplane", -1, "compile: %v", err)
 			continue
 		}
 		ctx := dp.NewCtx()
 		var scratch packet.Packet
-		for i := range p.Packets {
-			if err := scratch.ParseInto(frames[i]); err != nil {
-				return nil, fmt.Errorf("difftest: reparse frame %d: %w", i, err)
+		var view *packet.FieldView
+		if dec != nil {
+			view = dec.NewView()
+		}
+		for i := range frames {
+			var verd dataplane.Verdict
+			var wit *telemetry.Trace
+			if view != nil {
+				if err := dec.ParseInto(view, frames[i]); err != nil {
+					return nil, fmt.Errorf("difftest: reparse frame %d: %w", i, err)
+				}
+				verd, wit, err = dp.ProcessExplainView(view, ctx)
+			} else {
+				if err := scratch.ParseInto(frames[i]); err != nil {
+					return nil, fmt.Errorf("difftest: reparse frame %d: %w", i, err)
+				}
+				verd, wit, err = dp.ProcessExplain(&scratch, ctx)
 			}
-			verd, wit, err := dp.ProcessExplain(&scratch, ctx)
 			if err != nil {
 				add(KindEval, v.Name, "dataplane", i, "%v", err)
 				break
@@ -199,7 +242,13 @@ func Execute(p *Program, cfg ExecConfig) ([]Divergence, error) {
 				break
 			}
 			if !exp.drop {
-				if d := checkMutations(p.Table.Schema, exp.obs, p.Packets[i], &scratch); d != "" {
+				var d string
+				if view != nil {
+					d = checkViewMutations(p.Table.Schema, exp.obs, recs[i], view)
+				} else {
+					d = checkMutations(p.Table.Schema, exp.obs, p.Packets[i], &scratch)
+				}
+				if d != "" {
 					add(KindMutation, v.Name, "dataplane", i, "%s", d)
 					break
 				}
@@ -215,8 +264,12 @@ func Execute(p *Program, cfg ExecConfig) ([]Divergence, error) {
 	// and must replay identical verdicts.
 	out1 := make([]dataplane.Verdict, len(frames))
 	out2 := make([]dataplane.Verdict, len(frames))
+	swOpts := []switches.Option(nil)
+	if dec != nil {
+		swOpts = append(swOpts, switches.WithSchema(dec))
+	}
 	for _, model := range cfg.Models {
-		sw, err := switches.New(model)
+		sw, err := switches.New(model, swOpts...)
 		if err != nil {
 			return nil, err
 		}
@@ -274,6 +327,31 @@ func checkMutations(sch mat.Schema, obs mat.Record, orig *packet.Packet, got *pa
 		have, _ := got.Field(fldName)
 		if have != want {
 			return fmt.Sprintf("%s: header %s = %d, want %d", name, fldName, have, want)
+		}
+	}
+	return ""
+}
+
+// checkViewMutations is checkMutations for schema mode. The canonical
+// mutTargets map is replaced by the naming convention the schema
+// generators follow: any action attribute "mod_<field>" where <field> is
+// a field of the view's schema must leave that field equal to the value
+// the relational semantics assigned — or its originally parsed value when
+// the relational run never wrote it.
+func checkViewMutations(sch mat.Schema, obs mat.Record, orig mat.Record, got *packet.FieldView) string {
+	for _, ai := range sch.Actions() {
+		name := sch[ai].Name
+		fld, isMod := strings.CutPrefix(name, "mod_")
+		if !isMod || got.Schema().Slot(fld) < 0 {
+			continue
+		}
+		want, wrote := obs[name]
+		if !wrote {
+			want = orig[fld]
+		}
+		have, _ := got.GetName(fld)
+		if have != want {
+			return fmt.Sprintf("%s: field %s = %#x, want %#x", name, fld, have, want)
 		}
 	}
 	return ""

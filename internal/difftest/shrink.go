@@ -45,6 +45,15 @@ func Shrink(p *Program, cfg ExecConfig) *Program {
 			}
 		}
 
+		// Schema-mode frames, same discipline.
+		for i := len(cur.Frames) - 1; i >= 0 && len(cur.Frames) > 1; i-- {
+			c := cur.Clone()
+			c.Frames = append(c.Frames[:i], c.Frames[i+1:]...)
+			if still(c) {
+				cur, changed = c, true
+			}
+		}
+
 		// Entries.
 		for i := len(cur.Table.Entries) - 1; i >= 0 && len(cur.Table.Entries) > 1; i-- {
 			c := cur.Clone()
@@ -70,6 +79,7 @@ func Shrink(p *Program, cfg ExecConfig) *Program {
 			}
 			c := cur.Clone()
 			c.Table = cur.Table.Project(cur.Table.Name, keep)
+			c.Table.Provenance = cur.Table.Provenance
 			if still(c) {
 				cur, changed = c, true
 			}

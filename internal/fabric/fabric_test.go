@@ -367,7 +367,7 @@ func TestFabricChurnUnderPartitionedChurn(t *testing.T) {
 
 	// The faults actually happened: the cut forced a reconnect on sw0 and
 	// the partitions forced at least one resync.
-	if rc := h.f.Members()[0].Client().Metrics().Reconnects; rc == 0 {
+	if rc := h.f.Members()[0].Client().Stats().Counters["reconnects"]; rc == 0 {
 		t.Error("forced cut produced no reconnect")
 	}
 	var resyncs int64

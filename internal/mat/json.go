@@ -8,9 +8,10 @@ import (
 // jsonTable is the on-disk form of a Table: attribute descriptors plus rows
 // of textual cells ("*", "42", "192.0.2.0/24").
 type jsonTable struct {
-	Name    string     `json:"name"`
-	Attrs   []jsonAttr `json:"attrs"`
-	Entries [][]string `json:"entries"`
+	Name       string     `json:"name"`
+	Provenance string     `json:"provenance,omitempty"`
+	Attrs      []jsonAttr `json:"attrs"`
+	Entries    [][]string `json:"entries"`
 }
 
 type jsonAttr struct {
@@ -32,7 +33,7 @@ type jsonPipeline struct {
 }
 
 func toJSONTable(t *Table) jsonTable {
-	jt := jsonTable{Name: t.Name}
+	jt := jsonTable{Name: t.Name, Provenance: t.Provenance}
 	for _, a := range t.Schema {
 		jt.Attrs = append(jt.Attrs, jsonAttr{Name: a.Name, Kind: a.Kind.String(), Width: a.Width})
 	}
@@ -61,6 +62,7 @@ func fromJSONTable(jt jsonTable) (*Table, error) {
 		sch[i] = Attr{Name: a.Name, Kind: k, Width: a.Width}
 	}
 	t := New(jt.Name, sch)
+	t.Provenance = jt.Provenance
 	if err := sch.Validate(); err != nil {
 		return nil, err
 	}

@@ -24,6 +24,12 @@ type Table struct {
 	Name    string
 	Schema  Schema
 	Entries []Entry
+	// Provenance records which header schema the table's attribute names
+	// were minted against ("" = unspecified, treated as the default
+	// stack). The dataplane compiler cross-checks it against the schema a
+	// pipeline is compiled with, so a VXLAN program cannot silently bind
+	// to the default parser.
+	Provenance string
 }
 
 // New constructs an empty table over the given schema.
@@ -61,7 +67,7 @@ func (t *Table) Validate() error {
 
 // Clone returns a deep copy of the table.
 func (t *Table) Clone() *Table {
-	out := &Table{Name: t.Name, Schema: append(Schema(nil), t.Schema...)}
+	out := &Table{Name: t.Name, Schema: append(Schema(nil), t.Schema...), Provenance: t.Provenance}
 	out.Entries = make([]Entry, len(t.Entries))
 	for i, e := range t.Entries {
 		out.Entries[i] = e.Clone()

@@ -1,0 +1,90 @@
+package netkat_test
+
+import (
+	"testing"
+
+	"manorm/internal/mat"
+	"manorm/internal/netkat"
+	"manorm/internal/usecases"
+)
+
+// The oracle is record-based: nothing in it knows the canonical packet
+// layout, so it must work unchanged over programs matching arbitrary
+// schema fields. These tests pin that property down on the VXLAN use
+// case, whose fields (vxlan_vni, inner_eth_dst) exist only in a shipped
+// non-default header schema.
+
+// TestDomainOverSchemaFields: DomainOf must enumerate probe values for
+// arbitrary-width schema fields exactly as it does for canonical ones —
+// every distinct matched value plus an off-value per field.
+func TestDomainOverSchemaFields(t *testing.T) {
+	g := usecases.GenerateVXLAN(4, 3, 7)
+	p, err := g.Build(usecases.RepUniversal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := netkat.DomainOfPipelines(p)
+	if len(dom["vxlan_vni"]) < 4 {
+		t.Fatalf("vxlan_vni domain too small: %v", dom["vxlan_vni"])
+	}
+	if len(dom["inner_eth_dst"]) < 4*3 {
+		t.Fatalf("inner_eth_dst domain too small: %d values", len(dom["inner_eth_dst"]))
+	}
+	if dom.Size() != len(dom["vxlan_vni"])*len(dom["inner_eth_dst"]) {
+		t.Fatalf("size %d inconsistent with per-field counts", dom.Size())
+	}
+}
+
+// TestEquivalenceOverSchemaFields: the universal and goto builds of the
+// VXLAN gateway must be oracle-equivalent over the arbitrary-field
+// domain, and a single perturbed output must produce a counterexample
+// whose record carries the schema fields.
+func TestEquivalenceOverSchemaFields(t *testing.T) {
+	g := usecases.GenerateVXLAN(4, 3, 7)
+	u, err := g.Build(usecases.RepUniversal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := g.Build(usecases.RepGoto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cex, exhaustive, err := netkat.EquivalentPipelines(u, gt, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exhaustive {
+		t.Fatal("domain not exhausted; raise the limit")
+	}
+	if cex != nil {
+		t.Fatalf("universal and goto VXLAN builds diverge: %v", cex)
+	}
+
+	// Perturb one forwarding decision in a fresh goto build: the oracle
+	// must find it and the counterexample must mention the schema field.
+	bad, err := g.Build(usecases.RepGoto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := bad.Stages[len(bad.Stages)-1].Table
+	out := -1
+	for i, a := range last.Schema {
+		if a.Kind == mat.Action && a.Name == "out" {
+			out = i
+		}
+	}
+	if out < 0 {
+		t.Fatalf("no out action in %s", last.Name)
+	}
+	last.Entries[0][out] = mat.Exact(last.Entries[0][out].Bits+1, last.Schema[out].Width)
+	cex, _, err = netkat.EquivalentPipelines(u, bad, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cex == nil {
+		t.Fatal("oracle missed a perturbed forwarding decision over schema fields")
+	}
+	if _, ok := cex.Input["vxlan_vni"]; !ok {
+		t.Fatalf("counterexample input lacks the schema field: %v", cex.Input)
+	}
+}

@@ -521,33 +521,11 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// ClientMetrics snapshots the client's resilience counters and RPC
-// latency profile — the control-channel health view the fault experiments
-// report.
-type ClientMetrics struct {
-	// ModsSent counts flow-mods issued by the caller; ModsResent counts
-	// wire-level re-deliveries after drops or reconnects.
-	ModsSent   int64
-	ModsResent int64
-	// Retries counts RPC retry attempts (timeouts and unacknowledged
-	// flow-mod rounds); Timeouts counts per-attempt deadline expiries.
-	Retries  int64
-	Timeouts int64
-	// Reconnects counts successful re-dials.
-	Reconnects int64
-	// SwitchErrors counts switch-side flow-mod rejections.
-	SwitchErrors int64
-	// RPCs counts successful round trips; the latency quantiles are
-	// measured over them, in milliseconds.
-	RPCs            int64
-	RPCLatencyP50Ms float64
-	RPCLatencyP99Ms float64
-}
-
 // Stats reports the unified telemetry view of the control channel
 // (telemetry.Provider): the resilience counters plus the RPC latency
-// profile as a percentile snapshot in nanoseconds. It subsumes Metrics;
-// the JSON metrics endpoints export this form.
+// profile as a percentile snapshot in nanoseconds. The JSON metrics
+// endpoints export this form, and it is the only metrics surface — the
+// struct-typed Metrics view it once subsumed is gone.
 func (c *Client) Stats() telemetry.Snapshot {
 	c.mu.Lock()
 	h := telemetry.HistogramSnapshot{
@@ -558,45 +536,22 @@ func (c *Client) Stats() telemetry.Snapshot {
 		P90:   c.lat.Quantile(0.9),
 		P99:   c.lat.Quantile(0.99),
 	}
+	rpcs := c.rpcs
 	c.mu.Unlock()
 	h.Sum = h.Mean * float64(h.Count)
-	m := c.Metrics()
 	return telemetry.Snapshot{
 		Name: "openflow_client",
 		Counters: map[string]uint64{
-			"mods_sent":     uint64(m.ModsSent),
-			"mods_resent":   uint64(m.ModsResent),
-			"retries":       uint64(m.Retries),
-			"timeouts":      uint64(m.Timeouts),
-			"reconnects":    uint64(m.Reconnects),
-			"switch_errors": uint64(m.SwitchErrors),
-			"rpcs":          uint64(m.RPCs),
+			"mods_sent":     uint64(atomic.LoadInt64(&c.ModsSent)),
+			"mods_resent":   uint64(atomic.LoadInt64(&c.modsResent)),
+			"retries":       uint64(atomic.LoadInt64(&c.retries)),
+			"timeouts":      uint64(atomic.LoadInt64(&c.timeouts)),
+			"reconnects":    uint64(atomic.LoadInt64(&c.reconnects)),
+			"switch_errors": uint64(atomic.LoadInt64(&c.switchErrs)),
+			"rpcs":          uint64(rpcs),
 		},
 		Histograms: map[string]telemetry.HistogramSnapshot{
 			"rpc_latency_ns": h,
 		},
-	}
-}
-
-// Metrics returns a consistent snapshot of the client's counters.
-//
-// Deprecated: use Stats, the unified telemetry surface. Metrics remains
-// as a thin struct-typed view for existing callers.
-func (c *Client) Metrics() ClientMetrics {
-	c.mu.Lock()
-	p50 := c.lat.Quantile(0.5) / 1e6
-	p99 := c.lat.Quantile(0.99) / 1e6
-	rpcs := c.rpcs
-	c.mu.Unlock()
-	return ClientMetrics{
-		ModsSent:        atomic.LoadInt64(&c.ModsSent),
-		ModsResent:      atomic.LoadInt64(&c.modsResent),
-		Retries:         atomic.LoadInt64(&c.retries),
-		Timeouts:        atomic.LoadInt64(&c.timeouts),
-		Reconnects:      atomic.LoadInt64(&c.reconnects),
-		SwitchErrors:    atomic.LoadInt64(&c.switchErrs),
-		RPCs:            rpcs,
-		RPCLatencyP50Ms: p50,
-		RPCLatencyP99Ms: p99,
 	}
 }

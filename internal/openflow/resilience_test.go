@@ -13,6 +13,7 @@ import (
 	"manorm/internal/faultconn"
 	"manorm/internal/mat"
 	"manorm/internal/switches"
+	"manorm/internal/telemetry"
 	"manorm/internal/usecases"
 )
 
@@ -134,12 +135,12 @@ func TestBarrierResendsDroppedFlowMods(t *testing.T) {
 		t.Fatalf("barrier over lossy channel: %v", err)
 	}
 
-	m := client.Metrics()
-	if m.ModsResent != 1 {
-		t.Errorf("ModsResent = %d, want 1", m.ModsResent)
+	m := client.Stats()
+	if n := m.Counters["mods_resent"]; n != 1 {
+		t.Errorf("mods_resent = %d, want 1", n)
 	}
-	if m.Reconnects != 0 {
-		t.Errorf("Reconnects = %d, want 0 (conn stayed healthy)", m.Reconnects)
+	if n := m.Counters["reconnects"]; n != 0 {
+		t.Errorf("reconnects = %d, want 0 (conn stayed healthy)", n)
 	}
 	if agent.ModsApplied != 2 {
 		t.Errorf("ModsApplied = %d, want 2 (no mod lost)", agent.ModsApplied)
@@ -157,7 +158,7 @@ func TestResendIsIdempotentAcrossReconnect(t *testing.T) {
 	if testing.Short() {
 		t.Skip("dials TCP")
 	}
-	run := func(cut bool) (string, ClientMetrics, *Agent) {
+	run := func(cut bool) (string, telemetry.Snapshot, *Agent) {
 		g := usecases.Fig1()
 		p, err := g.Build(usecases.RepGoto)
 		if err != nil {
@@ -237,16 +238,16 @@ func TestResendIsIdempotentAcrossReconnect(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return string(state), client.Metrics(), agent
+		return string(state), client.Stats(), agent
 	}
 
 	wantState, _, _ := run(false)
 	gotState, m, agent := run(true)
-	if m.Reconnects != 1 {
-		t.Errorf("Reconnects = %d, want 1", m.Reconnects)
+	if n := m.Counters["reconnects"]; n != 1 {
+		t.Errorf("reconnects = %d, want 1", n)
 	}
-	if m.ModsResent == 0 {
-		t.Errorf("ModsResent = 0, want > 0 (queue replay after cut)")
+	if m.Counters["mods_resent"] == 0 {
+		t.Errorf("mods_resent = 0, want > 0 (queue replay after cut)")
 	}
 	if got := atomic.LoadInt64(&agent.Sessions); got != 2 {
 		t.Errorf("agent sessions = %d, want 2", got)
@@ -326,8 +327,8 @@ func TestSwitchRejectionSurfacesAsTypedError(t *testing.T) {
 	if !errors.As(err, &oe) || oe.Op != "barrier" {
 		t.Errorf("err = %v, want wrapped in a barrier OpError", err)
 	}
-	if m := client.Metrics(); m.SwitchErrors != 1 {
-		t.Errorf("SwitchErrors = %d, want 1", m.SwitchErrors)
+	if n := client.Stats().Counters["switch_errors"]; n != 1 {
+		t.Errorf("switch_errors = %d, want 1", n)
 	}
 	// The channel is still healthy afterwards.
 	if err := client.Echo(ctx, []byte("ok")); err != nil {

@@ -1,11 +1,3 @@
-// Package packet implements the concrete packets the dataplane substrates
-// process: Ethernet (optionally 802.1Q-tagged) / IPv4 / TCP-UDP headers
-// with parsing, serialization and checksum handling, plus a bridge to the
-// attribute-name view used by the match-action model (internal/mat).
-//
-// The layout follows the classic layered decoders (cf. gopacket): a Packet
-// is the decoded header record; Parse fills it from wire bytes and Marshal
-// writes it back, recomputing checksums.
 package packet
 
 import (
@@ -41,6 +33,12 @@ const (
 
 // Packet is a decoded Ethernet/IPv4/L4 packet. Zero-valued fields of
 // layers beyond ParsedLayers are meaningless.
+//
+// Deprecated: direct struct-field access ties callers to the fixed
+// default header stack. New code should read and write fields through
+// the accessors (Field/SetField/FieldByID) or, for schema-driven paths,
+// through a FieldView — the struct fields remain exported only for the
+// default schema's codec and the packages still being migrated.
 type Packet struct {
 	// Ethernet.
 	EthDst  uint64 // 48-bit MAC

@@ -1,0 +1,332 @@
+package packet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Transition is one edge of a parse graph: when the state's select field
+// equals Value, parsing continues at header Next.
+type Transition struct {
+	Value uint64 `json:"value"`
+	Next  string `json:"next"`
+}
+
+// State describes what happens after one header is decoded. Select names
+// the field steering the transition (a field of the current header or of
+// one parsed earlier); an empty Select with a non-empty Default is an
+// unconditional transition, and an empty Select with an empty Default
+// accepts. When Select is set, a value matching no Transition falls back
+// to Default ("" = accept).
+type State struct {
+	Select      string       `json:"select,omitempty"`
+	Transitions []Transition `json:"transitions,omitempty"`
+	Default     string       `json:"default,omitempty"`
+}
+
+// ParseGraph is a programmable parser over a header schema: states are
+// headers, edges are keyed on a select field (EtherType, IP proto, UDP
+// destination port, ...). Transitions must go forward in schema header
+// order, so the graph is a DAG and every parse terminates. Compile turns
+// the graph into a table-driven Decoder once; decoding is then a loop of
+// bounds check → field extraction → one select lookup per header, with no
+// per-protocol code.
+type ParseGraph struct {
+	Schema *HeaderSchema    `json:"schema"`
+	Start  string           `json:"start"`
+	States map[string]State `json:"states,omitempty"`
+}
+
+// transEdge is one compiled transition.
+type transEdge struct {
+	v    uint64
+	next int // state index
+}
+
+// decState is one compiled parser state.
+type decState struct {
+	hdr     int // header index in the schema
+	size    int // header wire size, bytes
+	first   int // first slot of the header
+	nFields int
+	selSlot int // slot steering the transition; -1 = no select
+	trans   []transEdge
+	def     int // fallback next state; -1 = accept
+	verify  func([]byte) bool
+}
+
+// Decoder is a compiled parse graph: a state table the hot path walks
+// per frame. Decoders are immutable after Compile and safe for concurrent
+// use; each worker pairs one with its own reusable FieldView.
+type Decoder struct {
+	schema   *HeaderSchema
+	graph    *ParseGraph
+	states   []decState
+	start    int
+	slotMask []uint64 // per-slot presence-bit mask (1 << header index)
+	legacy   bool
+}
+
+// ErrFrameTooShort reports a frame shorter than the start header.
+var ErrFrameTooShort = errors.New("packet: frame too short")
+
+// Compile validates the graph and builds the table-driven decoder.
+// Validation enforces: a known start header; select fields that exist in
+// the schema and belong to the current header or an earlier one; and
+// transitions that only move forward in schema header order (the DAG
+// property that bounds every parse and makes declaration order the wire
+// order for encoding).
+func (g *ParseGraph) Compile() (*Decoder, error) {
+	if g.Schema == nil {
+		return nil, fmt.Errorf("packet: parse graph has no schema")
+	}
+	if err := g.Schema.init(); err != nil {
+		return nil, err
+	}
+	s := g.Schema
+	startIdx := s.HeaderIndex(g.Start)
+	if startIdx < 0 {
+		return nil, fmt.Errorf("packet: parse graph for %s: unknown start header %q", s.Name, g.Start)
+	}
+	d := &Decoder{
+		schema:   s,
+		graph:    g,
+		states:   make([]decState, len(s.Headers)),
+		start:    startIdx,
+		slotMask: make([]uint64, len(s.slots)),
+		legacy:   s.legacy,
+	}
+	for i, sl := range s.slots {
+		d.slotMask[i] = 1 << uint(sl.hdr)
+	}
+	// One decoder state per header; headers without an entry in States
+	// accept after decoding.
+	firstSlot := make([]int, len(s.Headers))
+	nFields := make([]int, len(s.Headers))
+	for i, sl := range s.slots {
+		if nFields[sl.hdr] == 0 {
+			firstSlot[sl.hdr] = i
+		}
+		nFields[sl.hdr]++
+	}
+	for hi, h := range s.Headers {
+		st := decState{
+			hdr: hi, size: s.headerBytes(hi),
+			first: firstSlot[hi], nFields: nFields[hi],
+			selSlot: -1, def: -1, verify: h.Verify,
+		}
+		gs, ok := g.States[h.Name]
+		if ok {
+			if gs.Select != "" {
+				sel := s.Slot(gs.Select)
+				if sel < 0 {
+					return nil, fmt.Errorf("packet: parse graph for %s: state %s selects unknown field %q", s.Name, h.Name, gs.Select)
+				}
+				if s.slots[sel].hdr > hi {
+					return nil, fmt.Errorf("packet: parse graph for %s: state %s selects %q from a later header", s.Name, h.Name, gs.Select)
+				}
+				st.selSlot = sel
+			} else if len(gs.Transitions) > 0 {
+				return nil, fmt.Errorf("packet: parse graph for %s: state %s has transitions but no select field", s.Name, h.Name)
+			}
+			next := func(name string) (int, error) {
+				ni := s.HeaderIndex(name)
+				if ni < 0 {
+					return 0, fmt.Errorf("packet: parse graph for %s: state %s transitions to unknown header %q", s.Name, h.Name, name)
+				}
+				if ni <= hi {
+					return 0, fmt.Errorf("packet: parse graph for %s: state %s transitions backward to %q", s.Name, h.Name, name)
+				}
+				return ni, nil
+			}
+			for _, tr := range gs.Transitions {
+				ni, err := next(tr.Next)
+				if err != nil {
+					return nil, err
+				}
+				st.trans = append(st.trans, transEdge{v: tr.Value, next: ni})
+			}
+			if gs.Default != "" {
+				ni, err := next(gs.Default)
+				if err != nil {
+					return nil, err
+				}
+				st.def = ni
+			}
+		}
+		d.states[hi] = st
+	}
+	return d, nil
+}
+
+// Schema returns the decoder's header schema.
+func (d *Decoder) Schema() *HeaderSchema { return d.schema }
+
+// Graph returns the parse graph the decoder was compiled from.
+func (d *Decoder) Graph() *ParseGraph { return d.graph }
+
+// NewView allocates a FieldView sized for the decoder's schema. Views are
+// reused across ParseInto calls; create one per worker.
+func (d *Decoder) NewView() *FieldView {
+	v := &FieldView{dec: d, slots: make([]uint64, len(d.schema.slots))}
+	if d.legacy {
+		v.lp = &Packet{}
+	}
+	return v
+}
+
+// ParseInto decodes a frame into v, reusing its storage. The frame must
+// cover the start header; a frame truncated mid-graph stops cleanly with
+// the remaining bytes as payload (matching the lenient L3/L4 handling of
+// the legacy codec). Slot values and the presence mask are overwritten;
+// the payload aliases the frame.
+func (d *Decoder) ParseInto(v *FieldView, frame []byte) error {
+	if v.dec != d {
+		return fmt.Errorf("packet: view belongs to schema %s, decoder is %s", v.dec.schema.Name, d.schema.Name)
+	}
+	if d.legacy {
+		return d.legacyParse(v, frame)
+	}
+	v.present = 0
+	b := frame
+	cur := d.start
+	if len(b) < d.states[cur].size {
+		return fmt.Errorf("%w: %d bytes, %s header needs %d", ErrFrameTooShort, len(b), d.schema.Headers[cur].Name, d.states[cur].size)
+	}
+	for cur >= 0 {
+		st := &d.states[cur]
+		if len(b) < st.size {
+			break // truncated mid-graph: accept with remainder as payload
+		}
+		hb := b[:st.size]
+		if st.verify != nil && !st.verify(hb) {
+			return fmt.Errorf("packet: header %s failed verification", d.schema.Headers[st.hdr].Name)
+		}
+		for i := 0; i < st.nFields; i++ {
+			sl := &d.schema.slots[st.first+i]
+			v.slots[st.first+i] = readBits(hb, sl.bitOff, sl.width)
+		}
+		v.present |= 1 << uint(st.hdr)
+		b = b[st.size:]
+		if st.selSlot < 0 {
+			cur = st.def
+			continue
+		}
+		sv := v.slots[st.selSlot]
+		next := st.def
+		for _, e := range st.trans {
+			if e.v == sv {
+				next = e.next
+				break
+			}
+		}
+		cur = next
+	}
+	v.payload = b
+	return nil
+}
+
+// Parse is the allocating convenience form of ParseInto.
+func (d *Decoder) Parse(frame []byte) (*FieldView, error) {
+	v := d.NewView()
+	if err := d.ParseInto(v, frame); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// Marshal encodes a view back to wire bytes, appending to buf: every
+// present header in schema order, bit-packed, then the payload. The
+// generic codec does not pad or fix up length/checksum fields — a field
+// holding a length is round-tripped as the value in its slot — so
+// Parse(Marshal(v)) == v whenever the select-field values in v steer the
+// graph through v's present headers.
+func (d *Decoder) Marshal(v *FieldView, buf []byte) []byte {
+	if d.legacy {
+		return d.legacyMarshal(v, buf)
+	}
+	for hi := range d.schema.Headers {
+		if v.present&(1<<uint(hi)) == 0 {
+			continue
+		}
+		st := &d.states[hi]
+		hb := make([]byte, st.size)
+		for i := 0; i < st.nFields; i++ {
+			sl := &d.schema.slots[st.first+i]
+			writeBits(hb, sl.bitOff, sl.width, v.slots[st.first+i])
+		}
+		buf = append(buf, hb...)
+	}
+	return append(buf, v.payload...)
+}
+
+// legacyParse is the default schema's decode path: the hand-written
+// Packet codec runs unchanged (VLAN untagging, IHL options, checksum
+// verification, TotalLen payload trim), then the canonical fields are
+// copied into slots. Bit-identical to pre-schema behavior by
+// construction.
+func (d *Decoder) legacyParse(v *FieldView, frame []byte) error {
+	if err := v.lp.ParseInto(frame); err != nil {
+		return err
+	}
+	p := v.lp
+	v.present = 1 << legacyHdrEth
+	v.slots[IDEthDst] = p.EthDst
+	v.slots[IDEthSrc] = p.EthSrc
+	v.slots[IDEthType] = uint64(p.EthType)
+	if p.HasVLAN {
+		v.present |= 1 << legacyHdrVLAN
+		v.slots[IDVLAN] = uint64(p.VLANID)
+	} else {
+		v.slots[IDVLAN] = 0
+	}
+	if p.HasIPv4 {
+		v.present |= 1 << legacyHdrIPv4
+		v.slots[IDIPSrc] = uint64(p.IPSrc)
+		v.slots[IDIPDst] = uint64(p.IPDst)
+		v.slots[IDIPProto] = uint64(p.Proto)
+		v.slots[IDTTL] = uint64(p.TTL)
+	} else {
+		v.slots[IDIPSrc], v.slots[IDIPDst], v.slots[IDIPProto], v.slots[IDTTL] = 0, 0, 0, 0
+	}
+	if p.HasL4 {
+		v.present |= 1 << legacyHdrL4
+		v.slots[IDTCPSrc] = uint64(p.SrcPort)
+		v.slots[IDTCPDst] = uint64(p.DstPort)
+	} else {
+		v.slots[IDTCPSrc], v.slots[IDTCPDst] = 0, 0
+	}
+	v.payload = p.Payload
+	return nil
+}
+
+// legacyMarshal rebuilds the scratch Packet from the view and runs the
+// hand-written encoder (length/checksum recompute, minimum-frame
+// padding).
+func (d *Decoder) legacyMarshal(v *FieldView, buf []byte) []byte {
+	p := v.lp
+	*p = Packet{
+		EthDst:  v.slots[IDEthDst],
+		EthSrc:  v.slots[IDEthSrc],
+		EthType: uint16(v.slots[IDEthType]),
+		Payload: v.payload,
+	}
+	if v.present&(1<<legacyHdrVLAN) != 0 {
+		p.HasVLAN = true
+		p.VLANID = uint16(v.slots[IDVLAN])
+	}
+	if v.present&(1<<legacyHdrIPv4) != 0 {
+		p.HasIPv4 = true
+		p.IPVerIHL = 0x45
+		p.TTL = uint8(v.slots[IDTTL])
+		p.Proto = uint8(v.slots[IDIPProto])
+		p.IPSrc = uint32(v.slots[IDIPSrc])
+		p.IPDst = uint32(v.slots[IDIPDst])
+	}
+	if v.present&(1<<legacyHdrL4) != 0 {
+		p.HasL4 = true
+		p.SrcPort = uint16(v.slots[IDTCPSrc])
+		p.DstPort = uint16(v.slots[IDTCPDst])
+	}
+	return p.Marshal(buf)
+}

@@ -1,0 +1,73 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecoderParse throws arbitrary bytes at every shipped decoder. The
+// invariants: no panic, presence never claims bytes the frame does not
+// have, and a successfully parsed view re-encodes and re-parses to the
+// same slots (idempotent normalization) for generic schemas.
+func FuzzDecoderParse(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 14))
+	f.Add(TCP4(1, 2, 3, 4, 5, 6).Marshal(nil))
+	vx := mustFuzzDecoder(f, SchemaVXLAN)
+	seed := vx.NewView()
+	for hi := range vx.Schema().Headers {
+		seed.MarkPresent(hi)
+	}
+	seed.SetName("eth_type", EtherTypeIPv4)
+	seed.SetName("ip_proto", ProtoUDP)
+	seed.SetName("udp_dst", UDPPortVXLAN)
+	f.Add(seed.Marshal(nil))
+
+	decs := make([]*Decoder, 0, 4)
+	for _, name := range BuiltinSchemaNames() {
+		decs = append(decs, mustFuzzDecoder(f, name))
+	}
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		for _, dec := range decs {
+			v := dec.NewView()
+			if err := dec.ParseInto(v, frame); err != nil {
+				continue
+			}
+			if dec.Schema().Name == SchemaDefault {
+				continue // legacy codec normalizes (padding, checksums)
+			}
+			claimed := 0
+			for hi := range dec.Schema().Headers {
+				if v.HeaderPresent(hi) {
+					claimed += dec.Schema().headerBytes(hi)
+				}
+			}
+			if claimed+len(v.Payload()) != len(frame) {
+				t.Fatalf("%s: claimed %d + payload %d != frame %d",
+					dec.Schema().Name, claimed, len(v.Payload()), len(frame))
+			}
+			wire := v.Marshal(nil)
+			v2, err := dec.Parse(wire)
+			if err != nil {
+				t.Fatalf("%s: re-parse of re-encoded frame: %v", dec.Schema().Name, err)
+			}
+			if v2.present != v.present {
+				t.Fatalf("%s: presence changed on round trip: %b -> %b", dec.Schema().Name, v.present, v2.present)
+			}
+			for i := range v.slots {
+				if v.slots[i] != v2.slots[i] {
+					t.Fatalf("%s: slot %d changed on round trip", dec.Schema().Name, i)
+				}
+			}
+		}
+	})
+}
+
+func mustFuzzDecoder(f *testing.F, name string) *Decoder {
+	f.Helper()
+	d, err := BuiltinDecoder(name)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return d
+}

@@ -1,0 +1,353 @@
+package packet
+
+import (
+	"fmt"
+
+	"manorm/internal/mat"
+)
+
+// FieldSpec describes one named field of a header: a bit width and the
+// canonical attribute name the match-action model refers to it by.
+type FieldSpec struct {
+	Name  string `json:"name"`
+	Width uint8  `json:"width"` // bits, 1..64
+}
+
+// Header is one protocol header: an ordered list of fields laid out
+// bit-packed, big-endian, in declaration order. The total width must be a
+// whole number of bytes (the generic codec reads and writes whole
+// headers); the built-in default schema is exempt because it rides the
+// hand-written Ethernet/VLAN/IPv4/L4 codec instead.
+type Header struct {
+	Name   string      `json:"name"`
+	Fields []FieldSpec `json:"fields"`
+	// Verify, when non-nil, validates the raw header bytes during decode
+	// (e.g. a checksum); returning false rejects the frame. Hooks are not
+	// serialized — schemas that travel through JSON (the fuzzing corpus)
+	// must not rely on them.
+	Verify func(b []byte) bool `json:"-"`
+}
+
+// Bits returns the header's total width in bits.
+func (h Header) Bits() int {
+	n := 0
+	for _, f := range h.Fields {
+		n += int(f.Width)
+	}
+	return n
+}
+
+// slotInfo is the flattened location of one field: its owning header and
+// bit offset within it.
+type slotInfo struct {
+	name   string
+	width  uint8
+	hdr    int
+	bitOff int
+}
+
+// HeaderSchema is a named, ordered set of headers whose fields flatten
+// into a dense slot space: slot i is the i-th field in header-then-field
+// declaration order. The slot indices are the protocol-independent
+// analogue of the canonical FieldID table — datapaths resolve attribute
+// names to slots once at compile time and read packet state as
+// FieldView.Get(slot) on the hot path.
+//
+// Header order is wire order: a parse graph over the schema may only
+// transition forward (a DAG in declaration order), and the generic
+// encoder emits present headers in declaration order.
+type HeaderSchema struct {
+	Name    string   `json:"name"`
+	Headers []Header `json:"headers"`
+
+	// legacy marks the built-in default schema, which decodes and encodes
+	// through the hand-written Packet codec (bit-identical to the
+	// pre-schema stack) rather than the generic bit-packed codec.
+	legacy bool
+
+	slots    []slotInfo
+	index    map[string]int
+	hdrIndex map[string]int
+}
+
+// NewHeaderSchema builds and validates a schema.
+func NewHeaderSchema(name string, headers ...Header) (*HeaderSchema, error) {
+	s := &HeaderSchema{Name: name, Headers: headers}
+	if err := s.init(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// init computes the slot layout, validating the schema. It is idempotent,
+// so schemas arriving through JSON are initialized on first use.
+func (s *HeaderSchema) init() error {
+	if s.index != nil {
+		return nil
+	}
+	if s.Name == "" {
+		return fmt.Errorf("packet: schema with empty name")
+	}
+	if len(s.Headers) == 0 {
+		return fmt.Errorf("packet: schema %s has no headers", s.Name)
+	}
+	if len(s.Headers) > 64 {
+		return fmt.Errorf("packet: schema %s has %d headers; the presence mask supports 64", s.Name, len(s.Headers))
+	}
+	index := make(map[string]int)
+	hdrIndex := make(map[string]int, len(s.Headers))
+	var slots []slotInfo
+	for hi, h := range s.Headers {
+		if h.Name == "" {
+			return fmt.Errorf("packet: schema %s: header %d has empty name", s.Name, hi)
+		}
+		if _, dup := hdrIndex[h.Name]; dup {
+			return fmt.Errorf("packet: schema %s: duplicate header %q", s.Name, h.Name)
+		}
+		hdrIndex[h.Name] = hi
+		if len(h.Fields) == 0 {
+			return fmt.Errorf("packet: schema %s: header %s has no fields", s.Name, h.Name)
+		}
+		off := 0
+		for _, f := range h.Fields {
+			if f.Name == "" {
+				return fmt.Errorf("packet: schema %s: header %s has a field with empty name", s.Name, h.Name)
+			}
+			if f.Width == 0 || f.Width > 64 {
+				return fmt.Errorf("packet: schema %s: field %s has invalid width %d", s.Name, f.Name, f.Width)
+			}
+			if _, dup := index[f.Name]; dup {
+				return fmt.Errorf("packet: schema %s: duplicate field %q", s.Name, f.Name)
+			}
+			index[f.Name] = len(slots)
+			slots = append(slots, slotInfo{name: f.Name, width: f.Width, hdr: hi, bitOff: off})
+			off += int(f.Width)
+		}
+		if !s.legacy && off%8 != 0 {
+			return fmt.Errorf("packet: schema %s: header %s is %d bits; headers must be whole bytes", s.Name, h.Name, off)
+		}
+	}
+	s.slots, s.index, s.hdrIndex = slots, index, hdrIndex
+	return nil
+}
+
+// NumSlots returns the number of field slots.
+func (s *HeaderSchema) NumSlots() int { return len(s.slots) }
+
+// Slot resolves a field name to its dense slot index, or -1.
+func (s *HeaderSchema) Slot(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// SlotName returns the field name of a slot.
+func (s *HeaderSchema) SlotName(slot int) string { return s.slots[slot].name }
+
+// SlotWidth returns the bit width of a slot.
+func (s *HeaderSchema) SlotWidth(slot int) uint8 { return s.slots[slot].width }
+
+// HeaderOfSlot returns the index of the header owning a slot.
+func (s *HeaderSchema) HeaderOfSlot(slot int) int { return s.slots[slot].hdr }
+
+// HeaderIndex resolves a header name to its index, or -1.
+func (s *HeaderSchema) HeaderIndex(name string) int {
+	if i, ok := s.hdrIndex[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Width returns the bit width of a field name (0 for unknown names) —
+// the schema-generic form of the canonical FieldWidth table.
+func (s *HeaderSchema) Width(name string) uint8 {
+	if i, ok := s.index[name]; ok {
+		return s.slots[i].width
+	}
+	return 0
+}
+
+// FieldNames lists every field name in slot order.
+func (s *HeaderSchema) FieldNames() []string {
+	out := make([]string, len(s.slots))
+	for i, sl := range s.slots {
+		out[i] = sl.name
+	}
+	return out
+}
+
+// headerBytes returns the wire size of header hi in bytes (legacy schemas
+// report the packed size of their abstract field view, which the generic
+// codec never uses).
+func (s *HeaderSchema) headerBytes(hi int) int { return (s.Headers[hi].Bits() + 7) / 8 }
+
+// FieldView is a decoded packet under a header schema: one uint64 slot
+// per schema field plus a per-header presence mask and the trailing
+// payload. It is the protocol-independent replacement for the fixed
+// Packet struct — datapaths address fields by slot index, so the hot path
+// is an array load instead of a struct-field switch, and the same
+// compiled pipeline code serves any schema.
+//
+// A view is created once per worker (Decoder.NewView) and refilled per
+// frame by Decoder.ParseInto; no method allocates.
+type FieldView struct {
+	dec     *Decoder
+	slots   []uint64
+	present uint64
+	payload []byte
+	// lp is the scratch Packet behind the default schema's legacy codec
+	// (nil for generic schemas).
+	lp *Packet
+}
+
+// Schema returns the view's header schema.
+func (v *FieldView) Schema() *HeaderSchema { return v.dec.schema }
+
+// Decoder returns the decoder the view was created from.
+func (v *FieldView) Decoder() *Decoder { return v.dec }
+
+// Reset clears presence, slot values and payload.
+func (v *FieldView) Reset() {
+	v.present = 0
+	for i := range v.slots {
+		v.slots[i] = 0
+	}
+	v.payload = nil
+}
+
+// Get reads a slot; the second result is false when the slot is out of
+// range or its header is absent — mirroring Packet.Field's contract.
+func (v *FieldView) Get(slot int) (uint64, bool) {
+	if uint(slot) >= uint(len(v.slots)) {
+		return 0, false
+	}
+	if v.present&v.dec.slotMask[slot] == 0 {
+		return 0, false
+	}
+	return v.slots[slot], true
+}
+
+// Set writes a slot (masked to the field width), reporting whether the
+// slot exists and its header is present — mirroring Packet.SetField.
+func (v *FieldView) Set(slot int, val uint64) bool {
+	if uint(slot) >= uint(len(v.slots)) {
+		return false
+	}
+	if v.present&v.dec.slotMask[slot] == 0 {
+		return false
+	}
+	v.slots[slot] = val & widthMask(v.dec.schema.slots[slot].width)
+	return true
+}
+
+// GetName reads a field by name (convenience; hot paths resolve the slot
+// once and use Get).
+func (v *FieldView) GetName(name string) (uint64, bool) {
+	return v.Get(v.dec.schema.Slot(name))
+}
+
+// SetName writes a field by name.
+func (v *FieldView) SetName(name string, val uint64) bool {
+	return v.Set(v.dec.schema.Slot(name), val)
+}
+
+// HeaderPresent reports whether header hi was parsed (or marked present).
+func (v *FieldView) HeaderPresent(hi int) bool { return v.present&(1<<uint(hi)) != 0 }
+
+// MarkPresent marks header hi present — used by generators that build
+// views by hand before encoding them.
+func (v *FieldView) MarkPresent(hi int) { v.present |= 1 << uint(hi) }
+
+// MarkPresentName marks a header present by name, reporting whether the
+// name was known.
+func (v *FieldView) MarkPresentName(name string) bool {
+	hi := v.dec.schema.HeaderIndex(name)
+	if hi < 0 {
+		return false
+	}
+	v.MarkPresent(hi)
+	return true
+}
+
+// Payload returns everything after the parsed headers.
+func (v *FieldView) Payload() []byte { return v.payload }
+
+// SetPayload sets the trailing payload for encoding.
+func (v *FieldView) SetPayload(b []byte) { v.payload = b }
+
+// Record converts the view into the attribute-record form evaluated by
+// the relational semantics: every field of every present header, keyed by
+// field name. The schema-generic analogue of Packet.Record.
+func (v *FieldView) Record() mat.Record {
+	r := make(mat.Record, len(v.slots))
+	for i := range v.slots {
+		if v.present&v.dec.slotMask[i] != 0 {
+			r[v.dec.schema.slots[i].name] = v.slots[i]
+		}
+	}
+	return r
+}
+
+// Clone deep-copies the view.
+func (v *FieldView) Clone() *FieldView {
+	c := v.dec.NewView()
+	copy(c.slots, v.slots)
+	c.present = v.present
+	c.payload = append([]byte(nil), v.payload...)
+	return c
+}
+
+// ParseInto decodes a frame into the view (see Decoder.ParseInto).
+func (v *FieldView) ParseInto(frame []byte) error { return v.dec.ParseInto(v, frame) }
+
+// Marshal encodes the view back to wire bytes (see Decoder.Marshal).
+func (v *FieldView) Marshal(buf []byte) []byte { return v.dec.Marshal(v, buf) }
+
+// widthMask returns the low-width-bits mask.
+func widthMask(width uint8) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << width) - 1
+}
+
+// readBits extracts width bits starting at bit offset off (big-endian bit
+// order) from b.
+func readBits(b []byte, off int, width uint8) uint64 {
+	var out uint64
+	n := int(width)
+	for n > 0 {
+		byteIdx := off >> 3
+		bitIdx := off & 7
+		take := 8 - bitIdx
+		if take > n {
+			take = n
+		}
+		bits := (b[byteIdx] >> uint(8-bitIdx-take)) & byte(1<<uint(take)-1)
+		out = out<<uint(take) | uint64(bits)
+		off += take
+		n -= take
+	}
+	return out
+}
+
+// writeBits stores the low width bits of val at bit offset off in b
+// (big-endian bit order).
+func writeBits(b []byte, off int, width uint8, val uint64) {
+	n := int(width)
+	for n > 0 {
+		byteIdx := off >> 3
+		bitIdx := off & 7
+		take := 8 - bitIdx
+		if take > n {
+			take = n
+		}
+		shift := uint(n - take)
+		bits := byte(val>>shift) & byte(1<<uint(take)-1)
+		mask := byte(1<<uint(take)-1) << uint(8-bitIdx-take)
+		b[byteIdx] = b[byteIdx]&^mask | bits<<uint(8-bitIdx-take)
+		off += take
+		n -= take
+	}
+}

@@ -1,0 +1,353 @@
+package packet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDefaultSchemaMatchesFieldIDs pins the contract the dataplane relies
+// on: the default schema's slot order is exactly the dense FieldID order,
+// with the canonical names and widths.
+func TestDefaultSchemaMatchesFieldIDs(t *testing.T) {
+	s := DefaultDecoder().Schema()
+	if s.NumSlots() != NumFieldIDs {
+		t.Fatalf("default schema has %d slots, want %d", s.NumSlots(), NumFieldIDs)
+	}
+	for i := 0; i < NumFieldIDs; i++ {
+		name := s.SlotName(i)
+		if FieldID(name) != i {
+			t.Errorf("slot %d is %q but FieldID(%q)=%d", i, name, name, FieldID(name))
+		}
+		if s.SlotWidth(i) != FieldWidth(name) {
+			t.Errorf("slot %d width %d != FieldWidth(%q)=%d", i, s.SlotWidth(i), name, FieldWidth(name))
+		}
+	}
+}
+
+// TestDefaultSchemaBitIdentical proves the default schema's decoder and
+// encoder agree exactly with the legacy Packet codec on tagged, untagged
+// and non-IP frames.
+func TestDefaultSchemaBitIdentical(t *testing.T) {
+	dec := DefaultDecoder()
+	pkts := []*Packet{
+		TCP4(0x0a0b0c0d0e0f, 0x010203040506, 0xc0a80101, 0x0a000001, 1234, 80),
+		{EthDst: 0x111111111111, EthSrc: 0x222222222222, EthType: EtherTypeARP, Payload: []byte{1, 2, 3}},
+	}
+	tagged := TCP4(1, 2, 3, 4, 5, 6)
+	tagged.HasVLAN = true
+	tagged.VLANID = 42
+	pkts = append(pkts, tagged)
+
+	v := dec.NewView()
+	for i, p := range pkts {
+		wire := p.Marshal(nil)
+		if err := dec.ParseInto(v, wire); err != nil {
+			t.Fatalf("pkt %d: ParseInto: %v", i, err)
+		}
+		var lp Packet
+		if err := lp.ParseInto(wire); err != nil {
+			t.Fatalf("pkt %d: legacy ParseInto: %v", i, err)
+		}
+		for id := 0; id < NumFieldIDs; id++ {
+			lv, lok := lp.FieldByID(id)
+			sv, sok := v.Get(id)
+			if lok != sok || (lok && lv != sv) {
+				t.Errorf("pkt %d slot %d (%s): legacy (%d,%v) view (%d,%v)", i, id, FieldIDName(id), lv, lok, sv, sok)
+			}
+		}
+		reWire := v.Marshal(nil)
+		legacyWire := lp.Marshal(nil)
+		if string(reWire) != string(legacyWire) {
+			t.Errorf("pkt %d: view Marshal differs from legacy Marshal", i)
+		}
+	}
+}
+
+// FieldIDName is a test helper mapping a dense id back to its name.
+func FieldIDName(id int) string { return DefaultDecoder().Schema().SlotName(id) }
+
+// fillChain builds a view with the full header chain present and random
+// field values, then forces the select fields so the graph re-parses the
+// same chain. Used by the round-trip property tests.
+func fillChain(t *testing.T, dec *Decoder, rng *rand.Rand, selects map[string]uint64, headers []string) *FieldView {
+	t.Helper()
+	v := dec.NewView()
+	s := dec.Schema()
+	for _, h := range headers {
+		hi := s.HeaderIndex(h)
+		if hi < 0 {
+			t.Fatalf("unknown header %q", h)
+		}
+		v.MarkPresent(hi)
+	}
+	for i := 0; i < s.NumSlots(); i++ {
+		if v.HeaderPresent(s.HeaderOfSlot(i)) {
+			v.Set(i, rng.Uint64())
+		}
+	}
+	for name, val := range selects {
+		if !v.SetName(name, val) {
+			t.Fatalf("cannot set select %q", name)
+		}
+	}
+	v.SetPayload([]byte{0xde, 0xad, 0xbe, 0xef})
+	return v
+}
+
+// TestShippedSchemaRoundTrip is the Parse→Marshal→Parse property for
+// every shipped generic schema: re-parsing an encoded view yields the
+// same slots, presence and payload, and re-encoding yields the same
+// bytes.
+func TestShippedSchemaRoundTrip(t *testing.T) {
+	cases := []struct {
+		schema  string
+		headers []string
+		selects map[string]uint64
+	}{
+		{SchemaVXLAN,
+			[]string{"eth", "ipv4", "udp", "vxlan", "inner_eth"},
+			map[string]uint64{"eth_type": EtherTypeIPv4, "ip_proto": ProtoUDP, "udp_dst": UDPPortVXLAN}},
+		{SchemaMPLS,
+			[]string{"eth", "mpls", "ipv4"},
+			map[string]uint64{"eth_type": EtherTypeMPLS, FieldMPLSBoS: 1}},
+		{SchemaMPLS,
+			[]string{"eth", "mpls", "mpls2", "ipv4"},
+			map[string]uint64{"eth_type": EtherTypeMPLS, FieldMPLSBoS: 0, "mpls2_s": 1}},
+		{SchemaGTPU,
+			[]string{"eth", "ipv4", "udp", "gtpu", "inner_ipv4"},
+			map[string]uint64{"eth_type": EtherTypeIPv4, "ip_proto": ProtoUDP, "udp_dst": UDPPortGTPU, "gtpu_type": GTPMsgGPDU}},
+	}
+	for _, tc := range cases {
+		dec, err := BuiltinDecoder(tc.schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		for trial := 0; trial < 50; trial++ {
+			v := fillChain(t, dec, rng, tc.selects, tc.headers)
+			wire := v.Marshal(nil)
+			got, err := dec.Parse(wire)
+			if err != nil {
+				t.Fatalf("%s trial %d: re-parse: %v", tc.schema, trial, err)
+			}
+			if got.present != v.present {
+				t.Fatalf("%s trial %d: presence %b != %b", tc.schema, trial, got.present, v.present)
+			}
+			for i := range v.slots {
+				if v.slots[i] != got.slots[i] {
+					t.Errorf("%s trial %d: slot %d (%s): %#x != %#x",
+						tc.schema, trial, i, dec.Schema().SlotName(i), got.slots[i], v.slots[i])
+				}
+			}
+			if string(got.Payload()) != string(v.Payload()) {
+				t.Errorf("%s trial %d: payload mismatch", tc.schema, trial)
+			}
+			if string(got.Marshal(nil)) != string(wire) {
+				t.Errorf("%s trial %d: re-encode differs", tc.schema, trial)
+			}
+		}
+	}
+}
+
+// TestDecoderTruncation covers truncated and malformed frames: too short
+// for the start header errors, truncation mid-graph stops cleanly with
+// the remainder as payload.
+func TestDecoderTruncation(t *testing.T) {
+	dec, err := BuiltinDecoder(SchemaVXLAN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	full := fillChain(t, dec, rng,
+		map[string]uint64{"eth_type": EtherTypeIPv4, "ip_proto": ProtoUDP, "udp_dst": UDPPortVXLAN},
+		[]string{"eth", "ipv4", "udp", "vxlan", "inner_eth"}).Marshal(nil)
+
+	v := dec.NewView()
+	for _, n := range []int{0, 1, 13} {
+		if err := dec.ParseInto(v, full[:n]); err == nil {
+			t.Errorf("%d-byte frame: want error, got none", n)
+		}
+	}
+	// Ethernet complete, IPv4 truncated: accept with eth only.
+	if err := dec.ParseInto(v, full[:20]); err != nil {
+		t.Fatalf("truncated ipv4: %v", err)
+	}
+	if !v.HeaderPresent(0) || v.HeaderPresent(1) {
+		t.Errorf("truncated ipv4: presence mask %b", v.present)
+	}
+	if len(v.Payload()) != 6 {
+		t.Errorf("truncated ipv4: payload %d bytes, want 6", len(v.Payload()))
+	}
+	// Every prefix must parse without panicking and never mark a header
+	// whose bytes are missing.
+	sizes := []int{14, 20, 8, 8, 14} // eth, ipv4, udp, vxlan, inner_eth
+	for n := 14; n <= len(full); n++ {
+		if err := dec.ParseInto(v, full[:n]); err != nil {
+			t.Fatalf("prefix %d: %v", n, err)
+		}
+		have := 0
+		for hi := range sizes {
+			if v.HeaderPresent(hi) {
+				have += sizes[hi]
+			}
+		}
+		if have > n {
+			t.Fatalf("prefix %d: presence claims %d bytes", n, have)
+		}
+	}
+}
+
+// TestParseGraphValidation exercises compile-time rejection of malformed
+// graphs.
+func TestParseGraphValidation(t *testing.T) {
+	base := func() *HeaderSchema {
+		s, err := NewHeaderSchema("t", ethHeader("a", "a_"), ethHeader("b", "b_"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	cases := []struct {
+		name string
+		g    *ParseGraph
+	}{
+		{"unknown start", &ParseGraph{Schema: base(), Start: "nope"}},
+		{"unknown select", &ParseGraph{Schema: base(), Start: "a",
+			States: map[string]State{"a": {Select: "ghost", Transitions: []Transition{{Value: 1, Next: "b"}}}}}},
+		{"backward edge", &ParseGraph{Schema: base(), Start: "a",
+			States: map[string]State{"b": {Select: "b_eth_type", Transitions: []Transition{{Value: 1, Next: "a"}}}}}},
+		{"select from later header", &ParseGraph{Schema: base(), Start: "a",
+			States: map[string]State{"a": {Select: "b_eth_type", Transitions: []Transition{{Value: 1, Next: "b"}}}}}},
+		{"transitions without select", &ParseGraph{Schema: base(), Start: "a",
+			States: map[string]State{"a": {Transitions: []Transition{{Value: 1, Next: "b"}}}}}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.g.Compile(); err == nil {
+			t.Errorf("%s: compiled, want error", tc.name)
+		}
+	}
+	if _, err := NewHeaderSchema("odd", Header{Name: "h", Fields: []FieldSpec{{Name: "x", Width: 7}}}); err == nil {
+		t.Error("7-bit header accepted, want byte-multiple error")
+	}
+	if _, err := NewHeaderSchema("dup", ethHeader("a", ""), ethHeader("b", "")); err == nil {
+		t.Error("duplicate field names accepted")
+	}
+}
+
+// TestFieldViewAllocs is the zero-alloc guard for the schema hot path:
+// ParseInto into a reused view, slot reads and slot writes must not
+// allocate, for the generic and the legacy (default) decoder alike.
+func TestFieldViewAllocs(t *testing.T) {
+	for _, name := range BuiltinSchemaNames() {
+		dec, err := BuiltinDecoder(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wire []byte
+		switch name {
+		case SchemaDefault:
+			wire = TCP4(1, 2, 3, 4, 5, 6).Marshal(nil)
+		case SchemaVXLAN:
+			wire = fillChain(t, dec, rand.New(rand.NewSource(1)),
+				map[string]uint64{"eth_type": EtherTypeIPv4, "ip_proto": ProtoUDP, "udp_dst": UDPPortVXLAN},
+				[]string{"eth", "ipv4", "udp", "vxlan", "inner_eth"}).Marshal(nil)
+		case SchemaMPLS:
+			wire = fillChain(t, dec, rand.New(rand.NewSource(1)),
+				map[string]uint64{"eth_type": EtherTypeMPLS, FieldMPLSBoS: 1},
+				[]string{"eth", "mpls", "ipv4"}).Marshal(nil)
+		case SchemaGTPU:
+			wire = fillChain(t, dec, rand.New(rand.NewSource(1)),
+				map[string]uint64{"eth_type": EtherTypeIPv4, "ip_proto": ProtoUDP, "udp_dst": UDPPortGTPU, "gtpu_type": GTPMsgGPDU},
+				[]string{"eth", "ipv4", "udp", "gtpu", "inner_ipv4"}).Marshal(nil)
+		}
+		v := dec.NewView()
+		var sink uint64
+		allocs := testing.AllocsPerRun(200, func() {
+			if err := dec.ParseInto(v, wire); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < v.Schema().NumSlots(); i++ {
+				if x, ok := v.Get(i); ok {
+					sink += x
+				}
+			}
+			v.Set(0, sink)
+		})
+		if allocs != 0 {
+			t.Errorf("schema %s: %v allocs/op on ParseInto+Get+Set, want 0", name, allocs)
+		}
+	}
+}
+
+// TestBinder pins the attribute↔slot bridge: legacy aliases, the generic
+// mod_<field> convention and schema-width column minting.
+func TestBinder(t *testing.T) {
+	b := DefaultBinder()
+	if got := b.ActionTarget("mod_smac"); got != FieldEthSrc {
+		t.Errorf("mod_smac -> %q", got)
+	}
+	if got := b.ActionTarget("mod_dmac"); got != FieldEthDst {
+		t.Errorf("mod_dmac -> %q", got)
+	}
+	if got := b.ActionTarget("mod_vlan"); got != FieldVLAN {
+		t.Errorf("mod_vlan -> %q", got)
+	}
+	if b.ActionSlot("mod_smac") != IDEthSrc {
+		t.Error("mod_smac slot")
+	}
+	// The bridge must agree with the legacy ActionField mapping on every
+	// canonical attribute.
+	for _, attr := range []string{"mod_smac", "mod_dmac", "mod_vlan", FieldIPDst} {
+		if b.ActionTarget(attr) != ActionField(attr) {
+			t.Errorf("binder and ActionField disagree on %q", attr)
+		}
+	}
+	vx := NewBinder(mustDecoder(t, SchemaVXLAN).Schema())
+	if got := vx.ActionTarget("mod_" + FieldVXLANVNI); got != FieldVXLANVNI {
+		t.Errorf("mod_vxlan_vni -> %q", got)
+	}
+	if vx.ActionSlot("mod_"+FieldInnerEthDst) != vx.Slot(FieldInnerEthDst) {
+		t.Error("mod_inner_eth_dst slot")
+	}
+	cols := vx.Columns(FieldVXLANVNI, FieldInnerEthDst)
+	if len(cols) != 2 || cols[0].Width != 24 || cols[1].Width != 48 {
+		t.Errorf("Columns widths: %+v", cols)
+	}
+}
+
+func mustDecoder(t *testing.T, name string) *Decoder {
+	t.Helper()
+	d, err := BuiltinDecoder(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestBitCodec round-trips the bit-packing primitives across unaligned
+// widths.
+func TestBitCodec(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		widths := []uint8{uint8(rng.Intn(20) + 1), uint8(rng.Intn(64) + 1), uint8(rng.Intn(8) + 1)}
+		total := 0
+		for _, w := range widths {
+			total += int(w)
+		}
+		buf := make([]byte, (total+7)/8)
+		vals := make([]uint64, len(widths))
+		off := 0
+		for i, w := range widths {
+			vals[i] = rng.Uint64() & widthMask(w)
+			writeBits(buf, off, w, vals[i])
+			off += int(w)
+		}
+		off = 0
+		for i, w := range widths {
+			if got := readBits(buf, off, w); got != vals[i] {
+				t.Fatalf("trial %d field %d: %#x != %#x", trial, i, got, vals[i])
+			}
+			off += int(w)
+		}
+	}
+}

@@ -29,7 +29,7 @@ type ESwitch struct {
 // NewESwitch creates an unprogrammed ESwitch model.
 func NewESwitch(opts ...Option) *ESwitch {
 	s := &ESwitch{}
-	s.reg = buildCfg(opts).reg
+	s.applyCfg(buildCfg(opts))
 	return s
 }
 
@@ -39,7 +39,7 @@ func (s *ESwitch) Name() string { return "eswitch" }
 // Install recompiles the datapath with per-table template specialization
 // and publishes it; live workers pick it up on their next frame.
 func (s *ESwitch) Install(p *mat.Pipeline) error {
-	dp, err := dataplane.Compile(p, dataplane.AutoTemplates, dataplane.WithTelemetry(s.reg))
+	dp, err := dataplane.Compile(p, dataplane.AutoTemplates, s.dpOpts()...)
 	if err != nil {
 		return fmt.Errorf("eswitch: %w", err)
 	}

@@ -28,7 +28,7 @@ type Lagopus struct {
 func NewLagopus(opts ...Option) *Lagopus {
 	s := &Lagopus{}
 	s.lift = true
-	s.reg = buildCfg(opts).reg
+	s.applyCfg(buildCfg(opts))
 	return s
 }
 
@@ -37,7 +37,7 @@ func (s *Lagopus) Name() string { return "lagopus" }
 
 // Install programs the interpreted pipeline.
 func (s *Lagopus) Install(p *mat.Pipeline) error {
-	dp, err := dataplane.Compile(p, dataplane.FixedTemplate(classifier.ForceTupleSpace), dataplane.WithTelemetry(s.reg))
+	dp, err := dataplane.Compile(p, dataplane.FixedTemplate(classifier.ForceTupleSpace), s.dpOpts()...)
 	if err != nil {
 		return fmt.Errorf("lagopus: %w", err)
 	}

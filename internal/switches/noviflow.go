@@ -32,7 +32,7 @@ type NoviFlow struct {
 // NewNoviFlow creates an unprogrammed hardware switch model.
 func NewNoviFlow(opts ...Option) *NoviFlow {
 	s := &NoviFlow{}
-	s.reg = buildCfg(opts).reg
+	s.applyCfg(buildCfg(opts))
 	return s
 }
 
@@ -41,7 +41,7 @@ func (s *NoviFlow) Name() string { return "noviflow" }
 
 // Install programs the TCAM stages.
 func (s *NoviFlow) Install(p *mat.Pipeline) error {
-	dp, err := dataplane.Compile(p, dataplane.AutoTemplates, dataplane.WithTelemetry(s.reg))
+	dp, err := dataplane.Compile(p, dataplane.AutoTemplates, s.dpOpts()...)
 	if err != nil {
 		return fmt.Errorf("noviflow: %w", err)
 	}

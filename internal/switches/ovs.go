@@ -47,6 +47,12 @@ type OVS struct {
 	pool sync.Pool
 	// reg is the optional metrics registry (WithTelemetry).
 	reg *telemetry.Registry
+	// dec is the schema-mode decoder (WithSchema). The EMC key and the
+	// megaflow classifier are hardwired to the canonical header fields, so
+	// schema-mode shards skip both layers and take the slow path for every
+	// frame — modeling a datapath whose caches cannot key on the custom
+	// protocol.
+	dec *packet.Decoder
 }
 
 type ovsKey struct {
@@ -73,7 +79,8 @@ const ovsCacheMax = 1 << 15
 // added cost on the forwarding path.
 func NewOVS(opts ...Option) *OVS {
 	s := &OVS{}
-	s.reg = buildCfg(opts).reg
+	cfg := buildCfg(opts)
+	s.reg, s.dec = cfg.reg, cfg.dec
 	s.prim = s.newOVSWorker()
 	if s.reg != nil {
 		s.reg.GaugeFunc("ovs.emc_hits", func() float64 { return float64(s.Hits.Load()) })
@@ -92,7 +99,11 @@ func (s *OVS) Name() string { return "ovs" }
 // every worker's caches (the pipeline pointer swap itself is the
 // invalidation signal; the fresh primary worker starts empty).
 func (s *OVS) Install(p *mat.Pipeline) error {
-	dp, err := dataplane.Compile(p, dataplane.FixedTemplate(classifier.ForceTupleSpace), dataplane.WithTelemetry(s.reg))
+	dpOpts := []dataplane.Option{dataplane.WithTelemetry(s.reg)}
+	if s.dec != nil {
+		dpOpts = append(dpOpts, dataplane.WithSchema(s.dec.Schema()))
+	}
+	dp, err := dataplane.Compile(p, dataplane.FixedTemplate(classifier.ForceTupleSpace), dpOpts...)
 	if err != nil {
 		return fmt.Errorf("ovs: %w", err)
 	}
@@ -136,15 +147,24 @@ type ovsWorker struct {
 	// call (amortizing the atomic traffic) and on Reset (so a snapshot taken
 	// right after Reset cannot see a late flush's residue).
 	pendHits, pendMega, pendMisses uint64
+	// dec/view carry schema mode: frames decode through the parse graph
+	// and bypass the canonical-field cache layers entirely.
+	dec  *packet.Decoder
+	view *packet.FieldView
 }
 
 func (s *OVS) newOVSWorker() *ovsWorker {
-	return &ovsWorker{
+	w := &ovsWorker{
 		parent: s,
 		trace:  dataplane.NewTrace(),
 		cache:  make(map[ovsKey]ovsHit, 4096),
 		mega:   newMegaflowCache(),
+		dec:    s.dec,
 	}
+	if s.dec != nil {
+		w.view = s.dec.NewView()
+	}
+	return w
 }
 
 func (w *ovsWorker) flush() {
@@ -218,6 +238,14 @@ func (w *ovsWorker) process(slow *dataplane.Pipeline, pkt *packet.Packet) (datap
 	return v, nil
 }
 
+// processView is the schema-mode forwarding path: every frame counts as
+// a slow-path traversal (the caches cannot key on non-canonical fields;
+// see the dec field doc).
+func (w *ovsWorker) processView(slow *dataplane.Pipeline) (dataplane.Verdict, error) {
+	w.pendMisses++
+	return slow.ProcessView(w.view, w.ctx)
+}
+
 // flushStats drains the shard's pending layer counts into the shared
 // atomics and zeroes them.
 func (w *ovsWorker) flushStats() {
@@ -241,6 +269,14 @@ func (w *ovsWorker) ProcessFrame(frame []byte) (dataplane.Verdict, error) {
 	if err != nil {
 		return dataplane.Verdict{}, err
 	}
+	if w.dec != nil {
+		if err := w.dec.ParseInto(w.view, frame); err != nil {
+			return dataplane.Verdict{Drop: true}, nil
+		}
+		v, err := w.processView(slow)
+		w.flushStats()
+		return v, err
+	}
 	if err := w.scratch.ParseInto(frame); err != nil {
 		return dataplane.Verdict{Drop: true}, nil
 	}
@@ -260,6 +296,20 @@ func (w *ovsWorker) ProcessBatch(frames [][]byte, out []dataplane.Verdict) error
 		return err
 	}
 	defer w.flushStats()
+	if w.dec != nil {
+		for i, f := range frames {
+			if err := w.dec.ParseInto(w.view, f); err != nil {
+				out[i] = dataplane.Verdict{Drop: true}
+				continue
+			}
+			v, err := w.processView(slow)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+		return nil
+	}
 	for i, f := range frames {
 		if err := w.scratch.ParseInto(f); err != nil {
 			out[i] = dataplane.Verdict{Drop: true}

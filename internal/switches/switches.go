@@ -38,6 +38,7 @@ type Option func(*modelCfg)
 // modelCfg carries cross-model construction options.
 type modelCfg struct {
 	reg *telemetry.Registry
+	dec *packet.Decoder
 }
 
 // WithTelemetry attaches a metrics registry to the model: Install compiles
@@ -48,6 +49,21 @@ type modelCfg struct {
 // this option the forwarding path carries no instrumentation at all.
 func WithTelemetry(reg *telemetry.Registry) Option {
 	return func(c *modelCfg) { c.reg = reg }
+}
+
+// WithSchema puts the model in schema-driven mode: frames are parsed by
+// the given compiled parse-graph decoder into per-worker FieldViews, and
+// Install compiles pipelines against the decoder's header schema
+// (dataplane.WithSchema), so programs may match any field the schema
+// defines — VXLAN VNIs, MPLS labels, GTP-U TEIDs or fuzzer-invented
+// stacks. A nil decoder keeps the fixed default Packet fast path.
+//
+// OVS note: the EMC key and megaflow cache are hardwired to the
+// canonical header fields, so in schema mode the OVS model forwards
+// every frame through its slow path (the honest equivalent of a
+// datapath whose cache does not understand the custom protocol).
+func WithSchema(dec *packet.Decoder) Option {
+	return func(c *modelCfg) { c.dec = dec }
 }
 
 func buildCfg(opts []Option) modelCfg {
@@ -167,6 +183,11 @@ type dpWorker struct {
 	// lift enables the Lagopus-style generic record construction per
 	// packet (the interpreter's per-packet metadata overhead).
 	lift bool
+	// dec/view carry the schema mode (WithSchema): frames decode through
+	// the parse graph into the reusable view instead of the scratch
+	// Packet.
+	dec  *packet.Decoder
+	view *packet.FieldView
 }
 
 // refresh picks up a reinstalled datapath.
@@ -192,11 +213,32 @@ func (w *dpWorker) processPacket(dp *dataplane.Pipeline, pkt *packet.Packet) (da
 	return dp.Process(pkt, w.ctx)
 }
 
-// ProcessFrame parses into the worker's scratch packet and forwards.
+// processView is processPacket for schema mode; Lagopus's generic lift
+// overhead is modeled identically (a record built and discarded per
+// packet).
+func (w *dpWorker) processView(dp *dataplane.Pipeline, view *packet.FieldView) (dataplane.Verdict, error) {
+	if w.lift {
+		rec := view.Record()
+		if len(rec) == 0 {
+			return dataplane.Verdict{Drop: true}, nil
+		}
+	}
+	return dp.ProcessView(view, w.ctx)
+}
+
+// ProcessFrame parses into the worker's scratch packet (or, in schema
+// mode, through the parse-graph decoder into the reusable view) and
+// forwards.
 func (w *dpWorker) ProcessFrame(frame []byte) (dataplane.Verdict, error) {
 	dp, err := w.refresh()
 	if err != nil {
 		return dataplane.Verdict{}, err
+	}
+	if w.dec != nil {
+		if err := w.dec.ParseInto(w.view, frame); err != nil {
+			return dataplane.Verdict{Drop: true}, nil
+		}
+		return w.processView(dp, w.view)
 	}
 	if err := w.scratch.ParseInto(frame); err != nil {
 		return dataplane.Verdict{Drop: true}, nil
@@ -212,6 +254,20 @@ func (w *dpWorker) ProcessBatch(frames [][]byte, out []dataplane.Verdict) error 
 	dp, err := w.refresh()
 	if err != nil {
 		return err
+	}
+	if w.dec != nil {
+		for i, f := range frames {
+			if err := w.dec.ParseInto(w.view, f); err != nil {
+				out[i] = dataplane.Verdict{Drop: true}
+				continue
+			}
+			v, err := w.processView(dp, w.view)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+		return nil
 	}
 	for i, f := range frames {
 		if err := w.scratch.ParseInto(f); err != nil {
@@ -238,13 +294,40 @@ type dpSwitch struct {
 	// reg is the optional metrics registry (WithTelemetry); Install passes
 	// it to dataplane.Compile so per-stage instruments register there.
 	reg *telemetry.Registry
+	// dec is the schema-mode decoder (WithSchema); nil for the default
+	// Packet path.
+	dec *packet.Decoder
+}
+
+// applyCfg consumes the shared construction options.
+func (s *dpSwitch) applyCfg(cfg modelCfg) {
+	s.reg = cfg.reg
+	s.dec = cfg.dec
+}
+
+// dpOpts builds the dataplane compile options matching the model's
+// configuration.
+func (s *dpSwitch) dpOpts() []dataplane.Option {
+	opts := []dataplane.Option{dataplane.WithTelemetry(s.reg)}
+	if s.dec != nil {
+		opts = append(opts, dataplane.WithSchema(s.dec.Schema()))
+	}
+	return opts
+}
+
+func (s *dpSwitch) newDPWorker() *dpWorker {
+	w := &dpWorker{src: &s.dp, lift: s.lift, dec: s.dec}
+	if s.dec != nil {
+		w.view = s.dec.NewView()
+	}
+	return w
 }
 
 func (s *dpSwitch) getWorker() *dpWorker {
 	if w, ok := s.pool.Get().(*dpWorker); ok {
 		return w
 	}
-	return &dpWorker{src: &s.dp, lift: s.lift}
+	return s.newDPWorker()
 }
 
 // ProcessFrame checks a worker out of the pool and forwards one frame.
@@ -266,7 +349,7 @@ func (s *dpSwitch) ProcessBatch(frames [][]byte, out []dataplane.Verdict) error 
 }
 
 // NewWorker returns a dedicated per-goroutine forwarding context.
-func (s *dpSwitch) NewWorker() Worker { return &dpWorker{src: &s.dp, lift: s.lift} }
+func (s *dpSwitch) NewWorker() Worker { return s.newDPWorker() }
 
 // Counters snapshots a stage's per-entry packet counters.
 func (s *dpSwitch) Counters(stage int) []uint64 {

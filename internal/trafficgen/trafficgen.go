@@ -152,3 +152,173 @@ func GwLBZipf(g *usecases.GwLB, n, population int, skew float64, seed int64) *St
 	}
 	return s
 }
+
+// FrameStream is a pre-generated cyclic trace of wire frames for
+// schema-mode workloads: the programs match fields the fixed Packet
+// cannot carry, so the trace is frames, produced by marshalling
+// FieldViews through the schema's parse-graph decoder.
+type FrameStream struct {
+	frames [][]byte
+	pos    int
+}
+
+// Next returns the next frame (cycling).
+func (s *FrameStream) Next() []byte {
+	f := s.frames[s.pos]
+	s.pos++
+	if s.pos == len(s.frames) {
+		s.pos = 0
+	}
+	return f
+}
+
+// Len returns the trace length.
+func (s *FrameStream) Len() int { return len(s.frames) }
+
+// Frames exposes the underlying trace (read-only use).
+func (s *FrameStream) Frames() [][]byte { return s.frames }
+
+// marshalViews renders a batch of prepared views to frames.
+func marshalViews(views []*packet.FieldView) *FrameStream {
+	s := &FrameStream{frames: make([][]byte, len(views))}
+	for i, v := range views {
+		s.frames[i] = v.Marshal(nil)
+	}
+	return s
+}
+
+// vxlanView prepares a full eth/ipv4/udp/vxlan/inner_eth view.
+func vxlanView(dec *packet.Decoder, vni uint64, innerDst uint64, rng *rand.Rand) *packet.FieldView {
+	v := dec.NewView()
+	for _, h := range []string{"eth", "ipv4", "udp", "vxlan", "inner_eth"} {
+		v.MarkPresentName(h)
+	}
+	v.SetName(packet.FieldEthDst, 0x020000000001)
+	v.SetName(packet.FieldEthSrc, uint64(rng.Intn(1<<24))|0x020000000000)
+	v.SetName(packet.FieldEthType, packet.EtherTypeIPv4)
+	v.SetName("ip_verihl", 0x45)
+	v.SetName("ip_ttl", 64)
+	v.SetName("ip_proto", packet.ProtoUDP)
+	v.SetName("ip_src", uint64(rng.Uint32()))
+	v.SetName("ip_dst", uint64(rng.Uint32()))
+	v.SetName("udp_src", uint64(1024+rng.Intn(1<<14)))
+	v.SetName("udp_dst", packet.UDPPortVXLAN)
+	v.SetName("vxlan_flags", 0x08)
+	v.SetName(packet.FieldVXLANVNI, vni)
+	v.SetName(packet.FieldInnerEthDst, innerDst)
+	v.SetName(packet.FieldInnerEthSrc, 0x020000000000|uint64(rng.Intn(1<<24)))
+	v.SetName("inner_eth_type", packet.EtherTypeIPv4)
+	return v
+}
+
+// VXLANFrames generates overlay traffic for a VXLAN gateway: frames to
+// random (tenant, host) pairs; 1-hitRatio of the frames carry an unknown
+// VNI or MAC and exercise the drop path.
+func VXLANFrames(g *usecases.VXLANGW, n int, hitRatio float64, seed int64) (*FrameStream, error) {
+	dec, err := packet.BuiltinDecoder(packet.SchemaVXLAN)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	views := make([]*packet.FieldView, n)
+	for i := range views {
+		var vni, mac uint64
+		if rng.Float64() < hitRatio {
+			ten := g.Tenants[rng.Intn(len(g.Tenants))]
+			h := ten.Hosts[rng.Intn(len(ten.Hosts))]
+			vni, mac = uint64(ten.VNI), h.MAC
+		} else {
+			vni = uint64(0xF00000 | rng.Intn(1<<20))
+			mac = 0x0E0000000000 | uint64(rng.Intn(1<<24))
+		}
+		views[i] = vxlanView(dec, vni, mac, rng)
+	}
+	return marshalViews(views), nil
+}
+
+// MPLSFrames generates labeled traffic for an LSR: frames carrying random
+// installed (label, tc) pairs, the rest unknown labels.
+func MPLSFrames(g *usecases.MPLSLSR, n int, hitRatio float64, seed int64) (*FrameStream, error) {
+	dec, err := packet.BuiltinDecoder(packet.SchemaMPLS)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	views := make([]*packet.FieldView, n)
+	for i := range views {
+		var label, tc uint64
+		if rng.Float64() < hitRatio {
+			f := g.Fecs[rng.Intn(len(g.Fecs))]
+			label = uint64(f.Label)
+			tc = uint64(rng.Intn(len(f.Outs)))
+		} else {
+			label = uint64(0x80000 | rng.Intn(1<<19))
+			tc = uint64(rng.Intn(8))
+		}
+		v := dec.NewView()
+		for _, h := range []string{"eth", "mpls", "ipv4"} {
+			v.MarkPresentName(h)
+		}
+		v.SetName(packet.FieldEthDst, 0x020000000001)
+		v.SetName(packet.FieldEthSrc, 0x020000000000|uint64(rng.Intn(1<<24)))
+		v.SetName(packet.FieldEthType, packet.EtherTypeMPLS)
+		v.SetName(packet.FieldMPLSLabel, label)
+		v.SetName(packet.FieldMPLSTC, tc)
+		v.SetName(packet.FieldMPLSBoS, 1)
+		v.SetName(packet.FieldMPLSTTL, 64)
+		v.SetName("ip_verihl", 0x45)
+		v.SetName("ip_ttl", 64)
+		v.SetName("ip_proto", packet.ProtoTCP)
+		v.SetName("ip_src", uint64(rng.Uint32()))
+		v.SetName("ip_dst", uint64(rng.Uint32()))
+		views[i] = v
+	}
+	return marshalViews(views), nil
+}
+
+// GTPUFrames generates tunneled traffic for a GTP-U gateway: frames to
+// random installed (bearer, inner destination) pairs, the rest unknown
+// TEIDs.
+func GTPUFrames(g *usecases.GTPUGW, n int, hitRatio float64, seed int64) (*FrameStream, error) {
+	dec, err := packet.BuiltinDecoder(packet.SchemaGTPU)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	views := make([]*packet.FieldView, n)
+	for i := range views {
+		var teid, innerDst uint64
+		if rng.Float64() < hitRatio {
+			br := g.Bearers[rng.Intn(len(g.Bearers))]
+			d := br.Dests[rng.Intn(len(br.Dests))]
+			teid, innerDst = uint64(br.TEID), uint64(d.InnerDst)
+		} else {
+			teid = uint64(0xDEAD0000 | rng.Intn(1<<16))
+			innerDst = uint64(0x0B000000 | rng.Intn(1<<24))
+		}
+		v := dec.NewView()
+		for _, h := range []string{"eth", "ipv4", "udp", "gtpu", "inner_ipv4"} {
+			v.MarkPresentName(h)
+		}
+		v.SetName(packet.FieldEthDst, 0x020000000001)
+		v.SetName(packet.FieldEthSrc, 0x020000000000|uint64(rng.Intn(1<<24)))
+		v.SetName(packet.FieldEthType, packet.EtherTypeIPv4)
+		v.SetName("ip_verihl", 0x45)
+		v.SetName("ip_ttl", 64)
+		v.SetName("ip_proto", packet.ProtoUDP)
+		v.SetName("ip_src", uint64(rng.Uint32()))
+		v.SetName("ip_dst", uint64(rng.Uint32()))
+		v.SetName("udp_src", uint64(1024+rng.Intn(1<<14)))
+		v.SetName("udp_dst", packet.UDPPortGTPU)
+		v.SetName("gtpu_flags", 0x30)
+		v.SetName("gtpu_type", packet.GTPMsgGPDU)
+		v.SetName(packet.FieldGTPUTEID, teid)
+		v.SetName("inner_ip_verihl", 0x45)
+		v.SetName("inner_ip_ttl", 64)
+		v.SetName("inner_ip_proto", packet.ProtoTCP)
+		v.SetName("inner_ip_src", uint64(rng.Uint32()))
+		v.SetName(packet.FieldInnerIPDst, innerDst)
+		views[i] = v
+	}
+	return marshalViews(views), nil
+}

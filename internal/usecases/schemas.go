@@ -1,0 +1,505 @@
+package usecases
+
+import (
+	"fmt"
+	"math/rand"
+
+	"manorm/internal/fd"
+	"manorm/internal/mat"
+	"manorm/internal/packet"
+)
+
+// This file carries the protocol-independent example programs: the same
+// gateway-style decomposition study as GwLB, but over header schemas the
+// fixed Packet struct cannot express (VXLAN, MPLS, GTP-U). Every table is
+// stamped with the schema's name as provenance, so a datapath compiled
+// for a different schema rejects it at Install time.
+
+// vxlanBinder & friends mint match/action columns from the shipped
+// schemas, so widths always agree with the parse graph.
+func schemaBinder(name string) *packet.Binder {
+	dec, err := packet.BuiltinDecoder(name)
+	if err != nil {
+		panic(err) // shipped schemas compile; a failure is a programming error
+	}
+	return packet.NewBinder(dec.Schema())
+}
+
+// ---------------------------------------------------------------------------
+// VXLAN tenant gateway
+
+// VXLANHost is one tenant VM: inner Ethernet destination → egress port.
+type VXLANHost struct {
+	MAC uint64
+	Out uint16
+}
+
+// VXLANTenant is one overlay segment: a VNI and its host table.
+type VXLANTenant struct {
+	VNI   uint32
+	Hosts []VXLANHost
+}
+
+// VXLANGW is a VXLAN tenant gateway: classify the 24-bit VNI, then
+// forward on the inner Ethernet destination — the overlay analogue of the
+// paper's service classifier + per-service load balancer.
+type VXLANGW struct {
+	Tenants []VXLANTenant
+}
+
+// GenerateVXLAN builds a deterministic random gateway with n tenants of m
+// hosts each. VNIs start at 1000; ports are globally unique.
+func GenerateVXLAN(n, m int, seed int64) *VXLANGW {
+	rng := rand.New(rand.NewSource(seed))
+	g := &VXLANGW{}
+	nextOut := uint16(1)
+	for t := 0; t < n; t++ {
+		ten := VXLANTenant{VNI: 1000 + uint32(t)}
+		for h := 0; h < m; h++ {
+			ten.Hosts = append(ten.Hosts, VXLANHost{
+				MAC: 0x020000000000 | uint64(rng.Intn(1<<24))<<8 | uint64(h),
+				Out: nextOut,
+			})
+			nextOut++
+		}
+		g.Tenants = append(g.Tenants, ten)
+	}
+	return g
+}
+
+// SchemaName returns the header schema the programs are written against.
+func (g *VXLANGW) SchemaName() string { return packet.SchemaVXLAN }
+
+// Schema returns the universal table schema.
+func (g *VXLANGW) Schema() mat.Schema {
+	b := schemaBinder(packet.SchemaVXLAN)
+	return append(b.Columns(packet.FieldVXLANVNI, packet.FieldInnerEthDst), mat.A("out", 16))
+}
+
+// Declared returns the semantic dependencies: (VNI, inner MAC) is the
+// key; the VNI alone determines nothing (hosts are per-tenant).
+func (g *VXLANGW) Declared() []fd.FD {
+	s := g.Schema()
+	return []fd.FD{
+		{From: mat.SetOf(s, packet.FieldVXLANVNI, packet.FieldInnerEthDst), To: mat.SetOf(s, "out")},
+	}
+}
+
+// Universal builds the single-table representation.
+func (g *VXLANGW) Universal() (*mat.Table, error) {
+	t := mat.New("vxlan_gw", g.Schema())
+	t.Provenance = packet.SchemaVXLAN
+	for _, ten := range g.Tenants {
+		for _, h := range ten.Hosts {
+			t.Add(mat.Exact(uint64(ten.VNI), 24), mat.Exact(h.MAC, 48), mat.Exact(uint64(h.Out), 16))
+		}
+	}
+	return t, nil
+}
+
+// Goto builds the goto_table decomposition: VNI classifier jumping into
+// per-tenant host tables.
+func (g *VXLANGW) Goto() (*mat.Pipeline, error) {
+	b := schemaBinder(packet.SchemaVXLAN)
+	first := mat.New("tenants", append(b.Columns(packet.FieldVXLANVNI), mat.A(mat.GotoAttr, 16)))
+	first.Provenance = packet.SchemaVXLAN
+	p := &mat.Pipeline{Name: "vxlan-goto", Start: 0}
+	p.Stages = append(p.Stages, mat.Stage{Table: first, Next: -1, MissDrop: true})
+	for ti, ten := range g.Tenants {
+		first.Add(mat.Exact(uint64(ten.VNI), 24), mat.Exact(uint64(ti+1), 16))
+		hosts := mat.New(fmt.Sprintf("hosts%d", ti), append(b.Columns(packet.FieldInnerEthDst), mat.A("out", 16)))
+		hosts.Provenance = packet.SchemaVXLAN
+		for _, h := range ten.Hosts {
+			hosts.Add(mat.Exact(h.MAC, 48), mat.Exact(uint64(h.Out), 16))
+		}
+		p.Stages = append(p.Stages, mat.Stage{Table: hosts, Next: -1, MissDrop: true})
+	}
+	return p, nil
+}
+
+// Metadata builds the metadata-tag decomposition: the VNI classifier
+// writes a tenant tag matched by one second-stage host table.
+func (g *VXLANGW) Metadata() (*mat.Pipeline, error) {
+	b := schemaBinder(packet.SchemaVXLAN)
+	mn := mat.MetaPrefix + "_tenant"
+	first := mat.New("tenants", append(b.Columns(packet.FieldVXLANVNI), mat.A(mn, 16)))
+	first.Provenance = packet.SchemaVXLAN
+	second := mat.New("hosts", append(mat.Schema{mat.F(mn, 16)}, append(b.Columns(packet.FieldInnerEthDst), mat.A("out", 16))...))
+	second.Provenance = packet.SchemaVXLAN
+	for ti, ten := range g.Tenants {
+		first.Add(mat.Exact(uint64(ten.VNI), 24), mat.Exact(uint64(ti), 16))
+		for _, h := range ten.Hosts {
+			second.Add(mat.Exact(uint64(ti), 16), mat.Exact(h.MAC, 48), mat.Exact(uint64(h.Out), 16))
+		}
+	}
+	return &mat.Pipeline{
+		Name:  "vxlan-meta",
+		Start: 0,
+		Stages: []mat.Stage{
+			{Table: first, Next: 1, MissDrop: true},
+			{Table: second, Next: -1, MissDrop: true},
+		},
+	}, nil
+}
+
+// Rematch builds the re-matching decomposition: the host table re-matches
+// the VNI instead of carrying a tag.
+func (g *VXLANGW) Rematch() (*mat.Pipeline, error) {
+	b := schemaBinder(packet.SchemaVXLAN)
+	first := mat.New("tenants", b.Columns(packet.FieldVXLANVNI))
+	first.Provenance = packet.SchemaVXLAN
+	second := mat.New("hosts", append(b.Columns(packet.FieldVXLANVNI, packet.FieldInnerEthDst), mat.A("out", 16)))
+	second.Provenance = packet.SchemaVXLAN
+	for _, ten := range g.Tenants {
+		first.Add(mat.Exact(uint64(ten.VNI), 24))
+		for _, h := range ten.Hosts {
+			second.Add(mat.Exact(uint64(ten.VNI), 24), mat.Exact(h.MAC, 48), mat.Exact(uint64(h.Out), 16))
+		}
+	}
+	return &mat.Pipeline{
+		Name:  "vxlan-rematch",
+		Start: 0,
+		Stages: []mat.Stage{
+			{Table: first, Next: 1, MissDrop: true},
+			{Table: second, Next: -1, MissDrop: true},
+		},
+	}, nil
+}
+
+// Build returns the requested representation as a pipeline.
+func (g *VXLANGW) Build(rep Representation) (*mat.Pipeline, error) {
+	return buildReps(rep, "vxlan", g.Universal, g.Goto, g.Metadata, g.Rematch)
+}
+
+// ---------------------------------------------------------------------------
+// MPLS label-switched router
+
+// MPLSFec is one forwarding-equivalence class: incoming label, outgoing
+// (swapped) label, and a per-traffic-class egress port (QoS steering on
+// the 3-bit TC field).
+type MPLSFec struct {
+	Label uint32
+	Swap  uint32
+	Outs  []uint16 // indexed by traffic class, len 1..8
+}
+
+// MPLSLSR is a label-switched router: stage 1 resolves the FEC from the
+// top label, stage 2 picks the egress by (FEC, traffic class) and swaps
+// the label.
+type MPLSLSR struct {
+	Fecs []MPLSFec
+}
+
+// GenerateMPLS builds a deterministic random LSR with n FECs, each
+// steering tcs traffic classes (1..8) to distinct ports.
+func GenerateMPLS(n, tcs int, seed int64) *MPLSLSR {
+	if tcs < 1 {
+		tcs = 1
+	}
+	if tcs > 8 {
+		tcs = 8
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := &MPLSLSR{}
+	nextOut := uint16(1)
+	for i := 0; i < n; i++ {
+		f := MPLSFec{
+			Label: 100 + uint32(i),
+			Swap:  uint32(16 + rng.Intn(1<<19)),
+		}
+		for tc := 0; tc < tcs; tc++ {
+			f.Outs = append(f.Outs, nextOut)
+			nextOut++
+		}
+		g.Fecs = append(g.Fecs, f)
+	}
+	return g
+}
+
+// SchemaName returns the header schema the programs are written against.
+func (g *MPLSLSR) SchemaName() string { return packet.SchemaMPLS }
+
+// Schema returns the universal table schema: match (label, tc), swap the
+// label and output.
+func (g *MPLSLSR) Schema() mat.Schema {
+	b := schemaBinder(packet.SchemaMPLS)
+	return append(b.Columns(packet.FieldMPLSLabel, packet.FieldMPLSTC),
+		b.Mod(packet.FieldMPLSLabel), mat.A("out", 16))
+}
+
+// Declared returns the semantic dependencies: the label determines the
+// swap; (label, tc) determines the egress.
+func (g *MPLSLSR) Declared() []fd.FD {
+	s := g.Schema()
+	return []fd.FD{
+		{From: mat.SetOf(s, packet.FieldMPLSLabel), To: mat.SetOf(s, "mod_"+packet.FieldMPLSLabel)},
+		{From: mat.SetOf(s, packet.FieldMPLSLabel, packet.FieldMPLSTC), To: mat.SetOf(s, "out")},
+	}
+}
+
+// Universal builds the single-table representation.
+func (g *MPLSLSR) Universal() (*mat.Table, error) {
+	t := mat.New("mpls_lsr", g.Schema())
+	t.Provenance = packet.SchemaMPLS
+	for _, f := range g.Fecs {
+		for tc, out := range f.Outs {
+			t.Add(mat.Exact(uint64(f.Label), 20), mat.Exact(uint64(tc), 3),
+				mat.Exact(uint64(f.Swap), 20), mat.Exact(uint64(out), 16))
+		}
+	}
+	return t, nil
+}
+
+// Goto builds the goto_table decomposition: the FEC classifier swaps the
+// label and jumps into a per-FEC QoS table.
+func (g *MPLSLSR) Goto() (*mat.Pipeline, error) {
+	b := schemaBinder(packet.SchemaMPLS)
+	first := mat.New("fecs", append(b.Columns(packet.FieldMPLSLabel),
+		b.Mod(packet.FieldMPLSLabel), mat.A(mat.GotoAttr, 16)))
+	first.Provenance = packet.SchemaMPLS
+	p := &mat.Pipeline{Name: "mpls-goto", Start: 0}
+	p.Stages = append(p.Stages, mat.Stage{Table: first, Next: -1, MissDrop: true})
+	for fi, f := range g.Fecs {
+		first.Add(mat.Exact(uint64(f.Label), 20), mat.Exact(uint64(f.Swap), 20), mat.Exact(uint64(fi+1), 16))
+		qos := mat.New(fmt.Sprintf("qos%d", fi), append(b.Columns(packet.FieldMPLSTC), mat.A("out", 16)))
+		qos.Provenance = packet.SchemaMPLS
+		for tc, out := range f.Outs {
+			qos.Add(mat.Exact(uint64(tc), 3), mat.Exact(uint64(out), 16))
+		}
+		p.Stages = append(p.Stages, mat.Stage{Table: qos, Next: -1, MissDrop: true})
+	}
+	return p, nil
+}
+
+// Metadata builds the metadata-tag decomposition.
+func (g *MPLSLSR) Metadata() (*mat.Pipeline, error) {
+	b := schemaBinder(packet.SchemaMPLS)
+	mn := mat.MetaPrefix + "_fec"
+	first := mat.New("fecs", append(b.Columns(packet.FieldMPLSLabel),
+		b.Mod(packet.FieldMPLSLabel), mat.A(mn, 16)))
+	first.Provenance = packet.SchemaMPLS
+	second := mat.New("qos", append(mat.Schema{mat.F(mn, 16)}, append(b.Columns(packet.FieldMPLSTC), mat.A("out", 16))...))
+	second.Provenance = packet.SchemaMPLS
+	for fi, f := range g.Fecs {
+		first.Add(mat.Exact(uint64(f.Label), 20), mat.Exact(uint64(f.Swap), 20), mat.Exact(uint64(fi), 16))
+		for tc, out := range f.Outs {
+			second.Add(mat.Exact(uint64(fi), 16), mat.Exact(uint64(tc), 3), mat.Exact(uint64(out), 16))
+		}
+	}
+	return &mat.Pipeline{
+		Name:  "mpls-meta",
+		Start: 0,
+		Stages: []mat.Stage{
+			{Table: first, Next: 1, MissDrop: true},
+			{Table: second, Next: -1, MissDrop: true},
+		},
+	}, nil
+}
+
+// Rematch builds the re-matching decomposition: the QoS stage re-matches
+// the *incoming* label. Note the subtlety this representation carries on
+// a rewriting pipeline: stage 1 already swapped the label, so a naive
+// re-match of mpls_label would look up the *new* label — the Fig. 3
+// action-dependency caveat. The program therefore defers the swap to
+// stage 2, keeping the representations semantically equivalent.
+func (g *MPLSLSR) Rematch() (*mat.Pipeline, error) {
+	b := schemaBinder(packet.SchemaMPLS)
+	first := mat.New("fecs", b.Columns(packet.FieldMPLSLabel))
+	first.Provenance = packet.SchemaMPLS
+	second := mat.New("qos", append(b.Columns(packet.FieldMPLSLabel, packet.FieldMPLSTC),
+		b.Mod(packet.FieldMPLSLabel), mat.A("out", 16)))
+	second.Provenance = packet.SchemaMPLS
+	for _, f := range g.Fecs {
+		first.Add(mat.Exact(uint64(f.Label), 20))
+		for tc, out := range f.Outs {
+			second.Add(mat.Exact(uint64(f.Label), 20), mat.Exact(uint64(tc), 3),
+				mat.Exact(uint64(f.Swap), 20), mat.Exact(uint64(out), 16))
+		}
+	}
+	return &mat.Pipeline{
+		Name:  "mpls-rematch",
+		Start: 0,
+		Stages: []mat.Stage{
+			{Table: first, Next: 1, MissDrop: true},
+			{Table: second, Next: -1, MissDrop: true},
+		},
+	}, nil
+}
+
+// Build returns the requested representation as a pipeline.
+func (g *MPLSLSR) Build(rep Representation) (*mat.Pipeline, error) {
+	return buildReps(rep, "mpls", g.Universal, g.Goto, g.Metadata, g.Rematch)
+}
+
+// ---------------------------------------------------------------------------
+// GTP-U mobile gateway
+
+// GTPUBearer is one tunnel: the 32-bit TEID and the inner destinations it
+// may reach.
+type GTPUBearer struct {
+	TEID  uint32
+	Dests []GTPUDest
+}
+
+// GTPUDest routes one inner IPv4 destination to an egress port.
+type GTPUDest struct {
+	InnerDst uint32
+	Out      uint16
+}
+
+// GTPUGW is a mobile-core user-plane gateway: classify the bearer by
+// TEID, then route the inner IPv4 destination.
+type GTPUGW struct {
+	Bearers []GTPUBearer
+}
+
+// GenerateGTPU builds a deterministic random gateway with n bearers of m
+// inner destinations each.
+func GenerateGTPU(n, m int, seed int64) *GTPUGW {
+	rng := rand.New(rand.NewSource(seed))
+	g := &GTPUGW{}
+	nextOut := uint16(1)
+	for b := 0; b < n; b++ {
+		br := GTPUBearer{TEID: 0x10000 + uint32(b)}
+		for d := 0; d < m; d++ {
+			br.Dests = append(br.Dests, GTPUDest{
+				InnerDst: 0x0A000000 | uint32(rng.Intn(1<<24)), // 10.0.0.0/8 block
+				Out:      nextOut,
+			})
+			nextOut++
+		}
+		g.Bearers = append(g.Bearers, br)
+	}
+	return g
+}
+
+// SchemaName returns the header schema the programs are written against.
+func (g *GTPUGW) SchemaName() string { return packet.SchemaGTPU }
+
+// Schema returns the universal table schema.
+func (g *GTPUGW) Schema() mat.Schema {
+	b := schemaBinder(packet.SchemaGTPU)
+	return append(b.Columns(packet.FieldGTPUTEID, packet.FieldInnerIPDst), mat.A("out", 16))
+}
+
+// Declared returns the semantic dependencies.
+func (g *GTPUGW) Declared() []fd.FD {
+	s := g.Schema()
+	return []fd.FD{
+		{From: mat.SetOf(s, packet.FieldGTPUTEID, packet.FieldInnerIPDst), To: mat.SetOf(s, "out")},
+	}
+}
+
+// Universal builds the single-table representation.
+func (g *GTPUGW) Universal() (*mat.Table, error) {
+	t := mat.New("gtpu_gw", g.Schema())
+	t.Provenance = packet.SchemaGTPU
+	for _, br := range g.Bearers {
+		for _, d := range br.Dests {
+			t.Add(mat.Exact(uint64(br.TEID), 32), mat.Exact(uint64(d.InnerDst), 32), mat.Exact(uint64(d.Out), 16))
+		}
+	}
+	return t, nil
+}
+
+// Goto builds the goto_table decomposition: bearer classifier jumping
+// into per-bearer inner routing tables.
+func (g *GTPUGW) Goto() (*mat.Pipeline, error) {
+	b := schemaBinder(packet.SchemaGTPU)
+	first := mat.New("bearers", append(b.Columns(packet.FieldGTPUTEID), mat.A(mat.GotoAttr, 16)))
+	first.Provenance = packet.SchemaGTPU
+	p := &mat.Pipeline{Name: "gtpu-goto", Start: 0}
+	p.Stages = append(p.Stages, mat.Stage{Table: first, Next: -1, MissDrop: true})
+	for bi, br := range g.Bearers {
+		first.Add(mat.Exact(uint64(br.TEID), 32), mat.Exact(uint64(bi+1), 16))
+		route := mat.New(fmt.Sprintf("route%d", bi), append(b.Columns(packet.FieldInnerIPDst), mat.A("out", 16)))
+		route.Provenance = packet.SchemaGTPU
+		for _, d := range br.Dests {
+			route.Add(mat.Exact(uint64(d.InnerDst), 32), mat.Exact(uint64(d.Out), 16))
+		}
+		p.Stages = append(p.Stages, mat.Stage{Table: route, Next: -1, MissDrop: true})
+	}
+	return p, nil
+}
+
+// Metadata builds the metadata-tag decomposition.
+func (g *GTPUGW) Metadata() (*mat.Pipeline, error) {
+	b := schemaBinder(packet.SchemaGTPU)
+	mn := mat.MetaPrefix + "_bearer"
+	first := mat.New("bearers", append(b.Columns(packet.FieldGTPUTEID), mat.A(mn, 16)))
+	first.Provenance = packet.SchemaGTPU
+	second := mat.New("routes", append(mat.Schema{mat.F(mn, 16)}, append(b.Columns(packet.FieldInnerIPDst), mat.A("out", 16))...))
+	second.Provenance = packet.SchemaGTPU
+	for bi, br := range g.Bearers {
+		first.Add(mat.Exact(uint64(br.TEID), 32), mat.Exact(uint64(bi), 16))
+		for _, d := range br.Dests {
+			second.Add(mat.Exact(uint64(bi), 16), mat.Exact(uint64(d.InnerDst), 32), mat.Exact(uint64(d.Out), 16))
+		}
+	}
+	return &mat.Pipeline{
+		Name:  "gtpu-meta",
+		Start: 0,
+		Stages: []mat.Stage{
+			{Table: first, Next: 1, MissDrop: true},
+			{Table: second, Next: -1, MissDrop: true},
+		},
+	}, nil
+}
+
+// Rematch builds the re-matching decomposition.
+func (g *GTPUGW) Rematch() (*mat.Pipeline, error) {
+	b := schemaBinder(packet.SchemaGTPU)
+	first := mat.New("bearers", b.Columns(packet.FieldGTPUTEID))
+	first.Provenance = packet.SchemaGTPU
+	second := mat.New("routes", append(b.Columns(packet.FieldGTPUTEID, packet.FieldInnerIPDst), mat.A("out", 16)))
+	second.Provenance = packet.SchemaGTPU
+	for _, br := range g.Bearers {
+		first.Add(mat.Exact(uint64(br.TEID), 32))
+		for _, d := range br.Dests {
+			second.Add(mat.Exact(uint64(br.TEID), 32), mat.Exact(uint64(d.InnerDst), 32), mat.Exact(uint64(d.Out), 16))
+		}
+	}
+	return &mat.Pipeline{
+		Name:  "gtpu-rematch",
+		Start: 0,
+		Stages: []mat.Stage{
+			{Table: first, Next: 1, MissDrop: true},
+			{Table: second, Next: -1, MissDrop: true},
+		},
+	}, nil
+}
+
+// Build returns the requested representation as a pipeline.
+func (g *GTPUGW) Build(rep Representation) (*mat.Pipeline, error) {
+	return buildReps(rep, "gtpu", g.Universal, g.Goto, g.Metadata, g.Rematch)
+}
+
+// buildReps is the shared Build dispatcher for the schema use cases.
+func buildReps(rep Representation, name string,
+	universal func() (*mat.Table, error),
+	gotoRep, meta, rematch func() (*mat.Pipeline, error)) (*mat.Pipeline, error) {
+	switch rep {
+	case RepUniversal:
+		t, err := universal()
+		if err != nil {
+			return nil, err
+		}
+		return mat.SingleTable(t), nil
+	case RepGoto:
+		return gotoRep()
+	case RepFused:
+		p, err := gotoRep()
+		if err != nil {
+			return nil, err
+		}
+		p.Name = name + "-fused"
+		p.Fused = true
+		return p, nil
+	case RepMetadata:
+		return meta()
+	case RepRematch:
+		return rematch()
+	default:
+		return nil, fmt.Errorf("usecases: unknown representation %q", rep)
+	}
+}

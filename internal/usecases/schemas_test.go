@@ -1,0 +1,157 @@
+package usecases_test
+
+import (
+	"testing"
+
+	"manorm/internal/dataplane"
+	"manorm/internal/mat"
+	"manorm/internal/packet"
+	"manorm/internal/trafficgen"
+	"manorm/internal/usecases"
+)
+
+func TestSchemaUseCasesRepsAgree(t *testing.T) {
+	reps := []usecases.Representation{
+		usecases.RepUniversal, usecases.RepGoto, usecases.RepMetadata,
+		usecases.RepRematch, usecases.RepFused,
+	}
+	vx := usecases.GenerateVXLAN(5, 4, 1)
+	lsr := usecases.GenerateMPLS(6, 4, 2)
+	gtpu := usecases.GenerateGTPU(5, 3, 3)
+	vxFrames, err := trafficgen.VXLANFrames(vx, 256, 0.85, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mplsFrames, err := trafficgen.MPLSFrames(lsr, 256, 0.85, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gtpuFrames, err := trafficgen.GTPUFrames(gtpu, 256, 0.85, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		schema string
+		build  func(usecases.Representation) (*mat.Pipeline, error)
+		frames [][]byte
+	}{
+		{"vxlan", packet.SchemaVXLAN, vx.Build, vxFrames.Frames()},
+		{"mpls", packet.SchemaMPLS, lsr.Build, mplsFrames.Frames()},
+		{"gtpu", packet.SchemaGTPU, gtpu.Build, gtpuFrames.Frames()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dec, err := packet.BuiltinDecoder(tc.schema)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want []dataplane.Verdict
+			for ri, rep := range reps {
+				p, err := tc.build(rep)
+				if err != nil {
+					t.Fatalf("%s: %v", rep, err)
+				}
+				dp, err := dataplane.Compile(p, dataplane.AutoTemplates, dataplane.WithSchema(dec.Schema()))
+				if err != nil {
+					t.Fatalf("%s: %v", rep, err)
+				}
+				ctx := dp.NewCtx()
+				view := dec.NewView()
+				got := make([]dataplane.Verdict, len(tc.frames))
+				for i, f := range tc.frames {
+					if err := dec.ParseInto(view, f); err != nil {
+						t.Fatalf("%s: frame %d: %v", rep, i, err)
+					}
+					v, err := dp.ProcessView(view, ctx)
+					if err != nil {
+						t.Fatalf("%s: frame %d: %v", rep, i, err)
+					}
+					got[i] = v
+				}
+				if ri == 0 {
+					want = got
+					continue
+				}
+				for i := range got {
+					if got[i].Drop != want[i].Drop || (!got[i].Drop && got[i].Port != want[i].Port) {
+						t.Fatalf("%s: frame %d verdict (%v,%d) != universal (%v,%d)",
+							rep, i, got[i].Drop, got[i].Port, want[i].Drop, want[i].Port)
+					}
+				}
+			}
+			// Sanity: the trace must exercise both forward and drop paths.
+			fwd, drop := 0, 0
+			for _, v := range want {
+				if v.Drop {
+					drop++
+				} else {
+					fwd++
+				}
+			}
+			if fwd == 0 || drop == 0 {
+				t.Fatalf("degenerate trace: %d forwarded, %d dropped", fwd, drop)
+			}
+		})
+	}
+}
+
+// mplsFrame builds one single-label frame for the given (label, tc).
+func mplsFrame(t *testing.T, dec *packet.Decoder, label, tc uint64) []byte {
+	t.Helper()
+	v := dec.NewView()
+	for _, h := range []string{"eth", "mpls", "ipv4"} {
+		if !v.MarkPresentName(h) {
+			t.Fatalf("unknown header %q", h)
+		}
+	}
+	v.SetName(packet.FieldEthType, packet.EtherTypeMPLS)
+	v.SetName(packet.FieldMPLSLabel, label)
+	v.SetName(packet.FieldMPLSTC, tc)
+	v.SetName(packet.FieldMPLSBoS, 1)
+	v.SetName(packet.FieldMPLSTTL, 64)
+	v.SetName("ip_verihl", 0x45)
+	v.SetName("ip_ttl", 64)
+	return v.Marshal(nil)
+}
+
+// TestMPLSRematchSwapsLabel pins the action-dependency caveat handling:
+// every representation — including rematch, which defers the swap to
+// stage 2 so the re-match still sees the incoming label — must leave the
+// swapped label on the view.
+func TestMPLSRematchSwapsLabel(t *testing.T) {
+	g := usecases.GenerateMPLS(3, 2, 7)
+	dec, err := packet.BuiltinDecoder(packet.SchemaMPLS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range []usecases.Representation{
+		usecases.RepUniversal, usecases.RepMetadata, usecases.RepRematch,
+	} {
+		p, err := g.Build(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp, err := dataplane.Compile(p, dataplane.AutoTemplates, dataplane.WithSchema(dec.Schema()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := dp.NewCtx()
+		view := dec.NewView()
+		f := g.Fecs[1]
+		frame := mplsFrame(t, dec, uint64(f.Label), 0)
+		if err := dec.ParseInto(view, frame); err != nil {
+			t.Fatal(err)
+		}
+		v, err := dp.ProcessView(view, ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Drop || v.Port != f.Outs[0] {
+			t.Fatalf("%s: verdict (%v,%d), want port %d", rep, v.Drop, v.Port, f.Outs[0])
+		}
+		if got, _ := view.GetName(packet.FieldMPLSLabel); got != uint64(f.Swap) {
+			t.Fatalf("%s: label after processing = %#x, want swapped %#x", rep, got, f.Swap)
+		}
+	}
+}
