@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: build test lint race check fuzz-smoke fuzz-replay fabric-smoke \
-	benchguard benchguard-update bench parallel profile quickstart
+	soak-smoke benchguard benchguard-update bench parallel profile quickstart
 
 build:
 	$(GO) build ./...
@@ -49,21 +49,31 @@ fuzz-replay:
 fabric-smoke:
 	$(GO) run ./cmd/mabench -experiment fabricchurn -quick
 
+# soak-smoke is the CI slice of the sustained soak (E10): 60 seconds of
+# forwarding (including malformed frames through the typed-drop decoder
+# paths) concurrent with control-plane churn over a fault-injected TCP
+# channel, gated on per-window throughput drift and p99 processing
+# latency from the telemetry registry.
+soak-smoke:
+	$(GO) run ./cmd/mabench -experiment soak -duration 60s
+
 # benchguard re-measures the multi-core scaling workload and compares
 # its shape against the checked-in BENCH_parallel.json baseline (±20%
 # per (switch, rep) aggregate, host-normalized); -require-rep asserts
 # the fused row family was actually measured rather than dropping out
-# of the intersection the comparison scores. benchguard-update
-# refreshes the baseline after an intentional performance change.
+# of the intersection the comparison scores, and -require-wire that the
+# struct-path rows of the wire dimension (frames vs structs ingest) were
+# measured too. benchguard-update refreshes the baseline after an
+# intentional performance change.
 benchguard:
-	$(GO) run ./cmd/benchguard -require-rep fused
+	$(GO) run ./cmd/benchguard -require-rep fused -require-wire structs
 
 benchguard-update:
-	$(GO) run ./cmd/benchguard -update -current BENCH_parallel.json -runs 5 -require-rep fused
+	$(GO) run ./cmd/benchguard -update -current BENCH_parallel.json -runs 5 -require-rep fused -require-wire structs
 
 # check is the single gate CI runs — .github/workflows/ci.yml calls
 # exactly this target, so a green `make check` locally is a green build.
-check: lint build test race fuzz-smoke fuzz-replay fabric-smoke benchguard
+check: lint build test race fuzz-smoke fuzz-replay fabric-smoke soak-smoke benchguard
 
 bench:
 	$(GO) test -p 1 -bench=. -benchmem ./...

@@ -32,28 +32,30 @@ import (
 
 // options carries the parsed flags through run.
 type options struct {
-	baseline    string
-	current     string
-	update      bool
-	tol         float64
-	runs        int
-	attempts    int
-	workers     int
-	packets     int
-	requireReps []string
+	baseline     string
+	current      string
+	update       bool
+	tol          float64
+	runs         int
+	attempts     int
+	workers      int
+	packets      int
+	requireReps  []string
+	requireWires []string
 }
 
 func main() {
 	var (
-		baseline   = flag.String("baseline", "BENCH_parallel.json", "checked-in baseline report")
-		current    = flag.String("current", "", "compare this report instead of measuring")
-		update     = flag.Bool("update", false, "measure and write a fresh report to -current instead of comparing")
-		tol        = flag.Float64("tol", 0.20, "symmetric tolerance on each (switch, rep) aggregate")
-		runs       = flag.Int("runs", 3, "measurement repetitions (best rate per row is kept)")
-		attempts   = flag.Int("attempts", 2, "fresh measurements to try before declaring a regression (ignored with -current)")
-		workers    = flag.Int("workers", 8, "worker-count ceiling of the measured workload (keep equal to the baseline's max_workers: the shared rows must run under identical conditions)")
-		packets    = flag.Int("packets", 400_000, "packets per measurement")
-		requireRep = flag.String("require-rep", "", "comma-separated representations every switch in the current report must cover (e.g. fused)")
+		baseline    = flag.String("baseline", "BENCH_parallel.json", "checked-in baseline report")
+		current     = flag.String("current", "", "compare this report instead of measuring")
+		update      = flag.Bool("update", false, "measure and write a fresh report to -current instead of comparing")
+		tol         = flag.Float64("tol", 0.20, "symmetric tolerance on each (switch, rep) aggregate")
+		runs        = flag.Int("runs", 3, "measurement repetitions (best rate per row is kept)")
+		attempts    = flag.Int("attempts", 2, "fresh measurements to try before declaring a regression (ignored with -current)")
+		workers     = flag.Int("workers", 8, "worker-count ceiling of the measured workload (keep equal to the baseline's max_workers: the shared rows must run under identical conditions)")
+		packets     = flag.Int("packets", 400_000, "packets per measurement")
+		requireRep  = flag.String("require-rep", "", "comma-separated representations every switch in the current report must cover (e.g. fused)")
+		requireWire = flag.String("require-wire", "", "comma-separated ingest paths every switch in the current report must cover (frames, structs)")
 	)
 	flag.Parse()
 
@@ -63,6 +65,9 @@ func main() {
 	}
 	if *requireRep != "" {
 		opts.requireReps = strings.Split(*requireRep, ",")
+	}
+	if *requireWire != "" {
+		opts.requireWires = strings.Split(*requireWire, ",")
 	}
 	if err := run(os.Stdout, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "benchguard:", err)
@@ -88,6 +93,9 @@ func run(w io.Writer, opts options) error {
 			return err
 		}
 		if err := bench.RequireReps(rep, opts.requireReps); err != nil {
+			return err
+		}
+		if err := bench.RequireWires(rep, opts.requireWires); err != nil {
 			return err
 		}
 		cfg := bench.DefaultConfig()
@@ -135,6 +143,9 @@ func run(w io.Writer, opts options) error {
 // coverage drift has to be surfaced rather than silently dropped.
 func compareOnce(w io.Writer, base, cur *bench.ParallelReport, opts options) error {
 	if err := bench.RequireReps(cur, opts.requireReps); err != nil {
+		return err
+	}
+	if err := bench.RequireWires(cur, opts.requireWires); err != nil {
 		return err
 	}
 	deltas, err := bench.CompareParallel(base, cur, opts.tol)

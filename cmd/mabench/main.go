@@ -24,6 +24,11 @@
 //	mabench -experiment schemas        # shipped non-default schemas (VXLAN,
 //	                                   # MPLS, GTP-U) through the programmable
 //	                                   # parser, all switch models
+//	mabench -experiment soak           # E10: sustained soak — forwarding +
+//	                                   # churn + channel faults concurrently,
+//	                                   # with drift/p99 gates (-duration sets
+//	                                   # the soak length; not part of "all",
+//	                                   # which is duration-unbounded otherwise)
 //
 // -workers W runs the multi-core scaling experiment with worker counts
 // doubling up to W (`mabench -workers 8` is shorthand for
@@ -49,6 +54,7 @@ import (
 	"io"
 	"os"
 	"runtime/pprof"
+	"time"
 
 	"manorm/internal/bench"
 	"manorm/internal/cliflags"
@@ -70,6 +76,9 @@ type options struct {
 	// traceSample > 0 prints witness pairs (universal vs decomposed) for
 	// every Nth packet of the standard workload after the experiments.
 	traceSample int
+	// duration overrides the soak experiment's run length (0 keeps the
+	// spec default).
+	duration time.Duration
 }
 
 func main() {
@@ -85,6 +94,7 @@ func main() {
 		metrics    = flag.Bool("metrics", false, "instrument measured switches and embed telemetry snapshots in JSON results")
 		jsonOut    = flag.String("o", "", "write -json output to this path instead of "+parallelJSONPath)
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (see `make profile`)")
+		duration   = flag.Duration("duration", 0, "soak experiment length (0 keeps the 60s default)")
 	)
 	obs := cliflags.Register(flag.CommandLine)
 	flag.Parse()
@@ -108,7 +118,7 @@ func main() {
 	if *workers > 0 && *experiment == "all" {
 		*experiment = "parallel"
 	}
-	opts := options{workers: *workers, fabric: *fabricN, traceSample: obs.TraceSample}
+	opts := options{workers: *workers, fabric: *fabricN, traceSample: obs.TraceSample, duration: *duration}
 	if opts.workers <= 0 {
 		opts.workers = 8
 	}
@@ -253,6 +263,22 @@ func run(experiment string, cfg bench.Config, opts options) error {
 				return err
 			}
 			bench.RenderNF4(w, rows)
+		case "soak":
+			// Duration-bounded by construction; excluded from "all" so the
+			// full artifact run stays wall-clock bounded by the measurement
+			// configs alone.
+			spec := bench.DefaultSoakSpec()
+			if opts.duration > 0 {
+				spec.Duration = opts.duration
+			}
+			r, err := bench.Soak(cfg, spec)
+			if err != nil {
+				return err
+			}
+			bench.RenderSoak(w, r)
+			if !r.OK() {
+				return fmt.Errorf("soak gates failed: %d violation(s)", len(r.Violations))
+			}
 		case "schemas":
 			rows, err := bench.SchemaTable(cfg, opts.workers)
 			if err != nil {

@@ -61,23 +61,30 @@ func TestParallelExperimentWritesJSON(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
-	// 4 switches × 3 representations (universal, goto, fused) × 2 worker counts.
-	if len(rep.Results) != 24 {
-		t.Errorf("got %d result rows, want 24", len(rep.Results))
+	// 4 switches × 3 representations (universal, goto, fused) × (2 worker
+	// counts on the frames path + 1 struct-path row of the wire dimension).
+	if len(rep.Results) != 36 {
+		t.Errorf("got %d result rows, want 36", len(rep.Results))
 	}
 	seen := map[string]bool{}
-	fused := 0
+	fused, structs := 0, 0
 	for _, r := range rep.Results {
 		seen[r.Switch] = true
 		if r.Rep == usecases.RepFused {
 			fused++
 		}
+		if r.Wire == "structs" {
+			structs++
+		}
 		if r.RateMpps <= 0 {
 			t.Errorf("%s/%s @%d: non-positive rate", r.Switch, r.Rep, r.Workers)
 		}
 	}
-	if fused != 8 {
-		t.Errorf("got %d fused rows, want 8", fused)
+	if fused != 12 {
+		t.Errorf("got %d fused rows, want 12", fused)
+	}
+	if structs != 12 {
+		t.Errorf("got %d struct-path rows, want 12", structs)
 	}
 	if len(seen) != 4 {
 		t.Errorf("results cover %d switches, want 4", len(seen))

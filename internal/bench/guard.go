@@ -30,19 +30,25 @@ import (
 // approximate when more than one row moved.
 
 // GuardKey identifies one aggregated guard metric. Schema is empty for
-// the canonical default-schema rows — the only rows pre-schema baselines
-// contain — so their JSON form and display strings are unchanged.
+// the canonical default-schema rows and Wire is empty for frame-path rows
+// — the only rows older baselines contain — so their JSON form and
+// display strings are unchanged.
 type GuardKey struct {
 	Switch string `json:"switch"`
 	Rep    string `json:"rep"`
 	Schema string `json:"schema,omitempty"`
+	Wire   string `json:"wire,omitempty"`
 }
 
 func (k GuardKey) String() string {
+	s := k.Switch + "/" + k.Rep
 	if k.Schema != "" {
-		return k.Switch + "/" + k.Rep + "@" + k.Schema
+		s += "@" + k.Schema
 	}
-	return k.Switch + "/" + k.Rep
+	if k.Wire != "" {
+		s += ":" + k.Wire
+	}
+	return s
 }
 
 // GuardDelta is the comparison of one (switch, rep) aggregate between
@@ -75,17 +81,18 @@ func ReadParallelReport(path string) (*ParallelReport, error) {
 }
 
 // rowKey identifies one measured row. The schema dimension is "" for
-// default-schema rows, so reports written before the schema experiments
-// existed keep keying (and gating) identically.
+// default-schema rows and the wire dimension "" for frame-path rows, so
+// reports written before those experiments existed keep keying (and
+// gating) identically.
 type rowKey struct {
-	sw, rep, schema string
-	workers         int
+	sw, rep, schema, wire string
+	workers               int
 }
 
 func reportRows(r *ParallelReport) map[rowKey]float64 {
 	out := make(map[rowKey]float64, len(r.Results))
 	for _, row := range r.Results {
-		out[rowKey{row.Switch, string(row.Rep), row.Schema, row.Workers}] = row.RateMpps
+		out[rowKey{row.Switch, string(row.Rep), row.Schema, row.Wire, row.Workers}] = row.RateMpps
 	}
 	return out
 }
@@ -117,7 +124,7 @@ func CompareParallel(base, cur *ParallelReport, tol float64) ([]GuardDelta, erro
 	bagg := make(map[GuardKey]*agg)
 	cagg := make(map[GuardKey]*agg)
 	for _, k := range shared {
-		gk := GuardKey{Switch: k.sw, Rep: k.rep, Schema: k.schema}
+		gk := GuardKey{Switch: k.sw, Rep: k.rep, Schema: k.schema, Wire: k.wire}
 		if bagg[gk] == nil {
 			bagg[gk], cagg[gk] = &agg{}, &agg{}
 		}
@@ -156,10 +163,14 @@ type RowDiff struct {
 func (d RowDiff) Empty() bool { return len(d.Added) == 0 && len(d.Removed) == 0 }
 
 func (k rowKey) String() string {
+	s := k.sw + "/" + k.rep
 	if k.schema != "" {
-		return fmt.Sprintf("%s/%s@%s/w%d", k.sw, k.rep, k.schema, k.workers)
+		s += "@" + k.schema
 	}
-	return fmt.Sprintf("%s/%s/w%d", k.sw, k.rep, k.workers)
+	if k.wire != "" {
+		s += ":" + k.wire
+	}
+	return fmt.Sprintf("%s/w%d", s, k.workers)
 }
 
 // DiffParallelRows reports the (switch, rep, workers) rows that baseline
@@ -210,6 +221,37 @@ func RequireReps(r *ParallelReport, reps []string) error {
 	return nil
 }
 
+// RequireWires checks that every switch appearing in the report has at
+// least one row per required ingest path ("frames" and/or "structs") —
+// the CI assertion that the wire-dimension rows actually got measured.
+// Rows with an empty Wire count as "frames".
+func RequireWires(r *ParallelReport, wires []string) error {
+	switches := make(map[string]map[string]bool)
+	for _, row := range r.Results {
+		if switches[row.Switch] == nil {
+			switches[row.Switch] = make(map[string]bool)
+		}
+		wire := row.Wire
+		if wire == "" {
+			wire = "frames"
+		}
+		switches[row.Switch][wire] = true
+	}
+	var missing []string
+	for sw, have := range switches {
+		for _, wire := range wires {
+			if !have[wire] {
+				missing = append(missing, sw+":"+wire)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("report lacks required wire rows: %v", missing)
+	}
+	return nil
+}
+
 func medianOver(rows map[rowKey]float64, keys []rowKey) float64 {
 	vs := make([]float64, 0, len(keys))
 	for _, k := range keys {
@@ -237,7 +279,7 @@ func MeasureGuard(cfg Config, maxWorkers, runs int) (*ParallelReport, error) {
 			return nil, err
 		}
 		for _, row := range rows {
-			k := rowKey{row.Switch, string(row.Rep), row.Schema, row.Workers}
+			k := rowKey{row.Switch, string(row.Rep), row.Schema, row.Wire, row.Workers}
 			if prev, ok := best[k]; !ok {
 				best[k] = row
 				order = append(order, k)

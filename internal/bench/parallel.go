@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"manorm/internal/dataplane"
+	"manorm/internal/packet"
 	"manorm/internal/switches"
 	"manorm/internal/telemetry"
 	"manorm/internal/trafficgen"
@@ -32,6 +33,11 @@ type ParallelResult struct {
 	// the canonical (default) schema, so pre-schema baselines parse
 	// unchanged.
 	Schema string `json:"schema,omitempty"`
+	// Wire names the ingest path: empty for the frame path (wire bytes
+	// through ProcessBatch — the default, and the only path pre-wire
+	// baselines contain) or "structs" for the legacy struct handoff
+	// (pre-parsed Packets through Process).
+	Wire string `json:"wire,omitempty"`
 	// RateMpps is the aggregate forwarding rate over all workers
 	// (wall-clock: total packets / elapsed time).
 	RateMpps float64 `json:"mpps"`
@@ -203,9 +209,59 @@ func ParallelScaling(swName string, rep usecases.Representation, cfg Config, max
 	return out, nil
 }
 
+// MeasureParallelStructs measures the legacy struct-handoff path of one
+// switch and representation: pre-parsed Packets through the
+// single-threaded Process API, one struct copy per call (the honest cost
+// of handing a mutable Packet to a datapath that rewrites headers). Paired
+// with the 1-worker frame-path row, the ratio isolates what wire decode
+// plus the batch surface cost — the benchguard "wire" dimension.
+func MeasureParallelStructs(swName string, rep usecases.Representation, cfg Config) (*ParallelResult, error) {
+	sw, snapshot, err := instrumented(swName, cfg)
+	if err != nil {
+		return nil, err
+	}
+	g := usecases.Generate(cfg.Services, cfg.Backends, cfg.Seed)
+	p, err := g.Build(rep)
+	if err != nil {
+		return nil, err
+	}
+	if err := sw.Install(p); err != nil {
+		return nil, err
+	}
+	pkts := trafficgen.GwLB(g, 4096, 1.0, cfg.Seed+1).Packets()
+
+	var scratch packet.Packet
+	for _, src := range pkts {
+		scratch = *src
+		if _, err := sw.Process(&scratch); err != nil {
+			return nil, err
+		}
+	}
+	start := time.Now()
+	for i := 0; i < cfg.Packets; i++ {
+		scratch = *pkts[i%len(pkts)]
+		if _, err := sw.Process(&scratch); err != nil {
+			return nil, err
+		}
+	}
+	elapsed := time.Since(start)
+
+	res := &ParallelResult{Switch: swName, Rep: rep, Workers: 1, Wire: "structs",
+		Packets: cfg.Packets, Stats: snapshot()}
+	if pm := sw.Perf(); pm.HWLineRateMpps > 0 {
+		res.RateMpps = pm.HWLineRateMpps
+		return res, nil
+	}
+	res.RateMpps = float64(cfg.Packets) * 1000 / float64(elapsed.Nanoseconds())
+	return res, nil
+}
+
 // ParallelTable runs the scaling curve for every switch and the headline
 // representations (the Table 1 pair plus the compiler-fused form) — the
-// full multi-core experiment.
+// full multi-core experiment — plus one struct-path row per (switch, rep)
+// so the guard watches both ingest surfaces. The struct row's Speedup is
+// its rate relative to the 1-worker frame-path rate: the frame path's
+// decode overhead factor.
 func ParallelTable(cfg Config, maxWorkers int) ([]*ParallelResult, error) {
 	var out []*ParallelResult
 	for _, sw := range SwitchNames() {
@@ -215,6 +271,14 @@ func ParallelTable(cfg Config, maxWorkers int) ([]*ParallelResult, error) {
 				return nil, err
 			}
 			out = append(out, rows...)
+			srow, err := MeasureParallelStructs(sw, rep, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if base := rows[0].RateMpps; base > 0 {
+				srow.Speedup = srow.RateMpps / base
+			}
+			out = append(out, srow)
 		}
 	}
 	return out, nil
@@ -224,9 +288,13 @@ func ParallelTable(cfg Config, maxWorkers int) ([]*ParallelResult, error) {
 func RenderParallel(w io.Writer, rows []*ParallelResult) {
 	fmt.Fprintf(w, "Multi-core scaling (extension): aggregate Mpps over sharded workers (host: %d CPUs)\n",
 		runtime.NumCPU())
-	fmt.Fprintf(w, "%-10s %-11s %-9s %-12s %-8s\n", "switch", "rep", "workers", "rate[Mpps]", "speedup")
+	fmt.Fprintf(w, "%-10s %-11s %-8s %-9s %-12s %-8s\n", "switch", "rep", "wire", "workers", "rate[Mpps]", "speedup")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-10s %-11s %-9d %-12.3f %-8.2f\n", r.Switch, r.Rep, r.Workers, r.RateMpps, r.Speedup)
+		wire := r.Wire
+		if wire == "" {
+			wire = "frames"
+		}
+		fmt.Fprintf(w, "%-10s %-11s %-8s %-9d %-12.3f %-8.2f\n", r.Switch, r.Rep, wire, r.Workers, r.RateMpps, r.Speedup)
 	}
 }
 

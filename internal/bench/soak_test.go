@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSoakSmoke runs a sharply shortened soak — real TCP channel, fault
+// dialer, churn and malformed frames included — and checks the harness
+// completes, counts work in every dimension, and evaluates its gates.
+func TestSoakSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak needs wall-clock time")
+	}
+	cfg := QuickConfig()
+	spec := DefaultSoakSpec()
+	spec.Duration = 1500 * time.Millisecond
+	spec.Windows = 3
+	spec.Workers = 2
+	r, err := Soak(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Windows) != spec.Windows {
+		t.Fatalf("%d windows, want %d", len(r.Windows), spec.Windows)
+	}
+	if r.Packets == 0 {
+		t.Fatal("no packets forwarded")
+	}
+	if r.Updates == 0 {
+		t.Fatal("no control-plane updates applied")
+	}
+	if r.DropsTruncated+r.DropsBadHeader == 0 {
+		t.Fatal("malformed injection produced no typed decoder drops")
+	}
+	// Gates may or may not flag drift over so few short windows; the
+	// render must work either way and name E10.
+	var sb strings.Builder
+	RenderSoak(&sb, r)
+	if !strings.Contains(sb.String(), "E10") {
+		t.Fatalf("render lacks experiment tag:\n%s", sb.String())
+	}
+}
+
+// TestSoakGateViolations checks the gate logic itself on a synthetic
+// result: a collapsed window and a p99 blow-up must both be flagged, and
+// the warm-up window must be exempt.
+func TestSoakGateViolations(t *testing.T) {
+	spec := DefaultSoakSpec()
+	spec.Windows = 5
+	r := &SoakResult{Spec: spec, Updates: 10}
+	r.DropsTruncated = 1
+	r.Spec.Malformed = 0.01
+	r.Windows = []SoakWindow{
+		{Mpps: 0.01, P99Ns: 9e9}, // warm-up: exempt however bad
+		{Mpps: 4.0, P99Ns: 1000},
+		{Mpps: 4.1, P99Ns: 1100},
+		{Mpps: 0.5, P99Ns: 1000}, // throughput collapse
+		{Mpps: 4.0, P99Ns: 1e8},  // p99 blow-up
+	}
+	r.Violations = soakGates(r, nil)
+	if r.OK() {
+		t.Fatal("degenerate windows passed the gates")
+	}
+	var drift, p99 bool
+	for _, v := range r.Violations {
+		if strings.Contains(v, "window 3") {
+			drift = true
+		}
+		if strings.Contains(v, "window 4") {
+			p99 = true
+		}
+		if strings.Contains(v, "window 0") {
+			t.Fatalf("warm-up window gated: %q", v)
+		}
+	}
+	if !drift || !p99 {
+		t.Fatalf("missing expected violations (drift=%v p99=%v): %v", drift, p99, r.Violations)
+	}
+
+	clean := &SoakResult{Spec: spec, Updates: 10, DropsBadHeader: 2}
+	clean.Spec.Malformed = 0.01
+	for i := 0; i < spec.Windows; i++ {
+		clean.Windows = append(clean.Windows, SoakWindow{Mpps: 4.0, P99Ns: 1000})
+	}
+	clean.Violations = soakGates(clean, nil)
+	if !clean.OK() {
+		t.Fatalf("steady windows flagged: %v", clean.Violations)
+	}
+}

@@ -386,7 +386,7 @@ func (p *Pipeline) Process(pkt *packet.Packet, ctx *Ctx) (Verdict, error) {
 	if p.fusedT != nil {
 		return p.processFused(pkt, ctx)
 	}
-	return p.process(pkt, nil, ctx, nil)
+	return p.process(pkt, nil, ctx, nil, nil)
 }
 
 // ProcessView runs one decoded FieldView through the pipeline — the
@@ -404,7 +404,7 @@ func (p *Pipeline) ProcessView(view *packet.FieldView, ctx *Ctx) (Verdict, error
 	if p.fusedT != nil {
 		return p.processFusedView(view, ctx)
 	}
-	return p.process(nil, view, ctx, nil)
+	return p.process(nil, view, ctx, nil, nil)
 }
 
 // ProcessViewTraced is ProcessView plus megaflow wildcard tracing.
@@ -413,14 +413,14 @@ func (p *Pipeline) ProcessViewTraced(view *packet.FieldView, ctx *Ctx, tr *Trace
 		return Verdict{}, fmt.Errorf("dataplane: pipeline %s was not compiled with WithSchema", p.Name)
 	}
 	tr.Reset()
-	return p.process(nil, view, ctx, tr)
+	return p.process(nil, view, ctx, tr, nil)
 }
 
 // ProcessTraced is Process plus megaflow wildcard tracing into tr (which
 // is reset first).
 func (p *Pipeline) ProcessTraced(pkt *packet.Packet, ctx *Ctx, tr *Trace) (Verdict, error) {
 	tr.Reset()
-	return p.process(pkt, nil, ctx, tr)
+	return p.process(pkt, nil, ctx, tr, nil)
 }
 
 // ProcessBatch runs a batch of packets through the pipeline on one ctx,
@@ -443,7 +443,7 @@ func (p *Pipeline) ProcessBatch(pkts []*packet.Packet, ctx *Ctx, out []Verdict) 
 		return nil
 	}
 	for i, pkt := range pkts {
-		v, err := p.process(pkt, nil, ctx, nil)
+		v, err := p.process(pkt, nil, ctx, nil, nil)
 		if err != nil {
 			return err
 		}
@@ -452,12 +452,15 @@ func (p *Pipeline) ProcessBatch(pkts []*packet.Packet, ctx *Ctx, out []Verdict) 
 	return nil
 }
 
-// process is the general stage loop. Exactly one of pkt and view is
-// non-nil: the view branch reads and writes slot indices resolved by
-// WithSchema, the packet branch the dense FieldID table. The branch is
-// per field read but perfectly predicted within a run, so the default
-// Packet path keeps its measured shape.
-func (p *Pipeline) process(pkt *packet.Packet, view *packet.FieldView, ctx *Ctx, tr *Trace) (Verdict, error) {
+// process is the general stage loop — the single core every entry point
+// (struct, view, traced, witnessed, frame-batch) funnels into. Exactly
+// one of pkt and view is non-nil: the view branch reads and writes slot
+// indices resolved by WithSchema, the packet branch the dense FieldID
+// table. The branch is per field read but perfectly predicted within a
+// run, so the default Packet path keeps its measured shape. A non-nil
+// wit additionally builds the per-stage witness (ProcessExplain); the
+// nil checks cost nothing on the hot path.
+func (p *Pipeline) process(pkt *packet.Packet, view *packet.FieldView, ctx *Ctx, tr *Trace, wit *telemetry.Trace) (Verdict, error) {
 	var t0 time.Time
 	if p.tel != nil {
 		t0 = time.Now()
@@ -475,6 +478,10 @@ func (p *Pipeline) process(pkt *packet.Packet, view *packet.FieldView, ctx *Ctx,
 		v.Tables++
 		if p.tel != nil {
 			p.tel.stages[cur].lookups.Inc()
+		}
+		var st telemetry.TraceStage
+		if wit != nil {
+			st = telemetry.TraceStage{Stage: cur, Table: t.Name, Entry: -1}
 		}
 
 		key := ctx.key[:len(t.cols)]
@@ -517,10 +524,15 @@ func (p *Pipeline) process(pkt *packet.Packet, view *packet.FieldView, ctx *Ctx,
 			}
 			if t.missDrop {
 				v.Drop = true
-				if p.tel != nil {
-					p.tel.procNs.Observe(float64(time.Since(t0)))
+				if wit != nil {
+					st.Join = "drop"
+					wit.Stages = append(wit.Stages, st)
 				}
-				return v, nil
+				return p.finish(v, wit, t0), nil
+			}
+			if wit != nil {
+				st.Join = joinName(-1, false, t.next)
+				wit.Stages = append(wit.Stages, st)
 			}
 			cur = t.next
 			continue
@@ -536,17 +548,25 @@ func (p *Pipeline) process(pkt *packet.Packet, view *packet.FieldView, ctx *Ctx,
 			}
 		}
 		t.counters[ei].Add(1)
+		if wit != nil {
+			st.Entry = ei
+		}
 		if t.fusedTables != nil {
 			// Report the logical depth of the fused-away path, not the
 			// single physical lookup.
 			v.Tables += int(t.fusedTables[ei]) - 1
 		}
+		setsMeta := false
 		for _, a := range t.acts[ei] {
+			if wit != nil && t.fusedStages == nil {
+				st.Actions = append(st.Actions, renderAction(a))
+			}
 			switch a.Kind {
 			case ActOutput:
 				v.Port = uint16(a.Value)
 			case ActSetMeta:
 				ctx.meta[a.Meta] = a.Value
+				setsMeta = true
 			case ActDecTTL:
 				if view != nil {
 					if ttl, ok := view.Get(a.Slot); ok && ttl > 0 {
@@ -565,22 +585,44 @@ func (p *Pipeline) process(pkt *packet.Packet, view *packet.FieldView, ctx *Ctx,
 				v.Drop = true
 			}
 		}
-		if v.Drop {
-			if p.tel != nil {
-				p.tel.procNs.Observe(float64(time.Since(t0)))
-			}
-			return v, nil
+		if wit != nil && t.fusedStages != nil {
+			// A fused hit replays the pre-rendered logical witness of the
+			// fused-away path, so the Theorem-1 check sees the same
+			// per-table trace the interpreted pipeline would produce.
+			wit.Stages = append(wit.Stages, t.fusedStages[ei]...)
+			return p.finish(v, wit, t0), nil
 		}
-		if g := t.gotos[ei]; g >= 0 {
+		if v.Drop {
+			if wit != nil {
+				st.Join = "drop"
+				wit.Stages = append(wit.Stages, st)
+			}
+			return p.finish(v, wit, t0), nil
+		}
+		g := t.gotos[ei]
+		if wit != nil {
+			st.Join = joinName(g, setsMeta, t.next)
+			wit.Stages = append(wit.Stages, st)
+		}
+		if g >= 0 {
 			cur = g
 		} else {
 			cur = t.next
 		}
 	}
+	return p.finish(v, wit, t0), nil
+}
+
+// finish closes a traversal: observe the latency histogram and seal the
+// witness's verdict fields.
+func (p *Pipeline) finish(v Verdict, wit *telemetry.Trace, t0 time.Time) Verdict {
 	if p.tel != nil {
 		p.tel.procNs.Observe(float64(time.Since(t0)))
 	}
-	return v, nil
+	if wit != nil {
+		wit.Drop, wit.Port, wit.Tables = v.Drop, v.Port, v.Tables
+	}
+	return v
 }
 
 // Depth returns the number of compiled tables.

@@ -18,8 +18,12 @@ import (
 //
 // Explain is the sampled slow path of the trace facility; it allocates
 // (one Trace plus a record per stage) and is not meant for every packet.
+// It is a thin adapter over the same general loop Process runs — the
+// witness branches are nil-guarded inside it.
 func (p *Pipeline) ProcessExplain(pkt *packet.Packet, ctx *Ctx) (Verdict, *telemetry.Trace, error) {
-	return p.explain(pkt, nil, ctx)
+	wit := &telemetry.Trace{Pipeline: p.Name}
+	v, err := p.process(pkt, nil, ctx, nil, wit)
+	return v, wit, err
 }
 
 // ProcessExplainView is ProcessExplain over a decoded FieldView; the
@@ -31,125 +35,9 @@ func (p *Pipeline) ProcessExplainView(view *packet.FieldView, ctx *Ctx) (Verdict
 	if view.Schema() != p.schema {
 		return Verdict{}, nil, fmt.Errorf("dataplane: pipeline %s compiled for schema %s, view is %s", p.Name, p.schema.Name, view.Schema().Name)
 	}
-	return p.explain(nil, view, ctx)
-}
-
-// explain is the shared witness loop; exactly one of pkt and view is
-// non-nil.
-func (p *Pipeline) explain(pkt *packet.Packet, view *packet.FieldView, ctx *Ctx) (Verdict, *telemetry.Trace, error) {
 	wit := &telemetry.Trace{Pipeline: p.Name}
-	for i := range ctx.meta {
-		ctx.meta[i] = 0
-	}
-	var v Verdict
-	cur := p.start
-	for steps := 0; cur >= 0; steps++ {
-		if steps > len(p.tables) {
-			return v, wit, fmt.Errorf("dataplane: pipeline %s: goto cycle", p.Name)
-		}
-		t := p.tables[cur]
-		v.Tables++
-		st := telemetry.TraceStage{Stage: cur, Table: t.Name, Entry: -1}
-
-		key := ctx.key[:len(t.cols)]
-		miss := false
-		for i := range t.cols {
-			c := &t.cols[i]
-			if c.meta >= 0 {
-				key[i] = ctx.meta[c.meta]
-				continue
-			}
-			var fv uint64
-			var ok bool
-			if view != nil {
-				fv, ok = view.Get(c.slot)
-			} else {
-				fv, ok = pkt.Field(c.field)
-			}
-			if !ok {
-				miss = true
-				break
-			}
-			key[i] = fv
-		}
-		ei := -1
-		if !miss {
-			ei = t.cls.Lookup(key)
-		}
-		if ei < 0 {
-			if t.missDrop {
-				st.Join = "drop"
-				wit.Stages = append(wit.Stages, st)
-				v.Drop = true
-				wit.Drop, wit.Port, wit.Tables = v.Drop, v.Port, v.Tables
-				return v, wit, nil
-			}
-			st.Join = joinName(-1, false, t.next)
-			wit.Stages = append(wit.Stages, st)
-			cur = t.next
-			continue
-		}
-		st.Entry = ei
-		t.counters[ei].Add(1)
-		if t.fusedStages != nil {
-			// A fused hit replays the pre-rendered logical witness of the
-			// fused-away path (and the path's concatenated actions), so the
-			// Theorem-1 check sees the same per-table trace the interpreted
-			// pipeline would produce.
-			for _, a := range t.acts[ei] {
-				applyExplainAct(a, pkt, view, &v)
-			}
-			v.Tables = int(t.fusedTables[ei])
-			wit.Stages = append(wit.Stages, t.fusedStages[ei]...)
-			wit.Drop, wit.Port, wit.Tables = v.Drop, v.Port, v.Tables
-			return v, wit, nil
-		}
-		setsMeta := false
-		for _, a := range t.acts[ei] {
-			st.Actions = append(st.Actions, renderAction(a))
-			if a.Kind == ActSetMeta {
-				ctx.meta[a.Meta] = a.Value
-				setsMeta = true
-				continue
-			}
-			applyExplainAct(a, pkt, view, &v)
-		}
-		g := t.gotos[ei]
-		st.Join = joinName(g, setsMeta, t.next)
-		wit.Stages = append(wit.Stages, st)
-		if g >= 0 {
-			cur = g
-		} else {
-			cur = t.next
-		}
-	}
-	wit.Drop, wit.Port, wit.Tables = v.Drop, v.Port, v.Tables
-	return v, wit, nil
-}
-
-// applyExplainAct applies one non-metadata action on whichever packet
-// representation the explain run carries.
-func applyExplainAct(a Action, pkt *packet.Packet, view *packet.FieldView, v *Verdict) {
-	switch a.Kind {
-	case ActOutput:
-		v.Port = uint16(a.Value)
-	case ActDecTTL:
-		if view != nil {
-			if ttl, ok := view.Get(a.Slot); ok && ttl > 0 {
-				view.Set(a.Slot, ttl-1)
-			}
-		} else if pkt.HasIPv4 && pkt.TTL > 0 {
-			pkt.TTL--
-		}
-	case ActSetField:
-		if view != nil {
-			view.Set(a.Slot, a.Value)
-		} else {
-			pkt.SetField(a.Field, a.Value)
-		}
-	case ActDrop:
-		v.Drop = true
-	}
+	v, err := p.process(nil, view, ctx, nil, wit)
+	return v, wit, err
 }
 
 // joinName classifies the mechanism that carries execution onward from a

@@ -198,6 +198,8 @@ func Execute(p *Program, cfg ExecConfig) ([]Divergence, error) {
 	if dec != nil {
 		dpOpts = append(dpOpts, dataplane.WithSchema(dec.Schema()))
 	}
+	arena := dataplane.NewFrameBatch(dec)
+	fout := make([]dataplane.Verdict, len(frames))
 	for _, v := range compiled {
 		dp, err := dataplane.Compile(v.Pipeline, dataplane.AutoTemplates, dpOpts...)
 		if err != nil {
@@ -250,6 +252,23 @@ func Execute(p *Program, cfg ExecConfig) ([]Divergence, error) {
 				}
 				if d != "" {
 					add(KindMutation, v.Name, "dataplane", i, "%s", d)
+					break
+				}
+			}
+		}
+		// Frame-batch ingest cross-check: the same frames through the
+		// zero-copy wire surface must replay the struct-path verdicts.
+		// (The switch-model pass below already IS the frames path per
+		// model; this pins the raw ProcessFrames entry point itself.)
+		if err := dp.ProcessFrames(frames, arena, fout, nil); err != nil {
+			add(KindEval, v.Name, "dataplane-frames", -1, "%v", err)
+		} else {
+			for i := range frames {
+				exp := expected[i]
+				if fout[i].Drop != exp.drop || (!exp.drop && hasOut && fout[i].Port != exp.port) {
+					add(KindVerdict, v.Name, "dataplane-frames", i,
+						"frames-path verdict {drop:%v port:%d}, want {drop:%v port:%d}",
+						fout[i].Drop, fout[i].Port, exp.drop, exp.port)
 					break
 				}
 			}

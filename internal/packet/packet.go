@@ -87,7 +87,7 @@ func Parse(b []byte) (*Packet, error) {
 func (p *Packet) ParseInto(b []byte) error {
 	*p = Packet{}
 	if len(b) < EthHeaderLen {
-		return fmt.Errorf("packet: frame too short: %d bytes", len(b))
+		return &DecodeError{Reason: ReasonTruncated, Err: fmt.Errorf("%w: %d bytes", ErrFrameTooShort, len(b))}
 	}
 	p.EthDst = mac48(b[0:6])
 	p.EthSrc = mac48(b[6:12])
@@ -95,7 +95,7 @@ func (p *Packet) ParseInto(b []byte) error {
 	off := EthHeaderLen
 	if et == EtherTypeVLAN {
 		if len(b) < off+VLANTagLen {
-			return fmt.Errorf("packet: truncated VLAN tag")
+			return &DecodeError{Reason: ReasonTruncated, Err: fmt.Errorf("packet: truncated VLAN tag")}
 		}
 		tci := binary.BigEndian.Uint16(b[14:16])
 		p.HasVLAN = true
@@ -113,7 +113,7 @@ func (p *Packet) ParseInto(b []byte) error {
 	ip := b[off:]
 	ihl := int(ip[0]&0x0F) * 4
 	if ip[0]>>4 != 4 || ihl < IPv4HeaderLen || len(ip) < ihl {
-		return fmt.Errorf("packet: bad IPv4 header")
+		return &DecodeError{Reason: ReasonBadHeader, Err: fmt.Errorf("packet: bad IPv4 header")}
 	}
 	p.HasIPv4 = true
 	p.IPVerIHL = ip[0]
@@ -124,7 +124,7 @@ func (p *Packet) ParseInto(b []byte) error {
 	p.TTL = ip[8]
 	p.Proto = ip[9]
 	if Checksum(ip[:ihl]) != 0 {
-		return fmt.Errorf("packet: bad IPv4 checksum")
+		return &DecodeError{Reason: ReasonBadHeader, Err: fmt.Errorf("packet: bad IPv4 checksum")}
 	}
 	p.IPSrc = binary.BigEndian.Uint32(ip[12:16])
 	p.IPDst = binary.BigEndian.Uint32(ip[16:20])

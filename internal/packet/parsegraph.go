@@ -188,10 +188,12 @@ func (d *Decoder) ParseInto(v *FieldView, frame []byte) error {
 		return d.legacyParse(v, frame)
 	}
 	v.present = 0
+	v.unknownNext = false
 	b := frame
 	cur := d.start
 	if len(b) < d.states[cur].size {
-		return fmt.Errorf("%w: %d bytes, %s header needs %d", ErrFrameTooShort, len(b), d.schema.Headers[cur].Name, d.states[cur].size)
+		return &DecodeError{Reason: ReasonTruncated,
+			Err: fmt.Errorf("%w: %d bytes, %s header needs %d", ErrFrameTooShort, len(b), d.schema.Headers[cur].Name, d.states[cur].size)}
 	}
 	for cur >= 0 {
 		st := &d.states[cur]
@@ -200,7 +202,8 @@ func (d *Decoder) ParseInto(v *FieldView, frame []byte) error {
 		}
 		hb := b[:st.size]
 		if st.verify != nil && !st.verify(hb) {
-			return fmt.Errorf("packet: header %s failed verification", d.schema.Headers[st.hdr].Name)
+			return &DecodeError{Reason: ReasonBadHeader,
+				Err: fmt.Errorf("packet: header %s failed verification", d.schema.Headers[st.hdr].Name)}
 		}
 		for i := 0; i < st.nFields; i++ {
 			sl := &d.schema.slots[st.first+i]
@@ -214,11 +217,19 @@ func (d *Decoder) ParseInto(v *FieldView, frame []byte) error {
 		}
 		sv := v.slots[st.selSlot]
 		next := st.def
+		matched := false
 		for _, e := range st.trans {
 			if e.v == sv {
 				next = e.next
+				matched = true
 				break
 			}
+		}
+		if !matched && next < 0 && len(st.trans) > 0 {
+			// The select value named a next header the graph does not know
+			// and no default continued the walk: an accept, but a flagged
+			// one, so ingest arenas can count unknown next-headers.
+			v.unknownNext = true
 		}
 		cur = next
 	}
@@ -270,6 +281,11 @@ func (d *Decoder) legacyParse(v *FieldView, frame []byte) error {
 		return err
 	}
 	p := v.lp
+	// The legacy graph's unknown next-headers: a non-IPv4 EtherType, or an
+	// IPv4 protocol the codec has no L4 state for (truncation-stopped
+	// parses are not "unknown" — the steering value was fine).
+	v.unknownNext = p.EthType != EtherTypeIPv4 ||
+		(p.HasIPv4 && !p.HasL4 && p.Proto != ProtoTCP && p.Proto != ProtoUDP)
 	v.present = 1 << legacyHdrEth
 	v.slots[IDEthDst] = p.EthDst
 	v.slots[IDEthSrc] = p.EthSrc

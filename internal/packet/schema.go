@@ -199,6 +199,11 @@ type FieldView struct {
 	// lp is the scratch Packet behind the default schema's legacy codec
 	// (nil for generic schemas).
 	lp *Packet
+	// unknownNext, set per parse, flags an accepted frame whose select
+	// value matched no transition and had no default to fall back to —
+	// the frame is kept (remaining bytes as payload), but ingest arenas
+	// count it.
+	unknownNext bool
 }
 
 // Schema returns the view's header schema.
@@ -210,11 +215,18 @@ func (v *FieldView) Decoder() *Decoder { return v.dec }
 // Reset clears presence, slot values and payload.
 func (v *FieldView) Reset() {
 	v.present = 0
+	v.unknownNext = false
 	for i := range v.slots {
 		v.slots[i] = 0
 	}
 	v.payload = nil
 }
+
+// UnknownNext reports whether the last parse accepted the frame after a
+// select value that matched no transition (and no default continued the
+// walk) — the typed "unknown next-header" outcome. It is informational:
+// the frame was kept, with the unparsed bytes as payload.
+func (v *FieldView) UnknownNext() bool { return v.unknownNext }
 
 // Get reads a slot; the second result is false when the slot is out of
 // range or its header is absent — mirroring Packet.Field's contract.

@@ -139,32 +139,27 @@ type ovsWorker struct {
 	// cache itself — so the shard forwards through it directly instead of
 	// stacking microflow hashing on top of an O(1) datapath.
 	direct bool
-	// cacheable mirrors the real per-PMD accounting: scratch packet reused
-	// across frames.
-	scratch packet.Packet
 	// pendHits/pendMega/pendMisses accumulate layer counts locally during a
 	// frame or batch; flushStats drains them to the shared atomics once per
 	// call (amortizing the atomic traffic) and on Reset (so a snapshot taken
 	// right after Reset cannot see a late flush's residue).
 	pendHits, pendMega, pendMisses uint64
-	// dec/view carry schema mode: frames decode through the parse graph
-	// and bypass the canonical-field cache layers entirely.
-	dec  *packet.Decoder
-	view *packet.FieldView
+	// arena is the shard's frame-decode ring (scratch Packets, or
+	// FieldViews in schema mode — where frames bypass the canonical-field
+	// cache layers entirely).
+	arena *dataplane.FrameBatch
+	one   [1][]byte
+	vout  [1]dataplane.Verdict
 }
 
 func (s *OVS) newOVSWorker() *ovsWorker {
-	w := &ovsWorker{
+	return &ovsWorker{
 		parent: s,
 		trace:  dataplane.NewTrace(),
 		cache:  make(map[ovsKey]ovsHit, 4096),
 		mega:   newMegaflowCache(),
-		dec:    s.dec,
+		arena:  dataplane.NewFrameBatch(s.dec).Attach(s.reg),
 	}
-	if s.dec != nil {
-		w.view = s.dec.NewView()
-	}
-	return w
 }
 
 func (w *ovsWorker) flush() {
@@ -238,14 +233,6 @@ func (w *ovsWorker) process(slow *dataplane.Pipeline, pkt *packet.Packet) (datap
 	return v, nil
 }
 
-// processView is the schema-mode forwarding path: every frame counts as
-// a slow-path traversal (the caches cannot key on non-canonical fields;
-// see the dec field doc).
-func (w *ovsWorker) processView(slow *dataplane.Pipeline) (dataplane.Verdict, error) {
-	w.pendMisses++
-	return slow.ProcessView(w.view, w.ctx)
-}
-
 // flushStats drains the shard's pending layer counts into the shared
 // atomics and zeroes them.
 func (w *ovsWorker) flushStats() {
@@ -263,30 +250,22 @@ func (w *ovsWorker) flushStats() {
 	}
 }
 
-// ProcessFrame parses into the shard's scratch packet and forwards.
+// ProcessFrame forwards one frame as a single-frame batch.
 func (w *ovsWorker) ProcessFrame(frame []byte) (dataplane.Verdict, error) {
-	slow, err := w.refresh()
-	if err != nil {
+	w.one[0] = frame
+	if err := w.ProcessBatch(w.one[:], w.vout[:]); err != nil {
 		return dataplane.Verdict{}, err
 	}
-	if w.dec != nil {
-		if err := w.dec.ParseInto(w.view, frame); err != nil {
-			return dataplane.Verdict{Drop: true}, nil
-		}
-		v, err := w.processView(slow)
-		w.flushStats()
-		return v, err
-	}
-	if err := w.scratch.ParseInto(frame); err != nil {
-		return dataplane.Verdict{Drop: true}, nil
-	}
-	v, err := w.process(slow, &w.scratch)
-	w.flushStats()
-	return v, err
+	return w.vout[0], nil
 }
 
 // ProcessBatch forwards a frame batch with one revalidation check and one
-// statistics flush for the whole batch.
+// statistics flush for the whole batch. Schema mode hands the whole batch
+// to the slow path's wire-ingest entry (the caches cannot key on
+// non-canonical fields; see the OVS.dec doc) — every frame that decodes
+// counts as a slow-path traversal. Default mode decodes through the
+// arena's Packet ring and runs the EMC → megaflow → slow lookup chain per
+// frame.
 func (w *ovsWorker) ProcessBatch(frames [][]byte, out []dataplane.Verdict) error {
 	if len(out) < len(frames) {
 		return fmt.Errorf("switches: verdict buffer %d too small for batch of %d", len(out), len(frames))
@@ -296,26 +275,21 @@ func (w *ovsWorker) ProcessBatch(frames [][]byte, out []dataplane.Verdict) error
 		return err
 	}
 	defer w.flushStats()
-	if w.dec != nil {
-		for i, f := range frames {
-			if err := w.dec.ParseInto(w.view, f); err != nil {
-				out[i] = dataplane.Verdict{Drop: true}
-				continue
-			}
-			v, err := w.processView(slow)
-			if err != nil {
-				return err
-			}
-			out[i] = v
+	if w.parent.dec != nil {
+		before := w.arena.DropTotal()
+		if err := slow.ProcessFrames(frames, w.arena, out, nil); err != nil {
+			return err
 		}
+		w.pendMisses += uint64(len(frames)) - (w.arena.DropTotal() - before)
 		return nil
 	}
 	for i, f := range frames {
-		if err := w.scratch.ParseInto(f); err != nil {
+		pkt, _, err := w.arena.Decode(f)
+		if err != nil {
 			out[i] = dataplane.Verdict{Drop: true}
 			continue
 		}
-		v, err := w.process(slow, &w.scratch)
+		v, err := w.process(slow, pkt)
 		if err != nil {
 			return err
 		}

@@ -172,115 +172,50 @@ type Worker interface {
 }
 
 // dpWorker is the worker of the datapath-driven models (ESwitch, Lagopus,
-// NoviFlow): a snapshot of the compiled pipeline plus per-worker scratch.
-// When the parent reinstalls, the next frame notices the pipeline pointer
-// change and re-provisions the scratch registers.
+// NoviFlow): a frame-decode arena over the shared installed pipeline. All
+// per-worker mutable state — the decode ring (scratch Packets or
+// FieldViews in schema mode) and the pipeline scratch Ctx — lives in the
+// arena; reinstalls surface as a pipeline pointer change that
+// ProcessFrames absorbs on the next batch.
 type dpWorker struct {
-	src     *atomic.Pointer[dataplane.Pipeline]
-	dp      *dataplane.Pipeline
-	ctx     *dataplane.Ctx
-	scratch packet.Packet
-	// lift enables the Lagopus-style generic record construction per
-	// packet (the interpreter's per-packet metadata overhead).
-	lift bool
-	// dec/view carry the schema mode (WithSchema): frames decode through
-	// the parse graph into the reusable view instead of the scratch
-	// Packet.
-	dec  *packet.Decoder
-	view *packet.FieldView
+	src   *atomic.Pointer[dataplane.Pipeline]
+	arena *dataplane.FrameBatch
+	// opts carries the model's per-packet processing options (the Lagopus
+	// record lift); nil for plain forwarding.
+	opts *dataplane.ProcessOpts
+	one  [1][]byte
+	vout [1]dataplane.Verdict
 }
 
-// refresh picks up a reinstalled datapath.
-func (w *dpWorker) refresh() (*dataplane.Pipeline, error) {
-	dp := w.src.Load()
-	if dp == nil {
-		return nil, errNotProgrammed
-	}
-	if dp != w.dp {
-		w.dp = dp
-		w.ctx = dp.NewCtx()
-	}
-	return dp, nil
-}
-
-func (w *dpWorker) processPacket(dp *dataplane.Pipeline, pkt *packet.Packet) (dataplane.Verdict, error) {
-	if w.lift {
-		rec := pkt.Record()
-		if len(rec) == 0 {
-			return dataplane.Verdict{Drop: true}, nil
+// liftOpts models the Lagopus-style generic record construction per
+// packet (the interpreter's per-packet metadata overhead): a record is
+// built and discarded before every traversal, and a packet that yields no
+// record drops. Stateless, so all lift workers share it.
+var liftOpts = dataplane.NewProcessOpts(dataplane.WithDecodeHook(
+	func(pkt *packet.Packet, view *packet.FieldView) bool {
+		if view != nil {
+			return len(view.Record()) > 0
 		}
-	}
-	return dp.Process(pkt, w.ctx)
-}
+		return len(pkt.Record()) > 0
+	}))
 
-// processView is processPacket for schema mode; Lagopus's generic lift
-// overhead is modeled identically (a record built and discarded per
-// packet).
-func (w *dpWorker) processView(dp *dataplane.Pipeline, view *packet.FieldView) (dataplane.Verdict, error) {
-	if w.lift {
-		rec := view.Record()
-		if len(rec) == 0 {
-			return dataplane.Verdict{Drop: true}, nil
-		}
-	}
-	return dp.ProcessView(view, w.ctx)
-}
-
-// ProcessFrame parses into the worker's scratch packet (or, in schema
-// mode, through the parse-graph decoder into the reusable view) and
-// forwards.
+// ProcessFrame forwards one frame as a single-frame batch.
 func (w *dpWorker) ProcessFrame(frame []byte) (dataplane.Verdict, error) {
-	dp, err := w.refresh()
-	if err != nil {
+	w.one[0] = frame
+	if err := w.ProcessBatch(w.one[:], w.vout[:]); err != nil {
 		return dataplane.Verdict{}, err
 	}
-	if w.dec != nil {
-		if err := w.dec.ParseInto(w.view, frame); err != nil {
-			return dataplane.Verdict{Drop: true}, nil
-		}
-		return w.processView(dp, w.view)
-	}
-	if err := w.scratch.ParseInto(frame); err != nil {
-		return dataplane.Verdict{Drop: true}, nil
-	}
-	return w.processPacket(dp, &w.scratch)
+	return w.vout[0], nil
 }
 
-// ProcessBatch forwards a frame batch with one datapath revalidation check.
+// ProcessBatch forwards a frame batch through the wire-ingest path with
+// one datapath revalidation check.
 func (w *dpWorker) ProcessBatch(frames [][]byte, out []dataplane.Verdict) error {
-	if len(out) < len(frames) {
-		return fmt.Errorf("switches: verdict buffer %d too small for batch of %d", len(out), len(frames))
+	dp := w.src.Load()
+	if dp == nil {
+		return errNotProgrammed
 	}
-	dp, err := w.refresh()
-	if err != nil {
-		return err
-	}
-	if w.dec != nil {
-		for i, f := range frames {
-			if err := w.dec.ParseInto(w.view, f); err != nil {
-				out[i] = dataplane.Verdict{Drop: true}
-				continue
-			}
-			v, err := w.processView(dp, w.view)
-			if err != nil {
-				return err
-			}
-			out[i] = v
-		}
-		return nil
-	}
-	for i, f := range frames {
-		if err := w.scratch.ParseInto(f); err != nil {
-			out[i] = dataplane.Verdict{Drop: true}
-			continue
-		}
-		v, err := w.processPacket(dp, &w.scratch)
-		if err != nil {
-			return err
-		}
-		out[i] = v
-	}
-	return nil
+	return dp.ProcessFrames(frames, w.arena, out, w.opts)
 }
 
 // dpSwitch is the shared chassis of the datapath-driven models (ESwitch,
@@ -316,9 +251,9 @@ func (s *dpSwitch) dpOpts() []dataplane.Option {
 }
 
 func (s *dpSwitch) newDPWorker() *dpWorker {
-	w := &dpWorker{src: &s.dp, lift: s.lift, dec: s.dec}
-	if s.dec != nil {
-		w.view = s.dec.NewView()
+	w := &dpWorker{src: &s.dp, arena: dataplane.NewFrameBatch(s.dec).Attach(s.reg)}
+	if s.lift {
+		w.opts = liftOpts
 	}
 	return w
 }

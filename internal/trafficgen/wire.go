@@ -1,0 +1,126 @@
+package trafficgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"manorm/internal/packet"
+	"manorm/internal/usecases"
+)
+
+// WireSpec describes a replayable byte-stream trace for the frame-batch
+// ingest path: which schema's workload to render, how long, what fraction
+// of the frames hit installed state, and what fraction arrive malformed
+// (truncated or corrupted) to exercise the decoder's typed drop paths.
+// The same spec always yields a byte-identical trace — the pcap-style
+// property the soak harness and the fuzz corpus rely on.
+type WireSpec struct {
+	// Schema selects the workload: "" or packet.SchemaDefault for the
+	// gateway & load-balancer trace, or one of the builtin schema names
+	// (vxlan, mpls, gtpu) for the matching overlay trace.
+	Schema string
+	// N is the trace length in frames (default 4096).
+	N int
+	// HitRatio is the fraction of frames addressed to installed state
+	// (default 1.0; the rest exercise the drop path).
+	HitRatio float64
+	// Malformed is the fraction of frames corrupted on the wire: half are
+	// truncated, half carry a damaged header (a flipped IPv4 checksum byte
+	// on the default schema, a mid-graph cut on generic schemas).
+	Malformed float64
+	// Seed drives every random choice.
+	Seed int64
+	// Services/Backends size the generated configuration (defaults 20/8 —
+	// the paper's measurement setup).
+	Services, Backends int
+}
+
+// withDefaults fills the spec's zero values.
+func (s WireSpec) withDefaults() WireSpec {
+	if s.N <= 0 {
+		s.N = 4096
+	}
+	if s.HitRatio <= 0 {
+		s.HitRatio = 1.0
+	}
+	if s.Services <= 0 {
+		s.Services = 20
+	}
+	if s.Backends <= 0 {
+		s.Backends = 8
+	}
+	return s
+}
+
+// WireStream renders the spec to a frame trace. The configuration the
+// trace targets is regenerated from (Services, Backends, Seed) with the
+// matching usecases generator, so a pipeline built from the same
+// parameters matches the trace's hit fraction.
+func WireStream(spec WireSpec) (*FrameStream, error) {
+	spec = spec.withDefaults()
+	var fs *FrameStream
+	legacy := false
+	switch spec.Schema {
+	case "", packet.SchemaDefault:
+		g := usecases.Generate(spec.Services, spec.Backends, spec.Seed)
+		frames, _ := Wire(GwLB(g, spec.N, spec.HitRatio, spec.Seed+1))
+		fs = &FrameStream{frames: frames}
+		legacy = true
+	case packet.SchemaVXLAN:
+		g := usecases.GenerateVXLAN(spec.Services, spec.Backends, spec.Seed)
+		var err error
+		fs, err = VXLANFrames(g, spec.N, spec.HitRatio, spec.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+	case packet.SchemaMPLS:
+		g := usecases.GenerateMPLS(spec.Services, 4, spec.Seed)
+		var err error
+		fs, err = MPLSFrames(g, spec.N, spec.HitRatio, spec.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+	case packet.SchemaGTPU:
+		g := usecases.GenerateGTPU(spec.Services, spec.Backends, spec.Seed)
+		var err error
+		fs, err = GTPUFrames(g, spec.N, spec.HitRatio, spec.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("trafficgen: unknown wire schema %q", spec.Schema)
+	}
+	corruptFrames(fs.frames, spec.Malformed, spec.Seed+2, legacy)
+	return fs, nil
+}
+
+// corruptFrames damages a seeded fraction of the trace in place,
+// alternating two failure shapes. Truncation below the first header makes
+// any decoder reject the frame as truncated. The second shape depends on
+// the codec: the default path gets a flipped IPv4 checksum byte (rejected
+// as a bad header; the frame is copied first, since traces share frame
+// storage), while generic parse graphs get a mid-graph cut — the lenient
+// decoders accept those with the remainder as payload, exercising the
+// partial-parse path rather than a drop.
+func corruptFrames(frames [][]byte, frac float64, seed int64, legacy bool) {
+	if frac <= 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i, f := range frames {
+		if rng.Float64() >= frac {
+			continue
+		}
+		if rng.Intn(2) == 0 {
+			frames[i] = f[:rng.Intn(packet.EthHeaderLen)]
+			continue
+		}
+		if legacy && len(f) >= packet.EthHeaderLen+11 {
+			g := append([]byte(nil), f...)
+			g[packet.EthHeaderLen+10] ^= 0xFF
+			frames[i] = g
+		} else if len(f) > packet.EthHeaderLen+2 {
+			frames[i] = f[:packet.EthHeaderLen+2]
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package trafficgen
+
+import (
+	"bytes"
+	"testing"
+
+	"manorm/internal/packet"
+)
+
+var wireSchemas = []string{packet.SchemaDefault, packet.SchemaVXLAN, packet.SchemaMPLS, packet.SchemaGTPU}
+
+// TestWireStreamReplayable pins the replay contract: the same WireSpec
+// must reproduce the exact byte trace, and changing the seed must not.
+func TestWireStreamReplayable(t *testing.T) {
+	for _, schema := range wireSchemas {
+		spec := WireSpec{Schema: schema, N: 256, HitRatio: 0.8, Malformed: 0.1, Seed: 42}
+		a, err := WireStream(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", schema, err)
+		}
+		b, err := WireStream(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Len() != spec.N || b.Len() != spec.N {
+			t.Fatalf("%s: lengths %d/%d, want %d", schema, a.Len(), b.Len(), spec.N)
+		}
+		for i := range a.Frames() {
+			if !bytes.Equal(a.Frames()[i], b.Frames()[i]) {
+				t.Fatalf("%s: frame %d differs between identical specs", schema, i)
+			}
+		}
+		spec.Seed++
+		c, err := WireStream(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := true
+		for i := range a.Frames() {
+			if !bytes.Equal(a.Frames()[i], c.Frames()[i]) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: different seeds produced an identical trace", schema)
+		}
+	}
+}
+
+// TestWireStreamMalformed checks the malformed-injection knob actually
+// exercises the decoder's typed error paths: with a nonzero fraction some
+// frames must fail to decode, with reason breakdown matching the schema
+// (the default schema corrupts checksums too; generic schemas only
+// truncate).
+func TestWireStreamMalformed(t *testing.T) {
+	for _, schema := range wireSchemas {
+		spec := WireSpec{Schema: schema, N: 512, Malformed: 0.25, Seed: 7}
+		fs, err := WireStream(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", schema, err)
+		}
+		var dec *packet.Decoder
+		if schema != packet.SchemaDefault {
+			if dec, err = packet.BuiltinDecoder(schema); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var truncated, badHeader int
+		view := (*packet.FieldView)(nil)
+		if dec != nil {
+			view = dec.NewView()
+		}
+		for _, f := range fs.Frames() {
+			var perr error
+			if dec != nil {
+				perr = dec.ParseInto(view, f)
+			} else {
+				var p packet.Packet
+				perr = p.ParseInto(f)
+			}
+			switch packet.DecodeReasonOf(perr) {
+			case packet.ReasonTruncated:
+				truncated++
+			case packet.ReasonBadHeader:
+				badHeader++
+			}
+		}
+		if truncated == 0 {
+			t.Fatalf("%s: no truncated frames out of %d at fraction %.2f", schema, spec.N, spec.Malformed)
+		}
+		if schema == packet.SchemaDefault && badHeader == 0 {
+			t.Fatal("default: no bad-header frames despite checksum corruption")
+		}
+		if total := truncated + badHeader; total > spec.N/2 {
+			t.Fatalf("%s: %d/%d frames malformed, far above the %.2f fraction", schema, total, spec.N, spec.Malformed)
+		}
+	}
+}
+
+// TestWireStreamZeroMalformed checks the clean-trace case every decoder
+// accepts: no injected corruption means every frame parses.
+func TestWireStreamZeroMalformed(t *testing.T) {
+	for _, schema := range wireSchemas {
+		fs, err := WireStream(WireSpec{Schema: schema, N: 128, Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", schema, err)
+		}
+		var dec *packet.Decoder
+		if schema != packet.SchemaDefault {
+			if dec, err = packet.BuiltinDecoder(schema); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i, f := range fs.Frames() {
+			var perr error
+			if dec != nil {
+				perr = dec.ParseInto(dec.NewView(), f)
+			} else {
+				var p packet.Packet
+				perr = p.ParseInto(f)
+			}
+			if perr != nil {
+				t.Fatalf("%s: clean frame %d failed to parse: %v", schema, i, perr)
+			}
+		}
+	}
+}
+
+// TestWireStreamUnknownSchema pins the error path.
+func TestWireStreamUnknownSchema(t *testing.T) {
+	if _, err := WireStream(WireSpec{Schema: "nosuch"}); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+}
