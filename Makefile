@@ -1,7 +1,8 @@
 GO ?= go
 
-.PHONY: build test lint race check fuzz-smoke fuzz-replay fabric-smoke \
-	soak-smoke benchguard benchguard-update bench parallel profile quickstart
+.PHONY: build test lint race check fuzz-smoke fuzz-replay confluence-smoke \
+	fabric-smoke soak-smoke benchguard benchguard-update bench parallel \
+	profile quickstart
 
 build:
 	$(GO) build ./...
@@ -40,6 +41,18 @@ fuzz-smoke:
 fuzz-replay:
 	$(GO) run ./cmd/mafuzz -replay -corpus internal/difftest/testdata/corpus
 
+# confluence-smoke difftests the semantic confluence verifier
+# (internal/confluence): 250 seeded concurrent flow-mod batch pairs,
+# each checked by the verifier AND by brute-force interleaving against
+# the relational/NetKAT oracle — any disagreement (a false-commute
+# verdict either way) fails the run and writes a shrunk reproducer.
+# Committed confluence counterexamples replay through the ordinary
+# fuzz-replay stage above: the corpus loader routes files carrying
+# "batches" into the confluence executor, and each must still diverge
+# with its recorded kind.
+confluence-smoke:
+	$(GO) run ./cmd/mafuzz -confluence-fuzz -seed 1 -iters 250
+
 # fabric-smoke drives the multi-switch fabric through the headline fault
 # schedule (1% loss, a forced mid-frame cut, a partition every third
 # update) under both placement modes and fails unless the convergence
@@ -65,15 +78,18 @@ soak-smoke:
 # struct-path rows of the wire dimension (frames vs structs ingest) were
 # measured too. benchguard-update refreshes the baseline after an
 # intentional performance change.
+# -measured-out persists the fresh rows before the comparison, so a
+# failing CI gate still uploads what was actually measured as an
+# artifact (see .github/workflows/ci.yml).
 benchguard:
-	$(GO) run ./cmd/benchguard -require-rep fused -require-wire structs
+	$(GO) run ./cmd/benchguard -require-rep fused -require-wire structs -measured-out benchguard-measured.json
 
 benchguard-update:
 	$(GO) run ./cmd/benchguard -update -current BENCH_parallel.json -runs 5 -require-rep fused -require-wire structs
 
 # check is the single gate CI runs — .github/workflows/ci.yml calls
 # exactly this target, so a green `make check` locally is a green build.
-check: lint build test race fuzz-smoke fuzz-replay fabric-smoke soak-smoke benchguard
+check: lint build test race fuzz-smoke fuzz-replay confluence-smoke fabric-smoke soak-smoke benchguard
 
 bench:
 	$(GO) test -p 1 -bench=. -benchmem ./...

@@ -13,6 +13,13 @@
 //	benchguard -current other.json      # compare two files, no measurement
 //	benchguard -update -current out.json  # measure and write a fresh
 //	                                      # baseline instead of comparing
+//	benchguard -measured-out rows.json  # also persist every fresh
+//	                                    # measurement, pass or fail
+//
+// -measured-out writes each fresh measurement to the given path before
+// the comparison runs, so a failing CI job still leaves the measured
+// rows behind as an artifact — without it, a regression verdict is a
+// delta table with no way to inspect what was actually measured.
 //
 // Exit status is non-zero when any (switch, rep) aggregate moved by more
 // than the tolerance in either direction — a too-good result usually
@@ -34,6 +41,7 @@ import (
 type options struct {
 	baseline     string
 	current      string
+	measuredOut  string
 	update       bool
 	tol          float64
 	runs         int
@@ -48,6 +56,7 @@ func main() {
 	var (
 		baseline    = flag.String("baseline", "BENCH_parallel.json", "checked-in baseline report")
 		current     = flag.String("current", "", "compare this report instead of measuring")
+		measuredOut = flag.String("measured-out", "", "write every fresh measurement to this path before comparing (CI failure artifact)")
 		update      = flag.Bool("update", false, "measure and write a fresh report to -current instead of comparing")
 		tol         = flag.Float64("tol", 0.20, "symmetric tolerance on each (switch, rep) aggregate")
 		runs        = flag.Int("runs", 3, "measurement repetitions (best rate per row is kept)")
@@ -60,7 +69,7 @@ func main() {
 	flag.Parse()
 
 	opts := options{
-		baseline: *baseline, current: *current, update: *update,
+		baseline: *baseline, current: *current, measuredOut: *measuredOut, update: *update,
 		tol: *tol, runs: *runs, attempts: *attempts, workers: *workers, packets: *packets,
 	}
 	if *requireRep != "" {
@@ -76,11 +85,21 @@ func main() {
 }
 
 // measure takes the guard measurement: the fixed scaling workload,
-// best-of-runs per row.
+// best-of-runs per row. With -measured-out the rows are persisted
+// immediately, so they survive a failing comparison as a CI artifact.
 func measure(opts options) (*bench.ParallelReport, error) {
 	cfg := bench.DefaultConfig()
 	cfg.Packets = opts.packets
-	return bench.MeasureGuard(cfg, opts.workers, opts.runs)
+	rep, err := bench.MeasureGuard(cfg, opts.workers, opts.runs)
+	if err != nil {
+		return nil, err
+	}
+	if opts.measuredOut != "" {
+		if werr := bench.WriteParallelJSON(opts.measuredOut, cfg, opts.workers, rep.Results); werr != nil {
+			return nil, fmt.Errorf("writing -measured-out: %w", werr)
+		}
+	}
+	return rep, nil
 }
 
 func run(w io.Writer, opts options) error {

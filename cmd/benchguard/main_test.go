@@ -53,6 +53,26 @@ func TestRunCompareFiles(t *testing.T) {
 	}
 }
 
+// TestMeasuredOut: a fresh measurement with -measured-out persists the
+// rows before any comparison, so a failing gate still leaves them behind.
+func TestMeasuredOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real (tiny) measurement")
+	}
+	out := filepath.Join(t.TempDir(), "measured.json")
+	rep, err := measure(options{measuredOut: out, packets: 2000, workers: 1, runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := bench.ReadParallelReport(out)
+	if err != nil {
+		t.Fatalf("measured-out not readable: %v", err)
+	}
+	if len(got.Results) == 0 || len(got.Results) != len(rep.Results) {
+		t.Fatalf("measured-out rows = %d, want %d", len(got.Results), len(rep.Results))
+	}
+}
+
 // TestRunUpdateNeedsPath: -update without -current is a usage error.
 func TestRunUpdateNeedsPath(t *testing.T) {
 	var out bytes.Buffer

@@ -24,6 +24,19 @@
 //	mafuzz -plant-schema-hazard -corpus DIR # the rematch hazard expressed over
 //	                                        # the VXLAN schema: must diverge at
 //	                                        # the compiled layers only
+//	mafuzz -confluence-fuzz -iters 250      # confluence mode: every seed draws a
+//	                                        # base table plus two concurrent
+//	                                        # flow-mod batches; the semantic
+//	                                        # confluence verifier's verdict is
+//	                                        # cross-checked against brute-force
+//	                                        # interleaving on the NetKAT oracle.
+//	                                        # Genuine non-confluence is counted;
+//	                                        # only verifier-vs-brute-force
+//	                                        # disagreement fails the run
+//	mafuzz -plant-confluence -corpus DIR    # plant two racing adds of one key on
+//	                                        # the rematch-hazard table: the pair
+//	                                        # MUST be flagged non-confluent and
+//	                                        # the reproducer is written to DIR
 //
 // The committed reproducers live in internal/difftest/testdata/corpus and
 // are replayed by `go test ./internal/difftest` on every run.
@@ -52,6 +65,8 @@ type options struct {
 	hazard   bool
 	schema   bool
 	schemaHz bool
+	conflFz  bool
+	conflPl  bool
 	replay   bool
 	verbose  bool
 }
@@ -67,6 +82,8 @@ func main() {
 		hazard   = flag.Bool("plant-hazard", false, "plant the set-field/rematch hazard (rewrite a field a later stage re-matches): must diverge at the compiled layers only")
 		schema   = flag.Bool("schema-fuzz", false, "fuzz schema-mode programs: each seed invents a header schema and parse graph and the frames replay through its compiled decoder")
 		schemaHz = flag.Bool("plant-schema-hazard", false, "plant the rematch hazard over the VXLAN schema: must diverge at the compiled layers only")
+		conflFz  = flag.Bool("confluence-fuzz", false, "fuzz concurrent flow-mod batch pairs: the confluence verifier's verdict must agree with brute-force interleaving on every seed")
+		conflPl  = flag.Bool("plant-confluence", false, "plant two racing adds of the same key on the rematch-hazard table: must be flagged non-confluent")
 		replay   = flag.Bool("replay", false, "replay every corpus file instead of fuzzing")
 		verbose  = flag.Bool("v", false, "log every program")
 	)
@@ -75,7 +92,8 @@ func main() {
 	opts := options{
 		seed: *seed, iters: *iters, duration: *duration,
 		corpus: *corpus, plant: *plant, hazard: *hazard,
-		schema: *schema, schemaHz: *schemaHz, replay: *replay, verbose: *verbose,
+		schema: *schema, schemaHz: *schemaHz, conflFz: *conflFz, conflPl: *conflPl,
+		replay: *replay, verbose: *verbose,
 	}
 	for _, m := range strings.Split(*models, ",") {
 		if m = strings.TrimSpace(m); m != "" {
@@ -101,6 +119,10 @@ func run(w io.Writer, opts options) error {
 	switch {
 	case opts.replay:
 		return runReplay(w, opts, cfg)
+	case opts.conflFz:
+		return runConfluenceFuzz(w, opts, cfg)
+	case opts.conflPl:
+		return runPlantConfluence(w, opts, cfg)
 	case opts.plant || opts.hazard || opts.schemaHz:
 		return runPlant(w, opts, cfg)
 	default:
@@ -205,6 +227,113 @@ func runPlant(w io.Writer, opts options, cfg difftest.ExecConfig) error {
 	fmt.Fprintf(w, "shrunk %d -> %d (attrs+entries+packets)\n", p.Size(), s.Size())
 	if opts.corpus != "" {
 		path, err := difftest.WriteCorpus(opts.corpus, s, divs[0].Kind)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "reproducer: %s\n", path)
+	}
+	return nil
+}
+
+// runConfluenceFuzz is the confluence difftest loop: every seed draws a
+// base table plus two concurrent batches, and the verifier's verdict is
+// cross-checked against brute-force interleaving on the NetKAT oracle.
+// Genuine non-confluence ("non-confluent") is an expected, counted
+// outcome of racing updates; only a verifier-vs-brute-force disagreement
+// ("confluence") fails the run, and those disagreements are shrunk into
+// the corpus.
+func runConfluenceFuzz(w io.Writer, opts options, cfg difftest.ExecConfig) error {
+	start := time.Now()
+	programs, confluent, nonConfluent, disagreements := 0, 0, 0, 0
+	for i := 0; ; i++ {
+		if opts.iters > 0 && i >= opts.iters {
+			break
+		}
+		if opts.duration > 0 && time.Since(start) >= opts.duration {
+			break
+		}
+		seed := opts.seed + int64(i)
+		p := difftest.GenerateConcurrent(seed, difftest.DefaultGenConfig())
+		programs++
+		divs, err := difftest.Execute(p, cfg)
+		if err != nil {
+			return fmt.Errorf("seed %d: %w", seed, err)
+		}
+		mods := 0
+		for _, b := range p.Batches {
+			mods += len(b)
+		}
+		if opts.verbose {
+			fmt.Fprintf(w, "seed %d: %d entries, %d batch mods, %d divergences\n",
+				seed, len(p.Table.Entries), mods, len(divs))
+		}
+		bad := false
+		for _, d := range divs {
+			switch d.Kind {
+			case difftest.KindNonConfluent:
+				nonConfluent++
+			default:
+				bad = true
+			}
+		}
+		if !bad {
+			if len(divs) == 0 {
+				confluent++
+			}
+			continue
+		}
+		disagreements++
+		fmt.Fprintf(w, "seed %d VERIFIER DISAGREEMENT:\n", seed)
+		for _, d := range divs {
+			fmt.Fprintf(w, "  %s\n", d)
+		}
+		if opts.corpus != "" {
+			s := difftest.Shrink(p, cfg)
+			path, err := difftest.WriteCorpus(opts.corpus, s, divs[0].Kind)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "  minimized reproducer: %s\n", path)
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(w, "mafuzz: %d concurrent batch pairs in %v (%.1f pair/s): %d confluent, %d non-confluent, %d verifier disagreements\n",
+		programs, elapsed.Round(time.Millisecond), float64(programs)/elapsed.Seconds(),
+		confluent, nonConfluent, disagreements)
+	if disagreements > 0 {
+		return fmt.Errorf("%d of %d pairs produced verifier-vs-brute-force disagreements", disagreements, programs)
+	}
+	return nil
+}
+
+// runPlantConfluence plants the canonical racing pair (two adds of the
+// same fresh key with different actions on the rematch-hazard table),
+// requires the non-confluent verdict, and writes the shrunk reproducer.
+func runPlantConfluence(w io.Writer, opts options, cfg difftest.ExecConfig) error {
+	p := difftest.PlantConfluencePair(opts.seed)
+	divs, err := difftest.Execute(p, cfg)
+	if err != nil {
+		return err
+	}
+	flagged := false
+	for _, d := range divs {
+		if d.Kind == difftest.KindNonConfluent {
+			flagged = true
+		} else {
+			return fmt.Errorf("seed %d: planted racing pair produced a %s divergence — the verifier is broken: %s", opts.seed, d.Kind, d)
+		}
+	}
+	if !flagged {
+		return fmt.Errorf("seed %d: planted racing pair was NOT flagged non-confluent — the detector is broken", opts.seed)
+	}
+	fmt.Fprintf(w, "planted racing pair (seed %d) flagged non-confluent as it must:\n", opts.seed)
+	for _, d := range divs {
+		fmt.Fprintf(w, "  %s\n", d)
+	}
+	s := difftest.Shrink(p, cfg)
+	fmt.Fprintf(w, "shrunk %d -> %d (attrs+entries+mods)\n", p.Size(), s.Size())
+	if opts.corpus != "" {
+		path, err := difftest.WriteCorpus(opts.corpus, s, difftest.KindNonConfluent)
 		if err != nil {
 			return err
 		}

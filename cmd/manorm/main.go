@@ -12,6 +12,7 @@
 //	manorm -prove     "ip_dst -> tcp_dst" -in table.json
 //	manorm -denormalize    -in pipeline.json
 //	manorm -fingerprint    -in pipeline.json
+//	manorm -confluence     -in case.json
 //
 // -prove prints the paper's Theorem 1 rewrite chain for the given
 // dependency, machine-checking every step (exact-match tables only).
@@ -30,6 +31,21 @@
 // the fabric convergence checker (internal/fabric) decides that replicas
 // agree.
 //
+// -confluence runs the semantic commutation verifier
+// (internal/confluence) on a JSON case of the form
+//
+//	{"pipeline": {...} | "table": {...}, "batches": [[flowmod...], ...]}
+//
+// — a base state plus concurrently-planned flow-mod batches. Every
+// interleaving of the batches is applied (exhaustively up to a budget,
+// seeded-sampled beyond it) and checked to renormalize to one canonical
+// fingerprint, forward witness packets identically, and compensate
+// cleanly (rolling back any applied prefix restores the base state). The
+// text output is the verdict plus a rendered minimal counterexample for
+// non-confluent cases; -format json emits the full verdict structure.
+// The exit status is 0 either way — non-confluence is a property of the
+// input, not a tool failure.
+//
 // Input defaults to stdin; output is text (-format text) or JSON
 // (-format json) on stdout.
 package main
@@ -43,12 +59,14 @@ import (
 	"strings"
 
 	"manorm/internal/cliflags"
+	"manorm/internal/confluence"
 	"manorm/internal/core"
 	"manorm/internal/dataplane"
 	"manorm/internal/fabric"
 	"manorm/internal/fd"
 	"manorm/internal/mat"
 	"manorm/internal/netkat"
+	"manorm/internal/openflow"
 	"manorm/internal/packet"
 	"manorm/internal/telemetry"
 )
@@ -66,6 +84,7 @@ func main() {
 		prove       = flag.String("prove", "", "print the machine-checked Theorem 1 rewrite chain for the dependency")
 		denorm      = flag.Bool("denormalize", false, "re-join a pipeline into its universal table")
 		fingerprint = flag.Bool("fingerprint", false, "print the canonical normal-form fingerprint of a table or pipeline")
+		confl       = flag.Bool("confluence", false, "verify semantic commutation of concurrent flow-mod batches against a base state")
 		in          = flag.String("in", "-", "input file (JSON table or pipeline), - for stdin")
 		target      = flag.String("target", "3nf", "normalization target: 2nf, 3nf or bcnf")
 		join        = flag.String("join", "metadata", "join abstraction: metadata, goto or rematch")
@@ -90,13 +109,13 @@ func main() {
 		defer srv.Close()
 	}
 
-	if err := run(*analyze, *normalize, *decompose, *denorm, *fingerprint, *in, *target, *join, *verify, *format, declaredFDs, *prove, obs.TraceSample, obs.Schema); err != nil {
+	if err := run(*analyze, *normalize, *decompose, *denorm, *fingerprint, *confl, *in, *target, *join, *verify, *format, declaredFDs, *prove, obs.TraceSample, obs.Schema); err != nil {
 		fmt.Fprintln(os.Stderr, "manorm:", err)
 		os.Exit(1)
 	}
 }
 
-func run(analyze, normalize bool, decompose string, denorm, fingerprint bool, in, target, join string, verify bool, format string, declaredFDs []string, prove string, traceSample int, schema string) error {
+func run(analyze, normalize bool, decompose string, denorm, fingerprint, confl bool, in, target, join string, verify bool, format string, declaredFDs []string, prove string, traceSample int, schema string) error {
 	data, err := readInput(in)
 	if err != nil {
 		return err
@@ -104,6 +123,10 @@ func run(analyze, normalize bool, decompose string, denorm, fingerprint bool, in
 
 	if fingerprint {
 		return runFingerprint(data)
+	}
+
+	if confl {
+		return runConfluence(data, format)
 	}
 
 	if denorm {
@@ -431,6 +454,75 @@ func runFingerprint(data []byte) error {
 		return err
 	}
 	fmt.Println(fp)
+	return nil
+}
+
+// confluenceCase is the -confluence input: a base state (pipeline or
+// single table) plus the concurrently-planned flow-mod batches to race
+// against it.
+type confluenceCase struct {
+	Pipeline *mat.Pipeline        `json:"pipeline,omitempty"`
+	Table    *mat.Table           `json:"table,omitempty"`
+	Batches  [][]openflow.FlowMod `json:"batches"`
+	Options  *confluence.Options  `json:"options,omitempty"`
+}
+
+// runConfluence checks semantic commutation of concurrent batches and
+// reports the verdict. Non-confluence is a property of the input, not a
+// tool failure, so it exits 0 either way.
+func runConfluence(data []byte, format string) error {
+	var c confluenceCase
+	if err := json.Unmarshal(data, &c); err != nil {
+		return fmt.Errorf("parsing confluence case: %w", err)
+	}
+	base := c.Pipeline
+	if base == nil || len(base.Stages) == 0 {
+		if c.Table == nil {
+			return fmt.Errorf("confluence case needs a \"pipeline\" or \"table\" base state")
+		}
+		if err := c.Table.Validate(); err != nil {
+			return err
+		}
+		base = mat.SingleTable(c.Table)
+	}
+	if len(c.Batches) < 2 {
+		return fmt.Errorf("confluence case needs at least 2 batches, got %d", len(c.Batches))
+	}
+	opts := confluence.Options{Compensation: true}
+	if c.Options != nil {
+		opts = *c.Options
+	}
+	v, err := confluence.Check(base, c.Batches, opts)
+	if err != nil {
+		return err
+	}
+	if format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	}
+	if v.Confluent {
+		fmt.Printf("confluent: %d orderings (exhaustive=%v) -> normal form %s\n",
+			v.Orderings, v.Exhaustive, v.Fingerprint)
+	} else if v.Counterexample != nil {
+		fmt.Print(v.Counterexample.Render(c.Batches))
+	} else {
+		fmt.Println("non-confluent")
+	}
+	if len(v.Rejections) > 0 {
+		fmt.Printf("rejected mods: %d (first: ordering %d batch %d mod %d: %s)\n",
+			len(v.Rejections), v.Rejections[0].Ordering, v.Rejections[0].Batch,
+			v.Rejections[0].Index, v.Rejections[0].Err)
+	}
+	if v.Compensation != nil {
+		if v.Compensation.OK {
+			fmt.Printf("compensation: OK (%d prefixes rolled back cleanly)\n", v.Compensation.Prefixes)
+		} else {
+			fmt.Printf("compensation: FAILED at batch %d prefix %d: %s\n",
+				v.Compensation.Batch, v.Compensation.Prefix, v.Compensation.Detail)
+		}
+	}
+	fmt.Printf("witness: %d packets compared (exhaustive=%v)\n", v.PacketsChecked, v.WitnessExhaustive)
 	return nil
 }
 

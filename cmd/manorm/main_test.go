@@ -49,7 +49,7 @@ func readAll(f *os.File) (string, error) {
 
 func TestAnalyzeFixture(t *testing.T) {
 	out, err := captureStdout(t, func() error {
-		return run(true, false, "", false, false, fixture, "3nf", "metadata", false, "text",
+		return run(true, false, "", false, false, false, fixture, "3nf", "metadata", false, "text",
 			[]string{"ip_dst -> tcp_dst", "ip_src, ip_dst -> out"}, "", 0, "")
 	})
 	if err != nil {
@@ -64,7 +64,7 @@ func TestAnalyzeFixture(t *testing.T) {
 
 func TestAnalyzeMined(t *testing.T) {
 	out, err := captureStdout(t, func() error {
-		return run(true, false, "", false, false, fixture, "3nf", "metadata", false, "text", nil, "", 0, "")
+		return run(true, false, "", false, false, false, fixture, "3nf", "metadata", false, "text", nil, "", 0, "")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -76,7 +76,7 @@ func TestAnalyzeMined(t *testing.T) {
 
 func TestNormalizeFixtureJSON(t *testing.T) {
 	out, err := captureStdout(t, func() error {
-		return run(false, true, "", false, false, fixture, "3nf", "metadata", true, "json",
+		return run(false, true, "", false, false, false, fixture, "3nf", "metadata", true, "json",
 			[]string{"ip_dst -> tcp_dst", "ip_src, ip_dst -> out"}, "", 0, "")
 	})
 	if err != nil {
@@ -93,7 +93,7 @@ func TestNormalizeFixtureJSON(t *testing.T) {
 
 func TestNormalizeGotoFixture(t *testing.T) {
 	out, err := captureStdout(t, func() error {
-		return run(false, true, "", false, false, fixture, "3nf", "goto", true, "json",
+		return run(false, true, "", false, false, false, fixture, "3nf", "goto", true, "json",
 			[]string{"ip_dst -> tcp_dst", "ip_src, ip_dst -> out"}, "", 0, "")
 	})
 	if err != nil {
@@ -111,7 +111,7 @@ func TestNormalizeGotoFixture(t *testing.T) {
 
 func TestDecomposeFixture(t *testing.T) {
 	out, err := captureStdout(t, func() error {
-		return run(false, false, "ip_dst -> tcp_dst", false, false, fixture, "3nf", "goto", true, "text",
+		return run(false, false, "ip_dst -> tcp_dst", false, false, false, fixture, "3nf", "goto", true, "text",
 			[]string{"ip_dst -> tcp_dst"}, "", 0, "")
 	})
 	if err != nil {
@@ -126,7 +126,7 @@ func TestDenormalizeRoundTrip(t *testing.T) {
 	// normalize -> write pipeline -> denormalize -> must be a 6-entry
 	// table again.
 	pipeJSON, err := captureStdout(t, func() error {
-		return run(false, true, "", false, false, fixture, "3nf", "metadata", false, "json",
+		return run(false, true, "", false, false, false, fixture, "3nf", "metadata", false, "json",
 			[]string{"ip_dst -> tcp_dst", "ip_src, ip_dst -> out"}, "", 0, "")
 	})
 	if err != nil {
@@ -137,7 +137,7 @@ func TestDenormalizeRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	out, err := captureStdout(t, func() error {
-		return run(false, false, "", true, false, tmp, "3nf", "metadata", false, "json", nil, "", 0, "")
+		return run(false, false, "", true, false, false, tmp, "3nf", "metadata", false, "json", nil, "", 0, "")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -157,25 +157,25 @@ func TestRunErrors(t *testing.T) {
 		fn   func() error
 	}{
 		{"no mode", func() error {
-			return run(false, false, "", false, false, fixture, "3nf", "metadata", false, "text", nil, "", 0, "")
+			return run(false, false, "", false, false, false, fixture, "3nf", "metadata", false, "text", nil, "", 0, "")
 		}},
 		{"missing file", func() error {
-			return run(true, false, "", false, false, "testdata/nope.json", "3nf", "metadata", false, "text", nil, "", 0, "")
+			return run(true, false, "", false, false, false, "testdata/nope.json", "3nf", "metadata", false, "text", nil, "", 0, "")
 		}},
 		{"bad target", func() error {
-			return run(false, true, "", false, false, fixture, "7nf", "metadata", false, "text", nil, "", 0, "")
+			return run(false, true, "", false, false, false, fixture, "7nf", "metadata", false, "text", nil, "", 0, "")
 		}},
 		{"bad join", func() error {
-			return run(false, false, "ip_dst -> tcp_dst", false, false, fixture, "3nf", "zipper", false, "text", nil, "", 0, "")
+			return run(false, false, "ip_dst -> tcp_dst", false, false, false, fixture, "3nf", "zipper", false, "text", nil, "", 0, "")
 		}},
 		{"bad fd", func() error {
-			return run(true, false, "", false, false, fixture, "3nf", "metadata", false, "text", []string{"nope"}, "", 0, "")
+			return run(true, false, "", false, false, false, fixture, "3nf", "metadata", false, "text", []string{"nope"}, "", 0, "")
 		}},
 		{"unknown attr fd", func() error {
-			return run(true, false, "", false, false, fixture, "3nf", "metadata", false, "text", []string{"bogus -> out"}, "", 0, "")
+			return run(true, false, "", false, false, false, fixture, "3nf", "metadata", false, "text", []string{"bogus -> out"}, "", 0, "")
 		}},
 		{"false fd", func() error {
-			return run(true, false, "", false, false, fixture, "3nf", "metadata", false, "text", []string{"ip_dst -> out"}, "", 0, "")
+			return run(true, false, "", false, false, false, fixture, "3nf", "metadata", false, "text", []string{"ip_dst -> out"}, "", 0, "")
 		}},
 	}
 	for _, tc := range cases {
@@ -187,7 +187,7 @@ func TestRunErrors(t *testing.T) {
 
 func TestProveFixture(t *testing.T) {
 	out, err := captureStdout(t, func() error {
-		return run(false, false, "", false, false, "testdata/exact.json", "3nf", "metadata", false, "text", nil,
+		return run(false, false, "", false, false, false, "testdata/exact.json", "3nf", "metadata", false, "text", nil,
 			"ip_dst -> tcp_dst", 0, "")
 	})
 	if err != nil {
@@ -200,7 +200,7 @@ func TestProveFixture(t *testing.T) {
 	}
 	// Prefix tables are outside the proof's setting.
 	if _, err := captureStdout(t, func() error {
-		return run(false, false, "", false, false, fixture, "3nf", "metadata", false, "text", nil,
+		return run(false, false, "", false, false, false, fixture, "3nf", "metadata", false, "text", nil,
 			"ip_dst -> tcp_dst", 0, "")
 	}); err == nil {
 		t.Errorf("prefix table accepted by -prove")
@@ -221,13 +221,83 @@ func TestAnalyzeReports4NFBlockers(t *testing.T) {
 		t.Fatal(err)
 	}
 	out, err := captureStdout(t, func() error {
-		return run(true, false, "", false, false, tmp, "3nf", "metadata", false, "text", nil, "", 0, "")
+		return run(true, false, "", false, false, false, tmp, "3nf", "metadata", false, "text", nil, "", 0, "")
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "blocking 4NF") {
 		t.Errorf("4NF blockers not reported:\n%s", out)
+	}
+}
+
+// TestConfluence drives -confluence over a table base with racing adds:
+// disjoint keys must report confluent, the same key with different
+// actions must render a counterexample. JSON output must round-trip.
+func TestConfluence(t *testing.T) {
+	writeCase := func(secondKey string) string {
+		t.Helper()
+		src := `{"table":{"name":"acl","attrs":[
+		  {"name":"ip_dst","kind":"field","width":8},
+		  {"name":"out","kind":"action","width":8}],
+		 "entries":[["1","10"]]},
+		 "batches":[
+		  [{"Command":1,"TableID":0,"Match":[{"Name":"ip_dst","Width":8,"Cell":{"Bits":2,"PLen":8}}],
+		    "Actions":[{"Name":"out","Width":8,"Value":20}]}],
+		  [{"Command":1,"TableID":0,"Match":[{"Name":"ip_dst","Width":8,"Cell":{"Bits":` + secondKey + `,"PLen":8}}],
+		    "Actions":[{"Name":"out","Width":8,"Value":30}]}]]}`
+		tmp := filepath.Join(t.TempDir(), "case.json")
+		if err := os.WriteFile(tmp, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return tmp
+	}
+
+	out, err := captureStdout(t, func() error {
+		return run(false, false, "", false, false, true, writeCase("3"), "3nf", "metadata", false, "text", nil, "", 0, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "confluent:") || !strings.Contains(out, "compensation: OK") {
+		t.Errorf("disjoint adds should be confluent:\n%s", out)
+	}
+
+	out, err = captureStdout(t, func() error {
+		return run(false, false, "", false, false, true, writeCase("2"), "3nf", "metadata", false, "text", nil, "", 0, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "non-confluent") || !strings.Contains(out, "batch 0") {
+		t.Errorf("racing adds on one key should render a counterexample:\n%s", out)
+	}
+
+	out, err = captureStdout(t, func() error {
+		return run(false, false, "", false, false, true, writeCase("3"), "3nf", "metadata", false, "json", nil, "", 0, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v map[string]any
+	if err := json.Unmarshal([]byte(out), &v); err != nil {
+		t.Fatalf("json verdict does not parse: %v\n%s", err, out)
+	}
+	if v["confluent"] != true {
+		t.Errorf("json verdict confluent = %v, want true", v["confluent"])
+	}
+
+	// A single batch cannot race; the case must be rejected.
+	src := `{"table":{"name":"t","attrs":[{"name":"a","kind":"field","width":8},
+	 {"name":"out","kind":"action","width":8}],"entries":[]},"batches":[[]]}`
+	tmp := filepath.Join(t.TempDir(), "one.json")
+	if err := os.WriteFile(tmp, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := captureStdout(t, func() error {
+		return run(false, false, "", false, false, true, tmp, "3nf", "metadata", false, "text", nil, "", 0, "")
+	}); err == nil {
+		t.Errorf("single-batch case accepted")
 	}
 }
 
@@ -238,7 +308,7 @@ func TestFingerprint(t *testing.T) {
 	fp := func(in string) string {
 		t.Helper()
 		out, err := captureStdout(t, func() error {
-			return run(false, false, "", false, true, in, "3nf", "metadata", false, "text", nil, "", 0, "")
+			return run(false, false, "", false, true, false, in, "3nf", "metadata", false, "text", nil, "", 0, "")
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -79,8 +79,11 @@ type FabricChurnRow struct {
 	Freezes  int64
 	Resyncs  int64
 	// Conflicts counts non-commuting concurrent flow-mod pairs flagged by
-	// the commutation pre-check.
-	Conflicts int64
+	// the commutation pre-check; FalseConflicts counts syntactic conflicts
+	// the semantic confluence oracle refuted (the pairs ran in one epoch
+	// after all).
+	Conflicts      int64
+	FalseConflicts int64
 	// Aggregated openflow client counters across all members.
 	Reconnects int64
 	ModsResent int64
@@ -213,7 +216,8 @@ func FabricChurnOne(cfg Config, updates int, fs FabricSpec) (*FabricChurnRow, er
 			Base: time.Millisecond, Max: 20 * time.Millisecond,
 			Multiplier: 2, Jitter: 0.25, MaxRetries: 3, Seed: fs.Seed,
 		},
-		Seed: fs.Seed,
+		Seed:            fs.Seed,
+		SemanticCommute: true,
 	})
 	if err != nil {
 		return nil, err
@@ -291,6 +295,40 @@ func FabricChurnOne(cfg Config, updates int, fs FabricSpec) (*FabricChurnRow, er
 		}
 	}
 
+	// One false-conflict round: a port change on service 0 raced with a
+	// wildcard-port catch-all for the same VIP. The catch-all's match
+	// overlaps the exact-port rows, so the syntactic pre-check flags a
+	// conflict — but the rows differ in specificity and most-specific-wins
+	// keeps every ordering semantically identical, so the confluence
+	// oracle refutes it and the pair still commits in a single epoch.
+	{
+		port := uint16(22000)
+		plan, err := controlplane.PlanPortChange(g, usecases.RepGoto, 0, port)
+		if err != nil {
+			return nil, err
+		}
+		g.Services[0].Port = port
+		catch, err := controlplane.PlanCatchAll(g, usecases.RepGoto, 0)
+		if err != nil {
+			return nil, err
+		}
+		if _, _, err := f.ApplyConcurrent(ctx, [][]openflow.FlowMod{plan.Mods, catch.Mods}); err != nil {
+			return nil, fmt.Errorf("false-conflict round: %v", err)
+		}
+		// Retract the catch-all rows so the fault-free oracle below — built
+		// from the service graph alone — stays the exact desired state.
+		var drop []openflow.FlowMod
+		for _, m := range catch.Mods {
+			d := m
+			d.Command = openflow.FlowDelete
+			d.Actions = nil
+			drop = append(drop, d)
+		}
+		if _, err := f.Apply(ctx, drop); err != nil {
+			return nil, fmt.Errorf("false-conflict cleanup: %v", err)
+		}
+	}
+
 	if err := f.Reconcile(ctx); err != nil {
 		return nil, fmt.Errorf("final reconcile: %v", err)
 	}
@@ -316,6 +354,7 @@ func FabricChurnOne(cfg Config, updates int, fs FabricSpec) (*FabricChurnRow, er
 	row.Degraded = int64(snap.Counters["epochs_degraded"])
 	row.Freezes = int64(snap.Counters["freezes"])
 	row.Conflicts = int64(snap.Counters["commute_conflicts"])
+	row.FalseConflicts = int64(snap.Counters["commute_false_conflicts"])
 	for _, m := range f.Members() {
 		row.Resyncs += m.Resyncs()
 		cm := m.Client().Stats()
@@ -348,15 +387,15 @@ func FabricChurnOne(cfg Config, updates int, fs FabricSpec) (*FabricChurnRow, er
 // RenderFabricChurn prints the fabric-churn verdicts.
 func RenderFabricChurn(w io.Writer, rows []*FabricChurnRow) {
 	fmt.Fprintln(w, "E9: multi-switch fabric churn under partitions, cuts and loss (ESwitch agents, TCP)")
-	fmt.Fprintf(w, "%-37s %-4s %-7s %-7s %-5s %-7s %-7s %-7s %-6s %-7s %-10s\n",
-		"faults", "upd", "epochs", "commit", "degr", "resync", "reconn", "resent", "drops", "maxlag", "verdict")
+	fmt.Fprintf(w, "%-37s %-4s %-7s %-7s %-5s %-7s %-7s %-7s %-6s %-7s %-6s %-10s\n",
+		"faults", "upd", "epochs", "commit", "degr", "resync", "reconn", "resent", "drops", "maxlag", "falsec", "verdict")
 	for _, r := range rows {
 		verdict := "CONVERGED"
 		if !r.Report.OK() {
 			verdict = fmt.Sprintf("DIVERGED(%d)", r.Report.Divergences)
 		}
-		fmt.Fprintf(w, "%-37s %-4d %-7d %-7d %-5d %-7d %-7d %-7d %-6d %-7d %-10s\n",
+		fmt.Fprintf(w, "%-37s %-4d %-7d %-7d %-5d %-7d %-7d %-7d %-6d %-7d %-6d %-10s\n",
 			r.Spec, r.Updates, r.Epochs, r.Committed, r.Degraded, r.Resyncs,
-			r.Reconnects, r.ModsResent, r.NetDrops, r.MaxLag, verdict)
+			r.Reconnects, r.ModsResent, r.NetDrops, r.MaxLag, r.FalseConflicts, verdict)
 	}
 }

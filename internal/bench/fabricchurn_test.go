@@ -34,9 +34,15 @@ func TestFabricChurnConvergesUnderHeadlineFaults(t *testing.T) {
 		if row.NetDrops == 0 {
 			t.Errorf("%s: partitions black-holed no frames", mode)
 		}
-		// Every issued epoch (churn + the concurrent round) committed.
+		// Every issued epoch (churn + the concurrent rounds) committed.
 		if row.Committed != row.Epochs || row.Epochs == 0 {
 			t.Errorf("%s: committed %d of %d epochs", mode, row.Committed, row.Epochs)
+		}
+		// The false-conflict round's syntactic conflict was refuted by the
+		// semantic oracle — the pair ran in one epoch and the run still
+		// proved identical normal forms above.
+		if row.FalseConflicts == 0 {
+			t.Errorf("%s: semantic oracle refuted no false conflicts", mode)
 		}
 	}
 }

@@ -1,0 +1,118 @@
+package confluence
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Interleavings enumerates orders in which the batches' mods may be
+// delivered, each order a sequence of batch indices (batch i appears
+// sizes[i] times; intra-batch order is always preserved, matching the
+// fabric's per-member delivery shuffle). When the number of distinct
+// interleavings is at most maxExhaustive all of them are returned with
+// exhaustive=true; otherwise a deduplicated sample is returned — the
+// identity order, the reversed order, and seeded uniform draws over the
+// remaining interleavings — with exhaustive=false.
+func Interleavings(sizes []int, maxExhaustive, sample int, seed int64) ([][]int, bool) {
+	total := 0
+	active := 0
+	for _, s := range sizes {
+		total += s
+		if s > 0 {
+			active++
+		}
+	}
+	if total == 0 {
+		return [][]int{{}}, true
+	}
+	if active <= 1 || multinomialCapped(sizes, maxExhaustive+1) <= maxExhaustive {
+		var orders [][]int
+		prefix := make([]int, 0, total)
+		remaining := append([]int(nil), sizes...)
+		var walk func()
+		walk = func() {
+			if len(prefix) == total {
+				orders = append(orders, append([]int(nil), prefix...))
+				return
+			}
+			for bi := range remaining {
+				if remaining[bi] == 0 {
+					continue
+				}
+				remaining[bi]--
+				prefix = append(prefix, bi)
+				walk()
+				prefix = prefix[:len(prefix)-1]
+				remaining[bi]++
+			}
+		}
+		walk()
+		return orders, true
+	}
+
+	// Sampled mode: always include the two extreme orders, then draw
+	// uniformly over distinct interleavings — picking the next batch with
+	// probability proportional to its remaining mods makes every
+	// completion equally likely.
+	seen := make(map[string]bool)
+	var orders [][]int
+	add := func(o []int) {
+		k := fmt.Sprint(o)
+		if !seen[k] {
+			seen[k] = true
+			orders = append(orders, o)
+		}
+	}
+	identity := make([]int, 0, total)
+	for bi, s := range sizes {
+		for k := 0; k < s; k++ {
+			identity = append(identity, bi)
+		}
+	}
+	add(identity)
+	reversed := make([]int, 0, total)
+	for bi := len(sizes) - 1; bi >= 0; bi-- {
+		for k := 0; k < sizes[bi]; k++ {
+			reversed = append(reversed, bi)
+		}
+	}
+	add(reversed)
+
+	rng := rand.New(rand.NewSource(seed))
+	for tries := 0; len(orders) < sample && tries < 8*sample; tries++ {
+		remaining := append([]int(nil), sizes...)
+		left := total
+		o := make([]int, 0, total)
+		for left > 0 {
+			pick := rng.Intn(left)
+			for bi, r := range remaining {
+				if pick < r {
+					o = append(o, bi)
+					remaining[bi]--
+					left--
+					break
+				}
+				pick -= r
+			}
+		}
+		add(o)
+	}
+	return orders, false
+}
+
+// multinomialCapped computes the number of distinct interleavings —
+// (sum sizes)! / prod(sizes[i]!) — capped at limit to avoid overflow.
+func multinomialCapped(sizes []int, limit int) int {
+	count := 1
+	placed := 0
+	for _, s := range sizes {
+		for k := 1; k <= s; k++ {
+			placed++
+			count = count * placed / k // exact: C(placed, k) builds incrementally
+			if count >= limit {
+				return limit
+			}
+		}
+	}
+	return count
+}

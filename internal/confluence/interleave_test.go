@@ -1,0 +1,101 @@
+package confluence
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestInterleavingsExhaustive(t *testing.T) {
+	cases := []struct {
+		sizes []int
+		want  int
+	}{
+		{[]int{}, 1},
+		{[]int{0, 0}, 1},
+		{[]int{3}, 1},
+		{[]int{1, 1}, 2},
+		{[]int{2, 2}, 6},
+		{[]int{3, 3}, 20},
+		{[]int{2, 1, 1}, 12},
+	}
+	for _, c := range cases {
+		orders, exhaustive := Interleavings(c.sizes, 64, 16, 1)
+		if !exhaustive {
+			t.Fatalf("Interleavings(%v) not exhaustive under budget 64", c.sizes)
+		}
+		if len(orders) != c.want {
+			t.Fatalf("Interleavings(%v) = %d orderings, want %d", c.sizes, len(orders), c.want)
+		}
+		seen := make(map[string]bool)
+		for _, o := range orders {
+			k := fmt.Sprint(o)
+			if seen[k] {
+				t.Fatalf("Interleavings(%v) repeated ordering %v", c.sizes, o)
+			}
+			seen[k] = true
+			counts := make([]int, len(c.sizes))
+			for _, bi := range o {
+				counts[bi]++
+			}
+			for i, n := range counts {
+				if n != c.sizes[i] {
+					t.Fatalf("ordering %v places %d mods of batch %d, want %d", o, n, i, c.sizes[i])
+				}
+			}
+		}
+	}
+}
+
+func TestInterleavingsSampled(t *testing.T) {
+	sizes := []int{5, 5, 5} // 756756 interleavings — far over budget
+	orders, exhaustive := Interleavings(sizes, 64, 16, 7)
+	if exhaustive {
+		t.Fatal("Interleavings(5,5,5) claimed exhaustive under budget 64")
+	}
+	if len(orders) < 2 || len(orders) > 16 {
+		t.Fatalf("sampled Interleavings returned %d orderings, want 2..16", len(orders))
+	}
+	// The sample always contains the identity and fully-reversed orders.
+	identity := fmt.Sprint([]int{0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 2, 2, 2, 2, 2})
+	reversed := fmt.Sprint([]int{2, 2, 2, 2, 2, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0})
+	seen := make(map[string]bool)
+	for _, o := range orders {
+		k := fmt.Sprint(o)
+		if seen[k] {
+			t.Fatalf("sampled orderings repeated %v", o)
+		}
+		seen[k] = true
+	}
+	if !seen[identity] || !seen[reversed] {
+		t.Fatal("sampled orderings missing identity or reversed order")
+	}
+
+	// Same seed, same sample; different seed, (almost surely) different.
+	again, _ := Interleavings(sizes, 64, 16, 7)
+	if fmt.Sprint(orders) != fmt.Sprint(again) {
+		t.Fatal("Interleavings not deterministic for a fixed seed")
+	}
+	other, _ := Interleavings(sizes, 64, 16, 8)
+	if fmt.Sprint(orders) == fmt.Sprint(other) {
+		t.Fatal("Interleavings identical across different seeds")
+	}
+}
+
+func TestMultinomialCapped(t *testing.T) {
+	cases := []struct {
+		sizes []int
+		limit int
+		want  int
+	}{
+		{[]int{2, 2}, 100, 6},
+		{[]int{3, 3}, 100, 20},
+		{[]int{2, 1, 1}, 100, 12},
+		{[]int{5, 5, 5}, 100, 100}, // capped at the limit
+		{[]int{}, 100, 1},
+	}
+	for _, c := range cases {
+		if got := multinomialCapped(c.sizes, c.limit); got != c.want {
+			t.Fatalf("multinomialCapped(%v, %d) = %d, want %d", c.sizes, c.limit, got, c.want)
+		}
+	}
+}

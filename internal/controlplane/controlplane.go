@@ -116,6 +116,58 @@ func PlanPortChange(g *usecases.GwLB, rep usecases.Representation, svcIdx int, n
 	return p, nil
 }
 
+// PlanCatchAll plans a wildcard-port catch-all for service svcIdx: a
+// single first-stage entry matching the service's VIP on *any* TCP port
+// and steering to the service's backend pool, so probes and stray ports
+// land on the service instead of the table miss. The entry's total
+// specificity (ip_dst/32 + tcp_dst/0) sits strictly below the exact
+// (VIP, port) rows, so most-specific-wins keeps the exact services
+// authoritative and the added row never introduces ambiguity. The
+// catch-all's match region overlaps every exact row of the same VIP —
+// fabric.Commutes conservatively serializes it against concurrent
+// deletes of those rows, which makes it the canonical false-conflict
+// probe for the semantic commutation oracle.
+func PlanCatchAll(g *usecases.GwLB, rep usecases.Representation, svcIdx int) (*Plan, error) {
+	if svcIdx < 0 || svcIdx >= len(g.Services) {
+		return nil, fmt.Errorf("controlplane: service %d out of range", svcIdx)
+	}
+	svc := g.Services[svcIdx]
+	match := []openflow.MatchField{
+		{Name: packet.FieldIPDst, Width: 32, Cell: mat.Exact(uint64(svc.VIP), 32)},
+		{Name: packet.FieldTCPDst, Width: 16, Cell: mat.Any()},
+	}
+	p := &Plan{EntriesTouched: 1}
+	switch rep {
+	case usecases.RepGoto:
+		p.Mods = append(p.Mods, openflow.FlowMod{Command: openflow.FlowAdd, TableID: 0, Match: match,
+			Actions: []openflow.ActionField{{Name: mat.GotoAttr, Width: 16, Value: uint64(svcIdx + 1)}}})
+	case usecases.RepMetadata:
+		p.Mods = append(p.Mods, openflow.FlowMod{Command: openflow.FlowAdd, TableID: 0, Match: match,
+			Actions: []openflow.ActionField{{Name: mat.MetaPrefix + "_svc", Width: 16, Value: uint64(svcIdx)}}})
+	case usecases.RepRematch:
+		p.Mods = append(p.Mods, openflow.FlowMod{Command: openflow.FlowAdd, TableID: 0, Match: match})
+	case usecases.RepUniversal:
+		// No service funnel exists: the catch-all is one wildcard-port row
+		// per backend entry.
+		cells, outs, err := serviceCells(svc)
+		if err != nil {
+			return nil, err
+		}
+		p.EntriesTouched = 0
+		for i, c := range cells {
+			m := append([]openflow.MatchField{
+				{Name: packet.FieldIPSrc, Width: 32, Cell: c},
+			}, match...)
+			p.Mods = append(p.Mods, openflow.FlowMod{Command: openflow.FlowAdd, TableID: 0, Match: m,
+				Actions: []openflow.ActionField{{Name: "out", Width: 16, Value: uint64(outs[i])}}})
+			p.EntriesTouched++
+		}
+	default:
+		return nil, fmt.Errorf("controlplane: unknown representation %q", rep)
+	}
+	return p, nil
+}
+
 // PlanVIPChange plans renumbering service svcIdx to a new public VIP.
 func PlanVIPChange(g *usecases.GwLB, rep usecases.Representation, svcIdx int, newVIP uint32) (*Plan, error) {
 	if svcIdx < 0 || svcIdx >= len(g.Services) {

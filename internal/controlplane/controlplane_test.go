@@ -134,6 +134,65 @@ func TestPortChangeEndToEndAllReps(t *testing.T) {
 	}
 }
 
+func TestPlanCatchAllShapes(t *testing.T) {
+	g := usecases.Generate(4, 4, 5)
+	for _, tc := range []struct {
+		rep  usecases.Representation
+		mods int
+	}{
+		{usecases.RepGoto, 1},
+		{usecases.RepMetadata, 1},
+		{usecases.RepRematch, 1},
+		{usecases.RepUniversal, 4}, // one wildcard-port row per backend
+	} {
+		p, err := PlanCatchAll(g, tc.rep, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.rep, err)
+		}
+		if len(p.Mods) != tc.mods || p.EntriesTouched != tc.mods {
+			t.Errorf("%s: %d mods / %d touched, want %d", tc.rep, len(p.Mods), p.EntriesTouched, tc.mods)
+		}
+		for _, m := range p.Mods {
+			if m.Command != openflow.FlowAdd {
+				t.Errorf("%s: catch-all plans %v, want adds only", tc.rep, m.Command)
+			}
+		}
+	}
+	if _, err := PlanCatchAll(g, usecases.RepGoto, 99); err == nil {
+		t.Error("bad service index accepted")
+	}
+}
+
+func TestCatchAllEndToEnd(t *testing.T) {
+	g := usecases.Generate(4, 4, 5)
+	ctl, sw := endToEnd(t, g, usecases.RepGoto, switches.NewESwitch())
+	svc := g.Services[1]
+	strayPort := svc.Port + 1
+
+	// Before the catch-all a stray port drops.
+	v, err := sw.Process(packet.TCP4(1, 2, 0x01000000, svc.VIP, 1234, strayPort))
+	if err != nil || !v.Drop {
+		t.Fatalf("stray port forwarded before catch-all: %+v, %v", v, err)
+	}
+	p, err := PlanCatchAll(g, usecases.RepGoto, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Apply(context.Background(), p); err != nil {
+		t.Fatal(err)
+	}
+	// After: the stray port funnels into the service's backend pool, and
+	// the exact service row stays authoritative (most-specific-wins).
+	v, err = sw.Process(packet.TCP4(1, 2, 0x01000000, svc.VIP, 1234, strayPort))
+	if err != nil || v.Drop {
+		t.Fatalf("stray port dropped after catch-all: %+v, %v", v, err)
+	}
+	v, err = sw.Process(packet.TCP4(1, 2, 0x01000000, svc.VIP, 1234, svc.Port))
+	if err != nil || v.Drop {
+		t.Fatalf("exact service port broken by catch-all: %+v, %v", v, err)
+	}
+}
+
 func TestVIPChangeEndToEnd(t *testing.T) {
 	for _, rep := range []usecases.Representation{usecases.RepUniversal, usecases.RepGoto, usecases.RepRematch} {
 		g := usecases.Generate(4, 4, 11)

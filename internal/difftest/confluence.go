@@ -1,0 +1,298 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"manorm/internal/confluence"
+	"manorm/internal/mat"
+	"manorm/internal/netkat"
+	"manorm/internal/openflow"
+)
+
+// GenerateConcurrent produces one seeded confluence case: a generated
+// universal table as the base state plus two concurrent flow-mod batches
+// drawn against it. The batches follow the same disjoint-or-equal
+// per-column cell discipline as the base generator, so every reachable
+// state is ambiguity-free (two rows overlap iff their match rows are
+// identical) and the relational evaluator never errors — the interesting
+// races are first-writer-wins key collisions and rejected mods, which
+// the verifier must classify exactly as brute-force interleaving does.
+func GenerateConcurrent(seed int64, cfg GenConfig) *Program {
+	base := Generate(seed, cfg)
+	rng := rand.New(rand.NewSource(seed + 0x5eed))
+	t := base.Table
+	pools := batchPools(rng, t)
+	p := &Program{
+		Seed:  seed,
+		Note:  fmt.Sprintf("concurrent(seed=%d)", seed),
+		Table: t,
+	}
+	p.Batches = [][]openflow.FlowMod{
+		genBatch(rng, t, pools),
+		genBatch(rng, t, pools),
+	}
+	return p
+}
+
+// colPool is one match column's candidate cells: the cells installed
+// entries use plus fresh exact cells disjoint from all of them.
+type colPool struct {
+	idx      int
+	name     string
+	width    uint8
+	existing []mat.Cell
+	fresh    []mat.Cell
+}
+
+// batchPools builds the per-column cell pools the batch generator draws
+// from. A column whose installed cells include a wildcard gets no fresh
+// cells (nothing is disjoint from Any).
+func batchPools(rng *rand.Rand, t *mat.Table) []colPool {
+	var pools []colPool
+	for _, fi := range t.Schema.Fields() {
+		cp := colPool{idx: fi, name: t.Schema[fi].Name, width: t.Schema[fi].Width}
+		seen := make(map[mat.Cell]bool)
+		hasAny := false
+		for _, e := range t.Entries {
+			if !seen[e[fi]] {
+				seen[e[fi]] = true
+				cp.existing = append(cp.existing, e[fi])
+				if e[fi].IsAny() {
+					hasAny = true
+				}
+			}
+		}
+		if len(cp.existing) == 0 {
+			cp.existing = append(cp.existing, mat.Any())
+			hasAny = true
+		}
+		if !hasAny {
+			for tries := 0; len(cp.fresh) < 3 && tries < 32; tries++ {
+				c := mat.Exact(rng.Uint64()&mask(cp.width), cp.width)
+				disjoint := true
+				for _, o := range append(cp.existing, cp.fresh...) {
+					if c.Overlaps(o, cp.width) {
+						disjoint = false
+						break
+					}
+				}
+				if disjoint {
+					cp.fresh = append(cp.fresh, c)
+				}
+			}
+		}
+		pools = append(pools, cp)
+	}
+	return pools
+}
+
+// genBatch draws one batch of 1–3 flow-mods: mods targeting installed
+// entries (deletes, modifies, racing duplicate adds) and mods composing
+// rows from the pools (mostly adds of fresh keys, sometimes deletes or
+// modifies of keys that may not exist — deliberate rejection cases).
+func genBatch(rng *rand.Rand, t *mat.Table, pools []colPool) []openflow.FlowMod {
+	n := 1 + rng.Intn(3)
+	batch := make([]openflow.FlowMod, 0, n)
+	for k := 0; k < n; k++ {
+		var match []openflow.MatchField
+		onExisting := len(t.Entries) > 0 && rng.Float64() < 0.6
+		if onExisting {
+			e := t.Entries[rng.Intn(len(t.Entries))]
+			for _, cp := range pools {
+				match = append(match, openflow.MatchField{Name: cp.name, Width: cp.width, Cell: e[cp.idx]})
+			}
+		} else {
+			for _, cp := range pools {
+				cell := cp.existing[rng.Intn(len(cp.existing))]
+				if len(cp.fresh) > 0 && rng.Float64() < 0.5 {
+					cell = cp.fresh[rng.Intn(len(cp.fresh))]
+				}
+				match = append(match, openflow.MatchField{Name: cp.name, Width: cp.width, Cell: cell})
+			}
+		}
+		var cmd openflow.FlowModCommand
+		r := rng.Float64()
+		if onExisting {
+			switch {
+			case r < 0.35:
+				cmd = openflow.FlowDelete
+			case r < 0.70:
+				cmd = openflow.FlowModify
+			default:
+				cmd = openflow.FlowAdd // duplicate: a first-writer-wins race
+			}
+		} else {
+			switch {
+			case r < 0.70:
+				cmd = openflow.FlowAdd
+			case r < 0.85:
+				cmd = openflow.FlowDelete // usually a rejection
+			default:
+				cmd = openflow.FlowModify // usually a rejection
+			}
+		}
+		mod := openflow.FlowMod{Command: cmd, TableID: 0, Match: match}
+		if cmd != openflow.FlowDelete {
+			for _, ai := range t.Schema.Actions() {
+				mod.Actions = append(mod.Actions, openflow.ActionField{
+					Name:  t.Schema[ai].Name,
+					Width: t.Schema[ai].Width,
+					Value: rng.Uint64() & mask(t.Schema[ai].Width),
+				})
+			}
+		}
+		batch = append(batch, mod)
+	}
+	return batch
+}
+
+// PlantConfluencePair builds the canonical non-confluent case on the
+// rematch-hazard table: two concurrent batches that each FlowAdd the
+// same fresh (vlan, tcp_dst) key with different mod_vlan/out actions.
+// Whichever add lands first wins — the second is rejected as a duplicate
+// — so the two delivery orders converge to genuinely different programs.
+// The verifier must flag it non-confluent and brute-force interleaving
+// must agree the finals diverge (kind "non-confluent"); the committed
+// reproducer keeps that detection under regression.
+func PlantConfluencePair(seed int64) *Program {
+	h := PlantRematchHazard(seed)
+	t := h.Table
+	rng := rand.New(rand.NewSource(seed + 0xace))
+	usedVlan := make(map[uint64]bool)
+	usedDst := make(map[uint64]bool)
+	for _, e := range t.Entries {
+		usedVlan[e[0].Bits] = true
+		usedDst[e[1].Bits] = true
+		usedVlan[e[2].Bits] = true // keep clear of the mod_vlan targets too
+	}
+	vlan := distinctValue(rng, 12, usedVlan)
+	dst := distinctValue(rng, 16, usedDst)
+	match := []openflow.MatchField{
+		{Name: t.Schema[0].Name, Width: 12, Cell: mat.Exact(vlan, 12)},
+		{Name: t.Schema[1].Name, Width: 16, Cell: mat.Exact(dst, 16)},
+	}
+	add := func(modVlan, out uint64) openflow.FlowMod {
+		return openflow.FlowMod{
+			Command: openflow.FlowAdd, TableID: 0,
+			Match: append([]openflow.MatchField(nil), match...),
+			Actions: []openflow.ActionField{
+				{Name: "mod_vlan", Width: 12, Value: modVlan},
+				{Name: "out", Width: 16, Value: out},
+			},
+		}
+	}
+	mv1 := distinctValue(rng, 12, usedVlan)
+	mv2 := distinctValue(rng, 12, usedVlan)
+	o1 := distinctValue(rng, 16, usedDst)
+	o2 := distinctValue(rng, 16, usedDst)
+	return &Program{
+		Seed:    seed,
+		Note:    fmt.Sprintf("confluence-pair(seed=%d)", seed),
+		Table:   t,
+		Batches: [][]openflow.FlowMod{{add(mv1, o1)}, {add(mv2, o2)}},
+	}
+}
+
+// confluenceOptions is the budget ExecuteConfluence verifies with: small
+// batches (≤ 3+3 mods, ≤ 20 interleavings) always enumerate
+// exhaustively, and compensation is always checked.
+func confluenceOptions(seed int64) confluence.Options {
+	return confluence.Options{
+		MaxOrderings:    64,
+		SampleOrderings: 16,
+		WitnessPackets:  512,
+		Seed:            seed + 1,
+		Compensation:    true,
+	}
+}
+
+// ExecuteConfluence cross-checks the confluence verifier against
+// brute-force interleaving: every ordering is applied independently and
+// the final states are compared pairwise on the NetKAT oracle. The
+// verdicts must agree directionally —
+//
+//   - verifier confluent + oracle counterexample between finals, or
+//   - verifier non-confluent + all finals canonically identical, or
+//   - a failed compensation rollback
+//
+// is a KindConfluence divergence (a verifier bug). A non-confluent
+// verdict brute force confirms (the finals genuinely differ) is reported
+// as KindNonConfluent: expected for racing updates, replayable from the
+// corpus, and not a fuzz failure.
+func ExecuteConfluence(p *Program, cfg ExecConfig) ([]Divergence, error) {
+	cfg = cfg.withDefaults()
+	base := mat.SingleTable(p.Table)
+	v, err := confluence.Check(base, p.Batches, confluenceOptions(p.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("difftest: confluence check: %w", err)
+	}
+
+	// Brute force, independent of the verifier's grouping and
+	// fingerprinting: apply every interleaving, collect canonical states,
+	// and compare finals on the oracle.
+	sizes := make([]int, len(p.Batches))
+	for i, b := range p.Batches {
+		sizes[i] = len(b)
+	}
+	orders, exhaustive := confluence.Interleavings(sizes, 512, 32, p.Seed+2)
+	finals := make([]*mat.Pipeline, len(orders))
+	states := make(map[string]bool)
+	for oi, order := range orders {
+		q := mat.SingleTable(p.Table.Clone())
+		pos := make([]int, len(p.Batches))
+		for _, bi := range order {
+			mod := p.Batches[bi][pos[bi]]
+			_ = openflow.ApplyToPipeline(q, &mod) // rejected mods leave q untouched
+			pos[bi]++
+		}
+		finals[oi] = q
+		st, err := confluence.CanonicalState(q)
+		if err != nil {
+			return nil, err
+		}
+		states[st] = true
+	}
+	var cex *netkat.Counterexample
+	for i := 1; i < len(finals); i++ {
+		c, _, err := netkat.EquivalentPipelines(finals[0], finals[i], cfg.OracleExhaustive)
+		if err != nil {
+			return nil, fmt.Errorf("difftest: confluence oracle: %w", err)
+		}
+		if c != nil {
+			cex = c
+			break
+		}
+	}
+
+	compFailed := v.Compensation != nil && !v.Compensation.OK
+	orderingDivergence := !v.Confluent && !compFailed
+
+	var divs []Divergence
+	switch {
+	case v.Confluent && cex != nil:
+		divs = append(divs, Divergence{
+			Kind: KindConfluence, Variant: "verifier", Packet: -1,
+			Detail: fmt.Sprintf("verdict confluent (%d orderings, exhaustive=%v) but the oracle refutes it: %v",
+				v.Orderings, v.Exhaustive, cex),
+		})
+	case orderingDivergence && len(states) == 1:
+		divs = append(divs, Divergence{
+			Kind: KindConfluence, Variant: "verifier", Packet: -1,
+			Detail: fmt.Sprintf("verdict non-confluent but all %d brute-forced interleavings (exhaustive=%v) reach the identical state: %s",
+				len(orders), exhaustive, v.Counterexample.Detail),
+		})
+	case orderingDivergence:
+		divs = append(divs, Divergence{
+			Kind: KindNonConfluent, Variant: "verifier", Packet: -1,
+			Detail: v.Counterexample.Detail,
+		})
+	}
+	if compFailed {
+		divs = append(divs, Divergence{
+			Kind: KindConfluence, Variant: "compensation", Packet: -1,
+			Detail: fmt.Sprintf("compensation not well-founded: %s", v.Compensation.Detail),
+		})
+	}
+	return divs, nil
+}

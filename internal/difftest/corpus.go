@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"manorm/internal/mat"
+	"manorm/internal/openflow"
 	"manorm/internal/packet"
 )
 
@@ -29,12 +30,16 @@ type corpusFile struct {
 	Graph  *packet.ParseGraph `json:"graph,omitempty"`
 	Table  *mat.Table         `json:"table"`
 	Frames []string           `json:"frames"`
+	// Batches carries confluence-mode reproducers: the concurrent flow-mod
+	// batches replayed against the table as the base state (mat.Cell
+	// marshals as a plain struct, so flow-mods round-trip as-is).
+	Batches [][]openflow.FlowMod `json:"batches,omitempty"`
 }
 
 // MarshalCorpus serializes a program (plus the divergence kind that
 // triggered the write) into the corpus JSON format.
 func MarshalCorpus(p *Program, kind string) ([]byte, error) {
-	cf := corpusFile{Seed: p.Seed, Note: p.Note, Kind: kind, Caveat: p.Caveat, Graph: p.Graph, Table: p.Table}
+	cf := corpusFile{Seed: p.Seed, Note: p.Note, Kind: kind, Caveat: p.Caveat, Graph: p.Graph, Table: p.Table, Batches: p.Batches}
 	if p.SchemaMode() {
 		cf.Frames = make([]string, len(p.Frames))
 		for i, f := range p.Frames {
@@ -59,7 +64,7 @@ func UnmarshalCorpus(b []byte) (*Program, string, error) {
 	if cf.Table == nil {
 		return nil, "", fmt.Errorf("difftest: corpus: no table")
 	}
-	p := &Program{Seed: cf.Seed, Note: cf.Note, Caveat: cf.Caveat, Graph: cf.Graph, Table: cf.Table}
+	p := &Program{Seed: cf.Seed, Note: cf.Note, Caveat: cf.Caveat, Graph: cf.Graph, Table: cf.Table, Batches: cf.Batches}
 	if cf.Graph != nil {
 		// Validate the deserialized graph (and every frame against it) up
 		// front, so a corrupt reproducer fails here rather than mid-replay.

@@ -59,6 +59,9 @@ func Execute(p *Program, cfg ExecConfig) ([]Divergence, error) {
 	if p == nil || p.Table == nil {
 		return nil, errors.New("difftest: nil program")
 	}
+	if len(p.Batches) > 0 {
+		return ExecuteConfluence(p, cfg)
+	}
 	cfg = cfg.withDefaults()
 	var divs []Divergence
 	full := func() bool { return len(divs) >= cfg.MaxDivergences }

@@ -54,6 +54,26 @@ func Shrink(p *Program, cfg ExecConfig) *Program {
 			}
 		}
 
+		// Confluence batches: drop individual mods (keeping each batch
+		// non-empty) and then whole batches (keeping at least two — one
+		// batch cannot race with itself).
+		for bi := range cur.Batches {
+			for i := len(cur.Batches[bi]) - 1; i >= 0 && len(cur.Batches[bi]) > 1; i-- {
+				c := cur.Clone()
+				c.Batches[bi] = append(c.Batches[bi][:i], c.Batches[bi][i+1:]...)
+				if still(c) {
+					cur, changed = c, true
+				}
+			}
+		}
+		for bi := len(cur.Batches) - 1; bi >= 0 && len(cur.Batches) > 2; bi-- {
+			c := cur.Clone()
+			c.Batches = append(c.Batches[:bi], c.Batches[bi+1:]...)
+			if still(c) {
+				cur, changed = c, true
+			}
+		}
+
 		// Entries.
 		for i := len(cur.Table.Entries) - 1; i >= 0 && len(cur.Table.Entries) > 1; i-- {
 			c := cur.Clone()

@@ -7,14 +7,27 @@ import (
 // Commutation pre-check. Two flow-mods commute when applying them in
 // either order yields the same table state. The fabric checks commutation
 // conservatively and syntactically, in the spirit of the network-update
-// literature's conflict tests: mods addressing different tables always
-// commute (tables are independent relations), mods addressing the same
-// table commute iff their canonical match keys differ (match-action
-// lookup is order-free across distinct keys — the agent's ambiguity check
-// and the canonical-state comparison both treat a table as a set keyed by
-// match). Two mods on the same (table, match key) are flagged
-// non-commuting regardless of command: add-vs-delete obviously race, and
-// even two identical-looking adds differ in which one's error surfaces.
+// literature's conflict tests:
+//
+//   - mods addressing different tables always commute (tables are
+//     independent relations);
+//   - mods on the same (table, match key) are flagged non-commuting
+//     regardless of command: add-vs-delete obviously race, and even two
+//     identical-looking adds differ in which one's error surfaces;
+//   - mods with distinct keys whose match regions are disjoint in some
+//     column commute — no packet can see both rows, and the rows are
+//     independent relation elements;
+//   - two adds with distinct keys whose regions overlap commute iff their
+//     total prefix lengths differ: most-specific-wins resolves the
+//     overlap identically in either installation order, and the rows
+//     never trip the agent's equal-specificity ambiguity check;
+//   - any other overlapping distinct-key pair (deletes or modifies over a
+//     region another mod touches, or equal-specificity adds that would
+//     make matching ambiguous) is conservatively flagged non-commuting.
+//
+// The conservative verdicts are exactly the ones the semantic oracle
+// (Config.SemanticCommute, backed by internal/confluence) is allowed to
+// refute; refutations are counted as commute.false_conflicts.
 
 // Commutes reports whether the two flow-mods may be applied in either
 // order with the same result.
@@ -22,7 +35,47 @@ func Commutes(a, b *openflow.FlowMod) bool {
 	if a.TableID != b.TableID {
 		return true
 	}
-	return MatchKey(a) != MatchKey(b)
+	if MatchKey(a) == MatchKey(b) {
+		return false
+	}
+	if !matchesOverlap(a, b) {
+		return true
+	}
+	if a.Command == openflow.FlowAdd && b.Command == openflow.FlowAdd &&
+		totalPLen(a) != totalPLen(b) {
+		return true
+	}
+	return false
+}
+
+// matchesOverlap reports whether the two mods' match regions intersect:
+// every named column's cells overlap, with fields one mod omits treated
+// as wildcards (the agent's default for unnamed fields).
+func matchesOverlap(a, b *openflow.FlowMod) bool {
+	bc := make(map[string]openflow.MatchField, len(b.Match))
+	for _, f := range b.Match {
+		bc[f.Name] = f
+	}
+	for _, f := range a.Match {
+		g, ok := bc[f.Name]
+		if !ok {
+			continue // absent in b: Any, always overlaps
+		}
+		if !f.Cell.Canonical(f.Width).Overlaps(g.Cell.Canonical(g.Width), f.Width) {
+			return false
+		}
+	}
+	return true
+}
+
+// totalPLen is a mod's total match specificity: the summed canonical
+// prefix lengths of its cells (the most-specific-wins tiebreak order).
+func totalPLen(f *openflow.FlowMod) int {
+	n := 0
+	for _, m := range f.Match {
+		n += int(m.Cell.Canonical(m.Width).PLen)
+	}
+	return n
 }
 
 // ConflictPair identifies one non-commuting pair between two batches:
@@ -32,8 +85,9 @@ type ConflictPair struct {
 }
 
 // BatchConflicts returns every non-commuting (i, j) pair between two
-// batches of flow-mods. An empty result means the batches commute: they
-// may be delivered to the switches in either interleaving.
+// batches of flow-mods. An empty result means the batches commute
+// syntactically: they may be delivered to the switches in either
+// interleaving.
 func BatchConflicts(a, b []openflow.FlowMod) []ConflictPair {
 	var out []ConflictPair
 	for i := range a {
@@ -47,17 +101,33 @@ func BatchConflicts(a, b []openflow.FlowMod) []ConflictPair {
 }
 
 // planWaves greedily groups batches into waves of pairwise-commuting
-// batches: each batch joins the earliest wave it conflicts with nothing
-// in, so conflicting batches end up in distinct (serialized) waves while
-// commuting ones share a wave and may be interleaved freely. The returned
-// conflict count is the number of batch pairs that failed the pre-check.
-func planWaves(batches [][]openflow.FlowMod) (waves [][]int, conflicts int) {
+// batches under the given predicate: each batch joins the earliest wave
+// it conflicts with nothing in, so conflicting batches end up in distinct
+// (serialized) waves while commuting ones share a wave and may be
+// interleaved freely. The predicate is consulted at most once per batch
+// pair (memoized — the semantic oracle behind it is expensive). The
+// returned conflict count is the number of batch pairs the predicate
+// rejected.
+func planWaves(batches [][]openflow.FlowMod, commutes func(i, j int) bool) (waves [][]int, conflicts int) {
+	memo := make(map[[2]int]bool)
+	pair := func(i, j int) bool {
+		if i > j {
+			i, j = j, i
+		}
+		k := [2]int{i, j}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		v := commutes(i, j)
+		memo[k] = v
+		return v
+	}
 	for bi := range batches {
 		placed := false
 		for wi := range waves {
 			ok := true
 			for _, other := range waves[wi] {
-				if len(BatchConflicts(batches[other], batches[bi])) > 0 {
+				if !pair(other, bi) {
 					ok = false
 					break
 				}
@@ -72,13 +142,18 @@ func planWaves(batches [][]openflow.FlowMod) (waves [][]int, conflicts int) {
 			waves = append(waves, []int{bi})
 		}
 	}
-	// Count conflicting pairs across all batches for the report.
 	for i := 0; i < len(batches); i++ {
 		for j := i + 1; j < len(batches); j++ {
-			if len(BatchConflicts(batches[i], batches[j])) > 0 {
+			if !pair(i, j) {
 				conflicts++
 			}
 		}
 	}
 	return waves, conflicts
+}
+
+// syntacticCommute is the fast-path batch predicate: the batches commute
+// iff no mod pair conflicts under Commutes.
+func syntacticCommute(a, b []openflow.FlowMod) bool {
+	return len(BatchConflicts(a, b)) == 0
 }

@@ -2,13 +2,10 @@ package fabric
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
 	"fmt"
 	"strings"
 
-	"manorm/internal/core"
+	"manorm/internal/confluence"
 	"manorm/internal/dataplane"
 	"manorm/internal/mat"
 	"manorm/internal/packet"
@@ -16,44 +13,19 @@ import (
 )
 
 // Fingerprint reduces a pipeline to the canonical identity of the program
-// it implements: the installed rule set is denormalized to its universal
-// table (Theorem 1 makes this lossless), the table's entries are sorted
-// into a canonical order (matching is order-free; resends and shuffled
-// deliveries may install entries in any order), the sorted table is
-// renormalized, and the resulting pipeline is hashed in canonical JSON.
-// Two switches hold semantically identical programs iff their
-// fingerprints agree — regardless of the order their flow-mods arrived
-// in or the multi-table shape they were installed as.
+// it implements. The canonicalization lives in internal/confluence (the
+// semantic commutation verifier fingerprints interleaving outcomes with
+// the exact same function, so fabric convergence and confluence verdicts
+// can never disagree about what "the same program" means); see
+// confluence.Fingerprint for the algorithm.
 func Fingerprint(p *mat.Pipeline) (string, error) {
-	u, err := core.Denormalize(p)
-	if err != nil {
-		return "", fmt.Errorf("fabric: fingerprint: %w", err)
-	}
-	u.SortEntries()
-	res, err := core.Normalize(u, core.Options{})
-	if err != nil {
-		return "", fmt.Errorf("fabric: fingerprint: %w", err)
-	}
-	s, err := canonicalPipeline(res.Pipeline)
-	if err != nil {
-		return "", err
-	}
-	sum := sha256.Sum256([]byte(s))
-	return hex.EncodeToString(sum[:8]), nil
+	return confluence.Fingerprint(p)
 }
 
 // canonicalPipeline serializes a pipeline with every table's entries
 // sorted, so pipelines differing only in entry order render identically.
 func canonicalPipeline(p *mat.Pipeline) (string, error) {
-	cp := clonePipeline(p)
-	for _, st := range cp.Stages {
-		st.Table.SortEntries()
-	}
-	raw, err := json.Marshal(cp)
-	if err != nil {
-		return "", err
-	}
-	return string(raw), nil
+	return confluence.CanonicalState(p)
 }
 
 // unionPipeline merges shard dumps into the logical whole: entries are

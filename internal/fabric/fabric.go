@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"manorm/internal/confluence"
 	"manorm/internal/mat"
 	"manorm/internal/openflow"
 	"manorm/internal/telemetry"
@@ -73,6 +74,18 @@ type Config struct {
 	// interleavings, per-member retry jitter streams), making runs
 	// reproducible.
 	Seed int64
+	// SemanticCommute arms the confluence verifier as a second opinion on
+	// the syntactic commutation pre-check: batch pairs the syntactic test
+	// conservatively flags are re-judged semantically (every interleaving
+	// renormalizes to one fingerprint, with well-founded compensation) and
+	// refuted conflicts share an epoch after all. Refutations are counted
+	// as commute.false_conflicts. The syntactic test stays the fast path —
+	// the verifier only runs on pairs it rejects.
+	SemanticCommute bool
+	// ConfluenceOpts tunes the semantic oracle's enumeration budgets; the
+	// zero value takes the verifier defaults with Seed as the sampling
+	// seed.
+	ConfluenceOpts confluence.Options
 }
 
 // Member is one fabric-managed switch: its control client, the fabric's
@@ -128,6 +141,7 @@ type Fabric struct {
 	epochsDegraded  atomic.Int64
 	freezes         atomic.Int64
 	conflicts       atomic.Int64 // non-commuting batch pairs flagged
+	falseConflicts  atomic.Int64 // syntactic conflicts the semantic oracle refuted
 	waves           atomic.Int64 // serialized waves issued by ApplyConcurrent
 }
 
@@ -240,17 +254,18 @@ func (f *Fabric) Apply(ctx context.Context, mods []openflow.FlowMod) (uint64, er
 
 // ApplyConcurrent pushes several independently-planned batches that are
 // intended to run concurrently. A commutation pre-check flags every
-// non-commuting batch pair; conflicting batches are serialized into
-// separate epochs (in argument order) while pairwise-commuting batches
-// share an epoch and are delivered to each member in an independently
-// seeded interleaving — exercising the order-independence the pre-check
-// promised. Returns the epochs issued and the number of conflicting
-// pairs.
+// non-commuting batch pair — the fast syntactic test first, escalated to
+// the semantic confluence verifier when Config.SemanticCommute is set;
+// conflicting batches are serialized into separate epochs (in argument
+// order) while pairwise-commuting batches share an epoch and are
+// delivered to each member in an independently seeded interleaving —
+// exercising the order-independence the pre-check promised. Returns the
+// epochs issued and the number of conflicting pairs.
 func (f *Fabric) ApplyConcurrent(ctx context.Context, batches [][]openflow.FlowMod) ([]uint64, int, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.resyncLaggingLocked(ctx)
-	waves, conflicts := planWaves(batches)
+	waves, conflicts := planWaves(batches, f.commutePredicateLocked(batches))
 	f.conflicts.Add(int64(conflicts))
 	var epochs []uint64
 	for _, wave := range waves {
@@ -268,6 +283,55 @@ func (f *Fabric) ApplyConcurrent(ctx context.Context, batches [][]openflow.FlowM
 		}
 	}
 	return epochs, conflicts, nil
+}
+
+// commutePredicateLocked builds the pairwise batch-commutation predicate
+// planWaves consults: the syntactic test is the fast path, and — when the
+// semantic oracle is armed — a syntactic conflict is escalated to the
+// confluence verifier against the fabric's current logical desired state.
+// The oracle refutes the conflict only on a fully clean verdict (every
+// interleaving confluent AND every mod applied — applyLocked rejects
+// whole epochs on any mod failure, so a rejection-dependent confluence
+// proof would not transfer); each refutation increments falseConflicts.
+func (f *Fabric) commutePredicateLocked(batches [][]openflow.FlowMod) func(i, j int) bool {
+	return func(i, j int) bool {
+		if syntacticCommute(batches[i], batches[j]) {
+			return true
+		}
+		if !f.cfg.SemanticCommute {
+			return false
+		}
+		base, err := f.logicalDesiredLocked()
+		if err != nil {
+			return false
+		}
+		opts := f.cfg.ConfluenceOpts
+		if opts.Seed == 0 {
+			opts.Seed = f.cfg.Seed
+		}
+		v, err := confluence.Check(base, [][]openflow.FlowMod{batches[i], batches[j]}, opts)
+		if err != nil || !v.Confluent || len(v.Rejections) > 0 {
+			return false
+		}
+		f.falseConflicts.Add(1)
+		return true
+	}
+}
+
+// logicalDesiredLocked reconstructs the logical single-switch program the
+// fabric currently intends: any replica's desired state under
+// replication, the union of the shards' under partitioning. Batches are
+// planned (and semantically judged) against the logical program, exactly
+// as CheckConvergence fingerprints it.
+func (f *Fabric) logicalDesiredLocked() (*mat.Pipeline, error) {
+	if f.mode == Partition {
+		desireds := make([]*mat.Pipeline, len(f.members))
+		for i, m := range f.members {
+			desireds[i] = m.desired
+		}
+		return unionPipeline(desireds)
+	}
+	return clonePipeline(f.members[0].desired), nil
 }
 
 // applyLocked issues one epoch carrying the given batches. When shuffle
@@ -588,6 +652,15 @@ func (f *Fabric) RegisterTelemetry(reg *telemetry.Registry) {
 		}
 		return float64(n)
 	})
+	reg.GaugeFunc("commute.false_conflicts", func() float64 { return float64(f.falseConflicts.Load()) })
+	reg.GaugeFunc("commute.false_conflict_rate", func() float64 {
+		fc := float64(f.falseConflicts.Load())
+		total := fc + float64(f.conflicts.Load())
+		if total == 0 {
+			return 0
+		}
+		return fc / total
+	})
 	for _, m := range f.members {
 		sub := telemetry.NewRegistry()
 		m.client.RegisterTelemetry(sub)
@@ -604,11 +677,12 @@ func (f *Fabric) Stats() telemetry.Snapshot {
 	snap := telemetry.Snapshot{
 		Name: "fabric",
 		Counters: map[string]uint64{
-			"epochs_committed":  uint64(f.epochsCommitted.Load()),
-			"epochs_degraded":   uint64(f.epochsDegraded.Load()),
-			"freezes":           uint64(f.freezes.Load()),
-			"commute_conflicts": uint64(f.conflicts.Load()),
-			"waves":             uint64(f.waves.Load()),
+			"epochs_committed":        uint64(f.epochsCommitted.Load()),
+			"epochs_degraded":         uint64(f.epochsDegraded.Load()),
+			"freezes":                 uint64(f.freezes.Load()),
+			"commute_conflicts":       uint64(f.conflicts.Load()),
+			"commute_false_conflicts": uint64(f.falseConflicts.Load()),
+			"waves":                   uint64(f.waves.Load()),
 		},
 		Gauges: map[string]float64{
 			"epoch":           float64(f.epoch.Load()),

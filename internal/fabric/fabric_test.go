@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
+	"manorm/internal/confluence"
 	"manorm/internal/controlplane"
 	"manorm/internal/faultconn"
 	"manorm/internal/mat"
@@ -40,6 +42,9 @@ type harnessOpts struct {
 	cutMember int
 	cutAfter  int
 	seed      int64
+	// semantic arms the confluence verifier as the second opinion on the
+	// syntactic commutation pre-check.
+	semantic bool
 }
 
 func memberName(i int) string { return fmt.Sprintf("sw%d", i) }
@@ -128,7 +133,8 @@ func newHarness(t *testing.T, o harnessOpts) *testHarness {
 			Base: time.Millisecond, Max: 20 * time.Millisecond,
 			Multiplier: 2, Jitter: 0.25, MaxRetries: 3, Seed: o.seed,
 		},
-		Seed: o.seed,
+		Seed:            o.seed,
+		SemanticCommute: o.semantic,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -437,6 +443,143 @@ func TestApplyConcurrentSerializesConflicts(t *testing.T) {
 		if got := mustCanonical(t, a.Pipeline()); got != want {
 			t.Errorf("member %d state changed by add+delete round trip", i)
 		}
+	}
+}
+
+// falseConflictBatches builds the canonical false-conflict pair on the
+// harness pipeline: a port change on service 0 (delete exact + add exact)
+// racing a wildcard-port catch-all add on the same VIP. The delete and
+// the catch-all overlap under distinct keys, so the syntactic pre-check
+// conservatively flags them — but every interleaving applies cleanly and
+// renormalizes identically, so the semantic oracle refutes the conflict.
+func falseConflictBatches(t *testing.T, h *testHarness, port uint16) [][]openflow.FlowMod {
+	t.Helper()
+	ca, err := controlplane.PlanCatchAll(h.g, usecases.RepGoto, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return [][]openflow.FlowMod{h.plan(t, 0, port), ca.Mods}
+}
+
+func TestApplyConcurrentSemanticOracleRefutesFalseConflict(t *testing.T) {
+	h := newHarness(t, harnessOpts{members: 2, semantic: true})
+	ctx := context.Background()
+
+	batches := falseConflictBatches(t, h, 7100)
+	epochs, conflicts, err := h.f.ApplyConcurrent(ctx, batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) != 1 || conflicts != 0 {
+		t.Fatalf("epochs = %v, conflicts = %d; want the refuted pair to share one conflict-free epoch", epochs, conflicts)
+	}
+	snap := h.f.Stats()
+	if snap.Counters["commute_false_conflicts"] != 1 {
+		t.Fatalf("commute_false_conflicts = %d, want 1", snap.Counters["commute_false_conflicts"])
+	}
+	if snap.Counters["commute_conflicts"] != 0 {
+		t.Fatalf("commute_conflicts = %d, want 0 (the only conflict was refuted)", snap.Counters["commute_conflicts"])
+	}
+
+	want := oracle(t, h.src, append(append([]openflow.FlowMod{}, batches[0]...), batches[1]...))
+	rep, err := h.f.CheckConvergence(ctx, want, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("refuted-conflict epoch diverged: %s", rep)
+	}
+
+	reg := telemetry.NewRegistry()
+	h.f.RegisterTelemetry(reg)
+	top := reg.Snapshot()
+	if top.Gauges["commute.false_conflicts"] != 1 {
+		t.Errorf("commute.false_conflicts gauge = %v, want 1", top.Gauges["commute.false_conflicts"])
+	}
+	if top.Gauges["commute.false_conflict_rate"] != 1 {
+		t.Errorf("commute.false_conflict_rate gauge = %v, want 1", top.Gauges["commute.false_conflict_rate"])
+	}
+}
+
+func TestApplyConcurrentSyntacticOnlySerializesFalseConflict(t *testing.T) {
+	// Control run: without the semantic oracle the same pair is
+	// conservatively serialized into two epochs and counted as a conflict.
+	h := newHarness(t, harnessOpts{members: 2})
+	ctx := context.Background()
+
+	epochs, conflicts, err := h.f.ApplyConcurrent(ctx, falseConflictBatches(t, h, 7100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) != 2 || conflicts != 1 {
+		t.Fatalf("epochs = %v, conflicts = %d; want two epochs, one conflict", epochs, conflicts)
+	}
+	if fc := h.f.Stats().Counters["commute_false_conflicts"]; fc != 0 {
+		t.Fatalf("commute_false_conflicts = %d without the oracle, want 0", fc)
+	}
+}
+
+// TestConfluenceVerifierConcurrentWithChurn drives the confluence
+// verifier from several goroutines against snapshots of the fabric's
+// desired state while the fabric itself churns port changes (with the
+// semantic oracle armed, so the verifier also runs inside the epoch
+// path). Run under -race this pins the verifier's freedom from shared
+// mutable state.
+func TestConfluenceVerifierConcurrentWithChurn(t *testing.T) {
+	h := newHarness(t, harnessOpts{members: 2, semantic: true})
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				base := h.f.Desired(0)
+				match := []openflow.MatchField{
+					{Name: "ip_dst", Width: 32, Cell: mat.Exact(uint64(0x0B000000+w*256+i%8), 32)},
+					{Name: "tcp_dst", Width: 16, Cell: mat.Exact(uint64(8000+w), 16)},
+				}
+				add := openflow.FlowMod{Command: openflow.FlowAdd, TableID: 0, Match: match,
+					Actions: []openflow.ActionField{{Name: mat.GotoAttr, Width: 16, Value: 1}}}
+				del := openflow.FlowMod{Command: openflow.FlowDelete, TableID: 0, Match: match}
+				v, err := confluence.Check(base, [][]openflow.FlowMod{{add}, {del}}, confluence.Options{Seed: int64(w + 1), Compensation: true})
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if v.Confluent {
+					t.Errorf("worker %d: add/delete race of one key judged confluent", w)
+					return
+				}
+			}
+		}(w)
+	}
+	for round := 0; round < 6; round++ {
+		port := uint16(9100 + round)
+		svc := round % len(h.g.Services)
+		if _, err := h.f.Apply(ctx, h.plan(t, svc, port)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := h.f.ApplyConcurrent(ctx, falseConflictBatches(t, h, 9900)); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	rep, err := h.f.CheckConvergence(ctx, h.f.Desired(0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("fabric diverged under concurrent verification: %s", rep)
 	}
 }
 
